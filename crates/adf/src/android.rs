@@ -1,0 +1,945 @@
+//! The curated Android API surface.
+//!
+//! This module encodes the compatibility-critical slice of the real
+//! Android framework — the classes, methods, callbacks, lifetimes and
+//! permission requirements that the paper's examples and benchmarks
+//! revolve around — as a [`FrameworkSpec`]. Lifetimes follow the real
+//! platform history (e.g. `Activity.getFragmentManager` appeared in API
+//! 11, `Context.getColorStateList` in 23, the Apache HTTP client left
+//! the platform at 23).
+//!
+//! The [`well_known`] submodule exposes typed [`MethodRef`]s for the
+//! members the corpus and tests reference, so call sites cannot drift
+//! out of sync with the spec.
+
+use saint_ir::{MethodRef, Permission};
+
+use crate::spec::{ClassSpec, FrameworkSpec, LifeSpan, MethodSpec};
+
+fn leaf(name: &str, descriptor: &str, life: LifeSpan) -> MethodSpec {
+    MethodSpec::leaf(name, descriptor, life)
+}
+
+/// Builds the curated Android framework history (no synthetic
+/// expansion; see [`crate::synth`] for scale).
+#[must_use]
+pub fn android_spec() -> FrameworkSpec {
+    let mut s = FrameworkSpec::new();
+
+    // --- java.* foundations -------------------------------------------------
+    let mut object = ClassSpec::new("java.lang.Object");
+    object.super_class = None;
+    s.add_class(
+        object
+            .method(leaf("equals", "(Ljava/lang/Object;)Z", LifeSpan::always()))
+            .method(leaf("hashCode", "()I", LifeSpan::always()))
+            .method(leaf("toString", "()Ljava/lang/String;", LifeSpan::always())),
+    );
+    s.add_class(
+        ClassSpec::new("java.lang.String")
+            .method(leaf("length", "()I", LifeSpan::always()))
+            .method(leaf("isEmpty", "()Z", LifeSpan::always()))
+            .method(leaf("join", "(Ljava/lang/CharSequence;)Ljava/lang/String;", LifeSpan::since(26))),
+    );
+    s.add_class(
+        ClassSpec::new("java.lang.StringBuilder")
+            .method(leaf("append", "(Ljava/lang/String;)Ljava/lang/StringBuilder;", LifeSpan::always()))
+            .method(leaf("toString", "()Ljava/lang/String;", LifeSpan::always())),
+    );
+    s.add_class(
+        ClassSpec::new("java.util.ArrayList")
+            .method(leaf("<init>", "()V", LifeSpan::always()))
+            .method(leaf("add", "(Ljava/lang/Object;)Z", LifeSpan::always()))
+            .method(leaf("get", "(I)Ljava/lang/Object;", LifeSpan::always()))
+            .method(leaf("forEach", "(Ljava/util/function/Consumer;)V", LifeSpan::since(24))),
+    );
+    s.add_class(
+        ClassSpec::new("java.util.HashMap")
+            .method(leaf("<init>", "()V", LifeSpan::always()))
+            .method(leaf("put", "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;", LifeSpan::always()))
+            .method(leaf("getOrDefault", "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;", LifeSpan::since(24))),
+    );
+    s.add_class(
+        ClassSpec::new("java.io.File")
+            .method(leaf("<init>", "(Ljava/lang/String;)V", LifeSpan::always()))
+            .method(leaf("exists", "()Z", LifeSpan::always()))
+            .method(leaf("toPath", "()Ljava/nio/file/Path;", LifeSpan::since(26))),
+    );
+    s.add_class(
+        ClassSpec::new("java.lang.Class")
+            .method(leaf("forName", "(Ljava/lang/String;)Ljava/lang/Class;", LifeSpan::always()))
+            .method(leaf("newInstance", "()Ljava/lang/Object;", LifeSpan::always())),
+    );
+    // Late binding: DexClassLoader (paper §III-A).
+    s.add_class(
+        ClassSpec::new("dalvik.system.DexClassLoader")
+            .method(leaf("<init>", "(Ljava/lang/String;)V", LifeSpan::always()))
+            .method(leaf("loadClass", "(Ljava/lang/String;)Ljava/lang/Class;", LifeSpan::always())),
+    );
+    // The famous platform removal: Apache HTTP left the boot classpath
+    // with Marshmallow. Forward-compatibility test fodder.
+    s.add_class(
+        ClassSpec::new("org.apache.http.client.HttpClient")
+            .life(LifeSpan::between(2, 23))
+            .method(leaf("execute", "(Lorg/apache/http/client/methods/HttpUriRequest;)Lorg/apache/http/HttpResponse;", LifeSpan::between(2, 23))),
+    );
+    s.add_class(
+        ClassSpec::new("org.apache.http.client.methods.HttpGet")
+            .life(LifeSpan::between(2, 23))
+            .method(leaf("<init>", "(Ljava/lang/String;)V", LifeSpan::between(2, 23))),
+    );
+
+    // --- Build / version ----------------------------------------------------
+    s.add_class(ClassSpec::new("android.os.Build$VERSION"));
+    s.add_class(ClassSpec::new("android.os.Build"));
+
+    // --- Context hierarchy --------------------------------------------------
+    s.add_class(
+        ClassSpec::new("android.content.Context")
+            .method(leaf("getResources", "()Landroid/content/res/Resources;", LifeSpan::always()))
+            .method(leaf("getString", "(I)Ljava/lang/String;", LifeSpan::always()))
+            .method(leaf("getSystemService", "(Ljava/lang/String;)Ljava/lang/Object;", LifeSpan::always()))
+            .method(leaf("getDrawable", "(I)Landroid/graphics/drawable/Drawable;", LifeSpan::since(21)))
+            .method(leaf("getColorStateList", "(I)Landroid/content/res/ColorStateList;", LifeSpan::since(23)))
+            .method(leaf("getColor", "(I)I", LifeSpan::since(23)))
+            .method(leaf("checkSelfPermission", "(Ljava/lang/String;)I", LifeSpan::since(23)))
+            .method(leaf("startActivity", "(Landroid/content/Intent;)V", LifeSpan::always()))
+            .method(leaf("sendBroadcast", "(Landroid/content/Intent;)V", LifeSpan::always()))
+            .method(leaf("getExternalFilesDir", "(Ljava/lang/String;)Ljava/io/File;", LifeSpan::since(8)))
+            .method(leaf("getContentResolver", "()Landroid/content/ContentResolver;", LifeSpan::always()))
+            .method(leaf("createDeviceProtectedStorageContext", "()Landroid/content/Context;", LifeSpan::since(24)))
+            .method(leaf("getOpPackageName", "()Ljava/lang/String;", LifeSpan::since(29))),
+    );
+    s.add_class(ClassSpec::new("android.content.ContextWrapper").extends("android.content.Context"));
+    s.add_class(
+        ClassSpec::new("android.view.ContextThemeWrapper").extends("android.content.ContextWrapper"),
+    );
+    s.add_class(
+        ClassSpec::new("android.content.res.Resources")
+            .method(leaf("getString", "(I)Ljava/lang/String;", LifeSpan::always()))
+            .method(leaf("getColor", "(I)I", LifeSpan::always()))
+            .method(leaf("getColorStateList", "(ILandroid/content/res/Resources$Theme;)Landroid/content/res/ColorStateList;", LifeSpan::since(23)))
+            .method(leaf("getDrawable", "(ILandroid/content/res/Resources$Theme;)Landroid/graphics/drawable/Drawable;", LifeSpan::since(21)))
+            .method(leaf("getFont", "(I)Landroid/graphics/Typeface;", LifeSpan::since(26))),
+    );
+    s.add_class(
+        ClassSpec::new("android.content.Intent")
+            .method(leaf("<init>", "(Ljava/lang/String;)V", LifeSpan::always()))
+            .method(leaf("putExtra", "(Ljava/lang/String;Ljava/lang/String;)Landroid/content/Intent;", LifeSpan::always()))
+            .method(leaf("setAction", "(Ljava/lang/String;)Landroid/content/Intent;", LifeSpan::always())),
+    );
+    s.add_class(
+        ClassSpec::new("android.content.ContentResolver")
+            .method(leaf("query", "(Landroid/net/Uri;)Landroid/database/Cursor;", LifeSpan::always()))
+            .method(leaf("insert", "(Landroid/net/Uri;)Landroid/net/Uri;", LifeSpan::always()))
+            .method(leaf("takePersistableUriPermission", "(Landroid/net/Uri;I)V", LifeSpan::since(19))),
+    );
+
+    // --- Activity & friends -------------------------------------------------
+    s.add_class(
+        ClassSpec::new("android.app.Activity")
+            .extends("android.view.ContextThemeWrapper")
+            .method(leaf("onCreate", "(Landroid/os/Bundle;)V", LifeSpan::always()))
+            .method(leaf("onStart", "()V", LifeSpan::always()))
+            .method(leaf("onResume", "()V", LifeSpan::always()))
+            .method(leaf("onPause", "()V", LifeSpan::always()))
+            .method(leaf("onStop", "()V", LifeSpan::always()))
+            .method(leaf("onDestroy", "()V", LifeSpan::always()))
+            .method(leaf("onSaveInstanceState", "(Landroid/os/Bundle;)V", LifeSpan::always()))
+            .method(leaf("onBackPressed", "()V", LifeSpan::since(5)))
+            .method(leaf("onAttachedToWindow", "()V", LifeSpan::since(5)))
+            .method(leaf("setContentView", "(I)V", LifeSpan::always()))
+            .method(leaf("findViewById", "(I)Landroid/view/View;", LifeSpan::always()))
+            .method(leaf("getFragmentManager", "()Landroid/app/FragmentManager;", LifeSpan::since(11)))
+            .method(leaf("getLoaderManager", "()Landroid/app/LoaderManager;", LifeSpan::since(11)))
+            .method(leaf("invalidateOptionsMenu", "()V", LifeSpan::since(11)))
+            .method(leaf("requestPermissions", "([Ljava/lang/String;I)V", LifeSpan::since(23)))
+            .method(leaf("onRequestPermissionsResult", "(I[Ljava/lang/String;[I)V", LifeSpan::since(23)))
+            .method(leaf("shouldShowRequestPermissionRationale", "(Ljava/lang/String;)Z", LifeSpan::since(23)))
+            .method(leaf("onMultiWindowModeChanged", "(Z)V", LifeSpan::since(24)))
+            .method(leaf("isInMultiWindowMode", "()Z", LifeSpan::since(24)))
+            .method(leaf("onPictureInPictureModeChanged", "(Z)V", LifeSpan::since(24)))
+            .method(leaf("enterPictureInPictureMode", "()V", LifeSpan::since(24)))
+            .method(leaf("onTopResumedActivityChanged", "(Z)V", LifeSpan::since(29)))
+            .method(leaf("managedQuery", "(Landroid/net/Uri;)Landroid/database/Cursor;", LifeSpan::between(2, 28))),
+    );
+    s.add_class(
+        ClassSpec::new("android.app.ListActivity")
+            .extends("android.app.Activity")
+            .method(leaf("getListView", "()Landroid/widget/ListView;", LifeSpan::always()))
+            .method(leaf("onListItemClick", "(Landroid/widget/ListView;Landroid/view/View;IJ)V", LifeSpan::always())),
+    );
+    s.add_class(
+        ClassSpec::new("android.preference.PreferenceActivity")
+            .extends("android.app.ListActivity")
+            .method(leaf("addPreferencesFromResource", "(I)V", LifeSpan::always()))
+            .method(leaf("onBuildHeaders", "(Ljava/util/List;)V", LifeSpan::since(11))),
+    );
+    s.add_class(
+        ClassSpec::new("android.app.Fragment")
+            .life(LifeSpan::since(11))
+            .method(leaf("onAttach", "(Landroid/app/Activity;)V", LifeSpan::since(11)))
+            .method(leaf("onAttach", "(Landroid/content/Context;)V", LifeSpan::since(23)))
+            .method(leaf("onCreate", "(Landroid/os/Bundle;)V", LifeSpan::since(11)))
+            .method(leaf("onCreateView", "(Landroid/view/LayoutInflater;)Landroid/view/View;", LifeSpan::since(11)))
+            .method(leaf("onViewCreated", "(Landroid/view/View;Landroid/os/Bundle;)V", LifeSpan::since(13)))
+            .method(leaf("getContext", "()Landroid/content/Context;", LifeSpan::since(23)))
+            .method(leaf("onDestroyView", "()V", LifeSpan::since(11))),
+    );
+    s.add_class(
+        ClassSpec::new("android.app.Service")
+            .extends("android.content.ContextWrapper")
+            .method(leaf("onCreate", "()V", LifeSpan::always()))
+            .method(leaf("onBind", "(Landroid/content/Intent;)Landroid/os/IBinder;", LifeSpan::always()))
+            .method(leaf("onStart", "(Landroid/content/Intent;I)V", LifeSpan::always()))
+            .method(leaf("onStartCommand", "(Landroid/content/Intent;II)I", LifeSpan::since(5)))
+            .method(leaf("onTaskRemoved", "(Landroid/content/Intent;)V", LifeSpan::since(14)))
+            .method(leaf("onTrimMemory", "(I)V", LifeSpan::since(14)))
+            .method(leaf("startForeground", "(ILandroid/app/Notification;)V", LifeSpan::since(5))),
+    );
+    s.add_class(
+        ClassSpec::new("android.content.BroadcastReceiver")
+            .method(leaf("onReceive", "(Landroid/content/Context;Landroid/content/Intent;)V", LifeSpan::always()))
+            .method(leaf("goAsync", "()Landroid/content/BroadcastReceiver$PendingResult;", LifeSpan::since(11))),
+    );
+
+    // --- Views --------------------------------------------------------------
+    s.add_class(
+        ClassSpec::new("android.view.View")
+            .method(leaf("onDraw", "(Landroid/graphics/Canvas;)V", LifeSpan::always()))
+            .method(leaf("invalidate", "()V", LifeSpan::always()))
+            .method(leaf("setOnClickListener", "(Landroid/view/View$OnClickListener;)V", LifeSpan::always()))
+            .method(leaf("performClick", "()Z", LifeSpan::always()))
+            .method(leaf("onApplyWindowInsets", "(Landroid/view/WindowInsets;)Landroid/view/WindowInsets;", LifeSpan::since(20)))
+            .method(leaf("setBackgroundTintList", "(Landroid/content/res/ColorStateList;)V", LifeSpan::since(21)))
+            .method(leaf("drawableHotspotChanged", "(FF)V", LifeSpan::since(21)))
+            .method(leaf("setForeground", "(Landroid/graphics/drawable/Drawable;)V", LifeSpan::since(23)))
+            .method(leaf("getForeground", "()Landroid/graphics/drawable/Drawable;", LifeSpan::since(23)))
+            .method(leaf("onVisibilityAggregated", "(Z)V", LifeSpan::since(24)))
+            .method(leaf("setTooltipText", "(Ljava/lang/CharSequence;)V", LifeSpan::since(26)))
+            .method(leaf("setSystemUiVisibility", "(I)V", LifeSpan::since(11))),
+    );
+    s.add_class(
+        ClassSpec::new("android.view.ViewGroup")
+            .extends("android.view.View")
+            .method(leaf("addView", "(Landroid/view/View;)V", LifeSpan::always()))
+            .method(leaf("onInterceptTouchEvent", "(Landroid/view/MotionEvent;)Z", LifeSpan::always())),
+    );
+    s.add_class(
+        ClassSpec::new("android.widget.LinearLayout")
+            .extends("android.view.ViewGroup")
+            .method(leaf("setOrientation", "(I)V", LifeSpan::always())),
+    );
+    s.add_class(
+        ClassSpec::new("android.widget.FrameLayout")
+            .extends("android.view.ViewGroup")
+            .method(leaf("setMeasureAllChildren", "(Z)V", LifeSpan::always())),
+    );
+    s.add_class(
+        ClassSpec::new("android.widget.TextView")
+            .extends("android.view.View")
+            .method(leaf("setText", "(Ljava/lang/CharSequence;)V", LifeSpan::always()))
+            .method(leaf("setTextAppearance", "(I)V", LifeSpan::since(23)))
+            .method(leaf("onTextContextMenuItem", "(I)Z", LifeSpan::always()))
+            .method(leaf("setAutoSizeTextTypeWithDefaults", "(I)V", LifeSpan::since(26))),
+    );
+    s.add_class(
+        ClassSpec::new("android.widget.ListView")
+            .extends("android.view.ViewGroup")
+            .method(leaf("setAdapter", "(Landroid/widget/ListAdapter;)V", LifeSpan::always())),
+    );
+    s.add_class(
+        ClassSpec::new("android.widget.Toast")
+            .method(leaf("makeText", "(Landroid/content/Context;Ljava/lang/CharSequence;I)Landroid/widget/Toast;", LifeSpan::always()))
+            .method(leaf("show", "()V", LifeSpan::always())),
+    );
+
+    // --- WebView ------------------------------------------------------------
+    s.add_class(
+        ClassSpec::new("android.webkit.WebView")
+            .extends("android.view.ViewGroup")
+            .method(leaf("loadUrl", "(Ljava/lang/String;)V", LifeSpan::always()))
+            .method(leaf("getSettings", "()Landroid/webkit/WebSettings;", LifeSpan::always()))
+            .method(leaf("setWebViewClient", "(Landroid/webkit/WebViewClient;)V", LifeSpan::always()))
+            .method(leaf("onPause", "()V", LifeSpan::since(11)))
+            .method(leaf("onResume", "()V", LifeSpan::since(11)))
+            .method(leaf("evaluateJavascript", "(Ljava/lang/String;Landroid/webkit/ValueCallback;)V", LifeSpan::since(19)))
+            .method(leaf("onProvideVirtualStructure", "(Landroid/view/ViewStructure;)V", LifeSpan::since(23)))
+            .method(leaf("createWebMessageChannel", "()[Landroid/webkit/WebMessagePort;", LifeSpan::since(23)))
+            .method(leaf("postWebMessage", "(Landroid/webkit/WebMessage;Landroid/net/Uri;)V", LifeSpan::since(23))),
+    );
+    s.add_class(
+        ClassSpec::new("android.webkit.WebViewClient")
+            .method(leaf("onPageStarted", "(Landroid/webkit/WebView;Ljava/lang/String;Landroid/graphics/Bitmap;)V", LifeSpan::always()))
+            .method(leaf("onPageFinished", "(Landroid/webkit/WebView;Ljava/lang/String;)V", LifeSpan::always()))
+            .method(leaf("shouldOverrideUrlLoading", "(Landroid/webkit/WebView;Ljava/lang/String;)Z", LifeSpan::always()))
+            .method(leaf("shouldOverrideUrlLoading", "(Landroid/webkit/WebView;Landroid/webkit/WebResourceRequest;)Z", LifeSpan::since(24)))
+            .method(leaf("onReceivedHttpError", "(Landroid/webkit/WebView;Landroid/webkit/WebResourceRequest;Landroid/webkit/WebResourceResponse;)V", LifeSpan::since(23)))
+            .method(leaf("onPageCommitVisible", "(Landroid/webkit/WebView;Ljava/lang/String;)V", LifeSpan::since(23))),
+    );
+
+    // --- Notifications ------------------------------------------------------
+    s.add_class(
+        ClassSpec::new("android.app.Notification$Builder")
+            .life(LifeSpan::since(11))
+            .method(leaf("<init>", "(Landroid/content/Context;)V", LifeSpan::since(11)))
+            .method(leaf("<init>", "(Landroid/content/Context;Ljava/lang/String;)V", LifeSpan::since(26)))
+            .method(leaf("setContentTitle", "(Ljava/lang/CharSequence;)Landroid/app/Notification$Builder;", LifeSpan::since(11)))
+            .method(leaf("build", "()Landroid/app/Notification;", LifeSpan::since(16)))
+            .method(leaf("getNotification", "()Landroid/app/Notification;", LifeSpan::between(11, 28)))
+            .method(leaf("setChannelId", "(Ljava/lang/String;)Landroid/app/Notification$Builder;", LifeSpan::since(26))),
+    );
+    s.add_class(
+        ClassSpec::new("android.app.NotificationManager")
+            .method(leaf("notify", "(ILandroid/app/Notification;)V", LifeSpan::always()))
+            .method(leaf("createNotificationChannel", "(Landroid/app/NotificationChannel;)V", LifeSpan::since(26)))
+            .method(leaf("getActiveNotifications", "()[Landroid/service/notification/StatusBarNotification;", LifeSpan::since(23))),
+    );
+    s.add_class(
+        ClassSpec::new("android.app.NotificationChannel")
+            .life(LifeSpan::since(26))
+            .method(leaf("<init>", "(Ljava/lang/String;Ljava/lang/CharSequence;I)V", LifeSpan::since(26)))
+            .method(leaf("setDescription", "(Ljava/lang/String;)V", LifeSpan::since(26))),
+    );
+
+    // --- Permission-guarded APIs (PScout-style mappings) ---------------------
+    s.add_class(
+        ClassSpec::new("android.hardware.Camera")
+            .method(
+                leaf("open", "()Landroid/hardware/Camera;", LifeSpan::always())
+                    .requires(Permission::android("CAMERA")),
+            )
+            .method(leaf("release", "()V", LifeSpan::always())),
+    );
+    s.add_class(
+        ClassSpec::new("android.hardware.camera2.CameraManager")
+            .life(LifeSpan::since(21))
+            .method(
+                leaf("openCamera", "(Ljava/lang/String;Landroid/hardware/camera2/CameraDevice$StateCallback;Landroid/os/Handler;)V", LifeSpan::since(21))
+                    .requires(Permission::android("CAMERA")),
+            ),
+    );
+    s.add_class(
+        ClassSpec::new("android.media.MediaRecorder")
+            .method(leaf("<init>", "()V", LifeSpan::always()))
+            .method(
+                leaf("setAudioSource", "(I)V", LifeSpan::always())
+                    .requires(Permission::android("RECORD_AUDIO")),
+            )
+            .method(leaf("start", "()V", LifeSpan::always())),
+    );
+    s.add_class(
+        ClassSpec::new("android.location.LocationManager")
+            .method(
+                leaf("requestLocationUpdates", "(Ljava/lang/String;JFLandroid/location/LocationListener;)V", LifeSpan::always())
+                    .requires(Permission::android("ACCESS_FINE_LOCATION")),
+            )
+            .method(
+                leaf("getLastKnownLocation", "(Ljava/lang/String;)Landroid/location/Location;", LifeSpan::always())
+                    .requires(Permission::android("ACCESS_FINE_LOCATION")),
+            ),
+    );
+    s.add_class(
+        ClassSpec::new("android.telephony.TelephonyManager")
+            .method(
+                leaf("getDeviceId", "()Ljava/lang/String;", LifeSpan::between(2, 26))
+                    .requires(Permission::android("READ_PHONE_STATE")),
+            )
+            .method(
+                leaf("getImei", "()Ljava/lang/String;", LifeSpan::since(26))
+                    .requires(Permission::android("READ_PHONE_STATE")),
+            ),
+    );
+    s.add_class(
+        ClassSpec::new("android.telephony.SmsManager")
+            .method(leaf("getDefault", "()Landroid/telephony/SmsManager;", LifeSpan::since(4)))
+            .method(
+                leaf("sendTextMessage", "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Landroid/app/PendingIntent;Landroid/app/PendingIntent;)V", LifeSpan::since(4))
+                    .requires(Permission::android("SEND_SMS")),
+            ),
+    );
+    s.add_class(
+        ClassSpec::new("android.provider.ContactsContract$Contacts")
+            .life(LifeSpan::since(5))
+            .method(
+                leaf("query", "(Landroid/content/ContentResolver;)Landroid/database/Cursor;", LifeSpan::since(5))
+                    .requires(Permission::android("READ_CONTACTS")),
+            ),
+    );
+    s.add_class(
+        ClassSpec::new("android.os.Environment")
+            .method(
+                leaf("getExternalStorageDirectory", "()Ljava/io/File;", LifeSpan::always())
+                    .requires(Permission::android("WRITE_EXTERNAL_STORAGE")),
+            )
+            .method(leaf("getExternalStorageState", "()Ljava/lang/String;", LifeSpan::always()))
+            .method(leaf("isExternalStorageRemovable", "()Z", LifeSpan::since(9))),
+    );
+    s.add_class(
+        ClassSpec::new("android.provider.MediaStore")
+            .method(
+                leaf("captureImage", "(Landroid/content/Context;)V", LifeSpan::since(3))
+                    .requires(Permission::android("CAMERA")),
+            ),
+    );
+    s.add_class(
+        ClassSpec::new("android.media.AudioRecord")
+            .method(
+                leaf("startRecording", "()V", LifeSpan::since(3))
+                    .requires(Permission::android("RECORD_AUDIO")),
+            ),
+    );
+    s.add_class(
+        ClassSpec::new("android.accounts.AccountManager")
+            .life(LifeSpan::since(5))
+            .method(
+                leaf("getAccounts", "()[Landroid/accounts/Account;", LifeSpan::since(5))
+                    .requires(Permission::android("GET_ACCOUNTS")),
+            ),
+    );
+    s.add_class(
+        ClassSpec::new("android.provider.CalendarContract$Events")
+            .life(LifeSpan::since(14))
+            .method(
+                leaf("query", "(Landroid/content/ContentResolver;)Landroid/database/Cursor;", LifeSpan::since(14))
+                    .requires(Permission::android("READ_CALENDAR")),
+            ),
+    );
+
+    // --- Compat/support layer: guarded and unguarded deep paths --------------
+    // ResourcesCompat: the *correctly guarded* compat shim. SAINTDroid
+    // must follow the call into this class, see the guard, and stay
+    // quiet.
+    let ctx_get_csl = MethodRef::new(
+        "android.content.Context",
+        "getColorStateList",
+        "(I)Landroid/content/res/ColorStateList;",
+    );
+    s.add_class(
+        ClassSpec::new("android.support.v4.content.ResourcesCompat").method(
+            leaf("getColorStateList", "(Landroid/content/Context;I)Landroid/content/res/ColorStateList;", LifeSpan::always())
+                .calls_guarded(ctx_get_csl.clone(), 23)
+                .weight(6),
+        ),
+    );
+    // ContextCompat.checkSelfPermission: guarded shim over the API-23
+    // permission check.
+    let ctx_csp = MethodRef::new(
+        "android.content.Context",
+        "checkSelfPermission",
+        "(Ljava/lang/String;)I",
+    );
+    s.add_class(
+        ClassSpec::new("android.support.v4.content.ContextCompat")
+            .method(
+                leaf("checkSelfPermission", "(Landroid/content/Context;Ljava/lang/String;)I", LifeSpan::always())
+                    .calls_guarded(ctx_csp, 23),
+            )
+            .method(
+                leaf("getColor", "(Landroid/content/Context;I)I", LifeSpan::always())
+                    .calls_guarded(MethodRef::new("android.content.Context", "getColor", "(I)I"), 23),
+            ),
+    );
+    // ActivityCompat.requestPermissions: guarded shim over the API-23
+    // request entry point.
+    let act_req = MethodRef::new(
+        "android.app.Activity",
+        "requestPermissions",
+        "([Ljava/lang/String;I)V",
+    );
+    s.add_class(
+        ClassSpec::new("android.support.v4.app.ActivityCompat")
+            .extends("android.support.v4.content.ContextCompat")
+            .method(
+                leaf("requestPermissions", "(Landroid/app/Activity;[Ljava/lang/String;I)V", LifeSpan::always())
+                    .calls_guarded(act_req, 23),
+            ),
+    );
+    // TintHelper.applyTint: the *unguarded* deep path — present at every
+    // level, but its body (as shipped) reaches an API-23 call. Tools
+    // that stop at the first framework level (CID, LINT) cannot see the
+    // problem; SAINTDroid's CLVM walks into it (paper §III-A, third
+    // advantage).
+    let set_fg = MethodRef::new(
+        "android.view.View",
+        "setForeground",
+        "(Landroid/graphics/drawable/Drawable;)V",
+    );
+    s.add_class(
+        ClassSpec::new("android.support.v7.widget.TintHelper").method(
+            leaf("applyTint", "(Landroid/view/View;)V", LifeSpan::always())
+                .calls(set_fg)
+                .weight(10),
+        ),
+    );
+    // MediaHelper.record: deep *permission* usage — calling it reaches
+    // RECORD_AUDIO two levels down. First-level permission maps miss it.
+    let set_audio = MethodRef::new("android.media.MediaRecorder", "setAudioSource", "(I)V");
+    s.add_class(
+        ClassSpec::new("android.support.v4.media.MediaHelper")
+            .method(
+                leaf("record", "(Landroid/content/Context;)V", LifeSpan::always())
+                    .calls(MethodRef::new(
+                        "android.support.v4.media.MediaHelper",
+                        "openSession",
+                        "(Landroid/content/Context;)V",
+                    ))
+                    .weight(6),
+            )
+            .method(
+                leaf("openSession", "(Landroid/content/Context;)V", LifeSpan::always())
+                    .calls(set_audio)
+                    .weight(4),
+            ),
+    );
+    // A deep chain whose *third* hop is level-sensitive: facade →
+    // helper → Resources.getFont (API 26).
+    let get_font = MethodRef::new(
+        "android.content.res.Resources",
+        "getFont",
+        "(I)Landroid/graphics/Typeface;",
+    );
+    s.add_class(
+        ClassSpec::new("android.support.text.FontFacade")
+            .method(
+                leaf("applyFont", "(Landroid/widget/TextView;I)V", LifeSpan::always())
+                    .calls(MethodRef::new(
+                        "android.support.text.FontFacade",
+                        "resolveFont",
+                        "(I)Landroid/graphics/Typeface;",
+                    ))
+                    .weight(5),
+            )
+            .method(
+                leaf("resolveFont", "(I)Landroid/graphics/Typeface;", LifeSpan::always())
+                    .calls(get_font)
+                    .weight(3),
+            ),
+    );
+
+    // --- Misc runtime -------------------------------------------------------
+    s.add_class(
+        ClassSpec::new("android.os.Handler")
+            .method(leaf("<init>", "()V", LifeSpan::always()))
+            .method(leaf("post", "(Ljava/lang/Runnable;)Z", LifeSpan::always()))
+            .method(leaf("postDelayed", "(Ljava/lang/Runnable;J)Z", LifeSpan::always())),
+    );
+    s.add_class(
+        ClassSpec::new("android.os.AsyncTask")
+            .life(LifeSpan::since(3))
+            .method(leaf("execute", "([Ljava/lang/Object;)Landroid/os/AsyncTask;", LifeSpan::since(3)))
+            .method(leaf("onPreExecute", "()V", LifeSpan::since(3)))
+            .method(leaf("onPostExecute", "(Ljava/lang/Object;)V", LifeSpan::since(3)))
+            .method(leaf("onProgressUpdate", "([Ljava/lang/Object;)V", LifeSpan::since(3))),
+    );
+    s.add_class(
+        ClassSpec::new("android.app.AlertDialog$Builder")
+            .method(leaf("<init>", "(Landroid/content/Context;)V", LifeSpan::always()))
+            .method(leaf("setTitle", "(Ljava/lang/CharSequence;)Landroid/app/AlertDialog$Builder;", LifeSpan::always()))
+            .method(leaf("show", "()Landroid/app/AlertDialog;", LifeSpan::always())),
+    );
+    s.add_class(
+        ClassSpec::new("android.app.job.JobScheduler")
+            .life(LifeSpan::since(21))
+            .method(leaf("schedule", "(Landroid/app/job/JobInfo;)I", LifeSpan::since(21))),
+    );
+    s.add_class(
+        ClassSpec::new("android.app.job.JobService")
+            .life(LifeSpan::since(21))
+            .extends("android.app.Service")
+            .method(leaf("onStartJob", "(Landroid/app/job/JobParameters;)Z", LifeSpan::since(21)))
+            .method(leaf("onStopJob", "(Landroid/app/job/JobParameters;)Z", LifeSpan::since(21))),
+    );
+
+    s
+}
+
+/// Typed references to well-known framework members, so corpus builders
+/// and tests share one spelling with the spec above.
+pub mod well_known {
+    use saint_ir::{ClassName, MethodRef};
+
+    /// `android.content.Context.getColorStateList(int)` — API 23.
+    #[must_use]
+    pub fn context_get_color_state_list() -> MethodRef {
+        MethodRef::new(
+            "android.content.Context",
+            "getColorStateList",
+            "(I)Landroid/content/res/ColorStateList;",
+        )
+    }
+
+    /// `android.content.Context.getDrawable(int)` — API 21.
+    #[must_use]
+    pub fn context_get_drawable() -> MethodRef {
+        MethodRef::new(
+            "android.content.Context",
+            "getDrawable",
+            "(I)Landroid/graphics/drawable/Drawable;",
+        )
+    }
+
+    /// `android.content.Context.checkSelfPermission(String)` — API 23.
+    #[must_use]
+    pub fn context_check_self_permission() -> MethodRef {
+        MethodRef::new(
+            "android.content.Context",
+            "checkSelfPermission",
+            "(Ljava/lang/String;)I",
+        )
+    }
+
+    /// `android.app.Activity.getFragmentManager()` — API 11 (the
+    /// Offline Calendar case study).
+    #[must_use]
+    pub fn activity_get_fragment_manager() -> MethodRef {
+        MethodRef::new(
+            "android.app.Activity",
+            "getFragmentManager",
+            "()Landroid/app/FragmentManager;",
+        )
+    }
+
+    /// `android.app.Activity.requestPermissions(String[], int)` — API 23.
+    #[must_use]
+    pub fn activity_request_permissions() -> MethodRef {
+        MethodRef::new(
+            "android.app.Activity",
+            "requestPermissions",
+            "([Ljava/lang/String;I)V",
+        )
+    }
+
+    /// `android.app.Activity.onRequestPermissionsResult` — API 23; the
+    /// override Algorithm 4 looks for.
+    #[must_use]
+    pub fn on_request_permissions_result_sig() -> saint_ir::MethodSig {
+        saint_ir::MethodSig::new("onRequestPermissionsResult", "(I[Ljava/lang/String;[I)V")
+    }
+
+    /// `android.app.Activity.setContentView(int)`.
+    #[must_use]
+    pub fn activity_set_content_view() -> MethodRef {
+        MethodRef::new("android.app.Activity", "setContentView", "(I)V")
+    }
+
+    /// `android.app.Fragment.onAttach(Context)` — API 23 (the Simple
+    /// Solitaire case study).
+    #[must_use]
+    pub fn fragment_on_attach_context_sig() -> saint_ir::MethodSig {
+        saint_ir::MethodSig::new("onAttach", "(Landroid/content/Context;)V")
+    }
+
+    /// `android.view.View.drawableHotspotChanged(float, float)` — API
+    /// 21 (the FOSDEM case study).
+    #[must_use]
+    pub fn view_drawable_hotspot_changed_sig() -> saint_ir::MethodSig {
+        saint_ir::MethodSig::new("drawableHotspotChanged", "(FF)V")
+    }
+
+    /// `android.webkit.WebView.evaluateJavascript` — API 19.
+    #[must_use]
+    pub fn webview_evaluate_javascript() -> MethodRef {
+        MethodRef::new(
+            "android.webkit.WebView",
+            "evaluateJavascript",
+            "(Ljava/lang/String;Landroid/webkit/ValueCallback;)V",
+        )
+    }
+
+    /// `android.app.NotificationManager.createNotificationChannel` —
+    /// API 26.
+    #[must_use]
+    pub fn create_notification_channel() -> MethodRef {
+        MethodRef::new(
+            "android.app.NotificationManager",
+            "createNotificationChannel",
+            "(Landroid/app/NotificationChannel;)V",
+        )
+    }
+
+    /// `android.os.Environment.getExternalStorageDirectory()` — always
+    /// present, requires `WRITE_EXTERNAL_STORAGE` (the Kolab Notes and
+    /// AdAway case studies).
+    #[must_use]
+    pub fn get_external_storage_directory() -> MethodRef {
+        MethodRef::new(
+            "android.os.Environment",
+            "getExternalStorageDirectory",
+            "()Ljava/io/File;",
+        )
+    }
+
+    /// `android.hardware.Camera.open()` — requires `CAMERA`.
+    #[must_use]
+    pub fn camera_open() -> MethodRef {
+        MethodRef::new("android.hardware.Camera", "open", "()Landroid/hardware/Camera;")
+    }
+
+    /// `android.location.LocationManager.requestLocationUpdates` —
+    /// requires `ACCESS_FINE_LOCATION`.
+    #[must_use]
+    pub fn request_location_updates() -> MethodRef {
+        MethodRef::new(
+            "android.location.LocationManager",
+            "requestLocationUpdates",
+            "(Ljava/lang/String;JFLandroid/location/LocationListener;)V",
+        )
+    }
+
+    /// `org.apache.http.client.HttpClient.execute` — removed at API 23.
+    #[must_use]
+    pub fn http_client_execute() -> MethodRef {
+        MethodRef::new(
+            "org.apache.http.client.HttpClient",
+            "execute",
+            "(Lorg/apache/http/client/methods/HttpUriRequest;)Lorg/apache/http/HttpResponse;",
+        )
+    }
+
+    /// `android.support.v7.widget.TintHelper.applyTint` — present at
+    /// every level, body reaches an API-23 call (deep invocation path).
+    #[must_use]
+    pub fn tint_helper_apply_tint() -> MethodRef {
+        MethodRef::new(
+            "android.support.v7.widget.TintHelper",
+            "applyTint",
+            "(Landroid/view/View;)V",
+        )
+    }
+
+    /// `android.support.v4.media.MediaHelper.record` — present at every
+    /// level, body reaches `RECORD_AUDIO` two hops down (deep
+    /// permission path).
+    #[must_use]
+    pub fn media_helper_record() -> MethodRef {
+        MethodRef::new(
+            "android.support.v4.media.MediaHelper",
+            "record",
+            "(Landroid/content/Context;)V",
+        )
+    }
+
+    /// `android.support.text.FontFacade.applyFont` — three-hop chain
+    /// to `Resources.getFont` (API 26).
+    #[must_use]
+    pub fn font_facade_apply_font() -> MethodRef {
+        MethodRef::new(
+            "android.support.text.FontFacade",
+            "applyFont",
+            "(Landroid/widget/TextView;I)V",
+        )
+    }
+
+    /// `android.support.v4.content.ResourcesCompat.getColorStateList`
+    /// — the internally guarded shim (no mismatch when called).
+    #[must_use]
+    pub fn resources_compat_get_csl() -> MethodRef {
+        MethodRef::new(
+            "android.support.v4.content.ResourcesCompat",
+            "getColorStateList",
+            "(Landroid/content/Context;I)Landroid/content/res/ColorStateList;",
+        )
+    }
+
+    /// `android.support.v4.app.ActivityCompat.requestPermissions` —
+    /// guarded compat entry point for runtime permission requests.
+    #[must_use]
+    pub fn activity_compat_request_permissions() -> MethodRef {
+        MethodRef::new(
+            "android.support.v4.app.ActivityCompat",
+            "requestPermissions",
+            "(Landroid/app/Activity;[Ljava/lang/String;I)V",
+        )
+    }
+
+    /// `dalvik.system.DexClassLoader.loadClass(String)` — the late
+    /// binding entry point.
+    #[must_use]
+    pub fn dex_class_loader_load_class() -> MethodRef {
+        MethodRef::new(
+            "dalvik.system.DexClassLoader",
+            "loadClass",
+            "(Ljava/lang/String;)Ljava/lang/Class;",
+        )
+    }
+
+    /// `android.app.Activity` class name.
+    #[must_use]
+    pub fn activity_class() -> ClassName {
+        ClassName::new("android.app.Activity")
+    }
+
+    /// `android.app.Fragment` class name.
+    #[must_use]
+    pub fn fragment_class() -> ClassName {
+        ClassName::new("android.app.Fragment")
+    }
+
+    /// `android.app.Service` class name.
+    #[must_use]
+    pub fn service_class() -> ClassName {
+        ClassName::new("android.app.Service")
+    }
+
+    /// `android.webkit.WebView` class name.
+    #[must_use]
+    pub fn webview_class() -> ClassName {
+        ClassName::new("android.webkit.WebView")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::ApiDatabase;
+    use crate::permissions::PermissionMap;
+    use saint_ir::{ApiLevel, ClassName, MethodSig};
+
+    #[test]
+    fn curated_spec_is_nonempty_and_rooted() {
+        let s = android_spec();
+        assert!(s.len() > 40, "expected a broad curated surface, got {}", s.len());
+        let obj = s.class(&ClassName::new("java.lang.Object")).unwrap();
+        assert!(obj.super_class.is_none());
+    }
+
+    #[test]
+    fn activity_hierarchy_reaches_context() {
+        let s = android_spec();
+        let mut c = ClassName::new("android.app.Activity");
+        let mut seen = Vec::new();
+        loop {
+            seen.push(c.clone());
+            match s.class(&c).and_then(|cs| cs.super_class.clone()) {
+                Some(next) => c = next,
+                None => break,
+            }
+        }
+        let names: Vec<_> = seen.iter().map(ClassName::as_str).collect();
+        assert!(names.contains(&"android.content.Context"));
+        assert_eq!(names.last(), Some(&"java.lang.Object"));
+    }
+
+    #[test]
+    fn mined_lifetimes_match_platform_history() {
+        let db = ApiDatabase::mine(&android_spec());
+        let cases = [
+            (well_known::activity_get_fragment_manager(), 11u8),
+            (well_known::context_get_color_state_list(), 23),
+            (well_known::context_get_drawable(), 21),
+            (well_known::webview_evaluate_javascript(), 19),
+            (well_known::create_notification_channel(), 26),
+            (well_known::activity_request_permissions(), 23),
+        ];
+        for (m, since) in cases {
+            let life = db.method_lifespan(&m).unwrap_or_else(|| panic!("{m} not mined"));
+            assert_eq!(life.since, ApiLevel::new(since), "{m}");
+            assert_eq!(life.removed, None, "{m}");
+        }
+    }
+
+    #[test]
+    fn apache_http_removed_at_23() {
+        let db = ApiDatabase::mine(&android_spec());
+        let life = db.method_lifespan(&well_known::http_client_execute()).unwrap();
+        assert_eq!(life.removed, Some(ApiLevel::new(23)));
+        assert!(db.contains(&well_known::http_client_execute(), ApiLevel::new(22)));
+        assert!(!db.contains(&well_known::http_client_execute(), ApiLevel::new(23)));
+    }
+
+    #[test]
+    fn fragment_on_attach_overloads_differ() {
+        let db = ApiDatabase::mine(&android_spec());
+        let frag = ClassName::new("android.app.Fragment");
+        let ctx = db
+            .resolve(&frag, &well_known::fragment_on_attach_context_sig())
+            .unwrap();
+        let act = db
+            .resolve(&frag, &MethodSig::new("onAttach", "(Landroid/app/Activity;)V"))
+            .unwrap();
+        assert_eq!(ctx.1.since, ApiLevel::new(23));
+        assert_eq!(act.1.since, ApiLevel::new(11));
+    }
+
+    #[test]
+    fn drawable_hotspot_changed_resolves_through_subclasses() {
+        let db = ApiDatabase::mine(&android_spec());
+        // A class extending LinearLayout overriding drawableHotspotChanged
+        // resolves up to View (FOSDEM's ForegroundLinearLayout).
+        let found = db
+            .overridden_callback(
+                &ClassName::new("android.widget.LinearLayout"),
+                &well_known::view_drawable_hotspot_changed_sig(),
+            )
+            .unwrap();
+        assert_eq!(found.0.class.as_str(), "android.view.View");
+        assert_eq!(found.1.since, ApiLevel::new(21));
+    }
+
+    #[test]
+    fn permission_map_covers_dangerous_apis() {
+        let map = PermissionMap::from_spec(&android_spec());
+        assert!(map.len() >= 12, "expected a rich permission map, got {}", map.len());
+        let cam: Vec<_> = map.required(&well_known::camera_open()).to_vec();
+        assert_eq!(cam, vec![saint_ir::Permission::android("CAMERA")]);
+        let storage: Vec<_> = map
+            .required(&well_known::get_external_storage_directory())
+            .to_vec();
+        assert_eq!(
+            storage,
+            vec![saint_ir::Permission::android("WRITE_EXTERNAL_STORAGE")]
+        );
+    }
+
+    #[test]
+    fn deep_facades_materialize_with_expected_calls() {
+        let s = android_spec();
+        // At API 28, TintHelper.applyTint's body contains the
+        // setForeground call; at API 21 the platform's own copy does not
+        // (setForeground didn't exist) — the deep mismatch comes from
+        // analyzing the modern body against the whole supported range.
+        let tint = ClassName::new("android.support.v7.widget.TintHelper");
+        let at28 = s.materialize_class(&tint, ApiLevel::new(28)).unwrap();
+        let calls28 = at28.methods[0].body.as_ref().unwrap().call_sites().count();
+        assert_eq!(calls28, 1);
+        let at21 = s.materialize_class(&tint, ApiLevel::new(21)).unwrap();
+        let calls21 = at21.methods[0].body.as_ref().unwrap().call_sites().count();
+        assert_eq!(calls21, 0);
+    }
+
+    #[test]
+    fn guarded_shims_always_carry_their_calls() {
+        let s = android_spec();
+        let rc = ClassName::new("android.support.v4.content.ResourcesCompat");
+        let at19 = s.materialize_class(&rc, ApiLevel::new(19)).unwrap();
+        assert_eq!(at19.methods[0].body.as_ref().unwrap().call_sites().count(), 1);
+    }
+
+    #[test]
+    fn well_known_refs_exist_in_spec() {
+        let db = ApiDatabase::mine(&android_spec());
+        for m in [
+            well_known::context_get_color_state_list(),
+            well_known::context_get_drawable(),
+            well_known::context_check_self_permission(),
+            well_known::activity_get_fragment_manager(),
+            well_known::activity_request_permissions(),
+            well_known::activity_set_content_view(),
+            well_known::webview_evaluate_javascript(),
+            well_known::create_notification_channel(),
+            well_known::get_external_storage_directory(),
+            well_known::camera_open(),
+            well_known::request_location_updates(),
+            well_known::http_client_execute(),
+            well_known::tint_helper_apply_tint(),
+            well_known::media_helper_record(),
+            well_known::font_facade_apply_font(),
+            well_known::resources_compat_get_csl(),
+            well_known::activity_compat_request_permissions(),
+            well_known::dex_class_loader_load_class(),
+        ] {
+            assert!(db.is_api_method(&m), "{m} missing from mined database");
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The mined API database.
+//!
+//! The ARM component "constructs an API database containing all public
+//! APIs defined in Android API levels 2 through [29], allowing
+//! SAINTDroid to determine which methods and callbacks exist in each
+//! level within the app's supported range" (paper §III-B). Mining here
+//! means diffing the per-level API *surfaces* materialized from the
+//! framework history — the database never peeks at spec lifetimes, so
+//! tests can verify the miner recovers them.
+
+use std::collections::HashMap;
+
+use saint_ir::{ApiLevel, ClassName, MethodRef, MethodSig};
+
+use crate::spec::{FrameworkSpec, LifeSpan};
+
+/// The queryable database of API method and class lifetimes.
+#[derive(Debug, Clone, Default)]
+pub struct ApiDatabase {
+    methods: HashMap<MethodRef, LifeSpan>,
+    classes: HashMap<ClassName, LifeSpan>,
+    supers: HashMap<ClassName, Option<ClassName>>,
+}
+
+impl ApiDatabase {
+    /// Mines the database from a framework history by materializing and
+    /// diffing the API surface of every modeled level.
+    #[must_use]
+    pub fn mine(spec: &FrameworkSpec) -> Self {
+        let mut method_first: HashMap<MethodRef, ApiLevel> = HashMap::new();
+        let mut method_removed: HashMap<MethodRef, ApiLevel> = HashMap::new();
+        let mut class_first: HashMap<ClassName, ApiLevel> = HashMap::new();
+        let mut class_removed: HashMap<ClassName, ApiLevel> = HashMap::new();
+        let mut supers: HashMap<ClassName, Option<ClassName>> = HashMap::new();
+
+        for level in ApiLevel::all_modeled() {
+            let mut seen_classes: Vec<ClassName> = Vec::new();
+            let mut seen_methods: Vec<MethodRef> = Vec::new();
+            for class in spec.classes() {
+                if !class.life.exists_at(level) {
+                    continue;
+                }
+                seen_classes.push(class.name.clone());
+                supers
+                    .entry(class.name.clone())
+                    .or_insert_with(|| class.super_class.clone());
+                for m in &class.methods {
+                    if m.life.exists_at(level) {
+                        seen_methods.push(class.method_ref(&m.name, &m.descriptor));
+                    }
+                }
+            }
+            for c in &seen_classes {
+                class_first.entry(c.clone()).or_insert(level);
+            }
+            for m in &seen_methods {
+                method_first.entry(m.clone()).or_insert(level);
+            }
+            // Removal detection: anything previously seen but absent now.
+            let class_set: std::collections::HashSet<&ClassName> = seen_classes.iter().collect();
+            for (c, _) in class_first.iter() {
+                if !class_set.contains(c) {
+                    class_removed.entry(c.clone()).or_insert(level);
+                }
+            }
+            let method_set: std::collections::HashSet<&MethodRef> = seen_methods.iter().collect();
+            for (m, _) in method_first.iter() {
+                if !method_set.contains(m) {
+                    method_removed.entry(m.clone()).or_insert(level);
+                }
+            }
+        }
+
+        let methods = method_first
+            .into_iter()
+            .map(|(m, since)| {
+                let removed = method_removed.get(&m).copied();
+                (m, LifeSpan { since, removed })
+            })
+            .collect();
+        let classes = class_first
+            .into_iter()
+            .map(|(c, since)| {
+                let removed = class_removed.get(&c).copied();
+                (c, LifeSpan { since, removed })
+            })
+            .collect();
+        ApiDatabase {
+            methods,
+            classes,
+            supers,
+        }
+    }
+
+    /// Whether the database knows `class` as a framework class (at any
+    /// level).
+    #[must_use]
+    pub fn is_api_class(&self, class: &ClassName) -> bool {
+        self.classes.contains_key(class)
+    }
+
+    /// Whether `class` exists at `level`.
+    #[must_use]
+    pub fn class_exists(&self, class: &ClassName, level: ApiLevel) -> bool {
+        self.classes.get(class).is_some_and(|l| l.exists_at(level))
+    }
+
+    /// The mined lifetime of a method, if it is a framework API.
+    #[must_use]
+    pub fn method_lifespan(&self, method: &MethodRef) -> Option<LifeSpan> {
+        self.methods.get(method).copied()
+    }
+
+    /// The mined lifetime of a class.
+    #[must_use]
+    pub fn class_lifespan(&self, class: &ClassName) -> Option<LifeSpan> {
+        self.classes.get(class).copied()
+    }
+
+    /// Whether `method` (exact class + signature) exists at `level` —
+    /// the `apidb.CONTAINS(block, lvl)` query of paper Algorithm 2.
+    #[must_use]
+    pub fn contains(&self, method: &MethodRef, level: ApiLevel) -> bool {
+        self.methods.get(method).is_some_and(|l| l.exists_at(level))
+    }
+
+    /// Whether the database knows `method` as a framework API at any
+    /// level.
+    #[must_use]
+    pub fn is_api_method(&self, method: &MethodRef) -> bool {
+        self.methods.contains_key(method)
+    }
+
+    /// The direct superclass of a framework class.
+    #[must_use]
+    pub fn super_class(&self, class: &ClassName) -> Option<&ClassName> {
+        self.supers.get(class).and_then(Option::as_ref)
+    }
+
+    /// Resolves a virtual call `class.sig` by walking up the framework
+    /// hierarchy to the declaring class, returning the declared
+    /// [`MethodRef`] and its lifetime.
+    ///
+    /// This is how calls like `MainActivity.getFragmentManager()` (a
+    /// method declared on `android.app.Activity`) are attributed to the
+    /// framework API that actually carries the lifetime.
+    #[must_use]
+    pub fn resolve(&self, class: &ClassName, sig: &MethodSig) -> Option<(MethodRef, LifeSpan)> {
+        let mut current = Some(class.clone());
+        // Bounded walk protects against (malformed) hierarchy cycles.
+        for _ in 0..64 {
+            let c = current?;
+            let candidate = sig.on_class(c.clone());
+            if let Some(life) = self.methods.get(&candidate) {
+                return Some((candidate, *life));
+            }
+            current = self.supers.get(&c).cloned().flatten();
+        }
+        None
+    }
+
+    /// Whether the method is a framework *callback*: an API method apps
+    /// override, classified automatically from the mined surface by the
+    /// platform's `on…` handler convention. This is what lets
+    /// SAINTDroid cover "all classes in the Android API" without
+    /// CIDER's hand-built models (paper §V-A).
+    #[must_use]
+    pub fn is_callback(&self, method: &MethodRef) -> bool {
+        self.is_api_method(method) && Self::callback_name(&method.name)
+    }
+
+    /// The `on…` naming convention test used for callback
+    /// classification.
+    #[must_use]
+    pub fn callback_name(name: &str) -> bool {
+        name.len() > 2
+            && name.starts_with("on")
+            && name.as_bytes().get(2).is_some_and(u8::is_ascii_uppercase)
+    }
+
+    /// Finds the framework method an app-level method with signature
+    /// `sig`, declared in a class extending `app_super`, overrides:
+    /// walks the framework hierarchy from `app_super` and returns the
+    /// first matching API method.
+    ///
+    /// No naming filter is applied: Algorithm 3 checks *any* overridden
+    /// API method against the supported range (the paper's FOSDEM case
+    /// study is `View.drawableHotspotChanged`, which no `on…`
+    /// convention would catch). The [`ApiDatabase::callback_name`]
+    /// convention exists only for the CIDER baseline's modeled lists.
+    #[must_use]
+    pub fn overridden_callback(
+        &self,
+        app_super: &ClassName,
+        sig: &MethodSig,
+    ) -> Option<(MethodRef, LifeSpan)> {
+        self.resolve(app_super, sig)
+    }
+
+    /// Number of mined API methods.
+    #[must_use]
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Number of mined API classes.
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Iterates every mined method with its lifetime.
+    pub fn methods(&self) -> impl Iterator<Item = (&MethodRef, LifeSpan)> {
+        self.methods.iter().map(|(m, l)| (m, *l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ClassSpec, MethodSpec};
+
+    fn demo_spec() -> FrameworkSpec {
+        let mut s = FrameworkSpec::new();
+        s.add_class(
+            ClassSpec::new("android.app.Activity")
+                .method(MethodSpec::leaf("onCreate", "(Landroid/os/Bundle;)V", LifeSpan::always()))
+                .method(MethodSpec::leaf("getFragmentManager", "()V", LifeSpan::since(11)))
+                .method(MethodSpec::leaf(
+                    "onRequestPermissionsResult",
+                    "(I)V",
+                    LifeSpan::since(23),
+                ))
+                .method(MethodSpec::leaf("managedQuery", "()V", LifeSpan::between(2, 11))),
+        );
+        s.add_class(
+            ClassSpec::new("android.app.NotificationChannel")
+                .life(LifeSpan::since(26))
+                .method(MethodSpec::leaf("setName", "()V", LifeSpan::since(26))),
+        );
+        s.add_class(
+            ClassSpec::new("android.app.ListActivity")
+                .extends("android.app.Activity")
+                .method(MethodSpec::leaf("getListView", "()V", LifeSpan::always())),
+        );
+        s
+    }
+
+    #[test]
+    fn mining_recovers_lifetimes() {
+        let db = ApiDatabase::mine(&demo_spec());
+        let gfm = MethodRef::new("android.app.Activity", "getFragmentManager", "()V");
+        assert_eq!(
+            db.method_lifespan(&gfm),
+            Some(LifeSpan::since(11)),
+            "introduction level recovered by diffing"
+        );
+        let mq = MethodRef::new("android.app.Activity", "managedQuery", "()V");
+        assert_eq!(db.method_lifespan(&mq), Some(LifeSpan::between(2, 11)));
+    }
+
+    #[test]
+    fn mining_recovers_class_lifetimes() {
+        let db = ApiDatabase::mine(&demo_spec());
+        let nc = ClassName::new("android.app.NotificationChannel");
+        assert_eq!(db.class_lifespan(&nc), Some(LifeSpan::since(26)));
+        assert!(!db.class_exists(&nc, ApiLevel::new(25)));
+        assert!(db.class_exists(&nc, ApiLevel::new(26)));
+    }
+
+    #[test]
+    fn contains_respects_levels() {
+        let db = ApiDatabase::mine(&demo_spec());
+        let gfm = MethodRef::new("android.app.Activity", "getFragmentManager", "()V");
+        assert!(!db.contains(&gfm, ApiLevel::new(10)));
+        assert!(db.contains(&gfm, ApiLevel::new(11)));
+        assert!(db.contains(&gfm, ApiLevel::new(29)));
+    }
+
+    #[test]
+    fn resolve_walks_hierarchy() {
+        let db = ApiDatabase::mine(&demo_spec());
+        // ListActivity does not declare getFragmentManager; resolution
+        // must attribute it to Activity.
+        let (declared, life) = db
+            .resolve(
+                &ClassName::new("android.app.ListActivity"),
+                &MethodSig::new("getFragmentManager", "()V"),
+            )
+            .unwrap();
+        assert_eq!(declared.class.as_str(), "android.app.Activity");
+        assert_eq!(life, LifeSpan::since(11));
+    }
+
+    #[test]
+    fn resolve_unknown_is_none() {
+        let db = ApiDatabase::mine(&demo_spec());
+        assert!(db
+            .resolve(
+                &ClassName::new("android.app.Activity"),
+                &MethodSig::new("noSuchMethod", "()V")
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn callback_naming_convention() {
+        assert!(ApiDatabase::callback_name("onCreate"));
+        assert!(ApiDatabase::callback_name("onRequestPermissionsResult"));
+        assert!(!ApiDatabase::callback_name("once"));
+        assert!(!ApiDatabase::callback_name("on"));
+        assert!(!ApiDatabase::callback_name("open"));
+        assert!(!ApiDatabase::callback_name("getFragmentManager"));
+    }
+
+    #[test]
+    fn overridden_callback_resolution() {
+        let db = ApiDatabase::mine(&demo_spec());
+        // An app class extending ListActivity overriding onCreate: the
+        // callback resolves two levels up the hierarchy.
+        let found = db
+            .overridden_callback(
+                &ClassName::new("android.app.ListActivity"),
+                &MethodSig::new("onCreate", "(Landroid/os/Bundle;)V"),
+            )
+            .unwrap();
+        assert_eq!(found.0.class.as_str(), "android.app.Activity");
+        // Non-`on…` overrides also resolve (FOSDEM-style cases): any
+        // overridden API method is a candidate for Algorithm 3.
+        assert!(db
+            .overridden_callback(
+                &ClassName::new("android.app.ListActivity"),
+                &MethodSig::new("getListView", "()V")
+            )
+            .is_some());
+        // Methods the framework never declared do not resolve.
+        assert!(db
+            .overridden_callback(
+                &ClassName::new("android.app.ListActivity"),
+                &MethodSig::new("purelyAppLogic", "()V")
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn counts() {
+        let db = ApiDatabase::mine(&demo_spec());
+        assert_eq!(db.class_count(), 3);
+        assert_eq!(db.method_count(), 6);
+    }
+}

@@ -1,0 +1,176 @@
+//! The assembled framework: spec + mined database + permission map +
+//! lazily materialized per-level classes.
+//!
+//! [`AndroidFramework`] is the artifact shared across all app analyses:
+//! the database and permission map are built **once** per framework
+//! (paper §III-B, "the API database is constructed once for a given
+//! framework … as a reusable model"), while class *bodies* are
+//! materialized per `(level, class)` on first request — the on-demand
+//! path the CLVM rides, and the thing eager baselines bypass by calling
+//! [`AndroidFramework::all_classes_at`].
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+use saint_ir::{ApiLevel, ClassDef, ClassName};
+
+use crate::database::ApiDatabase;
+use crate::permissions::PermissionMap;
+use crate::spec::FrameworkSpec;
+use crate::synth::SynthConfig;
+
+/// A ready-to-analyze Android framework model.
+pub struct AndroidFramework {
+    spec: FrameworkSpec,
+    database: OnceLock<Arc<ApiDatabase>>,
+    permissions: OnceLock<Arc<PermissionMap>>,
+    #[allow(clippy::type_complexity)]
+    class_cache: Mutex<HashMap<(ApiLevel, ClassName), Option<Arc<ClassDef>>>>,
+}
+
+impl AndroidFramework {
+    /// Wraps an arbitrary spec.
+    #[must_use]
+    pub fn from_spec(spec: FrameworkSpec) -> Self {
+        AndroidFramework {
+            spec,
+            database: OnceLock::new(),
+            permissions: OnceLock::new(),
+            class_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The curated surface only — fast, used by most unit tests.
+    #[must_use]
+    pub fn curated() -> Self {
+        Self::from_spec(crate::android::android_spec())
+    }
+
+    /// Curated surface plus a synthetic expansion.
+    #[must_use]
+    pub fn with_scale(cfg: &SynthConfig) -> Self {
+        Self::from_spec(crate::synth::expanded_android_spec(cfg))
+    }
+
+    /// The underlying spec.
+    #[must_use]
+    pub fn spec(&self) -> &FrameworkSpec {
+        &self.spec
+    }
+
+    /// The mined API database (mined on first use, then shared).
+    #[must_use]
+    pub fn database(&self) -> Arc<ApiDatabase> {
+        Arc::clone(
+            self.database
+                .get_or_init(|| Arc::new(ApiDatabase::mine(&self.spec))),
+        )
+    }
+
+    /// The PScout-style permission map (built on first use, then
+    /// shared).
+    #[must_use]
+    pub fn permission_map(&self) -> Arc<PermissionMap> {
+        Arc::clone(
+            self.permissions
+                .get_or_init(|| Arc::new(PermissionMap::from_spec(&self.spec))),
+        )
+    }
+
+    /// Materializes one framework class as it exists at `level`,
+    /// caching the result. Returns `None` for unknown classes or levels
+    /// where the class does not exist.
+    #[must_use]
+    pub fn class_at(&self, level: ApiLevel, name: &ClassName) -> Option<Arc<ClassDef>> {
+        let key = (level, name.clone());
+        let mut cache = self.class_cache.lock();
+        if let Some(hit) = cache.get(&key) {
+            return hit.clone();
+        }
+        let materialized = self.spec.materialize_class(name, level).map(Arc::new);
+        cache.insert(key, materialized.clone());
+        materialized
+    }
+
+    /// Materializes the *entire* framework at `level` — the eager,
+    /// monolithic path that CID-style tools take, and exactly the cost
+    /// the CLVM avoids.
+    #[must_use]
+    pub fn all_classes_at(&self, level: ApiLevel) -> Vec<Arc<ClassDef>> {
+        self.spec
+            .classes()
+            .filter_map(|c| self.class_at(level, &c.name))
+            .collect()
+    }
+
+    /// Total number of classes in the spec (across all levels).
+    #[must_use]
+    pub fn class_count(&self) -> usize {
+        self.spec.len()
+    }
+}
+
+impl std::fmt::Debug for AndroidFramework {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AndroidFramework")
+            .field("classes", &self.spec.len())
+            .field("database_mined", &self.database.get().is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_is_mined_once_and_shared() {
+        let fw = AndroidFramework::curated();
+        let a = fw.database();
+        let b = fw.database();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn class_cache_returns_shared_definitions() {
+        let fw = AndroidFramework::curated();
+        let name = ClassName::new("android.app.Activity");
+        let a = fw.class_at(ApiLevel::new(28), &name).unwrap();
+        let b = fw.class_at(ApiLevel::new(28), &name).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn per_level_views_differ() {
+        let fw = AndroidFramework::curated();
+        let name = ClassName::new("android.app.Activity");
+        let old = fw.class_at(ApiLevel::new(10), &name).unwrap();
+        let new = fw.class_at(ApiLevel::new(28), &name).unwrap();
+        assert!(new.methods.len() > old.methods.len());
+    }
+
+    #[test]
+    fn missing_class_is_cached_none() {
+        let fw = AndroidFramework::curated();
+        let ghost = ClassName::new("android.no.Such");
+        assert!(fw.class_at(ApiLevel::new(28), &ghost).is_none());
+        assert!(fw.class_at(ApiLevel::new(28), &ghost).is_none());
+    }
+
+    #[test]
+    fn eager_load_covers_spec() {
+        let fw = AndroidFramework::curated();
+        let all = fw.all_classes_at(ApiLevel::new(28));
+        // NotificationChannel (26) included, apache http (removed 23) not.
+        let names: Vec<&str> = all.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"android.app.NotificationChannel"));
+        assert!(!names.contains(&"org.apache.http.client.HttpClient"));
+    }
+
+    #[test]
+    fn framework_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AndroidFramework>();
+    }
+}

@@ -1,0 +1,186 @@
+//! Dangerous permissions and the PScout-style permission map.
+//!
+//! The paper's ARM component "extends the database with mappings
+//! between Android API methods and the permissions required by the
+//! Android framework during the execution of those methods", built on
+//! PScout (§III-B). Our map is generated from the framework spec's
+//! permission annotations — the same role, same query interface.
+
+use std::collections::BTreeMap;
+
+use saint_ir::{MethodRef, Permission};
+
+use crate::spec::FrameworkSpec;
+
+/// The 26 permissions Android classifies as *dangerous* under the
+/// API-23 runtime permission system (paper §II-C: "In total, Android
+/// classifies 26 permissions as dangerous").
+pub const DANGEROUS_PERMISSIONS: [&str; 26] = [
+    "android.permission.READ_CALENDAR",
+    "android.permission.WRITE_CALENDAR",
+    "android.permission.CAMERA",
+    "android.permission.READ_CONTACTS",
+    "android.permission.WRITE_CONTACTS",
+    "android.permission.GET_ACCOUNTS",
+    "android.permission.ACCESS_FINE_LOCATION",
+    "android.permission.ACCESS_COARSE_LOCATION",
+    "android.permission.RECORD_AUDIO",
+    "android.permission.READ_PHONE_STATE",
+    "android.permission.READ_PHONE_NUMBERS",
+    "android.permission.CALL_PHONE",
+    "android.permission.ANSWER_PHONE_CALLS",
+    "android.permission.READ_CALL_LOG",
+    "android.permission.WRITE_CALL_LOG",
+    "android.permission.ADD_VOICEMAIL",
+    "android.permission.USE_SIP",
+    "android.permission.PROCESS_OUTGOING_CALLS",
+    "android.permission.BODY_SENSORS",
+    "android.permission.SEND_SMS",
+    "android.permission.RECEIVE_SMS",
+    "android.permission.READ_SMS",
+    "android.permission.RECEIVE_WAP_PUSH",
+    "android.permission.RECEIVE_MMS",
+    "android.permission.READ_EXTERNAL_STORAGE",
+    "android.permission.WRITE_EXTERNAL_STORAGE",
+];
+
+/// Whether a permission is one of the 26 dangerous permissions.
+#[must_use]
+pub fn is_dangerous(p: &Permission) -> bool {
+    DANGEROUS_PERMISSIONS.contains(&p.as_str())
+}
+
+/// The dangerous permissions as [`Permission`] values.
+#[must_use]
+pub fn dangerous_permissions() -> Vec<Permission> {
+    DANGEROUS_PERMISSIONS.iter().map(|p| Permission::new(*p)).collect()
+}
+
+/// Maps framework API methods to the permissions the framework enforces
+/// while executing them.
+///
+/// Built once per framework and reused across app analyses (paper
+/// §III-B: "permission maps are constructed once and reused in the
+/// subsequent analyses").
+#[derive(Debug, Clone, Default)]
+pub struct PermissionMap {
+    map: BTreeMap<MethodRef, Vec<Permission>>,
+}
+
+impl PermissionMap {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        PermissionMap::default()
+    }
+
+    /// Builds the map from a framework spec's annotations.
+    #[must_use]
+    pub fn from_spec(spec: &FrameworkSpec) -> Self {
+        let mut map = BTreeMap::new();
+        for class in spec.classes() {
+            for m in &class.methods {
+                if !m.permissions.is_empty() {
+                    map.insert(
+                        class.method_ref(&m.name, &m.descriptor),
+                        m.permissions.clone(),
+                    );
+                }
+            }
+        }
+        PermissionMap { map }
+    }
+
+    /// Records a mapping.
+    pub fn insert(&mut self, method: MethodRef, permissions: Vec<Permission>) {
+        self.map.insert(method, permissions);
+    }
+
+    /// Permissions required to execute `method`; empty if unmapped.
+    #[must_use]
+    pub fn required(&self, method: &MethodRef) -> &[Permission] {
+        self.map.get(method).map_or(&[], Vec::as_slice)
+    }
+
+    /// Dangerous permissions required to execute `method`.
+    pub fn required_dangerous<'a>(
+        &'a self,
+        method: &MethodRef,
+    ) -> impl Iterator<Item = &'a Permission> {
+        self.required(method).iter().filter(|p| is_dangerous(p))
+    }
+
+    /// Number of mapped methods.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates all `(method, permissions)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&MethodRef, &[Permission])> {
+        self.map.iter().map(|(m, p)| (m, p.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ClassSpec, LifeSpan, MethodSpec};
+
+    #[test]
+    fn exactly_26_dangerous_permissions() {
+        assert_eq!(DANGEROUS_PERMISSIONS.len(), 26);
+        // no duplicates
+        let mut sorted = DANGEROUS_PERMISSIONS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 26);
+    }
+
+    #[test]
+    fn dangerous_membership() {
+        assert!(is_dangerous(&Permission::android("CAMERA")));
+        assert!(is_dangerous(&Permission::android("WRITE_EXTERNAL_STORAGE")));
+        assert!(!is_dangerous(&Permission::android("INTERNET")));
+        assert!(!is_dangerous(&Permission::android("VIBRATE")));
+    }
+
+    #[test]
+    fn map_from_spec_annotations() {
+        let mut spec = FrameworkSpec::new();
+        spec.add_class(
+            ClassSpec::new("android.hardware.Camera").method(
+                MethodSpec::leaf("open", "()V", LifeSpan::always())
+                    .requires(Permission::android("CAMERA")),
+            ),
+        );
+        spec.add_class(
+            ClassSpec::new("android.test.Free")
+                .method(MethodSpec::leaf("free", "()V", LifeSpan::always())),
+        );
+        let map = PermissionMap::from_spec(&spec);
+        assert_eq!(map.len(), 1);
+        let open = MethodRef::new("android.hardware.Camera", "open", "()V");
+        assert_eq!(map.required(&open), &[Permission::android("CAMERA")]);
+        let free = MethodRef::new("android.test.Free", "free", "()V");
+        assert!(map.required(&free).is_empty());
+    }
+
+    #[test]
+    fn required_dangerous_filters() {
+        let mut map = PermissionMap::new();
+        let m = MethodRef::new("a.B", "net", "()V");
+        map.insert(
+            m.clone(),
+            vec![Permission::android("INTERNET"), Permission::android("CAMERA")],
+        );
+        let dangerous: Vec<_> = map.required_dangerous(&m).collect();
+        assert_eq!(dangerous, vec![&Permission::android("CAMERA")]);
+    }
+}

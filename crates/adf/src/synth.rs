@@ -1,0 +1,287 @@
+//! Deterministic synthetic expansion of the framework.
+//!
+//! The real ADF is enormous — that scale is precisely why SAINTDroid's
+//! lazy class loading beats eager loading (paper §III-A, §V-C). The
+//! curated surface in `android_spec` is semantically rich but
+//! small, so this module grows the spec with thousands of additional
+//! framework classes: package clusters, intra-framework call chains,
+//! staggered introduction levels, and `on…` handler methods. Everything
+//! is seeded and reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use saint_ir::{ApiLevel, MethodRef};
+
+use crate::spec::{ClassSpec, FrameworkSpec, LifeSpan, MethodSpec};
+
+/// Configuration for the synthetic expansion.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SynthConfig {
+    /// Number of synthetic classes to add.
+    pub classes: usize,
+    /// Inclusive range of methods per class.
+    pub methods_per_class: (usize, usize),
+    /// Number of `android.gen.p{k}` package clusters.
+    pub packages: usize,
+    /// RNG seed; equal seeds yield identical frameworks.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// A tiny expansion for unit tests (~60 classes).
+    #[must_use]
+    pub fn small() -> Self {
+        SynthConfig {
+            classes: 60,
+            methods_per_class: (2, 6),
+            packages: 4,
+            seed: 0x5a17,
+        }
+    }
+
+    /// A mid-size expansion for integration tests (~800 classes).
+    #[must_use]
+    pub fn medium() -> Self {
+        SynthConfig {
+            classes: 800,
+            methods_per_class: (3, 10),
+            packages: 12,
+            seed: 0x5a17,
+        }
+    }
+
+    /// The paper-scale expansion used by the performance experiments
+    /// (~4000 classes, tens of thousands of methods — large enough that
+    /// eagerly loading the framework dominates analysis cost).
+    #[must_use]
+    pub fn paper() -> Self {
+        SynthConfig {
+            classes: 4000,
+            methods_per_class: (4, 14),
+            packages: 25,
+            seed: 0x5a17,
+        }
+    }
+}
+
+fn synth_class_name(cfg: &SynthConfig, idx: usize) -> String {
+    let pkg = idx % cfg.packages.max(1);
+    format!("android.gen.p{pkg}.C{idx}")
+}
+
+/// Expands `spec` in place with `cfg.classes` synthetic framework
+/// classes.
+///
+/// Construction invariants:
+/// * call targets always point at *earlier* synthetic classes, so the
+///   synthetic call graph is acyclic (the curated classes may still
+///   form richer shapes);
+/// * unguarded calls are only emitted where the spec materializer will
+///   keep them level-consistent;
+/// * roughly one method in six is an `on…` handler, giving the callback
+///   detector a broad surface beyond the four classes CIDER models.
+pub fn expand(spec: &mut FrameworkSpec, cfg: &SynthConfig) {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    // Record (class, method, descriptor, since) of earlier synthetic
+    // methods as call-target candidates.
+    let mut candidates: Vec<(String, String, String, ApiLevel)> = Vec::new();
+
+    for idx in 0..cfg.classes {
+        let name = synth_class_name(cfg, idx);
+        // Class lifetime: 70% always, 25% introduced later, 5% removed.
+        let class_life = match rng.gen_range(0..20) {
+            0 => {
+                let since = rng.gen_range(3..20);
+                LifeSpan::between(since, rng.gen_range(since + 2..30))
+            }
+            1..=5 => LifeSpan::since(rng.gen_range(3..28)),
+            _ => LifeSpan::always(),
+        };
+        // Superclass: half extend an earlier synthetic class in the same
+        // package, the rest extend Object.
+        let super_class = if idx >= cfg.packages && rng.gen_bool(0.5) {
+            let earlier = idx - cfg.packages; // same package, earlier row
+            Some(synth_class_name(cfg, earlier))
+        } else {
+            None
+        };
+
+        let mut class = ClassSpec::new(name.clone()).life(class_life);
+        if let Some(sup) = super_class {
+            class = class.extends(sup);
+        }
+
+        let n_methods = rng.gen_range(cfg.methods_per_class.0..=cfg.methods_per_class.1);
+        for j in 0..n_methods {
+            let is_handler = rng.gen_ratio(1, 6);
+            // Method names embed the class index so sibling/ancestor
+            // classes never accidentally declare the same signature:
+            // an unintended override whose lifetime differs from the
+            // ancestor's turns virtual resolution at old levels into a
+            // removed-method trap, flooding the corpus with
+            // forward-compatibility noise.
+            let mname = if is_handler {
+                format!("onGen{idx}Event{j}")
+            } else {
+                format!("m{idx}x{j}")
+            };
+            let descriptor = match rng.gen_range(0..3) {
+                0 => "()V".to_string(),
+                1 => "(I)V".to_string(),
+                _ => "(Ljava/lang/String;)I".to_string(),
+            };
+            // Method lifetime within the class lifetime.
+            let life = if rng.gen_bool(0.3) {
+                let lo = class_life.since.get().max(3);
+                let hi = class_life.removed.map_or(29, |r| r.get().saturating_sub(1));
+                if lo < hi {
+                    LifeSpan {
+                        since: ApiLevel::new(rng.gen_range(lo..=hi)),
+                        removed: class_life.removed,
+                    }
+                } else {
+                    class_life
+                }
+            } else {
+                class_life
+            };
+            let mut m = MethodSpec::leaf(mname, descriptor, life).weight(rng.gen_range(2..30));
+            // Calls into earlier synthetic methods.
+            let n_calls = rng.gen_range(0..=3usize);
+            for _ in 0..n_calls.min(candidates.len()) {
+                let (c, n, d, since) = candidates[rng.gen_range(0..candidates.len())].clone();
+                let target = MethodRef::new(c, n, d);
+                if since > life.since {
+                    // Platform-internal guard keeps deep analysis quiet
+                    // on well-formed framework code (and exercises guard
+                    // tracking inside the ADF). Unguarded deep paths are
+                    // injected deliberately by the curated facades and
+                    // the corpus, never at random.
+                    m = m.calls_guarded(target, since.get());
+                } else {
+                    m = m.calls(target);
+                }
+            }
+            // Only never-removed methods are eligible as internal call
+            // targets: a platform body materialized at level T that
+            // called a later-removed method would (correctly) be
+            // flagged by deep analysis at the removal levels, flooding
+            // the corpus with forward-compatibility noise the real
+            // platform does not have.
+            if m.life.removed.is_none() {
+                candidates.push((
+                    name.clone(),
+                    m.name.clone(),
+                    m.descriptor.clone(),
+                    m.life.since,
+                ));
+            }
+            class = class.method(m);
+        }
+        spec.add_class(class);
+    }
+}
+
+/// Convenience: the curated surface plus a synthetic expansion.
+#[must_use]
+pub fn expanded_android_spec(cfg: &SynthConfig) -> FrameworkSpec {
+    let mut spec = crate::android::android_spec();
+    expand(&mut spec, cfg);
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saint_ir::ClassName;
+
+    #[test]
+    fn expansion_is_deterministic() {
+        let a = expanded_android_spec(&SynthConfig::small());
+        let b = expanded_android_spec(&SynthConfig::small());
+        assert_eq!(a.len(), b.len());
+        // Same classes, same method counts, same lifetimes.
+        for (ca, cb) in a.classes().zip(b.classes()) {
+            assert_eq!(ca.name, cb.name);
+            assert_eq!(ca.methods.len(), cb.methods.len());
+            assert_eq!(ca.life, cb.life);
+            for (ma, mb) in ca.methods.iter().zip(&cb.methods) {
+                assert_eq!(ma.name, mb.name);
+                assert_eq!(ma.life, mb.life);
+                assert_eq!(ma.calls, mb.calls);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = expanded_android_spec(&SynthConfig::small());
+        let mut cfg = SynthConfig::small();
+        cfg.seed = 99;
+        let b = expanded_android_spec(&cfg);
+        let weights = |s: &FrameworkSpec| -> Vec<usize> {
+            s.classes().flat_map(|c| c.methods.iter().map(|m| m.weight)).collect()
+        };
+        assert_ne!(weights(&a), weights(&b));
+    }
+
+    #[test]
+    fn expansion_adds_requested_classes() {
+        let base = crate::android::android_spec().len();
+        let spec = expanded_android_spec(&SynthConfig::small());
+        assert_eq!(spec.len(), base + 60);
+    }
+
+    #[test]
+    fn synthetic_supers_stay_in_spec() {
+        let spec = expanded_android_spec(&SynthConfig::small());
+        for c in spec.classes() {
+            if let Some(sup) = &c.super_class {
+                if sup.as_str() != "java.lang.Object" {
+                    assert!(
+                        spec.class(sup).is_some(),
+                        "{} extends unknown {}",
+                        c.name,
+                        sup
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_snapshots_materialize_at_every_level() {
+        let spec = expanded_android_spec(&SynthConfig::small());
+        for level in [2u8, 15, 23, 29] {
+            let level = ApiLevel::new(level);
+            let classes = spec.materialize_all(level);
+            assert!(!classes.is_empty());
+            for c in &classes {
+                // every materialized body validates
+                for m in &c.methods {
+                    if let Some(b) = &m.body {
+                        b.validate().unwrap();
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handler_methods_present() {
+        let spec = expanded_android_spec(&SynthConfig::small());
+        let handlers = spec
+            .classes()
+            .filter(|c| c.name.as_str().starts_with("android.gen."))
+            .flat_map(|c| c.methods.iter())
+            .filter(|m| m.name.starts_with("onGen"))
+            .count();
+        assert!(handlers > 5, "expected synthetic handlers, got {handlers}");
+    }
+
+    #[test]
+    fn curated_surface_survives_expansion() {
+        let spec = expanded_android_spec(&SynthConfig::small());
+        assert!(spec.class(&ClassName::new("android.app.Activity")).is_some());
+    }
+}

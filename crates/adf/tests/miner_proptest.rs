@@ -1,0 +1,102 @@
+//! Property test: the ARM revision miner must recover the exact
+//! lifetimes of arbitrary framework histories by diffing per-level
+//! surfaces — it never sees the generator's lifetimes directly.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use saint_adf::spec::{ClassSpec, FrameworkSpec, LifeSpan, MethodSpec};
+use saint_adf::ApiDatabase;
+use saint_ir::{ApiLevel, MethodRef};
+
+fn arb_lifespan() -> impl Strategy<Value = LifeSpan> {
+    (2u8..=29, proptest::option::of(1u8..=27)).prop_map(|(since, removed_gap)| LifeSpan {
+        since: ApiLevel::new(since),
+        removed: removed_gap.and_then(|gap| {
+            let r = since.saturating_add(gap);
+            (r <= 29 && r > since).then(|| ApiLevel::new(r))
+        }),
+    })
+}
+
+#[derive(Debug, Clone)]
+struct SpecShape {
+    classes: Vec<(LifeSpan, Vec<LifeSpan>)>,
+}
+
+fn arb_spec() -> impl Strategy<Value = SpecShape> {
+    vec((arb_lifespan(), vec(arb_lifespan(), 1..6)), 1..10)
+        .prop_map(|classes| SpecShape { classes })
+}
+
+fn build(shape: &SpecShape) -> FrameworkSpec {
+    let mut spec = FrameworkSpec::new();
+    for (ci, (class_life, methods)) in shape.classes.iter().enumerate() {
+        let mut class =
+            ClassSpec::new(format!("android.prop.C{ci}")).life(*class_life);
+        for (mi, life) in methods.iter().enumerate() {
+            // Clamp each method's lifetime inside its class's: a method
+            // cannot outlive its class in any real history.
+            let since = life.since.max(class_life.since);
+            let removed = match (life.removed, class_life.removed) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            let Some(life) = clamp(since, removed) else { continue };
+            class = class.method(MethodSpec::leaf(format!("m{mi}"), "()V", life));
+        }
+        spec.add_class(class);
+    }
+    spec
+}
+
+fn clamp(since: ApiLevel, removed: Option<ApiLevel>) -> Option<LifeSpan> {
+    match removed {
+        Some(r) if r <= since => None, // never existed: drop the member
+        r => Some(LifeSpan { since, removed: r }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mining_recovers_every_lifetime(shape in arb_spec()) {
+        let spec = build(&shape);
+        let db = ApiDatabase::mine(&spec);
+        for class in spec.classes() {
+            for m in &class.methods {
+                let mref = MethodRef::new(class.name.clone(), m.name.as_str(), m.descriptor.as_str());
+                // Members never visible in 2..=29 cannot be mined.
+                let visible = ApiLevel::all_modeled().any(|l| m.life.exists_at(l) && class.life.exists_at(l));
+                let mined = db.method_lifespan(&mref);
+                if !visible {
+                    prop_assert!(mined.is_none(), "{mref} mined though never visible");
+                    continue;
+                }
+                let mined = mined.expect("visible member mined");
+                // The mined lifetime is the *visible intersection* of
+                // method and class lifetimes.
+                for level in ApiLevel::all_modeled() {
+                    let truth = m.life.exists_at(level) && class.life.exists_at(level);
+                    prop_assert_eq!(
+                        mined.exists_at(level),
+                        truth,
+                        "{} at {}: mined {:?}, spec method {:?} class {:?}",
+                        mref, level, mined, m.life, class.life
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contains_is_consistent_with_lifespan(shape in arb_spec()) {
+        let spec = build(&shape);
+        let db = ApiDatabase::mine(&spec);
+        for (m, life) in db.methods() {
+            for level in ApiLevel::all_modeled() {
+                prop_assert_eq!(db.contains(m, level), life.exists_at(level));
+            }
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Register-level abstract interpretation.
+//!
+//! A small forward data-flow analysis tracking, per block, which
+//! registers hold (a) the `Build.VERSION.SDK_INT` value — feeding the
+//! guard analysis — (b) integer constants — the comparison operands of
+//! guards — and (c) string constants — the class-name arguments of
+//! late-binding calls like `DexClassLoader.loadClass`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use saint_ir::{BlockId, Instr, MethodBody, Operand, Reg};
+
+use crate::cfg::Cfg;
+
+/// An abstract register value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Unknown / any value.
+    Top,
+    /// The device API level read from `Build.VERSION.SDK_INT`.
+    SdkInt,
+    /// A known integer constant.
+    Const(i64),
+    /// A known string constant.
+    Str(Arc<str>),
+}
+
+impl AbsVal {
+    fn merge(a: &AbsVal, b: &AbsVal) -> AbsVal {
+        if a == b {
+            a.clone()
+        } else {
+            AbsVal::Top
+        }
+    }
+}
+
+/// Abstract register environment: registers absent from the map have
+/// never been written on any path (⊥) and read as unknown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AbsEnv {
+    regs: HashMap<Reg, AbsVal>,
+}
+
+impl AbsEnv {
+    /// The empty environment.
+    #[must_use]
+    pub fn new() -> Self {
+        AbsEnv::default()
+    }
+
+    /// The abstract value of a register (Top when never written).
+    #[must_use]
+    pub fn get(&self, r: Reg) -> AbsVal {
+        self.regs.get(&r).cloned().unwrap_or(AbsVal::Top)
+    }
+
+    /// The abstract value of an operand.
+    #[must_use]
+    pub fn operand(&self, o: &Operand) -> AbsVal {
+        match o {
+            Operand::Reg(r) => self.get(*r),
+            Operand::Imm(v) => AbsVal::Const(*v),
+        }
+    }
+
+    fn set(&mut self, r: Reg, v: AbsVal) {
+        self.regs.insert(r, v);
+    }
+
+    /// Join with another environment; returns whether this changed.
+    fn join(&mut self, other: &AbsEnv) -> bool {
+        let mut changed = false;
+        for (r, v) in &other.regs {
+            match self.regs.get(r) {
+                None => {
+                    // First definition seen on some path: a register
+                    // defined on only one incoming path must conservatively
+                    // degrade unless both paths agree, but we cannot know
+                    // here whether `self` path defines it. Taking the
+                    // other path's value is sound for guard detection
+                    // because undefined-on-a-path registers cannot be
+                    // read in valid bytecode before a dominating def.
+                    self.regs.insert(*r, v.clone());
+                    changed = true;
+                }
+                Some(mine) => {
+                    let merged = AbsVal::merge(mine, v);
+                    if merged != *mine {
+                        self.regs.insert(*r, merged);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Applies one instruction's transfer function.
+    pub fn apply(&mut self, instr: &Instr) {
+        match instr {
+            Instr::Const { dst, value } => self.set(*dst, AbsVal::Const(*value)),
+            Instr::ConstString { dst, value } => {
+                self.set(*dst, AbsVal::Str(Arc::from(value.as_str())));
+            }
+            Instr::Move { dst, src } => {
+                let v = self.get(*src);
+                self.set(*dst, v);
+            }
+            Instr::FieldGet { dst, field, .. } => {
+                if field.is_sdk_int() {
+                    self.set(*dst, AbsVal::SdkInt);
+                } else {
+                    self.set(*dst, AbsVal::Top);
+                }
+            }
+            Instr::BinOp { dst, .. }
+            | Instr::NewInstance { dst, .. } => self.set(*dst, AbsVal::Top),
+            Instr::Invoke { dst, .. } => {
+                if let Some(d) = dst {
+                    self.set(*d, AbsVal::Top);
+                }
+            }
+            Instr::FieldPut { .. } | Instr::Nop => {}
+        }
+    }
+
+    /// Rough size in bytes, for the load meter.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.regs.len() * 24
+    }
+}
+
+/// Per-block abstract environments for a whole method: the environment
+/// *entering* each block and the environment at its terminator.
+#[derive(Debug, Clone)]
+pub struct AbsState {
+    entry: Vec<AbsEnv>,
+    exit: Vec<AbsEnv>,
+}
+
+impl AbsState {
+    /// Runs the forward fixpoint over the body.
+    #[must_use]
+    pub fn analyze(body: &MethodBody, cfg: &Cfg) -> Self {
+        let n = body.len();
+        let mut entry = vec![AbsEnv::new(); n];
+        let mut exit = vec![AbsEnv::new(); n];
+        // Iterate in RPO until stable; the lattice is finite-height per
+        // register (⊥ → value → Top), so this terminates quickly.
+        let mut changed = true;
+        let mut iterations = 0usize;
+        while changed && iterations < 64 {
+            changed = false;
+            iterations += 1;
+            for &b in cfg.reverse_post_order() {
+                let mut env = AbsEnv::new();
+                let preds = cfg.preds(b);
+                if preds.is_empty() {
+                    // entry block: empty env
+                } else {
+                    // join of predecessor exits
+                    let mut first = true;
+                    for &p in preds {
+                        if first {
+                            env = exit[p.index()].clone();
+                            first = false;
+                        } else {
+                            env.join(&exit[p.index()]);
+                        }
+                    }
+                }
+                if env != entry[b.index()] {
+                    entry[b.index()] = env.clone();
+                    changed = true;
+                }
+                for i in &body.block(b).instrs {
+                    env.apply(i);
+                }
+                if env != exit[b.index()] {
+                    exit[b.index()] = env;
+                    changed = true;
+                }
+            }
+        }
+        AbsState { entry, exit }
+    }
+
+    /// Environment at block entry.
+    #[must_use]
+    pub fn at_entry(&self, b: BlockId) -> &AbsEnv {
+        &self.entry[b.index()]
+    }
+
+    /// Environment at the block's terminator (after all instructions).
+    #[must_use]
+    pub fn at_exit(&self, b: BlockId) -> &AbsEnv {
+        &self.exit[b.index()]
+    }
+
+    /// Rough size in bytes, for the load meter.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.entry.iter().chain(&self.exit).map(AbsEnv::size_bytes).sum::<usize>() + 48
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saint_ir::{BodyBuilder, Cond, FieldRef};
+
+    fn analyze(b: BodyBuilder) -> (MethodBody, AbsState) {
+        let body = b.finish().unwrap();
+        let cfg = Cfg::build(&body);
+        let st = AbsState::analyze(&body, &cfg);
+        (body, st)
+    }
+
+    #[test]
+    fn constants_and_strings_tracked() {
+        let mut b = BodyBuilder::new();
+        let r0 = b.alloc_reg();
+        let r1 = b.alloc_reg();
+        let r2 = b.alloc_reg();
+        b.const_int(r0, 23);
+        b.const_str(r1, "com.x.Plugin");
+        b.move_reg(r2, r0);
+        b.ret_void();
+        let (_, st) = analyze(b);
+        let env = st.at_exit(BlockId::ENTRY);
+        assert_eq!(env.get(r0), AbsVal::Const(23));
+        assert_eq!(env.get(r1), AbsVal::Str(Arc::from("com.x.Plugin")));
+        assert_eq!(env.get(r2), AbsVal::Const(23));
+    }
+
+    #[test]
+    fn sdk_int_tainted_through_moves() {
+        let mut b = BodyBuilder::new();
+        let sdk = b.sdk_int();
+        let copy = b.alloc_reg();
+        b.move_reg(copy, sdk);
+        b.ret_void();
+        let (_, st) = analyze(b);
+        let env = st.at_exit(BlockId::ENTRY);
+        assert_eq!(env.get(sdk), AbsVal::SdkInt);
+        assert_eq!(env.get(copy), AbsVal::SdkInt);
+    }
+
+    #[test]
+    fn other_field_reads_are_top() {
+        let mut b = BodyBuilder::new();
+        let r = b.alloc_reg();
+        b.field_get(r, FieldRef::new("a.B", "x"), None);
+        b.ret_void();
+        let (_, st) = analyze(b);
+        assert_eq!(st.at_exit(BlockId::ENTRY).get(r), AbsVal::Top);
+    }
+
+    #[test]
+    fn conflicting_paths_merge_to_top() {
+        let mut b = BodyBuilder::new();
+        let r = b.alloc_reg();
+        let sdk = b.sdk_int();
+        let t = b.new_block();
+        let e = b.new_block();
+        let join = b.new_block();
+        b.branch_if(Cond::Ge, sdk, 23i64, t, e);
+        b.switch_to(t);
+        b.const_int(r, 1);
+        b.goto(join);
+        b.switch_to(e);
+        b.const_int(r, 2);
+        b.goto(join);
+        b.switch_to(join);
+        b.ret_void();
+        let (_, st) = analyze(b);
+        assert_eq!(st.at_entry(join).get(r), AbsVal::Top);
+    }
+
+    #[test]
+    fn agreeing_paths_keep_value() {
+        let mut b = BodyBuilder::new();
+        let r = b.alloc_reg();
+        let sdk = b.sdk_int();
+        let t = b.new_block();
+        let e = b.new_block();
+        let join = b.new_block();
+        b.branch_if(Cond::Ge, sdk, 23i64, t, e);
+        b.switch_to(t);
+        b.const_int(r, 7);
+        b.goto(join);
+        b.switch_to(e);
+        b.const_int(r, 7);
+        b.goto(join);
+        b.switch_to(join);
+        b.ret_void();
+        let (_, st) = analyze(b);
+        assert_eq!(st.at_entry(join).get(r), AbsVal::Const(7));
+    }
+
+    #[test]
+    fn invoke_clobbers_destination() {
+        let mut b = BodyBuilder::new();
+        let r = b.alloc_reg();
+        b.const_int(r, 23);
+        b.invoke_static(
+            saint_ir::MethodRef::new("a.B", "rand", "()I"),
+            &[],
+            Some(r),
+        );
+        b.ret_void();
+        let (_, st) = analyze(b);
+        assert_eq!(st.at_exit(BlockId::ENTRY).get(r), AbsVal::Top);
+    }
+
+    #[test]
+    fn loop_converges() {
+        let mut b = BodyBuilder::new();
+        let r = b.alloc_reg();
+        b.const_int(r, 0);
+        let head = b.new_block();
+        let body_blk = b.new_block();
+        let exit = b.new_block();
+        b.goto(head);
+        b.switch_to(head);
+        b.branch_if(Cond::Lt, r, 10i64, body_blk, exit);
+        b.switch_to(body_blk);
+        b.binop(saint_ir::BinOp::Add, r, r, 1i64);
+        b.goto(head);
+        b.switch_to(exit);
+        b.ret_void();
+        let (_, st) = analyze(b);
+        // After the loop r could be 0 or a sum: Top.
+        assert_eq!(st.at_entry(exit).get(r), AbsVal::Top);
+    }
+}

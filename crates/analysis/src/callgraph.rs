@@ -1,0 +1,204 @@
+//! A queryable view over the exploration's call graph.
+//!
+//! The exploration (Algorithm 1) produces raw edges; this wraps them in
+//! the graph interface tooling wants — callers/callees, reachability,
+//! and Graphviz export for inspection. The paper's ICFG is this graph
+//! plus the per-method CFGs the exploration already built.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt::Write as _;
+
+use saint_ir::{ClassOrigin, MethodRef};
+
+use crate::explore::Exploration;
+
+/// An adjacency view over resolved call edges.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    callees: HashMap<MethodRef, Vec<MethodRef>>,
+    callers: HashMap<MethodRef, Vec<MethodRef>>,
+    origins: HashMap<MethodRef, ClassOrigin>,
+}
+
+impl CallGraph {
+    /// Builds the graph from an exploration result (resolved edges
+    /// only; external terminals are not nodes).
+    #[must_use]
+    pub fn from_exploration(ex: &Exploration) -> Self {
+        let mut g = CallGraph::default();
+        for (m, art) in &ex.methods {
+            g.origins.insert(m.clone(), art.origin);
+            g.callees.entry(m.clone()).or_default();
+        }
+        for e in &ex.edges {
+            let Some(resolved) = &e.resolved else { continue };
+            g.callees
+                .entry(e.caller.clone())
+                .or_default()
+                .push(resolved.clone());
+            g.callers
+                .entry(resolved.clone())
+                .or_default()
+                .push(e.caller.clone());
+        }
+        for v in g.callees.values_mut() {
+            v.sort();
+            v.dedup();
+        }
+        for v in g.callers.values_mut() {
+            v.sort();
+            v.dedup();
+        }
+        g
+    }
+
+    /// Methods `m` calls (resolved).
+    #[must_use]
+    pub fn callees(&self, m: &MethodRef) -> &[MethodRef] {
+        self.callees.get(m).map_or(&[], Vec::as_slice)
+    }
+
+    /// Methods calling `m`.
+    #[must_use]
+    pub fn callers(&self, m: &MethodRef) -> &[MethodRef] {
+        self.callers.get(m).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of nodes (analyzed methods).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.callees.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.callees.is_empty()
+    }
+
+    /// Every method transitively reachable from `roots` (inclusive).
+    #[must_use]
+    pub fn reachable_from<'a>(
+        &self,
+        roots: impl IntoIterator<Item = &'a MethodRef>,
+    ) -> BTreeSet<MethodRef> {
+        let mut seen: BTreeSet<MethodRef> = BTreeSet::new();
+        let mut work: VecDeque<MethodRef> = roots.into_iter().cloned().collect();
+        while let Some(m) = work.pop_front() {
+            if !seen.insert(m.clone()) {
+                continue;
+            }
+            for c in self.callees(&m) {
+                if !seen.contains(c) {
+                    work.push_back(c.clone());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Graphviz dot rendering; framework nodes are drawn dashed so the
+    /// app/platform boundary — the thing gradual loading blurs — is
+    /// visible.
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph callgraph {\n  rankdir=LR;\n");
+        let mut nodes: Vec<&MethodRef> = self.callees.keys().collect();
+        nodes.sort();
+        for m in &nodes {
+            let style = match self.origins.get(*m) {
+                Some(ClassOrigin::Framework) => ", style=dashed",
+                Some(ClassOrigin::Library) => ", shape=box",
+                _ => "",
+            };
+            let _ = writeln!(out, "  \"{m}\" [label=\"{m}\"{style}];");
+        }
+        for m in &nodes {
+            for c in self.callees(m) {
+                let _ = writeln!(out, "  \"{m}\" -> \"{c}\";");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{app_method_roots, explore, ExploreConfig};
+    use crate::provider::{FrameworkProvider, PrimaryDexProvider};
+    use crate::Clvm;
+    use saint_adf::{well_known, AndroidFramework};
+    use saint_ir::{ApiLevel, ApkBuilder, ClassBuilder, ClassOrigin};
+    use std::sync::Arc;
+
+    fn graph() -> (CallGraph, MethodRef, MethodRef) {
+        let helper_ref = MethodRef::new("p.Helper", "work", "()V");
+        let helper = ClassBuilder::new("p.Helper", ClassOrigin::App)
+            .static_method("work", "()V", |b| {
+                b.invoke_virtual(well_known::context_get_drawable(), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
+                b.invoke_static(MethodRef::new("p.Helper", "work", "()V"), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+            .class(main)
+            .unwrap()
+            .class(helper)
+            .unwrap()
+            .build();
+        let mut clvm = Clvm::new();
+        clvm.add_provider(Box::new(PrimaryDexProvider::new(&apk)));
+        clvm.add_provider(Box::new(FrameworkProvider::new(
+            Arc::new(AndroidFramework::curated()),
+            ApiLevel::new(28),
+        )));
+        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        let on_create = MethodRef::new("p.Main", "onCreate", "(Landroid/os/Bundle;)V");
+        (CallGraph::from_exploration(&ex), on_create, helper_ref)
+    }
+
+    #[test]
+    fn callees_and_callers_are_inverse() {
+        let (g, on_create, helper) = graph();
+        assert_eq!(g.callees(&on_create), std::slice::from_ref(&helper));
+        assert_eq!(g.callers(&helper), &[on_create]);
+    }
+
+    #[test]
+    fn reachability_crosses_into_framework() {
+        let (g, on_create, _) = graph();
+        let reach = g.reachable_from([&on_create]);
+        assert!(reach.len() >= 3);
+        assert!(reach
+            .iter()
+            .any(|m| m.class.as_str() == "android.content.Context"));
+    }
+
+    #[test]
+    fn dot_output_marks_framework_nodes() {
+        let (g, _, _) = graph();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph callgraph"));
+        assert!(dot.contains("style=dashed"), "framework nodes dashed");
+        assert!(dot.contains("p.Main.onCreate"));
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn unknown_method_has_no_edges() {
+        let (g, _, _) = graph();
+        let ghost = MethodRef::new("no.Such", "m", "()V");
+        assert!(g.callees(&ghost).is_empty());
+        assert!(g.callers(&ghost).is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Control-flow graphs over method bodies.
+
+use saint_ir::{BlockId, MethodBody};
+
+/// Successor/predecessor edges and a reverse-post-order for one method
+/// body.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a (validated) method body.
+    #[must_use]
+    pub fn build(body: &MethodBody) -> Self {
+        let n = body.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (id, block) in body.iter() {
+            for s in block.terminator.successors() {
+                succs[id.index()].push(s);
+                preds[s.index()].push(id);
+            }
+        }
+        // Reverse post-order via iterative DFS from the entry block.
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut post: Vec<BlockId> = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId::ENTRY, 0)];
+        state[BlockId::ENTRY.index()] = 1;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b.index()].len() {
+                let next = succs[b.index()][*i];
+                *i += 1;
+                if state[next.index()] == 0 {
+                    state[next.index()] = 1;
+                    stack.push((next, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        Cfg {
+            succs,
+            preds,
+            rpo: post,
+        }
+    }
+
+    /// Successors of a block.
+    #[must_use]
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of a block.
+    #[must_use]
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks reachable from entry, in reverse post-order (the ideal
+    /// iteration order for forward data-flow).
+    #[must_use]
+    pub fn reverse_post_order(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Whether a block is reachable from entry.
+    #[must_use]
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo.contains(&b)
+    }
+
+    /// Number of blocks (including unreachable ones).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the CFG is empty (never true for validated bodies).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Rough size of this structure in bytes, for the load meter.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        let edges: usize = self.succs.iter().map(Vec::len).sum();
+        self.succs.len() * 24 + edges * 8 + self.rpo.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saint_ir::{ApiLevel, BodyBuilder};
+
+    #[test]
+    fn straight_line() {
+        let mut b = BodyBuilder::new();
+        b.ret_void();
+        let cfg = Cfg::build(&b.finish().unwrap());
+        assert_eq!(cfg.len(), 1);
+        assert!(cfg.succs(BlockId::ENTRY).is_empty());
+        assert_eq!(cfg.reverse_post_order(), &[BlockId::ENTRY]);
+    }
+
+    #[test]
+    fn diamond_from_guard() {
+        let mut b = BodyBuilder::new();
+        let (then_blk, join) = b.guard_sdk_at_least(ApiLevel::new(23));
+        b.switch_to(then_blk);
+        b.goto(join);
+        b.switch_to(join);
+        b.ret_void();
+        let cfg = Cfg::build(&b.finish().unwrap());
+        assert_eq!(cfg.succs(BlockId::ENTRY).len(), 2);
+        assert_eq!(cfg.preds(join).len(), 2);
+        // RPO starts at entry and contains every block once.
+        assert_eq!(cfg.reverse_post_order().len(), 3);
+        assert_eq!(cfg.reverse_post_order()[0], BlockId::ENTRY);
+    }
+
+    #[test]
+    fn unreachable_block_excluded_from_rpo() {
+        let mut b = BodyBuilder::new();
+        let orphan = b.new_block();
+        b.ret_void();
+        b.switch_to(orphan);
+        b.ret_void();
+        let cfg = Cfg::build(&b.finish().unwrap());
+        assert!(!cfg.is_reachable(orphan));
+        assert_eq!(cfg.reverse_post_order().len(), 1);
+    }
+
+    #[test]
+    fn loop_terminates_dfs() {
+        let mut b = BodyBuilder::new();
+        let body_blk = b.new_block();
+        let exit = b.new_block();
+        b.goto(body_blk);
+        b.switch_to(body_blk);
+        let r = b.alloc_reg();
+        b.const_int(r, 1);
+        b.branch_if(saint_ir::Cond::Gt, r, 0i64, body_blk, exit);
+        b.switch_to(exit);
+        b.ret_void();
+        let cfg = Cfg::build(&b.finish().unwrap());
+        assert_eq!(cfg.reverse_post_order().len(), 3);
+        assert!(cfg.preds(body_blk).len() == 2); // entry + self
+    }
+}

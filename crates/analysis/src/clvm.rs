@@ -1,0 +1,347 @@
+//! The Class Loader Virtual Machine (CLVM).
+//!
+//! Paper §III-A: "SAINTDroid, unlike all the other incompatibility
+//! detectors, mimics the incremental loading behavior of the Android
+//! runtime during execution … the algorithm uses a worklist that
+//! contains an initial list of methods to be explored, and loads
+//! classes to which they belong using a Class Loader Virtual Machine
+//! (CLVM)."
+//!
+//! The CLVM owns the provider delegation chain, the set of loaded
+//! classes, and the [`LoadMeter`]. Everything downstream (virtual
+//! dispatch resolution, override lookup, exploration) loads classes
+//! *through* it, so the meter sees exactly what the analysis
+//! materializes.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use saint_ir::{ClassDef, ClassName, MethodDef, MethodRef, MethodSig};
+
+use crate::meter::LoadMeter;
+use crate::provider::ClassProvider;
+
+/// Outcome of resolving a virtual call through the loaded hierarchy.
+#[derive(Debug, Clone)]
+pub enum Resolution {
+    /// The declaring class and method were found.
+    Found {
+        /// The class that actually declares the method.
+        declaring: Arc<ClassDef>,
+        /// The resolved method reference (`declaring.name` + signature).
+        method: MethodRef,
+    },
+    /// The receiver class chain was fully loaded but no declaration
+    /// matched.
+    NotFound,
+    /// Resolution left the statically analyzable world (class served by
+    /// no provider — e.g. code loaded from outside the package, or
+    /// native). Such calls are terminals in the call graph (paper
+    /// §III-A).
+    External(ClassName),
+}
+
+/// The lazy class loader.
+pub struct Clvm {
+    providers: Vec<Box<dyn ClassProvider>>,
+    loaded: HashMap<ClassName, Option<Arc<ClassDef>>>,
+    meter: LoadMeter,
+}
+
+impl Clvm {
+    /// An empty CLVM with no providers.
+    #[must_use]
+    pub fn new() -> Self {
+        Clvm {
+            providers: Vec::new(),
+            loaded: HashMap::new(),
+            meter: LoadMeter::new(),
+        }
+    }
+
+    /// Appends a provider to the delegation chain.
+    pub fn add_provider(&mut self, provider: Box<dyn ClassProvider>) {
+        self.providers.push(provider);
+    }
+
+    /// Loads a class (materializing and metering it on first access).
+    /// Returns `None` when no provider knows the class; the failed
+    /// lookup is remembered and metered once.
+    pub fn load_class(&mut self, name: &ClassName) -> Option<Arc<ClassDef>> {
+        match self.loaded.entry(name.clone()) {
+            Entry::Occupied(e) => e.get().clone(),
+            Entry::Vacant(e) => {
+                let found = self
+                    .providers
+                    .iter()
+                    .find_map(|p| p.find_class(name));
+                match &found {
+                    Some(c) => self.meter.record_class(c.size_bytes()),
+                    None => self.meter.record_unresolved(),
+                }
+                e.insert(found.clone());
+                found
+            }
+        }
+    }
+
+    /// Whether a class has already been loaded (without loading it).
+    #[must_use]
+    pub fn is_loaded(&self, name: &ClassName) -> bool {
+        matches!(self.loaded.get(name), Some(Some(_)))
+    }
+
+    /// Eagerly loads every class every provider can serve — the
+    /// monolithic strategy of the baseline tools (paper §II-D:
+    /// "Existing analysis techniques first load all code in the project
+    /// and then perform analysis on the loaded code").
+    pub fn load_everything(&mut self) {
+        let names: Vec<ClassName> = self
+            .providers
+            .iter()
+            .flat_map(|p| p.class_names())
+            .collect();
+        for name in names {
+            self.load_class(&name);
+        }
+    }
+
+    /// All class names every provider can serve, without loading.
+    #[must_use]
+    pub fn available_class_names(&self) -> Vec<ClassName> {
+        self.providers.iter().flat_map(|p| p.class_names()).collect()
+    }
+
+    /// Resolves a virtual/interface call: loads the static receiver
+    /// class and walks up the superclass chain until a declaration of
+    /// the signature is found.
+    pub fn resolve_virtual(&mut self, call: &MethodRef) -> Resolution {
+        let sig = call.signature();
+        let mut current = call.class.clone();
+        for _ in 0..64 {
+            let Some(class) = self.load_class(&current) else {
+                return Resolution::External(current);
+            };
+            if class.method(&sig).is_some() {
+                let method = sig.on_class(class.name.clone());
+                return Resolution::Found {
+                    declaring: class,
+                    method,
+                };
+            }
+            match &class.super_class {
+                Some(sup) => current = sup.clone(),
+                None => return Resolution::NotFound,
+            }
+        }
+        Resolution::NotFound
+    }
+
+    /// Finds the concrete [`MethodDef`] for a resolved call, if the
+    /// declaring class carries a body.
+    pub fn resolve_body(&mut self, call: &MethodRef) -> Option<(Arc<ClassDef>, MethodRef)> {
+        match self.resolve_virtual(call) {
+            Resolution::Found { declaring, method } => {
+                let has_body = declaring
+                    .method(&method.signature())
+                    .is_some_and(|m| m.body.is_some());
+                has_body.then_some((declaring, method))
+            }
+            _ => None,
+        }
+    }
+
+    /// Walks the loaded superclass chain from `class` (exclusive) and
+    /// returns the first *framework-provided* ancestor name, loading
+    /// classes along the way. Used by the callback detector to find
+    /// which framework class an app class ultimately extends.
+    pub fn framework_ancestor(&mut self, class: &ClassName) -> Option<ClassName> {
+        let mut current = self.load_class(class)?.super_class.clone();
+        for _ in 0..64 {
+            let sup_name = current?;
+            match self.load_class(&sup_name) {
+                Some(sup) => {
+                    if matches!(sup.origin, saint_ir::ClassOrigin::Framework) {
+                        return Some(sup_name);
+                    }
+                    current = sup.super_class.clone();
+                }
+                // Unresolvable super: treat its *name* as the framework
+                // boundary if it looks like one, else give up.
+                None => {
+                    return sup_name.is_framework_namespace().then_some(sup_name);
+                }
+            }
+        }
+        None
+    }
+
+    /// Looks up the method definition on an already-resolved class.
+    #[must_use]
+    pub fn method_def<'a>(class: &'a ClassDef, sig: &MethodSig) -> Option<&'a MethodDef> {
+        class.method(sig)
+    }
+
+    /// The meter's current snapshot.
+    #[must_use]
+    pub fn meter(&self) -> &LoadMeter {
+        &self.meter
+    }
+
+    /// Mutable access for exploration code that meters method analysis.
+    pub fn meter_mut(&mut self) -> &mut LoadMeter {
+        &mut self.meter
+    }
+
+    /// Number of distinct classes successfully loaded.
+    #[must_use]
+    pub fn loaded_count(&self) -> usize {
+        self.loaded.values().filter(|v| v.is_some()).count()
+    }
+
+    /// Names of all loaded classes (diagnostics).
+    pub fn loaded_names(&self) -> impl Iterator<Item = &ClassName> {
+        self.loaded
+            .iter()
+            .filter_map(|(n, v)| v.is_some().then_some(n))
+    }
+}
+
+impl Default for Clvm {
+    fn default() -> Self {
+        Clvm::new()
+    }
+}
+
+impl std::fmt::Debug for Clvm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Clvm")
+            .field("providers", &self.providers.len())
+            .field("loaded", &self.loaded_count())
+            .field("meter", &self.meter)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::{FrameworkProvider, PrimaryDexProvider};
+    use saint_adf::AndroidFramework;
+    use saint_ir::{ApiLevel, ApkBuilder, ClassBuilder, ClassOrigin};
+
+    fn demo_clvm() -> Clvm {
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let mid = ClassBuilder::new("p.Base", ClassOrigin::App)
+            .extends("android.app.ListActivity")
+            .build();
+        let sub = ClassBuilder::new("p.Sub", ClassOrigin::App)
+            .extends("p.Base")
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+            .class(main)
+            .unwrap()
+            .class(mid)
+            .unwrap()
+            .class(sub)
+            .unwrap()
+            .build();
+        let mut clvm = Clvm::new();
+        clvm.add_provider(Box::new(PrimaryDexProvider::new(&apk)));
+        clvm.add_provider(Box::new(FrameworkProvider::new(
+            Arc::new(AndroidFramework::curated()),
+            ApiLevel::new(28),
+        )));
+        clvm
+    }
+
+    #[test]
+    fn lazy_loading_meters_once() {
+        let mut clvm = demo_clvm();
+        let name = ClassName::new("p.Main");
+        clvm.load_class(&name);
+        clvm.load_class(&name);
+        assert_eq!(clvm.meter().classes_loaded, 1);
+        assert!(clvm.is_loaded(&name));
+    }
+
+    #[test]
+    fn unresolved_lookup_remembered() {
+        let mut clvm = demo_clvm();
+        let ghost = ClassName::new("no.Such");
+        assert!(clvm.load_class(&ghost).is_none());
+        assert!(clvm.load_class(&ghost).is_none());
+        assert_eq!(clvm.meter().unresolved_lookups, 1);
+    }
+
+    #[test]
+    fn virtual_resolution_walks_into_framework() {
+        let mut clvm = demo_clvm();
+        // p.Main extends android.app.Activity; setContentView resolves
+        // up into the framework class.
+        let call = MethodRef::new("p.Main", "setContentView", "(I)V");
+        match clvm.resolve_virtual(&call) {
+            Resolution::Found { method, .. } => {
+                assert_eq!(method.class.as_str(), "android.app.Activity");
+            }
+            other => panic!("expected Found, got {other:?}"),
+        }
+        // Lazy: only the classes on the resolution path got loaded.
+        assert!(clvm.is_loaded(&ClassName::new("android.app.Activity")));
+        assert!(!clvm.is_loaded(&ClassName::new("android.webkit.WebView")));
+    }
+
+    #[test]
+    fn resolution_reports_external_for_unknown_receiver() {
+        let mut clvm = demo_clvm();
+        let call = MethodRef::new("com.thirdparty.Blob", "run", "()V");
+        assert!(matches!(clvm.resolve_virtual(&call), Resolution::External(_)));
+    }
+
+    #[test]
+    fn resolution_not_found_for_missing_signature() {
+        let mut clvm = demo_clvm();
+        let call = MethodRef::new("p.Main", "noSuchMethod", "()V");
+        assert!(matches!(clvm.resolve_virtual(&call), Resolution::NotFound));
+    }
+
+    #[test]
+    fn framework_ancestor_skips_app_layers() {
+        let mut clvm = demo_clvm();
+        let anc = clvm.framework_ancestor(&ClassName::new("p.Sub")).unwrap();
+        assert_eq!(anc.as_str(), "android.app.ListActivity");
+    }
+
+    #[test]
+    fn load_everything_is_monolithic() {
+        let mut lazy = demo_clvm();
+        lazy.load_class(&ClassName::new("p.Main"));
+        let lazy_count = lazy.loaded_count();
+
+        let mut eager = demo_clvm();
+        eager.load_everything();
+        assert!(
+            eager.loaded_count() > lazy_count * 10,
+            "eager {} vs lazy {}",
+            eager.loaded_count(),
+            lazy_count
+        );
+        assert!(eager.meter().total_bytes() > lazy.meter().total_bytes());
+    }
+
+    #[test]
+    fn resolve_body_returns_concrete_bodies_only() {
+        let mut clvm = demo_clvm();
+        let call = MethodRef::new("p.Main", "onCreate", "(Landroid/os/Bundle;)V");
+        let (declaring, method) = clvm.resolve_body(&call).unwrap();
+        assert_eq!(declaring.name.as_str(), "p.Main");
+        assert_eq!(&*method.name, "onCreate");
+    }
+}

@@ -1,0 +1,564 @@
+//! Worklist exploration of statically analyzable classes — paper
+//! Algorithm 1.
+//!
+//! Starting from a set of root methods (every method of the app's
+//! classes — components, callbacks and helpers alike), the explorer
+//! pops a method, asks the [`Clvm`] to load and resolve its declaring
+//! class, builds the method's control- and data-flow artifacts, appends
+//! every discovered callee to the worklist, and chases
+//! `DexClassLoader.loadClass`/`Class.forName` string constants into
+//! late-bound payload classes. Classes are loaded strictly on demand;
+//! the exploration *is* the reachability analysis that makes
+//! SAINTDroid's lazy loading sound.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use saint_ir::{Apk, ClassDef, ClassName, ClassOrigin, Instr, MethodRef};
+
+use crate::absint::{AbsState, AbsVal};
+use crate::cfg::Cfg;
+use crate::clvm::{Clvm, Resolution};
+
+/// Exploration policy knobs. SAINTDroid uses [`ExploreConfig::saintdroid`];
+/// the baselines configure shallower traversals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// Follow calls into framework classes and analyze their bodies
+    /// (the "beyond the first level" capability, paper §III-A).
+    pub follow_framework: bool,
+    /// Chase `DexClassLoader.loadClass` / `Class.forName` constants
+    /// into late-bound classes (paper §III-A, late binding).
+    pub follow_dynamic: bool,
+    /// Skip anonymous inner classes (`Foo$1`) — the acknowledged
+    /// SAINTDroid limitation (paper §VI), reproduced deliberately.
+    pub skip_anonymous: bool,
+    /// Load *everything* every provider can serve before exploring —
+    /// the monolithic strategy. Only the ablation experiments turn
+    /// this on; it exists to quantify what gradual loading buys.
+    pub preload_all: bool,
+}
+
+impl ExploreConfig {
+    /// SAINTDroid's configuration: deep, dynamic-aware, anonymous
+    /// classes skipped.
+    #[must_use]
+    pub fn saintdroid() -> Self {
+        ExploreConfig {
+            follow_framework: true,
+            follow_dynamic: true,
+            skip_anonymous: true,
+            preload_all: false,
+        }
+    }
+
+    /// A shallow configuration: stop at the app/framework boundary and
+    /// ignore late binding (the CID-style view of the world).
+    #[must_use]
+    pub fn shallow() -> Self {
+        ExploreConfig {
+            follow_framework: false,
+            follow_dynamic: false,
+            skip_anonymous: true,
+            preload_all: false,
+        }
+    }
+}
+
+/// Everything the explorer derived about one analyzed method.
+#[derive(Debug)]
+pub struct MethodArtifacts {
+    /// The class declaring the method.
+    pub class: Arc<ClassDef>,
+    /// Resolved method reference (declaring class + signature).
+    pub method: MethodRef,
+    /// Where the declaring class came from.
+    pub origin: ClassOrigin,
+    /// Control-flow graph.
+    pub cfg: Cfg,
+    /// Abstract register state.
+    pub abs: AbsState,
+}
+
+/// One call-graph edge discovered during exploration.
+#[derive(Debug, Clone)]
+pub struct CallEdge {
+    /// Resolved caller.
+    pub caller: MethodRef,
+    /// Static target as written at the call site.
+    pub target: MethodRef,
+    /// Declaring-class resolution of the target, when it stayed inside
+    /// the analyzable world.
+    pub resolved: Option<MethodRef>,
+}
+
+/// A late-binding discovery.
+#[derive(Debug, Clone)]
+pub struct DynamicLoad {
+    /// Method containing the `loadClass`/`forName` call.
+    pub site: MethodRef,
+    /// Class name recovered from the string constant.
+    pub class: ClassName,
+    /// Whether the class was found in a bundled payload (vs. loaded
+    /// from outside the package, which static analysis cannot see —
+    /// paper §III-A caveat).
+    pub resolved: bool,
+}
+
+/// The exploration result: the analyzed method universe plus the call
+/// graph over it.
+#[derive(Debug, Default)]
+pub struct Exploration {
+    /// Artifacts per resolved method (only methods with bodies).
+    pub methods: HashMap<MethodRef, Arc<MethodArtifacts>>,
+    /// All discovered call edges, in discovery order.
+    pub edges: Vec<CallEdge>,
+    /// Receiver classes no provider could serve (external / native
+    /// terminals).
+    pub external_classes: BTreeSet<ClassName>,
+    /// Late-binding discoveries.
+    pub dynamic_loads: Vec<DynamicLoad>,
+    /// Virtual-dispatch resolution of every static call target seen
+    /// during exploration (`None` = external / not found). Detectors
+    /// reuse this instead of re-resolving.
+    pub resolutions: HashMap<MethodRef, Option<MethodRef>>,
+    /// Indices into `edges`, grouped by resolved caller (built during
+    /// exploration so per-caller edge lookups are O(out-degree)).
+    edge_index: HashMap<MethodRef, Vec<u32>>,
+}
+
+impl Exploration {
+    /// Artifacts of a resolved method.
+    #[must_use]
+    pub fn artifacts(&self, method: &MethodRef) -> Option<&Arc<MethodArtifacts>> {
+        self.methods.get(method)
+    }
+
+    /// Whether any analyzed app method overrides/declares the given
+    /// signature name + descriptor.
+    #[must_use]
+    pub fn any_app_method_named(&self, name: &str, descriptor: &str) -> bool {
+        self.methods.values().any(|a| {
+            !matches!(a.origin, ClassOrigin::Framework)
+                && &*a.method.name == name
+                && &*a.method.descriptor == descriptor
+        })
+    }
+
+    /// Outgoing edges of a resolved caller.
+    pub fn edges_from<'a>(
+        &'a self,
+        caller: &MethodRef,
+    ) -> impl Iterator<Item = &'a CallEdge> {
+        self.edge_index
+            .get(caller)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.edges[i as usize])
+    }
+
+    /// Records an edge, maintaining the per-caller index.
+    pub(crate) fn push_edge(&mut self, edge: CallEdge) {
+        let idx = self.edges.len() as u32;
+        self.edge_index
+            .entry(edge.caller.clone())
+            .or_default()
+            .push(idx);
+        self.edges.push(edge);
+    }
+}
+
+/// Root set helper: every concrete method of every class bundled in
+/// the APK's primary dex. Component entry points, framework callbacks
+/// and plain helpers are all roots — the conservative ICFG entry set.
+#[must_use]
+pub fn app_method_roots(apk: &Apk) -> Vec<MethodRef> {
+    apk.primary
+        .classes()
+        .flat_map(|c| {
+            c.methods
+                .iter()
+                .filter(|m| m.body.is_some())
+                .map(move |m| m.reference(&c.name))
+        })
+        .collect()
+}
+
+/// Runs Algorithm 1: explores from `roots` through the [`Clvm`].
+pub fn explore(
+    clvm: &mut Clvm,
+    roots: impl IntoIterator<Item = MethodRef>,
+    config: &ExploreConfig,
+) -> Exploration {
+    if config.preload_all {
+        clvm.load_everything();
+    }
+    let mut out = Exploration::default();
+    let mut worklist: VecDeque<MethodRef> = roots.into_iter().collect();
+    let mut visited_static: HashSet<MethodRef> = HashSet::new();
+
+    while let Some(target) = worklist.pop_front() {
+        if !visited_static.insert(target.clone()) {
+            continue;
+        }
+        let (declaring, resolved) = match clvm.resolve_virtual(&target) {
+            Resolution::Found { declaring, method } => (declaring, method),
+            Resolution::External(class) => {
+                out.external_classes.insert(class);
+                continue;
+            }
+            Resolution::NotFound => continue,
+        };
+        if out.methods.contains_key(&resolved) {
+            continue;
+        }
+        if config.skip_anonymous
+            && declaring.name.is_anonymous_inner()
+            && !matches!(declaring.origin, ClassOrigin::Framework)
+        {
+            continue;
+        }
+        if !config.follow_framework && matches!(declaring.origin, ClassOrigin::Framework) {
+            // Terminal: the shallow view stops at the framework boundary.
+            continue;
+        }
+        let Some(def) = declaring.method(&resolved.signature()) else {
+            continue;
+        };
+        let Some(body) = &def.body else {
+            continue; // abstract / native terminal
+        };
+
+        let cfg = Cfg::build(body);
+        let abs = AbsState::analyze(body, &cfg);
+        clvm.meter_mut()
+            .record_method(cfg.size_bytes() + abs.size_bytes());
+
+        // Scan the body for callees and late-binding sites.
+        for (block, bb) in body.iter() {
+            for instr in &bb.instrs {
+                let Instr::Invoke { method, args, .. } = instr else {
+                    continue;
+                };
+                let edge_resolved = match clvm.resolve_virtual(method) {
+                    Resolution::Found { method: m, .. } => Some(m),
+                    Resolution::External(class) => {
+                        out.external_classes.insert(class);
+                        None
+                    }
+                    Resolution::NotFound => None,
+                };
+                out.resolutions
+                    .insert(method.clone(), edge_resolved.clone());
+                out.push_edge(CallEdge {
+                    caller: resolved.clone(),
+                    target: method.clone(),
+                    resolved: edge_resolved,
+                });
+                worklist.push_back(method.clone());
+
+                if config.follow_dynamic && is_dynamic_load(method) {
+                    let env = abs.at_entry(block);
+                    // Recover the first string-constant argument: the
+                    // class name handed to the loader.
+                    //
+                    // NOTE: entry-env is an approximation; constants
+                    // defined earlier in the same block are found via
+                    // a forward scan below.
+                    let mut local = env.clone();
+                    for earlier in &bb.instrs {
+                        if std::ptr::eq(earlier, instr) {
+                            break;
+                        }
+                        local.apply(earlier);
+                    }
+                    let name = args.iter().find_map(|r| match local.get(*r) {
+                        AbsVal::Str(s) => Some(ClassName::new(s)),
+                        _ => None,
+                    });
+                    if let Some(class) = name {
+                        let loaded = clvm.load_class(&class);
+                        let hit = loaded.is_some();
+                        if let Some(c) = loaded {
+                            for m in c.methods.iter().filter(|m| m.body.is_some()) {
+                                worklist.push_back(m.reference(&c.name));
+                            }
+                        }
+                        out.dynamic_loads.push(DynamicLoad {
+                            site: resolved.clone(),
+                            class,
+                            resolved: hit,
+                        });
+                    }
+                }
+            }
+        }
+
+        let origin = declaring.origin;
+        out.methods.insert(
+            resolved.clone(),
+            Arc::new(MethodArtifacts {
+                class: declaring,
+                method: resolved,
+                origin,
+                cfg,
+                abs,
+            }),
+        );
+    }
+    out
+}
+
+/// Whether a call target is a late-binding entry point.
+#[must_use]
+pub fn is_dynamic_load(method: &MethodRef) -> bool {
+    (&*method.name == "loadClass"
+        && method.class.as_str() == "dalvik.system.DexClassLoader")
+        || (&*method.name == "forName" && method.class.as_str() == "java.lang.Class")
+}
+
+/// Convenience wrapper: returns all concrete methods of a loaded class
+/// as references (used when a dynamically loaded class joins the
+/// analysis).
+#[must_use]
+pub fn concrete_methods(class: &ClassDef) -> Vec<MethodRef> {
+    class
+        .methods
+        .iter()
+        .filter(|m| m.body.is_some())
+        .map(|m| m.reference(&class.name))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::{FrameworkProvider, PrimaryDexProvider, SecondaryDexProvider};
+    use saint_adf::{well_known, AndroidFramework};
+    use saint_ir::{ApiLevel, ApkBuilder, BodyBuilder, ClassBuilder, DexFile, InvokeKind};
+
+    fn clvm_for(apk: &Apk) -> Clvm {
+        let mut clvm = Clvm::new();
+        clvm.add_provider(Box::new(PrimaryDexProvider::new(apk)));
+        for dex in &apk.secondary {
+            clvm.add_provider(Box::new(SecondaryDexProvider::new(dex)));
+        }
+        clvm.add_provider(Box::new(FrameworkProvider::new(
+            Arc::new(AndroidFramework::curated()),
+            ApiLevel::new(28),
+        )));
+        clvm
+    }
+
+    fn simple_apk() -> Apk {
+        let helper = ClassBuilder::new("p.Helper", ClassOrigin::App)
+            .static_method("work", "()V", |b| {
+                b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", |b: &mut BodyBuilder| {
+                b.invoke_static(MethodRef::new("p.Helper", "work", "()V"), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+            .activity("p.Main")
+            .class(main)
+            .unwrap()
+            .class(helper)
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn explores_transitively_through_app_methods() {
+        let apk = simple_apk();
+        let mut clvm = clvm_for(&apk);
+        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        assert!(ex
+            .artifacts(&MethodRef::new("p.Main", "onCreate", "(Landroid/os/Bundle;)V"))
+            .is_some());
+        assert!(ex.artifacts(&MethodRef::new("p.Helper", "work", "()V")).is_some());
+        // Deep: the framework method body got analyzed too.
+        assert!(ex
+            .methods
+            .keys()
+            .any(|m| m.class.as_str() == "android.content.Context"));
+    }
+
+    #[test]
+    fn shallow_config_stops_at_framework() {
+        let apk = simple_apk();
+        let mut clvm = clvm_for(&apk);
+        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::shallow());
+        assert!(ex.artifacts(&MethodRef::new("p.Helper", "work", "()V")).is_some());
+        assert!(!ex
+            .methods
+            .keys()
+            .any(|m| m.class.as_str().starts_with("android.")));
+    }
+
+    #[test]
+    fn lazy_loading_touches_only_reachable_classes() {
+        let apk = simple_apk();
+        let mut clvm = clvm_for(&apk);
+        let _ = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        let loaded = clvm.loaded_count();
+        let available = clvm.available_class_names().len();
+        assert!(
+            loaded * 3 < available,
+            "lazy exploration loaded {loaded} of {available} classes"
+        );
+    }
+
+    #[test]
+    fn call_edges_record_resolution() {
+        let apk = simple_apk();
+        let mut clvm = clvm_for(&apk);
+        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        let on_create = MethodRef::new("p.Main", "onCreate", "(Landroid/os/Bundle;)V");
+        let edges: Vec<_> = ex.edges_from(&on_create).collect();
+        assert_eq!(edges.len(), 1);
+        assert_eq!(
+            edges[0].resolved.as_ref().map(|m| m.class.as_str()),
+            Some("p.Helper")
+        );
+    }
+
+    #[test]
+    fn external_receiver_recorded_as_terminal() {
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .method("go", "()V", |b| {
+                b.invoke_virtual(MethodRef::new("com.vendor.Sdk", "init", "()V"), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+            .class(main)
+            .unwrap()
+            .build();
+        let mut clvm = clvm_for(&apk);
+        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        assert!(ex.external_classes.contains(&ClassName::new("com.vendor.Sdk")));
+    }
+
+    #[test]
+    fn dynamic_payload_classes_fully_analyzed() {
+        let mut payload = DexFile::new("assets/plugin.dex");
+        payload
+            .add_class(
+                ClassBuilder::new("plug.Plugin", ClassOrigin::DynamicPayload)
+                    .method("run", "()V", |b| {
+                        b.invoke_virtual(well_known::context_get_drawable(), &[], None);
+                        b.ret_void();
+                    })
+                    .unwrap()
+                    .method("idle", "()V", |b| {
+                        b.ret_void();
+                    })
+                    .unwrap()
+                    .build(),
+            )
+            .unwrap();
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .method("boot", "()V", |b| {
+                let loader = b.alloc_reg();
+                let name = b.alloc_reg();
+                b.new_instance(loader, "dalvik.system.DexClassLoader");
+                b.const_str(name, "plug.Plugin");
+                b.invoke(
+                    InvokeKind::Virtual,
+                    well_known::dex_class_loader_load_class(),
+                    &[loader, name],
+                    None,
+                );
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+            .class(main)
+            .unwrap()
+            .secondary_dex(payload)
+            .build();
+        let mut clvm = clvm_for(&apk);
+        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        assert_eq!(ex.dynamic_loads.len(), 1);
+        assert!(ex.dynamic_loads[0].resolved);
+        // Every method of the payload class was analyzed.
+        assert!(ex.artifacts(&MethodRef::new("plug.Plugin", "run", "()V")).is_some());
+        assert!(ex.artifacts(&MethodRef::new("plug.Plugin", "idle", "()V")).is_some());
+    }
+
+    #[test]
+    fn unresolvable_dynamic_load_recorded() {
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .method("boot", "()V", |b| {
+                let name = b.alloc_reg();
+                b.const_str(name, "remote.Downloaded");
+                b.invoke_static(
+                    MethodRef::new("java.lang.Class", "forName", "(Ljava/lang/String;)Ljava/lang/Class;"),
+                    &[name],
+                    None,
+                );
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+            .class(main)
+            .unwrap()
+            .build();
+        let mut clvm = clvm_for(&apk);
+        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        assert_eq!(ex.dynamic_loads.len(), 1);
+        assert!(!ex.dynamic_loads[0].resolved);
+    }
+
+    #[test]
+    fn anonymous_inner_classes_skipped() {
+        let anon = ClassBuilder::new("p.Main$1", ClassOrigin::App)
+            .extends("android.webkit.WebViewClient")
+            .method("onPageCommitVisible", "(Landroid/webkit/WebView;Ljava/lang/String;)V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(19), ApiLevel::new(28))
+            .class(anon)
+            .unwrap()
+            .build();
+        let mut clvm = clvm_for(&apk);
+        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        assert!(ex.methods.is_empty(), "anonymous inner class must be invisible");
+    }
+
+    #[test]
+    fn recursive_calls_terminate() {
+        let rec = ClassBuilder::new("p.R", ClassOrigin::App)
+            .static_method("f", "()V", |b| {
+                b.invoke_static(MethodRef::new("p.R", "g", "()V"), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .static_method("g", "()V", |b| {
+                b.invoke_static(MethodRef::new("p.R", "f", "()V"), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+            .class(rec)
+            .unwrap()
+            .build();
+        let mut clvm = clvm_for(&apk);
+        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        assert_eq!(ex.methods.len(), 2);
+    }
+}

@@ -1,0 +1,358 @@
+//! SDK_INT guard analysis: per-block API-level ranges.
+//!
+//! This is the path-sensitive core of the AUM (paper §III-A): "a
+//! reachability analysis is conducted over the augmented graph to
+//! identify the guards that encompass the execution paths reaching the
+//! annotated API calls". Each basic block is assigned the interval of
+//! device API levels under which it can execute, starting from an
+//! *incoming* range (the app's manifest span, or — for
+//! context-sensitive interprocedural analysis — the refined range at
+//! the call site) and narrowing across `SDK_INT` comparisons.
+
+use saint_ir::{ApiLevel, BlockId, Cond, LevelRange, MethodBody, Operand, Reg, Terminator};
+
+use crate::absint::{AbsState, AbsVal};
+use crate::cfg::Cfg;
+
+/// A constraint a branch edge imposes on the device API level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SdkConstraint {
+    /// `SDK_INT >= level`
+    AtLeast(ApiLevel),
+    /// `SDK_INT <= level`
+    AtMost(ApiLevel),
+    /// `SDK_INT == level`
+    Exactly(ApiLevel),
+    /// The edge says nothing about the level.
+    Unconstrained,
+}
+
+impl SdkConstraint {
+    /// Applies the constraint to a range; `None` when unsatisfiable.
+    #[must_use]
+    pub fn refine(self, range: LevelRange) -> Option<LevelRange> {
+        match self {
+            SdkConstraint::AtLeast(l) => range.checked_refine_at_least(l),
+            SdkConstraint::AtMost(l) => range.checked_refine_at_most(l),
+            SdkConstraint::Exactly(l) => range
+                .checked_refine_at_least(l)
+                .and_then(|r| r.checked_refine_at_most(l)),
+            SdkConstraint::Unconstrained => Some(range),
+        }
+    }
+}
+
+fn level_from(v: i64) -> Option<ApiLevel> {
+    (0..=255).contains(&v).then(|| ApiLevel::new(v as u8))
+}
+
+/// Saturating constraint construction: comparisons against values
+/// outside the representable window collapse to trivially
+/// satisfiable/unsatisfiable forms.
+fn at_least(v: i64) -> SdkConstraint {
+    if v <= 0 {
+        SdkConstraint::Unconstrained
+    } else if v > 255 {
+        // never satisfiable: encode as Exactly on an impossible pairing
+        SdkConstraint::AtLeast(ApiLevel::new(255))
+    } else {
+        SdkConstraint::AtLeast(ApiLevel::new(v as u8))
+    }
+}
+
+fn at_most(v: i64) -> SdkConstraint {
+    if v >= 255 {
+        SdkConstraint::Unconstrained
+    } else if v < 0 {
+        SdkConstraint::AtMost(ApiLevel::new(0))
+    } else {
+        SdkConstraint::AtMost(ApiLevel::new(v as u8))
+    }
+}
+
+/// Interprets an `if SDK_INT <cond> c` terminator; returns the
+/// constraints on the *(then, else)* edges. Both orders of operands are
+/// recognized (`SDK_INT >= 23` and `23 <= SDK_INT`).
+#[must_use]
+pub fn branch_constraints(
+    cond: Cond,
+    lhs: Reg,
+    rhs: &Operand,
+    env: &crate::absint::AbsEnv,
+) -> (SdkConstraint, SdkConstraint) {
+    let lv = env.get(lhs);
+    let rv = env.operand(rhs);
+    let (c, value) = match (&lv, &rv) {
+        (AbsVal::SdkInt, AbsVal::Const(v)) => (cond, *v),
+        (AbsVal::Const(v), AbsVal::SdkInt) => (cond.swap(), *v),
+        _ => return (SdkConstraint::Unconstrained, SdkConstraint::Unconstrained),
+    };
+    // `SDK_INT <c> value`; then-edge takes c, else-edge takes !c.
+    let then_c = constraint_for(c, value);
+    let else_c = constraint_for(c.negate(), value);
+    (then_c, else_c)
+}
+
+fn constraint_for(cond: Cond, v: i64) -> SdkConstraint {
+    match cond {
+        Cond::Ge => at_least(v),
+        Cond::Gt => at_least(v.saturating_add(1)),
+        Cond::Le => at_most(v),
+        Cond::Lt => at_most(v.saturating_sub(1)),
+        Cond::Eq => match level_from(v) {
+            Some(l) => SdkConstraint::Exactly(l),
+            None => SdkConstraint::Unconstrained,
+        },
+        // Intervals cannot express ≠; stay unconstrained (sound).
+        Cond::Ne => SdkConstraint::Unconstrained,
+    }
+}
+
+/// Per-block level ranges for one method under one incoming context.
+///
+/// `None` means the block is unreachable under the incoming range (the
+/// guard structure proves the code cannot execute at any supported
+/// level — e.g. the else-branch of `if (SDK_INT >= 23)` in an app whose
+/// `minSdkVersion` is 23).
+#[derive(Debug, Clone)]
+pub struct BlockRanges {
+    ranges: Vec<Option<LevelRange>>,
+}
+
+impl BlockRanges {
+    /// Computes the fixpoint of range propagation over the CFG.
+    #[must_use]
+    pub fn analyze(
+        body: &MethodBody,
+        _cfg: &Cfg,
+        abs: &AbsState,
+        incoming: LevelRange,
+    ) -> Self {
+        let n = body.len();
+        let mut ranges: Vec<Option<LevelRange>> = vec![None; n];
+        ranges[BlockId::ENTRY.index()] = Some(incoming);
+        // Interval hull only widens; iterate to fixpoint.
+        let mut work: Vec<BlockId> = vec![BlockId::ENTRY];
+        let mut iterations = 0usize;
+        while let Some(b) = work.pop() {
+            iterations += 1;
+            if iterations > n * 64 {
+                break; // safety valve; hull widening converges long before this
+            }
+            let Some(cur) = ranges[b.index()] else { continue };
+            let term = &body.block(b).terminator;
+            let env = abs.at_exit(b);
+            let edges: Vec<(BlockId, SdkConstraint)> = match term {
+                Terminator::If {
+                    cond,
+                    lhs,
+                    rhs,
+                    then_blk,
+                    else_blk,
+                } => {
+                    let (tc, ec) = branch_constraints(*cond, *lhs, rhs, env);
+                    vec![(*then_blk, tc), (*else_blk, ec)]
+                }
+                other => other
+                    .successors()
+                    .into_iter()
+                    .map(|s| (s, SdkConstraint::Unconstrained))
+                    .collect(),
+            };
+            for (succ, constraint) in edges {
+                let Some(refined) = constraint.refine(cur) else { continue };
+                let merged = match ranges[succ.index()] {
+                    None => refined,
+                    Some(existing) => {
+                        // interval hull
+                        LevelRange::new(
+                            existing.min().min(refined.min()),
+                            existing.max().max(refined.max()),
+                        )
+                    }
+                };
+                if ranges[succ.index()] != Some(merged) {
+                    ranges[succ.index()] = Some(merged);
+                    work.push(succ);
+                }
+            }
+        }
+        BlockRanges { ranges }
+    }
+
+    /// The range under which `block` can execute, or `None` if
+    /// unreachable.
+    #[must_use]
+    pub fn range(&self, block: BlockId) -> Option<LevelRange> {
+        self.ranges[block.index()]
+    }
+
+    /// Iterates `(block, range)` for reachable blocks.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockId, LevelRange)> + '_ {
+        self.ranges
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.map(|r| (BlockId(i as u32), r)))
+    }
+
+    /// Rough size in bytes, for the load meter.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.ranges.len() * 8 + 24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saint_ir::BodyBuilder;
+
+    fn ranges_for(b: BodyBuilder, incoming: (u8, u8)) -> (MethodBody, BlockRanges) {
+        let body = b.finish().unwrap();
+        let cfg = Cfg::build(&body);
+        let abs = AbsState::analyze(&body, &cfg);
+        let incoming = LevelRange::new(ApiLevel::new(incoming.0), ApiLevel::new(incoming.1));
+        let br = BlockRanges::analyze(&body, &cfg, &abs, incoming);
+        (body, br)
+    }
+
+    fn lr(a: u8, b: u8) -> LevelRange {
+        LevelRange::new(ApiLevel::new(a), ApiLevel::new(b))
+    }
+
+    #[test]
+    fn ge_guard_splits_range() {
+        let mut b = BodyBuilder::new();
+        let (then_blk, join) = b.guard_sdk_at_least(ApiLevel::new(23));
+        b.switch_to(then_blk);
+        b.goto(join);
+        b.switch_to(join);
+        b.ret_void();
+        let (_, br) = ranges_for(b, (21, 28));
+        assert_eq!(br.range(BlockId::ENTRY), Some(lr(21, 28)));
+        assert_eq!(br.range(then_blk), Some(lr(23, 28)));
+        // join is hull of guarded path (23..28) and fall-through (21..22)
+        assert_eq!(br.range(join), Some(lr(21, 28)));
+    }
+
+    #[test]
+    fn unsatisfiable_branch_is_unreachable() {
+        // App supports 23..28; the legacy `SDK_INT < 23` branch is dead.
+        let mut b = BodyBuilder::new();
+        let (legacy, join) = b.guard_sdk_below(ApiLevel::new(23));
+        b.switch_to(legacy);
+        b.goto(join);
+        b.switch_to(join);
+        b.ret_void();
+        let (_, br) = ranges_for(b, (23, 28));
+        assert_eq!(br.range(legacy), None);
+        assert_eq!(br.range(join), Some(lr(23, 28)));
+    }
+
+    #[test]
+    fn swapped_operand_guard_recognized() {
+        // if (23 <= SDK_INT) … — constant on the left.
+        let mut b = BodyBuilder::new();
+        let c = b.alloc_reg();
+        b.const_int(c, 23);
+        let sdk = b.sdk_int();
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch_if(Cond::Le, c, sdk, t, e);
+        b.switch_to(t);
+        b.ret_void();
+        b.switch_to(e);
+        b.ret_void();
+        let (_, br) = ranges_for(b, (19, 28));
+        assert_eq!(br.range(t), Some(lr(23, 28)));
+        assert_eq!(br.range(e), Some(lr(19, 22)));
+    }
+
+    #[test]
+    fn eq_guard_pins_level() {
+        let mut b = BodyBuilder::new();
+        let sdk = b.sdk_int();
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch_if(Cond::Eq, sdk, 26i64, t, e);
+        b.switch_to(t);
+        b.ret_void();
+        b.switch_to(e);
+        b.ret_void();
+        let (_, br) = ranges_for(b, (21, 28));
+        assert_eq!(br.range(t), Some(lr(26, 26)));
+        // else keeps the full range (≠ not representable)
+        assert_eq!(br.range(e), Some(lr(21, 28)));
+    }
+
+    #[test]
+    fn guard_on_unknown_value_is_unconstrained() {
+        let mut b = BodyBuilder::new();
+        let r = b.alloc_reg();
+        b.invoke_static(saint_ir::MethodRef::new("a.B", "v", "()I"), &[], Some(r));
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch_if(Cond::Ge, r, 23i64, t, e);
+        b.switch_to(t);
+        b.ret_void();
+        b.switch_to(e);
+        b.ret_void();
+        let (_, br) = ranges_for(b, (19, 28));
+        assert_eq!(br.range(t), Some(lr(19, 28)));
+        assert_eq!(br.range(e), Some(lr(19, 28)));
+    }
+
+    #[test]
+    fn nested_guards_compose() {
+        // if (SDK >= 21) { if (SDK >= 26) { X } }
+        let mut b = BodyBuilder::new();
+        let (outer, join) = b.guard_sdk_at_least(ApiLevel::new(21));
+        b.switch_to(outer);
+        let (inner, inner_join) = b.guard_sdk_at_least(ApiLevel::new(26));
+        b.switch_to(inner);
+        b.goto(inner_join);
+        b.switch_to(inner_join);
+        b.goto(join);
+        b.switch_to(join);
+        b.ret_void();
+        let (_, br) = ranges_for(b, (19, 28));
+        assert_eq!(br.range(outer), Some(lr(21, 28)));
+        assert_eq!(br.range(inner), Some(lr(26, 28)));
+    }
+
+    #[test]
+    fn guard_via_moved_register() {
+        // int v = SDK_INT; if (v >= 23) …
+        let mut b = BodyBuilder::new();
+        let sdk = b.sdk_int();
+        let copy = b.alloc_reg();
+        b.move_reg(copy, sdk);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch_if(Cond::Ge, copy, 23i64, t, e);
+        b.switch_to(t);
+        b.ret_void();
+        b.switch_to(e);
+        b.ret_void();
+        let (_, br) = ranges_for(b, (19, 28));
+        assert_eq!(br.range(t), Some(lr(23, 28)));
+        assert_eq!(br.range(e), Some(lr(19, 22)));
+    }
+
+    #[test]
+    fn lt_and_gt_boundaries() {
+        // if (SDK_INT > 25) t else e — then is 26.., else ..25
+        let mut b = BodyBuilder::new();
+        let sdk = b.sdk_int();
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch_if(Cond::Gt, sdk, 25i64, t, e);
+        b.switch_to(t);
+        b.ret_void();
+        b.switch_to(e);
+        b.ret_void();
+        let (_, br) = ranges_for(b, (19, 28));
+        assert_eq!(br.range(t), Some(lr(26, 28)));
+        assert_eq!(br.range(e), Some(lr(19, 25)));
+    }
+}

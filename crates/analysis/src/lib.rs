@@ -1,0 +1,65 @@
+//! # saint-analysis — static-analysis infrastructure
+//!
+//! The machinery under SAINTDroid's AUM component (paper §III-A):
+//!
+//! * [`Clvm`] — the Class Loader Virtual Machine that loads app,
+//!   payload and framework classes lazily through [`ClassProvider`]s,
+//!   metering every byte it materializes ([`LoadMeter`]);
+//! * [`Cfg`] / [`AbsState`] — per-method control-flow and abstract
+//!   register state (SDK_INT taint, integer and string constants);
+//! * [`BlockRanges`] — the path-sensitive SDK_INT guard analysis that
+//!   assigns each basic block the interval of device API levels under
+//!   which it can execute;
+//! * [`explore`] — paper Algorithm 1: worklist exploration that builds
+//!   the method universe and call graph on demand, chasing late-bound
+//!   (`DexClassLoader`) classes conservatively.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use saint_adf::AndroidFramework;
+//! use saint_analysis::{app_method_roots, explore, Clvm, ExploreConfig,
+//!                      FrameworkProvider, PrimaryDexProvider};
+//! use saint_ir::{ApkBuilder, ApiLevel, ClassBuilder, ClassOrigin};
+//!
+//! let main = ClassBuilder::new("com.x.Main", ClassOrigin::App)
+//!     .extends("android.app.Activity")
+//!     .method("onCreate", "(Landroid/os/Bundle;)V", |b| { b.ret_void(); })?
+//!     .build();
+//! let apk = ApkBuilder::new("com.x", ApiLevel::new(21), ApiLevel::new(28))
+//!     .class(main)?
+//!     .build();
+//!
+//! let mut clvm = Clvm::new();
+//! clvm.add_provider(Box::new(PrimaryDexProvider::new(&apk)));
+//! clvm.add_provider(Box::new(FrameworkProvider::new(
+//!     Arc::new(AndroidFramework::curated()),
+//!     ApiLevel::new(28),
+//! )));
+//! let exploration = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+//! assert_eq!(exploration.methods.len(), 1);
+//! # Ok::<(), saint_ir::IrError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod absint;
+mod callgraph;
+mod cfg;
+mod clvm;
+mod explore;
+mod guards;
+mod meter;
+mod provider;
+
+pub use absint::{AbsEnv, AbsState, AbsVal};
+pub use callgraph::CallGraph;
+pub use cfg::Cfg;
+pub use clvm::{Clvm, Resolution};
+pub use explore::{
+    app_method_roots, concrete_methods, explore, is_dynamic_load, CallEdge, DynamicLoad,
+    Exploration, ExploreConfig, MethodArtifacts,
+};
+pub use guards::{branch_constraints, BlockRanges, SdkConstraint};
+pub use meter::LoadMeter;
+pub use provider::{ClassProvider, FrameworkProvider, PrimaryDexProvider, SecondaryDexProvider};

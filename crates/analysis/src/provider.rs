@@ -1,0 +1,223 @@
+//! Class providers: where the CLVM finds class definitions.
+//!
+//! The paper's CLVM "mimics the class-loading behavior of the Android
+//! Virtual Machine runtime" (§III-A): app classes come from the
+//! install-time dex, late-bound classes from secondary dex payloads,
+//! and framework classes from the platform. Each source is a
+//! [`ClassProvider`]; the CLVM consults them in registration order,
+//! like a class-loader delegation chain.
+
+use std::sync::Arc;
+
+use saint_adf::AndroidFramework;
+use saint_ir::{ApiLevel, Apk, ClassDef, ClassName, DexFile};
+
+/// A source of class definitions.
+pub trait ClassProvider: Send + Sync {
+    /// Looks up a class by name. Implementations may materialize
+    /// lazily; returning `None` means this provider does not know the
+    /// class.
+    fn find_class(&self, name: &ClassName) -> Option<Arc<ClassDef>>;
+
+    /// Enumerates every class name this provider can serve. Used by
+    /// *eager* analyzers (the monolithic baselines) and by the
+    /// conservative late-binding scan over bundled payloads.
+    fn class_names(&self) -> Vec<ClassName>;
+
+    /// A short label for diagnostics.
+    fn label(&self) -> &str;
+}
+
+/// Serves the primary (install-time) dex of an APK.
+#[derive(Debug)]
+pub struct PrimaryDexProvider {
+    classes: Vec<(ClassName, Arc<ClassDef>)>,
+}
+
+impl PrimaryDexProvider {
+    /// Wraps the APK's `classes.dex`.
+    #[must_use]
+    pub fn new(apk: &Apk) -> Self {
+        PrimaryDexProvider {
+            classes: apk
+                .primary
+                .classes()
+                .map(|c| (c.name.clone(), Arc::new(c.clone())))
+                .collect(),
+        }
+    }
+}
+
+impl ClassProvider for PrimaryDexProvider {
+    fn find_class(&self, name: &ClassName) -> Option<Arc<ClassDef>> {
+        self.classes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| Arc::clone(c))
+    }
+
+    fn class_names(&self) -> Vec<ClassName> {
+        self.classes.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    fn label(&self) -> &str {
+        "classes.dex"
+    }
+}
+
+/// Serves one secondary (late-bound) dex payload.
+#[derive(Debug)]
+pub struct SecondaryDexProvider {
+    name: String,
+    classes: Vec<(ClassName, Arc<ClassDef>)>,
+}
+
+impl SecondaryDexProvider {
+    /// Wraps a bundled payload dex.
+    #[must_use]
+    pub fn new(dex: &DexFile) -> Self {
+        SecondaryDexProvider {
+            name: dex.name.clone(),
+            classes: dex
+                .classes()
+                .map(|c| (c.name.clone(), Arc::new(c.clone())))
+                .collect(),
+        }
+    }
+}
+
+impl ClassProvider for SecondaryDexProvider {
+    fn find_class(&self, name: &ClassName) -> Option<Arc<ClassDef>> {
+        self.classes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| Arc::clone(c))
+    }
+
+    fn class_names(&self) -> Vec<ClassName> {
+        self.classes.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    fn label(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Serves framework classes materialized on demand at a fixed API
+/// level (the app's target level — the platform the app was compiled
+/// against).
+///
+/// Materialization is cached **per provider**, not globally: each app
+/// analysis stands up its own provider and pays for exactly the
+/// classes *it* materializes, mirroring how every tool run in the
+/// paper loads framework code for itself. This is what makes the
+/// eager-vs-lazy comparison meaningful — an eager tool materializes
+/// the whole platform once per app, a lazy one only its reachable
+/// slice.
+pub struct FrameworkProvider {
+    framework: Arc<AndroidFramework>,
+    level: ApiLevel,
+    cache: parking_lot::Mutex<std::collections::HashMap<ClassName, Option<Arc<ClassDef>>>>,
+}
+
+impl FrameworkProvider {
+    /// Wraps a framework model at `level`.
+    #[must_use]
+    pub fn new(framework: Arc<AndroidFramework>, level: ApiLevel) -> Self {
+        FrameworkProvider {
+            framework,
+            level,
+            cache: parking_lot::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// The level this provider materializes at.
+    #[must_use]
+    pub fn level(&self) -> ApiLevel {
+        self.level
+    }
+}
+
+impl ClassProvider for FrameworkProvider {
+    fn find_class(&self, name: &ClassName) -> Option<Arc<ClassDef>> {
+        let mut cache = self.cache.lock();
+        if let Some(hit) = cache.get(name) {
+            return hit.clone();
+        }
+        let made = self
+            .framework
+            .spec()
+            .materialize_class(name, self.level)
+            .map(Arc::new);
+        cache.insert(name.clone(), made.clone());
+        made
+    }
+
+    fn class_names(&self) -> Vec<ClassName> {
+        self.framework
+            .spec()
+            .classes()
+            .filter(|c| c.life.exists_at(self.level))
+            .map(|c| c.name.clone())
+            .collect()
+    }
+
+    fn label(&self) -> &str {
+        "framework"
+    }
+}
+
+impl std::fmt::Debug for FrameworkProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrameworkProvider")
+            .field("level", &self.level)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saint_ir::{ApkBuilder, ClassBuilder, ClassOrigin};
+
+    fn apk_with_classes() -> Apk {
+        let a = ClassBuilder::new("p.A", ClassOrigin::App).build();
+        let b = ClassBuilder::new("p.B", ClassOrigin::App).build();
+        ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+            .class(a)
+            .unwrap()
+            .class(b)
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn primary_provider_serves_apk_classes() {
+        let p = PrimaryDexProvider::new(&apk_with_classes());
+        assert!(p.find_class(&ClassName::new("p.A")).is_some());
+        assert!(p.find_class(&ClassName::new("p.Z")).is_none());
+        assert_eq!(p.class_names().len(), 2);
+    }
+
+    #[test]
+    fn framework_provider_respects_level() {
+        let fw = Arc::new(AndroidFramework::curated());
+        let old = FrameworkProvider::new(Arc::clone(&fw), ApiLevel::new(10));
+        let new = FrameworkProvider::new(fw, ApiLevel::new(28));
+        let channel = ClassName::new("android.app.NotificationChannel");
+        assert!(old.find_class(&channel).is_none());
+        assert!(new.find_class(&channel).is_some());
+        assert!(new.class_names().len() > old.class_names().len());
+    }
+
+    #[test]
+    fn providers_are_object_safe() {
+        let fw = Arc::new(AndroidFramework::curated());
+        let providers: Vec<Box<dyn ClassProvider>> = vec![
+            Box::new(PrimaryDexProvider::new(&apk_with_classes())),
+            Box::new(FrameworkProvider::new(fw, ApiLevel::new(28))),
+        ];
+        assert_eq!(providers.len(), 2);
+        assert_eq!(providers[0].label(), "classes.dex");
+    }
+}

@@ -1,0 +1,169 @@
+//! Soundness property for the guard analysis: for any randomly shaped
+//! guard structure and any concrete device level inside the incoming
+//! range, every block a concrete execution visits must carry a static
+//! range containing that level. (The analysis may over-approximate —
+//! a block's range may include levels that never reach it — but it must
+//! never exclude a level that does.)
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use saint_analysis::{AbsState, BlockRanges, Cfg};
+use saint_ir::{
+    ApiLevel, BlockId, BodyBuilder, Cond, Instr, LevelRange, MethodBody, Operand, Terminator,
+};
+
+#[derive(Debug, Clone)]
+enum GuardShape {
+    AtLeast(u8),
+    Below(u8),
+    Exact(u8),
+    /// Comparison against an opaque value: no refinement possible.
+    Opaque,
+}
+
+fn arb_guard() -> impl Strategy<Value = GuardShape> {
+    prop_oneof![
+        (10u8..29).prop_map(GuardShape::AtLeast),
+        (10u8..29).prop_map(GuardShape::Below),
+        (10u8..29).prop_map(GuardShape::Exact),
+        Just(GuardShape::Opaque),
+    ]
+}
+
+/// Builds a body as a chain of diamonds, one per guard shape.
+fn build_body(guards: &[GuardShape]) -> MethodBody {
+    let mut b = BodyBuilder::new();
+    for g in guards {
+        let (cond, rhs_level, opaque) = match g {
+            GuardShape::AtLeast(l) => (Cond::Ge, *l, false),
+            GuardShape::Below(l) => (Cond::Lt, *l, false),
+            GuardShape::Exact(l) => (Cond::Eq, *l, false),
+            GuardShape::Opaque => (Cond::Ge, 23, true),
+        };
+        let scrutinee = if opaque {
+            let r = b.alloc_reg();
+            b.invoke_static(
+                saint_ir::MethodRef::new("a.Env", "flag", "()I"),
+                &[],
+                Some(r),
+            );
+            r
+        } else {
+            b.sdk_int()
+        };
+        let then_blk = b.new_block();
+        let join = b.new_block();
+        b.branch_if(cond, scrutinee, i64::from(rhs_level), then_blk, join);
+        b.switch_to(then_blk);
+        b.pad(1);
+        b.goto(join);
+        b.switch_to(join);
+        b.pad(1);
+    }
+    b.ret_void();
+    b.finish().expect("generated bodies are valid")
+}
+
+/// Concretely executes the body at `level`, returning visited blocks.
+/// Mirrors the interpreter's branch semantics for the subset of
+/// instructions the generator emits (SDK_INT reads and opaque calls
+/// returning 0).
+fn concrete_visit(body: &MethodBody, level: u8) -> Vec<BlockId> {
+    let mut regs = vec![0i64; body.register_count() as usize];
+    let mut visited = Vec::new();
+    let mut block = BlockId::ENTRY;
+    for _ in 0..10_000 {
+        visited.push(block);
+        for i in &body.block(block).instrs {
+            match i {
+                Instr::FieldGet { dst, field, .. } if field.is_sdk_int() => {
+                    regs[dst.0 as usize] = i64::from(level);
+                }
+                Instr::Invoke { dst: Some(d), .. } => regs[d.0 as usize] = 0,
+                Instr::Const { dst, value } => regs[dst.0 as usize] = *value,
+                _ => {}
+            }
+        }
+        match &body.block(block).terminator {
+            Terminator::Goto(t) => block = *t,
+            Terminator::If {
+                cond,
+                lhs,
+                rhs,
+                then_blk,
+                else_blk,
+            } => {
+                let l = regs[lhs.0 as usize];
+                let r = match rhs {
+                    Operand::Reg(r) => regs[r.0 as usize],
+                    Operand::Imm(v) => *v,
+                };
+                let taken = match cond {
+                    Cond::Eq => l == r,
+                    Cond::Ne => l != r,
+                    Cond::Lt => l < r,
+                    Cond::Le => l <= r,
+                    Cond::Gt => l > r,
+                    Cond::Ge => l >= r,
+                };
+                block = if taken { *then_blk } else { *else_blk };
+            }
+            Terminator::Return(_) | Terminator::Throw(_) => return visited,
+            Terminator::Switch { default, .. } => block = *default,
+        }
+    }
+    visited
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn static_ranges_cover_every_concrete_execution(
+        guards in vec(arb_guard(), 0..6),
+        min in 8u8..24,
+        span in 1u8..10,
+    ) {
+        let body = build_body(&guards);
+        let cfg = Cfg::build(&body);
+        let abs = AbsState::analyze(&body, &cfg);
+        let max = min.saturating_add(span).min(29);
+        let incoming = LevelRange::new(ApiLevel::new(min), ApiLevel::new(max));
+        let ranges = BlockRanges::analyze(&body, &cfg, &abs, incoming);
+
+        for level in incoming.iter() {
+            for block in concrete_visit(&body, level.get()) {
+                let range = ranges.range(block);
+                prop_assert!(
+                    range.is_some_and(|r| r.contains(level)),
+                    "level {level} reaches {block} but its static range is {range:?}\nbody:\n{body}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_blocks_are_never_visited(
+        guards in vec(arb_guard(), 0..6),
+        min in 8u8..24,
+        span in 1u8..10,
+    ) {
+        let body = build_body(&guards);
+        let cfg = Cfg::build(&body);
+        let abs = AbsState::analyze(&body, &cfg);
+        let max = min.saturating_add(span).min(29);
+        let incoming = LevelRange::new(ApiLevel::new(min), ApiLevel::new(max));
+        let ranges = BlockRanges::analyze(&body, &cfg, &abs, incoming);
+
+        // A block with no static range must be unreachable at every
+        // supported level (the dead-branch elimination is sound).
+        for level in incoming.iter() {
+            for block in concrete_visit(&body, level.get()) {
+                prop_assert!(
+                    ranges.range(block).is_some(),
+                    "statically-dead {block} executed at level {level}\nbody:\n{body}"
+                );
+            }
+        }
+    }
+}

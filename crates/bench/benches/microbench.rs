@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks over the substrate: codec round-trips,
+//! revision mining, lazy vs. eager class loading, guard analysis, and
+//! end-to-end detection on one benchmark app per tool.
+//!
+//! ```text
+//! cargo bench -p saint-bench
+//! ```
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use saint_adf::{android_spec, AndroidFramework, ApiDatabase, SynthConfig};
+use saint_analysis::{
+    app_method_roots, explore, AbsState, BlockRanges, Cfg, Clvm, ExploreConfig,
+    FrameworkProvider, PrimaryDexProvider,
+};
+use saint_baselines::{Cid, Lint};
+use saint_corpus::{cider_bench, RealWorldConfig, RealWorldCorpus};
+use saint_ir::{codec, ApiLevel, Apk, BodyBuilder, LevelRange, MethodBody};
+use saintdroid::{CompatDetector, SaintDroid};
+
+fn sample_apk() -> Apk {
+    let corpus = RealWorldCorpus::new(RealWorldConfig::small());
+    corpus.get(3).apk
+}
+
+fn guard_heavy_body() -> MethodBody {
+    let mut b = BodyBuilder::new();
+    for level in [19u8, 21, 23, 24, 26, 28] {
+        let (then_blk, join) = b.guard_sdk_at_least(ApiLevel::new(level));
+        b.switch_to(then_blk);
+        b.pad(8);
+        b.goto(join);
+        b.switch_to(join);
+    }
+    b.pad(4);
+    b.ret_void();
+    b.finish().expect("valid body")
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let apk = sample_apk();
+    let bytes = codec::encode_apk(&apk);
+    c.bench_function("codec/encode_apk", |b| {
+        b.iter(|| codec::encode_apk(std::hint::black_box(&apk)))
+    });
+    c.bench_function("codec/decode_apk", |b| {
+        b.iter(|| codec::decode_apk(std::hint::black_box(&bytes)).expect("valid"))
+    });
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let spec = android_spec();
+    c.bench_function("arm/mine_curated_database", |b| {
+        b.iter(|| ApiDatabase::mine(std::hint::black_box(&spec)))
+    });
+}
+
+fn bench_loading(c: &mut Criterion) {
+    let fw = Arc::new(AndroidFramework::with_scale(&SynthConfig::medium()));
+    let apk = sample_apk();
+    let mut group = c.benchmark_group("clvm");
+    group.sample_size(20);
+    group.bench_function("lazy_explore", |b| {
+        b.iter_batched(
+            || {
+                let mut clvm = Clvm::new();
+                clvm.add_provider(Box::new(PrimaryDexProvider::new(&apk)));
+                clvm.add_provider(Box::new(FrameworkProvider::new(
+                    Arc::clone(&fw),
+                    ApiLevel::new(28),
+                )));
+                clvm
+            },
+            |mut clvm| explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("eager_load_everything", |b| {
+        b.iter_batched(
+            || {
+                let mut clvm = Clvm::new();
+                clvm.add_provider(Box::new(PrimaryDexProvider::new(&apk)));
+                clvm.add_provider(Box::new(FrameworkProvider::new(
+                    Arc::clone(&fw),
+                    ApiLevel::new(28),
+                )));
+                clvm
+            },
+            |mut clvm| {
+                clvm.load_everything();
+                clvm.loaded_count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_guards(c: &mut Criterion) {
+    let body = guard_heavy_body();
+    let cfg = Cfg::build(&body);
+    let abs = AbsState::analyze(&body, &cfg);
+    let incoming = LevelRange::new(ApiLevel::new(14), ApiLevel::new(29));
+    c.bench_function("guards/block_ranges_nested", |b| {
+        b.iter(|| {
+            BlockRanges::analyze(
+                std::hint::black_box(&body),
+                &cfg,
+                &abs,
+                std::hint::black_box(incoming),
+            )
+        })
+    });
+    c.bench_function("guards/abs_state", |b| {
+        b.iter(|| AbsState::analyze(std::hint::black_box(&body), &cfg))
+    });
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let fw = Arc::new(AndroidFramework::with_scale(&SynthConfig::medium()));
+    let _ = fw.database();
+    let _ = fw.permission_map();
+    let apps = cider_bench();
+    let kolab = apps
+        .iter()
+        .find(|a| a.name == "Kolab notes")
+        .expect("bench app present");
+    let mut group = c.benchmark_group("detect/kolab_notes");
+    group.sample_size(20);
+    let saint = SaintDroid::new(Arc::clone(&fw));
+    group.bench_function("saintdroid", |b| {
+        b.iter(|| saint.analyze(std::hint::black_box(&kolab.apk)))
+    });
+    let cid = Cid::new(Arc::clone(&fw));
+    group.bench_function("cid", |b| {
+        b.iter(|| cid.analyze(std::hint::black_box(&kolab.apk)))
+    });
+    let lint = Lint::new(Arc::clone(&fw));
+    group.bench_function("lint", |b| {
+        b.iter(|| lint.analyze(std::hint::black_box(&kolab.apk)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_mining,
+    bench_loading,
+    bench_guards,
+    bench_detectors
+);
+criterion_main!(benches);

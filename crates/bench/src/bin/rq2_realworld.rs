@@ -1,0 +1,183 @@
+//! **RQ2** — real-world applicability: SAINTDroid over the generated
+//! corpus, reporting the paper's §V-B aggregate statistics:
+//!
+//! * total potential API invocation mismatches and the share of apps
+//!   with at least one (paper: 68,268 / 41.19 %);
+//! * API callback mismatches (2,115 / 20.05 %);
+//! * the permission split: share of target ≥ 23 apps with request
+//!   mismatches (12.34 %) and of target < 23 apps with revocation
+//!   mismatches (68.68 %);
+//! * a 60-app precision sample against the generator's injected ground
+//!   truth (paper: 85 % / 100 % / 100 % for API / APC / PRM).
+//!
+//! ```text
+//! cargo run --release -p saint-bench --bin rq2_realworld
+//! SAINT_SCALE=paper cargo run --release -p saint-bench --bin rq2_realworld   # full 3,571 apps
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use saint_bench::{framework_at, write_json, Scale};
+use saint_corpus::{InjectedCounts, RealWorldCorpus};
+use saintdroid::{CompatDetector, MismatchKind, SaintDroid};
+use serde::Serialize;
+
+#[derive(Serialize, Clone, Copy, Default)]
+struct AppResult {
+    index: usize,
+    modern_target: bool,
+    api: usize,
+    apc: usize,
+    prm_request: usize,
+    prm_revocation: usize,
+    injected: InjectedCounts,
+}
+
+#[derive(Serialize)]
+struct Output {
+    apps: usize,
+    api_total: usize,
+    api_app_pct: f64,
+    apc_total: usize,
+    apc_app_pct: f64,
+    modern_apps: usize,
+    request_pct_of_modern: f64,
+    legacy_apps: usize,
+    revocation_pct_of_legacy: f64,
+    precision_api: f64,
+    precision_apc: f64,
+    precision_prm: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = scale.realworld_config();
+    eprintln!("rq2_realworld: scale={} apps={}", scale.label(), cfg.apps);
+    let fw = framework_at(scale);
+    let corpus = RealWorldCorpus::new(cfg);
+    let saint = SaintDroid::new(Arc::clone(&fw));
+
+    let n = corpus.len();
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism().map_or(4, |p| p.get().min(16));
+    let mut results: Vec<AppResult> = vec![AppResult::default(); n];
+    let results_mutex = std::sync::Mutex::new(&mut results);
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let app = corpus.get(i);
+                let report = saint.analyze(&app.apk).expect("SAINTDroid analyzes any app");
+                let r = AppResult {
+                    index: i,
+                    modern_target: app.apk.manifest.targets_runtime_permissions(),
+                    api: report.count(MismatchKind::ApiInvocation),
+                    apc: report.count(MismatchKind::ApiCallback),
+                    prm_request: report.count(MismatchKind::PermissionRequest),
+                    prm_revocation: report.count(MismatchKind::PermissionRevocation),
+                    injected: app.injected,
+                };
+                results_mutex.lock().expect("poisoned")[i] = r;
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if d.is_multiple_of(200) {
+                    eprintln!("  {d}/{n} apps analyzed");
+                }
+            });
+        }
+    })
+    .expect("worker panic");
+
+    let api_total: usize = results.iter().map(|r| r.api).sum();
+    let api_apps = results.iter().filter(|r| r.api > 0).count();
+    let apc_total: usize = results.iter().map(|r| r.apc).sum();
+    let apc_apps = results.iter().filter(|r| r.apc > 0).count();
+    let modern: Vec<&AppResult> = results.iter().filter(|r| r.modern_target).collect();
+    let legacy: Vec<&AppResult> = results.iter().filter(|r| !r.modern_target).collect();
+    let request_apps = modern.iter().filter(|r| r.prm_request > 0).count();
+    let revocation_apps = legacy.iter().filter(|r| r.prm_revocation > 0).count();
+    let pct = |a: usize, b: usize| 100.0 * a as f64 / b.max(1) as f64;
+
+    // Precision sample: 60 apps with at least one detection, scored
+    // against what the generator injected (paper §V-B samples 60 apps;
+    // ground truth known here by construction).
+    let mut sampled = 0usize;
+    let mut tp = [0usize; 3];
+    let mut fp = [0usize; 3];
+    for r in &results {
+        if sampled >= 60 {
+            break;
+        }
+        if r.api + r.apc + r.prm_request + r.prm_revocation == 0 {
+            continue;
+        }
+        sampled += 1;
+        let pairs = [
+            (r.api, r.injected.api),
+            (r.apc, r.injected.apc),
+            (
+                r.prm_request + r.prm_revocation,
+                r.injected.prm_request + r.injected.prm_revocation,
+            ),
+        ];
+        for (k, (reported, injected)) in pairs.iter().enumerate() {
+            tp[k] += reported.min(injected);
+            fp[k] += reported.saturating_sub(*injected);
+        }
+    }
+    let precision = |k: usize| {
+        if tp[k] + fp[k] == 0 {
+            1.0
+        } else {
+            tp[k] as f64 / (tp[k] + fp[k]) as f64
+        }
+    };
+
+    println!("\nRQ2: real-world applicability over {n} generated apps\n");
+    println!(
+        "API invocation mismatches: {api_total} total; {:.2}% of apps affected (paper: 68,268 / 41.19%)",
+        pct(api_apps, n)
+    );
+    println!(
+        "API callback mismatches:   {apc_total} total; {:.2}% of apps affected (paper: 2,115 / 20.05%)",
+        pct(apc_apps, n)
+    );
+    println!(
+        "target >= 23 group: {} apps; {:.2}% with permission request mismatches (paper: 1,815 / 12.34%)",
+        modern.len(),
+        pct(request_apps, modern.len())
+    );
+    println!(
+        "target <  23 group: {} apps; {:.2}% with permission revocation mismatches (paper: 1,756 / 68.68%)",
+        legacy.len(),
+        pct(revocation_apps, legacy.len())
+    );
+    println!(
+        "precision over a {sampled}-app sample: API {:.0}%, APC {:.0}%, PRM {:.0}% (paper: 85/100/100)",
+        precision(0) * 100.0,
+        precision(1) * 100.0,
+        precision(2) * 100.0
+    );
+
+    let output = Output {
+        apps: n,
+        api_total,
+        api_app_pct: pct(api_apps, n),
+        apc_total,
+        apc_app_pct: pct(apc_apps, n),
+        modern_apps: modern.len(),
+        request_pct_of_modern: pct(request_apps, modern.len()),
+        legacy_apps: legacy.len(),
+        revocation_pct_of_legacy: pct(revocation_apps, legacy.len()),
+        precision_api: precision(0),
+        precision_apc: precision(1),
+        precision_prm: precision(2),
+    };
+    let path = write_json("rq2_realworld", &(output, results));
+    eprintln!("json: {}", path.display());
+}

@@ -1,0 +1,93 @@
+//! **Table III** — per-app analysis time (seconds) of SAINTDroid, CID
+//! and Lint on the 12 CIDER-Bench apps. Dashes mark tools that crash
+//! on or cannot build an app, exactly as in the paper. Each timing is
+//! the mean of three attempts (paper §IV-C).
+//!
+//! ```text
+//! cargo run --release -p saint-bench --bin table3_time
+//! SAINT_SCALE=paper cargo run --release -p saint-bench --bin table3_time
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use saint_baselines::{Cid, Lint};
+use saint_bench::{fmt_secs, framework_at, markdown_table, timed_analyze, write_json, Scale};
+use saint_corpus::cider_bench_scaled;
+use saintdroid::SaintDroid;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    app: String,
+    saintdroid_s: Option<f64>,
+    cid_s: Option<f64>,
+    lint_s: Option<f64>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("table3_time: scale={}", scale.label());
+    let fw = framework_at(scale);
+
+    let saint = SaintDroid::new(Arc::clone(&fw));
+    let cid = Cid::new(Arc::clone(&fw));
+    let lint = Lint::new(Arc::clone(&fw));
+
+    let mut rows_md: Vec<Vec<String>> = Vec::new();
+    let mut rows_json: Vec<Row> = Vec::new();
+    let mut sums: [Duration; 3] = [Duration::ZERO; 3];
+    let mut counts = [0usize; 3];
+
+    for app in cider_bench_scaled(scale.bench_app_factor()) {
+        let s = timed_analyze(&saint, &app.apk, 3).map(|(d, _)| d);
+        let c = timed_analyze(&cid, &app.apk, 3).map(|(d, _)| d);
+        let l = timed_analyze(&lint, &app.apk, 3).map(|(d, _)| d);
+        for (i, d) in [s, c, l].iter().enumerate() {
+            if let Some(d) = d {
+                sums[i] += *d;
+                counts[i] += 1;
+            }
+        }
+        rows_md.push(vec![
+            app.name.to_string(),
+            fmt_secs(s),
+            fmt_secs(c),
+            fmt_secs(l),
+        ]);
+        rows_json.push(Row {
+            app: app.name.to_string(),
+            saintdroid_s: s.map(|d| d.as_secs_f64()),
+            cid_s: c.map(|d| d.as_secs_f64()),
+            lint_s: l.map(|d| d.as_secs_f64()),
+        });
+    }
+
+    println!("\nTable III: analysis time in seconds (mean of 3 runs; – = tool failed)\n");
+    println!(
+        "{}",
+        markdown_table(&["App", "SAINTDroid", "CID", "Lint"], &rows_md)
+    );
+    let mean = |i: usize| {
+        if counts[i] == 0 {
+            f64::NAN
+        } else {
+            sums[i].as_secs_f64() / counts[i] as f64
+        }
+    };
+    println!(
+        "means over analyzable apps: SAINTDroid {:.2}s, CID {:.2}s, Lint {:.2}s",
+        mean(0),
+        mean(1),
+        mean(2)
+    );
+    if mean(0) > 0.0 {
+        println!(
+            "speedup vs CID: {:.1}x | vs Lint: {:.1}x",
+            mean(1) / mean(0),
+            mean(2) / mean(0)
+        );
+    }
+    let path = write_json("table3_time", &rows_json);
+    eprintln!("json: {}", path.display());
+}

@@ -1,0 +1,198 @@
+//! `saintdroid` — the command-line front-end of the reproduction,
+//! standing in for the tool the paper makes "publicly available to the
+//! research and education community" (§I).
+//!
+//! ```text
+//! saintdroid scan app.sapk [--json] [--synth N]
+//! saintdroid verify app.sapk
+//! saintdroid repair app.sapk -o fixed.sapk [--manifest-fixes]
+//! saintdroid disasm app.sapk
+//! saintdroid help
+//! ```
+//!
+//! Packages are `SAPK` containers (see `saint_ir::codec`); the
+//! `realworld_audit` example shows how to produce one.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use saint_adf::{AndroidFramework, SynthConfig};
+use saint_dynamic::Verifier;
+use saint_ir::{codec, Apk};
+use saintdroid::repair::{repair, RepairOptions};
+use saintdroid::{CompatDetector, SaintDroid};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("saintdroid: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let Some(command) = args.first() else {
+        print_help();
+        return Ok(ExitCode::FAILURE);
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(ExitCode::SUCCESS)
+        }
+        "scan" => scan(&args[1..]),
+        "verify" => verify(&args[1..]),
+        "repair" => do_repair(&args[1..]),
+        "disasm" => disasm(&args[1..]),
+        "callgraph" => callgraph(&args[1..]),
+        other => {
+            eprintln!("unknown command `{other}`; try `saintdroid help`");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn print_help() {
+    eprintln!(
+        "SAINTDroid reproduction CLI\n\
+         \n\
+         usage:\n\
+         \x20 saintdroid scan <app.sapk> [--json] [--synth N]   detect compatibility mismatches\n\
+         \x20 saintdroid verify <app.sapk>                      scan, then dynamically verify findings\n\
+         \x20 saintdroid repair <app.sapk> -o <out.sapk> [--manifest-fixes]\n\
+         \x20                                                   synthesize fixes and write the patched app\n\
+         \x20 saintdroid disasm <app.sapk>                      print manifest and smali-like listing\n\
+         \x20 saintdroid callgraph <app.sapk>                   emit the explored call graph as Graphviz dot\n\
+         \n\
+         --synth N grows the framework model with N synthetic classes\n\
+         (default: curated surface only)."
+    );
+}
+
+fn load_apk(path: &str) -> Result<Apk, Box<dyn std::error::Error>> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(codec::decode_apk(&bytes)?)
+}
+
+fn framework(args: &[String]) -> Arc<AndroidFramework> {
+    let synth = args
+        .iter()
+        .position(|a| a == "--synth")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse::<usize>().ok());
+    match synth {
+        Some(classes) => {
+            let mut cfg = SynthConfig::medium();
+            cfg.classes = classes;
+            Arc::new(AndroidFramework::with_scale(&cfg))
+        }
+        None => Arc::new(AndroidFramework::curated()),
+    }
+}
+
+fn scan(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let Some(path) = args.first() else {
+        return Err("scan: missing <app.sapk>".into());
+    };
+    let apk = load_apk(path)?;
+    let tool = SaintDroid::new(framework(args));
+    let report = tool.analyze(&apk).expect("SAINTDroid analyzes any APK");
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&report)?);
+    } else {
+        print!("{report}");
+    }
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
+fn verify(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let Some(path) = args.first() else {
+        return Err("verify: missing <app.sapk>".into());
+    };
+    let apk = load_apk(path)?;
+    let fw = framework(args);
+    let tool = SaintDroid::new(Arc::clone(&fw));
+    let report = tool.analyze(&apk).expect("SAINTDroid analyzes any APK");
+    print!("{report}");
+    if report.is_clean() {
+        return Ok(ExitCode::SUCCESS);
+    }
+    let verification = Verifier::new(fw).verify(&apk, &report);
+    println!(
+        "dynamic verification: {} confirmed, {} refuted, {} undetermined",
+        verification.confirmed.len(),
+        verification.refuted.len(),
+        verification.undetermined.len()
+    );
+    for m in &verification.refuted {
+        println!("  refuted (likely false alarm): {m}");
+    }
+    Ok(ExitCode::from(2))
+}
+
+fn do_repair(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let Some(path) = args.first() else {
+        return Err("repair: missing <app.sapk>".into());
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "-o")
+        .and_then(|i| args.get(i + 1))
+        .ok_or("repair: missing -o <out.sapk>")?;
+    let opts = RepairOptions {
+        apply_manifest_fixes: args.iter().any(|a| a == "--manifest-fixes"),
+    };
+    let apk = load_apk(path)?;
+    let fw = framework(args);
+    let tool = SaintDroid::new(Arc::clone(&fw));
+    let report = tool.analyze(&apk).expect("SAINTDroid analyzes any APK");
+    if report.is_clean() {
+        println!("no mismatches; nothing to repair");
+        std::fs::write(out_path, codec::encode_apk(&apk))?;
+        return Ok(ExitCode::SUCCESS);
+    }
+    let outcome = repair(&apk, &report, &opts);
+    for action in &outcome.actions {
+        println!("{action:?}");
+    }
+    let after = tool.analyze(&outcome.apk).expect("SAINTDroid analyzes any APK");
+    println!(
+        "findings: {} before, {} after repair",
+        report.total(),
+        after.total()
+    );
+    std::fs::write(out_path, codec::encode_apk(&outcome.apk))?;
+    println!("patched package written to {out_path}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn callgraph(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let Some(path) = args.first() else {
+        return Err("callgraph: missing <app.sapk>".into());
+    };
+    let apk = load_apk(path)?;
+    let tool = SaintDroid::new(framework(args));
+    let model = tool.model(&apk);
+    let graph = saint_analysis::CallGraph::from_exploration(&model.exploration);
+    print!("{}", graph.to_dot());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn disasm(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let Some(path) = args.first() else {
+        return Err("disasm: missing <app.sapk>".into());
+    };
+    let apk = load_apk(path)?;
+    println!("{}", apk.manifest);
+    for class in apk.all_classes() {
+        println!("{class}");
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,237 @@
+//! API callback mismatch detection — paper Algorithm 3.
+//!
+//! For every method declared in an app class, find the framework method
+//! it overrides (walking the app-side hierarchy to its framework
+//! ancestor, then the mined framework hierarchy to the declaring class)
+//! and query the API database across the app's declared range. Where
+//! the overridden API is missing at some supported level, the override
+//! is dead code there — initialization it performs is silently skipped
+//! (backward), or the platform may no longer deliver the event
+//! (forward).
+//!
+//! No hand-built callback lists are involved: the database mined from
+//! the framework history covers *all* classes, which is what lets this
+//! detector flag e.g. `View.drawableHotspotChanged` (the FOSDEM case
+//! study) that CIDER's four modeled classes cannot.
+
+use saint_adf::ApiDatabase;
+
+use crate::aum::AppModel;
+use crate::mismatch::{missing_levels_in, Mismatch, MismatchKind};
+
+/// Detects API callback mismatches in the model.
+#[must_use]
+pub fn detect(model: &AppModel, db: &ApiDatabase) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    for class in &model.app_classes {
+        // Paper §VI: dynamically-generated anonymous inner classes are
+        // invisible to SAINTDroid — reproduce the limitation.
+        if class.name.is_anonymous_inner() {
+            continue;
+        }
+        let Some(fw_ancestor) = model.framework_ancestor(&class.name) else {
+            continue;
+        };
+        for method in &class.methods {
+            if method.name == "<init>" || method.name == "<clinit>" || method.flags.is_static {
+                continue;
+            }
+            // The runtime-permission protocol methods are the *correct*
+            // way to handle API-23 permissions; implementing them on an
+            // app that also supports pre-23 devices is not a callback
+            // bug (pre-23 devices grant at install time and simply never
+            // call them). Algorithm 4 owns this protocol.
+            if method.name == "onRequestPermissionsResult"
+                || method.name == "shouldShowRequestPermissionRationale"
+            {
+                continue;
+            }
+            let sig = method.signature();
+            let Some((api, life)) = db.overridden_callback(fw_ancestor, &sig) else {
+                continue;
+            };
+            let missing = missing_levels_in(model.supported, life);
+            if missing.is_empty() {
+                continue;
+            }
+            out.push(Mismatch {
+                kind: MismatchKind::ApiCallback,
+                site: method.reference(&class.name),
+                api,
+                api_life: Some(life),
+                missing_levels: missing,
+                context: Some(model.supported),
+                permission: None,
+                via: Vec::new(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aum::Aum;
+    use saint_adf::AndroidFramework;
+    use saint_analysis::ExploreConfig;
+    use saint_ir::{ApiLevel, Apk, ApkBuilder, ClassBuilder, ClassDef, ClassOrigin};
+    use std::sync::Arc;
+
+    fn analyze(apk: &Apk) -> Vec<Mismatch> {
+        let fw = Arc::new(AndroidFramework::curated());
+        let model = Aum::build(apk, &fw, &ExploreConfig::saintdroid());
+        detect(&model, &fw.database())
+    }
+
+    fn apk(min: u8, target: u8, classes: Vec<ClassDef>) -> Apk {
+        let mut b = ApkBuilder::new("p", ApiLevel::new(min), ApiLevel::new(target));
+        for c in classes {
+            b = b.class(c).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn fragment_on_attach_context_mismatch() {
+        // Simple Solitaire (Listing 2): overrides onAttach(Context)
+        // (API 23) with minSdkVersion below 23.
+        let frag = ClassBuilder::new("p.GameFragment", ClassOrigin::App)
+            .extends("android.app.Fragment")
+            .method("onAttach", "(Landroid/content/Context;)V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let ms = analyze(&apk(14, 27, vec![frag]));
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].kind, MismatchKind::ApiCallback);
+        assert_eq!(ms[0].api.class.as_str(), "android.app.Fragment");
+        assert_eq!(ms[0].missing_levels.len(), 9); // 14..=22
+    }
+
+    #[test]
+    fn drawable_hotspot_changed_beyond_cider_models() {
+        // FOSDEM: ForegroundLinearLayout extends LinearLayout and
+        // overrides View.drawableHotspotChanged (API 21), min 15.
+        let layout = ClassBuilder::new("p.ForegroundLinearLayout", ClassOrigin::App)
+            .extends("android.widget.LinearLayout")
+            .method("drawableHotspotChanged", "(FF)V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let ms = analyze(&apk(15, 27, vec![layout]));
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].api.class.as_str(), "android.view.View");
+        let missing: Vec<u8> = ms[0].missing_levels.iter().map(|l| l.get()).collect();
+        assert_eq!(missing, vec![15, 16, 17, 18, 19, 20]);
+    }
+
+    #[test]
+    fn supported_override_is_quiet() {
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        assert!(analyze(&apk(8, 28, vec![main])).is_empty());
+    }
+
+    #[test]
+    fn override_through_app_intermediate_class() {
+        // Base extends Activity; Sub extends Base and overrides
+        // onMultiWindowModeChanged (API 24) — resolution crosses the
+        // app-side hop.
+        let base = ClassBuilder::new("p.Base", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .build();
+        let sub = ClassBuilder::new("p.Sub", ClassOrigin::App)
+            .extends("p.Base")
+            .method("onMultiWindowModeChanged", "(Z)V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let ms = analyze(&apk(21, 27, vec![base, sub]));
+        assert_eq!(ms.len(), 1);
+        let missing: Vec<u8> = ms[0].missing_levels.iter().map(|l| l.get()).collect();
+        assert_eq!(missing, vec![21, 22, 23]);
+    }
+
+    #[test]
+    fn anonymous_inner_override_invisible() {
+        // The acknowledged limitation (paper §VI): a callback inside
+        // WebView$1 is not seen.
+        let anon = ClassBuilder::new("p.Browser$1", ClassOrigin::App)
+            .extends("android.webkit.WebViewClient")
+            .method(
+                "onPageCommitVisible",
+                "(Landroid/webkit/WebView;Ljava/lang/String;)V",
+                |b| {
+                    b.ret_void();
+                },
+            )
+            .unwrap()
+            .build();
+        assert!(analyze(&apk(19, 27, vec![anon])).is_empty());
+    }
+
+    #[test]
+    fn named_inner_override_visible() {
+        let named = ClassBuilder::new("p.Browser$Client", ClassOrigin::App)
+            .extends("android.webkit.WebViewClient")
+            .method(
+                "onPageCommitVisible",
+                "(Landroid/webkit/WebView;Ljava/lang/String;)V",
+                |b| {
+                    b.ret_void();
+                },
+            )
+            .unwrap()
+            .build();
+        let ms = analyze(&apk(19, 27, vec![named]));
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn non_framework_classes_ignored() {
+        let plain = ClassBuilder::new("p.Util", ClassOrigin::App)
+            .method("onSomething", "()V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        assert!(analyze(&apk(8, 28, vec![plain])).is_empty());
+    }
+
+    #[test]
+    fn app_method_not_in_api_ignored() {
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("loadData", "()V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        assert!(analyze(&apk(8, 28, vec![main])).is_empty());
+    }
+
+    #[test]
+    fn static_and_constructors_skipped() {
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("<init>", "()V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .static_method("onMultiWindowModeChanged", "(Z)V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        assert!(analyze(&apk(21, 27, vec![main])).is_empty());
+    }
+}

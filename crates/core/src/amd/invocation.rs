@@ -1,0 +1,500 @@
+//! API invocation mismatch detection — paper Algorithm 2.
+//!
+//! Walks every execution context of the app: starting from the
+//! call-graph roots (component callbacks and uncalled methods), each
+//! method is scanned under the level range that reaches it. Guard
+//! conditions narrow the range per block (path sensitivity); calls into
+//! user-defined methods recurse with the caller's refined range
+//! (context sensitivity, Alg. 2 lines 8–9); calls into framework
+//! methods are checked against the API database *and then followed
+//! into the framework body* — the beyond-first-level capability that
+//! distinguishes SAINTDroid from CID.
+
+use std::collections::HashSet;
+
+use saint_adf::ApiDatabase;
+use saint_analysis::{BlockRanges, MethodArtifacts};
+use saint_ir::{Instr, LevelRange, MethodRef};
+
+use crate::aum::{is_app_origin, AppModel};
+use crate::mismatch::{missing_levels_in, Mismatch, MismatchKind};
+
+const MAX_DEPTH: usize = 48;
+
+/// Detects API invocation mismatches in the model.
+#[must_use]
+pub fn detect(model: &AppModel, db: &ApiDatabase) -> Vec<Mismatch> {
+    let mut ctx = Ctx {
+        model,
+        db,
+        memo: HashSet::new(),
+        out: Vec::new(),
+    };
+    let roots = context_roots(model, db);
+    for root in roots {
+        let Some(art) = model.exploration.artifacts(&root) else {
+            continue;
+        };
+        let art = std::sync::Arc::clone(art);
+        let mut chain = Vec::new();
+        ctx.scan(&art, model.supported, &mut chain);
+    }
+    ctx.out
+}
+
+/// The methods whose incoming level range is the app's full supported
+/// span: methods never called from other analyzed package methods
+/// (entry points) plus methods overriding framework APIs (the
+/// framework invokes those at whatever level the device runs).
+#[must_use]
+pub fn context_roots(model: &AppModel, db: &ApiDatabase) -> Vec<MethodRef> {
+    let mut called: HashSet<&MethodRef> = HashSet::new();
+    for edge in &model.exploration.edges {
+        if let Some(resolved) = &edge.resolved {
+            // Only in-package callers constrain the context: a call
+            // from framework code can happen at any device level.
+            let caller_is_app = model
+                .exploration
+                .artifacts(&edge.caller)
+                .is_some_and(|a| is_app_origin(a.origin));
+            if caller_is_app {
+                called.insert(resolved);
+            }
+        }
+    }
+    let mut roots: Vec<MethodRef> = model
+        .exploration
+        .methods
+        .values()
+        .filter(|a| is_app_origin(a.origin))
+        .filter(|a| {
+            if !called.contains(&a.method) {
+                return true;
+            }
+            // Overrides of framework methods are additionally invoked
+            // by the platform itself, unconstrained by app-side guards.
+            model
+                .framework_ancestor(&a.method.class)
+                .and_then(|fw| db.overridden_callback(fw, &a.method.signature()))
+                .is_some()
+        })
+        .map(|a| a.method.clone())
+        .collect();
+
+    // Methods stuck in call-graph cycles with no entry from outside
+    // (mutual recursion) have in-degree > 0 everywhere; promote one
+    // representative per uncovered cycle until every app method is
+    // reachable from some root.
+    let mut reachable: HashSet<MethodRef> = HashSet::new();
+    let mut frontier: Vec<MethodRef> = roots.clone();
+    let close = |frontier: &mut Vec<MethodRef>, reachable: &mut HashSet<MethodRef>| {
+        while let Some(m) = frontier.pop() {
+            if !reachable.insert(m.clone()) {
+                continue;
+            }
+            for e in model.exploration.edges_from(&m) {
+                if let Some(r) = &e.resolved {
+                    if !reachable.contains(r) {
+                        frontier.push(r.clone());
+                    }
+                }
+            }
+        }
+    };
+    close(&mut frontier, &mut reachable);
+    let mut uncovered: Vec<MethodRef> = model
+        .exploration
+        .methods
+        .values()
+        .filter(|a| is_app_origin(a.origin) && !reachable.contains(&a.method))
+        .map(|a| a.method.clone())
+        .collect();
+    uncovered.sort();
+    for m in uncovered {
+        if reachable.contains(&m) {
+            continue;
+        }
+        roots.push(m.clone());
+        let mut frontier = vec![m];
+        close(&mut frontier, &mut reachable);
+    }
+    // Stable report order regardless of hash-map iteration.
+    roots.sort();
+    roots
+}
+
+struct Ctx<'a> {
+    model: &'a AppModel,
+    db: &'a ApiDatabase,
+    memo: HashSet<(MethodRef, LevelRange, Option<MethodRef>)>,
+    out: Vec<Mismatch>,
+}
+
+impl Ctx<'_> {
+    fn scan(&mut self, art: &MethodArtifacts, incoming: LevelRange, chain: &mut Vec<MethodRef>) {
+        if chain.len() >= MAX_DEPTH {
+            return;
+        }
+        // Memoization: app methods are context-keyed by (method, range)
+        // alone — any mismatch found inside is attributed to that
+        // method itself. Framework methods additionally key on the
+        // *app site* currently on the chain: the same framework subtree
+        // reached from two different app sites must yield a finding at
+        // each site, not just the first one explored.
+        let key_site = matches!(art.origin, saint_ir::ClassOrigin::Framework)
+            .then(|| self.attribute(chain).0);
+        if !self.memo.insert((art.method.clone(), incoming, key_site)) {
+            return;
+        }
+        let Some(def) = art.class.method(&art.method.signature()) else {
+            return;
+        };
+        let Some(body) = &def.body else { return };
+        chain.push(art.method.clone());
+
+        let ranges = BlockRanges::analyze(body, &art.cfg, &art.abs, incoming);
+        for (block, range) in ranges.iter() {
+            for instr in &body.block(block).instrs {
+                let Instr::Invoke { method: target, .. } = instr else {
+                    continue;
+                };
+                self.check_call(target, range, chain);
+            }
+        }
+        chain.pop();
+    }
+
+    fn check_call(&mut self, target: &MethodRef, range: LevelRange, chain: &mut Vec<MethodRef>) {
+        let resolved = self
+            .model
+            .exploration
+            .resolutions
+            .get(target)
+            .cloned()
+            .flatten();
+
+        // Determine the framework API this call reaches, if any. The
+        // CLVM resolution (at the target snapshot) wins; the database
+        // fallback covers APIs absent from the snapshot entirely —
+        // removed classes like org.apache.http (forward compatibility).
+        let api = match &resolved {
+            Some(r) if self.db.is_api_method(r) => {
+                self.db.method_lifespan(r).map(|life| (r.clone(), life))
+            }
+            _ => self.db.resolve(&target.class, &target.signature()),
+        };
+
+        if let Some((api_ref, life)) = api {
+            let missing = missing_levels_in(range, life);
+            if !missing.is_empty() {
+                let (site, via) = self.attribute(chain);
+                self.out.push(Mismatch {
+                    kind: MismatchKind::ApiInvocation,
+                    site,
+                    api: api_ref,
+                    api_life: Some(life),
+                    missing_levels: missing,
+                    context: Some(range),
+                    permission: None,
+                    via,
+                });
+            }
+        }
+
+        // Context-sensitive descent: user-defined callees (Alg. 2
+        // lines 8–9) and framework bodies (beyond-first-level) are
+        // analyzed under the refined range of this call site.
+        if let Some(r) = resolved {
+            if let Some(callee) = self.model.exploration.artifacts(&r) {
+                let callee = std::sync::Arc::clone(callee);
+                self.scan(&callee, range, chain);
+            }
+        }
+    }
+
+    /// Splits the current chain into (site, via): the site is the last
+    /// in-package method on the chain; everything below it (framework
+    /// hops) goes into `via`.
+    fn attribute(&self, chain: &[MethodRef]) -> (MethodRef, Vec<MethodRef>) {
+        let split = chain
+            .iter()
+            .rposition(|m| {
+                self.model
+                    .exploration
+                    .artifacts(m)
+                    .is_some_and(|a| is_app_origin(a.origin))
+            })
+            .unwrap_or(0);
+        (chain[split].clone(), chain[split + 1..].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aum::Aum;
+    use saint_adf::{well_known, AndroidFramework};
+    use saint_analysis::ExploreConfig;
+    use saint_ir::{ApiLevel, Apk, ApkBuilder, BodyBuilder, ClassBuilder, ClassOrigin};
+    use std::sync::Arc;
+
+    fn analyze(apk: &Apk) -> Vec<Mismatch> {
+        let fw = Arc::new(AndroidFramework::curated());
+        let model = Aum::build(apk, &fw, &ExploreConfig::saintdroid());
+        detect(&model, &fw.database())
+    }
+
+    fn apk_with_oncreate(
+        min: u8,
+        target: u8,
+        f: impl FnOnce(&mut BodyBuilder),
+    ) -> Apk {
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", f)
+            .unwrap()
+            .build();
+        ApkBuilder::new("p", ApiLevel::new(min), ApiLevel::new(target))
+            .activity("p.Main")
+            .class(main)
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn unguarded_new_api_flagged() {
+        // Listing 1: min 21, calls getColorStateList (API 23) unguarded.
+        let apk = apk_with_oncreate(21, 28, |b| {
+            b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+            b.ret_void();
+        });
+        let ms = analyze(&apk);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].kind, MismatchKind::ApiInvocation);
+        assert_eq!(
+            ms[0].missing_levels,
+            vec![ApiLevel::new(21), ApiLevel::new(22)]
+        );
+        assert!(!ms[0].is_deep());
+    }
+
+    #[test]
+    fn guarded_call_is_quiet() {
+        let apk = apk_with_oncreate(21, 28, |b| {
+            let (then_blk, join) = b.guard_sdk_at_least(ApiLevel::new(23));
+            b.switch_to(then_blk);
+            b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+            b.goto(join);
+            b.switch_to(join);
+            b.ret_void();
+        });
+        assert!(analyze(&apk).is_empty());
+    }
+
+    #[test]
+    fn cross_method_guard_respected() {
+        // onCreate guards, helper calls the API: context sensitivity.
+        let helper = ClassBuilder::new("p.Helper", ClassOrigin::App)
+            .static_method("tint", "()V", |b| {
+                b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
+                let (then_blk, join) = b.guard_sdk_at_least(ApiLevel::new(23));
+                b.switch_to(then_blk);
+                b.invoke_static(MethodRef::new("p.Helper", "tint", "()V"), &[], None);
+                b.goto(join);
+                b.switch_to(join);
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+            .activity("p.Main")
+            .class(main)
+            .unwrap()
+            .class(helper)
+            .unwrap()
+            .build();
+        assert!(analyze(&apk).is_empty(), "guard must propagate into callee");
+    }
+
+    #[test]
+    fn unguarded_helper_called_from_unguarded_root_flagged() {
+        let helper = ClassBuilder::new("p.Helper", ClassOrigin::App)
+            .static_method("tint", "()V", |b| {
+                b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
+                b.invoke_static(MethodRef::new("p.Helper", "tint", "()V"), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+            .activity("p.Main")
+            .class(main)
+            .unwrap()
+            .class(helper)
+            .unwrap()
+            .build();
+        let ms = analyze(&apk);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].site.class.as_str(), "p.Helper");
+    }
+
+    #[test]
+    fn removed_api_forward_mismatch() {
+        // App supports 21..=28 and still calls Apache HttpClient
+        // (removed at 23).
+        let apk = apk_with_oncreate(21, 28, |b| {
+            b.invoke_virtual(well_known::http_client_execute(), &[], None);
+            b.ret_void();
+        });
+        let ms = analyze(&apk);
+        assert_eq!(ms.len(), 1);
+        let missing: Vec<u8> = ms[0].missing_levels.iter().map(|l| l.get()).collect();
+        // Undeclared maxSdkVersion defaults to the top of the modeled
+        // range (29).
+        assert_eq!(missing, vec![23, 24, 25, 26, 27, 28, 29]);
+    }
+
+    #[test]
+    fn deep_framework_path_detected() {
+        // App calls TintHelper.applyTint (present at all levels); its
+        // body reaches View.setForeground (API 23). CID-style tools
+        // stop at applyTint; SAINTDroid walks in.
+        let apk = apk_with_oncreate(21, 28, |b| {
+            b.invoke_virtual(well_known::tint_helper_apply_tint(), &[], None);
+            b.ret_void();
+        });
+        let ms = analyze(&apk);
+        assert_eq!(ms.len(), 1);
+        assert!(ms[0].is_deep());
+        assert_eq!(ms[0].api.class.as_str(), "android.view.View");
+        assert_eq!(ms[0].site.class.as_str(), "p.Main");
+    }
+
+    #[test]
+    fn three_hop_deep_chain_detected() {
+        let apk = apk_with_oncreate(21, 28, |b| {
+            b.invoke_virtual(well_known::font_facade_apply_font(), &[], None);
+            b.ret_void();
+        });
+        let ms = analyze(&apk);
+        assert_eq!(ms.len(), 1);
+        assert!(ms[0].via.len() >= 2, "expected ≥2 framework hops, got {:?}", ms[0].via);
+        assert_eq!(ms[0].api.class.as_str(), "android.content.res.Resources");
+    }
+
+    #[test]
+    fn internally_guarded_compat_shim_is_quiet() {
+        // ResourcesCompat guards its API-23 call internally; deep
+        // analysis must respect the in-framework guard.
+        let apk = apk_with_oncreate(19, 28, |b| {
+            b.invoke_virtual(well_known::resources_compat_get_csl(), &[], None);
+            b.ret_void();
+        });
+        assert!(analyze(&apk).is_empty());
+    }
+
+    #[test]
+    fn app_within_api_lifetime_is_quiet() {
+        // min 23: getColorStateList exists everywhere in range.
+        let apk = apk_with_oncreate(23, 28, |b| {
+            b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+            b.ret_void();
+        });
+        assert!(analyze(&apk).is_empty());
+    }
+
+    #[test]
+    fn inherited_api_call_resolved_through_app_class() {
+        // p.Main extends Activity and calls this.getFragmentManager()
+        // (API 11) with min 8 — the CID-Bench "Inheritance" pattern.
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
+                b.invoke_virtual(
+                    MethodRef::new("p.Main", "getFragmentManager", "()Landroid/app/FragmentManager;"),
+                    &[],
+                    None,
+                );
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(8), ApiLevel::new(28))
+            .activity("p.Main")
+            .class(main)
+            .unwrap()
+            .build();
+        let ms = analyze(&apk);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].api.class.as_str(), "android.app.Activity");
+        let missing: Vec<u8> = ms[0].missing_levels.iter().map(|l| l.get()).collect();
+        assert_eq!(missing, vec![8, 9, 10]);
+    }
+
+    #[test]
+    fn callback_roots_ignore_internal_guarded_callers() {
+        // onResume() is also *called* from a guarded helper, but as an
+        // Activity callback the framework invokes it at every level —
+        // its unguarded API call must still be flagged.
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onResume", "()V", |b| {
+                b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .method("refresh", "()V", |b| {
+                let (then_blk, join) = b.guard_sdk_at_least(ApiLevel::new(23));
+                b.switch_to(then_blk);
+                b.invoke_virtual(MethodRef::new("p.Main", "onResume", "()V"), &[], None);
+                b.goto(join);
+                b.switch_to(join);
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+            .activity("p.Main")
+            .class(main)
+            .unwrap()
+            .build();
+        let ms = analyze(&apk);
+        assert_eq!(ms.len(), 1, "callback must be re-scanned with the full range");
+        assert_eq!(
+            ms[0].missing_levels,
+            vec![ApiLevel::new(21), ApiLevel::new(22)]
+        );
+    }
+
+    #[test]
+    fn recursive_app_methods_terminate() {
+        let rec = ClassBuilder::new("p.R", ClassOrigin::App)
+            .static_method("f", "()V", |b| {
+                b.invoke_static(MethodRef::new("p.R", "f", "()V"), &[], None);
+                b.invoke_virtual(well_known::context_get_drawable(), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(19), ApiLevel::new(28))
+            .class(rec)
+            .unwrap()
+            .build();
+        let ms = analyze(&apk);
+        assert_eq!(ms.len(), 1); // getDrawable (21) missing at 19,20
+    }
+}

@@ -1,0 +1,13 @@
+//! AMD — the Android Mismatch Detector (paper §III-C).
+//!
+//! Three detectors over the AUM/ARM artifacts:
+//!
+//! * [`invocation`] — paper Algorithm 2 (API invocation mismatches);
+//! * [`callback`] — paper Algorithm 3 (API callback mismatches);
+//! * [`permission`] — paper Algorithm 4 (permission-induced
+//!   mismatches), a capability unique to SAINTDroid among the compared
+//!   tools.
+
+pub mod callback;
+pub mod invocation;
+pub mod permission;

@@ -1,0 +1,389 @@
+//! Permission-induced mismatch detection — paper Algorithm 4.
+//!
+//! The API-23 runtime permission system split the world in two
+//! (paper §II-C):
+//!
+//! * apps **targeting ≥ 23** must request dangerous permissions at run
+//!   time; using one without implementing
+//!   `onRequestPermissionsResult` is a *permission request mismatch*;
+//! * apps **targeting < 23** get install-time grants, but on a ≥ 23
+//!   device the user can revoke them at any moment — every dangerous
+//!   usage is a *permission revocation mismatch*.
+//!
+//! Dangerous usages are found by scanning every analyzed package
+//! method's call sites against the permission map, and — uniquely —
+//! by following calls *into framework code* whose deeper levels touch
+//! permission-guarded APIs (the `MediaHelper.record` →
+//! `MediaRecorder.setAudioSource` pattern first-level tools miss).
+
+use std::collections::{HashMap, HashSet};
+
+use saint_adf::{is_dangerous, PermissionMap};
+use saint_ir::{ApiLevel, ClassOrigin, MethodRef, Permission};
+
+use crate::aum::{is_app_origin, AppModel};
+use crate::mismatch::{Mismatch, MismatchKind};
+
+/// One dangerous-permission usage site.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DangerousUsage {
+    /// The package method from which the usage is reachable.
+    pub site: MethodRef,
+    /// The permission-guarded framework API.
+    pub api: MethodRef,
+    /// The dangerous permission involved.
+    pub permission: Permission,
+    /// Framework hops between site and API (empty = direct call).
+    pub via: Vec<MethodRef>,
+}
+
+/// Detects permission-induced mismatches in the model.
+#[must_use]
+pub fn detect(model: &AppModel, pm: &PermissionMap) -> Vec<Mismatch> {
+    let requests_dangerous = model
+        .manifest
+        .uses_permissions
+        .iter()
+        .any(is_dangerous);
+    let usages = dangerous_usages(model, pm);
+    // Algorithm 4 line 2 gates on the manifest; we also proceed when a
+    // dangerous API is used without being declared (the Listing-3
+    // shape), which crashes the same way.
+    if !requests_dangerous && usages.is_empty() {
+        return Vec::new();
+    }
+
+    let targets_runtime = model.manifest.targets_runtime_permissions();
+    let implements_handler = model.declares_app_method(
+        "onRequestPermissionsResult",
+        "(I[Ljava/lang/String;[I)V",
+    );
+
+    let kind = if targets_runtime {
+        if implements_handler {
+            // Runtime permission protocol implemented: no mismatch
+            // (Algorithm 4 line 9).
+            return Vec::new();
+        }
+        MismatchKind::PermissionRequest
+    } else {
+        MismatchKind::PermissionRevocation
+    };
+
+    usages
+        .into_iter()
+        .map(|u| Mismatch {
+            kind,
+            site: u.site,
+            api: u.api,
+            api_life: None,
+            missing_levels: if targets_runtime {
+                // Manifest range ∩ runtime-permission devices.
+                model
+                    .supported
+                    .iter()
+                    .filter(|l| *l >= ApiLevel::RUNTIME_PERMISSIONS)
+                    .collect()
+            } else {
+                // Legacy-target app on modern devices.
+                ApiLevel::all_modeled()
+                    .filter(|l| *l >= ApiLevel::RUNTIME_PERMISSIONS)
+                    .collect()
+            },
+            context: Some(model.supported),
+            permission: Some(u.permission),
+            via: u.via,
+        })
+        .collect()
+}
+
+/// Finds every dangerous-permission usage reachable from package code:
+/// direct calls to mapped APIs, plus usages buried inside framework
+/// call chains.
+#[must_use]
+pub fn dangerous_usages(model: &AppModel, pm: &PermissionMap) -> Vec<DangerousUsage> {
+    // Pre-index edges by caller.
+    let mut edges_by_caller: HashMap<&MethodRef, Vec<&MethodRef>> = HashMap::new();
+    for e in &model.exploration.edges {
+        if let Some(r) = &e.resolved {
+            edges_by_caller.entry(&e.caller).or_default().push(r);
+        }
+    }
+
+    // Memoized reachability of dangerous APIs through *framework*
+    // methods.
+    let mut memo: HashMap<MethodRef, Vec<(MethodRef, Permission)>> = HashMap::new();
+
+    let mut out = Vec::new();
+    let mut seen: HashSet<(MethodRef, MethodRef, Permission)> = HashSet::new();
+    // Stable report order regardless of hash-map iteration.
+    let mut app_methods: Vec<_> = model
+        .exploration
+        .methods
+        .values()
+        .filter(|a| is_app_origin(a.origin))
+        .collect();
+    app_methods.sort_by(|a, b| a.method.cmp(&b.method));
+    for art in app_methods {
+        let Some(callees) = edges_by_caller.get(&art.method) else {
+            continue;
+        };
+
+        for callee in callees {
+            // Direct dangerous call.
+            for p in pm.required_dangerous(callee) {
+                if seen.insert((art.method.clone(), (*callee).clone(), p.clone())) {
+                    out.push(DangerousUsage {
+                        site: art.method.clone(),
+                        api: (*callee).clone(),
+                        permission: p.clone(),
+                        via: Vec::new(),
+                    });
+                }
+            }
+            // Deep: dangerous APIs reachable inside the framework.
+            let callee_is_framework = model
+                .exploration
+                .artifacts(callee)
+                .is_some_and(|a| matches!(a.origin, ClassOrigin::Framework));
+            if callee_is_framework {
+                let deep = framework_reachable(
+                    callee,
+                    &edges_by_caller,
+                    pm,
+                    &mut memo,
+                    &mut HashSet::new(),
+                    model,
+                );
+                for (api, p) in deep {
+                    if seen.insert((art.method.clone(), api.clone(), p.clone())) {
+                        out.push(DangerousUsage {
+                            site: art.method.clone(),
+                            api,
+                            permission: p,
+                            via: vec![(*callee).clone()],
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn framework_reachable(
+    method: &MethodRef,
+    edges_by_caller: &HashMap<&MethodRef, Vec<&MethodRef>>,
+    pm: &PermissionMap,
+    memo: &mut HashMap<MethodRef, Vec<(MethodRef, Permission)>>,
+    visiting: &mut HashSet<MethodRef>,
+    model: &AppModel,
+) -> Vec<(MethodRef, Permission)> {
+    if let Some(hit) = memo.get(method) {
+        return hit.clone();
+    }
+    if !visiting.insert(method.clone()) {
+        return Vec::new(); // cycle
+    }
+    let mut found = Vec::new();
+    if let Some(callees) = edges_by_caller.get(method) {
+        for callee in callees {
+            for p in pm.required_dangerous(callee) {
+                found.push(((*callee).clone(), p.clone()));
+            }
+            let is_framework = model
+                .exploration
+                .artifacts(callee)
+                .is_some_and(|a| matches!(a.origin, ClassOrigin::Framework));
+            if is_framework {
+                found.extend(framework_reachable(
+                    callee,
+                    edges_by_caller,
+                    pm,
+                    memo,
+                    visiting,
+                    model,
+                ));
+            }
+        }
+    }
+    visiting.remove(method);
+    found.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    found.dedup();
+    memo.insert(method.clone(), found.clone());
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aum::Aum;
+    use saint_adf::{well_known, AndroidFramework};
+    use saint_analysis::ExploreConfig;
+    use saint_ir::{ApiLevel, Apk, ApkBuilder, BodyBuilder, ClassBuilder};
+    use std::sync::Arc;
+
+    fn analyze(apk: &Apk) -> Vec<Mismatch> {
+        let fw = Arc::new(AndroidFramework::curated());
+        let model = Aum::build(apk, &fw, &ExploreConfig::saintdroid());
+        detect(&model, &fw.permission_map())
+    }
+
+    fn storage_app(min: u8, target: u8, with_handler: bool, declare: bool) -> Apk {
+        let mut main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", |b: &mut BodyBuilder| {
+                b.invoke_static(well_known::get_external_storage_directory(), &[], None);
+                b.ret_void();
+            })
+            .unwrap();
+        if with_handler {
+            main = main
+                .method("onRequestPermissionsResult", "(I[Ljava/lang/String;[I)V", |b| {
+                    b.ret_void();
+                })
+                .unwrap();
+        }
+        let mut b = ApkBuilder::new("p", ApiLevel::new(min), ApiLevel::new(target))
+            .activity("p.Main");
+        if declare {
+            b = b.permission(saint_ir::Permission::android("WRITE_EXTERNAL_STORAGE"));
+        }
+        b.class(main.build()).unwrap().build()
+    }
+
+    #[test]
+    fn request_mismatch_kolab_notes_shape() {
+        // Targets 26, uses WRITE_EXTERNAL_STORAGE, no runtime handler.
+        let ms = analyze(&storage_app(19, 26, false, true));
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].kind, MismatchKind::PermissionRequest);
+        assert_eq!(
+            ms[0].permission.as_ref().unwrap().as_str(),
+            "android.permission.WRITE_EXTERNAL_STORAGE"
+        );
+        // Manifests at 23..=26 are the vulnerable devices (within the
+        // app's supported span up to max=29 default → 23..).
+        assert!(ms[0].missing_levels.iter().all(|l| l.get() >= 23));
+    }
+
+    #[test]
+    fn handler_implemented_is_quiet() {
+        let ms = analyze(&storage_app(19, 26, true, true));
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn revocation_mismatch_adaway_shape() {
+        // Targets 22: install-time grants, revocable on ≥23 devices.
+        let ms = analyze(&storage_app(15, 22, false, true));
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].kind, MismatchKind::PermissionRevocation);
+    }
+
+    #[test]
+    fn revocation_even_with_handler_declared() {
+        // Target < 23 never uses the runtime protocol; the handler is
+        // irrelevant.
+        let ms = analyze(&storage_app(15, 22, true, true));
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].kind, MismatchKind::PermissionRevocation);
+    }
+
+    #[test]
+    fn usage_without_declaration_still_flagged() {
+        // Listing 3: dangerous API used though never requested.
+        let ms = analyze(&storage_app(19, 26, false, false));
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].kind, MismatchKind::PermissionRequest);
+    }
+
+    #[test]
+    fn no_dangerous_usage_no_mismatch() {
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
+                b.invoke_virtual(well_known::activity_set_content_view(), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(19), ApiLevel::new(26))
+            .class(main)
+            .unwrap()
+            .build();
+        assert!(analyze(&apk).is_empty());
+    }
+
+    #[test]
+    fn declared_but_unused_dangerous_permission_no_usage_sites() {
+        // Manifest declares CAMERA but code never touches it: gate
+        // passes but there are zero usage sites to report.
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(19), ApiLevel::new(26))
+            .permission(saint_ir::Permission::android("CAMERA"))
+            .class(main)
+            .unwrap()
+            .build();
+        assert!(analyze(&apk).is_empty());
+    }
+
+    #[test]
+    fn deep_permission_usage_through_framework() {
+        // MediaHelper.record → openSession → MediaRecorder.setAudioSource
+        // (RECORD_AUDIO): two framework hops.
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
+                b.invoke_virtual(well_known::media_helper_record(), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(19), ApiLevel::new(26))
+            .permission(saint_ir::Permission::android("RECORD_AUDIO"))
+            .class(main)
+            .unwrap()
+            .build();
+        let ms = analyze(&apk);
+        assert_eq!(ms.len(), 1);
+        assert!(ms[0].is_deep());
+        assert_eq!(ms[0].api.class.as_str(), "android.media.MediaRecorder");
+        assert_eq!(
+            ms[0].permission.as_ref().unwrap().as_str(),
+            "android.permission.RECORD_AUDIO"
+        );
+    }
+
+    #[test]
+    fn multiple_usages_counted_per_site_api_permission() {
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
+                b.invoke_static(well_known::camera_open(), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .method("onResume", "()V", |b| {
+                b.invoke_static(well_known::camera_open(), &[], None);
+                b.invoke_virtual(well_known::request_location_updates(), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(19), ApiLevel::new(26))
+            .permission(saint_ir::Permission::android("CAMERA"))
+            .class(main)
+            .unwrap()
+            .build();
+        let ms = analyze(&apk);
+        // camera in onCreate, camera in onResume, location in onResume
+        assert_eq!(ms.len(), 3);
+    }
+}

@@ -1,0 +1,72 @@
+//! ARM — the Android Revision Modeler (paper §III-B).
+//!
+//! Wraps a framework model and exposes the two once-per-framework
+//! artifacts every app analysis reuses: the mined [`ApiDatabase`] and
+//! the PScout-style [`PermissionMap`]. Both are built lazily on first
+//! use and shared thereafter — "the API database is constructed once
+//! for a given framework … as a reusable model upon which the
+//! compatibility analysis of all apps relies."
+
+use std::sync::Arc;
+
+use saint_adf::{AndroidFramework, ApiDatabase, PermissionMap};
+use saint_analysis::FrameworkProvider;
+use saint_ir::ApiLevel;
+
+/// The revision modeler.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    framework: Arc<AndroidFramework>,
+}
+
+impl Arm {
+    /// Wraps a framework model.
+    #[must_use]
+    pub fn new(framework: Arc<AndroidFramework>) -> Self {
+        Arm { framework }
+    }
+
+    /// The framework model itself.
+    #[must_use]
+    pub fn framework(&self) -> &Arc<AndroidFramework> {
+        &self.framework
+    }
+
+    /// The mined API lifetime database.
+    #[must_use]
+    pub fn database(&self) -> Arc<ApiDatabase> {
+        self.framework.database()
+    }
+
+    /// The method → permission map.
+    #[must_use]
+    pub fn permission_map(&self) -> Arc<PermissionMap> {
+        self.framework.permission_map()
+    }
+
+    /// A class provider serving the framework as it exists at `level`
+    /// (clamped into the modeled range).
+    #[must_use]
+    pub fn provider(&self, level: ApiLevel) -> FrameworkProvider {
+        FrameworkProvider::new(Arc::clone(&self.framework), level.clamp_modeled())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_are_shared_across_calls() {
+        let arm = Arm::new(Arc::new(AndroidFramework::curated()));
+        assert!(Arc::ptr_eq(&arm.database(), &arm.database()));
+        assert!(Arc::ptr_eq(&arm.permission_map(), &arm.permission_map()));
+    }
+
+    #[test]
+    fn provider_clamps_level() {
+        let arm = Arm::new(Arc::new(AndroidFramework::curated()));
+        let p = arm.provider(ApiLevel::new(99));
+        assert_eq!(p.level(), ApiLevel::new(29));
+    }
+}

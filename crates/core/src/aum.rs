@@ -1,0 +1,190 @@
+//! AUM — the API Usage Modeler (paper §III-A).
+//!
+//! Builds the per-app analysis model: a [`Clvm`] wired with the app's
+//! primary dex, its bundled secondary dex payloads, and the framework
+//! at the app's target level; then runs the Algorithm-1 exploration to
+//! produce the method universe, call graph and late-binding
+//! discoveries. Framework ancestors of app classes are resolved once
+//! here (they drive the callback detector).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use saint_adf::AndroidFramework;
+use saint_analysis::{
+    app_method_roots, explore, Clvm, Exploration, ExploreConfig, FrameworkProvider,
+    PrimaryDexProvider, SecondaryDexProvider,
+};
+use saint_ir::{ApiLevel, Apk, ClassDef, ClassName, ClassOrigin, LevelRange, Manifest};
+
+/// The per-app analysis model the AMD detectors consume.
+pub struct AppModel {
+    /// The app's manifest (cloned out of the APK).
+    pub manifest: Manifest,
+    /// Device levels the app declares support for.
+    pub supported: LevelRange,
+    /// The app's target level, clamped into the modeled range — the
+    /// framework snapshot classes are materialized from.
+    pub target: ApiLevel,
+    /// Every class bundled in the package (primary + payloads).
+    pub app_classes: Vec<Arc<ClassDef>>,
+    /// The exploration result (methods, call graph, resolutions).
+    pub exploration: Exploration,
+    /// The class loader, retained for post-exploration lookups and its
+    /// meter.
+    pub clvm: Clvm,
+    fw_ancestors: HashMap<ClassName, Option<ClassName>>,
+}
+
+impl AppModel {
+    /// The first framework class above `class` in the superclass
+    /// chain, if any (resolved once at build time).
+    #[must_use]
+    pub fn framework_ancestor(&self, class: &ClassName) -> Option<&ClassName> {
+        self.fw_ancestors.get(class).and_then(Option::as_ref)
+    }
+
+    /// Whether any app (non-framework) class declares a method with
+    /// this name and descriptor — e.g. the runtime-permission handler
+    /// Algorithm 4 looks for.
+    #[must_use]
+    pub fn declares_app_method(&self, name: &str, descriptor: &str) -> bool {
+        self.app_classes
+            .iter()
+            .any(|c| c.methods.iter().any(|m| m.name == name && m.descriptor == descriptor))
+    }
+}
+
+impl std::fmt::Debug for AppModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppModel")
+            .field("package", &self.manifest.package)
+            .field("supported", &self.supported)
+            .field("methods", &self.exploration.methods.len())
+            .finish()
+    }
+}
+
+/// The API Usage Modeler.
+#[derive(Debug, Default)]
+pub struct Aum;
+
+impl Aum {
+    /// Builds the analysis model for an APK against a framework.
+    #[must_use]
+    pub fn build(apk: &Apk, framework: &Arc<AndroidFramework>, config: &ExploreConfig) -> AppModel {
+        let target = apk.manifest.target_sdk.clamp_modeled();
+        let mut clvm = Clvm::new();
+        clvm.add_provider(Box::new(PrimaryDexProvider::new(apk)));
+        for dex in &apk.secondary {
+            clvm.add_provider(Box::new(SecondaryDexProvider::new(dex)));
+        }
+        clvm.add_provider(Box::new(FrameworkProvider::new(
+            Arc::clone(framework),
+            target,
+        )));
+
+        let exploration = explore(&mut clvm, app_method_roots(apk), config);
+
+        // Snapshot the package's classes and resolve each one's
+        // framework ancestor (cheap: classes on the chain are loaded at
+        // most once; most are already in the CLVM).
+        let mut app_classes = Vec::with_capacity(apk.class_count());
+        let mut fw_ancestors = HashMap::new();
+        for class in apk.all_classes() {
+            let arc = clvm
+                .load_class(&class.name)
+                .unwrap_or_else(|| Arc::new(class.clone()));
+            fw_ancestors.insert(class.name.clone(), clvm.framework_ancestor(&class.name));
+            app_classes.push(arc);
+        }
+
+        AppModel {
+            manifest: apk.manifest.clone(),
+            supported: apk.manifest.supported_levels(),
+            target,
+            app_classes,
+            exploration,
+            clvm,
+            fw_ancestors,
+        }
+    }
+}
+
+/// Classifies whether an analyzed method belongs to the app side
+/// (anything that shipped in the package) rather than the platform.
+#[must_use]
+pub fn is_app_origin(origin: ClassOrigin) -> bool {
+    !matches!(origin, ClassOrigin::Framework)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saint_ir::{ApkBuilder, ClassBuilder};
+
+    fn framework() -> Arc<AndroidFramework> {
+        Arc::new(AndroidFramework::curated())
+    }
+
+    fn demo_apk() -> Apk {
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let plain = ClassBuilder::new("p.Util", ClassOrigin::App).build();
+        ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+            .activity("p.Main")
+            .class(main)
+            .unwrap()
+            .class(plain)
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn model_captures_manifest_and_range() {
+        let model = Aum::build(&demo_apk(), &framework(), &ExploreConfig::saintdroid());
+        assert_eq!(model.manifest.package, "p");
+        assert_eq!(model.supported.min(), ApiLevel::new(21));
+        assert_eq!(model.target, ApiLevel::new(28));
+        assert_eq!(model.app_classes.len(), 2);
+    }
+
+    #[test]
+    fn framework_ancestors_resolved() {
+        let model = Aum::build(&demo_apk(), &framework(), &ExploreConfig::saintdroid());
+        assert_eq!(
+            model
+                .framework_ancestor(&ClassName::new("p.Main"))
+                .map(ClassName::as_str),
+            Some("android.app.Activity")
+        );
+        // Every class bottoms out at java.lang.Object, which the
+        // framework model provides — so even plain utility classes have
+        // a framework ancestor (their methods just never match an API).
+        assert_eq!(
+            model
+                .framework_ancestor(&ClassName::new("p.Util"))
+                .map(ClassName::as_str),
+            Some("java.lang.Object")
+        );
+    }
+
+    #[test]
+    fn declares_app_method_scans_all_classes() {
+        let model = Aum::build(&demo_apk(), &framework(), &ExploreConfig::saintdroid());
+        assert!(model.declares_app_method("onCreate", "(Landroid/os/Bundle;)V"));
+        assert!(!model.declares_app_method("onRequestPermissionsResult", "(I[Ljava/lang/String;[I)V"));
+    }
+
+    #[test]
+    fn target_is_clamped() {
+        let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(33)).build();
+        let model = Aum::build(&apk, &framework(), &ExploreConfig::saintdroid());
+        assert_eq!(model.target, ApiLevel::new(29));
+    }
+}

@@ -1,0 +1,84 @@
+//! The common detector interface shared by SAINTDroid and the
+//! baselines — the shape behind the paper's Table IV capability matrix.
+
+use saint_ir::Apk;
+use serde::{Deserialize, Serialize};
+
+use crate::report::Report;
+
+/// Which mismatch families a tool can detect (paper Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Capabilities {
+    /// API invocation mismatches.
+    pub api: bool,
+    /// API callback mismatches.
+    pub apc: bool,
+    /// Permission-induced mismatches.
+    pub prm: bool,
+}
+
+impl Capabilities {
+    /// All three families (SAINTDroid's row in Table IV).
+    #[must_use]
+    pub fn all() -> Self {
+        Capabilities {
+            api: true,
+            apc: true,
+            prm: true,
+        }
+    }
+}
+
+impl std::fmt::Display for Capabilities {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mark = |b: bool| if b { "✓" } else { "✗" };
+        write!(
+            f,
+            "API {} | APC {} | PRM {}",
+            mark(self.api),
+            mark(self.apc),
+            mark(self.prm)
+        )
+    }
+}
+
+/// A compatibility-issue detector over APKs.
+pub trait CompatDetector {
+    /// The tool's display name (`SAINTDroid`, `CID`, `CIDER`, `Lint`).
+    fn name(&self) -> &'static str;
+
+    /// Which mismatch families the tool covers.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Whether the tool needs buildable app source (LINT does; paper
+    /// §IV-A excluded eight benchmark apps for it).
+    fn requires_source(&self) -> bool {
+        false
+    }
+
+    /// Analyzes one APK and reports mismatches plus resource usage.
+    /// Tools that cannot analyze the app (e.g. missing source) return
+    /// `None` — the dashes in the paper's tables.
+    fn analyze(&self, apk: &Apk) -> Option<Report>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_display() {
+        let c = Capabilities {
+            api: true,
+            apc: false,
+            prm: true,
+        };
+        assert_eq!(c.to_string(), "API ✓ | APC ✗ | PRM ✓");
+        assert_eq!(Capabilities::all().to_string(), "API ✓ | APC ✓ | PRM ✓");
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _take(_: &dyn CompatDetector) {}
+    }
+}

@@ -1,0 +1,193 @@
+//! Analysis reports: mismatches plus resource accounting.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use saint_analysis::LoadMeter;
+use serde::{Deserialize, Serialize};
+
+use crate::mismatch::{Mismatch, MismatchKind};
+
+/// The outcome of analyzing one app with one detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// The analyzed app's package id.
+    pub package: String,
+    /// Name of the detector that produced this report.
+    pub detector: String,
+    /// All detected mismatches, deduplicated.
+    pub mismatches: Vec<Mismatch>,
+    /// Wall-clock analysis time.
+    pub duration: Duration,
+    /// What the analysis materialized (classes, methods, bytes) — the
+    /// Figure-4 quantity.
+    pub meter: LoadMeter,
+}
+
+impl Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(package: impl Into<String>, detector: impl Into<String>) -> Self {
+        Report {
+            package: package.into(),
+            detector: detector.into(),
+            mismatches: Vec::new(),
+            duration: Duration::ZERO,
+            meter: LoadMeter::new(),
+        }
+    }
+
+    /// Adds mismatches, dropping duplicates (same kind, site, API and
+    /// permission) and merging their missing-level sets.
+    pub fn extend_deduped(&mut self, additions: impl IntoIterator<Item = Mismatch>) {
+        for add in additions {
+            let key = add.dedup_key();
+            if let Some(existing) = self.mismatches.iter_mut().find(|m| m.dedup_key() == key) {
+                let mut levels: BTreeSet<_> = existing.missing_levels.iter().copied().collect();
+                levels.extend(add.missing_levels.iter().copied());
+                existing.missing_levels = levels.into_iter().collect();
+                if existing.via.len() > add.via.len() {
+                    existing.via = add.via;
+                }
+            } else {
+                self.mismatches.push(add);
+            }
+        }
+    }
+
+    /// Number of mismatches of a kind.
+    #[must_use]
+    pub fn count(&self, kind: MismatchKind) -> usize {
+        self.mismatches.iter().filter(|m| m.kind == kind).count()
+    }
+
+    /// Number of API invocation mismatches.
+    #[must_use]
+    pub fn api_count(&self) -> usize {
+        self.count(MismatchKind::ApiInvocation)
+    }
+
+    /// Number of API callback mismatches.
+    #[must_use]
+    pub fn apc_count(&self) -> usize {
+        self.count(MismatchKind::ApiCallback)
+    }
+
+    /// Number of permission-induced mismatches (request + revocation).
+    #[must_use]
+    pub fn prm_count(&self) -> usize {
+        self.count(MismatchKind::PermissionRequest)
+            + self.count(MismatchKind::PermissionRevocation)
+    }
+
+    /// Total mismatches.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.mismatches.len()
+    }
+
+    /// Whether the report flags any issue.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// Mismatches of one kind.
+    pub fn of_kind(&self, kind: MismatchKind) -> impl Iterator<Item = &Mismatch> {
+        self.mismatches.iter().filter(move |m| m.kind == kind)
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} on {}: {} mismatches (API {}, APC {}, PRM {}) in {:.1?} [{}]",
+            self.detector,
+            self.package,
+            self.total(),
+            self.api_count(),
+            self.apc_count(),
+            self.prm_count(),
+            self.duration,
+            self.meter,
+        )?;
+        for m in &self.mismatches {
+            writeln!(f, "  {m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saint_adf::spec::LifeSpan;
+    use saint_ir::{ApiLevel, MethodRef};
+
+    fn mismatch(site: &str, levels: &[u8]) -> Mismatch {
+        Mismatch {
+            kind: MismatchKind::ApiInvocation,
+            site: MethodRef::new("p.C", site, "()V"),
+            api: MethodRef::new("android.x.Y", "api", "()V"),
+            api_life: Some(LifeSpan::since(23)),
+            missing_levels: levels.iter().map(|&l| ApiLevel::new(l)).collect(),
+            context: None,
+            permission: None,
+            via: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn dedup_merges_levels() {
+        let mut r = Report::new("p", "saintdroid");
+        r.extend_deduped([mismatch("m", &[21, 22]), mismatch("m", &[22, 24])]);
+        assert_eq!(r.total(), 1);
+        assert_eq!(
+            r.mismatches[0].missing_levels,
+            vec![ApiLevel::new(21), ApiLevel::new(22), ApiLevel::new(24)]
+        );
+    }
+
+    #[test]
+    fn distinct_sites_kept() {
+        let mut r = Report::new("p", "saintdroid");
+        r.extend_deduped([mismatch("m1", &[21]), mismatch("m2", &[21])]);
+        assert_eq!(r.total(), 2);
+    }
+
+    #[test]
+    fn dedup_prefers_shortest_chain() {
+        let mut deep = mismatch("m", &[21]);
+        deep.via = vec![MethodRef::new("a.B", "hop", "()V")];
+        let direct = mismatch("m", &[21]);
+        let mut r = Report::new("p", "saintdroid");
+        r.extend_deduped([deep, direct]);
+        assert_eq!(r.total(), 1);
+        assert!(!r.mismatches[0].is_deep());
+    }
+
+    #[test]
+    fn counters_by_kind() {
+        let mut r = Report::new("p", "saintdroid");
+        let mut apc = mismatch("m", &[21]);
+        apc.kind = MismatchKind::ApiCallback;
+        let mut prm = mismatch("m2", &[]);
+        prm.kind = MismatchKind::PermissionRevocation;
+        r.extend_deduped([mismatch("m0", &[21]), apc, prm]);
+        assert_eq!(r.api_count(), 1);
+        assert_eq!(r.apc_count(), 1);
+        assert_eq!(r.prm_count(), 1);
+        assert_eq!(r.total(), 3);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn display_includes_detector_and_counts() {
+        let mut r = Report::new("com.example", "saintdroid");
+        r.extend_deduped([mismatch("m", &[21])]);
+        let s = r.to_string();
+        assert!(s.contains("saintdroid on com.example"));
+        assert!(s.contains("API 1"));
+    }
+}

@@ -1,0 +1,199 @@
+//! The assembled SAINTDroid pipeline (paper Figure 2): AUM → ARM → AMD.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use saint_adf::AndroidFramework;
+use saint_analysis::ExploreConfig;
+use saint_ir::Apk;
+
+use crate::amd;
+use crate::arm::Arm;
+use crate::aum::{AppModel, Aum};
+use crate::detector::{Capabilities, CompatDetector};
+use crate::report::Report;
+
+/// The SAINTDroid analyzer: holds the once-per-framework ARM artifacts
+/// and analyzes APKs with gradual class loading.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use saint_adf::AndroidFramework;
+/// use saintdroid::{CompatDetector, SaintDroid};
+/// use saint_ir::{ApkBuilder, ApiLevel};
+///
+/// let tool = SaintDroid::new(Arc::new(AndroidFramework::curated()));
+/// let apk = ApkBuilder::new("com.example", ApiLevel::new(21), ApiLevel::new(28)).build();
+/// let report = tool.analyze(&apk).expect("SAINTDroid analyzes any APK");
+/// assert!(report.is_clean());
+/// ```
+pub struct SaintDroid {
+    arm: Arm,
+    config: ExploreConfig,
+}
+
+impl SaintDroid {
+    /// Creates the analyzer over a framework model.
+    #[must_use]
+    pub fn new(framework: Arc<AndroidFramework>) -> Self {
+        SaintDroid {
+            arm: Arm::new(framework),
+            config: ExploreConfig::saintdroid(),
+        }
+    }
+
+    /// Creates the analyzer with a custom exploration policy (used by
+    /// ablation benchmarks).
+    #[must_use]
+    pub fn with_config(framework: Arc<AndroidFramework>, config: ExploreConfig) -> Self {
+        SaintDroid {
+            arm: Arm::new(framework),
+            config,
+        }
+    }
+
+    /// The revision modeler (ARM) component.
+    #[must_use]
+    pub fn arm(&self) -> &Arm {
+        &self.arm
+    }
+
+    /// Builds the AUM model for an APK — exposed for tooling that wants
+    /// the intermediate artifacts (paper: "SAINTDroid can be used by
+    /// developers, end-users, and third-party reviewers").
+    #[must_use]
+    pub fn model(&self, apk: &Apk) -> AppModel {
+        Aum::build(apk, self.arm.framework(), &self.config)
+    }
+
+    /// Runs the full pipeline and returns the report.
+    #[must_use]
+    pub fn run(&self, apk: &Apk) -> Report {
+        let start = Instant::now();
+        let model = self.model(apk);
+        let db = self.arm.database();
+        let pm = self.arm.permission_map();
+
+        let mut report = Report::new(apk.manifest.package.clone(), self.name());
+        report.extend_deduped(amd::invocation::detect(&model, &db));
+        report.extend_deduped(amd::callback::detect(&model, &db));
+        report.extend_deduped(amd::permission::detect(&model, &pm));
+        report.duration = start.elapsed();
+        report.meter = *model.clvm.meter();
+        report
+    }
+}
+
+impl CompatDetector for SaintDroid {
+    fn name(&self) -> &'static str {
+        "SAINTDroid"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::all()
+    }
+
+    fn analyze(&self, apk: &Apk) -> Option<Report> {
+        Some(self.run(apk))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mismatch::MismatchKind;
+    use saint_adf::well_known;
+    use saint_ir::{ApiLevel, ApkBuilder, BodyBuilder, ClassBuilder, ClassOrigin, Permission};
+
+    fn tool() -> SaintDroid {
+        SaintDroid::new(Arc::new(AndroidFramework::curated()))
+    }
+
+    /// One app exhibiting all three mismatch families at once.
+    fn triple_threat() -> Apk {
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", |b: &mut BodyBuilder| {
+                // API: getColorStateList (23) with min 19, unguarded.
+                b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+                // PRM: camera usage, targets 26, no handler.
+                b.invoke_static(well_known::camera_open(), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            // APC: onMultiWindowModeChanged (24) with min 19.
+            .method("onMultiWindowModeChanged", "(Z)V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        ApkBuilder::new("p.triple", ApiLevel::new(19), ApiLevel::new(26))
+            .permission(Permission::android("CAMERA"))
+            .activity("p.Main")
+            .class(main)
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn full_pipeline_detects_all_three_families() {
+        let report = tool().run(&triple_threat());
+        assert_eq!(report.api_count(), 1, "{report}");
+        assert_eq!(report.apc_count(), 1, "{report}");
+        assert!(report.prm_count() >= 1, "{report}");
+        assert!(report.duration > std::time::Duration::ZERO);
+        assert!(report.meter.classes_loaded > 0);
+    }
+
+    #[test]
+    fn onmultiwindow_not_double_reported_as_invocation() {
+        let report = tool().run(&triple_threat());
+        // The APC override must not also appear as an API invocation.
+        for m in report.of_kind(MismatchKind::ApiInvocation) {
+            assert_ne!(&*m.api.name, "onMultiWindowModeChanged");
+        }
+    }
+
+    #[test]
+    fn lazy_loading_smaller_than_framework() {
+        let fw = Arc::new(AndroidFramework::curated());
+        let t = SaintDroid::new(Arc::clone(&fw));
+        let report = t.run(&triple_threat());
+        assert!(
+            report.meter.classes_loaded < fw.class_count() / 2,
+            "loaded {} of {}",
+            report.meter.classes_loaded,
+            fw.class_count()
+        );
+    }
+
+    #[test]
+    fn capabilities_cover_everything() {
+        let t = tool();
+        let c = t.capabilities();
+        assert!(c.api && c.apc && c.prm);
+        assert!(!t.requires_source());
+        assert_eq!(t.name(), "SAINTDroid");
+    }
+
+    #[test]
+    fn clean_app_yields_clean_report() {
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
+                b.invoke_virtual(well_known::activity_set_content_view(), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p.clean", ApiLevel::new(21), ApiLevel::new(28))
+            .activity("p.Main")
+            .class(main)
+            .unwrap()
+            .build();
+        let report = tool().run(&apk);
+        assert!(report.is_clean(), "{report}");
+    }
+}

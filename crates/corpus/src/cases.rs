@@ -1,0 +1,146 @@
+//! The four case-study apps of paper §V-B, one per mismatch family.
+
+use saint_adf::well_known;
+use saint_ir::{ApiLevel, ApkBuilder, Apk, ClassBuilder, ClassOrigin, MethodRef, Permission};
+
+use crate::patterns::filler;
+
+/// Offline Calendar (§V-B, API invocation): `PreferencesActivity.onCreate`
+/// calls `getFragmentManager()` (API 11) while `minSdkVersion` is 8 —
+/// "the app will crash if running on API levels 8 to 11".
+#[must_use]
+pub fn offline_calendar() -> Apk {
+    let prefs = ClassBuilder::new("org.sufficientlysecure.localcalendar.PreferencesActivity", ClassOrigin::App)
+        .extends("android.preference.PreferenceActivity")
+        .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
+            b.invoke_virtual(well_known::activity_set_content_view(), &[], None);
+            b.invoke_virtual(
+                MethodRef::new(
+                    "org.sufficientlysecure.localcalendar.PreferencesActivity",
+                    "getFragmentManager",
+                    "()Landroid/app/FragmentManager;",
+                ),
+                &[],
+                None,
+            );
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    let mut builder = ApkBuilder::new(
+        "org.sufficientlysecure.localcalendar",
+        ApiLevel::new(8),
+        ApiLevel::new(25),
+    )
+    .activity("org.sufficientlysecure.localcalendar.PreferencesActivity")
+    .class(prefs)
+    .unwrap();
+    for inj in [filler("org.sufficientlysecure.localcalendar.CalendarController", 8, 20)] {
+        for c in inj.classes {
+            builder = builder.class(c).unwrap();
+        }
+    }
+    builder.build()
+}
+
+/// FOSDEM (§V-B, API callback): `ForegroundLinearLayout` overrides
+/// `View.drawableHotspotChanged` (API 21) while `minSdkVersion` is 15.
+#[must_use]
+pub fn fosdem() -> Apk {
+    let layout = ClassBuilder::new("be.digitalia.fosdem.widgets.ForegroundLinearLayout", ClassOrigin::App)
+        .extends("android.widget.LinearLayout")
+        .method("drawableHotspotChanged", "(FF)V", |b| {
+            b.pad(2);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    let mut builder = ApkBuilder::new("be.digitalia.fosdem", ApiLevel::new(15), ApiLevel::new(27))
+        .class(layout)
+        .unwrap();
+    for inj in [filler("be.digitalia.fosdem.ScheduleLoader", 10, 25)] {
+        for c in inj.classes {
+            builder = builder.class(c).unwrap();
+        }
+    }
+    builder.build()
+}
+
+/// Kolab Notes (§V-B, permission request): targets API 26, uses
+/// `WRITE_EXTERNAL_STORAGE`, never implements the runtime request
+/// protocol.
+#[must_use]
+pub fn kolab_notes() -> Apk {
+    let export = ClassBuilder::new("org.kore.kolabnotes.android.ExportActivity", ClassOrigin::App)
+        .extends("android.app.Activity")
+        .method("saveToCard", "()V", |b| {
+            b.invoke_static(well_known::get_external_storage_directory(), &[], None);
+            b.ret_void();
+        })
+        .unwrap()
+        // The export path runs when the user taps "save"; the click
+        // listener is framework-invoked.
+        .method("onOptionsItemSelected", "(Landroid/view/MenuItem;)Z", |b| {
+            b.invoke_virtual(
+                MethodRef::new("org.kore.kolabnotes.android.ExportActivity", "saveToCard", "()V"),
+                &[],
+                None,
+            );
+            let r = b.alloc_reg();
+            b.const_int(r, 1);
+            b.ret(r);
+        })
+        .unwrap()
+        .build();
+    ApkBuilder::new("org.kore.kolabnotes.android.case", ApiLevel::new(19), ApiLevel::new(26))
+        .permission(Permission::android("WRITE_EXTERNAL_STORAGE"))
+        .activity("org.kore.kolabnotes.android.ExportActivity")
+        .class(export)
+        .unwrap()
+        .build()
+}
+
+/// AdAway (§V-B, permission revocation): targets API 22, uses
+/// `WRITE_EXTERNAL_STORAGE`; on a ≥ 23 device the user can revoke it
+/// and the export path crashes.
+#[must_use]
+pub fn adaway() -> Apk {
+    let exporter = ClassBuilder::new("org.adaway.HostsExporter", ClassOrigin::App)
+        .extends("android.app.Activity")
+        .method("exportHosts", "()V", |b| {
+            b.invoke_static(well_known::get_external_storage_directory(), &[], None);
+            b.ret_void();
+        })
+        .unwrap()
+        .method("onOptionsItemSelected", "(Landroid/view/MenuItem;)Z", |b| {
+            b.invoke_virtual(
+                MethodRef::new("org.adaway.HostsExporter", "exportHosts", "()V"),
+                &[],
+                None,
+            );
+            let r = b.alloc_reg();
+            b.const_int(r, 1);
+            b.ret(r);
+        })
+        .unwrap()
+        .build();
+    ApkBuilder::new("org.adaway", ApiLevel::new(15), ApiLevel::new(22))
+        .permission(Permission::android("WRITE_EXTERNAL_STORAGE"))
+        .activity("org.adaway.HostsExporter")
+        .class(exporter)
+        .unwrap()
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_apps_build() {
+        assert_eq!(offline_calendar().manifest.min_sdk, ApiLevel::new(8));
+        assert_eq!(fosdem().manifest.min_sdk, ApiLevel::new(15));
+        assert!(kolab_notes().manifest.targets_runtime_permissions());
+        assert!(!adaway().manifest.targets_runtime_permissions());
+    }
+}

@@ -1,0 +1,228 @@
+//! CID-Bench: the seven micro-benchmark apps of Li et al., each
+//! exercising one API-resolution corner (the paper's Table II lower
+//! half): basic calls, forward compatibility, overload disambiguation,
+//! inheritance, guard "protection" (two variants) and vararg-style
+//! signatures.
+
+use saint_adf::well_known;
+use saint_ir::{ApiLevel, ApkBuilder, MethodRef};
+
+use crate::patterns::{
+    cross_method_guarded, filler, guarded_api_call, unguarded_api_call, Injection,
+};
+use crate::truth::{BenchApp, Suite};
+
+fn assemble(
+    name: &'static str,
+    package: &'static str,
+    min: u8,
+    target: u8,
+    injections: Vec<Injection>,
+) -> BenchApp {
+    let mut builder = ApkBuilder::new(package, ApiLevel::new(min), ApiLevel::new(target));
+    let mut truth = Vec::new();
+    for inj in injections {
+        for class in inj.classes {
+            builder = builder.class(class).expect("unique class names");
+        }
+        truth.extend(inj.truth);
+    }
+    BenchApp {
+        name,
+        suite: Suite::CidBench,
+        apk: builder.build(),
+        truth,
+    }
+}
+
+/// Builds the seven CID-Bench apps.
+#[must_use]
+pub fn cid_bench() -> Vec<BenchApp> {
+    vec![
+        // Basic: a plain unguarded call to a newer API.
+        assemble(
+            "Basic",
+            "bench.cid.basic",
+            21,
+            25,
+            vec![
+                unguarded_api_call(
+                    "bench.cid.basic.Main",
+                    "run",
+                    well_known::context_get_color_state_list(),
+                    "basic: getColorStateList (23) with min 21",
+                ),
+                filler("bench.cid.basic.Util", 4, 15),
+            ],
+        ),
+        // Forward: calling an API the platform later removed.
+        assemble(
+            "Forward",
+            "bench.cid.forward",
+            21,
+            28,
+            vec![
+                unguarded_api_call(
+                    "bench.cid.forward.Main",
+                    "fetch",
+                    well_known::http_client_execute(),
+                    "forward: HttpClient.execute removed at 23, supported range reaches 29",
+                ),
+                filler("bench.cid.forward.Util", 4, 15),
+            ],
+        ),
+        // GenericType: two overloads with different lifetimes; the call
+        // targets the newer descriptor.
+        assemble(
+            "GenericType",
+            "bench.cid.generictype",
+            21,
+            25,
+            vec![
+                unguarded_api_call(
+                    "bench.cid.generictype.Main",
+                    "intercept",
+                    MethodRef::new(
+                        "android.webkit.WebViewClient",
+                        "shouldOverrideUrlLoading",
+                        "(Landroid/webkit/WebView;Landroid/webkit/WebResourceRequest;)Z",
+                    ),
+                    "overload: shouldOverrideUrlLoading(WebResourceRequest) (24) with min 21",
+                ),
+                filler("bench.cid.generictype.Util", 4, 15),
+            ],
+        ),
+        // Inheritance: the call is written against the app's own
+        // subclass; only hierarchy-aware resolution lands on the API.
+        assemble(
+            "Inheritance",
+            "bench.cid.inheritance",
+            8,
+            25,
+            vec![
+                {
+                    let api = well_known::activity_get_fragment_manager();
+                    let this_call = MethodRef::new(
+                        "bench.cid.inheritance.Main",
+                        "getFragmentManager",
+                        "()Landroid/app/FragmentManager;",
+                    );
+                    let built = saint_ir::ClassBuilder::new(
+                        "bench.cid.inheritance.Main",
+                        saint_ir::ClassOrigin::App,
+                    )
+                    .extends("android.app.Activity")
+                    .method("onCreate", "(Landroid/os/Bundle;)V", move |b| {
+                        b.invoke_virtual(this_call, &[], None);
+                        b.ret_void();
+                    })
+                    .unwrap()
+                    .build();
+                    Injection {
+                        truth: vec![crate::truth::GroundTruthIssue {
+                            kind: saintdroid::MismatchKind::ApiInvocation,
+                            site: MethodRef::new(
+                                "bench.cid.inheritance.Main",
+                                "onCreate",
+                                "(Landroid/os/Bundle;)V",
+                            ),
+                            api,
+                            note: "inheritance: this.getFragmentManager() (11) with min 8",
+                        }],
+                        classes: vec![built],
+                    }
+                },
+                filler("bench.cid.inheritance.Util", 4, 15),
+            ],
+        ),
+        // Protection: properly guarded in the same method — no issue;
+        // flow-insensitive tools misreport.
+        assemble(
+            "Protection",
+            "bench.cid.protection",
+            21,
+            25,
+            vec![
+                guarded_api_call(
+                    "bench.cid.protection.Main",
+                    "run",
+                    well_known::context_get_color_state_list(),
+                    23,
+                ),
+                filler("bench.cid.protection.Util", 4, 15),
+            ],
+        ),
+        // Protection2: guard in the caller, call in the callee — no
+        // issue; context-insensitive tools misreport.
+        assemble(
+            "Protection2",
+            "bench.cid.protection2",
+            21,
+            25,
+            vec![
+                cross_method_guarded(
+                    "bench.cid.protection2.Main",
+                    well_known::context_get_color_state_list(),
+                    23,
+                ),
+                filler("bench.cid.protection2.Util", 4, 15),
+            ],
+        ),
+        // Varargs: an array-typed signature (String[], int).
+        assemble(
+            "Varargs",
+            "bench.cid.varargs",
+            21,
+            25,
+            vec![
+                unguarded_api_call(
+                    "bench.cid.varargs.Main",
+                    "ask",
+                    well_known::activity_request_permissions(),
+                    "varargs: requestPermissions(String[], int) (23) with min 21",
+                ),
+                filler("bench.cid.varargs.Util", 4, 15),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_apps() {
+        let apps = cid_bench();
+        assert_eq!(apps.len(), 7);
+        let names: Vec<_> = apps.iter().map(|a| a.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Basic",
+                "Forward",
+                "GenericType",
+                "Inheritance",
+                "Protection",
+                "Protection2",
+                "Varargs"
+            ]
+        );
+    }
+
+    #[test]
+    fn protection_apps_are_clean() {
+        for app in cid_bench() {
+            if app.name.starts_with("Protection") {
+                assert!(app.truth.is_empty(), "{} must be issue-free", app.name);
+            } else {
+                assert_eq!(app.truth.len(), 1, "{}", app.name);
+            }
+        }
+    }
+
+    #[test]
+    fn suite_tag_set() {
+        assert!(cid_bench().iter().all(|a| a.suite == Suite::CidBench));
+    }
+}

@@ -1,0 +1,631 @@
+//! CIDER-Bench: the 12 usable real-world benchmark apps of Huang et
+//! al., rebuilt as synthetic packages with the same names and the issue
+//! *shapes* the paper's Tables II/III report — including the apps CID
+//! fails on (multi-dex), the app Lint cannot build, the Simple
+//! Solitaire `onAttach(Context)` case (paper Listing 2), and the
+//! anonymous-class issues SAINTDroid knowingly misses.
+
+use saint_adf::well_known;
+use saint_ir::{ApiLevel, ApkBuilder, DexFile, MethodRef, MethodSig, Permission};
+use saintdroid::MismatchKind;
+
+use crate::patterns::{
+    anon_guarded_helper, anonymous_callback_override, callback_override, cross_method_guarded,
+    dangerous_usage, deep_facade_call, filler, guarded_api_call, library_filler,
+    library_unguarded_call, permission_handler, unguarded_api_call, Injection,
+};
+use crate::truth::{BenchApp, Suite};
+
+struct Assembly {
+    name: &'static str,
+    package: &'static str,
+    min: u8,
+    target: u8,
+    permissions: Vec<Permission>,
+    injections: Vec<Injection>,
+    multidex: bool,
+    has_source: bool,
+}
+
+impl Assembly {
+    fn build(self) -> BenchApp {
+        let mut builder = ApkBuilder::new(
+            self.package,
+            ApiLevel::new(self.min),
+            ApiLevel::new(self.target),
+        );
+        for p in self.permissions {
+            builder = builder.permission(p);
+        }
+        let mut truth = Vec::new();
+        for inj in self.injections {
+            for class in inj.classes {
+                builder = builder.class(class).expect("unique class names per app");
+            }
+            truth.extend(inj.truth);
+        }
+        if self.multidex {
+            builder = builder.secondary_dex(DexFile::new("assets/secondary.dex"));
+        }
+        if !self.has_source {
+            builder = builder.without_source();
+        }
+        BenchApp {
+            name: self.name,
+            suite: Suite::CiderBench,
+            apk: builder.build(),
+            truth,
+        }
+    }
+}
+
+fn wvc_on_received_http_error() -> (MethodSig, MethodRef) {
+    let sig = MethodSig::new(
+        "onReceivedHttpError",
+        "(Landroid/webkit/WebView;Landroid/webkit/WebResourceRequest;Landroid/webkit/WebResourceResponse;)V",
+    );
+    let api = sig.on_class("android.webkit.WebViewClient");
+    (sig, api)
+}
+
+/// Builds the 12 CIDER-Bench apps at unit size (fast; used by tests).
+#[must_use]
+pub fn cider_bench() -> Vec<BenchApp> {
+    cider_bench_scaled(1)
+}
+
+/// Builds the 12 CIDER-Bench apps with filler code scaled by `f` —
+/// the paper's apps range from 10.4 to 294.4 KLOC of dex code, so the
+/// timing/memory harnesses (Table III, Figure 4) run with larger `f`
+/// to reach realistic sizes. Ground truth is identical at every scale.
+#[must_use]
+pub fn cider_bench_scaled(f: usize) -> Vec<BenchApp> {
+    let f = f.max(1);
+    let mut apps = Vec::new();
+
+    // AFWall+ — multi-dex firewall app; CID crashes on it (Table III
+    // dash).
+    apps.push(
+        Assembly {
+            name: "AFWall+",
+            package: "dev.ukanth.ufirewall",
+            min: 15,
+            target: 25,
+            permissions: vec![],
+            injections: vec![
+                library_unguarded_call(
+                    "com.haibison.apksig.ThemeKit",
+                    "applyTheme",
+                    well_known::context_get_color_state_list(),
+                    "library code calling getColorStateList (23) with min 15",
+                ),
+                unguarded_api_call(
+                    "dev.ukanth.ufirewall.RulesActivity",
+                    "loadIcon",
+                    well_known::context_get_drawable(),
+                    "getDrawable (21) with min 15",
+                ),
+                callback_override(
+                    "dev.ukanth.ufirewall.LogView",
+                    "android.widget.FrameLayout",
+                    MethodSig::new("onApplyWindowInsets", "(Landroid/view/WindowInsets;)Landroid/view/WindowInsets;"),
+                    MethodRef::new("android.view.View", "onApplyWindowInsets", "(Landroid/view/WindowInsets;)Landroid/view/WindowInsets;"),
+                    "View.onApplyWindowInsets (20) with min 15",
+                ),
+                guarded_api_call(
+                    "dev.ukanth.ufirewall.SafeTheme",
+                    "applySafely",
+                    well_known::context_get_color_state_list(),
+                    23,
+                ),
+                filler("dev.ukanth.ufirewall.Rules", 14 * f, 30),
+                library_filler("org.iptables.Wrapper", 10 * f, 40),
+            ],
+            multidex: true,
+            has_source: true,
+        }
+        .build(),
+    );
+
+    // DuckDuckGo — notification-channel API beyond CID's level
+    // ceiling, a WebViewClient callback CIDER does not model, and a
+    // deep facade path.
+    apps.push(
+        Assembly {
+            name: "DuckDuckGo",
+            package: "com.duckduckgo.mobile.android",
+            min: 21,
+            target: 26,
+            permissions: vec![],
+            injections: vec![
+                unguarded_api_call(
+                    "com.duckduckgo.mobile.android.Notifier",
+                    "setupChannel",
+                    well_known::create_notification_channel(),
+                    "createNotificationChannel (26) with min 21; beyond CID's API-25 model",
+                ),
+                {
+                    let (sig, api) = wvc_on_received_http_error();
+                    callback_override(
+                        "com.duckduckgo.mobile.android.BrowserClient",
+                        "android.webkit.WebViewClient",
+                        sig,
+                        api,
+                        "WebViewClient.onReceivedHttpError (23) with min 21; class unmodeled by CIDER",
+                    )
+                },
+                deep_facade_call(
+                    "com.duckduckgo.mobile.android.TabView",
+                    "decorate",
+                    well_known::tint_helper_apply_tint(),
+                    MethodRef::new("android.view.View", "setForeground", "(Landroid/graphics/drawable/Drawable;)V"),
+                    "deep: applyTint -> setForeground (23) with min 21",
+                ),
+                cross_method_guarded(
+                    "com.duckduckgo.mobile.android.ThemeHelper",
+                    well_known::context_get_color_state_list(),
+                    23,
+                ),
+                filler("com.duckduckgo.mobile.android.Search", 20 * f, 35),
+            ],
+            multidex: false,
+            has_source: true,
+        }
+        .build(),
+    );
+
+    // FOSS Browser — a modeled WebView callback CIDER *does* catch,
+    // plus the anonymous-guard false-alarm bait for SAINTDroid.
+    apps.push(
+        Assembly {
+            name: "FOSS Browser",
+            package: "de.baumann.browser",
+            min: 19,
+            target: 25,
+            permissions: vec![],
+            injections: vec![
+                callback_override(
+                    "de.baumann.browser.NinjaWebView",
+                    "android.webkit.WebView",
+                    MethodSig::new("onProvideVirtualStructure", "(Landroid/view/ViewStructure;)V"),
+                    MethodRef::new("android.webkit.WebView", "onProvideVirtualStructure", "(Landroid/view/ViewStructure;)V"),
+                    "WebView.onProvideVirtualStructure (23) with min 19; modeled by CIDER",
+                ),
+                library_unguarded_call(
+                    "org.mozilla.geckoview.PageRenderer",
+                    "postMessage",
+                    MethodRef::new("android.webkit.WebView", "postWebMessage", "(Landroid/webkit/WebMessage;Landroid/net/Uri;)V"),
+                    "postWebMessage (23) with min 19",
+                ),
+                anon_guarded_helper(
+                    "de.baumann.browser.NightMode",
+                    well_known::context_get_color_state_list(),
+                    23,
+                ),
+                filler("de.baumann.browser.History", 10 * f, 25),
+            ],
+            multidex: false,
+            has_source: true,
+        }
+        .build(),
+    );
+
+    // Kolab notes — the paper's permission-request case study (§V-B).
+    apps.push(
+        Assembly {
+            name: "Kolab notes",
+            package: "org.kore.kolabnotes.android",
+            min: 19,
+            target: 26,
+            permissions: vec![Permission::android("WRITE_EXTERNAL_STORAGE")],
+            injections: vec![
+                dangerous_usage(
+                    "org.kore.kolabnotes.android.ExportActivity",
+                    "exportToSdCard",
+                    well_known::get_external_storage_directory(),
+                    MismatchKind::PermissionRequest,
+                    "WRITE_EXTERNAL_STORAGE used, target 26, no runtime request (Kolab Notes case)",
+                ),
+                library_unguarded_call(
+                    "com.mikepenz.materialdrawer.Tinter",
+                    "tintToolbar",
+                    well_known::context_get_color_state_list(),
+                    "library code calling getColorStateList (23) with min 19",
+                ),
+                callback_override(
+                    "org.kore.kolabnotes.android.NoteFragment",
+                    "android.app.Fragment",
+                    well_known::fragment_on_attach_context_sig(),
+                    MethodRef::new("android.app.Fragment", "onAttach", "(Landroid/content/Context;)V"),
+                    "Fragment.onAttach(Context) (23) with min 19",
+                ),
+                filler("org.kore.kolabnotes.android.Sync", 12 * f, 30),
+            ],
+            multidex: false,
+            has_source: true,
+        }
+        .build(),
+    );
+
+    // MaterialFBook — min 11; carries the WebView.onPause override that
+    // trips CIDER's documentation bug, plus an anonymous-class APC that
+    // everyone (including SAINTDroid) misses.
+    apps.push(
+        Assembly {
+            name: "MaterialFBook",
+            package: "me.zeeroooo.materialfb",
+            min: 11,
+            target: 25,
+            permissions: vec![],
+            injections: vec![
+                library_unguarded_call(
+                    "com.github.clans.fab.Styler",
+                    "styleBadge",
+                    MethodRef::new("android.widget.TextView", "setTextAppearance", "(I)V"),
+                    "TextView.setTextAppearance(int) (23) with min 11",
+                ),
+                {
+                    // Overriding WebView.onPause (API 11) with min 11 is
+                    // *correct*; CIDER's doc-derived model says 12 and
+                    // misfires.
+                    let built = saint_ir::ClassBuilder::new(
+                        "me.zeeroooo.materialfb.FBWebView",
+                        saint_ir::ClassOrigin::App,
+                    )
+                    .extends("android.webkit.WebView")
+                    .method("onPause", "()V", |b| {
+                        b.ret_void();
+                    })
+                    .unwrap()
+                    .build();
+                    Injection {
+                        classes: vec![built],
+                        truth: Vec::new(),
+                    }
+                },
+                anonymous_callback_override(
+                    "me.zeeroooo.materialfb.Chat",
+                    "android.webkit.WebViewClient",
+                    MethodSig::new("onPageCommitVisible", "(Landroid/webkit/WebView;Ljava/lang/String;)V"),
+                    MethodRef::new("android.webkit.WebViewClient", "onPageCommitVisible", "(Landroid/webkit/WebView;Ljava/lang/String;)V"),
+                    "onPageCommitVisible (23) inside Chat$1 — invisible to static analysis",
+                ),
+                filler("me.zeeroooo.materialfb.Feed", 8 * f, 20),
+            ],
+            multidex: false,
+            has_source: true,
+        }
+        .build(),
+    );
+
+    // NetworkMonitor — multi-dex (CID dash) with a deep permission
+    // usage only SAINTDroid attributes.
+    apps.push(
+        Assembly {
+            name: "NetworkMonitor",
+            package: "ca.rmen.android.networkmonitor",
+            min: 14,
+            target: 24,
+            permissions: vec![Permission::android("ACCESS_FINE_LOCATION")],
+            injections: vec![
+                library_unguarded_call(
+                    "com.google.mapslite.IconLoader",
+                    "loadMapIcons",
+                    well_known::context_get_drawable(),
+                    "getDrawable (21) with min 14",
+                ),
+                dangerous_usage(
+                    "ca.rmen.android.networkmonitor.LocationProbe",
+                    "probe",
+                    well_known::request_location_updates(),
+                    MismatchKind::PermissionRequest,
+                    "ACCESS_FINE_LOCATION used, target 24, no runtime request",
+                ),
+                guarded_api_call(
+                    "ca.rmen.android.networkmonitor.SafeProbe",
+                    "probeSafely",
+                    well_known::context_check_self_permission(),
+                    23,
+                ),
+                filler("ca.rmen.android.networkmonitor.Log", 16 * f, 30),
+            ],
+            multidex: true,
+            has_source: true,
+        }
+        .build(),
+    );
+
+    // NyaaPantsu — cannot be built from source (the Lint dash in
+    // Table III).
+    apps.push(
+        Assembly {
+            name: "NyaaPantsu",
+            package: "cat.pantsu.nyaapantsu",
+            min: 15,
+            target: 24,
+            permissions: vec![],
+            injections: vec![
+                unguarded_api_call(
+                    "cat.pantsu.nyaapantsu.TorrentList",
+                    "tintRows",
+                    MethodRef::new("android.view.View", "setBackgroundTintList", "(Landroid/content/res/ColorStateList;)V"),
+                    "setBackgroundTintList (21) with min 15",
+                ),
+                callback_override(
+                    "cat.pantsu.nyaapantsu.UploadFragment",
+                    "android.app.Fragment",
+                    well_known::fragment_on_attach_context_sig(),
+                    MethodRef::new("android.app.Fragment", "onAttach", "(Landroid/content/Context;)V"),
+                    "Fragment.onAttach(Context) (23) with min 15",
+                ),
+                filler("cat.pantsu.nyaapantsu.Api", 9 * f, 25),
+            ],
+            multidex: false,
+            has_source: false,
+        }
+        .build(),
+    );
+
+    // Padland — small app; one real issue, one guarded bait.
+    apps.push(
+        Assembly {
+            name: "Padland",
+            package: "com.mikifus.padland",
+            min: 16,
+            target: 23,
+            permissions: vec![],
+            injections: vec![
+                library_unguarded_call(
+                    "org.etherpad.lite.PadWidget",
+                    "elevate",
+                    MethodRef::new("android.view.View", "setBackgroundTintList", "(Landroid/content/res/ColorStateList;)V"),
+                    "setBackgroundTintList (21) with min 16",
+                ),
+                guarded_api_call(
+                    "com.mikifus.padland.SafePad",
+                    "colorize",
+                    well_known::context_get_color_state_list(),
+                    23,
+                ),
+                filler("com.mikifus.padland.PadList", 6 * f, 20),
+            ],
+            multidex: false,
+            has_source: true,
+        }
+        .build(),
+    );
+
+    // PassAndroid — the largest app; multi-dex (CID dash); library
+    // issue invisible to Lint; a three-hop deep chain; an anonymous APC
+    // miss; permission usage *with* a proper handler (quiet).
+    apps.push(
+        Assembly {
+            name: "PassAndroid",
+            package: "org.ligi.passandroid",
+            min: 14,
+            target: 27,
+            permissions: vec![Permission::android("CAMERA")],
+            injections: vec![
+                unguarded_api_call(
+                    "org.ligi.passandroid.PassViewActivity",
+                    "applyPalette",
+                    well_known::context_get_color_state_list(),
+                    "getColorStateList (23) with min 14",
+                ),
+                library_unguarded_call(
+                    "com.squareup.barcode.Renderer",
+                    "render",
+                    well_known::context_get_drawable(),
+                    "library code calling getDrawable (21) with min 14; outside Lint's source scope",
+                ),
+                deep_facade_call(
+                    "org.ligi.passandroid.FontStyler",
+                    "styleTitle",
+                    well_known::font_facade_apply_font(),
+                    MethodRef::new("android.content.res.Resources", "getFont", "(I)Landroid/graphics/Typeface;"),
+                    "deep 3-hop: applyFont -> resolveFont -> getFont (26) with min 14",
+                ),
+                anonymous_callback_override(
+                    "org.ligi.passandroid.Scanner",
+                    "android.webkit.WebViewClient",
+                    MethodSig::new("onPageCommitVisible", "(Landroid/webkit/WebView;Ljava/lang/String;)V"),
+                    MethodRef::new("android.webkit.WebViewClient", "onPageCommitVisible", "(Landroid/webkit/WebView;Ljava/lang/String;)V"),
+                    "onPageCommitVisible (23) inside Scanner$1 — invisible to static analysis",
+                ),
+                permission_handler("org.ligi.passandroid.CameraActivity"),
+                filler("org.ligi.passandroid.PassStore", 30 * f, 40),
+                library_filler("com.squareup.okio.Buffer", 20 * f, 35),
+            ],
+            multidex: true,
+            has_source: true,
+        }
+        .build(),
+    );
+
+    // SimpleSolitaire — paper Listing 2.
+    apps.push(
+        Assembly {
+            name: "SimpleSolitaire",
+            package: "de.tobiasbielefeld.solitaire",
+            min: 14,
+            target: 27,
+            permissions: vec![],
+            injections: vec![
+                callback_override(
+                    "de.tobiasbielefeld.solitaire.GameFragment",
+                    "android.app.Fragment",
+                    well_known::fragment_on_attach_context_sig(),
+                    MethodRef::new("android.app.Fragment", "onAttach", "(Landroid/content/Context;)V"),
+                    "Listing 2: Fragment.onAttach(Context) (23) with min 14",
+                ),
+                library_unguarded_call(
+                    "com.cardlib.render.CardSkin",
+                    "highlight",
+                    well_known::context_get_drawable(),
+                    "getDrawable (21) with min 14",
+                ),
+                filler("de.tobiasbielefeld.solitaire.Stack", 12 * f, 25),
+            ],
+            multidex: false,
+            has_source: true,
+        }
+        .build(),
+    );
+
+    // SurvivalManual — one modeled Activity callback (CIDER catches
+    // it) and otherwise safe, guarded code.
+    apps.push(
+        Assembly {
+            name: "SurvivalManual",
+            package: "org.ligi.survivalmanual",
+            min: 19,
+            target: 26,
+            permissions: vec![],
+            injections: vec![
+                callback_override(
+                    "org.ligi.survivalmanual.MainActivity",
+                    "android.app.Activity",
+                    MethodSig::new("onMultiWindowModeChanged", "(Z)V"),
+                    MethodRef::new("android.app.Activity", "onMultiWindowModeChanged", "(Z)V"),
+                    "Activity.onMultiWindowModeChanged (24) with min 19; modeled by CIDER",
+                ),
+                guarded_api_call(
+                    "org.ligi.survivalmanual.ImageLoader",
+                    "loadVector",
+                    well_known::context_get_drawable(),
+                    21,
+                ),
+                filler("org.ligi.survivalmanual.Markdown", 10 * f, 22),
+            ],
+            multidex: false,
+            has_source: true,
+        }
+        .build(),
+    );
+
+    // Uber ride — camera2 usage below its introduction level plus a
+    // permission-request mismatch.
+    apps.push(
+        Assembly {
+            name: "Uber ride",
+            package: "com.example.uberride",
+            min: 16,
+            target: 25,
+            permissions: vec![Permission::android("CAMERA")],
+            injections: vec![
+                library_unguarded_call(
+                    "com.squareup.camerakit.ProfilePhoto",
+                    "openCamera2",
+                    MethodRef::new(
+                        "android.hardware.camera2.CameraManager",
+                        "openCamera",
+                        "(Ljava/lang/String;Landroid/hardware/camera2/CameraDevice$StateCallback;Landroid/os/Handler;)V",
+                    ),
+                    "camera2 openCamera (21) with min 16",
+                ),
+                dangerous_usage(
+                    "com.example.uberride.LegacyCamera",
+                    "capture",
+                    well_known::camera_open(),
+                    MismatchKind::PermissionRequest,
+                    "CAMERA used, target 25, no runtime request",
+                ),
+                // The camera2 call above is *also* a dangerous-permission
+                // usage (openCamera requires CAMERA): record the PRM
+                // truth alongside its API-invocation truth.
+                Injection {
+                    classes: vec![],
+                    truth: vec![crate::truth::GroundTruthIssue {
+                        kind: MismatchKind::PermissionRequest,
+                        site: MethodRef::new("com.squareup.camerakit.ProfilePhoto", "openCamera2", "()V"),
+                        api: MethodRef::new(
+                            "android.hardware.camera2.CameraManager",
+                            "openCamera",
+                            "(Ljava/lang/String;Landroid/hardware/camera2/CameraDevice$StateCallback;Landroid/os/Handler;)V",
+                        ),
+                        note: "openCamera requires CAMERA; target 25, no runtime request",
+                    }],
+                },
+                filler("com.example.uberride.RideList", 10 * f, 25),
+            ],
+            multidex: false,
+            has_source: true,
+        }
+        .build(),
+    );
+
+    apps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_apps_matching_table_iii() {
+        let apps = cider_bench();
+        assert_eq!(apps.len(), 12);
+        let names: Vec<_> = apps.iter().map(|a| a.name).collect();
+        for expected in [
+            "AFWall+",
+            "DuckDuckGo",
+            "FOSS Browser",
+            "Kolab notes",
+            "MaterialFBook",
+            "NetworkMonitor",
+            "NyaaPantsu",
+            "Padland",
+            "PassAndroid",
+            "SimpleSolitaire",
+            "SurvivalManual",
+            "Uber ride",
+        ] {
+            assert!(names.contains(&expected), "{expected} missing");
+        }
+    }
+
+    #[test]
+    fn cid_dash_apps_are_multidex() {
+        let apps = cider_bench();
+        for name in ["AFWall+", "NetworkMonitor", "PassAndroid"] {
+            let app = apps.iter().find(|a| a.name == name).unwrap();
+            assert!(!app.apk.secondary.is_empty(), "{name} should be multi-dex");
+        }
+    }
+
+    #[test]
+    fn lint_dash_app_has_no_source() {
+        let apps = cider_bench();
+        let nyaa = apps.iter().find(|a| a.name == "NyaaPantsu").unwrap();
+        assert!(!nyaa.apk.has_source);
+        assert!(apps.iter().filter(|a| !a.apk.has_source).count() == 1);
+    }
+
+    #[test]
+    fn every_app_has_truth_and_unique_classes() {
+        for app in cider_bench() {
+            assert!(!app.truth.is_empty(), "{} has no ground truth", app.name);
+            assert!(app.apk.class_count() >= 3, "{} too small", app.name);
+        }
+    }
+
+    #[test]
+    fn suite_contains_anonymous_class_issues() {
+        let apps = cider_bench();
+        let anon_truths: usize = apps
+            .iter()
+            .flat_map(|a| &a.truth)
+            .filter(|t| t.site.class.is_anonymous_inner())
+            .count();
+        assert_eq!(anon_truths, 2, "two known-miss anonymous issues (40-of-42 shape)");
+    }
+
+    #[test]
+    fn apps_roundtrip_through_codec() {
+        for app in cider_bench() {
+            let bytes = saint_ir::codec::encode_apk(&app.apk);
+            let back = saint_ir::codec::decode_apk(&bytes).unwrap();
+            assert_eq!(app.apk, back, "{}", app.name);
+        }
+    }
+}

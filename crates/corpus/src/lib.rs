@@ -1,0 +1,46 @@
+//! # saint-corpus — the objects of analysis
+//!
+//! Everything the paper's evaluation runs on, rebuilt synthetically:
+//!
+//! * [`cider_bench`] — the 12 usable CIDER-Bench apps (Table II/III),
+//!   with recorded ground truth, the multi-dex apps CID crashes on and
+//!   the source-less app Lint cannot build;
+//! * [`cid_bench`] — the 7 CID-Bench micro-apps (Basic … Varargs);
+//! * [`cases`] — the four §V-B case studies (Offline Calendar, FOSDEM,
+//!   Kolab Notes, AdAway);
+//! * [`RealWorldCorpus`] — a streaming, seeded generator of
+//!   thousands of apps calibrated to the paper's RQ2 structure.
+//!
+//! ```
+//! use saint_corpus::{benchmark_suite, Suite};
+//!
+//! let apps = benchmark_suite();
+//! assert_eq!(apps.len(), 19); // 12 CIDER-Bench + 7 CID-Bench
+//! assert!(apps.iter().any(|a| a.suite == Suite::CidBench));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cases;
+mod cid_bench;
+mod cider_bench;
+pub mod patterns;
+mod realworld;
+mod truth;
+
+pub use cid_bench::cid_bench;
+pub use cider_bench::{cider_bench, cider_bench_scaled};
+pub use realworld::{
+    generate_app, InjectedCounts, RealWorldApp, RealWorldConfig, RealWorldCorpus,
+};
+pub use truth::{score, Accuracy, BenchApp, GroundTruthIssue, Suite};
+
+/// The full 19-app benchmark suite of the paper's accuracy evaluation
+/// (27 apps minus the 8 that could not be built; paper §IV-A).
+#[must_use]
+pub fn benchmark_suite() -> Vec<BenchApp> {
+    let mut apps = cider_bench();
+    apps.extend(cid_bench());
+    apps
+}

@@ -1,0 +1,477 @@
+//! Reusable mismatch-injection patterns.
+//!
+//! Benchmark apps are assembled from these building blocks. Each
+//! pattern produces classes plus the ground truth it implies — real
+//! issues carry truth entries, *bait* patterns (safe code that weaker
+//! tools misreport) carry none.
+
+use saint_adf::well_known;
+use saint_ir::{
+    ApiLevel, ClassBuilder, ClassDef, ClassOrigin, InvokeKind, MethodRef, MethodSig,
+};
+use saintdroid::MismatchKind;
+
+use crate::truth::GroundTruthIssue;
+
+/// Classes plus implied ground truth.
+#[derive(Debug, Default)]
+pub struct Injection {
+    /// Classes to add to the app.
+    pub classes: Vec<ClassDef>,
+    /// Known issues these classes carry.
+    pub truth: Vec<GroundTruthIssue>,
+}
+
+impl Injection {
+    /// Merges another injection into this one.
+    #[must_use]
+    pub fn merge(mut self, other: Injection) -> Self {
+        self.classes.extend(other.classes);
+        self.truth.extend(other.truth);
+        self
+    }
+}
+
+fn activity_class(name: &str) -> ClassBuilder {
+    ClassBuilder::new(name, ClassOrigin::App).extends("android.app.Activity")
+}
+
+/// A real issue: `class.method` calls `api` with no guard. The caller
+/// guarantees the app's `minSdkVersion` lies outside the API's
+/// lifetime.
+#[must_use]
+pub fn unguarded_api_call(
+    class: &str,
+    method: &str,
+    api: MethodRef,
+    note: &'static str,
+) -> Injection {
+    let api2 = api.clone();
+    let site_ref = MethodRef::new(class, method, "()V");
+    let built = activity_class(class)
+        .method(method, "()V", move |b| {
+            b.pad(3);
+            b.invoke_virtual(api2, &[], None);
+            b.ret_void();
+        })
+        .unwrap()
+        // Lifecycle driver: the framework invokes onCreate, which
+        // reaches the site — this is the execution path a dynamic
+        // verifier replays.
+        .method("onCreate", "(Landroid/os/Bundle;)V", move |b| {
+            b.invoke_virtual(site_ref, &[], None);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    Injection {
+        truth: vec![GroundTruthIssue {
+            kind: MismatchKind::ApiInvocation,
+            site: MethodRef::new(class, method, "()V"),
+            api,
+            note,
+        }],
+        classes: vec![built],
+    }
+}
+
+/// Safe code that flow-insensitive tools misreport: the call is wrapped
+/// in a correct `SDK_INT >= level` guard in the same method.
+#[must_use]
+pub fn guarded_api_call(class: &str, method: &str, api: MethodRef, level: u8) -> Injection {
+    let built = activity_class(class)
+        .method(method, "()V", move |b| {
+            let (then_blk, join) = b.guard_sdk_at_least(ApiLevel::new(level));
+            b.switch_to(then_blk);
+            b.invoke_virtual(api, &[], None);
+            b.goto(join);
+            b.switch_to(join);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    Injection {
+        classes: vec![built],
+        truth: Vec::new(),
+    }
+}
+
+/// Safe code that context-insensitive tools misreport: the guard lives
+/// in the caller, the call in a private helper only reachable through
+/// it (paper §V-A: CID "does not track guard conditions across
+/// function calls").
+#[must_use]
+pub fn cross_method_guarded(class: &str, api: MethodRef, level: u8) -> Injection {
+    let helper_ref = MethodRef::new(class, "applyNewApi", "()V");
+    let helper_ref2 = helper_ref.clone();
+    let built = activity_class(class)
+        .method("onCreate", "(Landroid/os/Bundle;)V", move |b| {
+            let (then_blk, join) = b.guard_sdk_at_least(ApiLevel::new(level));
+            b.switch_to(then_blk);
+            b.invoke_virtual(helper_ref2, &[], None);
+            b.goto(join);
+            b.switch_to(join);
+            b.ret_void();
+        })
+        .unwrap()
+        .method("applyNewApi", "()V", move |b| {
+            b.invoke_virtual(api, &[], None);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    Injection {
+        classes: vec![built],
+        truth: Vec::new(),
+    }
+}
+
+/// A real APC issue: `class` (extending `super_class`) overrides the
+/// framework method `api` outside its lifetime.
+#[must_use]
+pub fn callback_override(
+    class: &str,
+    super_class: &str,
+    sig: MethodSig,
+    api: MethodRef,
+    note: &'static str,
+) -> Injection {
+    let built = ClassBuilder::new(class, ClassOrigin::App)
+        .extends(super_class)
+        .method(&*sig.name, &*sig.descriptor, |b| {
+            b.pad(2);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    Injection {
+        truth: vec![GroundTruthIssue {
+            kind: MismatchKind::ApiCallback,
+            site: sig.on_class(class),
+            api,
+            note,
+        }],
+        classes: vec![built],
+    }
+}
+
+/// A real APC issue hidden in an anonymous inner class — ground truth
+/// that SAINTDroid knowingly misses (paper §VI); reproduces the
+/// "40 of 42" recall shape.
+#[must_use]
+pub fn anonymous_callback_override(
+    outer: &str,
+    super_class: &str,
+    sig: MethodSig,
+    api: MethodRef,
+    note: &'static str,
+) -> Injection {
+    let anon_name = format!("{outer}$1");
+    let anon = ClassBuilder::new(anon_name.as_str(), ClassOrigin::App)
+        .extends(super_class)
+        .method(&*sig.name, &*sig.descriptor, |b| {
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    let anon_ctor = MethodRef::new(anon_name.as_str(), "<init>", "()V");
+    let outer_cls = activity_class(outer)
+        .method("onCreate", "(Landroid/os/Bundle;)V", move |b| {
+            let r = b.alloc_reg();
+            b.new_instance(r, anon_name.as_str());
+            b.invoke(InvokeKind::Direct, anon_ctor, &[r], None);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    Injection {
+        truth: vec![GroundTruthIssue {
+            kind: MismatchKind::ApiCallback,
+            site: sig.on_class(format!("{outer}$1").as_str()),
+            api,
+            note,
+        }],
+        classes: vec![outer_cls, anon],
+    }
+}
+
+/// Safe code SAINTDroid misreports: the only call into the unguarded
+/// helper goes through an anonymous inner class that performs the
+/// guard. Because anonymous classes are invisible to the analysis
+/// (paper §VI), the helper looks like an unguarded entry point — the
+/// paper's documented false-alarm mechanism.
+#[must_use]
+pub fn anon_guarded_helper(outer: &str, api: MethodRef, level: u8) -> Injection {
+    let helper_ref = MethodRef::new(outer, "newApiPath", "()V");
+    let anon_name = format!("{outer}$1");
+    let anon = ClassBuilder::new(anon_name.as_str(), ClassOrigin::App)
+        .extends("java.lang.Object")
+        .method("run", "()V", move |b| {
+            let (then_blk, join) = b.guard_sdk_at_least(ApiLevel::new(level));
+            b.switch_to(then_blk);
+            b.invoke_virtual(helper_ref, &[], None);
+            b.goto(join);
+            b.switch_to(join);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    let anon_ctor = MethodRef::new(format!("{outer}$1").as_str(), "<init>", "()V");
+    let outer_cls = activity_class(outer)
+        .method("newApiPath", "()V", move |b| {
+            b.invoke_virtual(api, &[], None);
+            b.ret_void();
+        })
+        .unwrap()
+        // Listener registration: the anon instance is created in
+        // onCreate; its run() fires later, framework-driven.
+        .method("onCreate", "(Landroid/os/Bundle;)V", move |b| {
+            let r = b.alloc_reg();
+            b.new_instance(r, format!("{outer}$1").as_str());
+            b.invoke(InvokeKind::Direct, anon_ctor, &[r], None);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    Injection {
+        classes: vec![outer_cls, anon],
+        truth: Vec::new(),
+    }
+}
+
+/// A real deep issue: `class.method` calls a framework facade whose
+/// body reaches `deep_api` beyond the first framework level — only
+/// tools that analyze framework code can see it.
+#[must_use]
+pub fn deep_facade_call(
+    class: &str,
+    method: &str,
+    facade: MethodRef,
+    deep_api: MethodRef,
+    note: &'static str,
+) -> Injection {
+    let site_ref = MethodRef::new(class, method, "()V");
+    let built = activity_class(class)
+        .method(method, "()V", move |b| {
+            b.pad(2);
+            b.invoke_virtual(facade, &[], None);
+            b.ret_void();
+        })
+        .unwrap()
+        .method("onCreate", "(Landroid/os/Bundle;)V", move |b| {
+            b.invoke_virtual(site_ref, &[], None);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    Injection {
+        truth: vec![GroundTruthIssue {
+            kind: MismatchKind::ApiInvocation,
+            site: MethodRef::new(class, method, "()V"),
+            api: deep_api,
+            note,
+        }],
+        classes: vec![built],
+    }
+}
+
+/// A dangerous-permission usage: `class.method` calls `api` (mapped to
+/// a dangerous permission). Whether it is a request or revocation
+/// mismatch depends on the app's `targetSdkVersion`, which the caller
+/// supplies as `kind`.
+#[must_use]
+pub fn dangerous_usage(
+    class: &str,
+    method: &str,
+    api: MethodRef,
+    kind: MismatchKind,
+    note: &'static str,
+) -> Injection {
+    let api2 = api.clone();
+    let site_ref = MethodRef::new(class, method, "()V");
+    let built = activity_class(class)
+        .method(method, "()V", move |b| {
+            b.pad(2);
+            b.invoke_virtual(api2, &[], None);
+            b.ret_void();
+        })
+        .unwrap()
+        .method("onCreate", "(Landroid/os/Bundle;)V", move |b| {
+            b.invoke_virtual(site_ref, &[], None);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    Injection {
+        truth: vec![GroundTruthIssue {
+            kind,
+            site: MethodRef::new(class, method, "()V"),
+            api,
+            note,
+        }],
+        classes: vec![built],
+    }
+}
+
+/// The runtime-permission handler that silences Algorithm 4 for
+/// target ≥ 23 apps.
+#[must_use]
+pub fn permission_handler(class: &str) -> Injection {
+    let built = activity_class(class)
+        .method("onRequestPermissionsResult", "(I[Ljava/lang/String;[I)V", |b| {
+            b.ret_void();
+        })
+        .unwrap()
+        .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
+            b.invoke_virtual(well_known::activity_compat_request_permissions(), &[], None);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    Injection {
+        classes: vec![built],
+        truth: Vec::new(),
+    }
+}
+
+/// Benign filler: `n_methods` methods calling always-available APIs,
+/// sized by `weight`. Keeps app sizes (and analysis effort) realistic.
+#[must_use]
+pub fn filler(class: &str, n_methods: usize, weight: usize) -> Injection {
+    let mut cb = ClassBuilder::new(class, ClassOrigin::App).extends("java.lang.Object");
+    for i in 0..n_methods {
+        cb = cb
+            .method(format!("work{i}"), "()V", |b| {
+                b.pad(weight);
+                b.invoke_virtual(
+                    MethodRef::new("java.lang.StringBuilder", "append", "(Ljava/lang/String;)Ljava/lang/StringBuilder;"),
+                    &[],
+                    None,
+                );
+                b.invoke_virtual(well_known::activity_set_content_view(), &[], None);
+                b.ret_void();
+            })
+            .unwrap();
+    }
+    Injection {
+        classes: vec![cb.build()],
+        truth: Vec::new(),
+    }
+}
+
+/// Library filler (third-party code bundled in the dex): invisible to
+/// source-scoped tools like Lint.
+#[must_use]
+pub fn library_filler(class: &str, n_methods: usize, weight: usize) -> Injection {
+    let mut cb = ClassBuilder::new(class, ClassOrigin::Library).extends("java.lang.Object");
+    for i in 0..n_methods {
+        cb = cb
+            .method(format!("lib{i}"), "()V", |b| {
+                b.pad(weight);
+                b.ret_void();
+            })
+            .unwrap();
+    }
+    Injection {
+        classes: vec![cb.build()],
+        truth: Vec::new(),
+    }
+}
+
+/// A real issue inside bundled *library* code: source-scoped tools
+/// (Lint) never see it.
+#[must_use]
+pub fn library_unguarded_call(
+    class: &str,
+    method: &str,
+    api: MethodRef,
+    note: &'static str,
+) -> Injection {
+    let api2 = api.clone();
+    let site_ref = MethodRef::new(class, method, "()V");
+    let built = ClassBuilder::new(class, ClassOrigin::Library)
+        .extends("java.lang.Object")
+        .method(method, "()V", move |b| {
+            b.pad(3);
+            b.invoke_virtual(api2, &[], None);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    // The app-side driver that exercises the library (real apps call
+    // into their bundled libraries from lifecycle code).
+    let driver_name = format!("{}Driver", class.replace('.', "_"));
+    let driver = activity_class(format!("app.drivers.{driver_name}").as_str())
+        .method("onCreate", "(Landroid/os/Bundle;)V", move |b| {
+            b.invoke_virtual(site_ref, &[], None);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    Injection {
+        truth: vec![GroundTruthIssue {
+            kind: MismatchKind::ApiInvocation,
+            site: MethodRef::new(class, method, "()V"),
+            api,
+            note,
+        }],
+        classes: vec![built, driver],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injections_merge() {
+        let a = unguarded_api_call(
+            "p.A",
+            "m",
+            well_known::context_get_color_state_list(),
+            "t",
+        );
+        let b = guarded_api_call("p.B", "m", well_known::context_get_drawable(), 21);
+        let merged = a.merge(b);
+        assert_eq!(merged.classes.len(), 2);
+        assert_eq!(merged.truth.len(), 1);
+    }
+
+    #[test]
+    fn anonymous_patterns_have_anon_class() {
+        let inj = anonymous_callback_override(
+            "p.Outer",
+            "android.webkit.WebViewClient",
+            MethodSig::new("onPageCommitVisible", "(Landroid/webkit/WebView;Ljava/lang/String;)V"),
+            MethodRef::new(
+                "android.webkit.WebViewClient",
+                "onPageCommitVisible",
+                "(Landroid/webkit/WebView;Ljava/lang/String;)V",
+            ),
+            "t",
+        );
+        assert!(inj.classes.iter().any(|c| c.name.is_anonymous_inner()));
+        assert_eq!(inj.truth.len(), 1);
+    }
+
+    #[test]
+    fn bait_patterns_carry_no_truth() {
+        assert!(guarded_api_call("p.A", "m", well_known::context_get_drawable(), 21)
+            .truth
+            .is_empty());
+        assert!(cross_method_guarded("p.B", well_known::context_get_drawable(), 21)
+            .truth
+            .is_empty());
+        assert!(anon_guarded_helper("p.C", well_known::context_get_drawable(), 21)
+            .truth
+            .is_empty());
+        assert!(permission_handler("p.D").truth.is_empty());
+    }
+
+    #[test]
+    fn filler_scales() {
+        let f = filler("p.F", 10, 50);
+        assert_eq!(f.classes[0].methods.len(), 10);
+        assert!(f.classes[0].size_bytes() > 1000);
+    }
+}

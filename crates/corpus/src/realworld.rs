@@ -1,0 +1,663 @@
+//! The real-world corpus generator.
+//!
+//! The paper's RQ2/RQ3 corpus is 3,571 apps from F-Droid and AndroZoo.
+//! This generator produces a corpus of the same order with the same
+//! *measured* structure: target-SDK split (1,815 apps ≥ 23 vs 1,756
+//! below), API-mismatch prevalence (41.19 % of apps, 68,268 sites
+//! total), callback-mismatch prevalence (20.05 %, 2,115 sites),
+//! permission-mismatch rates per group (12.34 % / 68.68 %), a Figure-3
+//! style KLOC distribution with outliers, and plenty of benign and
+//! *bait* code (guarded calls) to keep precision measurements honest.
+//!
+//! Every app is generated independently from `hash(seed, index)`, so
+//! the corpus streams: harnesses can ask for app 2,847 without
+//! materializing the other 3,570.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use saint_adf::spec::{FrameworkSpec, LifeSpan};
+use saint_adf::{well_known, SynthConfig};
+use saint_ir::{
+    ApiLevel, Apk, ApkBuilder, ClassBuilder, ClassOrigin, MethodRef, MethodSig, Permission,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::patterns::{self, Injection};
+
+/// Generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealWorldConfig {
+    /// Number of apps in the corpus.
+    pub apps: usize,
+    /// Corpus seed.
+    pub seed: u64,
+    /// The synthetic-framework expansion the corpus is generated
+    /// against; filler code calls into its always-available methods to
+    /// exercise lazy loading without fabricating mismatches. Must match
+    /// the [`SynthConfig`] used to build the analyzed framework.
+    pub synth: SynthConfig,
+    /// Scale factor on app sizes (1.0 = paper-like KLOC distribution).
+    pub size_scale: f64,
+}
+
+impl RealWorldConfig {
+    /// The paper-scale corpus: 3,571 apps.
+    #[must_use]
+    pub fn paper() -> Self {
+        RealWorldConfig {
+            apps: 3571,
+            seed: 0xD501D,
+            synth: SynthConfig::paper(),
+            size_scale: 1.0,
+        }
+    }
+
+    /// A small corpus for tests (60 apps, smaller bodies).
+    #[must_use]
+    pub fn small() -> Self {
+        RealWorldConfig {
+            apps: 60,
+            seed: 0xD501D,
+            synth: SynthConfig::small(),
+            size_scale: 0.2,
+        }
+    }
+
+    /// A mid-size corpus for integration tests (400 apps).
+    #[must_use]
+    pub fn medium() -> Self {
+        RealWorldConfig {
+            apps: 400,
+            seed: 0xD501D,
+            synth: SynthConfig::medium(),
+            size_scale: 0.5,
+        }
+    }
+}
+
+/// Counts of what the generator injected into one app — the per-app
+/// ground truth used for RQ2 precision sampling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedCounts {
+    /// API invocation mismatch sites.
+    pub api: usize,
+    /// API callback mismatch sites.
+    pub apc: usize,
+    /// Permission request mismatch sites.
+    pub prm_request: usize,
+    /// Permission revocation mismatch sites.
+    pub prm_revocation: usize,
+    /// Guarded/bait patterns (safe code).
+    pub baits: usize,
+}
+
+/// One generated real-world app.
+#[derive(Debug)]
+pub struct RealWorldApp {
+    /// Corpus index.
+    pub index: usize,
+    /// The app package.
+    pub apk: Apk,
+    /// What was injected.
+    pub injected: InjectedCounts,
+}
+
+/// API-invocation menu: `(api, since)` pairs drawn for injections.
+fn api_menu() -> Vec<(MethodRef, u8)> {
+    vec![
+        (well_known::context_get_color_state_list(), 23),
+        (well_known::context_get_drawable(), 21),
+        (
+            MethodRef::new(
+                "android.view.View",
+                "setBackgroundTintList",
+                "(Landroid/content/res/ColorStateList;)V",
+            ),
+            21,
+        ),
+        (well_known::webview_evaluate_javascript(), 19),
+        (well_known::create_notification_channel(), 26),
+        (
+            MethodRef::new(
+                "android.webkit.WebView",
+                "postWebMessage",
+                "(Landroid/webkit/WebMessage;Landroid/net/Uri;)V",
+            ),
+            23,
+        ),
+        (
+            MethodRef::new("android.widget.TextView", "setTextAppearance", "(I)V"),
+            23,
+        ),
+        (
+            MethodRef::new("android.content.Context", "getColor", "(I)I"),
+            23,
+        ),
+        (
+            MethodRef::new(
+                "android.content.Context",
+                "createDeviceProtectedStorageContext",
+                "()Landroid/content/Context;",
+            ),
+            24,
+        ),
+        (
+            MethodRef::new("android.view.View", "setTooltipText", "(Ljava/lang/CharSequence;)V"),
+            26,
+        ),
+    ]
+}
+
+/// Callback menu: `(super class, signature, declaring api, since)`.
+fn apc_menu() -> Vec<(&'static str, MethodSig, MethodRef, u8)> {
+    vec![
+        (
+            "android.app.Fragment",
+            well_known::fragment_on_attach_context_sig(),
+            MethodRef::new("android.app.Fragment", "onAttach", "(Landroid/content/Context;)V"),
+            23,
+        ),
+        (
+            "android.widget.LinearLayout",
+            well_known::view_drawable_hotspot_changed_sig(),
+            MethodRef::new("android.view.View", "drawableHotspotChanged", "(FF)V"),
+            21,
+        ),
+        (
+            "android.app.Activity",
+            MethodSig::new("onMultiWindowModeChanged", "(Z)V"),
+            MethodRef::new("android.app.Activity", "onMultiWindowModeChanged", "(Z)V"),
+            24,
+        ),
+        (
+            "android.webkit.WebView",
+            MethodSig::new("onProvideVirtualStructure", "(Landroid/view/ViewStructure;)V"),
+            MethodRef::new(
+                "android.webkit.WebView",
+                "onProvideVirtualStructure",
+                "(Landroid/view/ViewStructure;)V",
+            ),
+            23,
+        ),
+        (
+            "android.app.Service",
+            MethodSig::new("onTaskRemoved", "(Landroid/content/Intent;)V"),
+            MethodRef::new("android.app.Service", "onTaskRemoved", "(Landroid/content/Intent;)V"),
+            14,
+        ),
+        (
+            "android.view.View",
+            MethodSig::new("onVisibilityAggregated", "(Z)V"),
+            MethodRef::new("android.view.View", "onVisibilityAggregated", "(Z)V"),
+            24,
+        ),
+    ]
+}
+
+/// Dangerous-usage menu: `(api, permission short name)`.
+fn prm_menu() -> Vec<(MethodRef, &'static str)> {
+    vec![
+        (well_known::camera_open(), "CAMERA"),
+        (well_known::get_external_storage_directory(), "WRITE_EXTERNAL_STORAGE"),
+        (well_known::request_location_updates(), "ACCESS_FINE_LOCATION"),
+        (
+            MethodRef::new("android.media.AudioRecord", "startRecording", "()V"),
+            "RECORD_AUDIO",
+        ),
+        (
+            MethodRef::new(
+                "android.accounts.AccountManager",
+                "getAccounts",
+                "()[Landroid/accounts/Account;",
+            ),
+            "GET_ACCOUNTS",
+        ),
+    ]
+}
+
+/// Extracts the *always-available* synthetic framework methods from a
+/// spec: filler code may call these at any `minSdkVersion` without
+/// creating a mismatch, so corpus apps exercise lazy class loading
+/// without perturbing the calibrated issue rates.
+#[must_use]
+pub fn safe_framework_menu(spec: &FrameworkSpec) -> Vec<MethodRef> {
+    spec.classes()
+        .filter(|c| c.name.as_str().starts_with("android.gen.") && c.life == LifeSpan::always())
+        .flat_map(|c| {
+            c.methods
+                .iter()
+                .filter(|m| m.life == LifeSpan::always() && !m.is_abstract)
+                .map(move |m| c.method_ref(&m.name, &m.descriptor))
+        })
+        .collect()
+}
+
+/// Generates app `index` of the corpus. Deterministic in
+/// `(cfg.seed, index)` given the safe menu derived from `cfg.synth`.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn generate_app(cfg: &RealWorldConfig, index: usize, safe_menu: &[MethodRef]) -> RealWorldApp {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let package = format!("rw.gen.app{index}");
+
+    // Target split per RQ2: 1,815 of 3,571 (50.83 %) target ≥ 23.
+    let modern = rng.gen_bool(0.5083);
+    let target: u8 = if modern {
+        rng.gen_range(23..=28)
+    } else {
+        rng.gen_range(14..=22)
+    };
+    let min: u8 = rng.gen_range(8..=(target - 4).max(9)).min(target);
+
+    let mut builder = ApkBuilder::new(package, ApiLevel::new(min), ApiLevel::new(target));
+    let mut injected = InjectedCounts::default();
+    let mut injections: Vec<Injection> = Vec::new();
+    let menu = api_menu();
+
+    // --- API invocation mismatches: 41.19 % of apps, heavy-tailed
+    // per-app counts averaging ≈ 46 sites (68,268 / 1,471). Roughly 15 %
+    // of the *reported* sites per affected app are actually safe —
+    // helpers only reachable through guard logic inside anonymous inner
+    // classes, which SAINTDroid cannot see (paper §VI) — reproducing
+    // the 85 % API precision of the paper's RQ2 sample.
+    if rng.gen_bool(0.4119) {
+        let eligible: Vec<&(MethodRef, u8)> =
+            menu.iter().filter(|(_, s)| *s > min && *s <= 28).collect();
+        if !eligible.is_empty() {
+            let count = 1 + (rng.gen::<f64>().powi(2) * 135.0) as usize;
+            let fp_sites = ((count as f64) * 0.16).round() as usize;
+            let real = count - fp_sites;
+            let class = format!("rw.gen.app{index}.Issues");
+            let mut cb = ClassBuilder::new(class.as_str(), ClassOrigin::App)
+                .extends("android.app.Activity");
+            for site in 0..real {
+                let (api, _) = eligible[rng.gen_range(0..eligible.len())].clone();
+                cb = cb
+                    .method(format!("reach{site}"), "()V", move |b| {
+                        b.pad(2);
+                        b.invoke_virtual(api, &[], None);
+                        b.ret_void();
+                    })
+                    .expect("unique generated names");
+            }
+            // Anon-guarded helpers: the helper methods carry unguarded
+            // calls but are only ever invoked from the guard inside
+            // Issues$1.run().
+            for site in 0..fp_sites {
+                let (api, _) = eligible[rng.gen_range(0..eligible.len())].clone();
+                cb = cb
+                    .method(format!("fromListener{site}"), "()V", move |b| {
+                        b.pad(2);
+                        b.invoke_virtual(api, &[], None);
+                        b.ret_void();
+                    })
+                    .expect("unique generated names");
+            }
+            // Lifecycle driver: onCreate reaches every real site; the
+            // listener helpers are only reachable through Issues$1.
+            let real_for_driver = real;
+            let anon_ctor = MethodRef::new(format!("{class}$1").as_str(), "<init>", "()V");
+            let class_for_driver = class.clone();
+            let has_anon = fp_sites > 0;
+            cb = cb
+                .method("onCreate", "(Landroid/os/Bundle;)V", move |b| {
+                    for site in 0..real_for_driver {
+                        b.invoke_virtual(
+                            MethodRef::new(
+                                class_for_driver.as_str(),
+                                format!("reach{site}").as_str(),
+                                "()V",
+                            ),
+                            &[],
+                            None,
+                        );
+                    }
+                    if has_anon {
+                        let r = b.alloc_reg();
+                        b.new_instance(r, format!("{class_for_driver}$1").as_str());
+                        b.invoke(saint_ir::InvokeKind::Direct, anon_ctor, &[r], None);
+                    }
+                    b.ret_void();
+                })
+                .expect("unique generated names");
+            let mut classes = vec![cb.build()];
+            if fp_sites > 0 {
+                let outer = class.clone();
+                let anon = ClassBuilder::new(format!("{class}$1").as_str(), ClassOrigin::App)
+                    .extends("java.lang.Object")
+                    .method("run", "()V", move |b| {
+                        let (then_blk, join) = b.guard_sdk_at_least(ApiLevel::new(28));
+                        b.switch_to(then_blk);
+                        for site in 0..fp_sites {
+                            b.invoke_virtual(
+                                MethodRef::new(outer.as_str(), format!("fromListener{site}").as_str(), "()V"),
+                                &[],
+                                None,
+                            );
+                        }
+                        b.goto(join);
+                        b.switch_to(join);
+                        b.ret_void();
+                    })
+                    .expect("valid anon body")
+                    .build();
+                classes.push(anon);
+            }
+            injections.push(Injection {
+                classes,
+                truth: Vec::new(),
+            });
+            injected.api = real;
+            injected.baits += fp_sites;
+        }
+    }
+
+    // --- APC mismatches: 20.05 % of apps, ≈ 3 sites each
+    // (2,115 / 716). The draw rate is slightly above the target to
+    // compensate for apps whose minSdkVersion leaves no eligible
+    // callback in the menu.
+    if rng.gen_bool(0.23) {
+        let menu = apc_menu();
+        let eligible: Vec<_> = menu.into_iter().filter(|(_, _, _, s)| *s > min).collect();
+        if !eligible.is_empty() {
+            let count = 1 + (rng.gen::<f64>().powi(2) * 6.0) as usize;
+            for site in 0..count {
+                let (sup, sig, api, _) = eligible[rng.gen_range(0..eligible.len())].clone();
+                let class = format!("rw.gen.app{index}.Cb{site}");
+                injections.push(patterns::callback_override(
+                    class.as_str(),
+                    sup,
+                    sig,
+                    api,
+                    "generated callback issue",
+                ));
+                injected.apc += 1;
+            }
+        }
+    }
+
+    // --- Permission-induced mismatches per RQ2 group rates.
+    let mut wants_handler = false;
+    let prm = prm_menu();
+    if modern {
+        if rng.gen_bool(0.1234) {
+            // Request mismatch: dangerous usage, no handler.
+            let (api, perm) = prm[rng.gen_range(0..prm.len())].clone();
+            builder = builder.permission(Permission::android(perm));
+            let class = format!("rw.gen.app{index}.Danger");
+            injections.push(patterns::dangerous_usage(
+                class.as_str(),
+                "useFeature",
+                api,
+                saintdroid::MismatchKind::PermissionRequest,
+                "generated permission-request issue",
+            ));
+            injected.prm_request = 1;
+        } else if rng.gen_bool(0.35) {
+            // Correctly handled dangerous usage: quiet.
+            let (api, perm) = prm[rng.gen_range(0..prm.len())].clone();
+            builder = builder.permission(Permission::android(perm));
+            let class = format!("rw.gen.app{index}.Danger");
+            injections.push(patterns::dangerous_usage(
+                class.as_str(),
+                "useFeature",
+                api,
+                saintdroid::MismatchKind::PermissionRequest,
+                "handled — not a real issue",
+            ));
+            // Strip the truth entry: the handler below silences it.
+            injections.last_mut().expect("just pushed").truth.clear();
+            wants_handler = true;
+            injected.baits += 1;
+        }
+    } else if rng.gen_bool(0.6868) {
+        // Revocation mismatch: legacy target with dangerous usage.
+        let (api, perm) = prm[rng.gen_range(0..prm.len())].clone();
+        builder = builder.permission(Permission::android(perm));
+        let class = format!("rw.gen.app{index}.Danger");
+        injections.push(patterns::dangerous_usage(
+            class.as_str(),
+            "useFeature",
+            api,
+            saintdroid::MismatchKind::PermissionRevocation,
+            "generated permission-revocation issue",
+        ));
+        injected.prm_revocation = 1;
+    }
+    if wants_handler {
+        let class = format!("rw.gen.app{index}.PermissionGate");
+        injections.push(patterns::permission_handler(class.as_str()));
+    }
+
+    // --- Guarded bait: safe code that weaker tools misreport.
+    if rng.gen_bool(0.5) {
+        let n = rng.gen_range(1..=3);
+        for i in 0..n {
+            let (api, since) = menu[rng.gen_range(0..menu.len())].clone();
+            let class = format!("rw.gen.app{index}.Safe{i}");
+            injections.push(if rng.gen_bool(0.5) {
+                patterns::guarded_api_call(class.as_str(), "careful", api, since)
+            } else {
+                patterns::cross_method_guarded(class.as_str(), api, since)
+            });
+            injected.baits += 1;
+        }
+    }
+
+    // --- Filler sized to a Figure-3 style KLOC distribution (most
+    // apps small, a tail out to ~80 KLOC), calling into the synthetic
+    // framework so lazy loading has something to skip or chase.
+    let kloc = (1.0 + rng.gen::<f64>().powi(3) * 79.0) * cfg.size_scale;
+    let units_needed = (kloc * 2000.0) as usize;
+    let per_method_units = 46; // pad 30 + call + overhead
+    let methods_needed = (units_needed / per_method_units).max(3);
+    let per_class = 12usize;
+    let classes_needed = methods_needed.div_ceil(per_class);
+    // Real apps use a clustered slice of the platform, not a uniform
+    // sample — draw a small per-app API vocabulary first. This locality
+    // is what lazy loading exploits (and what Figure 4 measures).
+    let vocab: Vec<MethodRef> = if safe_menu.is_empty() {
+        Vec::new()
+    } else {
+        let k = rng.gen_range(6..=30).min(safe_menu.len());
+        (0..k)
+            .map(|_| safe_menu[rng.gen_range(0..safe_menu.len())].clone())
+            .collect()
+    };
+    for c in 0..classes_needed {
+        let class = format!("rw.gen.app{index}.Filler{c}");
+        let mut cb = ClassBuilder::new(class.as_str(), ClassOrigin::App)
+            .extends("java.lang.Object");
+        for m in 0..per_class.min(methods_needed - c * per_class) {
+            let fw_ref = if vocab.is_empty() {
+                well_known::activity_set_content_view()
+            } else {
+                vocab[rng.gen_range(0..vocab.len())].clone()
+            };
+            cb = cb
+                .method(format!("work{m}"), "()V", move |b| {
+                    b.pad(30);
+                    b.invoke_virtual(fw_ref, &[], None);
+                    b.ret_void();
+                })
+                .expect("unique generated names");
+        }
+        injections.push(Injection {
+            classes: vec![cb.build()],
+            truth: Vec::new(),
+        });
+    }
+
+    for inj in injections {
+        for class in inj.classes {
+            builder = builder.class(class).expect("generated names are unique");
+        }
+    }
+    // ≈ 3 % of AndroZoo apps could not be built (120 / 3,691).
+    if rng.gen_bool(0.034) {
+        builder = builder.without_source();
+    }
+
+    RealWorldApp {
+        index,
+        apk: builder.build(),
+        injected,
+    }
+}
+
+/// A streaming view over the corpus.
+#[derive(Debug, Clone)]
+pub struct RealWorldCorpus {
+    cfg: RealWorldConfig,
+    safe_menu: Arc<Vec<MethodRef>>,
+}
+
+impl RealWorldCorpus {
+    /// Creates the corpus view, deriving the safe filler menu from the
+    /// configured synthetic framework (built once, shared by all apps).
+    #[must_use]
+    pub fn new(cfg: RealWorldConfig) -> Self {
+        let spec = saint_adf::synth::expanded_android_spec(&cfg.synth);
+        let safe_menu = Arc::new(safe_framework_menu(&spec));
+        RealWorldCorpus { cfg, safe_menu }
+    }
+
+    /// Number of apps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cfg.apps
+    }
+
+    /// Whether the corpus is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cfg.apps == 0
+    }
+
+    /// Generates app `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[must_use]
+    pub fn get(&self, index: usize) -> RealWorldApp {
+        assert!(index < self.cfg.apps, "corpus has {} apps", self.cfg.apps);
+        generate_app(&self.cfg, index, &self.safe_menu)
+    }
+
+    /// Iterates the whole corpus, generating lazily.
+    pub fn iter(&self) -> impl Iterator<Item = RealWorldApp> + '_ {
+        (0..self.cfg.apps).map(move |i| self.get(i))
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &RealWorldConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let corpus = RealWorldCorpus::new(RealWorldConfig::small());
+        let a = corpus.get(7);
+        let b = corpus.get(7);
+        assert_eq!(a.apk, b.apk);
+        assert_eq!(a.injected, b.injected);
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let corpus = RealWorldCorpus::new(RealWorldConfig::small());
+        let a = corpus.get(1);
+        let b = corpus.get(2);
+        assert_ne!(a.apk.manifest.package, b.apk.manifest.package);
+    }
+
+    #[test]
+    fn safe_menu_methods_are_always_available() {
+        let cfg = RealWorldConfig::small();
+        let spec = saint_adf::synth::expanded_android_spec(&cfg.synth);
+        let menu = safe_framework_menu(&spec);
+        assert!(!menu.is_empty());
+        let db = saint_adf::ApiDatabase::mine(&spec);
+        for m in &menu {
+            for level in ApiLevel::all_modeled() {
+                assert!(db.contains(m, level), "{m} missing at {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_prevalence_tracks_rq2() {
+        // On a few hundred generated apps the prevalence rates must be
+        // near the paper's percentages.
+        let cfg = RealWorldConfig {
+            apps: 400,
+            ..RealWorldConfig::small()
+        };
+        let corpus = RealWorldCorpus::new(cfg);
+        let mut api_apps = 0usize;
+        let mut apc_apps = 0usize;
+        let mut modern = 0usize;
+        let mut request = 0usize;
+        let mut legacy = 0usize;
+        let mut revocation = 0usize;
+        for app in corpus.iter() {
+            if app.injected.api > 0 {
+                api_apps += 1;
+            }
+            if app.injected.apc > 0 {
+                apc_apps += 1;
+            }
+            if app.apk.manifest.targets_runtime_permissions() {
+                modern += 1;
+                request += app.injected.prm_request;
+            } else {
+                legacy += 1;
+                revocation += app.injected.prm_revocation;
+            }
+        }
+        let pct = |n: usize, d: usize| n as f64 / d as f64 * 100.0;
+        let api_pct = pct(api_apps, corpus.len());
+        assert!((30.0..53.0).contains(&api_pct), "API prevalence {api_pct:.1}%");
+        let apc_pct = pct(apc_apps, corpus.len());
+        assert!((13.0..28.0).contains(&apc_pct), "APC prevalence {apc_pct:.1}%");
+        let req_pct = pct(request, modern.max(1));
+        assert!((6.0..20.0).contains(&req_pct), "request rate {req_pct:.1}%");
+        let rev_pct = pct(revocation, legacy.max(1));
+        assert!((58.0..80.0).contains(&rev_pct), "revocation rate {rev_pct:.1}%");
+    }
+
+    #[test]
+    fn sizes_have_a_tail() {
+        let cfg = RealWorldConfig::small();
+        let corpus = RealWorldCorpus::new(cfg);
+        let klocs: Vec<f64> = corpus.iter().map(|a| a.apk.kloc()).collect();
+        let max = klocs.iter().cloned().fold(0.0, f64::max);
+        let min = klocs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > min * 5.0, "size distribution too flat: {min:.1}..{max:.1}");
+    }
+
+    #[test]
+    fn apps_roundtrip_through_codec() {
+        let corpus = RealWorldCorpus::new(RealWorldConfig::small());
+        for i in [0usize, 13, 47] {
+            let app = corpus.get(i);
+            let bytes = saint_ir::codec::encode_apk(&app.apk);
+            assert_eq!(saint_ir::codec::decode_apk(&bytes).unwrap(), app.apk);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "corpus has")]
+    fn out_of_range_panics() {
+        let _ = RealWorldCorpus::new(RealWorldConfig::small()).get(9999);
+    }
+}

@@ -1,0 +1,235 @@
+//! Ground truth and accuracy scoring.
+//!
+//! The paper measures accuracy (Table II) against the known
+//! vulnerabilities reported by the benchmark authors. Each benchmark
+//! app here records its injected issues as [`GroundTruthIssue`]s; a
+//! detector's report is scored by exact `(kind, site, api)` matching.
+
+use saint_ir::{Apk, MethodRef};
+use saintdroid::{Mismatch, MismatchKind, Report};
+use serde::{Deserialize, Serialize};
+
+/// One known issue in a benchmark app.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruthIssue {
+    /// Kind of mismatch.
+    pub kind: MismatchKind,
+    /// App method anchoring the issue.
+    pub site: MethodRef,
+    /// Framework API involved (declaring-class form).
+    pub api: MethodRef,
+    /// Free-form note on what pattern was injected.
+    pub note: &'static str,
+}
+
+impl GroundTruthIssue {
+    fn matches(&self, m: &Mismatch) -> bool {
+        self.kind == m.kind && self.site == m.site && self.api == m.api
+    }
+}
+
+/// Which suite a benchmark app belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Suite {
+    /// The 12 usable apps of CIDER-Bench (Huang et al.).
+    CiderBench,
+    /// The 7 micro-apps of CID-Bench (Li et al.).
+    CidBench,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Suite::CiderBench => "CIDER-Bench",
+            Suite::CidBench => "CID-Bench",
+        })
+    }
+}
+
+/// A benchmark app: package plus recorded ground truth.
+#[derive(Debug)]
+pub struct BenchApp {
+    /// Display name matching the paper's tables.
+    pub name: &'static str,
+    /// Which suite it belongs to.
+    pub suite: Suite,
+    /// The app package.
+    pub apk: Apk,
+    /// Known issues.
+    pub truth: Vec<GroundTruthIssue>,
+}
+
+/// A confusion-matrix tally.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Accuracy {
+    /// Reported issues matching ground truth.
+    pub tp: usize,
+    /// Reported issues matching nothing.
+    pub fp: usize,
+    /// Ground-truth issues nobody reported.
+    pub fn_: usize,
+}
+
+impl Accuracy {
+    /// Precision = TP / (TP + FP); 1.0 when nothing was reported.
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); 1.0 when there was nothing to find.
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    #[must_use]
+    pub fn f_measure(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Sums another tally into this one.
+    pub fn absorb(&mut self, other: Accuracy) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+}
+
+impl std::fmt::Display for Accuracy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TP {} FP {} FN {} | P {:.0}% R {:.0}% F {:.0}%",
+            self.tp,
+            self.fp,
+            self.fn_,
+            self.precision() * 100.0,
+            self.recall() * 100.0,
+            self.f_measure() * 100.0
+        )
+    }
+}
+
+/// Scores a report against a truth list, optionally restricted to the
+/// mismatch kinds in `kinds` (pass `None` to score everything) — tools
+/// are only penalized for families they claim to detect, mirroring the
+/// per-column scoring of the paper's Table II.
+#[must_use]
+pub fn score(report: &Report, truth: &[GroundTruthIssue], kinds: Option<&[MismatchKind]>) -> Accuracy {
+    let relevant_kind = |k: MismatchKind| kinds.is_none_or(|ks| ks.contains(&k));
+    let reported: Vec<&Mismatch> = report
+        .mismatches
+        .iter()
+        .filter(|m| relevant_kind(m.kind))
+        .collect();
+    let truths: Vec<&GroundTruthIssue> = truth
+        .iter()
+        .filter(|t| relevant_kind(t.kind))
+        .collect();
+    let tp = truths
+        .iter()
+        .filter(|t| reported.iter().any(|m| t.matches(m)))
+        .count();
+    let fn_ = truths.len() - tp;
+    let fp = reported
+        .iter()
+        .filter(|m| !truths.iter().any(|t| t.matches(m)))
+        .count();
+    Accuracy { tp, fp, fn_ }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saint_adf::spec::LifeSpan;
+    use saint_ir::ApiLevel;
+
+    fn truth_item(site: &str, api: &str) -> GroundTruthIssue {
+        GroundTruthIssue {
+            kind: MismatchKind::ApiInvocation,
+            site: MethodRef::new("p.C", site, "()V"),
+            api: MethodRef::new("android.x.Y", api, "()V"),
+            note: "test",
+        }
+    }
+
+    fn reported(site: &str, api: &str) -> Mismatch {
+        Mismatch {
+            kind: MismatchKind::ApiInvocation,
+            site: MethodRef::new("p.C", site, "()V"),
+            api: MethodRef::new("android.x.Y", api, "()V"),
+            api_life: Some(LifeSpan::since(23)),
+            missing_levels: vec![ApiLevel::new(21)],
+            context: None,
+            permission: None,
+            via: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn exact_match_scoring() {
+        let mut report = Report::new("p", "t");
+        report.extend_deduped([reported("a", "x"), reported("b", "wrong")]);
+        let truth = vec![truth_item("a", "x"), truth_item("c", "x")];
+        let acc = score(&report, &truth, None);
+        assert_eq!(acc, Accuracy { tp: 1, fp: 1, fn_: 1 });
+        assert!((acc.precision() - 0.5).abs() < 1e-9);
+        assert!((acc.recall() - 0.5).abs() < 1e-9);
+        assert!((acc.f_measure() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kind_restriction_ignores_other_families() {
+        let mut report = Report::new("p", "t");
+        report.extend_deduped([reported("a", "x")]);
+        let mut apc = truth_item("b", "y");
+        apc.kind = MismatchKind::ApiCallback;
+        let truth = vec![truth_item("a", "x"), apc];
+        // Scored as an API-only tool: the APC truth is out of scope.
+        let acc = score(&report, &truth, Some(&[MismatchKind::ApiInvocation]));
+        assert_eq!(acc, Accuracy { tp: 1, fp: 0, fn_: 0 });
+        // Scored over everything: the APC item counts as a miss.
+        let all = score(&report, &truth, None);
+        assert_eq!(all.fn_, 1);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let report = Report::new("p", "t");
+        let acc = score(&report, &[], None);
+        assert_eq!(acc.precision(), 1.0);
+        assert_eq!(acc.recall(), 1.0);
+        assert_eq!(acc.f_measure(), 1.0);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = Accuracy { tp: 1, fp: 2, fn_: 3 };
+        a.absorb(Accuracy { tp: 4, fp: 0, fn_: 1 });
+        assert_eq!(a, Accuracy { tp: 5, fp: 2, fn_: 4 });
+    }
+
+    #[test]
+    fn display_percentages() {
+        let a = Accuracy { tp: 3, fp: 1, fn_: 1 };
+        let s = a.to_string();
+        assert!(s.contains("P 75%"));
+        assert!(s.contains("R 75%"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Simulated device configuration and permission policy.
+
+use std::collections::HashSet;
+
+use saint_ir::{ApiLevel, Manifest, Permission};
+
+/// A simulated device the interpreter runs the app on.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// The device's platform API level — the framework code that
+    /// actually exists at run time.
+    pub level: ApiLevel,
+    /// Simulate the worst-case user who has revoked every revocable
+    /// dangerous permission (only meaningful on API ≥ 23 devices).
+    pub revoke_dangerous: bool,
+    /// Interpreter step budget per entry point.
+    pub step_limit: usize,
+    /// Interpreter call-depth budget.
+    pub depth_limit: usize,
+}
+
+impl Device {
+    /// A device at `level` with permissions intact.
+    #[must_use]
+    pub fn at(level: ApiLevel) -> Self {
+        Device {
+            level,
+            revoke_dangerous: false,
+            step_limit: 200_000,
+            depth_limit: 64,
+        }
+    }
+
+    /// A ≥ 23 device whose user has revoked dangerous permissions.
+    #[must_use]
+    pub fn hostile(level: ApiLevel) -> Self {
+        Device {
+            revoke_dangerous: true,
+            ..Device::at(level)
+        }
+    }
+
+    /// Whether the device runs the runtime-permission regime.
+    #[must_use]
+    pub fn runtime_permissions(&self) -> bool {
+        self.level >= ApiLevel::RUNTIME_PERMISSIONS
+    }
+}
+
+/// The permission grant state the app executes under, derived from the
+/// manifest and device exactly as paper §II-C lays out the regimes.
+#[derive(Debug, Clone)]
+pub struct PermissionState {
+    granted: HashSet<Permission>,
+    runtime_requested: HashSet<Permission>,
+}
+
+impl PermissionState {
+    /// Initial state at app start on `device`.
+    ///
+    /// * device < 23: every manifest permission granted at install;
+    /// * device ≥ 23, target < 23: install-time grants, minus
+    ///   revocations when the simulated user is hostile;
+    /// * device ≥ 23, target ≥ 23: dangerous permissions start
+    ///   ungranted; only a runtime request grants them.
+    #[must_use]
+    pub fn at_start(manifest: &Manifest, device: &Device) -> Self {
+        let mut granted = HashSet::new();
+        let declared = manifest.uses_permissions.iter().cloned();
+        if !device.runtime_permissions() {
+            granted.extend(declared);
+        } else if !manifest.targets_runtime_permissions() {
+            for p in declared {
+                if device.revoke_dangerous && saint_adf::is_dangerous(&p) {
+                    continue; // user revoked it
+                }
+                granted.insert(p);
+            }
+        } else {
+            // Runtime regime: non-dangerous permissions are granted at
+            // install; dangerous ones need a runtime request.
+            for p in declared {
+                if !saint_adf::is_dangerous(&p) {
+                    granted.insert(p);
+                }
+            }
+        }
+        PermissionState {
+            granted,
+            runtime_requested: HashSet::new(),
+        }
+    }
+
+    /// The app called `requestPermissions`: on a ≥ 23 device the
+    /// (cooperative) simulated user grants everything the manifest
+    /// declares.
+    pub fn runtime_request(&mut self, manifest: &Manifest, device: &Device) {
+        if device.runtime_permissions() && manifest.targets_runtime_permissions() {
+            for p in &manifest.uses_permissions {
+                self.granted.insert(p.clone());
+                self.runtime_requested.insert(p.clone());
+            }
+        }
+    }
+
+    /// Whether `p` is currently granted.
+    #[must_use]
+    pub fn is_granted(&self, p: &Permission) -> bool {
+        self.granted.contains(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(target: u8, perms: &[&str]) -> Manifest {
+        let mut m = Manifest::new("p", ApiLevel::new(14), ApiLevel::new(target), None).unwrap();
+        m.uses_permissions = perms.iter().map(|p| Permission::android(p)).collect();
+        m
+    }
+
+    #[test]
+    fn install_time_grants_below_23() {
+        let st = PermissionState::at_start(
+            &manifest(22, &["CAMERA", "INTERNET"]),
+            &Device::at(ApiLevel::new(19)),
+        );
+        assert!(st.is_granted(&Permission::android("CAMERA")));
+        assert!(st.is_granted(&Permission::android("INTERNET")));
+    }
+
+    #[test]
+    fn hostile_user_revokes_dangerous_only() {
+        let st = PermissionState::at_start(
+            &manifest(22, &["CAMERA", "INTERNET"]),
+            &Device::hostile(ApiLevel::new(26)),
+        );
+        assert!(!st.is_granted(&Permission::android("CAMERA")));
+        assert!(st.is_granted(&Permission::android("INTERNET")));
+    }
+
+    #[test]
+    fn runtime_regime_starts_ungranted_until_requested() {
+        let m = manifest(26, &["CAMERA"]);
+        let d = Device::at(ApiLevel::new(26));
+        let mut st = PermissionState::at_start(&m, &d);
+        assert!(!st.is_granted(&Permission::android("CAMERA")));
+        st.runtime_request(&m, &d);
+        assert!(st.is_granted(&Permission::android("CAMERA")));
+    }
+
+    #[test]
+    fn runtime_request_is_noop_below_23() {
+        let m = manifest(26, &["CAMERA"]);
+        let d = Device::at(ApiLevel::new(21));
+        let mut st = PermissionState::at_start(&m, &d);
+        // Already granted at install on the old device.
+        assert!(st.is_granted(&Permission::android("CAMERA")));
+        st.runtime_request(&m, &d);
+        assert!(st.is_granted(&Permission::android("CAMERA")));
+    }
+}

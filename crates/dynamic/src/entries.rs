@@ -1,0 +1,113 @@
+//! Framework-invokable entry points.
+//!
+//! Dynamic analysis can only drive what the platform would drive:
+//! component lifecycle methods, `on…` event handlers, and
+//! `run`/`call`-style listener bodies — including those inside
+//! anonymous inner classes, which is exactly where dynamic analysis
+//! sees more than the static side (paper §VI).
+
+use saint_ir::{Apk, MethodRef};
+
+/// Whether a method name is something the framework invokes.
+#[must_use]
+pub fn framework_invokable(name: &str) -> bool {
+    (name.len() > 2
+        && name.starts_with("on")
+        && name.as_bytes()[2].is_ascii_uppercase())
+        || name == "run"
+        || name == "call"
+}
+
+/// Collects the app's dynamic entry points: every framework-invokable
+/// method anywhere in the package, anonymous classes included. The
+/// platform never calls arbitrary public methods — even on manifest
+/// components it only drives lifecycle callbacks and registered
+/// listeners, so that is all the simulator drives (anything else is
+/// only reachable through app code, which the interpreter follows
+/// naturally).
+#[must_use]
+pub fn entry_points(apk: &Apk) -> Vec<MethodRef> {
+    let mut out = Vec::new();
+    for class in apk.all_classes() {
+        for m in &class.methods {
+            if m.body.is_none() {
+                continue;
+            }
+            if framework_invokable(&m.name) {
+                out.push(m.reference(&class.name));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saint_ir::{ApiLevel, ApkBuilder, ClassBuilder, ClassOrigin};
+
+    #[test]
+    fn invokable_names() {
+        assert!(framework_invokable("onCreate"));
+        assert!(framework_invokable("onRequestPermissionsResult"));
+        assert!(framework_invokable("run"));
+        assert!(framework_invokable("call"));
+        assert!(!framework_invokable("once"));
+        assert!(!framework_invokable("helper"));
+        assert!(!framework_invokable("on"));
+    }
+
+    #[test]
+    fn only_framework_invokable_methods_are_entries() {
+        let comp = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("helperOnly", "()V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .method("onResume", "()V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let other = ClassBuilder::new("p.Util", ClassOrigin::App)
+            .method("helperOnly", "()V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .method("onEvent", "()V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+            .activity("p.Main")
+            .class(comp)
+            .unwrap()
+            .class(other)
+            .unwrap()
+            .build();
+        let entries = entry_points(&apk);
+        let names: Vec<String> = entries.iter().map(ToString::to_string).collect();
+        assert!(names.contains(&"p.Main.onResume()V".to_string()));
+        assert!(names.contains(&"p.Util.onEvent()V".to_string()));
+        assert!(!names.contains(&"p.Main.helperOnly()V".to_string()));
+        assert!(!names.contains(&"p.Util.helperOnly()V".to_string()));
+    }
+
+    #[test]
+    fn anonymous_listeners_are_entries() {
+        let anon = ClassBuilder::new("p.Main$1", ClassOrigin::App)
+            .method("run", "()V", |b| {
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+            .class(anon)
+            .unwrap()
+            .build();
+        assert_eq!(entry_points(&apk).len(), 1);
+    }
+}

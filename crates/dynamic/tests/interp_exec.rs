@@ -1,0 +1,185 @@
+//! Execution-semantics tests for the interpreter: control flow,
+//! arithmetic, and receiver-based virtual dispatch — checked through
+//! observable crashes (the simulator's only output channel).
+
+use std::sync::Arc;
+
+use saint_adf::{well_known, AndroidFramework};
+use saint_dynamic::{Device, Simulator};
+use saint_ir::{
+    ApiLevel, Apk, ApkBuilder, BinOp, ClassBuilder, ClassOrigin, Cond, InvokeKind, MethodRef,
+};
+
+fn fw() -> Arc<AndroidFramework> {
+    Arc::new(AndroidFramework::curated())
+}
+
+fn run(apk: &Apk, level: u8, entry: MethodRef) -> usize {
+    let mut sim = Simulator::new(apk, &fw(), Device::at(ApiLevel::new(level)));
+    sim.run_entries(&[entry]).crashes.len()
+}
+
+/// Wires a method that crashes iff a computed value selects the
+/// crashing branch — the crash is the probe for which path executed.
+#[test]
+fn switch_takes_the_matching_case() {
+    // switch(2): case 2 jumps to the crashing call; default returns.
+    let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+        .extends("android.app.Activity")
+        .method("onResume", "()V", |b| {
+            let r = b.alloc_reg();
+            b.const_int(r, 2);
+            let crash_blk = b.new_block();
+            let done = b.new_block();
+            b.terminate(saint_ir::Terminator::Switch {
+                scrutinee: r,
+                targets: vec![(1, done), (2, crash_blk)],
+                default: done,
+            });
+            b.switch_to(crash_blk);
+            b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+            b.goto(done);
+            b.switch_to(done);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+        .class(main)
+        .unwrap()
+        .build();
+    // At level 21 the API is missing → the crash proves case 2 ran.
+    assert_eq!(run(&apk, 21, MethodRef::new("p.Main", "onResume", "()V")), 1);
+}
+
+#[test]
+fn switch_default_when_nothing_matches() {
+    let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+        .extends("android.app.Activity")
+        .method("onResume", "()V", |b| {
+            let r = b.alloc_reg();
+            b.const_int(r, 9);
+            let crash_blk = b.new_block();
+            let done = b.new_block();
+            b.terminate(saint_ir::Terminator::Switch {
+                scrutinee: r,
+                targets: vec![(1, crash_blk), (2, crash_blk)],
+                default: done,
+            });
+            b.switch_to(crash_blk);
+            b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+            b.goto(done);
+            b.switch_to(done);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+        .class(main)
+        .unwrap()
+        .build();
+    assert_eq!(run(&apk, 21, MethodRef::new("p.Main", "onResume", "()V")), 0);
+}
+
+#[test]
+fn arithmetic_feeds_branches() {
+    // v = 20 + 3; if (SDK_INT >= v) call — equivalent to a guard at 23
+    // computed arithmetically; the guard must hold concretely.
+    let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+        .extends("android.app.Activity")
+        .method("onResume", "()V", |b| {
+            let acc = b.alloc_reg();
+            b.const_int(acc, 20);
+            b.binop(BinOp::Add, acc, acc, 3i64);
+            let sdk = b.sdk_int();
+            let call_blk = b.new_block();
+            let done = b.new_block();
+            b.branch_if(Cond::Ge, sdk, acc, call_blk, done);
+            b.switch_to(call_blk);
+            b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+            b.goto(done);
+            b.switch_to(done);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+        .class(main)
+        .unwrap()
+        .build();
+    let entry = MethodRef::new("p.Main", "onResume", "()V");
+    // Below the computed threshold: branch not taken, no crash.
+    assert_eq!(run(&apk, 22, entry.clone()), 0);
+    // At/above it: the call executes and succeeds (API exists at 23).
+    assert_eq!(run(&apk, 23, entry), 0);
+}
+
+#[test]
+fn receiver_type_refines_virtual_dispatch() {
+    // base.work() where the receiver actually holds a Sub instance:
+    // Sub.work crashes, Base.work does not — the crash proves dynamic
+    // dispatch went to the runtime type.
+    let base = ClassBuilder::new("p.Base", ClassOrigin::App)
+        .method("work", "()V", |b| {
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    let sub = ClassBuilder::new("p.Sub", ClassOrigin::App)
+        .extends("p.Base")
+        .method("work", "()V", |b| {
+            b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+        .extends("android.app.Activity")
+        .method("onResume", "()V", |b| {
+            let obj = b.alloc_reg();
+            b.new_instance(obj, "p.Sub");
+            b.invoke(
+                InvokeKind::Virtual,
+                MethodRef::new("p.Base", "work", "()V"),
+                &[obj],
+                None,
+            );
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+        .class(base)
+        .unwrap()
+        .class(sub)
+        .unwrap()
+        .class(main)
+        .unwrap()
+        .build();
+    assert_eq!(
+        run(&apk, 21, MethodRef::new("p.Main", "onResume", "()V")),
+        1,
+        "dispatch must land on p.Sub.work"
+    );
+}
+
+#[test]
+fn crash_dedup_per_site() {
+    // A loop-free body invoking the same missing API twice from the
+    // same frame records one event (the harness catches and the app
+    // would log once per unique fault signature).
+    let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+        .extends("android.app.Activity")
+        .method("onResume", "()V", |b| {
+            b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+            b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+            b.ret_void();
+        })
+        .unwrap()
+        .build();
+    let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+        .class(main)
+        .unwrap()
+        .build();
+    assert_eq!(run(&apk, 21, MethodRef::new("p.Main", "onResume", "()V")), 1);
+}

@@ -1,0 +1,307 @@
+//! Class, method and field definitions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::body::MethodBody;
+use crate::error::IrError;
+use crate::name::{ClassName, MethodRef, MethodSig};
+
+/// Access/behaviour flags on a method definition.
+///
+/// Only the flags the analysis consumes are modeled; everything else in
+/// a real `access_flags` word is irrelevant here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MethodFlags {
+    /// `static` methods have no receiver.
+    pub is_static: bool,
+    /// Abstract methods carry no body.
+    pub is_abstract: bool,
+    /// Native methods carry no analyzable body (terminal nodes in the
+    /// call graph, paper §III-A).
+    pub is_native: bool,
+    /// Compiler-synthesized methods (bridges, lambdas).
+    pub is_synthetic: bool,
+}
+
+/// A method definition inside a class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodDef {
+    /// Simple name, e.g. `onCreate`.
+    pub name: String,
+    /// Descriptor, e.g. `(Landroid/os/Bundle;)V`.
+    pub descriptor: String,
+    /// Behaviour flags.
+    pub flags: MethodFlags,
+    /// The body; `None` for abstract/native methods.
+    pub body: Option<MethodBody>,
+}
+
+impl MethodDef {
+    /// Creates a concrete method with a body.
+    #[must_use]
+    pub fn concrete(name: impl Into<String>, descriptor: impl Into<String>, body: MethodBody) -> Self {
+        MethodDef {
+            name: name.into(),
+            descriptor: descriptor.into(),
+            flags: MethodFlags::default(),
+            body: Some(body),
+        }
+    }
+
+    /// Creates an abstract (body-less) method.
+    #[must_use]
+    pub fn abstract_(name: impl Into<String>, descriptor: impl Into<String>) -> Self {
+        MethodDef {
+            name: name.into(),
+            descriptor: descriptor.into(),
+            flags: MethodFlags {
+                is_abstract: true,
+                ..MethodFlags::default()
+            },
+            body: None,
+        }
+    }
+
+    /// This method's class-independent signature.
+    #[must_use]
+    pub fn signature(&self) -> MethodSig {
+        MethodSig::new(self.name.as_str(), self.descriptor.as_str())
+    }
+
+    /// A full reference to this method as declared on `class`.
+    #[must_use]
+    pub fn reference(&self, class: &ClassName) -> MethodRef {
+        MethodRef::new(class.clone(), self.name.as_str(), self.descriptor.as_str())
+    }
+
+    /// Rough size in code units (header + body).
+    #[must_use]
+    pub fn size_units(&self) -> usize {
+        8 + self.body.as_ref().map_or(0, MethodBody::size_units)
+    }
+}
+
+impl fmt::Display for MethodDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".method {}{}", self.name, self.descriptor)?;
+        if self.flags.is_static {
+            write!(f, " [static]")?;
+        }
+        if self.flags.is_abstract {
+            write!(f, " [abstract]")?;
+        }
+        if self.flags.is_native {
+            write!(f, " [native]")?;
+        }
+        writeln!(f)?;
+        if let Some(b) = &self.body {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A field definition (name only; types are irrelevant to the
+/// analysis).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// Whether the field is static.
+    pub is_static: bool,
+}
+
+/// Where a class definition came from.
+///
+/// The distinction drives both metering (framework classes are what the
+/// lazy loader avoids materializing) and detection (callbacks only
+/// matter on app classes extending framework classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClassOrigin {
+    /// Application code shipped in the primary dex.
+    App,
+    /// Third-party library code bundled with the app.
+    Library,
+    /// Android framework code (the ADF).
+    Framework,
+    /// Code carried in a secondary dex, bound at run time
+    /// (`DexClassLoader`); paper §III-A, "late binding".
+    DynamicPayload,
+}
+
+impl fmt::Display for ClassOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ClassOrigin::App => "app",
+            ClassOrigin::Library => "library",
+            ClassOrigin::Framework => "framework",
+            ClassOrigin::DynamicPayload => "dynamic-payload",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A class definition: hierarchy links plus members.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassDef {
+    /// Fully qualified class name.
+    pub name: ClassName,
+    /// Direct superclass (`None` only for `java.lang.Object`).
+    pub super_class: Option<ClassName>,
+    /// Implemented interfaces.
+    pub interfaces: Vec<ClassName>,
+    /// Where this class came from.
+    pub origin: ClassOrigin,
+    /// Declared fields.
+    pub fields: Vec<FieldDef>,
+    /// Declared methods.
+    pub methods: Vec<MethodDef>,
+}
+
+impl ClassDef {
+    /// Creates an empty class extending `java.lang.Object`.
+    #[must_use]
+    pub fn new(name: impl Into<ClassName>, origin: ClassOrigin) -> Self {
+        ClassDef {
+            name: name.into(),
+            super_class: Some(ClassName::new("java.lang.Object")),
+            interfaces: Vec::new(),
+            origin,
+            fields: Vec::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Looks up a declared method by signature.
+    #[must_use]
+    pub fn method(&self, sig: &MethodSig) -> Option<&MethodDef> {
+        self.methods
+            .iter()
+            .find(|m| m.name == *sig.name && m.descriptor == *sig.descriptor)
+    }
+
+    /// Adds a method, rejecting duplicates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::DuplicateMethod`] if a method with the same
+    /// signature already exists.
+    pub fn add_method(&mut self, method: MethodDef) -> Result<(), IrError> {
+        if self.method(&method.signature()).is_some() {
+            return Err(IrError::DuplicateMethod {
+                method: format!("{}.{}{}", self.name, method.name, method.descriptor),
+            });
+        }
+        self.methods.push(method);
+        Ok(())
+    }
+
+    /// Rough size of the class in code units.
+    #[must_use]
+    pub fn size_units(&self) -> usize {
+        32 + self.fields.len() * 4 + self.methods.iter().map(MethodDef::size_units).sum::<usize>()
+    }
+
+    /// Rough size in *bytes* (two bytes per code unit, like Dalvik);
+    /// this is what the loaded-bytes meter accumulates.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.size_units() * 2
+    }
+}
+
+impl fmt::Display for ClassDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".class {} [{}]", self.name, self.origin)?;
+        if let Some(s) = &self.super_class {
+            write!(f, " extends {s}")?;
+        }
+        if !self.interfaces.is_empty() {
+            write!(f, " implements ")?;
+            for (i, itf) in self.interfaces.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{itf}")?;
+            }
+        }
+        writeln!(f)?;
+        for m in &self.methods {
+            write!(f, "{m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::body::{BasicBlock, Terminator};
+
+    fn tiny_body() -> MethodBody {
+        MethodBody::from_blocks(vec![BasicBlock {
+            instrs: vec![],
+            terminator: Terminator::Return(None),
+        }])
+        .unwrap()
+    }
+
+    #[test]
+    fn add_and_lookup_method() {
+        let mut c = ClassDef::new("a.B", ClassOrigin::App);
+        c.add_method(MethodDef::concrete("m", "()V", tiny_body())).unwrap();
+        assert!(c.method(&MethodSig::new("m", "()V")).is_some());
+        assert!(c.method(&MethodSig::new("m", "(I)V")).is_none());
+    }
+
+    #[test]
+    fn duplicate_method_rejected() {
+        let mut c = ClassDef::new("a.B", ClassOrigin::App);
+        c.add_method(MethodDef::concrete("m", "()V", tiny_body())).unwrap();
+        let err = c
+            .add_method(MethodDef::concrete("m", "()V", tiny_body()))
+            .unwrap_err();
+        assert!(matches!(err, IrError::DuplicateMethod { .. }));
+    }
+
+    #[test]
+    fn overloads_are_not_duplicates() {
+        let mut c = ClassDef::new("a.B", ClassOrigin::App);
+        c.add_method(MethodDef::concrete("m", "()V", tiny_body())).unwrap();
+        c.add_method(MethodDef::concrete("m", "(I)V", tiny_body())).unwrap();
+        assert_eq!(c.methods.len(), 2);
+    }
+
+    #[test]
+    fn default_superclass_is_object() {
+        let c = ClassDef::new("a.B", ClassOrigin::App);
+        assert_eq!(c.super_class.as_ref().unwrap().as_str(), "java.lang.Object");
+    }
+
+    #[test]
+    fn abstract_methods_have_no_body() {
+        let m = MethodDef::abstract_("m", "()V");
+        assert!(m.body.is_none());
+        assert!(m.flags.is_abstract);
+    }
+
+    #[test]
+    fn sizes_grow_with_content() {
+        let mut c = ClassDef::new("a.B", ClassOrigin::App);
+        let empty = c.size_bytes();
+        c.add_method(MethodDef::concrete("m", "()V", tiny_body())).unwrap();
+        assert!(c.size_bytes() > empty);
+    }
+
+    #[test]
+    fn display_mentions_hierarchy() {
+        let mut c = ClassDef::new("a.B", ClassOrigin::Library);
+        c.interfaces.push(ClassName::new("a.I"));
+        let s = c.to_string();
+        assert!(s.contains("extends java.lang.Object"));
+        assert!(s.contains("implements a.I"));
+        assert!(s.contains("[library]"));
+    }
+}

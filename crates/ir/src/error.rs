@@ -1,0 +1,193 @@
+//! Error types for IR construction and the binary codec.
+
+use std::fmt;
+
+use crate::body::BlockId;
+
+/// Errors raised while constructing or validating IR structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A method body must contain at least one basic block.
+    EmptyBody,
+    /// A branch target points outside the block list.
+    BadBranchTarget {
+        /// Block holding the offending terminator.
+        from: BlockId,
+        /// Out-of-range target.
+        to: BlockId,
+        /// Number of blocks in the body.
+        len: usize,
+    },
+    /// A class defines two methods with the same name and descriptor.
+    DuplicateMethod {
+        /// Rendered `Class.name(descriptor)` of the duplicate.
+        method: String,
+    },
+    /// A dex file defines the same class twice.
+    DuplicateClass {
+        /// The duplicated class name.
+        class: String,
+    },
+    /// The manifest declares an inverted SDK range.
+    InvalidSdkRange {
+        /// Declared `minSdkVersion`.
+        min: u8,
+        /// Declared `maxSdkVersion`.
+        max: u8,
+    },
+    /// A builder was finalized without a terminator on some block.
+    MissingTerminator {
+        /// Block missing its terminator.
+        block: BlockId,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::EmptyBody => f.write_str("method body has no basic blocks"),
+            IrError::BadBranchTarget { from, to, len } => {
+                write!(f, "branch from {from} targets {to} but body has {len} blocks")
+            }
+            IrError::DuplicateMethod { method } => {
+                write!(f, "duplicate method definition: {method}")
+            }
+            IrError::DuplicateClass { class } => {
+                write!(f, "duplicate class definition: {class}")
+            }
+            IrError::InvalidSdkRange { min, max } => {
+                write!(f, "manifest declares minSdkVersion {min} > maxSdkVersion {max}")
+            }
+            IrError::MissingTerminator { block } => {
+                write!(f, "block {block} was never terminated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// Errors raised while decoding the binary container format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// Input did not start with the `SAPK` magic bytes.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// Unsupported container version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Version this build understands.
+        expected: u16,
+    },
+    /// Input ended in the middle of a field.
+    UnexpectedEof {
+        /// Byte offset where more input was needed.
+        offset: usize,
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A varint ran longer than the 64-bit maximum.
+    VarintOverflow {
+        /// Byte offset of the varint.
+        offset: usize,
+    },
+    /// A decoded string was not valid UTF-8.
+    InvalidUtf8 {
+        /// Byte offset of the string payload.
+        offset: usize,
+    },
+    /// A decoded tag byte did not correspond to any variant.
+    InvalidTag {
+        /// Byte offset of the tag.
+        offset: usize,
+        /// The unknown tag value.
+        tag: u8,
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// Structural validation of the decoded value failed.
+    Invalid(IrError),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic { found } => {
+                write!(f, "bad magic bytes {found:?}, expected \"SAPK\"")
+            }
+            CodecError::UnsupportedVersion { found, expected } => {
+                write!(f, "unsupported container version {found}, expected {expected}")
+            }
+            CodecError::UnexpectedEof { offset, context } => {
+                write!(f, "unexpected end of input at byte {offset} while decoding {context}")
+            }
+            CodecError::VarintOverflow { offset } => {
+                write!(f, "varint at byte {offset} overflows 64 bits")
+            }
+            CodecError::InvalidUtf8 { offset } => {
+                write!(f, "invalid utf-8 in string at byte {offset}")
+            }
+            CodecError::InvalidTag { offset, tag, context } => {
+                write!(f, "invalid tag {tag} at byte {offset} while decoding {context}")
+            }
+            CodecError::Invalid(e) => write!(f, "decoded value failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IrError> for CodecError {
+    fn from(e: IrError) -> Self {
+        CodecError::Invalid(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = IrError::BadBranchTarget {
+            from: BlockId(1),
+            to: BlockId(9),
+            len: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("b1") && s.contains("b9") && s.contains('3'));
+
+        let c = CodecError::UnexpectedEof {
+            offset: 42,
+            context: "class name",
+        };
+        assert!(c.to_string().contains("42"));
+        assert!(c.to_string().contains("class name"));
+    }
+
+    #[test]
+    fn codec_error_source_chains_to_ir_error() {
+        use std::error::Error as _;
+        let c = CodecError::from(IrError::EmptyBody);
+        assert!(c.source().is_some());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+        assert_send_sync::<CodecError>();
+    }
+}

@@ -1,0 +1,323 @@
+//! Android API levels and inclusive level ranges.
+//!
+//! The paper (Section II-A) refers to framework releases by *API level*
+//! (e.g. 23) rather than by marketing name (Marshmallow) or version
+//! number (6.0). SAINTDroid's revision modeler covers levels 2 through
+//! 29; [`ApiLevel::MIN`] and [`ApiLevel::MAX`] pin that range.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A single Android API level (e.g. `23` for Android 6.0).
+///
+/// # Examples
+///
+/// ```
+/// use saint_ir::ApiLevel;
+///
+/// let m = ApiLevel::new(23);
+/// assert!(m >= ApiLevel::RUNTIME_PERMISSIONS);
+/// assert_eq!(m.to_string(), "23");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ApiLevel(u8);
+
+impl ApiLevel {
+    /// The lowest level modeled by the revision modeler (paper §III-B).
+    pub const MIN: ApiLevel = ApiLevel(2);
+    /// The highest level modeled (paper §III-B builds the database for
+    /// levels 2 through 28; the tool itself "supports up to API level
+    /// 29", §VII — we model the full 2..=29 span).
+    pub const MAX: ApiLevel = ApiLevel(29);
+    /// API level 23 (Android 6.0), which introduced the runtime
+    /// permission system (paper §II-C).
+    pub const RUNTIME_PERMISSIONS: ApiLevel = ApiLevel(23);
+
+    /// Creates an API level from its numeric value.
+    ///
+    /// Values outside `2..=29` are accepted (apps in the wild declare
+    /// `minSdkVersion 1` and future targets); queries against the API
+    /// database simply clamp to the modeled range.
+    #[must_use]
+    pub const fn new(level: u8) -> Self {
+        ApiLevel(level)
+    }
+
+    /// The numeric value of this level.
+    #[must_use]
+    pub const fn get(self) -> u8 {
+        self.0
+    }
+
+    /// The next level up, saturating at `u8::MAX`.
+    #[must_use]
+    pub const fn succ(self) -> Self {
+        ApiLevel(self.0.saturating_add(1))
+    }
+
+    /// The next level down, saturating at zero.
+    #[must_use]
+    pub const fn pred(self) -> Self {
+        ApiLevel(self.0.saturating_sub(1))
+    }
+
+    /// Clamps the level into the modeled `MIN..=MAX` span.
+    #[must_use]
+    pub fn clamp_modeled(self) -> Self {
+        ApiLevel(self.0.clamp(Self::MIN.0, Self::MAX.0))
+    }
+
+    /// Iterates every modeled level, `MIN..=MAX`.
+    pub fn all_modeled() -> impl DoubleEndedIterator<Item = ApiLevel> {
+        (Self::MIN.0..=Self::MAX.0).map(ApiLevel)
+    }
+}
+
+impl fmt::Display for ApiLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u8> for ApiLevel {
+    fn from(v: u8) -> Self {
+        ApiLevel(v)
+    }
+}
+
+impl From<ApiLevel> for u8 {
+    fn from(v: ApiLevel) -> Self {
+        v.0
+    }
+}
+
+/// An inclusive range of API levels, `min..=max`.
+///
+/// Level ranges drive every detector: an app's supported span comes from
+/// its manifest (`minSdkVersion..=maxSdkVersion`), and SDK_INT guard
+/// conditions *refine* that span along execution paths (paper
+/// Algorithm 2, lines 2–3 and 10–11).
+///
+/// # Examples
+///
+/// ```
+/// use saint_ir::{ApiLevel, LevelRange};
+///
+/// let supported = LevelRange::new(ApiLevel::new(21), ApiLevel::new(28));
+/// let guarded = supported.refine_at_least(ApiLevel::new(23));
+/// assert_eq!(guarded, LevelRange::new(ApiLevel::new(23), ApiLevel::new(28)));
+/// assert!(guarded.contains(ApiLevel::new(26)));
+/// assert!(!guarded.contains(ApiLevel::new(22)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LevelRange {
+    min: ApiLevel,
+    max: ApiLevel,
+}
+
+impl LevelRange {
+    /// Creates the inclusive range `min..=max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`; use [`LevelRange::checked_new`] for
+    /// fallible construction.
+    #[must_use]
+    pub fn new(min: ApiLevel, max: ApiLevel) -> Self {
+        assert!(min <= max, "invalid level range {min}..={max}");
+        LevelRange { min, max }
+    }
+
+    /// Creates the inclusive range `min..=max`, or `None` if empty.
+    #[must_use]
+    pub fn checked_new(min: ApiLevel, max: ApiLevel) -> Option<Self> {
+        (min <= max).then_some(LevelRange { min, max })
+    }
+
+    /// The full modeled span, `2..=29`.
+    #[must_use]
+    pub fn modeled() -> Self {
+        LevelRange::new(ApiLevel::MIN, ApiLevel::MAX)
+    }
+
+    /// Lower bound (inclusive).
+    #[must_use]
+    pub const fn min(self) -> ApiLevel {
+        self.min
+    }
+
+    /// Upper bound (inclusive).
+    #[must_use]
+    pub const fn max(self) -> ApiLevel {
+        self.max
+    }
+
+    /// Whether `level` falls inside this range.
+    #[must_use]
+    pub fn contains(self, level: ApiLevel) -> bool {
+        self.min <= level && level <= self.max
+    }
+
+    /// The intersection of two ranges, or `None` when disjoint.
+    #[must_use]
+    pub fn intersect(self, other: LevelRange) -> Option<LevelRange> {
+        LevelRange::checked_new(self.min.max(other.min), self.max.min(other.max))
+    }
+
+    /// Refines the range with a `SDK_INT >= level` guard.
+    ///
+    /// Returns the (possibly empty, hence `Option`-free saturated)
+    /// narrowed range; an unsatisfiable guard collapses to `None`.
+    #[must_use]
+    pub fn refine_at_least(self, level: ApiLevel) -> LevelRange {
+        LevelRange {
+            min: self.min.max(level),
+            max: self.max.max(level), // keep non-empty; callers check satisfiability separately
+        }
+    }
+
+    /// Refines the range with a `SDK_INT <= level` guard.
+    #[must_use]
+    pub fn refine_at_most(self, level: ApiLevel) -> LevelRange {
+        LevelRange {
+            min: self.min.min(level),
+            max: self.max.min(level),
+        }
+    }
+
+    /// Refinement that reports unsatisfiable guards: intersects with
+    /// `level..=MAX_REPRESENTABLE`.
+    #[must_use]
+    pub fn checked_refine_at_least(self, level: ApiLevel) -> Option<LevelRange> {
+        self.intersect(LevelRange {
+            min: level,
+            max: ApiLevel(u8::MAX),
+        })
+    }
+
+    /// Refinement that reports unsatisfiable guards: intersects with
+    /// `0..=level`.
+    #[must_use]
+    pub fn checked_refine_at_most(self, level: ApiLevel) -> Option<LevelRange> {
+        self.intersect(LevelRange {
+            min: ApiLevel(0),
+            max: level,
+        })
+    }
+
+    /// Iterates the levels in the range, lowest first.
+    pub fn iter(self) -> impl DoubleEndedIterator<Item = ApiLevel> {
+        (self.min.0..=self.max.0).map(ApiLevel)
+    }
+
+    /// Number of levels in the range.
+    #[must_use]
+    pub fn len(self) -> usize {
+        (self.max.0 - self.min.0) as usize + 1
+    }
+
+    /// Always false: a constructed range holds at least one level.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for LevelRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..={}", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_and_constants() {
+        assert!(ApiLevel::MIN < ApiLevel::RUNTIME_PERMISSIONS);
+        assert!(ApiLevel::RUNTIME_PERMISSIONS < ApiLevel::MAX);
+        assert_eq!(ApiLevel::RUNTIME_PERMISSIONS.get(), 23);
+    }
+
+    #[test]
+    fn succ_pred_saturate() {
+        assert_eq!(ApiLevel::new(255).succ().get(), 255);
+        assert_eq!(ApiLevel::new(0).pred().get(), 0);
+        assert_eq!(ApiLevel::new(22).succ(), ApiLevel::new(23));
+    }
+
+    #[test]
+    fn all_modeled_spans_2_to_29() {
+        let all: Vec<_> = ApiLevel::all_modeled().collect();
+        assert_eq!(all.len(), 28);
+        assert_eq!(all.first().copied(), Some(ApiLevel::new(2)));
+        assert_eq!(all.last().copied(), Some(ApiLevel::new(29)));
+    }
+
+    #[test]
+    fn clamp_modeled_clamps_both_ends() {
+        assert_eq!(ApiLevel::new(1).clamp_modeled(), ApiLevel::new(2));
+        assert_eq!(ApiLevel::new(33).clamp_modeled(), ApiLevel::new(29));
+        assert_eq!(ApiLevel::new(15).clamp_modeled(), ApiLevel::new(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid level range")]
+    fn inverted_range_panics() {
+        let _ = LevelRange::new(ApiLevel::new(9), ApiLevel::new(3));
+    }
+
+    #[test]
+    fn checked_new_rejects_inverted() {
+        assert!(LevelRange::checked_new(ApiLevel::new(9), ApiLevel::new(3)).is_none());
+        assert!(LevelRange::checked_new(ApiLevel::new(3), ApiLevel::new(3)).is_some());
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = LevelRange::new(ApiLevel::new(5), ApiLevel::new(20));
+        let b = LevelRange::new(ApiLevel::new(10), ApiLevel::new(28));
+        assert_eq!(
+            a.intersect(b),
+            Some(LevelRange::new(ApiLevel::new(10), ApiLevel::new(20)))
+        );
+    }
+
+    #[test]
+    fn intersect_disjoint_is_none() {
+        let a = LevelRange::new(ApiLevel::new(5), ApiLevel::new(9));
+        let b = LevelRange::new(ApiLevel::new(10), ApiLevel::new(28));
+        assert_eq!(a.intersect(b), None);
+    }
+
+    #[test]
+    fn refine_guards() {
+        let app = LevelRange::new(ApiLevel::new(21), ApiLevel::new(28));
+        assert_eq!(
+            app.checked_refine_at_least(ApiLevel::new(23)),
+            Some(LevelRange::new(ApiLevel::new(23), ApiLevel::new(28)))
+        );
+        assert_eq!(
+            app.checked_refine_at_most(ApiLevel::new(22)),
+            Some(LevelRange::new(ApiLevel::new(21), ApiLevel::new(22)))
+        );
+        assert_eq!(app.checked_refine_at_least(ApiLevel::new(29)), None);
+    }
+
+    #[test]
+    fn iter_and_len() {
+        let r = LevelRange::new(ApiLevel::new(23), ApiLevel::new(25));
+        assert_eq!(r.len(), 3);
+        let v: Vec<_> = r.iter().map(ApiLevel::get).collect();
+        assert_eq!(v, vec![23, 24, 25]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = LevelRange::new(ApiLevel::new(2), ApiLevel::new(29));
+        assert_eq!(r.to_string(), "2..=29");
+    }
+}

@@ -1,0 +1,233 @@
+//! The Android manifest model.
+//!
+//! SAINTDroid extracts three attributes from the manifest (paper §II-A):
+//! `minSdkVersion`, `targetSdkVersion` and `maxSdkVersion`, plus the
+//! requested permissions and the component list used as analysis entry
+//! points.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::IrError;
+use crate::level::{ApiLevel, LevelRange};
+use crate::name::{ClassName, Permission};
+
+/// The kind of an app component declared in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// `<activity>`
+    Activity,
+    /// `<service>`
+    Service,
+    /// `<receiver>`
+    Receiver,
+    /// `<provider>`
+    Provider,
+}
+
+impl fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComponentKind::Activity => "activity",
+            ComponentKind::Service => "service",
+            ComponentKind::Receiver => "receiver",
+            ComponentKind::Provider => "provider",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A declared component: its kind and implementing class.
+///
+/// Components are the entry points of the ICFG; inter-component
+/// communication (intents) is modeled as separate invocations starting
+/// from each handler (paper §III-A).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Component {
+    /// Component kind.
+    pub kind: ComponentKind,
+    /// The class implementing the component.
+    pub class: ClassName,
+}
+
+/// A parsed manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Application package id, e.g. `com.example.app`.
+    pub package: String,
+    /// `minSdkVersion`.
+    pub min_sdk: ApiLevel,
+    /// `targetSdkVersion`.
+    pub target_sdk: ApiLevel,
+    /// `maxSdkVersion`, rarely declared; defaults to the highest level
+    /// the revision model knows about.
+    pub max_sdk: Option<ApiLevel>,
+    /// `<uses-permission>` entries.
+    pub uses_permissions: Vec<Permission>,
+    /// Declared components.
+    pub components: Vec<Component>,
+}
+
+impl Manifest {
+    /// Creates a manifest with the given package and SDK attributes and
+    /// no permissions/components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidSdkRange`] if a declared
+    /// `maxSdkVersion` is below `minSdkVersion`.
+    pub fn new(
+        package: impl Into<String>,
+        min_sdk: ApiLevel,
+        target_sdk: ApiLevel,
+        max_sdk: Option<ApiLevel>,
+    ) -> Result<Self, IrError> {
+        if let Some(max) = max_sdk {
+            if max < min_sdk {
+                return Err(IrError::InvalidSdkRange {
+                    min: min_sdk.get(),
+                    max: max.get(),
+                });
+            }
+        }
+        Ok(Manifest {
+            package: package.into(),
+            min_sdk,
+            target_sdk,
+            max_sdk,
+            uses_permissions: Vec::new(),
+            components: Vec::new(),
+        })
+    }
+
+    /// The span of device API levels the app declares support for:
+    /// `minSdkVersion ..= maxSdkVersion`, with an undeclared max
+    /// defaulting to the top of the modeled range (clamped so apps with
+    /// `minSdkVersion 1` still yield a valid modeled span).
+    #[must_use]
+    pub fn supported_levels(&self) -> LevelRange {
+        let min = self.min_sdk.clamp_modeled();
+        let max = self
+            .max_sdk
+            .map_or(ApiLevel::MAX, ApiLevel::clamp_modeled)
+            .max(min);
+        LevelRange::new(min, max)
+    }
+
+    /// Whether the app targets the runtime-permission regime (API ≥ 23,
+    /// paper §II-C).
+    #[must_use]
+    pub fn targets_runtime_permissions(&self) -> bool {
+        self.target_sdk >= ApiLevel::RUNTIME_PERMISSIONS
+    }
+
+    /// Whether the app declares the given permission.
+    #[must_use]
+    pub fn requests_permission(&self, p: &Permission) -> bool {
+        self.uses_permissions.contains(p)
+    }
+
+    /// Component classes, in declaration order.
+    pub fn component_classes(&self) -> impl Iterator<Item = &ClassName> {
+        self.components.iter().map(|c| &c.class)
+    }
+}
+
+impl fmt::Display for Manifest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "package {} (min {}, target {}, max {})",
+            self.package,
+            self.min_sdk,
+            self.target_sdk,
+            self.max_sdk.map_or_else(|| "-".to_string(), |m| m.to_string())
+        )?;
+        for p in &self.uses_permissions {
+            writeln!(f, "  uses-permission {p}")?;
+        }
+        for c in &self.components {
+            writeln!(f, "  {} {}", c.kind, c.class)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn man(min: u8, target: u8, max: Option<u8>) -> Manifest {
+        Manifest::new(
+            "com.example.app",
+            ApiLevel::new(min),
+            ApiLevel::new(target),
+            max.map(ApiLevel::new),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inverted_sdk_range_rejected() {
+        let err = Manifest::new(
+            "p",
+            ApiLevel::new(23),
+            ApiLevel::new(23),
+            Some(ApiLevel::new(21)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, IrError::InvalidSdkRange { min: 23, max: 21 }));
+    }
+
+    #[test]
+    fn supported_levels_defaults_max() {
+        let m = man(21, 28, None);
+        assert_eq!(
+            m.supported_levels(),
+            LevelRange::new(ApiLevel::new(21), ApiLevel::new(29))
+        );
+    }
+
+    #[test]
+    fn supported_levels_respects_declared_max() {
+        let m = man(8, 22, Some(22));
+        assert_eq!(
+            m.supported_levels(),
+            LevelRange::new(ApiLevel::new(8), ApiLevel::new(22))
+        );
+    }
+
+    #[test]
+    fn supported_levels_clamps_ancient_min() {
+        let m = man(1, 10, None);
+        assert_eq!(m.supported_levels().min(), ApiLevel::new(2));
+    }
+
+    #[test]
+    fn runtime_permission_regime_boundary() {
+        assert!(!man(8, 22, None).targets_runtime_permissions());
+        assert!(man(8, 23, None).targets_runtime_permissions());
+        assert!(man(8, 28, None).targets_runtime_permissions());
+    }
+
+    #[test]
+    fn permission_membership() {
+        let mut m = man(21, 28, None);
+        let p = Permission::android("CAMERA");
+        assert!(!m.requests_permission(&p));
+        m.uses_permissions.push(p.clone());
+        assert!(m.requests_permission(&p));
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let mut m = man(21, 28, None);
+        m.components.push(Component {
+            kind: ComponentKind::Activity,
+            class: ClassName::new("com.example.app.MainActivity"),
+        });
+        let s = m.to_string();
+        assert!(s.contains("activity com.example.app.MainActivity"));
+    }
+}

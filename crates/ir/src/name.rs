@@ -1,0 +1,398 @@
+//! Names and references: classes, methods, fields, permissions.
+//!
+//! These are the currency of the whole analysis: the CLVM resolves
+//! [`ClassName`]s, call graphs are keyed by [`MethodRef`]s, and guard
+//! analysis watches reads of the [`FieldRef`] for
+//! `android.os.Build$VERSION.SDK_INT`.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A fully-qualified Java class name in dotted form, e.g.
+/// `android.app.Activity` or `com.example.app.MainActivity$1`.
+///
+/// Cheap to clone (`Arc<str>` internally) because class names are shared
+/// pervasively across graphs, worklists and reports.
+///
+/// # Examples
+///
+/// ```
+/// use saint_ir::ClassName;
+///
+/// let c = ClassName::new("android.app.Activity");
+/// assert_eq!(c.simple_name(), "Activity");
+/// assert_eq!(c.package(), "android.app");
+/// assert!(!c.is_anonymous_inner());
+/// assert!(ClassName::new("android.webkit.WebView$1").is_anonymous_inner());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ClassName(Arc<str>);
+
+impl ClassName {
+    /// Creates a class name from its dotted textual form.
+    #[must_use]
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
+        ClassName(name.into())
+    }
+
+    /// The full dotted name.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The unqualified class name (after the last `.`).
+    #[must_use]
+    pub fn simple_name(&self) -> &str {
+        self.0.rsplit('.').next().unwrap_or(&self.0)
+    }
+
+    /// The package prefix (before the last `.`), empty for the default
+    /// package.
+    #[must_use]
+    pub fn package(&self) -> &str {
+        self.0.rsplit_once('.').map_or("", |(p, _)| p)
+    }
+
+    /// Whether this is a compiler-generated anonymous inner class such
+    /// as `Foo$1` (a `$` followed by a digit-only suffix).
+    ///
+    /// SAINTDroid deliberately skips callbacks declared inside such
+    /// classes (paper §VI, "dynamically-generated classes"); the corpus
+    /// injects them to reproduce that limitation.
+    #[must_use]
+    pub fn is_anonymous_inner(&self) -> bool {
+        match self.0.rsplit_once('$') {
+            Some((_, suffix)) => !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()),
+            None => false,
+        }
+    }
+
+    /// Whether the class belongs to the Android framework namespace
+    /// (`android.*`, `androidx.*`, `java.*`, `dalvik.*`, `com.android.*`).
+    #[must_use]
+    pub fn is_framework_namespace(&self) -> bool {
+        const PREFIXES: [&str; 5] = ["android.", "androidx.", "java.", "dalvik.", "com.android."];
+        PREFIXES.iter().any(|p| self.0.starts_with(p))
+    }
+}
+
+impl fmt::Display for ClassName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ClassName {
+    fn from(s: &str) -> Self {
+        ClassName::new(s)
+    }
+}
+
+impl From<String> for ClassName {
+    fn from(s: String) -> Self {
+        ClassName::new(s)
+    }
+}
+
+impl Borrow<str> for ClassName {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for ClassName {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A reference to a method: owning class, name and descriptor.
+///
+/// The descriptor uses a compact JVM-like form such as `(I)V` or
+/// `(Landroid/os/Bundle;)V`; it is treated as an opaque signature
+/// component (two methods differ iff any of the three parts differ).
+///
+/// # Examples
+///
+/// ```
+/// use saint_ir::MethodRef;
+///
+/// let m = MethodRef::new("android.app.Activity", "onCreate", "(Landroid/os/Bundle;)V");
+/// assert_eq!(m.to_string(), "android.app.Activity.onCreate(Landroid/os/Bundle;)V");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MethodRef {
+    /// Class that declares (or is the static receiver of) the method.
+    pub class: ClassName,
+    /// Simple method name, e.g. `onCreate`.
+    pub name: Arc<str>,
+    /// Signature descriptor, e.g. `(Landroid/os/Bundle;)V`.
+    pub descriptor: Arc<str>,
+}
+
+impl MethodRef {
+    /// Creates a method reference.
+    #[must_use]
+    pub fn new(
+        class: impl Into<ClassName>,
+        name: impl Into<Arc<str>>,
+        descriptor: impl Into<Arc<str>>,
+    ) -> Self {
+        MethodRef {
+            class: class.into(),
+            name: name.into(),
+            descriptor: descriptor.into(),
+        }
+    }
+
+    /// The `name + descriptor` pair that identifies the method within
+    /// its class (and along override chains).
+    #[must_use]
+    pub fn signature(&self) -> MethodSig {
+        MethodSig {
+            name: Arc::clone(&self.name),
+            descriptor: Arc::clone(&self.descriptor),
+        }
+    }
+
+    /// The same method re-homed onto a different class (used when
+    /// resolving virtual dispatch up the superclass chain).
+    #[must_use]
+    pub fn with_class(&self, class: ClassName) -> Self {
+        MethodRef {
+            class,
+            name: Arc::clone(&self.name),
+            descriptor: Arc::clone(&self.descriptor),
+        }
+    }
+}
+
+impl fmt::Display for MethodRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}{}", self.class, self.name, self.descriptor)
+    }
+}
+
+/// A class-independent method signature: name plus descriptor.
+///
+/// Signatures identify override relationships: an app method overrides a
+/// framework callback iff a superclass (transitively) declares a method
+/// with the same signature.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MethodSig {
+    /// Simple method name.
+    pub name: Arc<str>,
+    /// Signature descriptor.
+    pub descriptor: Arc<str>,
+}
+
+impl MethodSig {
+    /// Creates a signature.
+    #[must_use]
+    pub fn new(name: impl Into<Arc<str>>, descriptor: impl Into<Arc<str>>) -> Self {
+        MethodSig {
+            name: name.into(),
+            descriptor: descriptor.into(),
+        }
+    }
+
+    /// Re-homes this signature onto a class, producing a full
+    /// [`MethodRef`].
+    #[must_use]
+    pub fn on_class(&self, class: impl Into<ClassName>) -> MethodRef {
+        MethodRef {
+            class: class.into(),
+            name: Arc::clone(&self.name),
+            descriptor: Arc::clone(&self.descriptor),
+        }
+    }
+}
+
+impl fmt::Display for MethodSig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.name, self.descriptor)
+    }
+}
+
+/// A reference to a (static or instance) field.
+///
+/// # Examples
+///
+/// ```
+/// use saint_ir::FieldRef;
+///
+/// let sdk = FieldRef::sdk_int();
+/// assert_eq!(sdk.class.as_str(), "android.os.Build$VERSION");
+/// assert_eq!(&*sdk.name, "SDK_INT");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FieldRef {
+    /// Declaring class.
+    pub class: ClassName,
+    /// Field name.
+    pub name: Arc<str>,
+}
+
+impl FieldRef {
+    /// Creates a field reference.
+    #[must_use]
+    pub fn new(class: impl Into<ClassName>, name: impl Into<Arc<str>>) -> Self {
+        FieldRef {
+            class: class.into(),
+            name: name.into(),
+        }
+    }
+
+    /// The static field `android.os.Build$VERSION.SDK_INT` whose reads
+    /// seed the guard analysis.
+    #[must_use]
+    pub fn sdk_int() -> Self {
+        FieldRef::new("android.os.Build$VERSION", "SDK_INT")
+    }
+
+    /// Whether this is the `SDK_INT` field.
+    #[must_use]
+    pub fn is_sdk_int(&self) -> bool {
+        &*self.name == "SDK_INT" && self.class.as_str() == "android.os.Build$VERSION"
+    }
+}
+
+impl fmt::Display for FieldRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.class, self.name)
+    }
+}
+
+/// An Android permission string, e.g.
+/// `android.permission.WRITE_EXTERNAL_STORAGE`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Permission(Arc<str>);
+
+impl Permission {
+    /// Creates a permission from its full string form.
+    #[must_use]
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
+        Permission(name.into())
+    }
+
+    /// Shorthand: prefixes `android.permission.` onto a bare name.
+    ///
+    /// ```
+    /// use saint_ir::Permission;
+    /// assert_eq!(
+    ///     Permission::android("CAMERA").as_str(),
+    ///     "android.permission.CAMERA"
+    /// );
+    /// ```
+    #[must_use]
+    pub fn android(short: &str) -> Self {
+        Permission(format!("android.permission.{short}").into())
+    }
+
+    /// The full permission string.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Permission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Permission {
+    fn from(s: &str) -> Self {
+        Permission::new(s)
+    }
+}
+
+impl Borrow<str> for Permission {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_name_parts() {
+        let c = ClassName::new("com.example.app.MainActivity");
+        assert_eq!(c.simple_name(), "MainActivity");
+        assert_eq!(c.package(), "com.example.app");
+        let d = ClassName::new("TopLevel");
+        assert_eq!(d.simple_name(), "TopLevel");
+        assert_eq!(d.package(), "");
+    }
+
+    #[test]
+    fn anonymous_inner_detection() {
+        assert!(ClassName::new("a.B$1").is_anonymous_inner());
+        assert!(ClassName::new("a.B$12").is_anonymous_inner());
+        assert!(!ClassName::new("a.B$Inner").is_anonymous_inner());
+        assert!(!ClassName::new("a.B").is_anonymous_inner());
+        assert!(!ClassName::new("a.B$").is_anonymous_inner());
+        // nested anon: only the final suffix matters
+        assert!(ClassName::new("a.B$Inner$3").is_anonymous_inner());
+    }
+
+    #[test]
+    fn framework_namespace() {
+        assert!(ClassName::new("android.app.Activity").is_framework_namespace());
+        assert!(ClassName::new("androidx.fragment.app.Fragment").is_framework_namespace());
+        assert!(ClassName::new("java.lang.Object").is_framework_namespace());
+        assert!(!ClassName::new("com.example.Foo").is_framework_namespace());
+        assert!(!ClassName::new("androidy.Foo").is_framework_namespace());
+    }
+
+    #[test]
+    fn method_ref_identity() {
+        let a = MethodRef::new("a.B", "m", "()V");
+        let b = MethodRef::new("a.B", "m", "()V");
+        let c = MethodRef::new("a.B", "m", "(I)V");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.signature(), MethodSig::new("m", "()V"));
+    }
+
+    #[test]
+    fn method_ref_rehoming() {
+        let a = MethodRef::new("a.B", "m", "()V");
+        let up = a.with_class(ClassName::new("a.Base"));
+        assert_eq!(up.class.as_str(), "a.Base");
+        assert_eq!(up.signature(), a.signature());
+        let back = a.signature().on_class("a.Other");
+        assert_eq!(back.class.as_str(), "a.Other");
+    }
+
+    #[test]
+    fn sdk_int_field() {
+        assert!(FieldRef::sdk_int().is_sdk_int());
+        assert!(!FieldRef::new("a.B", "SDK_INT").is_sdk_int());
+        assert!(!FieldRef::new("android.os.Build$VERSION", "CODENAME").is_sdk_int());
+    }
+
+    #[test]
+    fn permission_shorthand() {
+        let p = Permission::android("READ_CONTACTS");
+        assert_eq!(p.as_str(), "android.permission.READ_CONTACTS");
+        assert_eq!(p.to_string(), "android.permission.READ_CONTACTS");
+    }
+
+    #[test]
+    fn display_forms() {
+        let m = MethodRef::new("a.B", "m", "(I)V");
+        assert_eq!(m.to_string(), "a.B.m(I)V");
+        let f = FieldRef::new("a.B", "x");
+        assert_eq!(f.to_string(), "a.B.x");
+    }
+}

@@ -1,0 +1,3 @@
+//! Root reproduction package: hosts the cross-crate integration tests
+//! (`tests/`) and the runnable examples (`examples/`). See the member
+//! crates for the actual library surface.

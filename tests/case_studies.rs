@@ -1,0 +1,89 @@
+//! Paper §V-B case studies as executable assertions: one per mismatch
+//! family, each checking the exact finding the paper narrates.
+
+use std::sync::Arc;
+
+use saint_adf::AndroidFramework;
+use saint_corpus::cases;
+use saintdroid::{CompatDetector, MismatchKind, SaintDroid};
+
+fn tool() -> SaintDroid {
+    SaintDroid::new(Arc::new(AndroidFramework::curated()))
+}
+
+#[test]
+fn offline_calendar_api_invocation() {
+    // "the invocation of the getFragmentManager() API method in
+    // PreferencesActivity.onCreate causes an API invocation mismatch …
+    // the app will crash if running on API levels 8 to [10]".
+    let report = tool().analyze(&cases::offline_calendar()).unwrap();
+    let hits: Vec<_> = report.of_kind(MismatchKind::ApiInvocation).collect();
+    assert_eq!(hits.len(), 1);
+    let m = hits[0];
+    assert_eq!(&*m.api.name, "getFragmentManager");
+    assert_eq!(m.api.class.as_str(), "android.app.Activity");
+    assert_eq!(m.site.class.simple_name(), "PreferencesActivity");
+    let missing: Vec<u8> = m.missing_levels.iter().map(|l| l.get()).collect();
+    assert_eq!(missing, vec![8, 9, 10]);
+}
+
+#[test]
+fn fosdem_api_callback() {
+    // "ForegroundLinearLayout … overrides the
+    // View.drawableHotspotChanged callback method, introduced in API
+    // level 21. However, its minSdkVersion is API level 15".
+    let report = tool().analyze(&cases::fosdem()).unwrap();
+    let hits: Vec<_> = report.of_kind(MismatchKind::ApiCallback).collect();
+    assert_eq!(hits.len(), 1);
+    let m = hits[0];
+    assert_eq!(&*m.api.name, "drawableHotspotChanged");
+    assert_eq!(m.api.class.as_str(), "android.view.View");
+    assert!(m.missing_levels.iter().all(|l| l.get() < 21));
+}
+
+#[test]
+fn kolab_notes_permission_request() {
+    // "The app targets API 26 and uses the WRITE_EXTERNAL_STORAGE
+    // permission, but does not implement the methods to request the
+    // permission at runtime."
+    let report = tool().analyze(&cases::kolab_notes()).unwrap();
+    let hits: Vec<_> = report.of_kind(MismatchKind::PermissionRequest).collect();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(
+        hits[0].permission.as_ref().unwrap().as_str(),
+        "android.permission.WRITE_EXTERNAL_STORAGE"
+    );
+    assert!(report.of_kind(MismatchKind::PermissionRevocation).count() == 0);
+}
+
+#[test]
+fn adaway_permission_revocation() {
+    // "The app targets API level 22 and uses the
+    // WRITE_EXTERNAL_STORAGE permission, which could be revoked by the
+    // user when installed on a device running API 23 or greater."
+    let report = tool().analyze(&cases::adaway()).unwrap();
+    let hits: Vec<_> = report.of_kind(MismatchKind::PermissionRevocation).collect();
+    assert_eq!(hits.len(), 1);
+    let m = hits[0];
+    assert!(m.missing_levels.iter().all(|l| l.get() >= 23));
+    assert!(report.of_kind(MismatchKind::PermissionRequest).count() == 0);
+}
+
+#[test]
+fn fixes_silence_the_findings() {
+    // The paper's suggested fixes actually work in the model: raising
+    // Offline Calendar's minSdkVersion to 11 clears the report.
+    let mut apk = cases::offline_calendar();
+    apk.manifest.min_sdk = saint_ir::ApiLevel::new(11);
+    let report = tool().analyze(&apk).unwrap();
+    assert!(report.is_clean(), "{report}");
+
+    // And moving AdAway's target past 22 with a handler clears the
+    // revocation finding (it becomes a request finding only while the
+    // handler is missing).
+    let mut adaway = cases::adaway();
+    adaway.manifest.target_sdk = saint_ir::ApiLevel::new(26);
+    let report = tool().analyze(&adaway).unwrap();
+    assert_eq!(report.count(MismatchKind::PermissionRevocation), 0);
+    assert_eq!(report.count(MismatchKind::PermissionRequest), 1);
+}

@@ -1,0 +1,214 @@
+//! Property-based tests over the detector stack: randomly assembled
+//! apps must never panic any tool, reports must be deterministic and
+//! deduplicated, and guarding a call can only ever *reduce* what
+//! SAINTDroid reports.
+
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use saint_adf::{well_known, AndroidFramework};
+use saint_baselines::{Cid, Cider, Lint};
+use saint_ir::{ApiLevel, Apk, ApkBuilder, BodyBuilder, ClassBuilder, ClassOrigin, MethodRef};
+use saintdroid::{CompatDetector, SaintDroid};
+
+/// A small menu of real framework APIs with varied lifetimes.
+fn api_menu() -> Vec<MethodRef> {
+    vec![
+        well_known::context_get_color_state_list(),
+        well_known::context_get_drawable(),
+        well_known::webview_evaluate_javascript(),
+        well_known::create_notification_channel(),
+        well_known::http_client_execute(),
+        well_known::camera_open(),
+        well_known::tint_helper_apply_tint(),
+        well_known::activity_set_content_view(),
+        well_known::resources_compat_get_csl(),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct SiteSpec {
+    api_idx: usize,
+    guard: Option<u8>,
+}
+
+fn arb_site() -> impl Strategy<Value = SiteSpec> {
+    (0usize..9, proptest::option::of(14u8..29)).prop_map(|(api_idx, guard)| SiteSpec {
+        api_idx,
+        guard,
+    })
+}
+
+#[derive(Debug, Clone)]
+struct AppSpec {
+    min: u8,
+    span: u8,
+    sites: Vec<SiteSpec>,
+    overrides: Vec<usize>,
+}
+
+fn arb_app() -> impl Strategy<Value = AppSpec> {
+    (
+        8u8..27,
+        2u8..12,
+        vec(arb_site(), 0..6),
+        vec(0usize..4, 0..3),
+    )
+        .prop_map(|(min, span, sites, overrides)| AppSpec {
+            min,
+            span,
+            sites,
+            overrides,
+        })
+}
+
+fn build_app(spec: &AppSpec) -> Apk {
+    let menu = api_menu();
+    let target = ApiLevel::new(spec.min.saturating_add(spec.span).min(29));
+    let callbacks: [(&str, &str, &str); 4] = [
+        ("android.app.Activity", "onMultiWindowModeChanged", "(Z)V"),
+        ("android.app.Fragment", "onAttach", "(Landroid/content/Context;)V"),
+        ("android.view.View", "drawableHotspotChanged", "(FF)V"),
+        ("android.app.Activity", "onCreate", "(Landroid/os/Bundle;)V"),
+    ];
+
+    let mut main = ClassBuilder::new("gen.app.Main", ClassOrigin::App)
+        .extends("android.app.Activity");
+    for (i, site) in spec.sites.iter().enumerate() {
+        let api = menu[site.api_idx % menu.len()].clone();
+        let guard = site.guard;
+        main = main
+            .method(format!("site{i}"), "()V", move |b: &mut BodyBuilder| {
+                match guard {
+                    Some(g) => {
+                        let (then_blk, join) = b.guard_sdk_at_least(ApiLevel::new(g));
+                        b.switch_to(then_blk);
+                        b.invoke_virtual(api, &[], None);
+                        b.goto(join);
+                        b.switch_to(join);
+                        b.ret_void();
+                    }
+                    None => {
+                        b.invoke_virtual(api, &[], None);
+                        b.ret_void();
+                    }
+                }
+            })
+            .expect("unique names");
+    }
+    let mut builder = ApkBuilder::new("gen.app", ApiLevel::new(spec.min), target)
+        .activity("gen.app.Main")
+        .class(main.build())
+        .expect("unique class");
+    for (i, &cb) in spec.overrides.iter().enumerate() {
+        let (sup, name, desc) = callbacks[cb % callbacks.len()];
+        let class = ClassBuilder::new(format!("gen.app.Cb{i}").as_str(), ClassOrigin::App)
+            .extends(sup)
+            .method(name, desc, |b| {
+                b.ret_void();
+            })
+            .expect("unique method")
+            .build();
+        builder = builder.class(class).expect("unique class");
+    }
+    builder.build()
+}
+
+fn framework() -> Arc<AndroidFramework> {
+    Arc::new(AndroidFramework::curated())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn no_tool_panics_on_generated_apps(spec in arb_app()) {
+        let apk = build_app(&spec);
+        let fw = framework();
+        let _ = SaintDroid::new(Arc::clone(&fw)).analyze(&apk);
+        let _ = Cid::new(Arc::clone(&fw)).analyze(&apk);
+        let _ = Cider::new(Arc::clone(&fw)).analyze(&apk);
+        let _ = Lint::new(Arc::clone(&fw)).analyze(&apk);
+    }
+
+    #[test]
+    fn saintdroid_reports_are_deterministic(spec in arb_app()) {
+        let apk = build_app(&spec);
+        let tool = SaintDroid::new(framework());
+        let a = tool.analyze(&apk).unwrap();
+        let b = tool.analyze(&apk).unwrap();
+        prop_assert_eq!(a.mismatches, b.mismatches);
+    }
+
+    #[test]
+    fn reports_are_deduplicated(spec in arb_app()) {
+        let apk = build_app(&spec);
+        let report = SaintDroid::new(framework()).analyze(&apk).unwrap();
+        for (i, a) in report.mismatches.iter().enumerate() {
+            for b in &report.mismatches[i + 1..] {
+                prop_assert_ne!(a.dedup_key(), b.dedup_key());
+            }
+        }
+    }
+
+    #[test]
+    fn full_guards_silence_every_api_site(spec in arb_app()) {
+        // Guarding every call site at level 29 restricts execution to
+        // the newest level; the only possible API findings left are
+        // removed-API (forward) cases, never introduced-later ones.
+        let mut guarded = spec.clone();
+        for site in &mut guarded.sites {
+            site.guard = Some(29);
+        }
+        let apk = build_app(&guarded);
+        let report = SaintDroid::new(framework()).analyze(&apk).unwrap();
+        for m in report.of_kind(saintdroid::MismatchKind::ApiInvocation) {
+            let life = m.api_life.expect("api mismatches carry lifetimes");
+            prop_assert!(
+                life.removed.is_some(),
+                "only forward (removed) findings may survive a max-level guard: {}",
+                m
+            );
+        }
+    }
+
+    #[test]
+    fn guarding_never_adds_findings(spec in arb_app()) {
+        let unguarded = {
+            let mut s = spec.clone();
+            for site in &mut s.sites {
+                site.guard = None;
+            }
+            s
+        };
+        let tool = SaintDroid::new(framework());
+        let base = tool.analyze(&build_app(&unguarded)).unwrap();
+        let guarded_report = tool.analyze(&build_app(&spec)).unwrap();
+        prop_assert!(
+            guarded_report.api_count() <= base.api_count(),
+            "guards must be monotone: {} vs {}",
+            guarded_report.api_count(),
+            base.api_count()
+        );
+    }
+
+    #[test]
+    fn missing_levels_always_within_supported_range(spec in arb_app()) {
+        let apk = build_app(&spec);
+        let supported = apk.manifest.supported_levels();
+        let report = SaintDroid::new(framework()).analyze(&apk).unwrap();
+        for m in &report.mismatches {
+            if m.kind == saintdroid::MismatchKind::ApiInvocation
+                || m.kind == saintdroid::MismatchKind::ApiCallback
+            {
+                for l in &m.missing_levels {
+                    prop_assert!(
+                        supported.contains(*l),
+                        "{m} reports level {l} outside {supported}"
+                    );
+                }
+            }
+        }
+    }
+}

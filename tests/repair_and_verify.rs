@@ -1,0 +1,118 @@
+//! The future-work pipeline across the benchmark suite: SAINTDroid's
+//! findings are dynamically verified, repaired, and the patched apps
+//! re-checked by both the static detector and the interpreter.
+
+use std::sync::Arc;
+
+use saint_adf::AndroidFramework;
+use saint_corpus::benchmark_suite;
+use saint_dynamic::Verifier;
+use saintdroid::repair::{repair, RepairAction, RepairOptions};
+use saintdroid::{CompatDetector, SaintDroid};
+
+fn stack() -> (Arc<AndroidFramework>, SaintDroid, Verifier) {
+    let fw = Arc::new(AndroidFramework::curated());
+    (
+        Arc::clone(&fw),
+        SaintDroid::new(Arc::clone(&fw)),
+        Verifier::new(fw),
+    )
+}
+
+#[test]
+fn repair_clears_every_code_fixable_finding() {
+    let (_, saint, _) = stack();
+    let opts = RepairOptions {
+        apply_manifest_fixes: true,
+    };
+    for app in benchmark_suite() {
+        let report = saint.analyze(&app.apk).unwrap();
+        if report.is_clean() {
+            continue;
+        }
+        let outcome = repair(&app.apk, &report, &opts);
+        let after = saint.analyze(&outcome.apk).unwrap();
+        assert!(
+            after.is_clean(),
+            "{}: {} findings remain after repair:\n{after}",
+            app.name,
+            after.total()
+        );
+        // Actions emitted for the work done.
+        assert!(!outcome.actions.is_empty(), "{}", app.name);
+    }
+}
+
+#[test]
+fn conservative_repair_never_touches_the_manifest() {
+    let (_, saint, _) = stack();
+    for app in benchmark_suite() {
+        let report = saint.analyze(&app.apk).unwrap();
+        let outcome = repair(&app.apk, &report, &RepairOptions::default());
+        assert_eq!(outcome.apk.manifest.min_sdk, app.apk.manifest.min_sdk);
+        assert_eq!(outcome.apk.manifest.target_sdk, app.apk.manifest.target_sdk);
+        assert!(!outcome
+            .actions
+            .iter()
+            .any(|a| matches!(a, RepairAction::MinSdkRaised { .. } | RepairAction::TargetRaised { .. })));
+    }
+}
+
+#[test]
+fn verification_confirms_truths_and_refutes_bait() {
+    let (_, saint, verifier) = stack();
+    let mut confirmed = 0usize;
+    let mut refuted = 0usize;
+    for app in benchmark_suite() {
+        let report = saint.analyze(&app.apk).unwrap();
+        let v = verifier.verify(&app.apk, &report);
+        confirmed += v.confirmed.len();
+        refuted += v.refuted.len();
+        // Every refuted finding must be a non-truth (the bait):
+        for r in &v.refuted {
+            assert!(
+                !app.truth.iter().any(|t| t.site == r.site && t.api == r.api),
+                "{}: dynamic verification refuted a ground-truth issue: {r}",
+                app.name
+            );
+        }
+    }
+    assert!(confirmed >= 28, "confirmed {confirmed}");
+    assert!(refuted >= 1, "refuted {refuted}");
+}
+
+#[test]
+fn repaired_apps_survive_their_crash_devices() {
+    use saint_dynamic::{entry_points, Device, Simulator};
+    let (fw, saint, _) = stack();
+    let opts = RepairOptions {
+        apply_manifest_fixes: true,
+    };
+    for app in benchmark_suite() {
+        let report = saint.analyze(&app.apk).unwrap();
+        if report.is_clean() {
+            continue;
+        }
+        let outcome = repair(&app.apk, &report, &opts);
+        // Execute the patched app at every level any finding implicated,
+        // within its (possibly updated) supported range.
+        let supported = outcome.apk.manifest.supported_levels();
+        let levels: std::collections::BTreeSet<_> = report
+            .mismatches
+            .iter()
+            .flat_map(|m| m.missing_levels.iter().copied())
+            .filter(|l| supported.contains(*l))
+            .collect();
+        let entries = entry_points(&outcome.apk);
+        for level in levels {
+            let mut sim = Simulator::new(&outcome.apk, &fw, Device::hostile(level));
+            let run = sim.run_entries(&entries);
+            assert!(
+                run.crashes.is_empty(),
+                "{} still crashes at level {level} after repair: {:?}",
+                app.name,
+                run.crashes
+            );
+        }
+    }
+}

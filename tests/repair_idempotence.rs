@@ -1,0 +1,59 @@
+//! Repair algebra: repairing a repaired app must be a no-op (the
+//! report is already clean), and repair must never *introduce*
+//! findings of any kind.
+
+use std::sync::Arc;
+
+use saint_adf::AndroidFramework;
+use saint_corpus::{benchmark_suite, RealWorldConfig, RealWorldCorpus};
+use saintdroid::repair::{repair, RepairOptions};
+use saintdroid::{CompatDetector, SaintDroid};
+
+fn stack() -> SaintDroid {
+    SaintDroid::new(Arc::new(AndroidFramework::curated()))
+}
+
+#[test]
+fn repair_is_idempotent_on_benchmarks() {
+    let saint = stack();
+    let opts = RepairOptions {
+        apply_manifest_fixes: true,
+    };
+    for app in benchmark_suite() {
+        let r1 = saint.analyze(&app.apk).unwrap();
+        let once = repair(&app.apk, &r1, &opts);
+        let r2 = saint.analyze(&once.apk).unwrap();
+        assert!(r2.is_clean(), "{}: first repair incomplete", app.name);
+        let twice = repair(&once.apk, &r2, &opts);
+        assert!(twice.actions.is_empty(), "{}: second repair acted on a clean app: {:?}", app.name, twice.actions);
+        assert_eq!(once.apk, twice.apk, "{}: second repair changed the package", app.name);
+    }
+}
+
+#[test]
+fn repair_never_increases_findings_on_generated_apps() {
+    let fw = Arc::new(AndroidFramework::with_scale(&saint_adf::SynthConfig::small()));
+    let saint = SaintDroid::new(Arc::clone(&fw));
+    let corpus = RealWorldCorpus::new(RealWorldConfig::small());
+    let opts = RepairOptions {
+        apply_manifest_fixes: true,
+    };
+    for i in 0..20 {
+        let app = corpus.get(i);
+        let before = saint.analyze(&app.apk).unwrap();
+        if before.is_clean() {
+            continue;
+        }
+        let out = repair(&app.apk, &before, &opts);
+        let after = saint.analyze(&out.apk).unwrap();
+        assert!(
+            after.total() <= before.total(),
+            "app {i}: repair increased findings {} -> {}\n{after}",
+            before.total(),
+            after.total()
+        );
+        // Guard synthesis must keep the package parseable.
+        let bytes = saint_ir::codec::encode_apk(&out.apk);
+        assert_eq!(saint_ir::codec::decode_apk(&bytes).unwrap(), out.apk);
+    }
+}

@@ -1,0 +1,75 @@
+//! Cross-validation: static detection must be *complete* relative to
+//! dynamic observation. Every `NoSuchMethodError` the interpreter
+//! observes at a supported device level — outside the documented
+//! anonymous-class blind spot — must correspond to a static API
+//! finding at the same site against the same API. (The converse does
+//! not hold: static analysis is deliberately conservative.)
+
+use std::sync::Arc;
+
+use saint_adf::AndroidFramework;
+use saint_corpus::{benchmark_suite, RealWorldConfig, RealWorldCorpus};
+use saint_dynamic::{entry_points, CrashKind, Device, Simulator};
+use saint_ir::Apk;
+use saintdroid::{CompatDetector, MismatchKind, Report, SaintDroid};
+
+fn check_app(fw: &Arc<AndroidFramework>, saint: &SaintDroid, apk: &Apk, label: &str) {
+    let report: Report = saint.analyze(apk).expect("SAINTDroid analyzes any app");
+    let entries = entry_points(apk);
+    let level = apk.manifest.supported_levels().min();
+    let mut sim = Simulator::new(apk, fw, Device::at(level));
+    let run = sim.run_entries(&entries);
+    for crash in &run.crashes {
+        if crash.kind != CrashKind::NoSuchMethod {
+            continue;
+        }
+        let Some(frame) = &crash.app_frame else { continue };
+        if frame.class.is_anonymous_inner() {
+            continue; // the documented §VI blind spot
+        }
+        let predicted = report
+            .of_kind(MismatchKind::ApiInvocation)
+            .any(|m| m.api == crash.api && &m.site == frame);
+        assert!(
+            predicted,
+            "{label}: observed crash not statically predicted at level {level}:\n  \
+             site {frame}\n  api {}\nreport:\n{report}",
+            crash.api
+        );
+    }
+}
+
+#[test]
+fn benchmark_crashes_are_all_predicted() {
+    let fw = Arc::new(AndroidFramework::curated());
+    let saint = SaintDroid::new(Arc::clone(&fw));
+    for app in benchmark_suite() {
+        check_app(&fw, &saint, &app.apk, app.name);
+    }
+}
+
+#[test]
+fn generated_corpus_crashes_are_all_predicted() {
+    let fw = Arc::new(AndroidFramework::with_scale(&saint_adf::SynthConfig::small()));
+    let saint = SaintDroid::new(Arc::clone(&fw));
+    let corpus = RealWorldCorpus::new(RealWorldConfig::small());
+    for i in 0..25 {
+        let app = corpus.get(i);
+        check_app(&fw, &saint, &app.apk, &format!("rw app {i}"));
+    }
+}
+
+#[test]
+fn case_studies_crashes_are_all_predicted() {
+    use saint_corpus::cases;
+    let fw = Arc::new(AndroidFramework::curated());
+    let saint = SaintDroid::new(Arc::clone(&fw));
+    for (label, apk) in [
+        ("offline_calendar", cases::offline_calendar()),
+        ("fosdem", cases::fosdem()),
+        ("kolab", cases::kolab_notes()),
+        ("adaway", cases::adaway()),
+    ] {
+        check_app(&fw, &saint, &apk, label);
+    }
+}
