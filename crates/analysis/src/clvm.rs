@@ -13,7 +13,6 @@
 //! *through* it, so the meter sees exactly what the analysis
 //! materializes.
 
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -69,21 +68,19 @@ impl Clvm {
     /// Returns `None` when no provider knows the class; the failed
     /// lookup is remembered and metered once.
     pub fn load_class(&mut self, name: &ClassName) -> Option<Arc<ClassDef>> {
-        match self.loaded.entry(name.clone()) {
-            Entry::Occupied(e) => e.get().clone(),
-            Entry::Vacant(e) => {
-                let found = self
-                    .providers
-                    .iter()
-                    .find_map(|p| p.find_class(name));
-                match &found {
-                    Some(c) => self.meter.record_class(c.size_bytes()),
-                    None => self.meter.record_unresolved(),
-                }
-                e.insert(found.clone());
-                found
-            }
+        // Probe before inserting: hits are the overwhelmingly common
+        // case during exploration and must not clone the name (the
+        // `entry` API would clone on every call).
+        if let Some(cached) = self.loaded.get(name) {
+            return cached.clone();
         }
+        let found = self.providers.iter().find_map(|p| p.find_class(name));
+        match &found {
+            Some(c) => self.meter.record_class(c.size_bytes()),
+            None => self.meter.record_unresolved(),
+        }
+        self.loaded.insert(name.clone(), found.clone());
+        found
     }
 
     /// Whether a class has already been loaded (without loading it).

@@ -190,6 +190,20 @@ pub fn explore(
     roots: impl IntoIterator<Item = MethodRef>,
     config: &ExploreConfig,
 ) -> Exploration {
+    explore_cached(clvm, roots, config, None)
+}
+
+/// Runs Algorithm 1, optionally serving framework-method artifacts
+/// (CFG + abstract state) from a batch-wide [`ArtifactCache`] keyed at
+/// `level` — the snapshot level the CLVM's framework provider
+/// materializes from. The exploration result (and the per-app meter)
+/// is identical either way.
+pub fn explore_cached(
+    clvm: &mut Clvm,
+    roots: impl IntoIterator<Item = MethodRef>,
+    config: &ExploreConfig,
+    artifact_cache: Option<(&crate::cache::ArtifactCache, saint_ir::ApiLevel)>,
+) -> Exploration {
     if config.preload_all {
         clvm.load_everything();
     }
@@ -229,10 +243,27 @@ pub fn explore(
             continue; // abstract / native terminal
         };
 
-        let cfg = Cfg::build(body);
-        let abs = AbsState::analyze(body, &cfg);
+        let build = || {
+            let cfg = Cfg::build(body);
+            let abs = AbsState::analyze(body, &cfg);
+            Arc::new(MethodArtifacts {
+                class: Arc::clone(&declaring),
+                method: resolved.clone(),
+                origin: declaring.origin,
+                cfg,
+                abs,
+            })
+        };
+        let art = match artifact_cache {
+            Some((cache, level)) if matches!(declaring.origin, ClassOrigin::Framework) => {
+                cache.get_or_build(level, &resolved, build)
+            }
+            _ => build(),
+        };
+        // Metered from the artifact's content — the same value whether
+        // it was just built or served from the batch cache.
         clvm.meter_mut()
-            .record_method(cfg.size_bytes() + abs.size_bytes());
+            .record_method(art.cfg.size_bytes() + art.abs.size_bytes());
 
         // Scan the body for callees and late-binding sites.
         for (block, bb) in body.iter() {
@@ -258,7 +289,7 @@ pub fn explore(
                 worklist.push_back(method.clone());
 
                 if config.follow_dynamic && is_dynamic_load(method) {
-                    let env = abs.at_entry(block);
+                    let env = art.abs.at_entry(block);
                     // Recover the first string-constant argument: the
                     // class name handed to the loader.
                     //
@@ -294,17 +325,7 @@ pub fn explore(
             }
         }
 
-        let origin = declaring.origin;
-        out.methods.insert(
-            resolved.clone(),
-            Arc::new(MethodArtifacts {
-                class: declaring,
-                method: resolved,
-                origin,
-                cfg,
-                abs,
-            }),
-        );
+        out.methods.insert(resolved.clone(), art);
     }
     out
 }

@@ -44,6 +44,7 @@
 #![warn(rust_2018_idioms)]
 
 mod absint;
+pub mod cache;
 mod callgraph;
 mod cfg;
 mod clvm;
@@ -53,12 +54,13 @@ mod meter;
 mod provider;
 
 pub use absint::{AbsEnv, AbsState, AbsVal};
+pub use cache::{ArtifactCache, CacheStats, ShardedClassCache};
 pub use callgraph::CallGraph;
 pub use cfg::Cfg;
 pub use clvm::{Clvm, Resolution};
 pub use explore::{
-    app_method_roots, concrete_methods, explore, is_dynamic_load, CallEdge, DynamicLoad,
-    Exploration, ExploreConfig, MethodArtifacts,
+    app_method_roots, concrete_methods, explore, explore_cached, is_dynamic_load, CallEdge,
+    DynamicLoad, Exploration, ExploreConfig, MethodArtifacts,
 };
 pub use guards::{branch_constraints, BlockRanges, SdkConstraint};
 pub use meter::LoadMeter;

@@ -7,10 +7,13 @@
 //! [`ClassProvider`]; the CLVM consults them in registration order,
 //! like a class-loader delegation chain.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use saint_adf::AndroidFramework;
 use saint_ir::{ApiLevel, Apk, ClassDef, ClassName, DexFile};
+
+use crate::cache::ShardedClassCache;
 
 /// A source of class definitions.
 pub trait ClassProvider: Send + Sync {
@@ -28,10 +31,45 @@ pub trait ClassProvider: Send + Sync {
     fn label(&self) -> &str;
 }
 
+/// An indexed dex: O(1) name lookup plus the original declaration
+/// order (lookup must be fast — exploration probes every provider for
+/// every unresolved name — but `class_names()` order is part of the
+/// deterministic analysis contract, so a plain `HashMap` alone would
+/// leak iteration-order nondeterminism into eager loading).
+#[derive(Debug)]
+struct IndexedClasses {
+    by_name: HashMap<ClassName, Arc<ClassDef>>,
+    order: Vec<ClassName>,
+}
+
+impl IndexedClasses {
+    fn from_iter<'a>(classes: impl Iterator<Item = &'a ClassDef>) -> Self {
+        let mut by_name = HashMap::new();
+        let mut order = Vec::new();
+        for c in classes {
+            if by_name
+                .insert(c.name.clone(), Arc::new(c.clone()))
+                .is_none()
+            {
+                order.push(c.name.clone());
+            }
+        }
+        IndexedClasses { by_name, order }
+    }
+
+    fn find(&self, name: &ClassName) -> Option<Arc<ClassDef>> {
+        self.by_name.get(name).map(Arc::clone)
+    }
+
+    fn names(&self) -> Vec<ClassName> {
+        self.order.clone()
+    }
+}
+
 /// Serves the primary (install-time) dex of an APK.
 #[derive(Debug)]
 pub struct PrimaryDexProvider {
-    classes: Vec<(ClassName, Arc<ClassDef>)>,
+    classes: IndexedClasses,
 }
 
 impl PrimaryDexProvider {
@@ -39,25 +77,18 @@ impl PrimaryDexProvider {
     #[must_use]
     pub fn new(apk: &Apk) -> Self {
         PrimaryDexProvider {
-            classes: apk
-                .primary
-                .classes()
-                .map(|c| (c.name.clone(), Arc::new(c.clone())))
-                .collect(),
+            classes: IndexedClasses::from_iter(apk.primary.classes()),
         }
     }
 }
 
 impl ClassProvider for PrimaryDexProvider {
     fn find_class(&self, name: &ClassName) -> Option<Arc<ClassDef>> {
-        self.classes
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, c)| Arc::clone(c))
+        self.classes.find(name)
     }
 
     fn class_names(&self) -> Vec<ClassName> {
-        self.classes.iter().map(|(n, _)| n.clone()).collect()
+        self.classes.names()
     }
 
     fn label(&self) -> &str {
@@ -69,7 +100,7 @@ impl ClassProvider for PrimaryDexProvider {
 #[derive(Debug)]
 pub struct SecondaryDexProvider {
     name: String,
-    classes: Vec<(ClassName, Arc<ClassDef>)>,
+    classes: IndexedClasses,
 }
 
 impl SecondaryDexProvider {
@@ -78,24 +109,18 @@ impl SecondaryDexProvider {
     pub fn new(dex: &DexFile) -> Self {
         SecondaryDexProvider {
             name: dex.name.clone(),
-            classes: dex
-                .classes()
-                .map(|c| (c.name.clone(), Arc::new(c.clone())))
-                .collect(),
+            classes: IndexedClasses::from_iter(dex.classes()),
         }
     }
 }
 
 impl ClassProvider for SecondaryDexProvider {
     fn find_class(&self, name: &ClassName) -> Option<Arc<ClassDef>> {
-        self.classes
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, c)| Arc::clone(c))
+        self.classes.find(name)
     }
 
     fn class_names(&self) -> Vec<ClassName> {
-        self.classes.iter().map(|(n, _)| n.clone()).collect()
+        self.classes.names()
     }
 
     fn label(&self) -> &str {
@@ -107,27 +132,51 @@ impl ClassProvider for SecondaryDexProvider {
 /// level (the app's target level — the platform the app was compiled
 /// against).
 ///
-/// Materialization is cached **per provider**, not globally: each app
+/// By default materialization is cached **per provider**: each app
 /// analysis stands up its own provider and pays for exactly the
 /// classes *it* materializes, mirroring how every tool run in the
-/// paper loads framework code for itself. This is what makes the
-/// eager-vs-lazy comparison meaningful — an eager tool materializes
-/// the whole platform once per app, a lazy one only its reachable
-/// slice.
+/// paper loads framework code for itself. A batch engine can instead
+/// attach a process-wide [`ShardedClassCache`] via [`with_cache`]
+/// (keyed by `(level, name)`), so identical framework classes
+/// materialize once per batch rather than once per app. Either way the
+/// per-app [`LoadMeter`](crate::LoadMeter) accounting is unchanged:
+/// metering happens in the CLVM on first per-app *load*, not here at
+/// materialization, so an eager tool still pays for the whole platform
+/// per app and a lazy one for its reachable slice.
+///
+/// [`with_cache`]: FrameworkProvider::with_cache
 pub struct FrameworkProvider {
     framework: Arc<AndroidFramework>,
     level: ApiLevel,
-    cache: parking_lot::Mutex<std::collections::HashMap<ClassName, Option<Arc<ClassDef>>>>,
+    local: parking_lot::Mutex<HashMap<ClassName, Option<Arc<ClassDef>>>>,
+    shared: Option<Arc<ShardedClassCache>>,
 }
 
 impl FrameworkProvider {
-    /// Wraps a framework model at `level`.
+    /// Wraps a framework model at `level` with provider-local caching.
     #[must_use]
     pub fn new(framework: Arc<AndroidFramework>, level: ApiLevel) -> Self {
         FrameworkProvider {
             framework,
             level,
-            cache: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            local: parking_lot::Mutex::new(HashMap::new()),
+            shared: None,
+        }
+    }
+
+    /// Wraps a framework model at `level`, serving materializations
+    /// from (and into) a batch-wide shared cache.
+    #[must_use]
+    pub fn with_cache(
+        framework: Arc<AndroidFramework>,
+        level: ApiLevel,
+        cache: Arc<ShardedClassCache>,
+    ) -> Self {
+        FrameworkProvider {
+            framework,
+            level,
+            local: parking_lot::Mutex::new(HashMap::new()),
+            shared: Some(cache),
         }
     }
 
@@ -136,20 +185,26 @@ impl FrameworkProvider {
     pub fn level(&self) -> ApiLevel {
         self.level
     }
+
+    fn materialize(&self, name: &ClassName) -> Option<Arc<ClassDef>> {
+        self.framework
+            .spec()
+            .materialize_class(name, self.level)
+            .map(Arc::new)
+    }
 }
 
 impl ClassProvider for FrameworkProvider {
     fn find_class(&self, name: &ClassName) -> Option<Arc<ClassDef>> {
-        let mut cache = self.cache.lock();
-        if let Some(hit) = cache.get(name) {
+        if let Some(shared) = &self.shared {
+            return shared.get_or_materialize(self.level, name, || self.materialize(name));
+        }
+        let mut local = self.local.lock();
+        if let Some(hit) = local.get(name) {
             return hit.clone();
         }
-        let made = self
-            .framework
-            .spec()
-            .materialize_class(name, self.level)
-            .map(Arc::new);
-        cache.insert(name.clone(), made.clone());
+        let made = self.materialize(name);
+        local.insert(name.clone(), made.clone());
         made
     }
 

@@ -17,7 +17,7 @@ use saint_analysis::{
 use saint_baselines::{Cid, Lint};
 use saint_corpus::{cider_bench, RealWorldConfig, RealWorldCorpus};
 use saint_ir::{codec, ApiLevel, Apk, BodyBuilder, LevelRange, MethodBody};
-use saintdroid::{CompatDetector, SaintDroid};
+use saintdroid::{CompatDetector, SaintDroid, ScanEngine};
 
 fn sample_apk() -> Apk {
     let corpus = RealWorldCorpus::new(RealWorldConfig::small());
@@ -143,12 +143,45 @@ fn bench_detectors(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_scan_batch(c: &mut Criterion) {
+    let fw = Arc::new(AndroidFramework::with_scale(&SynthConfig::medium()));
+    let _ = fw.database();
+    let _ = fw.permission_map();
+    let apks: Vec<Apk> = cider_bench().into_iter().map(|a| a.apk).collect();
+    let mut group = c.benchmark_group("engine/cider_bench");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        // Fresh tool per iteration: no cache survives between runs, the
+        // pre-engine cost model.
+        b.iter(|| {
+            let tool = SaintDroid::new(Arc::clone(&fw));
+            apks.iter()
+                .map(|a| tool.run(std::hint::black_box(a)).total())
+                .sum::<usize>()
+        })
+    });
+    for jobs in [2usize, 4] {
+        group.bench_function(&format!("scan_batch_jobs{jobs}"), |b| {
+            b.iter(|| {
+                ScanEngine::new(Arc::clone(&fw))
+                    .jobs(jobs)
+                    .scan_batch(std::hint::black_box(&apks))
+                    .iter()
+                    .map(saintdroid::Report::total)
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_codec,
     bench_mining,
     bench_loading,
     bench_guards,
-    bench_detectors
+    bench_detectors,
+    bench_scan_batch
 );
 criterion_main!(benches);

@@ -1,0 +1,269 @@
+//! **bench_summary** — headline numbers for the batch scan engine:
+//! sequential `SaintDroid::run` (one plain tool, one app at a time)
+//! vs `ScanEngine::scan_batch` with 4 workers and the batch-wide
+//! caches, over the real-world corpus.
+//!
+//! Each side is timed in a **fresh child process** (best of
+//! `SAINT_REPS`, default 3, alternating sides) so neither side inherits
+//! the other's heap: measuring both in one process lets allocator state
+//! and retained memory from whichever side ran first distort the
+//! second, burying the real difference under noise. Children also emit
+//! a fingerprint over every report; the parent verifies the two sides
+//! produced identical per-app reports (mismatches *and* metered bytes)
+//! before writing `BENCH_scan.json` to the working directory.
+//!
+//! ```text
+//! cargo run --release -p saint-bench --bin bench_summary
+//! SAINT_SCALE=small SAINT_REPS=5 cargo run --release -p saint-bench --bin bench_summary
+//! ```
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use saint_bench::{framework_at, Scale};
+use saint_corpus::RealWorldCorpus;
+use saint_ir::Apk;
+use saintdroid::{Report, SaintDroid, ScanEngine};
+use serde::Serialize;
+
+const SIDE_ENV: &str = "SAINT_BENCH_SIDE";
+const OUT_ENV: &str = "SAINT_BENCH_OUT";
+
+#[derive(Serialize)]
+struct Summary {
+    scale: String,
+    apps: usize,
+    jobs: usize,
+    reps: usize,
+    sequential_secs: f64,
+    batch_secs: f64,
+    sequential_apps_per_sec: f64,
+    batch_apps_per_sec: f64,
+    speedup: f64,
+    peak_loaded_bytes: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_entries: usize,
+    artifact_cache_hits: u64,
+    artifact_cache_misses: u64,
+    scan_cache_hits: u64,
+    scan_cache_misses: u64,
+    mismatches: usize,
+    reports_identical: bool,
+}
+
+/// What one timed child run reports back to the orchestrator.
+#[derive(Serialize, serde::Deserialize)]
+struct SideRun {
+    wall_secs: f64,
+    peak_loaded_bytes: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_entries: usize,
+    artifact_cache_hits: u64,
+    artifact_cache_misses: u64,
+    scan_cache_hits: u64,
+    scan_cache_misses: u64,
+    /// FNV-1a fingerprint over one canonical JSON line per app (the
+    /// mismatches plus the metered loading footprint). FNV is computed
+    /// by hand because it is stable across processes, unlike the
+    /// randomly-keyed std hasher; comparing the two sides' fingerprints
+    /// is the report-parity check.
+    reports_fingerprint: String,
+    mismatches: usize,
+}
+
+fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn corpus_apks(scale: Scale) -> Vec<Apk> {
+    let corpus = RealWorldCorpus::new(scale.realworld_config());
+    (0..corpus.len()).map(|i| corpus.get(i).apk).collect()
+}
+
+fn digest(report: &Report) -> String {
+    let mismatches = serde_json::to_string(&report.mismatches).expect("mismatches serialize");
+    format!(
+        "{}|{}|{}|{}",
+        report.package,
+        mismatches,
+        report.meter.total_bytes(),
+        report.meter.classes_loaded
+    )
+}
+
+/// Child mode: run one side cold and write a [`SideRun`] JSON.
+fn run_side(side: &str, out_path: &str) {
+    let scale = Scale::from_env();
+    let fw = framework_at(scale);
+    let apks = corpus_apks(scale);
+    let engine = match side {
+        // The pre-engine shape: one plain tool, one app at a time,
+        // strictly per-app materialization and analysis.
+        "sequential" => ScanEngine::from_tool(SaintDroid::new(fw)).jobs(1),
+        // The batch engine: worker threads (clamped to the core count)
+        // plus the three batch-wide caches.
+        "batch" => ScanEngine::new(fw).jobs(4),
+        other => panic!("unknown side {other}"),
+    };
+    let start = Instant::now();
+    let reports = engine.scan_batch(&apks);
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let zero = saint_analysis::CacheStats { hits: 0, misses: 0, entries: 0 };
+    let class = engine.cache_stats().unwrap_or(zero);
+    let artifacts = engine.artifact_cache_stats().unwrap_or(zero);
+    let scans = engine.scan_cache_stats().unwrap_or(zero);
+    let run = SideRun {
+        wall_secs,
+        peak_loaded_bytes: reports
+            .iter()
+            .map(|r| r.meter.total_bytes())
+            .max()
+            .unwrap_or(0),
+        cache_hits: class.hits,
+        cache_misses: class.misses,
+        cache_entries: class.entries,
+        artifact_cache_hits: artifacts.hits,
+        artifact_cache_misses: artifacts.misses,
+        scan_cache_hits: scans.hits,
+        scan_cache_misses: scans.misses,
+        reports_fingerprint: {
+            let mut hash = 0xcbf2_9ce4_8422_2325;
+            for report in &reports {
+                hash = fnv1a(digest(report).as_bytes(), hash);
+                hash = fnv1a(b"\n", hash);
+            }
+            format!("{hash:016x}")
+        },
+        mismatches: reports.iter().map(Report::total).sum(),
+    };
+    let json = serde_json::to_string(&run).expect("side run serializes");
+    std::fs::File::create(out_path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write side run");
+}
+
+/// Spawns this binary in child mode and reads its result.
+fn spawn_side(side: &str, out_path: &str) -> SideRun {
+    let exe = std::env::current_exe().expect("own path");
+    let status = std::process::Command::new(exe)
+        .env(SIDE_ENV, side)
+        .env(OUT_ENV, out_path)
+        .status()
+        .expect("spawn side child");
+    assert!(status.success(), "{side} child failed");
+    let text = std::fs::read_to_string(out_path).expect("read side run");
+    serde_json::from_str(&text).expect("side run parses")
+}
+
+fn main() {
+    if let Ok(side) = std::env::var(SIDE_ENV) {
+        let out = std::env::var(OUT_ENV).expect("child needs an output path");
+        run_side(&side, &out);
+        return;
+    }
+
+    let scale = Scale::from_env();
+    let reps: usize = std::env::var("SAINT_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let apps = scale.realworld_config().apps;
+    let jobs = 4;
+    eprintln!(
+        "bench_summary: scale={} apps={apps} — timing each side in {reps} fresh processes",
+        scale.label()
+    );
+
+    let out_dir = std::env::temp_dir();
+    let mut best: Option<(SideRun, SideRun)> = None;
+    for rep in 0..reps {
+        let seq_path = out_dir.join(format!("saint_bench_seq_{rep}.json"));
+        let bat_path = out_dir.join(format!("saint_bench_bat_{rep}.json"));
+        let seq = spawn_side("sequential", seq_path.to_str().expect("utf-8 path"));
+        let bat = spawn_side("batch", bat_path.to_str().expect("utf-8 path"));
+        eprintln!(
+            "  rep {rep}: sequential {:.2}s | batch {:.2}s",
+            seq.wall_secs, bat.wall_secs
+        );
+        assert_eq!(
+            seq.reports_fingerprint, bat.reports_fingerprint,
+            "batch reports diverged from sequential — engine parity is broken"
+        );
+        assert_eq!(seq.mismatches, bat.mismatches);
+        let _ = std::fs::remove_file(seq_path);
+        let _ = std::fs::remove_file(bat_path);
+        best = Some(match best {
+            None => (seq, bat),
+            Some((bs, bb)) => (
+                if seq.wall_secs < bs.wall_secs { seq } else { bs },
+                if bat.wall_secs < bb.wall_secs { bat } else { bb },
+            ),
+        });
+    }
+    let (seq, bat) = best.expect("at least one rep");
+
+    let summary = Summary {
+        scale: scale.label().to_string(),
+        apps,
+        jobs,
+        reps,
+        sequential_secs: seq.wall_secs,
+        batch_secs: bat.wall_secs,
+        sequential_apps_per_sec: apps as f64 / seq.wall_secs.max(f64::EPSILON),
+        batch_apps_per_sec: apps as f64 / bat.wall_secs.max(f64::EPSILON),
+        speedup: seq.wall_secs / bat.wall_secs.max(f64::EPSILON),
+        peak_loaded_bytes: bat.peak_loaded_bytes,
+        cache_hits: bat.cache_hits,
+        cache_misses: bat.cache_misses,
+        cache_entries: bat.cache_entries,
+        artifact_cache_hits: bat.artifact_cache_hits,
+        artifact_cache_misses: bat.artifact_cache_misses,
+        scan_cache_hits: bat.scan_cache_hits,
+        scan_cache_misses: bat.scan_cache_misses,
+        mismatches: bat.mismatches,
+        reports_identical: true,
+    };
+
+    println!(
+        "\nBatch scan engine summary ({} apps, {} scale, best of {} cold runs/side)\n",
+        summary.apps, summary.scale, summary.reps
+    );
+    println!(
+        "sequential: {:>8.2}s  {:>8.1} apps/s",
+        summary.sequential_secs, summary.sequential_apps_per_sec
+    );
+    println!(
+        "jobs={}:     {:>8.2}s  {:>8.1} apps/s  ({:.2}x)",
+        summary.jobs, summary.batch_secs, summary.batch_apps_per_sec, summary.speedup
+    );
+    println!(
+        "peak per-app loaded bytes: {} | class cache: {} hits / {} misses ({} entries)",
+        summary.peak_loaded_bytes,
+        summary.cache_hits,
+        summary.cache_misses,
+        summary.cache_entries
+    );
+    println!(
+        "artifact cache: {} hits / {} misses | subtree scan cache: {} hits / {} misses",
+        summary.artifact_cache_hits,
+        summary.artifact_cache_misses,
+        summary.scan_cache_hits,
+        summary.scan_cache_misses
+    );
+    println!(
+        "{} mismatches; per-app reports identical to sequential: {}",
+        summary.mismatches, summary.reports_identical
+    );
+
+    let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    std::fs::write("BENCH_scan.json", json).expect("write BENCH_scan.json");
+    eprintln!("json: BENCH_scan.json");
+}

@@ -10,12 +10,14 @@
 //! SAINT_SCALE=paper SAINT_APPS=3571 cargo run --release -p saint-bench --bin fig4_memory
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use saint_baselines::Cid;
 use saint_bench::{fmt_mib, framework_at, write_json, Scale};
 use saint_corpus::RealWorldCorpus;
+use saintdroid::engine::{
+    default_jobs, par_map_indexed, ArtifactCache, DeepScanCache, ShardedClassCache,
+};
 use saintdroid::{CompatDetector, SaintDroid};
 use serde::Serialize;
 
@@ -35,38 +37,30 @@ fn main() {
     eprintln!("fig4_memory: scale={} apps={}", scale.label(), cfg.apps);
     let fw = framework_at(scale);
     let corpus = RealWorldCorpus::new(cfg);
-    let saint = SaintDroid::new(Arc::clone(&fw));
+    // This figure reports *metered* bytes, which are exact whether or
+    // not materializations are shared (see `ShardedClassCache` and
+    // `ArtifactCache`), so SAINTDroid gets the batch caches purely to
+    // make the sweep faster.
+    let saint = SaintDroid::new(Arc::clone(&fw))
+        .with_shared_cache(Arc::new(ShardedClassCache::new()))
+        .with_shared_artifact_cache(Arc::new(ArtifactCache::new()))
+        .with_shared_scan_cache(Arc::new(DeepScanCache::new()));
     let cid = Cid::new(Arc::clone(&fw));
 
     let n = corpus.len();
-    let next = AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map_or(4, |p| p.get().min(16));
-    let mut points: Vec<Point> = vec![Point::default(); n];
-    let points_mutex = std::sync::Mutex::new(&mut points);
-
-    crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let app = corpus.get(i);
-                let sr = saint.analyze(&app.apk).expect("SAINTDroid analyzes any app");
-                let cr = cid.analyze(&app.apk);
-                let p = Point {
-                    index: i,
-                    kloc: app.apk.kloc(),
-                    saintdroid_bytes: sr.meter.total_bytes(),
-                    saintdroid_classes: sr.meter.classes_loaded,
-                    cid_bytes: cr.as_ref().map(|r| r.meter.total_bytes()),
-                    cid_classes: cr.as_ref().map(|r| r.meter.classes_loaded),
-                };
-                points_mutex.lock().expect("poisoned")[i] = p;
-            });
+    let points: Vec<Point> = par_map_indexed(default_jobs(), n, |i| {
+        let app = corpus.get(i);
+        let sr = saint.analyze(&app.apk).expect("SAINTDroid analyzes any app");
+        let cr = cid.analyze(&app.apk);
+        Point {
+            index: i,
+            kloc: app.apk.kloc(),
+            saintdroid_bytes: sr.meter.total_bytes(),
+            saintdroid_classes: sr.meter.classes_loaded,
+            cid_bytes: cr.as_ref().map(|r| r.meter.total_bytes()),
+            cid_classes: cr.as_ref().map(|r| r.meter.classes_loaded),
         }
-    })
-    .expect("worker panic");
+    });
 
     let mean = |it: &mut dyn Iterator<Item = usize>| -> (f64, usize, usize, usize) {
         let mut sum = 0usize;

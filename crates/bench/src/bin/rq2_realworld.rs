@@ -20,6 +20,9 @@ use std::sync::Arc;
 
 use saint_bench::{framework_at, write_json, Scale};
 use saint_corpus::{InjectedCounts, RealWorldCorpus};
+use saintdroid::engine::{
+    default_jobs, par_map_indexed, ArtifactCache, DeepScanCache, ShardedClassCache,
+};
 use saintdroid::{CompatDetector, MismatchKind, SaintDroid};
 use serde::Serialize;
 
@@ -56,42 +59,32 @@ fn main() {
     eprintln!("rq2_realworld: scale={} apps={}", scale.label(), cfg.apps);
     let fw = framework_at(scale);
     let corpus = RealWorldCorpus::new(cfg);
-    let saint = SaintDroid::new(Arc::clone(&fw));
+    // Detection counts are cache-invariant, so the whole sweep shares
+    // the batch caches and just finishes sooner.
+    let saint = SaintDroid::new(Arc::clone(&fw))
+        .with_shared_cache(Arc::new(ShardedClassCache::new()))
+        .with_shared_artifact_cache(Arc::new(ArtifactCache::new()))
+        .with_shared_scan_cache(Arc::new(DeepScanCache::new()));
 
     let n = corpus.len();
-    let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map_or(4, |p| p.get().min(16));
-    let mut results: Vec<AppResult> = vec![AppResult::default(); n];
-    let results_mutex = std::sync::Mutex::new(&mut results);
-
-    crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let app = corpus.get(i);
-                let report = saint.analyze(&app.apk).expect("SAINTDroid analyzes any app");
-                let r = AppResult {
-                    index: i,
-                    modern_target: app.apk.manifest.targets_runtime_permissions(),
-                    api: report.count(MismatchKind::ApiInvocation),
-                    apc: report.count(MismatchKind::ApiCallback),
-                    prm_request: report.count(MismatchKind::PermissionRequest),
-                    prm_revocation: report.count(MismatchKind::PermissionRevocation),
-                    injected: app.injected,
-                };
-                results_mutex.lock().expect("poisoned")[i] = r;
-                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                if d.is_multiple_of(200) {
-                    eprintln!("  {d}/{n} apps analyzed");
-                }
-            });
+    let results: Vec<AppResult> = par_map_indexed(default_jobs(), n, |i| {
+        let app = corpus.get(i);
+        let report = saint.analyze(&app.apk).expect("SAINTDroid analyzes any app");
+        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if d.is_multiple_of(200) {
+            eprintln!("  {d}/{n} apps analyzed");
         }
-    })
-    .expect("worker panic");
+        AppResult {
+            index: i,
+            modern_target: app.apk.manifest.targets_runtime_permissions(),
+            api: report.count(MismatchKind::ApiInvocation),
+            apc: report.count(MismatchKind::ApiCallback),
+            prm_request: report.count(MismatchKind::PermissionRequest),
+            prm_revocation: report.count(MismatchKind::PermissionRevocation),
+            injected: app.injected,
+        }
+    });
 
     let api_total: usize = results.iter().map(|r| r.api).sum();
     let api_apps = results.iter().filter(|r| r.api > 0).count();

@@ -20,7 +20,7 @@ use saint_adf::{AndroidFramework, SynthConfig};
 use saint_dynamic::Verifier;
 use saint_ir::{codec, Apk};
 use saintdroid::repair::{repair, RepairOptions};
-use saintdroid::{CompatDetector, SaintDroid};
+use saintdroid::{CompatDetector, SaintDroid, ScanEngine};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,13 +60,17 @@ fn print_help() {
         "SAINTDroid reproduction CLI\n\
          \n\
          usage:\n\
-         \x20 saintdroid scan <app.sapk> [--json] [--synth N]   detect compatibility mismatches\n\
+         \x20 saintdroid scan <app.sapk>... [--json] [--jobs N] [--synth N]\n\
+         \x20                                                   detect compatibility mismatches; several\n\
+         \x20                                                   packages are scanned as one parallel batch\n\
          \x20 saintdroid verify <app.sapk>                      scan, then dynamically verify findings\n\
          \x20 saintdroid repair <app.sapk> -o <out.sapk> [--manifest-fixes]\n\
          \x20                                                   synthesize fixes and write the patched app\n\
          \x20 saintdroid disasm <app.sapk>                      print manifest and smali-like listing\n\
          \x20 saintdroid callgraph <app.sapk>                   emit the explored call graph as Graphviz dot\n\
          \n\
+         --jobs N  scan batches on N worker threads sharing one\n\
+         framework-class cache (default: one per core).\n\
          --synth N grows the framework model with N synthetic classes\n\
          (default: curated surface only)."
     );
@@ -93,19 +97,65 @@ fn framework(args: &[String]) -> Arc<AndroidFramework> {
     }
 }
 
-fn scan(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let Some(path) = args.first() else {
-        return Err("scan: missing <app.sapk>".into());
-    };
-    let apk = load_apk(path)?;
-    let tool = SaintDroid::new(framework(args));
-    let report = tool.analyze(&apk).expect("SAINTDroid analyzes any APK");
-    if args.iter().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&report)?);
-    } else {
-        print!("{report}");
+/// Positional arguments: everything that is neither a flag nor the
+/// value of a value-taking flag (`--synth N`, `--jobs N`).
+fn positionals(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip_value = false;
+    for arg in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if arg == "--synth" || arg == "--jobs" {
+            skip_value = true;
+            continue;
+        }
+        if !arg.starts_with('-') {
+            out.push(arg);
+        }
     }
-    Ok(if report.is_clean() {
+    out
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse::<usize>().ok())
+}
+
+fn scan(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let paths = positionals(args);
+    if paths.is_empty() {
+        return Err("scan: missing <app.sapk>".into());
+    }
+    let apks = paths
+        .iter()
+        .map(|p| load_apk(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut engine = ScanEngine::new(framework(args));
+    if let Some(jobs) = flag_value(args, "--jobs") {
+        engine = engine.jobs(jobs);
+    }
+    let outcome = engine.scan_batch_timed(&apks);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&outcome.reports)?);
+    } else {
+        for report in &outcome.reports {
+            print!("{report}");
+        }
+        if apks.len() > 1 {
+            eprintln!(
+                "scanned {} packages in {:.2}s on {} workers ({:.1} apps/s)",
+                apks.len(),
+                outcome.wall.as_secs_f64(),
+                outcome.workers.len(),
+                outcome.apps_per_sec()
+            );
+        }
+    }
+    Ok(if outcome.reports.iter().all(saintdroid::Report::is_clean) {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(2)

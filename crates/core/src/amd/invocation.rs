@@ -10,32 +10,123 @@
 //! into the framework body* — the beyond-first-level capability that
 //! distinguishes SAINTDroid from CID.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
-use saint_adf::ApiDatabase;
-use saint_analysis::{BlockRanges, MethodArtifacts};
-use saint_ir::{Instr, LevelRange, MethodRef};
+use saint_adf::{ApiDatabase, LifeSpan};
+use saint_analysis::{BlockRanges, CacheStats, MethodArtifacts};
+use saint_ir::{ApiLevel, ClassOrigin, Instr, LevelRange, MethodRef};
 
 use crate::aum::{is_app_origin, AppModel};
 use crate::mismatch::{missing_levels_in, Mismatch, MismatchKind};
 
 const MAX_DEPTH: usize = 48;
 
+/// One mismatch found inside a framework subtree, stored relative to
+/// the subtree root: `via` begins with the root method itself, and
+/// `context` is the guard-refined range at the offending call site
+/// inside the framework body.
+#[derive(Debug, Clone)]
+struct DeepFinding {
+    api: MethodRef,
+    life: LifeSpan,
+    missing: Vec<ApiLevel>,
+    context: LevelRange,
+    via: Vec<MethodRef>,
+}
+
+/// A cached framework-subtree scan.
+#[derive(Clone)]
+enum Cached {
+    /// The subtree stayed inside framework code: its findings depend
+    /// only on the key and replay at any app call site.
+    Findings(Arc<Vec<DeepFinding>>),
+    /// The subtree descended back into app code (callback dispatch),
+    /// so its results are app-specific — always scan it in line.
+    Inline,
+}
+
+/// A cache of framework-subtree scan results, keyed by
+/// `(snapshot level, subtree root, incoming level range)`.
+///
+/// The beyond-first-level descent — following a call from app code into
+/// the framework body and scanning everything below it — is by far the
+/// dominant cost of invocation detection, and its result is
+/// app-invariant: the framework snapshot at a given level is the same
+/// for every app, so the mismatches found under `F` entered with range
+/// `R` are the same wherever `F` is called from. Only the *attribution*
+/// (which app method is the site, the `via` prefix) differs, and that
+/// is recomputed at replay time.
+///
+/// Subtrees that re-enter app code (framework dispatching a callback)
+/// are app-specific; they are marked [`Cached::Inline`] and scanned the
+/// old way.
+///
+/// `detect` uses a private per-app cache (collapsing repeated sites
+/// within one app); the batch engine shares one instance across a whole
+/// corpus so only the first app to reach a subtree pays for it.
+#[derive(Default)]
+pub struct DeepScanCache {
+    map: RwLock<HashMap<(ApiLevel, MethodRef, LevelRange), Cached>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DeepScanCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Activity counters (hits, misses, cached subtrees).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.read().expect("cache lock poisoned").len(),
+        }
+    }
+}
+
+impl std::fmt::Debug for DeepScanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("DeepScanCache")
+            .field("entries", &stats.entries)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
 /// Detects API invocation mismatches in the model.
 #[must_use]
 pub fn detect(model: &AppModel, db: &ApiDatabase) -> Vec<Mismatch> {
+    detect_with(model, db, &DeepScanCache::new())
+}
+
+/// Detects API invocation mismatches, serving framework-subtree scans
+/// from (and filling) `cache`. Results are identical to [`detect`] —
+/// only where the subtree work happens changes.
+#[must_use]
+pub fn detect_with(model: &AppModel, db: &ApiDatabase, cache: &DeepScanCache) -> Vec<Mismatch> {
     let mut ctx = Ctx {
         model,
         db,
         memo: HashSet::new(),
         out: Vec::new(),
+        cache: Some(cache),
+        cacheable: true,
     };
     let roots = context_roots(model, db);
     for root in roots {
         let Some(art) = model.exploration.artifacts(&root) else {
             continue;
         };
-        let art = std::sync::Arc::clone(art);
+        let art = Arc::clone(art);
         let mut chain = Vec::new();
         ctx.scan(&art, model.supported, &mut chain);
     }
@@ -128,6 +219,12 @@ struct Ctx<'a> {
     db: &'a ApiDatabase,
     memo: HashSet<(MethodRef, LevelRange, Option<MethodRef>)>,
     out: Vec<Mismatch>,
+    /// Subtree cache for app→framework boundary descents. `None` inside
+    /// a subtree computation (sub-scans run fully in line).
+    cache: Option<&'a DeepScanCache>,
+    /// Cleared when a sub-scan touches an app-origin frame, poisoning
+    /// the subtree for caching.
+    cacheable: bool,
 }
 
 impl Ctx<'_> {
@@ -135,14 +232,19 @@ impl Ctx<'_> {
         if chain.len() >= MAX_DEPTH {
             return;
         }
+        let caller_is_app = is_app_origin(art.origin);
+        if self.cache.is_none() && caller_is_app {
+            // A subtree computation descended back into app code: its
+            // findings are app-specific and must not be shared.
+            self.cacheable = false;
+        }
         // Memoization: app methods are context-keyed by (method, range)
         // alone — any mismatch found inside is attributed to that
         // method itself. Framework methods additionally key on the
         // *app site* currently on the chain: the same framework subtree
         // reached from two different app sites must yield a finding at
         // each site, not just the first one explored.
-        let key_site = matches!(art.origin, saint_ir::ClassOrigin::Framework)
-            .then(|| self.attribute(chain).0);
+        let key_site = (!caller_is_app && !chain.is_empty()).then(|| self.attribute(chain).0);
         if !self.memo.insert((art.method.clone(), incoming, key_site)) {
             return;
         }
@@ -158,13 +260,19 @@ impl Ctx<'_> {
                 let Instr::Invoke { method: target, .. } = instr else {
                     continue;
                 };
-                self.check_call(target, range, chain);
+                self.check_call(target, range, chain, caller_is_app);
             }
         }
         chain.pop();
     }
 
-    fn check_call(&mut self, target: &MethodRef, range: LevelRange, chain: &mut Vec<MethodRef>) {
+    fn check_call(
+        &mut self,
+        target: &MethodRef,
+        range: LevelRange,
+        chain: &mut Vec<MethodRef>,
+        caller_is_app: bool,
+    ) {
         let resolved = self
             .model
             .exploration
@@ -206,10 +314,116 @@ impl Ctx<'_> {
         // analyzed under the refined range of this call site.
         if let Some(r) = resolved {
             if let Some(callee) = self.model.exploration.artifacts(&r) {
-                let callee = std::sync::Arc::clone(callee);
+                let callee = Arc::clone(callee);
+                if caller_is_app && matches!(callee.origin, ClassOrigin::Framework) {
+                    if let Some(cache) = self.cache {
+                        self.enter_framework(cache, &r, &callee, range, chain);
+                        return;
+                    }
+                }
                 self.scan(&callee, range, chain);
             }
         }
+    }
+
+    /// Crosses the app→framework boundary: serves the subtree's
+    /// findings from the cache (attributing them to the current site)
+    /// instead of re-scanning the framework body, computing and caching
+    /// them on first visit.
+    fn enter_framework(
+        &mut self,
+        cache: &DeepScanCache,
+        root: &MethodRef,
+        art: &Arc<MethodArtifacts>,
+        range: LevelRange,
+        chain: &mut Vec<MethodRef>,
+    ) {
+        let (site, via_prefix) = self.attribute(chain);
+        // Same suppression the in-line scan's memo applies: one visit
+        // of a given subtree context per app site.
+        let memo_key = (root.clone(), range, Some(site.clone()));
+        if self.memo.contains(&memo_key) {
+            return;
+        }
+        let key = (self.model.target, root.clone(), range);
+        let entry = cache.map.read().expect("cache lock poisoned").get(&key).cloned();
+        let entry = match entry {
+            Some(e) => {
+                cache.hits.fetch_add(1, Ordering::Relaxed);
+                e
+            }
+            None => {
+                cache.misses.fetch_add(1, Ordering::Relaxed);
+                let computed = self.compute_subtree(art, range);
+                // First insert wins if two workers raced on the key.
+                cache
+                    .map
+                    .write()
+                    .expect("cache lock poisoned")
+                    .entry(key)
+                    .or_insert(computed)
+                    .clone()
+            }
+        };
+        match entry {
+            // App-specific subtree: scan it in line, exactly as without
+            // a cache (`scan` maintains the memo itself).
+            Cached::Inline => self.scan(art, range, chain),
+            Cached::Findings(findings) => {
+                self.memo.insert(memo_key);
+                for f in findings.iter() {
+                    let mut via = via_prefix.clone();
+                    via.extend(f.via.iter().cloned());
+                    self.out.push(Mismatch {
+                        kind: MismatchKind::ApiInvocation,
+                        site: site.clone(),
+                        api: f.api.clone(),
+                        api_life: Some(f.life),
+                        missing_levels: f.missing.clone(),
+                        context: Some(f.context),
+                        permission: None,
+                        via,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Scans a framework subtree in a fresh context (empty chain, fresh
+    /// memo) and packages its findings relative to the subtree root.
+    fn compute_subtree(&self, root: &Arc<MethodArtifacts>, range: LevelRange) -> Cached {
+        let mut sub = Ctx {
+            model: self.model,
+            db: self.db,
+            memo: HashSet::new(),
+            out: Vec::new(),
+            cache: None,
+            cacheable: true,
+        };
+        let mut chain = Vec::new();
+        sub.scan(root, range, &mut chain);
+        if !sub.cacheable {
+            return Cached::Inline;
+        }
+        let findings = sub
+            .out
+            .into_iter()
+            .map(|m| {
+                // With an all-framework chain, `attribute` fell back to
+                // the subtree root as the site; fold it back into the
+                // hop chain so replay can prepend the real site.
+                let mut via = vec![m.site];
+                via.extend(m.via);
+                DeepFinding {
+                    api: m.api,
+                    life: m.api_life.expect("invocation findings carry a lifespan"),
+                    missing: m.missing_levels,
+                    context: m.context.expect("invocation findings carry a context"),
+                    via,
+                }
+            })
+            .collect();
+        Cached::Findings(Arc::new(findings))
     }
 
     /// Splits the current chain into (site, via): the site is the last

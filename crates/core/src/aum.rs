@@ -12,8 +12,8 @@ use std::sync::Arc;
 
 use saint_adf::AndroidFramework;
 use saint_analysis::{
-    app_method_roots, explore, Clvm, Exploration, ExploreConfig, FrameworkProvider,
-    PrimaryDexProvider, SecondaryDexProvider,
+    app_method_roots, explore_cached, ArtifactCache, Clvm, Exploration, ExploreConfig,
+    FrameworkProvider, PrimaryDexProvider, SecondaryDexProvider, ShardedClassCache,
 };
 use saint_ir::{ApiLevel, Apk, ClassDef, ClassName, ClassOrigin, LevelRange, Manifest};
 
@@ -73,18 +73,42 @@ impl Aum {
     /// Builds the analysis model for an APK against a framework.
     #[must_use]
     pub fn build(apk: &Apk, framework: &Arc<AndroidFramework>, config: &ExploreConfig) -> AppModel {
+        Self::build_cached(apk, framework, config, None, None)
+    }
+
+    /// Builds the analysis model, optionally serving framework-class
+    /// materializations from a batch-wide [`ShardedClassCache`] and
+    /// framework-method artifacts (CFG + abstract state) from a
+    /// batch-wide [`ArtifactCache`]. The resulting model (and its
+    /// per-app meter) is identical either way; only where the work
+    /// happens moves from per-app to per-batch.
+    #[must_use]
+    pub fn build_cached(
+        apk: &Apk,
+        framework: &Arc<AndroidFramework>,
+        config: &ExploreConfig,
+        cache: Option<&Arc<ShardedClassCache>>,
+        artifacts: Option<&Arc<ArtifactCache>>,
+    ) -> AppModel {
         let target = apk.manifest.target_sdk.clamp_modeled();
         let mut clvm = Clvm::new();
         clvm.add_provider(Box::new(PrimaryDexProvider::new(apk)));
         for dex in &apk.secondary {
             clvm.add_provider(Box::new(SecondaryDexProvider::new(dex)));
         }
-        clvm.add_provider(Box::new(FrameworkProvider::new(
-            Arc::clone(framework),
-            target,
-        )));
+        clvm.add_provider(Box::new(match cache {
+            Some(cache) => {
+                FrameworkProvider::with_cache(Arc::clone(framework), target, Arc::clone(cache))
+            }
+            None => FrameworkProvider::new(Arc::clone(framework), target),
+        }));
 
-        let exploration = explore(&mut clvm, app_method_roots(apk), config);
+        let exploration = explore_cached(
+            &mut clvm,
+            app_method_roots(apk),
+            config,
+            artifacts.map(|a| (a.as_ref(), target)),
+        );
 
         // Snapshot the package's classes and resolve each one's
         // framework ancestor (cheap: classes on the chain are loaded at

@@ -1,0 +1,393 @@
+//! The batch scan engine: work-stealing parallelism over many APKs.
+//!
+//! The paper's RQ3 scalability claim rests on analyzing thousands of
+//! apps; doing that one-at-a-time wastes both cores and the fact that
+//! every app targeting level L materializes the same framework
+//! classes. [`ScanEngine`] fixes both: it shares one
+//! [`ShardedClassCache`] across the whole batch and drains the app
+//! list with a pool of scoped worker threads pulling indices off an
+//! atomic counter — natural work stealing, since a worker that drew a
+//! small app simply comes back for the next index while a worker stuck
+//! on a 300-KLOC app keeps crunching.
+//!
+//! Determinism: reports come back in input order, and each report is
+//! bit-identical to what a sequential [`SaintDroid::run`] over the
+//! same app produces (mismatches *and* per-app meter) — asserted by
+//! the `engine_parity` integration tests. Timing fields naturally
+//! differ run to run.
+//!
+//! The same primitive is exposed as [`par_map`] / [`par_map_indexed`]
+//! for harnesses that interleave other per-app work (timing baseline
+//! tools, reading corpus metadata) with the scan.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use saint_adf::AndroidFramework;
+use saint_ir::Apk;
+
+pub use crate::amd::invocation::DeepScanCache;
+pub use saint_analysis::{ArtifactCache, CacheStats, ShardedClassCache};
+
+use crate::report::Report;
+use crate::saintdroid::SaintDroid;
+
+/// A parallel scanner over batches of APKs.
+pub struct ScanEngine {
+    tool: SaintDroid,
+    jobs: usize,
+}
+
+/// What one worker thread did during a batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStat {
+    /// Apps this worker analyzed.
+    pub apps: usize,
+    /// Time this worker spent inside `SaintDroid::run`.
+    pub busy: Duration,
+}
+
+/// The outcome of [`ScanEngine::scan_batch_timed`].
+#[derive(Debug)]
+pub struct BatchScan {
+    /// One report per input APK, in input order.
+    pub reports: Vec<Report>,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+    /// Per-worker accounting (length = worker count actually used).
+    pub workers: Vec<WorkerStat>,
+}
+
+impl BatchScan {
+    /// Batch throughput in apps per second of wall time.
+    #[must_use]
+    pub fn apps_per_sec(&self) -> f64 {
+        self.reports.len() as f64 / self.wall.as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// The largest per-app materialized footprint in the batch — the
+    /// deterministic stand-in for peak RSS (paper Figure 4).
+    #[must_use]
+    pub fn peak_loaded_bytes(&self) -> usize {
+        self.reports
+            .iter()
+            .map(|r| r.meter.total_bytes())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// The default worker count: one per available core, capped.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(4, |p| p.get().min(16))
+}
+
+/// Workers actually worth running for `n` CPU-bound items: never more
+/// than requested, than items, or than hardware threads.
+fn effective_workers(requested: usize, n: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(usize::MAX, |p| p.get());
+    requested.min(n).min(cores).max(1)
+}
+
+impl ScanEngine {
+    /// An engine over a framework model with [`default_jobs`] workers
+    /// and fresh batch-wide caches: framework classes, framework-method
+    /// artifacts, and framework subtree scans.
+    #[must_use]
+    pub fn new(framework: Arc<AndroidFramework>) -> Self {
+        Self::from_tool(
+            SaintDroid::new(framework)
+                .with_shared_cache(Arc::new(ShardedClassCache::new()))
+                .with_shared_artifact_cache(Arc::new(ArtifactCache::new()))
+                .with_shared_scan_cache(Arc::new(DeepScanCache::new())),
+        )
+    }
+
+    /// Wraps an already-configured tool (custom exploration policy,
+    /// pre-warmed or absent cache). The tool is used as-is: pass one
+    /// *without* a shared cache to get parallelism with strictly
+    /// per-app materialization.
+    #[must_use]
+    pub fn from_tool(tool: SaintDroid) -> Self {
+        ScanEngine {
+            tool,
+            jobs: default_jobs(),
+        }
+    }
+
+    /// Sets the requested worker count (clamped to at least 1).
+    /// `jobs(1)` scans sequentially on the calling thread.
+    ///
+    /// The count actually used is additionally capped at the machine's
+    /// available parallelism: analysis is CPU-bound, so threads beyond
+    /// the core count only add context switching and lock handoff —
+    /// on a single-core machine `jobs(4)` degrades to a sequential
+    /// scan that still enjoys the batch-wide class cache.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn job_count(&self) -> usize {
+        self.jobs
+    }
+
+    /// The underlying analyzer.
+    #[must_use]
+    pub fn tool(&self) -> &SaintDroid {
+        &self.tool
+    }
+
+    /// Activity counters of the batch class cache, if the tool carries
+    /// one.
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.tool.shared_cache().map(|c| c.stats())
+    }
+
+    /// Activity counters of the batch framework-subtree scan cache, if
+    /// the tool carries one.
+    #[must_use]
+    pub fn scan_cache_stats(&self) -> Option<CacheStats> {
+        self.tool.shared_scan_cache().map(|c| c.stats())
+    }
+
+    /// Activity counters of the batch framework-artifact cache, if the
+    /// tool carries one.
+    #[must_use]
+    pub fn artifact_cache_stats(&self) -> Option<CacheStats> {
+        self.tool.shared_artifact_cache().map(|c| c.stats())
+    }
+
+    /// Scans a batch, returning one report per APK in input order.
+    #[must_use]
+    pub fn scan_batch(&self, apks: &[Apk]) -> Vec<Report> {
+        self.scan_batch_timed(apks).reports
+    }
+
+    /// Scans a batch and reports wall time plus per-worker accounting.
+    #[must_use]
+    pub fn scan_batch_timed(&self, apks: &[Apk]) -> BatchScan {
+        let start = Instant::now();
+        let workers = effective_workers(self.jobs, apks.len());
+        if workers == 1 {
+            let mut stat = WorkerStat::default();
+            let reports = apks
+                .iter()
+                .map(|apk| {
+                    let t = Instant::now();
+                    let r = self.tool.run(apk);
+                    stat.busy += t.elapsed();
+                    stat.apps += 1;
+                    r
+                })
+                .collect();
+            return BatchScan {
+                reports,
+                wall: start.elapsed(),
+                workers: vec![stat],
+            };
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<Report>> = (0..apks.len()).map(|_| OnceLock::new()).collect();
+        let stats = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut stat = WorkerStat::default();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(apk) = apks.get(i) else { break };
+                            let t = Instant::now();
+                            let report = self.tool.run(apk);
+                            stat.busy += t.elapsed();
+                            stat.apps += 1;
+                            // Each index is drawn exactly once, so the
+                            // slot is always empty here.
+                            let _ = slots[i].set(report);
+                        }
+                        stat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        });
+        let reports = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every index was scanned"))
+            .collect();
+        BatchScan {
+            reports,
+            wall: start.elapsed(),
+            workers: stats,
+        }
+    }
+}
+
+impl std::fmt::Debug for ScanEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanEngine")
+            .field("jobs", &self.jobs)
+            .field("shared_cache", &self.tool.shared_cache().is_some())
+            .finish()
+    }
+}
+
+/// Applies `f(index)` for every index in `0..n` across `jobs` scoped
+/// worker threads (work-stealing via an atomic index), collecting the
+/// results in index order. With `jobs <= 1` or `n <= 1` it runs on the
+/// calling thread.
+///
+/// This is the engine's scheduling core with the scan swapped out —
+/// the experiment harnesses use it to time baseline tools and read
+/// corpus metadata in the same pass as the SAINTDroid scan.
+pub fn par_map_indexed<R, F>(jobs: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send + Sync,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = effective_workers(jobs, n);
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let _ = slots[i].set(f(i));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("par_map worker panicked");
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every index was mapped"))
+        .collect()
+}
+
+/// [`par_map_indexed`] over a slice: `f(index, &items[index])`.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_indexed(jobs, items.len(), |i| f(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saint_ir::{ApiLevel, ApkBuilder, BodyBuilder, ClassBuilder, ClassOrigin};
+
+    fn apk(pkg: &str, call_modern_api: bool) -> Apk {
+        let main = ClassBuilder::new(format!("{pkg}.Main"), ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", |b: &mut BodyBuilder| {
+                if call_modern_api {
+                    b.invoke_virtual(
+                        saint_adf::well_known::context_get_color_state_list(),
+                        &[],
+                        None,
+                    );
+                }
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        ApkBuilder::new(pkg, ApiLevel::new(19), ApiLevel::new(28))
+            .activity(format!("{pkg}.Main"))
+            .class(main)
+            .unwrap()
+            .build()
+    }
+
+    fn small_batch() -> Vec<Apk> {
+        (0..6).map(|i| apk(&format!("p{i}"), i % 2 == 0)).collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_run() {
+        let fw = Arc::new(AndroidFramework::curated());
+        let apks = small_batch();
+        let sequential: Vec<Report> =
+            apks.iter().map(|a| SaintDroid::new(Arc::clone(&fw)).run(a)).collect();
+        let batch = ScanEngine::new(Arc::clone(&fw)).jobs(3).scan_batch(&apks);
+        assert_eq!(batch.len(), sequential.len());
+        for (b, s) in batch.iter().zip(&sequential) {
+            assert_eq!(b.package, s.package);
+            assert_eq!(b.mismatches, s.mismatches);
+            assert_eq!(b.meter.total_bytes(), s.meter.total_bytes());
+        }
+    }
+
+    #[test]
+    fn batch_cache_deduplicates_materialization() {
+        let fw = Arc::new(AndroidFramework::curated());
+        let engine = ScanEngine::new(fw).jobs(2);
+        let _ = engine.scan_batch(&small_batch());
+        let stats = engine.cache_stats().expect("engine installs a cache");
+        assert!(stats.hits > 0, "6 similar apps must share classes: {stats:?}");
+        assert!(stats.entries > 0);
+    }
+
+    #[test]
+    fn timed_scan_accounts_every_app_once() {
+        let fw = Arc::new(AndroidFramework::curated());
+        let apks = small_batch();
+        let outcome = ScanEngine::new(fw).jobs(4).scan_batch_timed(&apks);
+        assert_eq!(outcome.reports.len(), apks.len());
+        let worked: usize = outcome.workers.iter().map(|w| w.apps).sum();
+        assert_eq!(worked, apks.len());
+        assert!(outcome.wall > Duration::ZERO);
+        assert!(outcome.apps_per_sec() > 0.0);
+        assert!(outcome.peak_loaded_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let fw = Arc::new(AndroidFramework::curated());
+        let outcome = ScanEngine::new(fw).scan_batch_timed(&[]);
+        assert!(outcome.reports.is_empty());
+        assert_eq!(outcome.peak_loaded_bytes(), 0);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let squares = par_map_indexed(5, 100, |i| i * i);
+        assert_eq!(squares.len(), 100);
+        for (i, sq) in squares.iter().enumerate() {
+            assert_eq!(*sq, i * i);
+        }
+        let items: Vec<usize> = (0..37).collect();
+        let doubled = par_map(3, &items, |i, v| {
+            assert_eq!(i, *v);
+            v * 2
+        });
+        assert_eq!(doubled, items.iter().map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_sequential_fallback() {
+        assert_eq!(par_map_indexed(1, 4, |i| i + 1), vec![1, 2, 3, 4]);
+        assert_eq!(par_map_indexed(8, 0, |i| i), Vec::<usize>::new());
+    }
+}

@@ -50,12 +50,14 @@ pub mod amd;
 mod arm;
 mod aum;
 mod detector;
+pub mod engine;
 mod mismatch;
 pub mod repair;
 mod report;
 mod saintdroid;
 
 pub use arm::Arm;
+pub use engine::{BatchScan, ScanEngine, WorkerStat};
 pub use aum::{is_app_origin, AppModel, Aum};
 pub use detector::{Capabilities, CompatDetector};
 pub use mismatch::{is_mismatch_region, missing_levels_in, Mismatch, MismatchKind};

@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use saint_adf::AndroidFramework;
-use saint_analysis::ExploreConfig;
+use saint_analysis::{ArtifactCache, ExploreConfig, ShardedClassCache};
 use saint_ir::Apk;
 
 use crate::amd;
@@ -32,15 +32,23 @@ use crate::report::Report;
 pub struct SaintDroid {
     arm: Arm,
     config: ExploreConfig,
+    cache: Option<Arc<ShardedClassCache>>,
+    artifact_cache: Option<Arc<ArtifactCache>>,
+    scan_cache: Option<Arc<amd::invocation::DeepScanCache>>,
 }
 
 impl SaintDroid {
-    /// Creates the analyzer over a framework model.
+    /// Creates the analyzer over a framework model. Each analysis
+    /// materializes framework classes for itself (no cross-app
+    /// sharing) — the configuration every single-app consumer wants.
     #[must_use]
     pub fn new(framework: Arc<AndroidFramework>) -> Self {
         SaintDroid {
             arm: Arm::new(framework),
             config: ExploreConfig::saintdroid(),
+            cache: None,
+            artifact_cache: None,
+            scan_cache: None,
         }
     }
 
@@ -51,7 +59,62 @@ impl SaintDroid {
         SaintDroid {
             arm: Arm::new(framework),
             config,
+            cache: None,
+            artifact_cache: None,
+            scan_cache: None,
         }
+    }
+
+    /// Attaches a batch-wide framework-class cache: every app analyzed
+    /// through this instance materializes framework classes at most
+    /// once per `(level, class)` for the lifetime of the cache. Reports
+    /// (mismatches *and* per-app meter) are identical with or without
+    /// it; see [`ShardedClassCache`] for why metering stays exact.
+    #[must_use]
+    pub fn with_shared_cache(mut self, cache: Arc<ShardedClassCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached batch cache, if any.
+    #[must_use]
+    pub fn shared_cache(&self) -> Option<&Arc<ShardedClassCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Attaches a batch-wide framework-artifact cache: the CFG and
+    /// abstract state of a framework method are built at most once per
+    /// `(level, method)` for the lifetime of the cache. Reports
+    /// (mismatches *and* per-app meter) are identical with or without
+    /// it; see [`ArtifactCache`].
+    #[must_use]
+    pub fn with_shared_artifact_cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.artifact_cache = Some(cache);
+        self
+    }
+
+    /// The attached artifact cache, if any.
+    #[must_use]
+    pub fn shared_artifact_cache(&self) -> Option<&Arc<ArtifactCache>> {
+        self.artifact_cache.as_ref()
+    }
+
+    /// Attaches a batch-wide framework-subtree scan cache: the
+    /// beyond-first-level descent into a framework body is scanned at
+    /// most once per `(level, method, incoming range)` for the lifetime
+    /// of the cache, and replayed (re-attributed to each call site)
+    /// everywhere else. Reports are identical with or without it; see
+    /// [`DeepScanCache`](amd::invocation::DeepScanCache).
+    #[must_use]
+    pub fn with_shared_scan_cache(mut self, cache: Arc<amd::invocation::DeepScanCache>) -> Self {
+        self.scan_cache = Some(cache);
+        self
+    }
+
+    /// The attached subtree scan cache, if any.
+    #[must_use]
+    pub fn shared_scan_cache(&self) -> Option<&Arc<amd::invocation::DeepScanCache>> {
+        self.scan_cache.as_ref()
     }
 
     /// The revision modeler (ARM) component.
@@ -65,7 +128,13 @@ impl SaintDroid {
     /// developers, end-users, and third-party reviewers").
     #[must_use]
     pub fn model(&self, apk: &Apk) -> AppModel {
-        Aum::build(apk, self.arm.framework(), &self.config)
+        Aum::build_cached(
+            apk,
+            self.arm.framework(),
+            &self.config,
+            self.cache.as_ref(),
+            self.artifact_cache.as_ref(),
+        )
     }
 
     /// Runs the full pipeline and returns the report.
@@ -77,7 +146,10 @@ impl SaintDroid {
         let pm = self.arm.permission_map();
 
         let mut report = Report::new(apk.manifest.package.clone(), self.name());
-        report.extend_deduped(amd::invocation::detect(&model, &db));
+        report.extend_deduped(match &self.scan_cache {
+            Some(cache) => amd::invocation::detect_with(&model, &db, cache),
+            None => amd::invocation::detect(&model, &db),
+        });
         report.extend_deduped(amd::callback::detect(&model, &db));
         report.extend_deduped(amd::permission::detect(&model, &pm));
         report.duration = start.elapsed();

@@ -461,7 +461,7 @@ pub fn generate_app(cfg: &RealWorldConfig, index: usize, safe_menu: &[MethodRef]
     let vocab: Vec<MethodRef> = if safe_menu.is_empty() {
         Vec::new()
     } else {
-        let k = rng.gen_range(6..=30).min(safe_menu.len());
+        let k = rng.gen_range(6usize..=30).min(safe_menu.len());
         (0..k)
             .map(|_| safe_menu[rng.gen_range(0..safe_menu.len())].clone())
             .collect()

@@ -1,0 +1,82 @@
+//! Batch-engine parity: `ScanEngine::scan_batch` over CIDER-Bench must
+//! be indistinguishable (mismatches *and* per-app metered bytes) from
+//! running `SaintDroid::run` on each app sequentially — the engine's
+//! shared framework-class cache and its work-stealing schedule may
+//! change *when* and *where* classes materialize, never what an app
+//! loads or what the detectors find.
+
+use std::sync::Arc;
+
+use saint_adf::AndroidFramework;
+use saint_corpus::{cider_bench, RealWorldConfig, RealWorldCorpus};
+use saint_ir::Apk;
+use saintdroid::{Report, SaintDroid, ScanEngine};
+
+fn framework() -> Arc<AndroidFramework> {
+    Arc::new(AndroidFramework::curated())
+}
+
+fn sequential_reports(fw: &Arc<AndroidFramework>, apks: &[Apk]) -> Vec<Report> {
+    let tool = SaintDroid::new(Arc::clone(fw));
+    apks.iter().map(|a| tool.run(a)).collect()
+}
+
+fn assert_parity(sequential: &[Report], batch: &[Report]) {
+    assert_eq!(sequential.len(), batch.len());
+    for (s, b) in sequential.iter().zip(batch) {
+        assert_eq!(s.package, b.package, "batch reports must keep input order");
+        assert_eq!(
+            s.mismatches, b.mismatches,
+            "{}: batch scan changed the findings",
+            s.package
+        );
+        assert_eq!(
+            s.meter.total_bytes(),
+            b.meter.total_bytes(),
+            "{}: batch scan changed the per-app metered bytes",
+            s.package
+        );
+        assert_eq!(
+            s.meter.classes_loaded, b.meter.classes_loaded,
+            "{}: batch scan changed the per-app loaded-class count",
+            s.package
+        );
+    }
+}
+
+#[test]
+fn cider_bench_batch_matches_sequential() {
+    let fw = framework();
+    let apks: Vec<Apk> = cider_bench().into_iter().map(|a| a.apk).collect();
+    let sequential = sequential_reports(&fw, &apks);
+
+    let engine = ScanEngine::new(Arc::clone(&fw)).jobs(4);
+    let batch = engine.scan_batch(&apks);
+    assert_parity(&sequential, &batch);
+
+    // The 12 apps overlap heavily in framework usage: the shared cache
+    // must actually have been exercised, not silently bypassed.
+    let stats = engine.cache_stats().expect("engine installs a cache");
+    assert!(stats.hits > 0, "no cross-app cache hits recorded: {stats:?}");
+}
+
+#[test]
+fn cider_bench_parity_holds_without_shared_cache() {
+    let fw = framework();
+    let apks: Vec<Apk> = cider_bench().into_iter().map(|a| a.apk).collect();
+    let sequential = sequential_reports(&fw, &apks);
+    let batch = ScanEngine::from_tool(SaintDroid::new(Arc::clone(&fw)))
+        .jobs(3)
+        .scan_batch(&apks);
+    assert_parity(&sequential, &batch);
+}
+
+#[test]
+fn realworld_sample_batch_matches_sequential() {
+    let fw = framework();
+    let corpus = RealWorldCorpus::new(RealWorldConfig::small());
+    let apks: Vec<Apk> = (0..24.min(corpus.len())).map(|i| corpus.get(i).apk).collect();
+    let sequential = sequential_reports(&fw, &apks);
+    let batch = ScanEngine::new(Arc::clone(&fw)).jobs(4).scan_batch(&apks);
+    assert_parity(&sequential, &batch);
+}

@@ -51,6 +51,7 @@ mod builder;
 mod class;
 pub mod codec;
 mod error;
+pub mod intern;
 mod instr;
 mod level;
 mod manifest;
@@ -61,6 +62,7 @@ pub use body::{BasicBlock, BlockId, MethodBody, Terminator};
 pub use builder::{ApkBuilder, BodyBuilder, ClassBuilder};
 pub use class::{ClassDef, ClassOrigin, FieldDef, MethodDef, MethodFlags};
 pub use error::{CodecError, IrError};
+pub use intern::{intern, intern_stats, InternStats};
 pub use instr::{BinOp, Cond, Instr, InvokeKind, Operand, Reg};
 pub use level::{ApiLevel, LevelRange};
 pub use manifest::{Component, ComponentKind, Manifest};

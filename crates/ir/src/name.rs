@@ -15,7 +15,9 @@ use serde::{Deserialize, Serialize};
 /// `android.app.Activity` or `com.example.app.MainActivity$1`.
 ///
 /// Cheap to clone (`Arc<str>` internally) because class names are shared
-/// pervasively across graphs, worklists and reports.
+/// pervasively across graphs, worklists and reports. Construction goes
+/// through the global [interner](crate::intern), so equal names share
+/// one allocation process-wide.
 ///
 /// # Examples
 ///
@@ -35,8 +37,8 @@ pub struct ClassName(Arc<str>);
 impl ClassName {
     /// Creates a class name from its dotted textual form.
     #[must_use]
-    pub fn new(name: impl Into<Arc<str>>) -> Self {
-        ClassName(name.into())
+    pub fn new(name: impl Into<Arc<str>> + AsRef<str>) -> Self {
+        ClassName(crate::intern::intern(name))
     }
 
     /// The full dotted name.
@@ -140,13 +142,13 @@ impl MethodRef {
     #[must_use]
     pub fn new(
         class: impl Into<ClassName>,
-        name: impl Into<Arc<str>>,
-        descriptor: impl Into<Arc<str>>,
+        name: impl Into<Arc<str>> + AsRef<str>,
+        descriptor: impl Into<Arc<str>> + AsRef<str>,
     ) -> Self {
         MethodRef {
             class: class.into(),
-            name: name.into(),
-            descriptor: descriptor.into(),
+            name: crate::intern::intern(name),
+            descriptor: crate::intern::intern(descriptor),
         }
     }
 
@@ -194,10 +196,13 @@ pub struct MethodSig {
 impl MethodSig {
     /// Creates a signature.
     #[must_use]
-    pub fn new(name: impl Into<Arc<str>>, descriptor: impl Into<Arc<str>>) -> Self {
+    pub fn new(
+        name: impl Into<Arc<str>> + AsRef<str>,
+        descriptor: impl Into<Arc<str>> + AsRef<str>,
+    ) -> Self {
         MethodSig {
-            name: name.into(),
-            descriptor: descriptor.into(),
+            name: crate::intern::intern(name),
+            descriptor: crate::intern::intern(descriptor),
         }
     }
 
@@ -241,10 +246,10 @@ pub struct FieldRef {
 impl FieldRef {
     /// Creates a field reference.
     #[must_use]
-    pub fn new(class: impl Into<ClassName>, name: impl Into<Arc<str>>) -> Self {
+    pub fn new(class: impl Into<ClassName>, name: impl Into<Arc<str>> + AsRef<str>) -> Self {
         FieldRef {
             class: class.into(),
-            name: name.into(),
+            name: crate::intern::intern(name),
         }
     }
 
@@ -277,8 +282,8 @@ pub struct Permission(Arc<str>);
 impl Permission {
     /// Creates a permission from its full string form.
     #[must_use]
-    pub fn new(name: impl Into<Arc<str>>) -> Self {
-        Permission(name.into())
+    pub fn new(name: impl Into<Arc<str>> + AsRef<str>) -> Self {
+        Permission(crate::intern::intern(name))
     }
 
     /// Shorthand: prefixes `android.permission.` onto a bare name.
@@ -292,7 +297,7 @@ impl Permission {
     /// ```
     #[must_use]
     pub fn android(short: &str) -> Self {
-        Permission(format!("android.permission.{short}").into())
+        Permission::new(format!("android.permission.{short}"))
     }
 
     /// The full permission string.

@@ -1,0 +1,60 @@
+//! Property tests for the global name interner: interning must be a
+//! pure identity on the text (round-trips any name unchanged) while
+//! collapsing equal texts to one allocation.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use saint_ir::{intern, ClassName, MethodRef};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Interning returns exactly the text that went in, for arbitrary
+    /// (including non-identifier, non-ASCII) strings.
+    #[test]
+    fn intern_round_trips_arbitrary_text(s in ".{0,64}") {
+        let interned = intern(s.clone());
+        prop_assert_eq!(&*interned, s.as_str());
+    }
+
+    /// Equal texts intern to the same allocation regardless of the
+    /// owned/borrowed shape they arrive in.
+    #[test]
+    fn equal_texts_share_one_allocation(s in "[a-zA-Z0-9_$.]{1,48}") {
+        let a = intern(s.clone());
+        let b = intern(s.as_str());
+        let c = intern(Arc::<str>::from(s.as_str()));
+        prop_assert!(Arc::ptr_eq(&a, &b));
+        prop_assert!(Arc::ptr_eq(&b, &c));
+    }
+
+    /// Distinct texts stay distinct — interning never conflates names.
+    #[test]
+    fn distinct_texts_stay_distinct(
+        a in "[a-z][a-z0-9_]{0,24}",
+        suffix in "[A-Z][a-z0-9]{0,8}",
+    ) {
+        let b = format!("{a}.{suffix}");
+        prop_assert_ne!(&*intern(a.clone()), &*intern(b.clone()));
+        prop_assert_eq!(&*intern(a.clone()), a.as_str());
+        prop_assert_eq!(&*intern(b.clone()), b.as_str());
+    }
+
+    /// The public name types ride the interner: building the same class
+    /// name twice yields pointer-equal backing text, and the text is
+    /// preserved through `MethodRef` plumbing.
+    #[test]
+    fn class_names_round_trip_through_interner(
+        name in "[a-z][a-z0-9_]{0,8}(\\.[A-Z][a-zA-Z0-9_$]{0,8}){1,3}",
+        method in "[a-z][a-zA-Z0-9_]{0,16}",
+    ) {
+        let c1 = ClassName::new(name.clone());
+        let c2 = ClassName::new(name.clone());
+        prop_assert_eq!(c1.as_str(), name.as_str());
+        prop_assert_eq!(&c1, &c2);
+        let m = MethodRef::new(name.clone(), method.clone(), "()V");
+        prop_assert_eq!(m.class.as_str(), name.as_str());
+        prop_assert_eq!(&*m.name, method.as_str());
+    }
+}

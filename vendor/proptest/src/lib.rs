@@ -1,0 +1,142 @@
+//! Hermetic stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Differences from upstream, deliberately accepted for this repo:
+//!
+//! - **No shrinking.** A failing case reports its inputs' `Debug` via
+//!   the assertion message and the case seed; it is not minimized.
+//! - **Deterministic seeding.** Case N of test T always sees the same
+//!   input stream, derived from (file, test name, N). There is no
+//!   persistence file; `.proptest-regressions` files are ignored.
+//! - **Generate-only strategies.** `Strategy` is "produce a value from
+//!   an RNG"; value trees are not materialized.
+//!
+//! The macro surface (`proptest!`, `prop_oneof!`, `prop_assert*!`),
+//! the combinators (`prop_map`, tuples, ranges, regex-literal string
+//! strategies, `collection::vec`, `option::of`, `any`, `Just`) and
+//! `ProptestConfig::with_cases` match upstream usage in this repo.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod rng;
+pub mod runner;
+pub mod strategy;
+pub mod string;
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::runner::ProptestConfig;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u8..10, name in "[a-z]{1,8}") { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::runner::run(
+                $config,
+                ::std::file!(),
+                ::std::stringify!($name),
+                |__rng| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Uniformly picks one of several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current case (with formatted context) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if !(__left == __right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                __left, __right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        if !(__left == __right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `left == right`: {}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+), __left, __right
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless the operands compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if __left == __right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `left != right`\n  both: {:?}", __left
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        if __left == __right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `left != right`: {}\n  both: {:?}",
+                ::std::format!($($fmt)+), __left
+            ));
+        }
+    }};
+}

@@ -1,0 +1,57 @@
+//! The per-test case loop.
+
+use crate::rng::TestRng;
+
+/// Runner configuration (`cases` is the only knob this repo uses).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Runs `body` once per case with a deterministic per-case RNG.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) when a case returns `Err`,
+/// reporting the case index and seed so it can be replayed.
+pub fn run<F>(config: ProptestConfig, file: &str, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    for case in 0..config.cases {
+        let seed = fnv1a(file)
+            ^ fnv1a(name).rotate_left(17)
+            ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(msg) = body(&mut rng) {
+            panic!(
+                "proptest `{name}` failed at case {case}/{} (seed {seed:#x}):\n{msg}",
+                config.cases
+            );
+        }
+    }
+}

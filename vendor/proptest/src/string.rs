@@ -1,0 +1,339 @@
+//! Regex-literal string generation: parses the small regex subset the
+//! tests use (literals, escapes, `.`, classes, groups, alternation,
+//! `{m,n}`/`?`/`*`/`+`) and samples a matching string.
+
+use crate::rng::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Concatenation.
+    Seq(Vec<Node>),
+    /// Alternation (`a|b|c`).
+    Alt(Vec<Node>),
+    /// Quantified node with an inclusive count range.
+    Repeat(Box<Node>, u32, u32),
+    /// Character class as inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Lit(char),
+    /// `.` — any printable character.
+    AnyChar,
+}
+
+/// Generates a string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset (anchors, negated
+/// classes, backreferences, lazy quantifiers).
+#[must_use]
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let node = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+        pattern,
+    }
+    .parse();
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Seq(items) => {
+            for item in items {
+                emit(item, rng, out);
+            }
+        }
+        Node::Alt(arms) => emit(&arms[rng.below(arms.len())], rng, out),
+        Node::Repeat(inner, lo, hi) => {
+            let n = *lo + rng.below((*hi - *lo + 1) as usize) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+        Node::Class(ranges) => {
+            // Weight ranges by width so classes stay uniform-ish.
+            let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+            let mut pick = rng.below(total as usize) as u32;
+            for (a, b) in ranges {
+                let width = *b as u32 - *a as u32 + 1;
+                if pick < width {
+                    let c = char::from_u32(*a as u32 + pick).expect("in-range scalar");
+                    out.push(c);
+                    return;
+                }
+                pick -= width;
+            }
+            unreachable!("pick is bounded by the total width");
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::AnyChar => {
+            // Mostly printable ASCII, occasionally multi-byte scalars to
+            // stress UTF-8 handling in codecs.
+            const EXOTIC: [char; 4] = ['\u{e9}', '\u{3bb}', '\u{2192}', '\u{1F600}'];
+            if rng.below(16) == 0 {
+                out.push(EXOTIC[rng.below(EXOTIC.len())]);
+            } else {
+                let c = char::from_u32(0x20 + rng.below(0x5F) as u32).expect("printable ASCII");
+                out.push(c);
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'a str,
+}
+
+impl Parser<'_> {
+    fn fail(&self, msg: &str) -> ! {
+        panic!(
+            "proptest (vendored) regex `{}`: {msg} at position {}",
+            self.pattern, self.pos
+        );
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn parse(mut self) -> Node {
+        let node = self.parse_alt();
+        if self.pos != self.chars.len() {
+            self.fail("unbalanced `)`");
+        }
+        node
+    }
+
+    fn parse_alt(&mut self) -> Node {
+        let mut arms = vec![self.parse_seq()];
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            arms.push(self.parse_seq());
+        }
+        if arms.len() == 1 {
+            arms.pop().expect("one arm")
+        } else {
+            Node::Alt(arms)
+        }
+    }
+
+    fn parse_seq(&mut self) -> Node {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            items.push(self.parse_quantifier(atom));
+        }
+        if items.len() == 1 {
+            items.pop().expect("one item")
+        } else {
+            Node::Seq(items)
+        }
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.peek() {
+            Some('(') => {
+                self.pos += 1;
+                let inner = self.parse_alt();
+                if self.peek() != Some(')') {
+                    self.fail("missing `)`");
+                }
+                self.pos += 1;
+                inner
+            }
+            Some('[') => {
+                self.pos += 1;
+                self.parse_class()
+            }
+            Some('.') => {
+                self.pos += 1;
+                Node::AnyChar
+            }
+            Some('\\') => {
+                self.pos += 1;
+                let c = self.peek().unwrap_or_else(|| self.fail("dangling `\\`"));
+                self.pos += 1;
+                Node::Lit(unescape(c))
+            }
+            Some('^') | Some('$') => self.fail("anchors are not supported"),
+            Some(c) => {
+                self.pos += 1;
+                Node::Lit(c)
+            }
+            None => Node::Seq(Vec::new()),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        if self.peek() == Some('^') {
+            self.fail("negated classes are not supported");
+        }
+        let mut ranges = Vec::new();
+        loop {
+            let lo = match self.peek() {
+                None => self.fail("unterminated class"),
+                Some(']') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    let c = self.peek().unwrap_or_else(|| self.fail("dangling `\\`"));
+                    self.pos += 1;
+                    unescape(c)
+                }
+                Some(c) => {
+                    self.pos += 1;
+                    c
+                }
+            };
+            // `a-z` range (a trailing `-` is a literal).
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                self.pos += 1;
+                let hi = match self.peek() {
+                    None => self.fail("unterminated class range"),
+                    Some('\\') => {
+                        self.pos += 1;
+                        let c = self.peek().unwrap_or_else(|| self.fail("dangling `\\`"));
+                        self.pos += 1;
+                        unescape(c)
+                    }
+                    Some(c) => {
+                        self.pos += 1;
+                        c
+                    }
+                };
+                if hi < lo {
+                    self.fail("inverted class range");
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        if ranges.is_empty() {
+            self.fail("empty class");
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Node {
+        match self.peek() {
+            Some('?') => {
+                self.pos += 1;
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.pos += 1;
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                self.pos += 1;
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            Some('{') => {
+                self.pos += 1;
+                let lo = self.parse_number();
+                let hi = if self.peek() == Some(',') {
+                    self.pos += 1;
+                    self.parse_number()
+                } else {
+                    lo
+                };
+                if self.peek() != Some('}') {
+                    self.fail("missing `}`");
+                }
+                self.pos += 1;
+                if hi < lo {
+                    self.fail("inverted repetition range");
+                }
+                Node::Repeat(Box::new(atom), lo, hi)
+            }
+            _ => atom,
+        }
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            self.fail("expected a number");
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .unwrap_or_else(|_| self.fail("repetition count overflow"))
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        // `\.`, `\(`, `\)`, `\\`, `\[`, `\-`, `\$` etc.: the char itself.
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(7)
+    }
+
+    #[test]
+    fn class_and_repetition() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z][a-z0-9_]{0,8}", &mut r);
+            assert!((1..=9).contains(&s.chars().count()), "bad len: {s:?}");
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn groups_alternation_and_escapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("\\((I|J|Z){0,3}\\)(V|I|Z)", &mut r);
+            assert!(s.starts_with('('), "{s:?}");
+            assert!(s.contains(')'), "{s:?}");
+            let inner = &s[1..s.find(')').unwrap()];
+            assert!(inner.len() <= 3 && inner.chars().all(|c| "IJZ".contains(c)));
+        }
+    }
+
+    #[test]
+    fn dotted_package_names() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[a-z]{2,4}(\\.[A-Z][a-z]{0,3}){1,2}", &mut r);
+            assert!(s.contains('.'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn any_char_is_valid_utf8_and_bounded() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching(".{0,24}", &mut r);
+            assert!(s.chars().count() <= 24);
+        }
+    }
+}

@@ -1,0 +1,662 @@
+//! Hermetic stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! Instead of serde's visitor-based zero-copy architecture, this
+//! implementation routes everything through an owned [`Value`] tree:
+//! [`Serialize`] renders a value into the tree, [`Deserialize`] parses
+//! it back out, and `serde_json` prints/parses the tree as JSON. The
+//! observable contract the workspace relies on — `#[derive(Serialize,
+//! Deserialize)]`, `#[serde(transparent)]`, externally-tagged enums,
+//! and `serde_json::{to_string, to_string_pretty, from_str}` round
+//! trips — is preserved.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON-shaped tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value does not fit `i64` or the
+    /// source type is unsigned).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Array(Vec<Value>),
+    /// Key-ordered map (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member of an object by key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A `u64` view of any integer value.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// An `i64` view of any integer value.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// An `f64` view of any numeric value.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(v) => Some(v),
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a message.
+    #[must_use]
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree does not describe a `Self`.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up a struct field, yielding `Null` for missing keys so that
+/// `Option` fields deserialize to `None` (derive-internal helper).
+#[doc(hidden)]
+#[must_use]
+pub fn __field<'a>(value: &'a Value, name: &str) -> &'a Value {
+    static NULL: Value = Value::Null;
+    value.get(name).unwrap_or(&NULL)
+}
+
+/// Type-mismatch error constructor (derive-internal helper).
+#[doc(hidden)]
+#[must_use]
+pub fn __type_error(expected: &str, got: &Value) -> Error {
+    Error::custom(format!("expected {expected}, got {}", got.kind()))
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(__type_error("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let v = value.as_i64().ok_or_else(|| __type_error("integer", value))?;
+                <$t>::try_from(v).map_err(|_| Error::custom(format!(
+                    "{v} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let v = value.as_u64().ok_or_else(|| __type_error("integer", value))?;
+                <$t>::try_from(v).map_err(|_| Error::custom(format!(
+                    "{v} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::I64(*self as i64)
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let v = value.as_i64().ok_or_else(|| __type_error("integer", value))?;
+        isize::try_from(v).map_err(|_| Error::custom(format!("{v} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| __type_error("number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| __type_error("number", value))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = value.as_str().ok_or_else(|| __type_error("string", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| __type_error("string", value))
+    }
+}
+
+impl Serialize for Arc<str> {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(Arc::from)
+            .ok_or_else(|| __type_error("string", value))
+    }
+}
+
+impl Serialize for Rc<str> {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        // Static-str fields (ground-truth notes) deserialize by leaking
+        // the parsed string. Bounded: only reached by small test/CLI
+        // payloads, never in the analysis hot path.
+        value
+            .as_str()
+            .map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+            .ok_or_else(|| __type_error("string", value))
+    }
+}
+
+// ---------------------------------------------------------------------
+// References and smart pointers
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Option / collections
+// ---------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| __type_error("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| __type_error("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort rendered elements.
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        items.sort_by(cmp_values);
+        Value::Array(items)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: BuildHasher + Default> Deserialize for HashSet<T, S> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| __type_error("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+fn key_string(key: &Value) -> Result<String, Error> {
+    match key {
+        Value::Str(s) => Ok(s.clone()),
+        Value::I64(v) => Ok(v.to_string()),
+        Value::U64(v) => Ok(v.to_string()),
+        other => Err(Error::custom(format!(
+            "map key must be a string-like value, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn cmp_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    // Total order good enough for deterministic rendering of hash
+    // collections: compare debug strings.
+    format!("{a:?}").cmp(&format!("{b:?}"))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    (
+                        key_string(&k.to_value()).expect("map key serializes to string"),
+                        v.to_value(),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(v)?)))
+                .collect(),
+            other => Err(__type_error("object", other)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                (
+                    key_string(&k.to_value()).expect("map key serializes to string"),
+                    v.to_value(),
+                )
+            })
+            .collect();
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Value::Object(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(v)?)))
+                .collect(),
+            other => Err(__type_error("object", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(__type_error("null", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value.as_array().ok_or_else(|| __type_error("array", value))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected {expected}-tuple, got {} elements", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+// ---------------------------------------------------------------------
+// std::time
+// ---------------------------------------------------------------------
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::U64(self.as_secs())),
+            ("nanos".to_string(), Value::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let secs = u64::from_value(__field(value, "secs"))?;
+        let nanos = u32::from_value(__field(value, "nanos"))?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(u8::from_value(&7u8.to_value()), Ok(7));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(String::from_value(&"hi".to_value()), Ok("hi".to_string()));
+        let s: Arc<str> = Arc::from("x");
+        assert_eq!(Arc::<str>::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(Vec::<u8>::from_value(&v.to_value()), Ok(v));
+        let m: BTreeMap<String, u8> = [("a".to_string(), 1u8)].into_iter().collect();
+        assert_eq!(BTreeMap::from_value(&m.to_value()), Ok(m));
+        let opt: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&opt.to_value()), Ok(None));
+    }
+
+    #[test]
+    fn duration_roundtrip() {
+        let d = Duration::new(3, 250);
+        assert_eq!(Duration::from_value(&d.to_value()), Ok(d));
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u8::from_value(&Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        let t = (1u8, "x".to_string());
+        let v = t.to_value();
+        assert_eq!(<(u8, String)>::from_value(&v), Ok(t));
+    }
+}

@@ -1,0 +1,512 @@
+//! Hermetic stand-in for the `serde_derive` crate (see
+//! `vendor/README.md`).
+//!
+//! Generates `Serialize`/`Deserialize` impls against the vendored
+//! `serde` value model. The item grammar is parsed directly from the
+//! `proc_macro` token stream (no `syn`/`quote` — those are unavailable
+//! offline), which is tractable because the workspace only derives on
+//! non-generic structs and enums, with `#[serde(transparent)]` as the
+//! sole recognized attribute.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+struct Input {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VarShape,
+}
+
+enum VarShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (value-model form).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (value-model form).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let transparent = skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+
+    let keyword = expect_ident(&mut iter, "`struct` or `enum`");
+    let name = expect_ident(&mut iter, "type name");
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        assert!(
+            p.as_char() != '<',
+            "serde_derive (vendored): generic type `{name}` is not supported"
+        );
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(&g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(&g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive (vendored): unexpected struct body: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(&g))
+            }
+            other => panic!("serde_derive (vendored): unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde_derive (vendored): expected struct/enum, found `{other}`"),
+    };
+
+    Input {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+/// Consumes leading `#[...]` attributes; reports whether any was
+/// `#[serde(transparent)]`. Unknown `#[serde(...)]` contents are
+/// rejected so unsupported options fail loudly instead of silently.
+fn skip_attributes(iter: &mut TokenIter) -> bool {
+    let mut transparent = false;
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                transparent |= attr_is_serde_transparent(&g);
+            }
+            other => panic!("serde_derive (vendored): malformed attribute: {other:?}"),
+        }
+    }
+    transparent
+}
+
+fn attr_is_serde_transparent(attr_body: &Group) -> bool {
+    let mut tokens = attr_body.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => {
+            let rendered = args.stream().to_string();
+            assert!(
+                rendered == "transparent",
+                "serde_derive (vendored): unsupported #[serde({rendered})]"
+            );
+            true
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(iter: &mut TokenIter) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(iter: &mut TokenIter, what: &str) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive (vendored): expected {what}, found {other:?}"),
+    }
+}
+
+/// Consumes a type up to (and including) the next comma at angle-depth
+/// zero. `>>` arrives as two `>` puncts, so per-char depth tracking is
+/// exact.
+fn skip_type(iter: &mut TokenIter) {
+    let mut depth = 0i32;
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_named_fields(body: &Group) -> Vec<String> {
+    let mut iter = body.stream().into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde_derive (vendored): expected `:`, found {other:?}"),
+                }
+                skip_type(&mut iter);
+            }
+            other => panic!("serde_derive (vendored): expected field name, found {other:?}"),
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(body: &Group) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut in_segment = false;
+    for tt in body.stream() {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    in_segment = true;
+                }
+                '>' => {
+                    depth -= 1;
+                    in_segment = true;
+                }
+                ',' if depth == 0 => {
+                    if in_segment {
+                        count += 1;
+                    }
+                    in_segment = false;
+                }
+                _ => in_segment = true,
+            },
+            _ => in_segment = true,
+        }
+    }
+    if in_segment {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: &Group) -> Vec<Variant> {
+    let mut iter = body.stream().into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                let shape = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g);
+                        iter.next();
+                        VarShape::Tuple(n)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let names = parse_named_fields(g);
+                        iter.next();
+                        VarShape::Named(names)
+                    }
+                    _ => VarShape::Unit,
+                };
+                // Explicit discriminants (`= expr`) are not used in this
+                // workspace; consume defensively up to the next comma.
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '=' {
+                        iter.next();
+                        while let Some(tt) = iter.peek() {
+                            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                                break;
+                            }
+                            iter.next();
+                        }
+                    }
+                }
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == ',' {
+                        iter.next();
+                    }
+                }
+                variants.push(Variant { name, shape });
+            }
+            other => panic!("serde_derive (vendored): expected variant, found {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation (string-built, fully qualified paths)
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            if input.transparent {
+                let f = &fields[0];
+                format!("::serde::Serialize::to_value(&self.{f})")
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+            }
+        }
+        Kind::TupleStruct(n) => {
+            if *n == 1 || input.transparent {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| gen_serialize_variant(name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_variant(enum_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        VarShape::Unit => format!(
+            "{enum_name}::{vname} => \
+             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VarShape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            };
+            format!(
+                "{enum_name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vname}\"), {payload})]),",
+                binds.join(", ")
+            )
+        }
+        VarShape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{vname}\"), \
+                 ::serde::Value::Object(::std::vec![{}]))]),",
+                fields.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            if input.transparent {
+                let f = &fields[0];
+                format!(
+                    "::std::result::Result::Ok({name} {{ \
+                     {f}: ::serde::Deserialize::from_value(value)? }})"
+                )
+            } else {
+                let field_inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::__field(value, \"{f}\"))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "match value {{ ::serde::Value::Object(_) => {{}}, __other => \
+                     return ::std::result::Result::Err(::serde::__type_error(\"object\", __other)) }}\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    field_inits.join(", ")
+                )
+            }
+        }
+        Kind::TupleStruct(n) => {
+            if *n == 1 || input.transparent {
+                format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_value(value)?))"
+                )
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = match value {{ \
+                     ::serde::Value::Array(__items) => __items, \
+                     __other => return ::std::result::Result::Err(\
+                     ::serde::__type_error(\"array\", __other)) }};\n\
+                     if __items.len() != {n} {{ \
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                     \"wrong tuple-struct arity\")); }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+        }
+        Kind::UnitStruct => format!(
+            "match value {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             __other => ::std::result::Result::Err(\
+             ::serde::__type_error(\"null\", __other)) }}"
+        ),
+        Kind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut payload_arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            VarShape::Unit => unit_arms.push(format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+            )),
+            VarShape::Tuple(n) => {
+                let arm = if *n == 1 {
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__payload)?)),"
+                    )
+                } else {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "\"{vname}\" => {{ \
+                         let __items = match __payload {{ \
+                         ::serde::Value::Array(__items) => __items, \
+                         __other => return ::std::result::Result::Err(\
+                         ::serde::__type_error(\"array\", __other)) }}; \
+                         if __items.len() != {n} {{ \
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                         \"wrong variant arity\")); }} \
+                         ::std::result::Result::Ok({name}::{vname}({})) }}",
+                        items.join(", ")
+                    )
+                };
+                payload_arms.push(arm);
+            }
+            VarShape::Named(fields) => {
+                let field_inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::__field(__payload, \"{f}\"))?"
+                        )
+                    })
+                    .collect();
+                payload_arms.push(format!(
+                    "\"{vname}\" => {{ \
+                     match __payload {{ ::serde::Value::Object(_) => {{}}, __other => \
+                     return ::std::result::Result::Err(\
+                     ::serde::__type_error(\"object\", __other)) }} \
+                     ::std::result::Result::Ok({name}::{vname} {{ {} }}) }}",
+                    field_inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match value {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n{}\n\
+         __other => ::std::result::Result::Err(::serde::Error::custom(\
+         ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+         ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+         let (__tag, __payload) = &__entries[0];\n\
+         match __tag.as_str() {{\n{}\n\
+         __other => ::std::result::Result::Err(::serde::Error::custom(\
+         ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+         __other => ::std::result::Result::Err(\
+         ::serde::__type_error(\"externally tagged enum\", __other)),\n}}",
+        unit_arms.join("\n"),
+        payload_arms.join("\n")
+    )
+}
