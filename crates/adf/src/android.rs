@@ -39,11 +39,19 @@ pub fn android_spec() -> FrameworkSpec {
         ClassSpec::new("java.lang.String")
             .method(leaf("length", "()I", LifeSpan::always()))
             .method(leaf("isEmpty", "()Z", LifeSpan::always()))
-            .method(leaf("join", "(Ljava/lang/CharSequence;)Ljava/lang/String;", LifeSpan::since(26))),
+            .method(leaf(
+                "join",
+                "(Ljava/lang/CharSequence;)Ljava/lang/String;",
+                LifeSpan::since(26),
+            )),
     );
     s.add_class(
         ClassSpec::new("java.lang.StringBuilder")
-            .method(leaf("append", "(Ljava/lang/String;)Ljava/lang/StringBuilder;", LifeSpan::always()))
+            .method(leaf(
+                "append",
+                "(Ljava/lang/String;)Ljava/lang/StringBuilder;",
+                LifeSpan::always(),
+            ))
             .method(leaf("toString", "()Ljava/lang/String;", LifeSpan::always())),
     );
     s.add_class(
@@ -51,42 +59,78 @@ pub fn android_spec() -> FrameworkSpec {
             .method(leaf("<init>", "()V", LifeSpan::always()))
             .method(leaf("add", "(Ljava/lang/Object;)Z", LifeSpan::always()))
             .method(leaf("get", "(I)Ljava/lang/Object;", LifeSpan::always()))
-            .method(leaf("forEach", "(Ljava/util/function/Consumer;)V", LifeSpan::since(24))),
+            .method(leaf(
+                "forEach",
+                "(Ljava/util/function/Consumer;)V",
+                LifeSpan::since(24),
+            )),
     );
     s.add_class(
         ClassSpec::new("java.util.HashMap")
             .method(leaf("<init>", "()V", LifeSpan::always()))
-            .method(leaf("put", "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;", LifeSpan::always()))
-            .method(leaf("getOrDefault", "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;", LifeSpan::since(24))),
+            .method(leaf(
+                "put",
+                "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "getOrDefault",
+                "(Ljava/lang/Object;Ljava/lang/Object;)Ljava/lang/Object;",
+                LifeSpan::since(24),
+            )),
     );
     s.add_class(
         ClassSpec::new("java.io.File")
             .method(leaf("<init>", "(Ljava/lang/String;)V", LifeSpan::always()))
             .method(leaf("exists", "()Z", LifeSpan::always()))
-            .method(leaf("toPath", "()Ljava/nio/file/Path;", LifeSpan::since(26))),
+            .method(leaf(
+                "toPath",
+                "()Ljava/nio/file/Path;",
+                LifeSpan::since(26),
+            )),
     );
     s.add_class(
         ClassSpec::new("java.lang.Class")
-            .method(leaf("forName", "(Ljava/lang/String;)Ljava/lang/Class;", LifeSpan::always()))
-            .method(leaf("newInstance", "()Ljava/lang/Object;", LifeSpan::always())),
+            .method(leaf(
+                "forName",
+                "(Ljava/lang/String;)Ljava/lang/Class;",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "newInstance",
+                "()Ljava/lang/Object;",
+                LifeSpan::always(),
+            )),
     );
     // Late binding: DexClassLoader (paper §III-A).
     s.add_class(
         ClassSpec::new("dalvik.system.DexClassLoader")
             .method(leaf("<init>", "(Ljava/lang/String;)V", LifeSpan::always()))
-            .method(leaf("loadClass", "(Ljava/lang/String;)Ljava/lang/Class;", LifeSpan::always())),
+            .method(leaf(
+                "loadClass",
+                "(Ljava/lang/String;)Ljava/lang/Class;",
+                LifeSpan::always(),
+            )),
     );
     // The famous platform removal: Apache HTTP left the boot classpath
     // with Marshmallow. Forward-compatibility test fodder.
     s.add_class(
         ClassSpec::new("org.apache.http.client.HttpClient")
             .life(LifeSpan::between(2, 23))
-            .method(leaf("execute", "(Lorg/apache/http/client/methods/HttpUriRequest;)Lorg/apache/http/HttpResponse;", LifeSpan::between(2, 23))),
+            .method(leaf(
+                "execute",
+                "(Lorg/apache/http/client/methods/HttpUriRequest;)Lorg/apache/http/HttpResponse;",
+                LifeSpan::between(2, 23),
+            )),
     );
     s.add_class(
         ClassSpec::new("org.apache.http.client.methods.HttpGet")
             .life(LifeSpan::between(2, 23))
-            .method(leaf("<init>", "(Ljava/lang/String;)V", LifeSpan::between(2, 23))),
+            .method(leaf(
+                "<init>",
+                "(Ljava/lang/String;)V",
+                LifeSpan::between(2, 23),
+            )),
     );
 
     // --- Build / version ----------------------------------------------------
@@ -96,134 +140,377 @@ pub fn android_spec() -> FrameworkSpec {
     // --- Context hierarchy --------------------------------------------------
     s.add_class(
         ClassSpec::new("android.content.Context")
-            .method(leaf("getResources", "()Landroid/content/res/Resources;", LifeSpan::always()))
-            .method(leaf("getString", "(I)Ljava/lang/String;", LifeSpan::always()))
-            .method(leaf("getSystemService", "(Ljava/lang/String;)Ljava/lang/Object;", LifeSpan::always()))
-            .method(leaf("getDrawable", "(I)Landroid/graphics/drawable/Drawable;", LifeSpan::since(21)))
-            .method(leaf("getColorStateList", "(I)Landroid/content/res/ColorStateList;", LifeSpan::since(23)))
+            .method(leaf(
+                "getResources",
+                "()Landroid/content/res/Resources;",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "getString",
+                "(I)Ljava/lang/String;",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "getSystemService",
+                "(Ljava/lang/String;)Ljava/lang/Object;",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "getDrawable",
+                "(I)Landroid/graphics/drawable/Drawable;",
+                LifeSpan::since(21),
+            ))
+            .method(leaf(
+                "getColorStateList",
+                "(I)Landroid/content/res/ColorStateList;",
+                LifeSpan::since(23),
+            ))
             .method(leaf("getColor", "(I)I", LifeSpan::since(23)))
-            .method(leaf("checkSelfPermission", "(Ljava/lang/String;)I", LifeSpan::since(23)))
-            .method(leaf("startActivity", "(Landroid/content/Intent;)V", LifeSpan::always()))
-            .method(leaf("sendBroadcast", "(Landroid/content/Intent;)V", LifeSpan::always()))
-            .method(leaf("getExternalFilesDir", "(Ljava/lang/String;)Ljava/io/File;", LifeSpan::since(8)))
-            .method(leaf("getContentResolver", "()Landroid/content/ContentResolver;", LifeSpan::always()))
-            .method(leaf("createDeviceProtectedStorageContext", "()Landroid/content/Context;", LifeSpan::since(24)))
-            .method(leaf("getOpPackageName", "()Ljava/lang/String;", LifeSpan::since(29))),
+            .method(leaf(
+                "checkSelfPermission",
+                "(Ljava/lang/String;)I",
+                LifeSpan::since(23),
+            ))
+            .method(leaf(
+                "startActivity",
+                "(Landroid/content/Intent;)V",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "sendBroadcast",
+                "(Landroid/content/Intent;)V",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "getExternalFilesDir",
+                "(Ljava/lang/String;)Ljava/io/File;",
+                LifeSpan::since(8),
+            ))
+            .method(leaf(
+                "getContentResolver",
+                "()Landroid/content/ContentResolver;",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "createDeviceProtectedStorageContext",
+                "()Landroid/content/Context;",
+                LifeSpan::since(24),
+            ))
+            .method(leaf(
+                "getOpPackageName",
+                "()Ljava/lang/String;",
+                LifeSpan::since(29),
+            )),
     );
-    s.add_class(ClassSpec::new("android.content.ContextWrapper").extends("android.content.Context"));
     s.add_class(
-        ClassSpec::new("android.view.ContextThemeWrapper").extends("android.content.ContextWrapper"),
+        ClassSpec::new("android.content.ContextWrapper").extends("android.content.Context"),
+    );
+    s.add_class(
+        ClassSpec::new("android.view.ContextThemeWrapper")
+            .extends("android.content.ContextWrapper"),
     );
     s.add_class(
         ClassSpec::new("android.content.res.Resources")
-            .method(leaf("getString", "(I)Ljava/lang/String;", LifeSpan::always()))
+            .method(leaf(
+                "getString",
+                "(I)Ljava/lang/String;",
+                LifeSpan::always(),
+            ))
             .method(leaf("getColor", "(I)I", LifeSpan::always()))
-            .method(leaf("getColorStateList", "(ILandroid/content/res/Resources$Theme;)Landroid/content/res/ColorStateList;", LifeSpan::since(23)))
-            .method(leaf("getDrawable", "(ILandroid/content/res/Resources$Theme;)Landroid/graphics/drawable/Drawable;", LifeSpan::since(21)))
-            .method(leaf("getFont", "(I)Landroid/graphics/Typeface;", LifeSpan::since(26))),
+            .method(leaf(
+                "getColorStateList",
+                "(ILandroid/content/res/Resources$Theme;)Landroid/content/res/ColorStateList;",
+                LifeSpan::since(23),
+            ))
+            .method(leaf(
+                "getDrawable",
+                "(ILandroid/content/res/Resources$Theme;)Landroid/graphics/drawable/Drawable;",
+                LifeSpan::since(21),
+            ))
+            .method(leaf(
+                "getFont",
+                "(I)Landroid/graphics/Typeface;",
+                LifeSpan::since(26),
+            )),
     );
     s.add_class(
         ClassSpec::new("android.content.Intent")
             .method(leaf("<init>", "(Ljava/lang/String;)V", LifeSpan::always()))
-            .method(leaf("putExtra", "(Ljava/lang/String;Ljava/lang/String;)Landroid/content/Intent;", LifeSpan::always()))
-            .method(leaf("setAction", "(Ljava/lang/String;)Landroid/content/Intent;", LifeSpan::always())),
+            .method(leaf(
+                "putExtra",
+                "(Ljava/lang/String;Ljava/lang/String;)Landroid/content/Intent;",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "setAction",
+                "(Ljava/lang/String;)Landroid/content/Intent;",
+                LifeSpan::always(),
+            )),
     );
     s.add_class(
         ClassSpec::new("android.content.ContentResolver")
-            .method(leaf("query", "(Landroid/net/Uri;)Landroid/database/Cursor;", LifeSpan::always()))
-            .method(leaf("insert", "(Landroid/net/Uri;)Landroid/net/Uri;", LifeSpan::always()))
-            .method(leaf("takePersistableUriPermission", "(Landroid/net/Uri;I)V", LifeSpan::since(19))),
+            .method(leaf(
+                "query",
+                "(Landroid/net/Uri;)Landroid/database/Cursor;",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "insert",
+                "(Landroid/net/Uri;)Landroid/net/Uri;",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "takePersistableUriPermission",
+                "(Landroid/net/Uri;I)V",
+                LifeSpan::since(19),
+            )),
     );
 
     // --- Activity & friends -------------------------------------------------
     s.add_class(
         ClassSpec::new("android.app.Activity")
             .extends("android.view.ContextThemeWrapper")
-            .method(leaf("onCreate", "(Landroid/os/Bundle;)V", LifeSpan::always()))
+            .method(leaf(
+                "onCreate",
+                "(Landroid/os/Bundle;)V",
+                LifeSpan::always(),
+            ))
             .method(leaf("onStart", "()V", LifeSpan::always()))
             .method(leaf("onResume", "()V", LifeSpan::always()))
             .method(leaf("onPause", "()V", LifeSpan::always()))
             .method(leaf("onStop", "()V", LifeSpan::always()))
             .method(leaf("onDestroy", "()V", LifeSpan::always()))
-            .method(leaf("onSaveInstanceState", "(Landroid/os/Bundle;)V", LifeSpan::always()))
+            .method(leaf(
+                "onSaveInstanceState",
+                "(Landroid/os/Bundle;)V",
+                LifeSpan::always(),
+            ))
             .method(leaf("onBackPressed", "()V", LifeSpan::since(5)))
             .method(leaf("onAttachedToWindow", "()V", LifeSpan::since(5)))
             .method(leaf("setContentView", "(I)V", LifeSpan::always()))
-            .method(leaf("findViewById", "(I)Landroid/view/View;", LifeSpan::always()))
-            .method(leaf("getFragmentManager", "()Landroid/app/FragmentManager;", LifeSpan::since(11)))
-            .method(leaf("getLoaderManager", "()Landroid/app/LoaderManager;", LifeSpan::since(11)))
+            .method(leaf(
+                "findViewById",
+                "(I)Landroid/view/View;",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "getFragmentManager",
+                "()Landroid/app/FragmentManager;",
+                LifeSpan::since(11),
+            ))
+            .method(leaf(
+                "getLoaderManager",
+                "()Landroid/app/LoaderManager;",
+                LifeSpan::since(11),
+            ))
             .method(leaf("invalidateOptionsMenu", "()V", LifeSpan::since(11)))
-            .method(leaf("requestPermissions", "([Ljava/lang/String;I)V", LifeSpan::since(23)))
-            .method(leaf("onRequestPermissionsResult", "(I[Ljava/lang/String;[I)V", LifeSpan::since(23)))
-            .method(leaf("shouldShowRequestPermissionRationale", "(Ljava/lang/String;)Z", LifeSpan::since(23)))
-            .method(leaf("onMultiWindowModeChanged", "(Z)V", LifeSpan::since(24)))
+            .method(leaf(
+                "requestPermissions",
+                "([Ljava/lang/String;I)V",
+                LifeSpan::since(23),
+            ))
+            .method(leaf(
+                "onRequestPermissionsResult",
+                "(I[Ljava/lang/String;[I)V",
+                LifeSpan::since(23),
+            ))
+            .method(leaf(
+                "shouldShowRequestPermissionRationale",
+                "(Ljava/lang/String;)Z",
+                LifeSpan::since(23),
+            ))
+            .method(leaf(
+                "onMultiWindowModeChanged",
+                "(Z)V",
+                LifeSpan::since(24),
+            ))
             .method(leaf("isInMultiWindowMode", "()Z", LifeSpan::since(24)))
-            .method(leaf("onPictureInPictureModeChanged", "(Z)V", LifeSpan::since(24)))
-            .method(leaf("enterPictureInPictureMode", "()V", LifeSpan::since(24)))
-            .method(leaf("onTopResumedActivityChanged", "(Z)V", LifeSpan::since(29)))
-            .method(leaf("managedQuery", "(Landroid/net/Uri;)Landroid/database/Cursor;", LifeSpan::between(2, 28))),
+            .method(leaf(
+                "onPictureInPictureModeChanged",
+                "(Z)V",
+                LifeSpan::since(24),
+            ))
+            .method(leaf(
+                "enterPictureInPictureMode",
+                "()V",
+                LifeSpan::since(24),
+            ))
+            .method(leaf(
+                "onTopResumedActivityChanged",
+                "(Z)V",
+                LifeSpan::since(29),
+            ))
+            .method(leaf(
+                "managedQuery",
+                "(Landroid/net/Uri;)Landroid/database/Cursor;",
+                LifeSpan::between(2, 28),
+            )),
     );
     s.add_class(
         ClassSpec::new("android.app.ListActivity")
             .extends("android.app.Activity")
-            .method(leaf("getListView", "()Landroid/widget/ListView;", LifeSpan::always()))
-            .method(leaf("onListItemClick", "(Landroid/widget/ListView;Landroid/view/View;IJ)V", LifeSpan::always())),
+            .method(leaf(
+                "getListView",
+                "()Landroid/widget/ListView;",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "onListItemClick",
+                "(Landroid/widget/ListView;Landroid/view/View;IJ)V",
+                LifeSpan::always(),
+            )),
     );
     s.add_class(
         ClassSpec::new("android.preference.PreferenceActivity")
             .extends("android.app.ListActivity")
-            .method(leaf("addPreferencesFromResource", "(I)V", LifeSpan::always()))
-            .method(leaf("onBuildHeaders", "(Ljava/util/List;)V", LifeSpan::since(11))),
+            .method(leaf(
+                "addPreferencesFromResource",
+                "(I)V",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "onBuildHeaders",
+                "(Ljava/util/List;)V",
+                LifeSpan::since(11),
+            )),
     );
     s.add_class(
         ClassSpec::new("android.app.Fragment")
             .life(LifeSpan::since(11))
-            .method(leaf("onAttach", "(Landroid/app/Activity;)V", LifeSpan::since(11)))
-            .method(leaf("onAttach", "(Landroid/content/Context;)V", LifeSpan::since(23)))
-            .method(leaf("onCreate", "(Landroid/os/Bundle;)V", LifeSpan::since(11)))
-            .method(leaf("onCreateView", "(Landroid/view/LayoutInflater;)Landroid/view/View;", LifeSpan::since(11)))
-            .method(leaf("onViewCreated", "(Landroid/view/View;Landroid/os/Bundle;)V", LifeSpan::since(13)))
-            .method(leaf("getContext", "()Landroid/content/Context;", LifeSpan::since(23)))
+            .method(leaf(
+                "onAttach",
+                "(Landroid/app/Activity;)V",
+                LifeSpan::since(11),
+            ))
+            .method(leaf(
+                "onAttach",
+                "(Landroid/content/Context;)V",
+                LifeSpan::since(23),
+            ))
+            .method(leaf(
+                "onCreate",
+                "(Landroid/os/Bundle;)V",
+                LifeSpan::since(11),
+            ))
+            .method(leaf(
+                "onCreateView",
+                "(Landroid/view/LayoutInflater;)Landroid/view/View;",
+                LifeSpan::since(11),
+            ))
+            .method(leaf(
+                "onViewCreated",
+                "(Landroid/view/View;Landroid/os/Bundle;)V",
+                LifeSpan::since(13),
+            ))
+            .method(leaf(
+                "getContext",
+                "()Landroid/content/Context;",
+                LifeSpan::since(23),
+            ))
             .method(leaf("onDestroyView", "()V", LifeSpan::since(11))),
     );
     s.add_class(
         ClassSpec::new("android.app.Service")
             .extends("android.content.ContextWrapper")
             .method(leaf("onCreate", "()V", LifeSpan::always()))
-            .method(leaf("onBind", "(Landroid/content/Intent;)Landroid/os/IBinder;", LifeSpan::always()))
-            .method(leaf("onStart", "(Landroid/content/Intent;I)V", LifeSpan::always()))
-            .method(leaf("onStartCommand", "(Landroid/content/Intent;II)I", LifeSpan::since(5)))
-            .method(leaf("onTaskRemoved", "(Landroid/content/Intent;)V", LifeSpan::since(14)))
+            .method(leaf(
+                "onBind",
+                "(Landroid/content/Intent;)Landroid/os/IBinder;",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "onStart",
+                "(Landroid/content/Intent;I)V",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "onStartCommand",
+                "(Landroid/content/Intent;II)I",
+                LifeSpan::since(5),
+            ))
+            .method(leaf(
+                "onTaskRemoved",
+                "(Landroid/content/Intent;)V",
+                LifeSpan::since(14),
+            ))
             .method(leaf("onTrimMemory", "(I)V", LifeSpan::since(14)))
-            .method(leaf("startForeground", "(ILandroid/app/Notification;)V", LifeSpan::since(5))),
+            .method(leaf(
+                "startForeground",
+                "(ILandroid/app/Notification;)V",
+                LifeSpan::since(5),
+            )),
     );
     s.add_class(
         ClassSpec::new("android.content.BroadcastReceiver")
-            .method(leaf("onReceive", "(Landroid/content/Context;Landroid/content/Intent;)V", LifeSpan::always()))
-            .method(leaf("goAsync", "()Landroid/content/BroadcastReceiver$PendingResult;", LifeSpan::since(11))),
+            .method(leaf(
+                "onReceive",
+                "(Landroid/content/Context;Landroid/content/Intent;)V",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "goAsync",
+                "()Landroid/content/BroadcastReceiver$PendingResult;",
+                LifeSpan::since(11),
+            )),
     );
 
     // --- Views --------------------------------------------------------------
     s.add_class(
         ClassSpec::new("android.view.View")
-            .method(leaf("onDraw", "(Landroid/graphics/Canvas;)V", LifeSpan::always()))
+            .method(leaf(
+                "onDraw",
+                "(Landroid/graphics/Canvas;)V",
+                LifeSpan::always(),
+            ))
             .method(leaf("invalidate", "()V", LifeSpan::always()))
-            .method(leaf("setOnClickListener", "(Landroid/view/View$OnClickListener;)V", LifeSpan::always()))
+            .method(leaf(
+                "setOnClickListener",
+                "(Landroid/view/View$OnClickListener;)V",
+                LifeSpan::always(),
+            ))
             .method(leaf("performClick", "()Z", LifeSpan::always()))
-            .method(leaf("onApplyWindowInsets", "(Landroid/view/WindowInsets;)Landroid/view/WindowInsets;", LifeSpan::since(20)))
-            .method(leaf("setBackgroundTintList", "(Landroid/content/res/ColorStateList;)V", LifeSpan::since(21)))
+            .method(leaf(
+                "onApplyWindowInsets",
+                "(Landroid/view/WindowInsets;)Landroid/view/WindowInsets;",
+                LifeSpan::since(20),
+            ))
+            .method(leaf(
+                "setBackgroundTintList",
+                "(Landroid/content/res/ColorStateList;)V",
+                LifeSpan::since(21),
+            ))
             .method(leaf("drawableHotspotChanged", "(FF)V", LifeSpan::since(21)))
-            .method(leaf("setForeground", "(Landroid/graphics/drawable/Drawable;)V", LifeSpan::since(23)))
-            .method(leaf("getForeground", "()Landroid/graphics/drawable/Drawable;", LifeSpan::since(23)))
+            .method(leaf(
+                "setForeground",
+                "(Landroid/graphics/drawable/Drawable;)V",
+                LifeSpan::since(23),
+            ))
+            .method(leaf(
+                "getForeground",
+                "()Landroid/graphics/drawable/Drawable;",
+                LifeSpan::since(23),
+            ))
             .method(leaf("onVisibilityAggregated", "(Z)V", LifeSpan::since(24)))
-            .method(leaf("setTooltipText", "(Ljava/lang/CharSequence;)V", LifeSpan::since(26)))
+            .method(leaf(
+                "setTooltipText",
+                "(Ljava/lang/CharSequence;)V",
+                LifeSpan::since(26),
+            ))
             .method(leaf("setSystemUiVisibility", "(I)V", LifeSpan::since(11))),
     );
     s.add_class(
         ClassSpec::new("android.view.ViewGroup")
             .extends("android.view.View")
-            .method(leaf("addView", "(Landroid/view/View;)V", LifeSpan::always()))
-            .method(leaf("onInterceptTouchEvent", "(Landroid/view/MotionEvent;)Z", LifeSpan::always())),
+            .method(leaf(
+                "addView",
+                "(Landroid/view/View;)V",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "onInterceptTouchEvent",
+                "(Landroid/view/MotionEvent;)Z",
+                LifeSpan::always(),
+            )),
     );
     s.add_class(
         ClassSpec::new("android.widget.LinearLayout")
@@ -238,19 +525,35 @@ pub fn android_spec() -> FrameworkSpec {
     s.add_class(
         ClassSpec::new("android.widget.TextView")
             .extends("android.view.View")
-            .method(leaf("setText", "(Ljava/lang/CharSequence;)V", LifeSpan::always()))
+            .method(leaf(
+                "setText",
+                "(Ljava/lang/CharSequence;)V",
+                LifeSpan::always(),
+            ))
             .method(leaf("setTextAppearance", "(I)V", LifeSpan::since(23)))
             .method(leaf("onTextContextMenuItem", "(I)Z", LifeSpan::always()))
-            .method(leaf("setAutoSizeTextTypeWithDefaults", "(I)V", LifeSpan::since(26))),
+            .method(leaf(
+                "setAutoSizeTextTypeWithDefaults",
+                "(I)V",
+                LifeSpan::since(26),
+            )),
     );
     s.add_class(
         ClassSpec::new("android.widget.ListView")
             .extends("android.view.ViewGroup")
-            .method(leaf("setAdapter", "(Landroid/widget/ListAdapter;)V", LifeSpan::always())),
+            .method(leaf(
+                "setAdapter",
+                "(Landroid/widget/ListAdapter;)V",
+                LifeSpan::always(),
+            )),
     );
     s.add_class(
         ClassSpec::new("android.widget.Toast")
-            .method(leaf("makeText", "(Landroid/content/Context;Ljava/lang/CharSequence;I)Landroid/widget/Toast;", LifeSpan::always()))
+            .method(leaf(
+                "makeText",
+                "(Landroid/content/Context;Ljava/lang/CharSequence;I)Landroid/widget/Toast;",
+                LifeSpan::always(),
+            ))
             .method(leaf("show", "()V", LifeSpan::always())),
     );
 
@@ -259,14 +562,38 @@ pub fn android_spec() -> FrameworkSpec {
         ClassSpec::new("android.webkit.WebView")
             .extends("android.view.ViewGroup")
             .method(leaf("loadUrl", "(Ljava/lang/String;)V", LifeSpan::always()))
-            .method(leaf("getSettings", "()Landroid/webkit/WebSettings;", LifeSpan::always()))
-            .method(leaf("setWebViewClient", "(Landroid/webkit/WebViewClient;)V", LifeSpan::always()))
+            .method(leaf(
+                "getSettings",
+                "()Landroid/webkit/WebSettings;",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "setWebViewClient",
+                "(Landroid/webkit/WebViewClient;)V",
+                LifeSpan::always(),
+            ))
             .method(leaf("onPause", "()V", LifeSpan::since(11)))
             .method(leaf("onResume", "()V", LifeSpan::since(11)))
-            .method(leaf("evaluateJavascript", "(Ljava/lang/String;Landroid/webkit/ValueCallback;)V", LifeSpan::since(19)))
-            .method(leaf("onProvideVirtualStructure", "(Landroid/view/ViewStructure;)V", LifeSpan::since(23)))
-            .method(leaf("createWebMessageChannel", "()[Landroid/webkit/WebMessagePort;", LifeSpan::since(23)))
-            .method(leaf("postWebMessage", "(Landroid/webkit/WebMessage;Landroid/net/Uri;)V", LifeSpan::since(23))),
+            .method(leaf(
+                "evaluateJavascript",
+                "(Ljava/lang/String;Landroid/webkit/ValueCallback;)V",
+                LifeSpan::since(19),
+            ))
+            .method(leaf(
+                "onProvideVirtualStructure",
+                "(Landroid/view/ViewStructure;)V",
+                LifeSpan::since(23),
+            ))
+            .method(leaf(
+                "createWebMessageChannel",
+                "()[Landroid/webkit/WebMessagePort;",
+                LifeSpan::since(23),
+            ))
+            .method(leaf(
+                "postWebMessage",
+                "(Landroid/webkit/WebMessage;Landroid/net/Uri;)V",
+                LifeSpan::since(23),
+            )),
     );
     s.add_class(
         ClassSpec::new("android.webkit.WebViewClient")
@@ -282,24 +609,68 @@ pub fn android_spec() -> FrameworkSpec {
     s.add_class(
         ClassSpec::new("android.app.Notification$Builder")
             .life(LifeSpan::since(11))
-            .method(leaf("<init>", "(Landroid/content/Context;)V", LifeSpan::since(11)))
-            .method(leaf("<init>", "(Landroid/content/Context;Ljava/lang/String;)V", LifeSpan::since(26)))
-            .method(leaf("setContentTitle", "(Ljava/lang/CharSequence;)Landroid/app/Notification$Builder;", LifeSpan::since(11)))
-            .method(leaf("build", "()Landroid/app/Notification;", LifeSpan::since(16)))
-            .method(leaf("getNotification", "()Landroid/app/Notification;", LifeSpan::between(11, 28)))
-            .method(leaf("setChannelId", "(Ljava/lang/String;)Landroid/app/Notification$Builder;", LifeSpan::since(26))),
+            .method(leaf(
+                "<init>",
+                "(Landroid/content/Context;)V",
+                LifeSpan::since(11),
+            ))
+            .method(leaf(
+                "<init>",
+                "(Landroid/content/Context;Ljava/lang/String;)V",
+                LifeSpan::since(26),
+            ))
+            .method(leaf(
+                "setContentTitle",
+                "(Ljava/lang/CharSequence;)Landroid/app/Notification$Builder;",
+                LifeSpan::since(11),
+            ))
+            .method(leaf(
+                "build",
+                "()Landroid/app/Notification;",
+                LifeSpan::since(16),
+            ))
+            .method(leaf(
+                "getNotification",
+                "()Landroid/app/Notification;",
+                LifeSpan::between(11, 28),
+            ))
+            .method(leaf(
+                "setChannelId",
+                "(Ljava/lang/String;)Landroid/app/Notification$Builder;",
+                LifeSpan::since(26),
+            )),
     );
     s.add_class(
         ClassSpec::new("android.app.NotificationManager")
-            .method(leaf("notify", "(ILandroid/app/Notification;)V", LifeSpan::always()))
-            .method(leaf("createNotificationChannel", "(Landroid/app/NotificationChannel;)V", LifeSpan::since(26)))
-            .method(leaf("getActiveNotifications", "()[Landroid/service/notification/StatusBarNotification;", LifeSpan::since(23))),
+            .method(leaf(
+                "notify",
+                "(ILandroid/app/Notification;)V",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "createNotificationChannel",
+                "(Landroid/app/NotificationChannel;)V",
+                LifeSpan::since(26),
+            ))
+            .method(leaf(
+                "getActiveNotifications",
+                "()[Landroid/service/notification/StatusBarNotification;",
+                LifeSpan::since(23),
+            )),
     );
     s.add_class(
         ClassSpec::new("android.app.NotificationChannel")
             .life(LifeSpan::since(26))
-            .method(leaf("<init>", "(Ljava/lang/String;Ljava/lang/CharSequence;I)V", LifeSpan::since(26)))
-            .method(leaf("setDescription", "(Ljava/lang/String;)V", LifeSpan::since(26))),
+            .method(leaf(
+                "<init>",
+                "(Ljava/lang/String;Ljava/lang/CharSequence;I)V",
+                LifeSpan::since(26),
+            ))
+            .method(leaf(
+                "setDescription",
+                "(Ljava/lang/String;)V",
+                LifeSpan::since(26),
+            )),
     );
 
     // --- Permission-guarded APIs (PScout-style mappings) ---------------------
@@ -331,19 +702,31 @@ pub fn android_spec() -> FrameworkSpec {
     s.add_class(
         ClassSpec::new("android.location.LocationManager")
             .method(
-                leaf("requestLocationUpdates", "(Ljava/lang/String;JFLandroid/location/LocationListener;)V", LifeSpan::always())
-                    .requires(Permission::android("ACCESS_FINE_LOCATION")),
+                leaf(
+                    "requestLocationUpdates",
+                    "(Ljava/lang/String;JFLandroid/location/LocationListener;)V",
+                    LifeSpan::always(),
+                )
+                .requires(Permission::android("ACCESS_FINE_LOCATION")),
             )
             .method(
-                leaf("getLastKnownLocation", "(Ljava/lang/String;)Landroid/location/Location;", LifeSpan::always())
-                    .requires(Permission::android("ACCESS_FINE_LOCATION")),
+                leaf(
+                    "getLastKnownLocation",
+                    "(Ljava/lang/String;)Landroid/location/Location;",
+                    LifeSpan::always(),
+                )
+                .requires(Permission::android("ACCESS_FINE_LOCATION")),
             ),
     );
     s.add_class(
         ClassSpec::new("android.telephony.TelephonyManager")
             .method(
-                leaf("getDeviceId", "()Ljava/lang/String;", LifeSpan::between(2, 26))
-                    .requires(Permission::android("READ_PHONE_STATE")),
+                leaf(
+                    "getDeviceId",
+                    "()Ljava/lang/String;",
+                    LifeSpan::between(2, 26),
+                )
+                .requires(Permission::android("READ_PHONE_STATE")),
             )
             .method(
                 leaf("getImei", "()Ljava/lang/String;", LifeSpan::since(26))
@@ -362,47 +745,73 @@ pub fn android_spec() -> FrameworkSpec {
         ClassSpec::new("android.provider.ContactsContract$Contacts")
             .life(LifeSpan::since(5))
             .method(
-                leaf("query", "(Landroid/content/ContentResolver;)Landroid/database/Cursor;", LifeSpan::since(5))
-                    .requires(Permission::android("READ_CONTACTS")),
+                leaf(
+                    "query",
+                    "(Landroid/content/ContentResolver;)Landroid/database/Cursor;",
+                    LifeSpan::since(5),
+                )
+                .requires(Permission::android("READ_CONTACTS")),
             ),
     );
     s.add_class(
         ClassSpec::new("android.os.Environment")
             .method(
-                leaf("getExternalStorageDirectory", "()Ljava/io/File;", LifeSpan::always())
-                    .requires(Permission::android("WRITE_EXTERNAL_STORAGE")),
+                leaf(
+                    "getExternalStorageDirectory",
+                    "()Ljava/io/File;",
+                    LifeSpan::always(),
+                )
+                .requires(Permission::android("WRITE_EXTERNAL_STORAGE")),
             )
-            .method(leaf("getExternalStorageState", "()Ljava/lang/String;", LifeSpan::always()))
-            .method(leaf("isExternalStorageRemovable", "()Z", LifeSpan::since(9))),
+            .method(leaf(
+                "getExternalStorageState",
+                "()Ljava/lang/String;",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "isExternalStorageRemovable",
+                "()Z",
+                LifeSpan::since(9),
+            )),
     );
     s.add_class(
-        ClassSpec::new("android.provider.MediaStore")
-            .method(
-                leaf("captureImage", "(Landroid/content/Context;)V", LifeSpan::since(3))
-                    .requires(Permission::android("CAMERA")),
-            ),
+        ClassSpec::new("android.provider.MediaStore").method(
+            leaf(
+                "captureImage",
+                "(Landroid/content/Context;)V",
+                LifeSpan::since(3),
+            )
+            .requires(Permission::android("CAMERA")),
+        ),
     );
     s.add_class(
-        ClassSpec::new("android.media.AudioRecord")
-            .method(
-                leaf("startRecording", "()V", LifeSpan::since(3))
-                    .requires(Permission::android("RECORD_AUDIO")),
-            ),
+        ClassSpec::new("android.media.AudioRecord").method(
+            leaf("startRecording", "()V", LifeSpan::since(3))
+                .requires(Permission::android("RECORD_AUDIO")),
+        ),
     );
     s.add_class(
         ClassSpec::new("android.accounts.AccountManager")
             .life(LifeSpan::since(5))
             .method(
-                leaf("getAccounts", "()[Landroid/accounts/Account;", LifeSpan::since(5))
-                    .requires(Permission::android("GET_ACCOUNTS")),
+                leaf(
+                    "getAccounts",
+                    "()[Landroid/accounts/Account;",
+                    LifeSpan::since(5),
+                )
+                .requires(Permission::android("GET_ACCOUNTS")),
             ),
     );
     s.add_class(
         ClassSpec::new("android.provider.CalendarContract$Events")
             .life(LifeSpan::since(14))
             .method(
-                leaf("query", "(Landroid/content/ContentResolver;)Landroid/database/Cursor;", LifeSpan::since(14))
-                    .requires(Permission::android("READ_CALENDAR")),
+                leaf(
+                    "query",
+                    "(Landroid/content/ContentResolver;)Landroid/database/Cursor;",
+                    LifeSpan::since(14),
+                )
+                .requires(Permission::android("READ_CALENDAR")),
             ),
     );
 
@@ -417,9 +826,13 @@ pub fn android_spec() -> FrameworkSpec {
     );
     s.add_class(
         ClassSpec::new("android.support.v4.content.ResourcesCompat").method(
-            leaf("getColorStateList", "(Landroid/content/Context;I)Landroid/content/res/ColorStateList;", LifeSpan::always())
-                .calls_guarded(ctx_get_csl.clone(), 23)
-                .weight(6),
+            leaf(
+                "getColorStateList",
+                "(Landroid/content/Context;I)Landroid/content/res/ColorStateList;",
+                LifeSpan::always(),
+            )
+            .calls_guarded(ctx_get_csl.clone(), 23)
+            .weight(6),
         ),
     );
     // ContextCompat.checkSelfPermission: guarded shim over the API-23
@@ -432,12 +845,23 @@ pub fn android_spec() -> FrameworkSpec {
     s.add_class(
         ClassSpec::new("android.support.v4.content.ContextCompat")
             .method(
-                leaf("checkSelfPermission", "(Landroid/content/Context;Ljava/lang/String;)I", LifeSpan::always())
-                    .calls_guarded(ctx_csp, 23),
+                leaf(
+                    "checkSelfPermission",
+                    "(Landroid/content/Context;Ljava/lang/String;)I",
+                    LifeSpan::always(),
+                )
+                .calls_guarded(ctx_csp, 23),
             )
             .method(
-                leaf("getColor", "(Landroid/content/Context;I)I", LifeSpan::always())
-                    .calls_guarded(MethodRef::new("android.content.Context", "getColor", "(I)I"), 23),
+                leaf(
+                    "getColor",
+                    "(Landroid/content/Context;I)I",
+                    LifeSpan::always(),
+                )
+                .calls_guarded(
+                    MethodRef::new("android.content.Context", "getColor", "(I)I"),
+                    23,
+                ),
             ),
     );
     // ActivityCompat.requestPermissions: guarded shim over the API-23
@@ -451,8 +875,12 @@ pub fn android_spec() -> FrameworkSpec {
         ClassSpec::new("android.support.v4.app.ActivityCompat")
             .extends("android.support.v4.content.ContextCompat")
             .method(
-                leaf("requestPermissions", "(Landroid/app/Activity;[Ljava/lang/String;I)V", LifeSpan::always())
-                    .calls_guarded(act_req, 23),
+                leaf(
+                    "requestPermissions",
+                    "(Landroid/app/Activity;[Ljava/lang/String;I)V",
+                    LifeSpan::always(),
+                )
+                .calls_guarded(act_req, 23),
             ),
     );
     // TintHelper.applyTint: the *unguarded* deep path — present at every
@@ -487,9 +915,13 @@ pub fn android_spec() -> FrameworkSpec {
                     .weight(6),
             )
             .method(
-                leaf("openSession", "(Landroid/content/Context;)V", LifeSpan::always())
-                    .calls(set_audio)
-                    .weight(4),
+                leaf(
+                    "openSession",
+                    "(Landroid/content/Context;)V",
+                    LifeSpan::always(),
+                )
+                .calls(set_audio)
+                .weight(4),
             ),
     );
     // A deep chain whose *third* hop is level-sensitive: facade →
@@ -502,18 +934,26 @@ pub fn android_spec() -> FrameworkSpec {
     s.add_class(
         ClassSpec::new("android.support.text.FontFacade")
             .method(
-                leaf("applyFont", "(Landroid/widget/TextView;I)V", LifeSpan::always())
-                    .calls(MethodRef::new(
-                        "android.support.text.FontFacade",
-                        "resolveFont",
-                        "(I)Landroid/graphics/Typeface;",
-                    ))
-                    .weight(5),
+                leaf(
+                    "applyFont",
+                    "(Landroid/widget/TextView;I)V",
+                    LifeSpan::always(),
+                )
+                .calls(MethodRef::new(
+                    "android.support.text.FontFacade",
+                    "resolveFont",
+                    "(I)Landroid/graphics/Typeface;",
+                ))
+                .weight(5),
             )
             .method(
-                leaf("resolveFont", "(I)Landroid/graphics/Typeface;", LifeSpan::always())
-                    .calls(get_font)
-                    .weight(3),
+                leaf(
+                    "resolveFont",
+                    "(I)Landroid/graphics/Typeface;",
+                    LifeSpan::always(),
+                )
+                .calls(get_font)
+                .weight(3),
             ),
     );
 
@@ -522,33 +962,73 @@ pub fn android_spec() -> FrameworkSpec {
         ClassSpec::new("android.os.Handler")
             .method(leaf("<init>", "()V", LifeSpan::always()))
             .method(leaf("post", "(Ljava/lang/Runnable;)Z", LifeSpan::always()))
-            .method(leaf("postDelayed", "(Ljava/lang/Runnable;J)Z", LifeSpan::always())),
+            .method(leaf(
+                "postDelayed",
+                "(Ljava/lang/Runnable;J)Z",
+                LifeSpan::always(),
+            )),
     );
     s.add_class(
         ClassSpec::new("android.os.AsyncTask")
             .life(LifeSpan::since(3))
-            .method(leaf("execute", "([Ljava/lang/Object;)Landroid/os/AsyncTask;", LifeSpan::since(3)))
+            .method(leaf(
+                "execute",
+                "([Ljava/lang/Object;)Landroid/os/AsyncTask;",
+                LifeSpan::since(3),
+            ))
             .method(leaf("onPreExecute", "()V", LifeSpan::since(3)))
-            .method(leaf("onPostExecute", "(Ljava/lang/Object;)V", LifeSpan::since(3)))
-            .method(leaf("onProgressUpdate", "([Ljava/lang/Object;)V", LifeSpan::since(3))),
+            .method(leaf(
+                "onPostExecute",
+                "(Ljava/lang/Object;)V",
+                LifeSpan::since(3),
+            ))
+            .method(leaf(
+                "onProgressUpdate",
+                "([Ljava/lang/Object;)V",
+                LifeSpan::since(3),
+            )),
     );
     s.add_class(
         ClassSpec::new("android.app.AlertDialog$Builder")
-            .method(leaf("<init>", "(Landroid/content/Context;)V", LifeSpan::always()))
-            .method(leaf("setTitle", "(Ljava/lang/CharSequence;)Landroid/app/AlertDialog$Builder;", LifeSpan::always()))
-            .method(leaf("show", "()Landroid/app/AlertDialog;", LifeSpan::always())),
+            .method(leaf(
+                "<init>",
+                "(Landroid/content/Context;)V",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "setTitle",
+                "(Ljava/lang/CharSequence;)Landroid/app/AlertDialog$Builder;",
+                LifeSpan::always(),
+            ))
+            .method(leaf(
+                "show",
+                "()Landroid/app/AlertDialog;",
+                LifeSpan::always(),
+            )),
     );
     s.add_class(
         ClassSpec::new("android.app.job.JobScheduler")
             .life(LifeSpan::since(21))
-            .method(leaf("schedule", "(Landroid/app/job/JobInfo;)I", LifeSpan::since(21))),
+            .method(leaf(
+                "schedule",
+                "(Landroid/app/job/JobInfo;)I",
+                LifeSpan::since(21),
+            )),
     );
     s.add_class(
         ClassSpec::new("android.app.job.JobService")
             .life(LifeSpan::since(21))
             .extends("android.app.Service")
-            .method(leaf("onStartJob", "(Landroid/app/job/JobParameters;)Z", LifeSpan::since(21)))
-            .method(leaf("onStopJob", "(Landroid/app/job/JobParameters;)Z", LifeSpan::since(21))),
+            .method(leaf(
+                "onStartJob",
+                "(Landroid/app/job/JobParameters;)Z",
+                LifeSpan::since(21),
+            ))
+            .method(leaf(
+                "onStopJob",
+                "(Landroid/app/job/JobParameters;)Z",
+                LifeSpan::since(21),
+            )),
     );
 
     s
@@ -673,7 +1153,11 @@ pub mod well_known {
     /// `android.hardware.Camera.open()` — requires `CAMERA`.
     #[must_use]
     pub fn camera_open() -> MethodRef {
-        MethodRef::new("android.hardware.Camera", "open", "()Landroid/hardware/Camera;")
+        MethodRef::new(
+            "android.hardware.Camera",
+            "open",
+            "()Landroid/hardware/Camera;",
+        )
     }
 
     /// `android.location.LocationManager.requestLocationUpdates` —
@@ -799,7 +1283,11 @@ mod tests {
     #[test]
     fn curated_spec_is_nonempty_and_rooted() {
         let s = android_spec();
-        assert!(s.len() > 40, "expected a broad curated surface, got {}", s.len());
+        assert!(
+            s.len() > 40,
+            "expected a broad curated surface, got {}",
+            s.len()
+        );
         let obj = s.class(&ClassName::new("java.lang.Object")).unwrap();
         assert!(obj.super_class.is_none());
     }
@@ -833,7 +1321,9 @@ mod tests {
             (well_known::activity_request_permissions(), 23),
         ];
         for (m, since) in cases {
-            let life = db.method_lifespan(&m).unwrap_or_else(|| panic!("{m} not mined"));
+            let life = db
+                .method_lifespan(&m)
+                .unwrap_or_else(|| panic!("{m} not mined"));
             assert_eq!(life.since, ApiLevel::new(since), "{m}");
             assert_eq!(life.removed, None, "{m}");
         }
@@ -842,7 +1332,9 @@ mod tests {
     #[test]
     fn apache_http_removed_at_23() {
         let db = ApiDatabase::mine(&android_spec());
-        let life = db.method_lifespan(&well_known::http_client_execute()).unwrap();
+        let life = db
+            .method_lifespan(&well_known::http_client_execute())
+            .unwrap();
         assert_eq!(life.removed, Some(ApiLevel::new(23)));
         assert!(db.contains(&well_known::http_client_execute(), ApiLevel::new(22)));
         assert!(!db.contains(&well_known::http_client_execute(), ApiLevel::new(23)));
@@ -856,7 +1348,10 @@ mod tests {
             .resolve(&frag, &well_known::fragment_on_attach_context_sig())
             .unwrap();
         let act = db
-            .resolve(&frag, &MethodSig::new("onAttach", "(Landroid/app/Activity;)V"))
+            .resolve(
+                &frag,
+                &MethodSig::new("onAttach", "(Landroid/app/Activity;)V"),
+            )
             .unwrap();
         assert_eq!(ctx.1.since, ApiLevel::new(23));
         assert_eq!(act.1.since, ApiLevel::new(11));
@@ -880,7 +1375,11 @@ mod tests {
     #[test]
     fn permission_map_covers_dangerous_apis() {
         let map = PermissionMap::from_spec(&android_spec());
-        assert!(map.len() >= 12, "expected a rich permission map, got {}", map.len());
+        assert!(
+            map.len() >= 12,
+            "expected a rich permission map, got {}",
+            map.len()
+        );
         let cam: Vec<_> = map.required(&well_known::camera_open()).to_vec();
         assert_eq!(cam, vec![saint_ir::Permission::android("CAMERA")]);
         let storage: Vec<_> = map
@@ -913,7 +1412,10 @@ mod tests {
         let s = android_spec();
         let rc = ClassName::new("android.support.v4.content.ResourcesCompat");
         let at19 = s.materialize_class(&rc, ApiLevel::new(19)).unwrap();
-        assert_eq!(at19.methods[0].body.as_ref().unwrap().call_sites().count(), 1);
+        assert_eq!(
+            at19.methods[0].body.as_ref().unwrap().call_sites().count(),
+            1
+        );
     }
 
     #[test]

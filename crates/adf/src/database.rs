@@ -224,14 +224,26 @@ mod tests {
         let mut s = FrameworkSpec::new();
         s.add_class(
             ClassSpec::new("android.app.Activity")
-                .method(MethodSpec::leaf("onCreate", "(Landroid/os/Bundle;)V", LifeSpan::always()))
-                .method(MethodSpec::leaf("getFragmentManager", "()V", LifeSpan::since(11)))
+                .method(MethodSpec::leaf(
+                    "onCreate",
+                    "(Landroid/os/Bundle;)V",
+                    LifeSpan::always(),
+                ))
+                .method(MethodSpec::leaf(
+                    "getFragmentManager",
+                    "()V",
+                    LifeSpan::since(11),
+                ))
                 .method(MethodSpec::leaf(
                     "onRequestPermissionsResult",
                     "(I)V",
                     LifeSpan::since(23),
                 ))
-                .method(MethodSpec::leaf("managedQuery", "()V", LifeSpan::between(2, 11))),
+                .method(MethodSpec::leaf(
+                    "managedQuery",
+                    "()V",
+                    LifeSpan::between(2, 11),
+                )),
         );
         s.add_class(
             ClassSpec::new("android.app.NotificationChannel")

@@ -53,7 +53,10 @@ pub fn is_dangerous(p: &Permission) -> bool {
 /// The dangerous permissions as [`Permission`] values.
 #[must_use]
 pub fn dangerous_permissions() -> Vec<Permission> {
-    DANGEROUS_PERMISSIONS.iter().map(|p| Permission::new(*p)).collect()
+    DANGEROUS_PERMISSIONS
+        .iter()
+        .map(|p| Permission::new(*p))
+        .collect()
 }
 
 /// Maps framework API methods to the permissions the framework enforces
@@ -160,10 +163,11 @@ mod tests {
                     .requires(Permission::android("CAMERA")),
             ),
         );
-        spec.add_class(
-            ClassSpec::new("android.test.Free")
-                .method(MethodSpec::leaf("free", "()V", LifeSpan::always())),
-        );
+        spec.add_class(ClassSpec::new("android.test.Free").method(MethodSpec::leaf(
+            "free",
+            "()V",
+            LifeSpan::always(),
+        )));
         let map = PermissionMap::from_spec(&spec);
         assert_eq!(map.len(), 1);
         let open = MethodRef::new("android.hardware.Camera", "open", "()V");
@@ -178,7 +182,10 @@ mod tests {
         let m = MethodRef::new("a.B", "net", "()V");
         map.insert(
             m.clone(),
-            vec![Permission::android("INTERNET"), Permission::android("CAMERA")],
+            vec![
+                Permission::android("INTERNET"),
+                Permission::android("CAMERA"),
+            ],
         );
         let dangerous: Vec<_> = map.required_dangerous(&m).collect();
         assert_eq!(dangerous, vec![&Permission::android("CAMERA")]);

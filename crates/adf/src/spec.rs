@@ -308,15 +308,12 @@ impl FrameworkSpec {
         let mut b = BodyBuilder::new();
         b.pad(m.weight);
         for call in &m.calls {
-            let callee_exists = self
-                .classes
-                .get(&call.target.class)
-                .is_some_and(|c| {
-                    c.life.exists_at(level)
-                        && c.methods
-                            .iter()
-                            .any(|mm| mm.signature() == call.target.signature() && mm.life.exists_at(level))
-                });
+            let callee_exists = self.classes.get(&call.target.class).is_some_and(|c| {
+                c.life.exists_at(level)
+                    && c.methods.iter().any(|mm| {
+                        mm.signature() == call.target.signature() && mm.life.exists_at(level)
+                    })
+            });
             match call.guard {
                 Some(g) => {
                     // Guarded calls are always emitted; the guard is the
@@ -411,9 +408,11 @@ mod tests {
     fn unguarded_call_to_future_api_dropped_from_old_snapshot() {
         let mut s = FrameworkSpec::new();
         let newer = MethodRef::new("android.test.B", "newer", "()V");
-        s.add_class(
-            ClassSpec::new("android.test.B").method(MethodSpec::leaf("newer", "()V", LifeSpan::since(23))),
-        );
+        s.add_class(ClassSpec::new("android.test.B").method(MethodSpec::leaf(
+            "newer",
+            "()V",
+            LifeSpan::since(23),
+        )));
         s.add_class(
             ClassSpec::new("android.test.A")
                 .method(MethodSpec::leaf("facade", "()V", LifeSpan::always()).calls(newer)),
@@ -421,14 +420,7 @@ mod tests {
         let a = ClassName::new("android.test.A");
         let at21 = s.materialize_class(&a, ApiLevel::new(21)).unwrap();
         let at23 = s.materialize_class(&a, ApiLevel::new(23)).unwrap();
-        let calls = |c: &ClassDef| {
-            c.methods[0]
-                .body
-                .as_ref()
-                .unwrap()
-                .call_sites()
-                .count()
-        };
+        let calls = |c: &ClassDef| c.methods[0].body.as_ref().unwrap().call_sites().count();
         assert_eq!(calls(&at21), 0);
         assert_eq!(calls(&at23), 1);
     }
@@ -437,12 +429,16 @@ mod tests {
     fn guarded_call_always_emitted() {
         let mut s = FrameworkSpec::new();
         let newer = MethodRef::new("android.test.B", "newer", "()V");
+        s.add_class(ClassSpec::new("android.test.B").method(MethodSpec::leaf(
+            "newer",
+            "()V",
+            LifeSpan::since(23),
+        )));
         s.add_class(
-            ClassSpec::new("android.test.B").method(MethodSpec::leaf("newer", "()V", LifeSpan::since(23))),
+            ClassSpec::new("android.test.A").method(
+                MethodSpec::leaf("safe", "()V", LifeSpan::always()).calls_guarded(newer, 23),
+            ),
         );
-        s.add_class(ClassSpec::new("android.test.A").method(
-            MethodSpec::leaf("safe", "()V", LifeSpan::always()).calls_guarded(newer, 23),
-        ));
         let a = ClassName::new("android.test.A");
         let at21 = s.materialize_class(&a, ApiLevel::new(21)).unwrap();
         let body = at21.methods[0].body.as_ref().unwrap();

@@ -220,7 +220,9 @@ mod tests {
         cfg.seed = 99;
         let b = expanded_android_spec(&cfg);
         let weights = |s: &FrameworkSpec| -> Vec<usize> {
-            s.classes().flat_map(|c| c.methods.iter().map(|m| m.weight)).collect()
+            s.classes()
+                .flat_map(|c| c.methods.iter().map(|m| m.weight))
+                .collect()
         };
         assert_ne!(weights(&a), weights(&b));
     }
@@ -282,6 +284,8 @@ mod tests {
     #[test]
     fn curated_surface_survives_expansion() {
         let spec = expanded_android_spec(&SynthConfig::small());
-        assert!(spec.class(&ClassName::new("android.app.Activity")).is_some());
+        assert!(spec
+            .class(&ClassName::new("android.app.Activity"))
+            .is_some());
     }
 }

@@ -31,8 +31,7 @@ fn arb_spec() -> impl Strategy<Value = SpecShape> {
 fn build(shape: &SpecShape) -> FrameworkSpec {
     let mut spec = FrameworkSpec::new();
     for (ci, (class_life, methods)) in shape.classes.iter().enumerate() {
-        let mut class =
-            ClassSpec::new(format!("android.prop.C{ci}")).life(*class_life);
+        let mut class = ClassSpec::new(format!("android.prop.C{ci}")).life(*class_life);
         for (mi, life) in methods.iter().enumerate() {
             // Clamp each method's lifetime inside its class's: a method
             // cannot outlive its class in any real history.
@@ -41,7 +40,9 @@ fn build(shape: &SpecShape) -> FrameworkSpec {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),
             };
-            let Some(life) = clamp(since, removed) else { continue };
+            let Some(life) = clamp(since, removed) else {
+                continue;
+            };
             class = class.method(MethodSpec::leaf(format!("m{mi}"), "()V", life));
         }
         spec.add_class(class);

@@ -115,8 +115,9 @@ impl AbsEnv {
                     self.set(*dst, AbsVal::Top);
                 }
             }
-            Instr::BinOp { dst, .. }
-            | Instr::NewInstance { dst, .. } => self.set(*dst, AbsVal::Top),
+            Instr::BinOp { dst, .. } | Instr::NewInstance { dst, .. } => {
+                self.set(*dst, AbsVal::Top)
+            }
             Instr::Invoke { dst, .. } => {
                 if let Some(d) = dst {
                     self.set(*d, AbsVal::Top);
@@ -203,7 +204,12 @@ impl AbsState {
     /// Rough size in bytes, for the load meter.
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        self.entry.iter().chain(&self.exit).map(AbsEnv::size_bytes).sum::<usize>() + 48
+        self.entry
+            .iter()
+            .chain(&self.exit)
+            .map(AbsEnv::size_bytes)
+            .sum::<usize>()
+            + 48
     }
 }
 
@@ -306,11 +312,7 @@ mod tests {
         let mut b = BodyBuilder::new();
         let r = b.alloc_reg();
         b.const_int(r, 23);
-        b.invoke_static(
-            saint_ir::MethodRef::new("a.B", "rand", "()I"),
-            &[],
-            Some(r),
-        );
+        b.invoke_static(saint_ir::MethodRef::new("a.B", "rand", "()I"), &[], Some(r));
         b.ret_void();
         let (_, st) = analyze(b);
         assert_eq!(st.at_exit(BlockId::ENTRY).get(r), AbsVal::Top);

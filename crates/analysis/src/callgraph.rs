@@ -31,7 +31,9 @@ impl CallGraph {
             g.callees.entry(m.clone()).or_default();
         }
         for e in &ex.edges {
-            let Some(resolved) = &e.resolved else { continue };
+            let Some(resolved) = &e.resolved else {
+                continue;
+            };
             g.callees
                 .entry(e.caller.clone())
                 .or_default()
@@ -162,7 +164,7 @@ mod tests {
             Arc::new(AndroidFramework::curated()),
             ApiLevel::new(28),
         )));
-        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        let ex = explore(&clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
         let on_create = MethodRef::new("p.Main", "onCreate", "(Landroid/os/Bundle;)V");
         (CallGraph::from_exploration(&ex), on_create, helper_ref)
     }

@@ -12,14 +12,32 @@
 //! dispatch resolution, override lookup, exploration) loads classes
 //! *through* it, so the meter sees exactly what the analysis
 //! materializes.
+//!
+//! **Shared access.** The loaded-class table is sharded over
+//! independent `RwLock` shards (the same deterministic FNV-1a
+//! distribution as [`ShardedClassCache`](crate::ShardedClassCache)) and
+//! the meter is atomic, so [`load_class`](Clvm::load_class),
+//! [`resolve_virtual`](Clvm::resolve_virtual),
+//! [`resolve_body`](Clvm::resolve_body) and
+//! [`framework_ancestor`](Clvm::framework_ancestor) all take `&self`:
+//! any number of intra-app exploration workers can drive one CLVM
+//! concurrently. Metering stays exact under concurrency because loads
+//! are deduplicated per class (only the thread that wins the insert
+//! race records the charge) and every charge is a pure function of the
+//! materialized content.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use parking_lot::RwLock;
 use saint_ir::{ClassDef, ClassName, MethodDef, MethodRef, MethodSig};
 
-use crate::meter::LoadMeter;
+use crate::meter::{AtomicMeter, LoadMeter};
 use crate::provider::ClassProvider;
+
+/// Shard count of the loaded-class table: enough to keep a machine's
+/// worth of exploration workers from colliding.
+const LOADED_SHARDS: usize = 16;
 
 /// Outcome of resolving a virtual call through the loaded hierarchy.
 #[derive(Debug, Clone)]
@@ -41,11 +59,22 @@ pub enum Resolution {
     External(ClassName),
 }
 
+type LoadedShard = RwLock<HashMap<ClassName, Option<Arc<ClassDef>>>>;
+
 /// The lazy class loader.
 pub struct Clvm {
     providers: Vec<Box<dyn ClassProvider>>,
-    loaded: HashMap<ClassName, Option<Arc<ClassDef>>>,
-    meter: LoadMeter,
+    loaded: Vec<LoadedShard>,
+    meter: AtomicMeter,
+}
+
+fn shard_index(name: &ClassName, shards: usize) -> usize {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_str().bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (hash as usize) % shards
 }
 
 impl Clvm {
@@ -54,8 +83,10 @@ impl Clvm {
     pub fn new() -> Self {
         Clvm {
             providers: Vec::new(),
-            loaded: HashMap::new(),
-            meter: LoadMeter::new(),
+            loaded: (0..LOADED_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            meter: AtomicMeter::new(),
         }
     }
 
@@ -64,36 +95,49 @@ impl Clvm {
         self.providers.push(provider);
     }
 
+    fn shard(&self, name: &ClassName) -> &LoadedShard {
+        &self.loaded[shard_index(name, self.loaded.len())]
+    }
+
     /// Loads a class (materializing and metering it on first access).
     /// Returns `None` when no provider knows the class; the failed
     /// lookup is remembered and metered once.
-    pub fn load_class(&mut self, name: &ClassName) -> Option<Arc<ClassDef>> {
+    pub fn load_class(&self, name: &ClassName) -> Option<Arc<ClassDef>> {
+        let shard = self.shard(name);
         // Probe before inserting: hits are the overwhelmingly common
-        // case during exploration and must not clone the name (the
-        // `entry` API would clone on every call).
-        if let Some(cached) = self.loaded.get(name) {
+        // case during exploration and must not clone the name or take
+        // the write lock.
+        if let Some(cached) = shard.read().get(name) {
             return cached.clone();
         }
+        // Materialize outside any lock: providers may be slow, and two
+        // workers racing on the same name produce identical definitions
+        // (materialization is a pure function of provider content).
         let found = self.providers.iter().find_map(|p| p.find_class(name));
+        let mut map = shard.write();
+        if let Some(cached) = map.get(name) {
+            // Lost the race: the winner already recorded the charge.
+            return cached.clone();
+        }
         match &found {
             Some(c) => self.meter.record_class(c.size_bytes()),
             None => self.meter.record_unresolved(),
         }
-        self.loaded.insert(name.clone(), found.clone());
+        map.insert(name.clone(), found.clone());
         found
     }
 
     /// Whether a class has already been loaded (without loading it).
     #[must_use]
     pub fn is_loaded(&self, name: &ClassName) -> bool {
-        matches!(self.loaded.get(name), Some(Some(_)))
+        matches!(self.shard(name).read().get(name), Some(Some(_)))
     }
 
     /// Eagerly loads every class every provider can serve — the
     /// monolithic strategy of the baseline tools (paper §II-D:
     /// "Existing analysis techniques first load all code in the project
     /// and then perform analysis on the loaded code").
-    pub fn load_everything(&mut self) {
+    pub fn load_everything(&self) {
         let names: Vec<ClassName> = self
             .providers
             .iter()
@@ -107,13 +151,16 @@ impl Clvm {
     /// All class names every provider can serve, without loading.
     #[must_use]
     pub fn available_class_names(&self) -> Vec<ClassName> {
-        self.providers.iter().flat_map(|p| p.class_names()).collect()
+        self.providers
+            .iter()
+            .flat_map(|p| p.class_names())
+            .collect()
     }
 
     /// Resolves a virtual/interface call: loads the static receiver
     /// class and walks up the superclass chain until a declaration of
     /// the signature is found.
-    pub fn resolve_virtual(&mut self, call: &MethodRef) -> Resolution {
+    pub fn resolve_virtual(&self, call: &MethodRef) -> Resolution {
         let sig = call.signature();
         let mut current = call.class.clone();
         for _ in 0..64 {
@@ -137,7 +184,7 @@ impl Clvm {
 
     /// Finds the concrete [`MethodDef`] for a resolved call, if the
     /// declaring class carries a body.
-    pub fn resolve_body(&mut self, call: &MethodRef) -> Option<(Arc<ClassDef>, MethodRef)> {
+    pub fn resolve_body(&self, call: &MethodRef) -> Option<(Arc<ClassDef>, MethodRef)> {
         match self.resolve_virtual(call) {
             Resolution::Found { declaring, method } => {
                 let has_body = declaring
@@ -153,7 +200,7 @@ impl Clvm {
     /// returns the first *framework-provided* ancestor name, loading
     /// classes along the way. Used by the callback detector to find
     /// which framework class an app class ultimately extends.
-    pub fn framework_ancestor(&mut self, class: &ClassName) -> Option<ClassName> {
+    pub fn framework_ancestor(&self, class: &ClassName) -> Option<ClassName> {
         let mut current = self.load_class(class)?.super_class.clone();
         for _ in 0..64 {
             let sup_name = current?;
@@ -180,28 +227,41 @@ impl Clvm {
         class.method(sig)
     }
 
-    /// The meter's current snapshot.
+    /// The meter's current snapshot. Exact once all threads driving
+    /// this CLVM have finished.
     #[must_use]
-    pub fn meter(&self) -> &LoadMeter {
-        &self.meter
+    pub fn meter(&self) -> LoadMeter {
+        self.meter.snapshot()
     }
 
-    /// Mutable access for exploration code that meters method analysis.
-    pub fn meter_mut(&mut self) -> &mut LoadMeter {
-        &mut self.meter
+    /// Shared access for exploration code that meters method analysis.
+    #[must_use]
+    pub fn meter_ref(&self) -> &AtomicMeter {
+        &self.meter
     }
 
     /// Number of distinct classes successfully loaded.
     #[must_use]
     pub fn loaded_count(&self) -> usize {
-        self.loaded.values().filter(|v| v.is_some()).count()
+        self.loaded
+            .iter()
+            .map(|s| s.read().values().filter(|v| v.is_some()).count())
+            .sum()
     }
 
     /// Names of all loaded classes (diagnostics).
-    pub fn loaded_names(&self) -> impl Iterator<Item = &ClassName> {
+    #[must_use]
+    pub fn loaded_names(&self) -> Vec<ClassName> {
         self.loaded
             .iter()
-            .filter_map(|(n, v)| v.is_some().then_some(n))
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .filter(|(_, v)| v.is_some())
+                    .map(|(n, _)| n.clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect()
     }
 }
 
@@ -216,7 +276,7 @@ impl std::fmt::Debug for Clvm {
         f.debug_struct("Clvm")
             .field("providers", &self.providers.len())
             .field("loaded", &self.loaded_count())
-            .field("meter", &self.meter)
+            .field("meter", &self.meter.snapshot())
             .finish()
     }
 }
@@ -261,7 +321,7 @@ mod tests {
 
     #[test]
     fn lazy_loading_meters_once() {
-        let mut clvm = demo_clvm();
+        let clvm = demo_clvm();
         let name = ClassName::new("p.Main");
         clvm.load_class(&name);
         clvm.load_class(&name);
@@ -271,7 +331,7 @@ mod tests {
 
     #[test]
     fn unresolved_lookup_remembered() {
-        let mut clvm = demo_clvm();
+        let clvm = demo_clvm();
         let ghost = ClassName::new("no.Such");
         assert!(clvm.load_class(&ghost).is_none());
         assert!(clvm.load_class(&ghost).is_none());
@@ -280,7 +340,7 @@ mod tests {
 
     #[test]
     fn virtual_resolution_walks_into_framework() {
-        let mut clvm = demo_clvm();
+        let clvm = demo_clvm();
         // p.Main extends android.app.Activity; setContentView resolves
         // up into the framework class.
         let call = MethodRef::new("p.Main", "setContentView", "(I)V");
@@ -297,32 +357,35 @@ mod tests {
 
     #[test]
     fn resolution_reports_external_for_unknown_receiver() {
-        let mut clvm = demo_clvm();
+        let clvm = demo_clvm();
         let call = MethodRef::new("com.thirdparty.Blob", "run", "()V");
-        assert!(matches!(clvm.resolve_virtual(&call), Resolution::External(_)));
+        assert!(matches!(
+            clvm.resolve_virtual(&call),
+            Resolution::External(_)
+        ));
     }
 
     #[test]
     fn resolution_not_found_for_missing_signature() {
-        let mut clvm = demo_clvm();
+        let clvm = demo_clvm();
         let call = MethodRef::new("p.Main", "noSuchMethod", "()V");
         assert!(matches!(clvm.resolve_virtual(&call), Resolution::NotFound));
     }
 
     #[test]
     fn framework_ancestor_skips_app_layers() {
-        let mut clvm = demo_clvm();
+        let clvm = demo_clvm();
         let anc = clvm.framework_ancestor(&ClassName::new("p.Sub")).unwrap();
         assert_eq!(anc.as_str(), "android.app.ListActivity");
     }
 
     #[test]
     fn load_everything_is_monolithic() {
-        let mut lazy = demo_clvm();
+        let lazy = demo_clvm();
         lazy.load_class(&ClassName::new("p.Main"));
         let lazy_count = lazy.loaded_count();
 
-        let mut eager = demo_clvm();
+        let eager = demo_clvm();
         eager.load_everything();
         assert!(
             eager.loaded_count() > lazy_count * 10,
@@ -335,10 +398,46 @@ mod tests {
 
     #[test]
     fn resolve_body_returns_concrete_bodies_only() {
-        let mut clvm = demo_clvm();
+        let clvm = demo_clvm();
         let call = MethodRef::new("p.Main", "onCreate", "(Landroid/os/Bundle;)V");
         let (declaring, method) = clvm.resolve_body(&call).unwrap();
         assert_eq!(declaring.name.as_str(), "p.Main");
         assert_eq!(&*method.name, "onCreate");
+    }
+
+    #[test]
+    fn concurrent_loads_meter_each_class_once() {
+        let clvm = Arc::new(demo_clvm());
+        let names = ["p.Main", "p.Base", "p.Sub", "android.app.Activity"];
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let clvm = Arc::clone(&clvm);
+                s.spawn(move || {
+                    for name in names {
+                        clvm.load_class(&ClassName::new(name));
+                    }
+                });
+            }
+        });
+        assert_eq!(clvm.meter().classes_loaded, names.len());
+    }
+
+    #[test]
+    fn concurrent_loads_share_one_arc() {
+        let clvm = Arc::new(demo_clvm());
+        let arcs: Vec<Arc<ClassDef>> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let clvm = Arc::clone(&clvm);
+                    s.spawn(move || clvm.load_class(&ClassName::new("p.Main")).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for a in &arcs[1..] {
+            assert!(Arc::ptr_eq(&arcs[0], a));
+        }
     }
 }

@@ -12,7 +12,7 @@
 //! SAINTDroid's lazy loading sound.
 
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 use saint_ir::{Apk, ClassDef, ClassName, ClassOrigin, Instr, MethodRef};
 
@@ -81,7 +81,7 @@ pub struct MethodArtifacts {
 }
 
 /// One call-graph edge discovered during exploration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CallEdge {
     /// Resolved caller.
     pub caller: MethodRef,
@@ -93,7 +93,7 @@ pub struct CallEdge {
 }
 
 /// A late-binding discovery.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DynamicLoad {
     /// Method containing the `loadClass`/`forName` call.
     pub site: MethodRef,
@@ -146,10 +146,7 @@ impl Exploration {
     }
 
     /// Outgoing edges of a resolved caller.
-    pub fn edges_from<'a>(
-        &'a self,
-        caller: &MethodRef,
-    ) -> impl Iterator<Item = &'a CallEdge> {
+    pub fn edges_from<'a>(&'a self, caller: &MethodRef) -> impl Iterator<Item = &'a CallEdge> {
         self.edge_index
             .get(caller)
             .into_iter()
@@ -184,9 +181,182 @@ pub fn app_method_roots(apk: &Apk) -> Vec<MethodRef> {
         .collect()
 }
 
+/// Everything one processed method contributed to the exploration, in
+/// body order — the unit both the sequential loop and the parallel
+/// task pool produce, so the per-method work is identical by
+/// construction.
+struct MethodVisit {
+    resolved: MethodRef,
+    art: Arc<MethodArtifacts>,
+    edges: Vec<CallEdge>,
+    resolutions: Vec<(MethodRef, Option<MethodRef>)>,
+    dynamic_loads: Vec<DynamicLoad>,
+    externals: Vec<ClassName>,
+}
+
+/// What resolving and scanning one worklist target produced.
+enum TargetOutcome {
+    /// The target resolved to a fresh analyzable method; `Vec` holds
+    /// the discovered follow-up targets in body order.
+    Visited(Box<MethodVisit>, Vec<MethodRef>),
+    /// Resolution left the analyzable world at this class.
+    External(ClassName),
+    /// Already claimed, unresolvable, or gated out by the config.
+    Skipped,
+}
+
+/// Resolves one worklist target and, if `claim` accepts the resolved
+/// method (first visit), analyzes its body. Shared verbatim between the
+/// sequential and the parallel explorer.
+fn visit_target<F>(
+    clvm: &Clvm,
+    config: &ExploreConfig,
+    artifact_cache: Option<(&crate::cache::ArtifactCache, saint_ir::ApiLevel)>,
+    target: &MethodRef,
+    claim: F,
+) -> TargetOutcome
+where
+    F: FnOnce(&MethodRef) -> bool,
+{
+    let (declaring, resolved) = match clvm.resolve_virtual(target) {
+        Resolution::Found { declaring, method } => (declaring, method),
+        Resolution::External(class) => return TargetOutcome::External(class),
+        Resolution::NotFound => return TargetOutcome::Skipped,
+    };
+    if !claim(&resolved) {
+        return TargetOutcome::Skipped;
+    }
+    if config.skip_anonymous
+        && declaring.name.is_anonymous_inner()
+        && !matches!(declaring.origin, ClassOrigin::Framework)
+    {
+        return TargetOutcome::Skipped;
+    }
+    if !config.follow_framework && matches!(declaring.origin, ClassOrigin::Framework) {
+        // Terminal: the shallow view stops at the framework boundary.
+        return TargetOutcome::Skipped;
+    }
+    let Some(def) = declaring.method(&resolved.signature()) else {
+        return TargetOutcome::Skipped;
+    };
+    let Some(body) = &def.body else {
+        return TargetOutcome::Skipped; // abstract / native terminal
+    };
+
+    let build = || {
+        let cfg = Cfg::build(body);
+        let abs = AbsState::analyze(body, &cfg);
+        Arc::new(MethodArtifacts {
+            class: Arc::clone(&declaring),
+            method: resolved.clone(),
+            origin: declaring.origin,
+            cfg,
+            abs,
+        })
+    };
+    let art = match artifact_cache {
+        Some((cache, level)) if matches!(declaring.origin, ClassOrigin::Framework) => {
+            cache.get_or_build(level, &resolved, build)
+        }
+        _ => build(),
+    };
+    // Metered from the artifact's content — the same value whether
+    // it was just built or served from the batch cache.
+    clvm.meter_ref()
+        .record_method(art.cfg.size_bytes() + art.abs.size_bytes());
+
+    let mut visit = MethodVisit {
+        resolved: resolved.clone(),
+        art: Arc::clone(&art),
+        edges: Vec::new(),
+        resolutions: Vec::new(),
+        dynamic_loads: Vec::new(),
+        externals: Vec::new(),
+    };
+    let mut followups = Vec::new();
+
+    // Scan the body for callees and late-binding sites.
+    for (block, bb) in body.iter() {
+        for instr in &bb.instrs {
+            let Instr::Invoke { method, args, .. } = instr else {
+                continue;
+            };
+            let edge_resolved = match clvm.resolve_virtual(method) {
+                Resolution::Found { method: m, .. } => Some(m),
+                Resolution::External(class) => {
+                    visit.externals.push(class);
+                    None
+                }
+                Resolution::NotFound => None,
+            };
+            visit
+                .resolutions
+                .push((method.clone(), edge_resolved.clone()));
+            visit.edges.push(CallEdge {
+                caller: resolved.clone(),
+                target: method.clone(),
+                resolved: edge_resolved,
+            });
+            followups.push(method.clone());
+
+            if config.follow_dynamic && is_dynamic_load(method) {
+                let env = art.abs.at_entry(block);
+                // Recover the first string-constant argument: the
+                // class name handed to the loader.
+                //
+                // NOTE: entry-env is an approximation; constants
+                // defined earlier in the same block are found via
+                // a forward scan below.
+                let mut local = env.clone();
+                for earlier in &bb.instrs {
+                    if std::ptr::eq(earlier, instr) {
+                        break;
+                    }
+                    local.apply(earlier);
+                }
+                let name = args.iter().find_map(|r| match local.get(*r) {
+                    AbsVal::Str(s) => Some(ClassName::new(s)),
+                    _ => None,
+                });
+                if let Some(class) = name {
+                    let loaded = clvm.load_class(&class);
+                    let hit = loaded.is_some();
+                    if let Some(c) = loaded {
+                        for m in c.methods.iter().filter(|m| m.body.is_some()) {
+                            followups.push(m.reference(&c.name));
+                        }
+                    }
+                    visit.dynamic_loads.push(DynamicLoad {
+                        site: resolved.clone(),
+                        class,
+                        resolved: hit,
+                    });
+                }
+            }
+        }
+    }
+
+    TargetOutcome::Visited(Box::new(visit), followups)
+}
+
+/// Folds one method's contributions into the exploration result.
+fn apply_visit(out: &mut Exploration, visit: MethodVisit) {
+    for (target, resolved) in visit.resolutions {
+        out.resolutions.insert(target, resolved);
+    }
+    for edge in visit.edges {
+        out.push_edge(edge);
+    }
+    for class in visit.externals {
+        out.external_classes.insert(class);
+    }
+    out.dynamic_loads.extend(visit.dynamic_loads);
+    out.methods.insert(visit.resolved, visit.art);
+}
+
 /// Runs Algorithm 1: explores from `roots` through the [`Clvm`].
 pub fn explore(
-    clvm: &mut Clvm,
+    clvm: &Clvm,
     roots: impl IntoIterator<Item = MethodRef>,
     config: &ExploreConfig,
 ) -> Exploration {
@@ -199,7 +369,7 @@ pub fn explore(
 /// materializes from. The exploration result (and the per-app meter)
 /// is identical either way.
 pub fn explore_cached(
-    clvm: &mut Clvm,
+    clvm: &Clvm,
     roots: impl IntoIterator<Item = MethodRef>,
     config: &ExploreConfig,
     artifact_cache: Option<(&crate::cache::ArtifactCache, saint_ir::ApiLevel)>,
@@ -210,122 +380,176 @@ pub fn explore_cached(
     let mut out = Exploration::default();
     let mut worklist: VecDeque<MethodRef> = roots.into_iter().collect();
     let mut visited_static: HashSet<MethodRef> = HashSet::new();
+    let mut claimed: HashSet<MethodRef> = HashSet::new();
 
     while let Some(target) = worklist.pop_front() {
         if !visited_static.insert(target.clone()) {
             continue;
         }
-        let (declaring, resolved) = match clvm.resolve_virtual(&target) {
-            Resolution::Found { declaring, method } => (declaring, method),
-            Resolution::External(class) => {
+        match visit_target(clvm, config, artifact_cache, &target, |r| {
+            claimed.insert(r.clone())
+        }) {
+            TargetOutcome::External(class) => {
                 out.external_classes.insert(class);
-                continue;
             }
-            Resolution::NotFound => continue,
-        };
-        if out.methods.contains_key(&resolved) {
-            continue;
-        }
-        if config.skip_anonymous
-            && declaring.name.is_anonymous_inner()
-            && !matches!(declaring.origin, ClassOrigin::Framework)
-        {
-            continue;
-        }
-        if !config.follow_framework && matches!(declaring.origin, ClassOrigin::Framework) {
-            // Terminal: the shallow view stops at the framework boundary.
-            continue;
-        }
-        let Some(def) = declaring.method(&resolved.signature()) else {
-            continue;
-        };
-        let Some(body) = &def.body else {
-            continue; // abstract / native terminal
-        };
-
-        let build = || {
-            let cfg = Cfg::build(body);
-            let abs = AbsState::analyze(body, &cfg);
-            Arc::new(MethodArtifacts {
-                class: Arc::clone(&declaring),
-                method: resolved.clone(),
-                origin: declaring.origin,
-                cfg,
-                abs,
-            })
-        };
-        let art = match artifact_cache {
-            Some((cache, level)) if matches!(declaring.origin, ClassOrigin::Framework) => {
-                cache.get_or_build(level, &resolved, build)
+            TargetOutcome::Skipped => {}
+            TargetOutcome::Visited(visit, followups) => {
+                apply_visit(&mut out, *visit);
+                worklist.extend(followups);
             }
-            _ => build(),
-        };
-        // Metered from the artifact's content — the same value whether
-        // it was just built or served from the batch cache.
-        clvm.meter_mut()
-            .record_method(art.cfg.size_bytes() + art.abs.size_bytes());
+        }
+    }
+    out
+}
 
-        // Scan the body for callees and late-binding sites.
-        for (block, bb) in body.iter() {
-            for instr in &bb.instrs {
-                let Instr::Invoke { method, args, .. } = instr else {
-                    continue;
-                };
-                let edge_resolved = match clvm.resolve_virtual(method) {
-                    Resolution::Found { method: m, .. } => Some(m),
-                    Resolution::External(class) => {
-                        out.external_classes.insert(class);
-                        None
-                    }
-                    Resolution::NotFound => None,
-                };
-                out.resolutions
-                    .insert(method.clone(), edge_resolved.clone());
-                out.push_edge(CallEdge {
-                    caller: resolved.clone(),
-                    target: method.clone(),
-                    resolved: edge_resolved,
-                });
-                worklist.push_back(method.clone());
+/// Shared state of the work-stealing exploration pool.
+struct PoolState {
+    queue: VecDeque<MethodRef>,
+    /// Workers currently processing a target (termination: queue empty
+    /// *and* no worker active — an active worker may still enqueue).
+    active: usize,
+    /// Targets ever enqueued (the sequential loop's `visited_static`).
+    visited: HashSet<MethodRef>,
+    /// Resolved methods claimed for analysis (exactly-once processing —
+    /// what keeps the meter and the artifact set identical to the
+    /// sequential run).
+    claimed: HashSet<MethodRef>,
+}
 
-                if config.follow_dynamic && is_dynamic_load(method) {
-                    let env = art.abs.at_entry(block);
-                    // Recover the first string-constant argument: the
-                    // class name handed to the loader.
-                    //
-                    // NOTE: entry-env is an approximation; constants
-                    // defined earlier in the same block are found via
-                    // a forward scan below.
-                    let mut local = env.clone();
-                    for earlier in &bb.instrs {
-                        if std::ptr::eq(earlier, instr) {
-                            break;
-                        }
-                        local.apply(earlier);
+struct Pool {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+}
+
+/// Runs Algorithm 1 with `jobs` worker threads sharing one worklist.
+///
+/// Each task resolves one target method, analyzes its body, and
+/// enqueues the discovered callees — the same unit of work the
+/// sequential loop performs ([`visit_target`] is shared verbatim).
+/// Worker completion order is nondeterministic, so results are merged
+/// into the [`Exploration`] sorted by resolved method reference, not by
+/// completion: the parallel exploration is deterministic run-to-run,
+/// and the derived report is byte-identical to the sequential one (the
+/// method universe, the per-caller edge lists, the resolution map and
+/// the meter are all order-independent; only the global edge vector's
+/// internal arrangement differs, which nothing downstream observes).
+///
+/// `jobs <= 1` falls back to [`explore_cached`].
+pub fn explore_parallel(
+    clvm: &Clvm,
+    roots: impl IntoIterator<Item = MethodRef>,
+    config: &ExploreConfig,
+    artifact_cache: Option<(&crate::cache::ArtifactCache, saint_ir::ApiLevel)>,
+    jobs: usize,
+) -> Exploration {
+    if jobs <= 1 {
+        return explore_cached(clvm, roots, config, artifact_cache);
+    }
+    if config.preload_all {
+        clvm.load_everything();
+    }
+
+    let mut visited = HashSet::new();
+    let mut queue = VecDeque::new();
+    for root in roots {
+        if visited.insert(root.clone()) {
+            queue.push_back(root);
+        }
+    }
+    let pool = Pool {
+        state: Mutex::new(PoolState {
+            queue,
+            active: 0,
+            visited,
+            claimed: HashSet::new(),
+        }),
+        cv: Condvar::new(),
+    };
+
+    let worker = || {
+        let mut visits: Vec<MethodVisit> = Vec::new();
+        let mut externals: Vec<ClassName> = Vec::new();
+        loop {
+            let target = {
+                let mut st = pool.state.lock().expect("explore pool poisoned");
+                loop {
+                    if let Some(t) = st.queue.pop_front() {
+                        st.active += 1;
+                        break Some(t);
                     }
-                    let name = args.iter().find_map(|r| match local.get(*r) {
-                        AbsVal::Str(s) => Some(ClassName::new(s)),
-                        _ => None,
-                    });
-                    if let Some(class) = name {
-                        let loaded = clvm.load_class(&class);
-                        let hit = loaded.is_some();
-                        if let Some(c) = loaded {
-                            for m in c.methods.iter().filter(|m| m.body.is_some()) {
-                                worklist.push_back(m.reference(&c.name));
-                            }
-                        }
-                        out.dynamic_loads.push(DynamicLoad {
-                            site: resolved.clone(),
-                            class,
-                            resolved: hit,
-                        });
+                    if st.active == 0 {
+                        break None;
                     }
+                    st = pool.cv.wait(st).expect("explore pool poisoned");
+                }
+            };
+            let Some(target) = target else {
+                // Drained: wake any peer still parked in the wait loop.
+                pool.cv.notify_all();
+                return (visits, externals);
+            };
+            let outcome = visit_target(clvm, config, artifact_cache, &target, |r| {
+                pool.state
+                    .lock()
+                    .expect("explore pool poisoned")
+                    .claimed
+                    .insert(r.clone())
+            });
+            let mut followups = Vec::new();
+            match outcome {
+                TargetOutcome::External(class) => externals.push(class),
+                TargetOutcome::Skipped => {}
+                TargetOutcome::Visited(visit, f) => {
+                    visits.push(*visit);
+                    followups = f;
                 }
             }
+            let mut st = pool.state.lock().expect("explore pool poisoned");
+            for t in followups {
+                if st.visited.insert(t.clone()) {
+                    st.queue.push_back(t);
+                }
+            }
+            st.active -= 1;
+            // Targeted wakeups: parked peers are only woken for *surplus*
+            // work (two or more pending targets — this worker is about to
+            // pop one itself) or for termination. A narrow exploration
+            // frontier therefore degrades to one busy worker and silent
+            // peers instead of a futex storm per visited method; a missed
+            // wakeup only defers parallelism, never progress, because a
+            // worker re-checks the queue under the lock before parking
+            // and never parks while work is pending.
+            let done = st.queue.is_empty() && st.active == 0;
+            let surplus = st.queue.len() >= 2;
+            drop(st);
+            if done {
+                pool.cv.notify_all();
+            } else if surplus {
+                pool.cv.notify_one();
+            }
         }
+    };
 
-        out.methods.insert(resolved.clone(), art);
+    let results: Vec<(Vec<MethodVisit>, Vec<ClassName>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs).map(|_| s.spawn(worker)).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("explore worker panicked"))
+            .collect()
+    });
+
+    // Deterministic merge: sort by resolved method reference (each
+    // method was claimed exactly once, so keys are unique), never by
+    // completion order.
+    let mut visits: Vec<MethodVisit> = Vec::new();
+    let mut out = Exploration::default();
+    for (vs, externals) in results {
+        visits.extend(vs);
+        out.external_classes.extend(externals);
+    }
+    visits.sort_by(|a, b| a.resolved.cmp(&b.resolved));
+    for visit in visits {
+        apply_visit(&mut out, visit);
     }
     out
 }
@@ -333,8 +557,7 @@ pub fn explore_cached(
 /// Whether a call target is a late-binding entry point.
 #[must_use]
 pub fn is_dynamic_load(method: &MethodRef) -> bool {
-    (&*method.name == "loadClass"
-        && method.class.as_str() == "dalvik.system.DexClassLoader")
+    (&*method.name == "loadClass" && method.class.as_str() == "dalvik.system.DexClassLoader")
         || (&*method.name == "forName" && method.class.as_str() == "java.lang.Class")
 }
 
@@ -381,10 +604,14 @@ mod tests {
             .build();
         let main = ClassBuilder::new("p.Main", ClassOrigin::App)
             .extends("android.app.Activity")
-            .method("onCreate", "(Landroid/os/Bundle;)V", |b: &mut BodyBuilder| {
-                b.invoke_static(MethodRef::new("p.Helper", "work", "()V"), &[], None);
-                b.ret_void();
-            })
+            .method(
+                "onCreate",
+                "(Landroid/os/Bundle;)V",
+                |b: &mut BodyBuilder| {
+                    b.invoke_static(MethodRef::new("p.Helper", "work", "()V"), &[], None);
+                    b.ret_void();
+                },
+            )
             .unwrap()
             .build();
         ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
@@ -399,12 +626,18 @@ mod tests {
     #[test]
     fn explores_transitively_through_app_methods() {
         let apk = simple_apk();
-        let mut clvm = clvm_for(&apk);
-        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        let clvm = clvm_for(&apk);
+        let ex = explore(&clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
         assert!(ex
-            .artifacts(&MethodRef::new("p.Main", "onCreate", "(Landroid/os/Bundle;)V"))
+            .artifacts(&MethodRef::new(
+                "p.Main",
+                "onCreate",
+                "(Landroid/os/Bundle;)V"
+            ))
             .is_some());
-        assert!(ex.artifacts(&MethodRef::new("p.Helper", "work", "()V")).is_some());
+        assert!(ex
+            .artifacts(&MethodRef::new("p.Helper", "work", "()V"))
+            .is_some());
         // Deep: the framework method body got analyzed too.
         assert!(ex
             .methods
@@ -415,9 +648,11 @@ mod tests {
     #[test]
     fn shallow_config_stops_at_framework() {
         let apk = simple_apk();
-        let mut clvm = clvm_for(&apk);
-        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::shallow());
-        assert!(ex.artifacts(&MethodRef::new("p.Helper", "work", "()V")).is_some());
+        let clvm = clvm_for(&apk);
+        let ex = explore(&clvm, app_method_roots(&apk), &ExploreConfig::shallow());
+        assert!(ex
+            .artifacts(&MethodRef::new("p.Helper", "work", "()V"))
+            .is_some());
         assert!(!ex
             .methods
             .keys()
@@ -427,8 +662,8 @@ mod tests {
     #[test]
     fn lazy_loading_touches_only_reachable_classes() {
         let apk = simple_apk();
-        let mut clvm = clvm_for(&apk);
-        let _ = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        let clvm = clvm_for(&apk);
+        let _ = explore(&clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
         let loaded = clvm.loaded_count();
         let available = clvm.available_class_names().len();
         assert!(
@@ -440,8 +675,8 @@ mod tests {
     #[test]
     fn call_edges_record_resolution() {
         let apk = simple_apk();
-        let mut clvm = clvm_for(&apk);
-        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        let clvm = clvm_for(&apk);
+        let ex = explore(&clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
         let on_create = MethodRef::new("p.Main", "onCreate", "(Landroid/os/Bundle;)V");
         let edges: Vec<_> = ex.edges_from(&on_create).collect();
         assert_eq!(edges.len(), 1);
@@ -464,9 +699,11 @@ mod tests {
             .class(main)
             .unwrap()
             .build();
-        let mut clvm = clvm_for(&apk);
-        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
-        assert!(ex.external_classes.contains(&ClassName::new("com.vendor.Sdk")));
+        let clvm = clvm_for(&apk);
+        let ex = explore(&clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        assert!(ex
+            .external_classes
+            .contains(&ClassName::new("com.vendor.Sdk")));
     }
 
     #[test]
@@ -508,13 +745,17 @@ mod tests {
             .unwrap()
             .secondary_dex(payload)
             .build();
-        let mut clvm = clvm_for(&apk);
-        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        let clvm = clvm_for(&apk);
+        let ex = explore(&clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
         assert_eq!(ex.dynamic_loads.len(), 1);
         assert!(ex.dynamic_loads[0].resolved);
         // Every method of the payload class was analyzed.
-        assert!(ex.artifacts(&MethodRef::new("plug.Plugin", "run", "()V")).is_some());
-        assert!(ex.artifacts(&MethodRef::new("plug.Plugin", "idle", "()V")).is_some());
+        assert!(ex
+            .artifacts(&MethodRef::new("plug.Plugin", "run", "()V"))
+            .is_some());
+        assert!(ex
+            .artifacts(&MethodRef::new("plug.Plugin", "idle", "()V"))
+            .is_some());
     }
 
     #[test]
@@ -524,7 +765,11 @@ mod tests {
                 let name = b.alloc_reg();
                 b.const_str(name, "remote.Downloaded");
                 b.invoke_static(
-                    MethodRef::new("java.lang.Class", "forName", "(Ljava/lang/String;)Ljava/lang/Class;"),
+                    MethodRef::new(
+                        "java.lang.Class",
+                        "forName",
+                        "(Ljava/lang/String;)Ljava/lang/Class;",
+                    ),
                     &[name],
                     None,
                 );
@@ -536,8 +781,8 @@ mod tests {
             .class(main)
             .unwrap()
             .build();
-        let mut clvm = clvm_for(&apk);
-        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        let clvm = clvm_for(&apk);
+        let ex = explore(&clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
         assert_eq!(ex.dynamic_loads.len(), 1);
         assert!(!ex.dynamic_loads[0].resolved);
     }
@@ -546,18 +791,25 @@ mod tests {
     fn anonymous_inner_classes_skipped() {
         let anon = ClassBuilder::new("p.Main$1", ClassOrigin::App)
             .extends("android.webkit.WebViewClient")
-            .method("onPageCommitVisible", "(Landroid/webkit/WebView;Ljava/lang/String;)V", |b| {
-                b.ret_void();
-            })
+            .method(
+                "onPageCommitVisible",
+                "(Landroid/webkit/WebView;Ljava/lang/String;)V",
+                |b| {
+                    b.ret_void();
+                },
+            )
             .unwrap()
             .build();
         let apk = ApkBuilder::new("p", ApiLevel::new(19), ApiLevel::new(28))
             .class(anon)
             .unwrap()
             .build();
-        let mut clvm = clvm_for(&apk);
-        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
-        assert!(ex.methods.is_empty(), "anonymous inner class must be invisible");
+        let clvm = clvm_for(&apk);
+        let ex = explore(&clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        assert!(
+            ex.methods.is_empty(),
+            "anonymous inner class must be invisible"
+        );
     }
 
     #[test]
@@ -578,8 +830,121 @@ mod tests {
             .class(rec)
             .unwrap()
             .build();
-        let mut clvm = clvm_for(&apk);
-        let ex = explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        let clvm = clvm_for(&apk);
+        let ex = explore(&clvm, app_method_roots(&apk), &ExploreConfig::saintdroid());
         assert_eq!(ex.methods.len(), 2);
+    }
+
+    /// Asserts the observable exploration state (method universe,
+    /// per-caller edges, resolution map, dynamic loads, externals) and
+    /// the meter are identical between two runs.
+    fn assert_exploration_parity(apk: &Apk, jobs: usize) {
+        let seq_clvm = clvm_for(apk);
+        let seq = explore(
+            &seq_clvm,
+            app_method_roots(apk),
+            &ExploreConfig::saintdroid(),
+        );
+        let par_clvm = clvm_for(apk);
+        let par = explore_parallel(
+            &par_clvm,
+            app_method_roots(apk),
+            &ExploreConfig::saintdroid(),
+            None,
+            jobs,
+        );
+        let keys = |ex: &Exploration| {
+            let mut v: Vec<_> = ex.methods.keys().cloned().collect();
+            v.sort();
+            v
+        };
+        assert_eq!(
+            keys(&seq),
+            keys(&par),
+            "method universe differs at jobs={jobs}"
+        );
+        for m in seq.methods.keys() {
+            let se: Vec<_> = seq.edges_from(m).cloned().collect();
+            let pe: Vec<_> = par.edges_from(m).cloned().collect();
+            assert_eq!(se, pe, "edges from {m} differ at jobs={jobs}");
+        }
+        assert_eq!(seq.resolutions, par.resolutions);
+        assert_eq!(seq.external_classes, par.external_classes);
+        let loads = |ex: &Exploration| {
+            let mut v = ex.dynamic_loads.clone();
+            v.sort_by(|a, b| (&a.site, &a.class).cmp(&(&b.site, &b.class)));
+            v
+        };
+        assert_eq!(
+            loads(&seq),
+            loads(&par),
+            "dynamic loads differ at jobs={jobs}"
+        );
+        assert_eq!(
+            seq_clvm.meter(),
+            par_clvm.meter(),
+            "meter differs at jobs={jobs}"
+        );
+    }
+
+    #[test]
+    fn parallel_exploration_matches_sequential() {
+        for jobs in [2, 4, 8] {
+            assert_exploration_parity(&simple_apk(), jobs);
+        }
+    }
+
+    #[test]
+    fn parallel_exploration_matches_on_dynamic_loads() {
+        let mut payload = DexFile::new("assets/plugin.dex");
+        payload
+            .add_class(
+                ClassBuilder::new("plug.Plugin", ClassOrigin::DynamicPayload)
+                    .method("run", "()V", |b| {
+                        b.invoke_virtual(well_known::context_get_drawable(), &[], None);
+                        b.ret_void();
+                    })
+                    .unwrap()
+                    .build(),
+            )
+            .unwrap();
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .method("boot", "()V", |b| {
+                let loader = b.alloc_reg();
+                let name = b.alloc_reg();
+                b.new_instance(loader, "dalvik.system.DexClassLoader");
+                b.const_str(name, "plug.Plugin");
+                b.invoke(
+                    InvokeKind::Virtual,
+                    well_known::dex_class_loader_load_class(),
+                    &[loader, name],
+                    None,
+                );
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let apk = ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+            .class(main)
+            .unwrap()
+            .secondary_dex(payload)
+            .build();
+        assert_exploration_parity(&apk, 4);
+    }
+
+    #[test]
+    fn parallel_with_one_job_is_sequential() {
+        let apk = simple_apk();
+        let clvm = clvm_for(&apk);
+        let ex = explore_parallel(
+            &clvm,
+            app_method_roots(&apk),
+            &ExploreConfig::saintdroid(),
+            None,
+            1,
+        );
+        let clvm2 = clvm_for(&apk);
+        let seq = explore(&clvm2, app_method_roots(&apk), &ExploreConfig::saintdroid());
+        assert_eq!(ex.methods.len(), seq.methods.len());
     }
 }

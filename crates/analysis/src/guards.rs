@@ -122,12 +122,7 @@ pub struct BlockRanges {
 impl BlockRanges {
     /// Computes the fixpoint of range propagation over the CFG.
     #[must_use]
-    pub fn analyze(
-        body: &MethodBody,
-        _cfg: &Cfg,
-        abs: &AbsState,
-        incoming: LevelRange,
-    ) -> Self {
+    pub fn analyze(body: &MethodBody, _cfg: &Cfg, abs: &AbsState, incoming: LevelRange) -> Self {
         let n = body.len();
         let mut ranges: Vec<Option<LevelRange>> = vec![None; n];
         ranges[BlockId::ENTRY.index()] = Some(incoming);
@@ -139,7 +134,9 @@ impl BlockRanges {
             if iterations > n * 64 {
                 break; // safety valve; hull widening converges long before this
             }
-            let Some(cur) = ranges[b.index()] else { continue };
+            let Some(cur) = ranges[b.index()] else {
+                continue;
+            };
             let term = &body.block(b).terminator;
             let env = abs.at_exit(b);
             let edges: Vec<(BlockId, SdkConstraint)> = match term {
@@ -160,7 +157,9 @@ impl BlockRanges {
                     .collect(),
             };
             for (succ, constraint) in edges {
-                let Some(refined) = constraint.refine(cur) else { continue };
+                let Some(refined) = constraint.refine(cur) else {
+                    continue;
+                };
                 let merged = match ranges[succ.index()] {
                     None => refined,
                     Some(existing) => {

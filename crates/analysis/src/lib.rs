@@ -59,9 +59,9 @@ pub use callgraph::CallGraph;
 pub use cfg::Cfg;
 pub use clvm::{Clvm, Resolution};
 pub use explore::{
-    app_method_roots, concrete_methods, explore, explore_cached, is_dynamic_load, CallEdge,
-    DynamicLoad, Exploration, ExploreConfig, MethodArtifacts,
+    app_method_roots, concrete_methods, explore, explore_cached, explore_parallel, is_dynamic_load,
+    CallEdge, DynamicLoad, Exploration, ExploreConfig, MethodArtifacts,
 };
 pub use guards::{branch_constraints, BlockRanges, SdkConstraint};
-pub use meter::LoadMeter;
+pub use meter::{AtomicMeter, LoadMeter};
 pub use provider::{ClassProvider, FrameworkProvider, PrimaryDexProvider, SecondaryDexProvider};

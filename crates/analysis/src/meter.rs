@@ -10,6 +10,8 @@
 //! paper's argument is about. Wall-clock time is still measured for the
 //! timing experiments (Table III, Figure 3).
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use serde::{Deserialize, Serialize};
 
 /// Running counters for one analysis run.
@@ -70,6 +72,66 @@ impl LoadMeter {
     }
 }
 
+/// The concurrent counterpart of [`LoadMeter`]: the same counters as
+/// atomics, so a shared (`&self`) [`Clvm`](crate::Clvm) can meter from
+/// many exploration workers at once.
+///
+/// **Exactness.** Every charge is a pure function of content (class
+/// bytes, artifact bytes) and every charging site is deduplicated
+/// (classes load once per CLVM, methods are claimed once per
+/// exploration), so the counters are order-independent sums: a parallel
+/// run records exactly the totals the sequential run records, merely in
+/// a different interleaving. [`snapshot`](AtomicMeter::snapshot) taken
+/// after the workers join is therefore identical to the sequential
+/// meter.
+#[derive(Debug, Default)]
+pub struct AtomicMeter {
+    classes_loaded: AtomicUsize,
+    class_bytes: AtomicUsize,
+    methods_analyzed: AtomicUsize,
+    graph_bytes: AtomicUsize,
+    unresolved_lookups: AtomicUsize,
+}
+
+impl AtomicMeter {
+    /// A fresh meter.
+    #[must_use]
+    pub fn new() -> Self {
+        AtomicMeter::default()
+    }
+
+    /// Records the materialization of one class of `bytes` bytes.
+    pub fn record_class(&self, bytes: usize) {
+        self.classes_loaded.fetch_add(1, Ordering::Relaxed);
+        self.class_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records the analysis of one method with `graph_bytes` of derived
+    /// structures.
+    pub fn record_method(&self, graph_bytes: usize) {
+        self.methods_analyzed.fetch_add(1, Ordering::Relaxed);
+        self.graph_bytes.fetch_add(graph_bytes, Ordering::Relaxed);
+    }
+
+    /// Records a failed class lookup.
+    pub fn record_unresolved(&self) {
+        self.unresolved_lookups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current counters as a plain [`LoadMeter`] value. Exact once
+    /// all recording threads have joined.
+    #[must_use]
+    pub fn snapshot(&self) -> LoadMeter {
+        LoadMeter {
+            classes_loaded: self.classes_loaded.load(Ordering::Relaxed),
+            class_bytes: self.class_bytes.load(Ordering::Relaxed),
+            methods_analyzed: self.methods_analyzed.load(Ordering::Relaxed),
+            graph_bytes: self.graph_bytes.load(Ordering::Relaxed),
+            unresolved_lookups: self.unresolved_lookups.load(Ordering::Relaxed),
+        }
+    }
+}
+
 impl std::fmt::Display for LoadMeter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -115,5 +177,38 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!LoadMeter::new().to_string().is_empty());
+    }
+
+    #[test]
+    fn atomic_meter_matches_sequential() {
+        let atomic = AtomicMeter::new();
+        let mut plain = LoadMeter::new();
+        atomic.record_class(100);
+        plain.record_class(100);
+        atomic.record_method(40);
+        plain.record_method(40);
+        atomic.record_unresolved();
+        plain.record_unresolved();
+        assert_eq!(atomic.snapshot(), plain);
+    }
+
+    #[test]
+    fn atomic_meter_sums_across_threads() {
+        let meter = AtomicMeter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        meter.record_class(3);
+                        meter.record_method(2);
+                    }
+                });
+            }
+        });
+        let snap = meter.snapshot();
+        assert_eq!(snap.classes_loaded, 400);
+        assert_eq!(snap.class_bytes, 1200);
+        assert_eq!(snap.methods_analyzed, 400);
+        assert_eq!(snap.graph_bytes, 800);
     }
 }

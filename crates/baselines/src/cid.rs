@@ -25,8 +25,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use saint_adf::{AndroidFramework, ApiDatabase};
 use saint_adf::spec::LifeSpan;
+use saint_adf::{AndroidFramework, ApiDatabase};
 use saint_analysis::{
     AbsState, BlockRanges, Cfg, Clvm, FrameworkProvider, PrimaryDexProvider, Resolution,
 };
@@ -92,12 +92,14 @@ impl CompatDetector for Cid {
         let names = clvm.available_class_names();
         let mut app_method_graphs: Vec<(Arc<saint_ir::ClassDef>, usize)> = Vec::new();
         for name in names {
-            let Some(class) = clvm.load_class(&name) else { continue };
+            let Some(class) = clvm.load_class(&name) else {
+                continue;
+            };
             for (idx, m) in class.methods.iter().enumerate() {
                 let Some(body) = &m.body else { continue };
                 let cfg = Cfg::build(body);
                 let abs = AbsState::analyze(body, &cfg);
-                clvm.meter_mut()
+                clvm.meter_ref()
                     .record_method(cfg.size_bytes() + abs.size_bytes());
                 if matches!(class.origin, ClassOrigin::App | ClassOrigin::Library) {
                     app_method_graphs.push((Arc::clone(&class), idx));
@@ -117,7 +119,10 @@ impl CompatDetector for Cid {
         let mut mismatches = Vec::new();
         for (class, idx) in &app_method_graphs {
             let def = &class.methods[*idx];
-            let body = def.body.as_ref().expect("filtered to body-carrying methods");
+            let body = def
+                .body
+                .as_ref()
+                .expect("filtered to body-carrying methods");
             let caller = def.reference(&class.name);
             let cfg = Cfg::build(body);
             let abs = AbsState::analyze(body, &cfg);
@@ -139,7 +144,9 @@ impl CompatDetector for Cid {
                         // model still knows about.
                         _ => db
                             .resolve(&target.class, &target.signature())
-                            .and_then(|(m, l)| self.lifespan(&db, &m).map(|l2| (m, l2.min_removed(l)))),
+                            .and_then(|(m, l)| {
+                                self.lifespan(&db, &m).map(|l2| (m, l2.min_removed(l)))
+                            }),
                     };
                     let Some((api_ref, life)) = api else { continue };
                     let missing = missing_levels_in(range, life);
@@ -161,7 +168,7 @@ impl CompatDetector for Cid {
         }
         report.extend_deduped(mismatches);
         report.duration = start.elapsed();
-        report.meter = *clvm.meter();
+        report.meter = clvm.meter();
         Some(report)
     }
 }

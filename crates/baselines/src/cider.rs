@@ -20,8 +20,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use saint_adf::AndroidFramework;
 use saint_adf::spec::LifeSpan;
+use saint_adf::AndroidFramework;
 use saint_analysis::{AbsState, Cfg, Clvm, PrimaryDexProvider, SecondaryDexProvider};
 use saint_ir::{Apk, ClassName, MethodSig};
 use saintdroid::{missing_levels_in, Capabilities, CompatDetector, Mismatch, MismatchKind, Report};
@@ -65,28 +65,68 @@ pub fn pi_model() -> Vec<ModeledCallback> {
     }
     vec![
         // Activity lifecycle.
-        cb!("android.app.Activity", "onCreate", "(Landroid/os/Bundle;)V", 2),
+        cb!(
+            "android.app.Activity",
+            "onCreate",
+            "(Landroid/os/Bundle;)V",
+            2
+        ),
         cb!("android.app.Activity", "onStart", "()V", 2),
         cb!("android.app.Activity", "onResume", "()V", 2),
         cb!("android.app.Activity", "onPause", "()V", 2),
         cb!("android.app.Activity", "onStop", "()V", 2),
         cb!("android.app.Activity", "onDestroy", "()V", 2),
-        cb!("android.app.Activity", "onSaveInstanceState", "(Landroid/os/Bundle;)V", 2),
+        cb!(
+            "android.app.Activity",
+            "onSaveInstanceState",
+            "(Landroid/os/Bundle;)V",
+            2
+        ),
         cb!("android.app.Activity", "onBackPressed", "()V", 5),
         cb!("android.app.Activity", "onAttachedToWindow", "()V", 5),
-        cb!("android.app.Activity", "onMultiWindowModeChanged", "(Z)V", 24),
-        cb!("android.app.Activity", "onPictureInPictureModeChanged", "(Z)V", 24),
+        cb!(
+            "android.app.Activity",
+            "onMultiWindowModeChanged",
+            "(Z)V",
+            24
+        ),
+        cb!(
+            "android.app.Activity",
+            "onPictureInPictureModeChanged",
+            "(Z)V",
+            24
+        ),
         cb!(
             "android.app.Activity",
             "onRequestPermissionsResult",
             "(I[Ljava/lang/String;[I)V",
             23
         ),
-        cb!("android.app.Activity", "onTopResumedActivityChanged", "(Z)V", 29),
+        cb!(
+            "android.app.Activity",
+            "onTopResumedActivityChanged",
+            "(Z)V",
+            29
+        ),
         // Fragment.
-        cb!("android.app.Fragment", "onAttach", "(Landroid/app/Activity;)V", 11),
-        cb!("android.app.Fragment", "onAttach", "(Landroid/content/Context;)V", 23),
-        cb!("android.app.Fragment", "onCreate", "(Landroid/os/Bundle;)V", 11),
+        cb!(
+            "android.app.Fragment",
+            "onAttach",
+            "(Landroid/app/Activity;)V",
+            11
+        ),
+        cb!(
+            "android.app.Fragment",
+            "onAttach",
+            "(Landroid/content/Context;)V",
+            23
+        ),
+        cb!(
+            "android.app.Fragment",
+            "onCreate",
+            "(Landroid/os/Bundle;)V",
+            11
+        ),
         cb!(
             "android.app.Fragment",
             "onViewCreated",
@@ -102,7 +142,12 @@ pub fn pi_model() -> Vec<ModeledCallback> {
             "(Landroid/content/Intent;II)I",
             5
         ),
-        cb!("android.app.Service", "onTaskRemoved", "(Landroid/content/Intent;)V", 14),
+        cb!(
+            "android.app.Service",
+            "onTaskRemoved",
+            "(Landroid/content/Intent;)V",
+            14
+        ),
         cb!("android.app.Service", "onTrimMemory", "(I)V", 14),
         // WebView — with the deliberate documentation bug on onPause.
         cb!("android.webkit.WebView", "onPause", "()V", 12),
@@ -134,9 +179,9 @@ impl Cider {
     }
 
     fn lookup(&self, class: &str, sig: &MethodSig) -> Option<&ModeledCallback> {
-        self.model.iter().find(|m| {
-            m.class == class && m.name == &*sig.name && m.descriptor == &*sig.descriptor
-        })
+        self.model
+            .iter()
+            .find(|m| m.class == class && m.name == &*sig.name && m.descriptor == &*sig.descriptor)
     }
 }
 
@@ -170,7 +215,7 @@ impl CompatDetector for Cider {
                     if let Some(body) = &m.body {
                         let cfg = Cfg::build(body);
                         let abs = AbsState::analyze(body, &cfg);
-                        clvm.meter_mut()
+                        clvm.meter_ref()
                             .record_method(cfg.size_bytes() + abs.size_bytes());
                     }
                 }
@@ -197,11 +242,11 @@ impl CompatDetector for Cider {
                 if name.is_framework_namespace() {
                     break; // some other framework class: not modeled
                 }
-                cursor = apk
-                    .any_class(&name)
-                    .and_then(|c| c.super_class.clone());
+                cursor = apk.any_class(&name).and_then(|c| c.super_class.clone());
             }
-            let Some(modeled_class) = modeled else { continue };
+            let Some(modeled_class) = modeled else {
+                continue;
+            };
             for method in &class.methods {
                 if method.flags.is_static || method.name.starts_with('<') {
                     continue;
@@ -228,7 +273,7 @@ impl CompatDetector for Cider {
         }
         report.extend_deduped(mismatches);
         report.duration = start.elapsed();
-        report.meter = *clvm.meter();
+        report.meter = clvm.meter();
         // Keep the framework handle alive in the type; CIDER does not
         // load framework code.
         let _ = &self.framework;
@@ -309,7 +354,11 @@ mod tests {
             .unwrap()
             .build();
         let r = cider().analyze(&apk(11, 27, vec![web])).unwrap();
-        assert_eq!(r.apc_count(), 1, "doc-driven model misfires at the boundary");
+        assert_eq!(
+            r.apc_count(),
+            1,
+            "doc-driven model misfires at the boundary"
+        );
     }
 
     #[test]

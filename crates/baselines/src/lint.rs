@@ -221,7 +221,11 @@ mod tests {
         // Lint's static-type view does not land on the framework API.
         let apk = apk_with_oncreate(8, |b| {
             b.invoke_virtual(
-                MethodRef::new("p.Main", "getFragmentManager", "()Landroid/app/FragmentManager;"),
+                MethodRef::new(
+                    "p.Main",
+                    "getFragmentManager",
+                    "()Landroid/app/FragmentManager;",
+                ),
                 &[],
                 None,
             );

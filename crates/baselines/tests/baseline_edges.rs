@@ -22,7 +22,11 @@ fn detector_roster_and_capability_disjointness() {
     // one ✗ (Table IV's point).
     for t in &tools[1..] {
         let c = t.capabilities();
-        assert!(!(c.api && c.apc && c.prm), "{} claims full coverage", t.name());
+        assert!(
+            !(c.api && c.apc && c.prm),
+            "{} claims full coverage",
+            t.name()
+        );
     }
 }
 
@@ -47,7 +51,10 @@ fn cid_truncates_missing_levels_at_its_ceiling() {
     assert_eq!(r.api_count(), 1);
     for m in &r.mismatches {
         for l in &m.missing_levels {
-            assert!(*l <= CID_MAX_LEVEL, "CID reported level {l} beyond its model");
+            assert!(
+                *l <= CID_MAX_LEVEL,
+                "CID reported level {l} beyond its model"
+            );
         }
     }
 }
@@ -151,7 +158,10 @@ fn baselines_agree_with_saintdroid_on_the_trivial_case() {
         let r = tool.analyze(&apk).unwrap();
         assert_eq!(r.api_count(), 1, "{} missed the trivial case", tool.name());
         let m = r.of_kind(MismatchKind::ApiInvocation).next().unwrap();
-        assert_eq!(m.api.signature(), MethodSig::new("getDrawable", "(I)Landroid/graphics/drawable/Drawable;"));
+        assert_eq!(
+            m.api.signature(),
+            MethodSig::new("getDrawable", "(I)Landroid/graphics/drawable/Drawable;")
+        );
         assert_eq!(
             m.site,
             MethodRef::new("p.Main", "onCreate", "(Landroid/os/Bundle;)V")

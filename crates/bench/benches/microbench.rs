@@ -11,8 +11,8 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use saint_adf::{android_spec, AndroidFramework, ApiDatabase, SynthConfig};
 use saint_analysis::{
-    app_method_roots, explore, AbsState, BlockRanges, Cfg, Clvm, ExploreConfig,
-    FrameworkProvider, PrimaryDexProvider,
+    app_method_roots, explore, AbsState, BlockRanges, Cfg, Clvm, ExploreConfig, FrameworkProvider,
+    PrimaryDexProvider,
 };
 use saint_baselines::{Cid, Lint};
 use saint_corpus::{cider_bench, RealWorldConfig, RealWorldCorpus};
@@ -72,7 +72,7 @@ fn bench_loading(c: &mut Criterion) {
                 )));
                 clvm
             },
-            |mut clvm| explore(&mut clvm, app_method_roots(&apk), &ExploreConfig::saintdroid()),
+            |clvm| explore(&clvm, app_method_roots(&apk), &ExploreConfig::saintdroid()),
             BatchSize::SmallInput,
         )
     });
@@ -87,7 +87,7 @@ fn bench_loading(c: &mut Criterion) {
                 )));
                 clvm
             },
-            |mut clvm| {
+            |clvm| {
                 clvm.load_everything();
                 clvm.loaded_count()
             },

@@ -42,7 +42,10 @@ fn main() {
     let mut eager_cfg = ExploreConfig::saintdroid();
     eager_cfg.preload_all = true;
     let variants: Vec<(&str, SaintDroid)> = vec![
-        ("gradual+deep (SAINTDroid)", SaintDroid::new(Arc::clone(&fw))),
+        (
+            "gradual+deep (SAINTDroid)",
+            SaintDroid::new(Arc::clone(&fw)),
+        ),
         (
             "eager preload",
             SaintDroid::with_config(Arc::clone(&fw), eager_cfg),
@@ -92,7 +95,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Variant", "mean s/app", "mean MiB/app", "detections", "deep", "F"],
+            &[
+                "Variant",
+                "mean s/app",
+                "mean MiB/app",
+                "detections",
+                "deep",
+                "F"
+            ],
             &rows_md
         )
     );

@@ -1,7 +1,13 @@
 //! **bench_summary** — headline numbers for the batch scan engine:
 //! sequential `SaintDroid::run` (one plain tool, one app at a time)
 //! vs `ScanEngine::scan_batch` with 4 workers and the batch-wide
-//! caches, over the real-world corpus.
+//! caches, over the real-world corpus; plus the **large-app** pair —
+//! few apps, several times the KLOC — where the same plain sequential
+//! shape is measured against the intra-app-parallel pipeline
+//! (shared-CLVM exploration, concurrent detectors, parallel
+//! framework-subtree scans, batch caches) with a per-phase breakdown
+//! (explore vs detect), so single-app latency is visible separately
+//! from batch throughput.
 //!
 //! Each side is timed in a **fresh child process** (best of
 //! `SAINT_REPS`, default 3, alternating sides) so neither side inherits
@@ -18,11 +24,15 @@
 //! ```
 
 use std::io::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
+use saint_analysis::{ArtifactCache, ShardedClassCache};
 use saint_bench::{framework_at, Scale};
 use saint_corpus::RealWorldCorpus;
 use saint_ir::Apk;
+use saintdroid::amd::invocation::DeepScanCache;
+use saintdroid::engine::default_jobs;
 use saintdroid::{Report, SaintDroid, ScanEngine};
 use serde::Serialize;
 
@@ -50,6 +60,26 @@ struct Summary {
     scan_cache_misses: u64,
     mismatches: usize,
     reports_identical: bool,
+    large_app: LargeAppSummary,
+}
+
+/// The large-app pair: few apps, several times the KLOC, so the run is
+/// in the single-app-latency regime where batch-level app slots cannot
+/// help and intra-app parallelism is the only lever. Per-phase seconds
+/// separate Algorithm-1 exploration from AMD detection.
+#[derive(Serialize)]
+struct LargeAppSummary {
+    apps: usize,
+    app_jobs: usize,
+    sequential_secs: f64,
+    parallel_secs: f64,
+    speedup: f64,
+    sequential_explore_secs: f64,
+    sequential_detect_secs: f64,
+    parallel_explore_secs: f64,
+    parallel_detect_secs: f64,
+    mismatches: usize,
+    reports_identical: bool,
 }
 
 /// What one timed child run reports back to the orchestrator.
@@ -71,6 +101,11 @@ struct SideRun {
     /// is the report-parity check.
     reports_fingerprint: String,
     mismatches: usize,
+    /// Seconds inside Algorithm-1 exploration (CLVM materialization
+    /// included); only the large-app sides fill this in.
+    explore_secs: f64,
+    /// Seconds inside the three AMD detectors; large-app sides only.
+    detect_secs: f64,
 }
 
 fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
@@ -97,9 +132,45 @@ fn digest(report: &Report) -> String {
     )
 }
 
+/// Intra-app workers for the `large-par` side: the whole hardware
+/// budget, exactly what the two-level scheduler grants in the latency
+/// regime (one oversized app at a time, so every core goes intra-app).
+/// On a single-core host that is 1 — parallel exploration and detector
+/// threads would only timeslice one CPU, so the pipeline degrades to
+/// its sequential paths and the measured gain is the shared-cache work
+/// reduction; report parity at higher counts is enforced by the
+/// `intra_app_parity` suite. Overridable via `SAINT_LARGE_JOBS`.
+fn large_app_jobs() -> usize {
+    std::env::var("SAINT_LARGE_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(default_jobs)
+}
+
+fn fingerprint_reports(reports: &[Report]) -> String {
+    let mut hash = 0xcbf2_9ce4_8422_2325;
+    for report in reports {
+        hash = fnv1a(digest(report).as_bytes(), hash);
+        hash = fnv1a(b"\n", hash);
+    }
+    format!("{hash:016x}")
+}
+
 /// Child mode: run one side cold and write a [`SideRun`] JSON.
 fn run_side(side: &str, out_path: &str) {
     let scale = Scale::from_env();
+    let run = match side {
+        "sequential" | "batch" => run_batch_side(side, scale),
+        "large-seq" | "large-par" => run_large_side(side, scale),
+        other => panic!("unknown side {other}"),
+    };
+    let json = serde_json::to_string(&run).expect("side run serializes");
+    std::fs::File::create(out_path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write side run");
+}
+
+fn run_batch_side(side: &str, scale: Scale) -> SideRun {
     let fw = framework_at(scale);
     let apks = corpus_apks(scale);
     let engine = match side {
@@ -109,17 +180,21 @@ fn run_side(side: &str, out_path: &str) {
         // The batch engine: worker threads (clamped to the core count)
         // plus the three batch-wide caches.
         "batch" => ScanEngine::new(fw).jobs(4),
-        other => panic!("unknown side {other}"),
+        other => panic!("unknown batch side {other}"),
     };
     let start = Instant::now();
     let reports = engine.scan_batch(&apks);
     let wall_secs = start.elapsed().as_secs_f64();
 
-    let zero = saint_analysis::CacheStats { hits: 0, misses: 0, entries: 0 };
+    let zero = saint_analysis::CacheStats {
+        hits: 0,
+        misses: 0,
+        entries: 0,
+    };
     let class = engine.cache_stats().unwrap_or(zero);
     let artifacts = engine.artifact_cache_stats().unwrap_or(zero);
     let scans = engine.scan_cache_stats().unwrap_or(zero);
-    let run = SideRun {
+    SideRun {
         wall_secs,
         peak_loaded_bytes: reports
             .iter()
@@ -133,20 +208,81 @@ fn run_side(side: &str, out_path: &str) {
         artifact_cache_misses: artifacts.misses,
         scan_cache_hits: scans.hits,
         scan_cache_misses: scans.misses,
-        reports_fingerprint: {
-            let mut hash = 0xcbf2_9ce4_8422_2325;
-            for report in &reports {
-                hash = fnv1a(digest(report).as_bytes(), hash);
-                hash = fnv1a(b"\n", hash);
-            }
-            format!("{hash:016x}")
-        },
+        reports_fingerprint: fingerprint_reports(&reports),
         mismatches: reports.iter().map(Report::total).sum(),
+        explore_secs: 0.0,
+        detect_secs: 0.0,
+    }
+}
+
+/// The large-app sides analyze the few oversized apps one after the
+/// other (there are not enough of them to fill app slots), so the two
+/// shapes differ only in what happens *inside* one app: `large-seq`
+/// is the plain single-threaded tool, `large-par` the intra-app
+/// pipeline — shared-CLVM parallel exploration, concurrent detectors,
+/// parallel framework-subtree scans — over the batch-wide caches.
+fn run_large_side(side: &str, scale: Scale) -> SideRun {
+    let cfg = scale.large_app_config();
+    // The analyzed framework must match the corpus generator's synth
+    // expansion (the large-app regime uses a tighter one — see
+    // [`Scale::large_app_config`]); pre-mine it outside the timed
+    // region like `framework_at` does.
+    let fw = Arc::new(saint_adf::AndroidFramework::with_scale(&cfg.synth));
+    let _ = fw.database();
+    let _ = fw.permission_map();
+    let corpus = RealWorldCorpus::new(cfg);
+    let apks: Vec<Apk> = (0..corpus.len()).map(|i| corpus.get(i).apk).collect();
+    let class_cache = Arc::new(ShardedClassCache::new());
+    let artifact_cache = Arc::new(ArtifactCache::new());
+    let scan_cache = Arc::new(DeepScanCache::new());
+    let (tool, app_jobs) = match side {
+        "large-seq" => (SaintDroid::new(fw), 1),
+        "large-par" => (
+            SaintDroid::new(fw)
+                .with_shared_cache(Arc::clone(&class_cache))
+                .with_shared_artifact_cache(Arc::clone(&artifact_cache))
+                .with_shared_scan_cache(Arc::clone(&scan_cache)),
+            large_app_jobs(),
+        ),
+        other => panic!("unknown large side {other}"),
     };
-    let json = serde_json::to_string(&run).expect("side run serializes");
-    std::fs::File::create(out_path)
-        .and_then(|mut f| f.write_all(json.as_bytes()))
-        .expect("write side run");
+
+    let start = Instant::now();
+    let mut explore_secs = 0.0;
+    let mut detect_secs = 0.0;
+    let reports: Vec<Report> = apks
+        .iter()
+        .map(|apk| {
+            let (report, explore, detect) = tool.run_phased_with(apk, app_jobs);
+            explore_secs += explore.as_secs_f64();
+            detect_secs += detect.as_secs_f64();
+            report
+        })
+        .collect();
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let class = class_cache.stats();
+    let artifacts = artifact_cache.stats();
+    let scans = scan_cache.stats();
+    SideRun {
+        wall_secs,
+        peak_loaded_bytes: reports
+            .iter()
+            .map(|r| r.meter.total_bytes())
+            .max()
+            .unwrap_or(0),
+        cache_hits: class.hits,
+        cache_misses: class.misses,
+        cache_entries: class.entries,
+        artifact_cache_hits: artifacts.hits,
+        artifact_cache_misses: artifacts.misses,
+        scan_cache_hits: scans.hits,
+        scan_cache_misses: scans.misses,
+        reports_fingerprint: fingerprint_reports(&reports),
+        mismatches: reports.iter().map(Report::total).sum(),
+        explore_secs,
+        detect_secs,
+    }
 }
 
 /// Spawns this binary in child mode and reads its result.
@@ -203,12 +339,61 @@ fn main() {
         best = Some(match best {
             None => (seq, bat),
             Some((bs, bb)) => (
-                if seq.wall_secs < bs.wall_secs { seq } else { bs },
-                if bat.wall_secs < bb.wall_secs { bat } else { bb },
+                if seq.wall_secs < bs.wall_secs {
+                    seq
+                } else {
+                    bs
+                },
+                if bat.wall_secs < bb.wall_secs {
+                    bat
+                } else {
+                    bb
+                },
             ),
         });
     }
     let (seq, bat) = best.expect("at least one rep");
+
+    let large_apps = scale.large_app_config().apps;
+    let large_app_jobs = large_app_jobs();
+    eprintln!(
+        "bench_summary: large-app regime — {large_apps} oversized apps, app_jobs={large_app_jobs}"
+    );
+    let mut large_best: Option<(SideRun, SideRun)> = None;
+    for rep in 0..reps {
+        let seq_path = out_dir.join(format!("saint_bench_lseq_{rep}.json"));
+        let par_path = out_dir.join(format!("saint_bench_lpar_{rep}.json"));
+        let lseq = spawn_side("large-seq", seq_path.to_str().expect("utf-8 path"));
+        let lpar = spawn_side("large-par", par_path.to_str().expect("utf-8 path"));
+        eprintln!(
+            "  rep {rep}: large-seq {:.2}s (explore {:.2}s / detect {:.2}s) | large-par {:.2}s (explore {:.2}s / detect {:.2}s)",
+            lseq.wall_secs, lseq.explore_secs, lseq.detect_secs,
+            lpar.wall_secs, lpar.explore_secs, lpar.detect_secs
+        );
+        assert_eq!(
+            lseq.reports_fingerprint, lpar.reports_fingerprint,
+            "intra-app-parallel reports diverged from sequential — parity is broken"
+        );
+        assert_eq!(lseq.mismatches, lpar.mismatches);
+        let _ = std::fs::remove_file(seq_path);
+        let _ = std::fs::remove_file(par_path);
+        large_best = Some(match large_best {
+            None => (lseq, lpar),
+            Some((bs, bp)) => (
+                if lseq.wall_secs < bs.wall_secs {
+                    lseq
+                } else {
+                    bs
+                },
+                if lpar.wall_secs < bp.wall_secs {
+                    lpar
+                } else {
+                    bp
+                },
+            ),
+        });
+    }
+    let (lseq, lpar) = large_best.expect("at least one rep");
 
     let summary = Summary {
         scale: scale.label().to_string(),
@@ -230,6 +415,19 @@ fn main() {
         scan_cache_misses: bat.scan_cache_misses,
         mismatches: bat.mismatches,
         reports_identical: true,
+        large_app: LargeAppSummary {
+            apps: large_apps,
+            app_jobs: large_app_jobs,
+            sequential_secs: lseq.wall_secs,
+            parallel_secs: lpar.wall_secs,
+            speedup: lseq.wall_secs / lpar.wall_secs.max(f64::EPSILON),
+            sequential_explore_secs: lseq.explore_secs,
+            sequential_detect_secs: lseq.detect_secs,
+            parallel_explore_secs: lpar.explore_secs,
+            parallel_detect_secs: lpar.detect_secs,
+            mismatches: lpar.mismatches,
+            reports_identical: true,
+        },
     };
 
     println!(
@@ -246,10 +444,7 @@ fn main() {
     );
     println!(
         "peak per-app loaded bytes: {} | class cache: {} hits / {} misses ({} entries)",
-        summary.peak_loaded_bytes,
-        summary.cache_hits,
-        summary.cache_misses,
-        summary.cache_entries
+        summary.peak_loaded_bytes, summary.cache_hits, summary.cache_misses, summary.cache_entries
     );
     println!(
         "artifact cache: {} hits / {} misses | subtree scan cache: {} hits / {} misses",
@@ -261,6 +456,23 @@ fn main() {
     println!(
         "{} mismatches; per-app reports identical to sequential: {}",
         summary.mismatches, summary.reports_identical
+    );
+    let la = &summary.large_app;
+    println!(
+        "\nLarge-app regime ({} oversized apps, app_jobs={})\n",
+        la.apps, la.app_jobs
+    );
+    println!(
+        "sequential: {:>8.2}s  (explore {:.2}s / detect {:.2}s)",
+        la.sequential_secs, la.sequential_explore_secs, la.sequential_detect_secs
+    );
+    println!(
+        "intra-app:  {:>8.2}s  (explore {:.2}s / detect {:.2}s)  ({:.2}x)",
+        la.parallel_secs, la.parallel_explore_secs, la.parallel_detect_secs, la.speedup
+    );
+    println!(
+        "{} mismatches; reports identical to sequential: {}",
+        la.mismatches, la.reports_identical
     );
 
     let json = serde_json::to_string_pretty(&summary).expect("summary serializes");

@@ -60,11 +60,7 @@ impl Stats {
 fn main() {
     let scale = Scale::from_env();
     let cfg = scale.realworld_config();
-    eprintln!(
-        "fig3_scatter: scale={} apps={}",
-        scale.label(),
-        cfg.apps
-    );
+    eprintln!("fig3_scatter: scale={} apps={}", scale.label(), cfg.apps);
     let fw = framework_at(scale);
     let corpus = RealWorldCorpus::new(cfg);
 

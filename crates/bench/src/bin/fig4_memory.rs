@@ -50,7 +50,9 @@ fn main() {
     let n = corpus.len();
     let points: Vec<Point> = par_map_indexed(default_jobs(), n, |i| {
         let app = corpus.get(i);
-        let sr = saint.analyze(&app.apk).expect("SAINTDroid analyzes any app");
+        let sr = saint
+            .analyze(&app.apk)
+            .expect("SAINTDroid analyzes any app");
         let cr = cid.analyze(&app.apk);
         Point {
             index: i,
@@ -100,8 +102,16 @@ fn main() {
         "ratio: CID materializes {:.1}x what SAINTDroid does (paper: ~4x, 1.3 GB vs 329 MB)",
         c_mean / s_mean
     );
-    let s_cls: f64 = points.iter().map(|p| p.saintdroid_classes as f64).sum::<f64>() / n as f64;
-    let c_cls: f64 = points.iter().filter_map(|p| p.cid_classes).map(|v| v as f64).sum::<f64>()
+    let s_cls: f64 = points
+        .iter()
+        .map(|p| p.saintdroid_classes as f64)
+        .sum::<f64>()
+        / n as f64;
+    let c_cls: f64 = points
+        .iter()
+        .filter_map(|p| p.cid_classes)
+        .map(|v| v as f64)
+        .sum::<f64>()
         / c_n.max(1) as f64;
     println!(
         "classes loaded per app: SAINTDroid {s_cls:.0} vs CID {c_cls:.0} (of {} in the framework)",

@@ -70,7 +70,9 @@ fn main() {
     let done = AtomicUsize::new(0);
     let results: Vec<AppResult> = par_map_indexed(default_jobs(), n, |i| {
         let app = corpus.get(i);
-        let report = saint.analyze(&app.apk).expect("SAINTDroid analyzes any app");
+        let report = saint
+            .analyze(&app.apk)
+            .expect("SAINTDroid analyzes any app");
         let d = done.fetch_add(1, Ordering::Relaxed) + 1;
         if d.is_multiple_of(200) {
             eprintln!("  {d}/{n} apps analyzed");

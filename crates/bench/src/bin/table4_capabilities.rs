@@ -78,7 +78,10 @@ fn main() {
     }
 
     println!("\nTable IV: detection capabilities per tool\n");
-    println!("{}", markdown_table(&["Tool", "API", "APC", "PRM"], &rows_md));
+    println!(
+        "{}",
+        markdown_table(&["Tool", "API", "APC", "PRM"], &rows_md)
+    );
     println!(
         "SAINTDroid is the only tool covering all three families, matching the paper's claim."
     );

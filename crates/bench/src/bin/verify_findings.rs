@@ -34,7 +34,9 @@ fn main() {
     let mut rows = Vec::new();
     let mut bench_tally = Tally::default();
     for app in benchmark_suite() {
-        let report = saint.analyze(&app.apk).expect("SAINTDroid analyzes any app");
+        let report = saint
+            .analyze(&app.apk)
+            .expect("SAINTDroid analyzes any app");
         if report.is_clean() {
             continue;
         }
@@ -74,7 +76,9 @@ fn main() {
     let corpus = RealWorldCorpus::new(cfg);
     let mut rw_tally = Tally::default();
     for app in corpus.iter() {
-        let report = saint.analyze(&app.apk).expect("SAINTDroid analyzes any app");
+        let report = saint
+            .analyze(&app.apk)
+            .expect("SAINTDroid analyzes any app");
         if report.is_clean() {
             continue;
         }

@@ -60,7 +60,7 @@ fn print_help() {
         "SAINTDroid reproduction CLI\n\
          \n\
          usage:\n\
-         \x20 saintdroid scan <app.sapk>... [--json] [--jobs N] [--synth N]\n\
+         \x20 saintdroid scan <app.sapk>... [--json] [--jobs N] [--app-jobs M] [--synth N]\n\
          \x20                                                   detect compatibility mismatches; several\n\
          \x20                                                   packages are scanned as one parallel batch\n\
          \x20 saintdroid verify <app.sapk>                      scan, then dynamically verify findings\n\
@@ -69,10 +69,15 @@ fn print_help() {
          \x20 saintdroid disasm <app.sapk>                      print manifest and smali-like listing\n\
          \x20 saintdroid callgraph <app.sapk>                   emit the explored call graph as Graphviz dot\n\
          \n\
-         --jobs N  scan batches on N worker threads sharing one\n\
+         --jobs N      scan batches on N worker threads sharing one\n\
          framework-class cache (default: one per core).\n\
-         --synth N grows the framework model with N synthetic classes\n\
-         (default: curated surface only)."
+         --app-jobs M  give each app M intra-app worker threads\n\
+         (parallel exploration, detectors, and framework-subtree\n\
+         scans); app slots shrink to N/M so the global budget holds.\n\
+         Default: auto — derived from batch size and cores. Reports\n\
+         are identical at any setting.\n\
+         --synth N     grows the framework model with N synthetic\n\
+         classes (default: curated surface only)."
     );
 }
 
@@ -98,7 +103,8 @@ fn framework(args: &[String]) -> Arc<AndroidFramework> {
 }
 
 /// Positional arguments: everything that is neither a flag nor the
-/// value of a value-taking flag (`--synth N`, `--jobs N`).
+/// value of a value-taking flag (`--synth N`, `--jobs N`,
+/// `--app-jobs M`).
 fn positionals(args: &[String]) -> Vec<&String> {
     let mut out = Vec::new();
     let mut skip_value = false;
@@ -107,7 +113,7 @@ fn positionals(args: &[String]) -> Vec<&String> {
             skip_value = false;
             continue;
         }
-        if arg == "--synth" || arg == "--jobs" {
+        if arg == "--synth" || arg == "--jobs" || arg == "--app-jobs" {
             skip_value = true;
             continue;
         }
@@ -138,6 +144,9 @@ fn scan(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     if let Some(jobs) = flag_value(args, "--jobs") {
         engine = engine.jobs(jobs);
     }
+    if let Some(app_jobs) = flag_value(args, "--app-jobs") {
+        engine = engine.app_jobs(app_jobs);
+    }
     let outcome = engine.scan_batch_timed(&apks);
     if args.iter().any(|a| a == "--json") {
         println!("{}", serde_json::to_string_pretty(&outcome.reports)?);
@@ -155,11 +164,13 @@ fn scan(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             );
         }
     }
-    Ok(if outcome.reports.iter().all(saintdroid::Report::is_clean) {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(2)
-    })
+    Ok(
+        if outcome.reports.iter().all(saintdroid::Report::is_clean) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(2)
+        },
+    )
 }
 
 fn verify(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
@@ -212,7 +223,9 @@ fn do_repair(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     for action in &outcome.actions {
         println!("{action:?}");
     }
-    let after = tool.analyze(&outcome.apk).expect("SAINTDroid analyzes any APK");
+    let after = tool
+        .analyze(&outcome.apk)
+        .expect("SAINTDroid analyzes any APK");
     println!(
         "findings: {} before, {} after repair",
         report.total(),

@@ -120,6 +120,7 @@ pub fn detect_with(model: &AppModel, db: &ApiDatabase, cache: &DeepScanCache) ->
         out: Vec::new(),
         cache: Some(cache),
         cacheable: true,
+        collect: None,
     };
     let roots = context_roots(model, db);
     for root in roots {
@@ -131,6 +132,101 @@ pub fn detect_with(model: &AppModel, db: &ApiDatabase, cache: &DeepScanCache) ->
         ctx.scan(&art, model.supported, &mut chain);
     }
     ctx.out
+}
+
+/// Detects API invocation mismatches with `jobs` worker threads
+/// computing the deep framework-subtree descents concurrently.
+///
+/// The subtree computations are app-invariant (keyed by snapshot level,
+/// root and incoming range — see [`DeepScanCache`]), so prewarming the
+/// cache in parallel and then running the ordinary sequential
+/// [`detect_with`] pass yields results identical to [`detect`]: the
+/// sequential pass finds every subtree already cached and replays it at
+/// each site in deterministic order.
+#[must_use]
+pub fn detect_parallel(
+    model: &AppModel,
+    db: &ApiDatabase,
+    cache: &DeepScanCache,
+    jobs: usize,
+) -> Vec<Mismatch> {
+    // Prewarming pays for an extra boundary-collection walk with
+    // concurrent subtree computation; on a single-core host the walks
+    // serialize and the speculation is a pure loss, so it is gated on
+    // actual hardware parallelism, not just the requested job count.
+    // Either way the detection pass below computes the same results
+    // (uncached boundaries are simply scanned in line).
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if jobs > 1 && cores > 1 {
+        prewarm_subtrees(model, db, cache, jobs);
+    }
+    detect_with(model, db, cache)
+}
+
+/// Walks the app-side execution contexts *without* descending into
+/// framework bodies, collecting every app→framework boundary descent
+/// `(root, artifacts, range)` the detection pass will take, then
+/// computes each subtree not already cached on `jobs` workers.
+///
+/// Boundaries only reachable through `Cached::Inline` subtrees
+/// (framework code dispatching back into the app) are not collected
+/// here; the detection pass simply computes those in line, exactly as
+/// it would without prewarming.
+fn prewarm_subtrees(model: &AppModel, db: &ApiDatabase, cache: &DeepScanCache, jobs: usize) {
+    let mut ctx = Ctx {
+        model,
+        db,
+        memo: HashSet::new(),
+        out: Vec::new(),
+        cache: None,
+        cacheable: true,
+        collect: Some(Vec::new()),
+    };
+    for root in context_roots(model, db) {
+        let Some(art) = model.exploration.artifacts(&root) else {
+            continue;
+        };
+        let art = Arc::clone(art);
+        let mut chain = Vec::new();
+        ctx.scan(&art, model.supported, &mut chain);
+    }
+
+    let mut seen: HashSet<(MethodRef, LevelRange)> = HashSet::new();
+    let todo: Vec<(MethodRef, Arc<MethodArtifacts>, LevelRange)> = ctx
+        .collect
+        .expect("prewarm context carries a collector")
+        .into_iter()
+        .filter(|(root, _, range)| seen.insert((root.clone(), *range)))
+        .filter(|(root, _, range)| {
+            let key = (model.target, root.clone(), *range);
+            !cache
+                .map
+                .read()
+                .expect("cache lock poisoned")
+                .contains_key(&key)
+        })
+        .collect();
+
+    crate::engine::par_map(jobs, &todo, |_, (root, art, range)| {
+        let sub = Ctx {
+            model,
+            db,
+            memo: HashSet::new(),
+            out: Vec::new(),
+            cache: None,
+            cacheable: true,
+            collect: None,
+        };
+        let computed = sub.compute_subtree(art, *range);
+        cache.misses.fetch_add(1, Ordering::Relaxed);
+        let key = (model.target, root.clone(), *range);
+        cache
+            .map
+            .write()
+            .expect("cache lock poisoned")
+            .entry(key)
+            .or_insert(computed);
+    });
 }
 
 /// The methods whose incoming level range is the app's full supported
@@ -225,6 +321,9 @@ struct Ctx<'a> {
     /// Cleared when a sub-scan touches an app-origin frame, poisoning
     /// the subtree for caching.
     cacheable: bool,
+    /// Prewarm mode: instead of descending into framework subtrees,
+    /// record each boundary `(root, artifacts, range)` here.
+    collect: Option<Vec<(MethodRef, Arc<MethodArtifacts>, LevelRange)>>,
 }
 
 impl Ctx<'_> {
@@ -316,6 +415,10 @@ impl Ctx<'_> {
             if let Some(callee) = self.model.exploration.artifacts(&r) {
                 let callee = Arc::clone(callee);
                 if caller_is_app && matches!(callee.origin, ClassOrigin::Framework) {
+                    if let Some(list) = &mut self.collect {
+                        list.push((r.clone(), callee, range));
+                        return;
+                    }
                     if let Some(cache) = self.cache {
                         self.enter_framework(cache, &r, &callee, range, chain);
                         return;
@@ -346,7 +449,12 @@ impl Ctx<'_> {
             return;
         }
         let key = (self.model.target, root.clone(), range);
-        let entry = cache.map.read().expect("cache lock poisoned").get(&key).cloned();
+        let entry = cache
+            .map
+            .read()
+            .expect("cache lock poisoned")
+            .get(&key)
+            .cloned();
         let entry = match entry {
             Some(e) => {
                 cache.hits.fetch_add(1, Ordering::Relaxed);
@@ -399,6 +507,7 @@ impl Ctx<'_> {
             out: Vec::new(),
             cache: None,
             cacheable: true,
+            collect: None,
         };
         let mut chain = Vec::new();
         sub.scan(root, range, &mut chain);
@@ -458,11 +567,7 @@ mod tests {
         detect(&model, &fw.database())
     }
 
-    fn apk_with_oncreate(
-        min: u8,
-        target: u8,
-        f: impl FnOnce(&mut BodyBuilder),
-    ) -> Apk {
+    fn apk_with_oncreate(min: u8, target: u8, f: impl FnOnce(&mut BodyBuilder)) -> Apk {
         let main = ClassBuilder::new("p.Main", ClassOrigin::App)
             .extends("android.app.Activity")
             .method("onCreate", "(Landroid/os/Bundle;)V", f)
@@ -606,7 +711,11 @@ mod tests {
         });
         let ms = analyze(&apk);
         assert_eq!(ms.len(), 1);
-        assert!(ms[0].via.len() >= 2, "expected ≥2 framework hops, got {:?}", ms[0].via);
+        assert!(
+            ms[0].via.len() >= 2,
+            "expected ≥2 framework hops, got {:?}",
+            ms[0].via
+        );
         assert_eq!(ms[0].api.class.as_str(), "android.content.res.Resources");
     }
 
@@ -639,7 +748,11 @@ mod tests {
             .extends("android.app.Activity")
             .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
                 b.invoke_virtual(
-                    MethodRef::new("p.Main", "getFragmentManager", "()Landroid/app/FragmentManager;"),
+                    MethodRef::new(
+                        "p.Main",
+                        "getFragmentManager",
+                        "()Landroid/app/FragmentManager;",
+                    ),
                     &[],
                     None,
                 );
@@ -687,7 +800,11 @@ mod tests {
             .unwrap()
             .build();
         let ms = analyze(&apk);
-        assert_eq!(ms.len(), 1, "callback must be re-scanned with the full range");
+        assert_eq!(
+            ms.len(),
+            1,
+            "callback must be re-scanned with the full range"
+        );
         assert_eq!(
             ms[0].missing_levels,
             vec![ApiLevel::new(21), ApiLevel::new(22)]
@@ -710,5 +827,34 @@ mod tests {
             .build();
         let ms = analyze(&apk);
         assert_eq!(ms.len(), 1); // getDrawable (21) missing at 19,20
+    }
+
+    #[test]
+    fn prewarmed_cache_detection_matches_plain() {
+        // Exercises `prewarm_subtrees` directly (the `detect_parallel`
+        // hardware gate may skip it on single-core hosts): collecting
+        // boundaries, computing subtrees on workers, and then running
+        // the ordinary pass over the warm cache must reproduce the
+        // plain run's mismatches, order included.
+        let apk = apk_with_oncreate(21, 28, |b| {
+            b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+            b.invoke_virtual(well_known::context_get_drawable(), &[], None);
+            b.ret_void();
+        });
+        let fw = Arc::new(AndroidFramework::curated());
+        let model = Aum::build(&apk, &fw, &ExploreConfig::saintdroid());
+        let db = fw.database();
+        let plain = detect(&model, &db);
+
+        let cache = DeepScanCache::new();
+        prewarm_subtrees(&model, &db, &cache, 4);
+        let warmed = cache.stats();
+        assert!(warmed.entries > 0, "prewarm must compute boundary subtrees");
+        let prewarmed = detect_with(&model, &db, &cache);
+        assert_eq!(plain, prewarmed);
+        assert!(
+            cache.stats().hits > 0,
+            "the detection pass must replay the prewarmed subtrees"
+        );
     }
 }

@@ -40,11 +40,7 @@ pub struct DangerousUsage {
 /// Detects permission-induced mismatches in the model.
 #[must_use]
 pub fn detect(model: &AppModel, pm: &PermissionMap) -> Vec<Mismatch> {
-    let requests_dangerous = model
-        .manifest
-        .uses_permissions
-        .iter()
-        .any(is_dangerous);
+    let requests_dangerous = model.manifest.uses_permissions.iter().any(is_dangerous);
     let usages = dangerous_usages(model, pm);
     // Algorithm 4 line 2 gates on the manifest; we also proceed when a
     // dangerous API is used without being declared (the Listing-3
@@ -54,10 +50,8 @@ pub fn detect(model: &AppModel, pm: &PermissionMap) -> Vec<Mismatch> {
     }
 
     let targets_runtime = model.manifest.targets_runtime_permissions();
-    let implements_handler = model.declares_app_method(
-        "onRequestPermissionsResult",
-        "(I[Ljava/lang/String;[I)V",
-    );
+    let implements_handler =
+        model.declares_app_method("onRequestPermissionsResult", "(I[Ljava/lang/String;[I)V");
 
     let kind = if targets_runtime {
         if implements_handler {
@@ -232,20 +226,28 @@ mod tests {
     fn storage_app(min: u8, target: u8, with_handler: bool, declare: bool) -> Apk {
         let mut main = ClassBuilder::new("p.Main", ClassOrigin::App)
             .extends("android.app.Activity")
-            .method("onCreate", "(Landroid/os/Bundle;)V", |b: &mut BodyBuilder| {
-                b.invoke_static(well_known::get_external_storage_directory(), &[], None);
-                b.ret_void();
-            })
+            .method(
+                "onCreate",
+                "(Landroid/os/Bundle;)V",
+                |b: &mut BodyBuilder| {
+                    b.invoke_static(well_known::get_external_storage_directory(), &[], None);
+                    b.ret_void();
+                },
+            )
             .unwrap();
         if with_handler {
             main = main
-                .method("onRequestPermissionsResult", "(I[Ljava/lang/String;[I)V", |b| {
-                    b.ret_void();
-                })
+                .method(
+                    "onRequestPermissionsResult",
+                    "(I[Ljava/lang/String;[I)V",
+                    |b| {
+                        b.ret_void();
+                    },
+                )
                 .unwrap();
         }
-        let mut b = ApkBuilder::new("p", ApiLevel::new(min), ApiLevel::new(target))
-            .activity("p.Main");
+        let mut b =
+            ApkBuilder::new("p", ApiLevel::new(min), ApiLevel::new(target)).activity("p.Main");
         if declare {
             b = b.permission(saint_ir::Permission::android("WRITE_EXTERNAL_STORAGE"));
         }

@@ -7,12 +7,12 @@
 //! discoveries. Framework ancestors of app classes are resolved once
 //! here (they drive the callback detector).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use saint_adf::AndroidFramework;
 use saint_analysis::{
-    app_method_roots, explore_cached, ArtifactCache, Clvm, Exploration, ExploreConfig,
+    app_method_roots, explore_parallel, ArtifactCache, Clvm, Exploration, ExploreConfig,
     FrameworkProvider, PrimaryDexProvider, SecondaryDexProvider, ShardedClassCache,
 };
 use saint_ir::{ApiLevel, Apk, ClassDef, ClassName, ClassOrigin, LevelRange, Manifest};
@@ -34,6 +34,10 @@ pub struct AppModel {
     /// meter.
     pub clvm: Clvm,
     fw_ancestors: HashMap<ClassName, Option<ClassName>>,
+    /// Name → descriptors of every method declared by an app class —
+    /// built once so per-API permission-handler probes are O(1) instead
+    /// of walking every method of every class.
+    declared_methods: HashMap<String, HashSet<String>>,
 }
 
 impl AppModel {
@@ -49,9 +53,9 @@ impl AppModel {
     /// Algorithm 4 looks for.
     #[must_use]
     pub fn declares_app_method(&self, name: &str, descriptor: &str) -> bool {
-        self.app_classes
-            .iter()
-            .any(|c| c.methods.iter().any(|m| m.name == name && m.descriptor == descriptor))
+        self.declared_methods
+            .get(name)
+            .is_some_and(|descriptors| descriptors.contains(descriptor))
     }
 }
 
@@ -73,7 +77,7 @@ impl Aum {
     /// Builds the analysis model for an APK against a framework.
     #[must_use]
     pub fn build(apk: &Apk, framework: &Arc<AndroidFramework>, config: &ExploreConfig) -> AppModel {
-        Self::build_cached(apk, framework, config, None, None)
+        Self::build_cached(apk, framework, config, None, None, 1)
     }
 
     /// Builds the analysis model, optionally serving framework-class
@@ -82,6 +86,10 @@ impl Aum {
     /// batch-wide [`ArtifactCache`]. The resulting model (and its
     /// per-app meter) is identical either way; only where the work
     /// happens moves from per-app to per-batch.
+    ///
+    /// `app_jobs > 1` runs the Algorithm-1 exploration on that many
+    /// worker threads sharing the CLVM; the model is identical to the
+    /// sequential build (see [`explore_parallel`]).
     #[must_use]
     pub fn build_cached(
         apk: &Apk,
@@ -89,6 +97,7 @@ impl Aum {
         config: &ExploreConfig,
         cache: Option<&Arc<ShardedClassCache>>,
         artifacts: Option<&Arc<ArtifactCache>>,
+        app_jobs: usize,
     ) -> AppModel {
         let target = apk.manifest.target_sdk.clamp_modeled();
         let mut clvm = Clvm::new();
@@ -103,11 +112,12 @@ impl Aum {
             None => FrameworkProvider::new(Arc::clone(framework), target),
         }));
 
-        let exploration = explore_cached(
-            &mut clvm,
+        let exploration = explore_parallel(
+            &clvm,
             app_method_roots(apk),
             config,
             artifacts.map(|a| (a.as_ref(), target)),
+            app_jobs,
         );
 
         // Snapshot the package's classes and resolve each one's
@@ -115,11 +125,18 @@ impl Aum {
         // most once; most are already in the CLVM).
         let mut app_classes = Vec::with_capacity(apk.class_count());
         let mut fw_ancestors = HashMap::new();
+        let mut declared_methods: HashMap<String, HashSet<String>> = HashMap::new();
         for class in apk.all_classes() {
             let arc = clvm
                 .load_class(&class.name)
                 .unwrap_or_else(|| Arc::new(class.clone()));
             fw_ancestors.insert(class.name.clone(), clvm.framework_ancestor(&class.name));
+            for m in &arc.methods {
+                declared_methods
+                    .entry(m.name.clone())
+                    .or_default()
+                    .insert(m.descriptor.clone());
+            }
             app_classes.push(arc);
         }
 
@@ -131,6 +148,7 @@ impl Aum {
             exploration,
             clvm,
             fw_ancestors,
+            declared_methods,
         }
     }
 }
@@ -202,7 +220,9 @@ mod tests {
     fn declares_app_method_scans_all_classes() {
         let model = Aum::build(&demo_apk(), &framework(), &ExploreConfig::saintdroid());
         assert!(model.declares_app_method("onCreate", "(Landroid/os/Bundle;)V"));
-        assert!(!model.declares_app_method("onRequestPermissionsResult", "(I[Ljava/lang/String;[I)V"));
+        assert!(
+            !model.declares_app_method("onRequestPermissionsResult", "(I[Ljava/lang/String;[I)V")
+        );
     }
 
     #[test]

@@ -34,9 +34,17 @@ use crate::report::Report;
 use crate::saintdroid::SaintDroid;
 
 /// A parallel scanner over batches of APKs.
+///
+/// Scheduling is two-level: the global worker budget (`jobs`) is split
+/// into corpus-level *app slots* and intra-app *task slots* — see
+/// [`app_jobs`](ScanEngine::app_jobs). A batch of small apps saturates
+/// cores via app parallelism; one huge app saturates them via intra-app
+/// parallelism (shared-CLVM exploration, concurrent detectors, parallel
+/// framework-subtree scans). Reports are byte-identical either way.
 pub struct ScanEngine {
     tool: SaintDroid,
     jobs: usize,
+    app_jobs: Option<usize>,
 }
 
 /// What one worker thread did during a batch.
@@ -114,6 +122,7 @@ impl ScanEngine {
         ScanEngine {
             tool,
             jobs: default_jobs(),
+            app_jobs: None,
         }
     }
 
@@ -135,6 +144,52 @@ impl ScanEngine {
     #[must_use]
     pub fn job_count(&self) -> usize {
         self.jobs
+    }
+
+    /// Sets an explicit intra-app worker count: every app slot analyzes
+    /// its app with `m` intra-app tasks, and the number of concurrent
+    /// app slots shrinks to `jobs / m` so the global budget holds. By
+    /// default (auto) the split is derived from the batch size: as many
+    /// app slots as there are apps (up to `jobs`), with the leftover
+    /// budget handed to each slot as intra-app tasks.
+    #[must_use]
+    pub fn app_jobs(mut self, m: usize) -> Self {
+        self.app_jobs = Some(m.max(1));
+        self
+    }
+
+    /// The explicit intra-app worker count, if one was set.
+    #[must_use]
+    pub fn app_job_count(&self) -> Option<usize> {
+        self.app_jobs
+    }
+
+    /// Splits the global budget into `(app slots, intra-app jobs)` for
+    /// a batch of `n` apps, keeping `slots × per_app ≈ jobs`.
+    ///
+    /// Auto mode fills app slots first (whole-app units parallelize
+    /// with zero coordination) and hands each slot the leftover budget
+    /// as intra-app tasks, additionally capped by the machine's cores —
+    /// analysis is CPU-bound, so intra-app threads beyond the hardware
+    /// only add lock handoff. An explicit [`app_jobs`] count is honored
+    /// as requested (clamped to the budget only).
+    ///
+    /// [`app_jobs`]: ScanEngine::app_jobs
+    fn schedule(&self, n: usize) -> (usize, usize) {
+        let budget = self.jobs.max(1);
+        match self.app_jobs {
+            Some(m) => {
+                let per_app = m.min(budget);
+                let slots = effective_workers(budget / per_app, n);
+                (slots, per_app)
+            }
+            None => {
+                let slots = effective_workers(budget, n).max(1);
+                let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+                let per_app = (budget / slots).min((cores / slots).max(1)).max(1);
+                (slots, per_app)
+            }
+        }
     }
 
     /// The underlying analyzer.
@@ -174,14 +229,14 @@ impl ScanEngine {
     #[must_use]
     pub fn scan_batch_timed(&self, apks: &[Apk]) -> BatchScan {
         let start = Instant::now();
-        let workers = effective_workers(self.jobs, apks.len());
+        let (workers, per_app) = self.schedule(apks.len());
         if workers == 1 {
             let mut stat = WorkerStat::default();
             let reports = apks
                 .iter()
                 .map(|apk| {
                     let t = Instant::now();
-                    let r = self.tool.run(apk);
+                    let r = self.tool.run_with_jobs(apk, per_app);
                     stat.busy += t.elapsed();
                     stat.apps += 1;
                     r
@@ -205,7 +260,7 @@ impl ScanEngine {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(apk) = apks.get(i) else { break };
                             let t = Instant::now();
-                            let report = self.tool.run(apk);
+                            let report = self.tool.run_with_jobs(apk, per_app);
                             stat.busy += t.elapsed();
                             stat.apps += 1;
                             // Each index is drawn exactly once, so the
@@ -237,6 +292,7 @@ impl std::fmt::Debug for ScanEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ScanEngine")
             .field("jobs", &self.jobs)
+            .field("app_jobs", &self.app_jobs)
             .field("shared_cache", &self.tool.shared_cache().is_some())
             .finish()
     }
@@ -301,16 +357,20 @@ mod tests {
     fn apk(pkg: &str, call_modern_api: bool) -> Apk {
         let main = ClassBuilder::new(format!("{pkg}.Main"), ClassOrigin::App)
             .extends("android.app.Activity")
-            .method("onCreate", "(Landroid/os/Bundle;)V", |b: &mut BodyBuilder| {
-                if call_modern_api {
-                    b.invoke_virtual(
-                        saint_adf::well_known::context_get_color_state_list(),
-                        &[],
-                        None,
-                    );
-                }
-                b.ret_void();
-            })
+            .method(
+                "onCreate",
+                "(Landroid/os/Bundle;)V",
+                |b: &mut BodyBuilder| {
+                    if call_modern_api {
+                        b.invoke_virtual(
+                            saint_adf::well_known::context_get_color_state_list(),
+                            &[],
+                            None,
+                        );
+                    }
+                    b.ret_void();
+                },
+            )
             .unwrap()
             .build();
         ApkBuilder::new(pkg, ApiLevel::new(19), ApiLevel::new(28))
@@ -328,8 +388,10 @@ mod tests {
     fn batch_matches_sequential_run() {
         let fw = Arc::new(AndroidFramework::curated());
         let apks = small_batch();
-        let sequential: Vec<Report> =
-            apks.iter().map(|a| SaintDroid::new(Arc::clone(&fw)).run(a)).collect();
+        let sequential: Vec<Report> = apks
+            .iter()
+            .map(|a| SaintDroid::new(Arc::clone(&fw)).run(a))
+            .collect();
         let batch = ScanEngine::new(Arc::clone(&fw)).jobs(3).scan_batch(&apks);
         assert_eq!(batch.len(), sequential.len());
         for (b, s) in batch.iter().zip(&sequential) {
@@ -345,7 +407,10 @@ mod tests {
         let engine = ScanEngine::new(fw).jobs(2);
         let _ = engine.scan_batch(&small_batch());
         let stats = engine.cache_stats().expect("engine installs a cache");
-        assert!(stats.hits > 0, "6 similar apps must share classes: {stats:?}");
+        assert!(
+            stats.hits > 0,
+            "6 similar apps must share classes: {stats:?}"
+        );
         assert!(stats.entries > 0);
     }
 
@@ -383,6 +448,49 @@ mod tests {
             v * 2
         });
         assert_eq!(doubled, items.iter().map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn two_level_schedule_splits_budget() {
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let fw = Arc::new(AndroidFramework::curated());
+        let engine = ScanEngine::new(Arc::clone(&fw)).jobs(8);
+        // Auto: the split always respects the global budget.
+        for n in [1, 2, 100] {
+            let (slots, per_app) = engine.schedule(n);
+            assert!(slots >= 1 && per_app >= 1);
+            assert!(slots * per_app <= 8.max(cores));
+            assert!(slots <= n.max(1));
+        }
+        // Auto: one app → every usable worker goes intra-app.
+        let (slots, per_app) = engine.schedule(1);
+        assert_eq!(slots, 1);
+        assert_eq!(per_app, 8.min(cores));
+        // Explicit --app-jobs 4 under a budget of 8: at most two app
+        // slots, exactly four intra-app tasks each.
+        let engine = ScanEngine::new(fw).jobs(8).app_jobs(4);
+        let (slots, per_app) = engine.schedule(100);
+        assert_eq!(per_app, 4);
+        assert!((1..=2).contains(&slots));
+    }
+
+    #[test]
+    fn intra_app_batch_matches_sequential_run() {
+        let fw = Arc::new(AndroidFramework::curated());
+        let apks = small_batch();
+        let sequential: Vec<Report> = apks
+            .iter()
+            .map(|a| SaintDroid::new(Arc::clone(&fw)).run(a))
+            .collect();
+        let batch = ScanEngine::new(Arc::clone(&fw))
+            .jobs(4)
+            .app_jobs(2)
+            .scan_batch(&apks);
+        for (b, s) in batch.iter().zip(&sequential) {
+            assert_eq!(b.package, s.package);
+            assert_eq!(b.mismatches, s.mismatches);
+            assert_eq!(b.meter, s.meter);
+        }
     }
 
     #[test]

@@ -57,9 +57,9 @@ mod report;
 mod saintdroid;
 
 pub use arm::Arm;
-pub use engine::{BatchScan, ScanEngine, WorkerStat};
 pub use aum::{is_app_origin, AppModel, Aum};
 pub use detector::{Capabilities, CompatDetector};
+pub use engine::{BatchScan, ScanEngine, WorkerStat};
 pub use mismatch::{is_mismatch_region, missing_levels_in, Mismatch, MismatchKind};
 pub use report::Report;
 pub use saintdroid::SaintDroid;

@@ -113,13 +113,22 @@ impl Mismatch {
 
 impl fmt::Display for Mismatch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {} -> {}", self.kind.abbreviation(), self.site, self.api)?;
+        write!(
+            f,
+            "[{}] {} -> {}",
+            self.kind.abbreviation(),
+            self.site,
+            self.api
+        )?;
         if let Some(p) = &self.permission {
             write!(f, " (permission {p})")?;
         }
         if !self.missing_levels.is_empty() {
-            let levels: Vec<String> =
-                self.missing_levels.iter().map(ApiLevel::to_string).collect();
+            let levels: Vec<String> = self
+                .missing_levels
+                .iter()
+                .map(ApiLevel::to_string)
+                .collect();
             write!(f, " missing at levels {}", levels.join(","))?;
         }
         if self.is_deep() {

@@ -413,14 +413,11 @@ fn add_runtime_protocol(apk: &mut Apk, site: &MethodRef) -> bool {
             .find(|m| m.name == *site.name && m.descriptor == *site.descriptor)
         {
             if let Some(body) = &m.body {
-                let already = body
-                    .call_sites()
-                    .any(|c| &*c.name == "requestPermissions");
+                let already = body.call_sites().any(|c| &*c.name == "requestPermissions");
                 if !already {
                     let mut blocks = body.blocks().to_vec();
                     blocks[0].instrs.insert(0, request_call.clone());
-                    m.body =
-                        Some(MethodBody::from_blocks(blocks).expect("prepend keeps validity"));
+                    m.body = Some(MethodBody::from_blocks(blocks).expect("prepend keeps validity"));
                     changed = true;
                 }
             }
@@ -502,7 +499,9 @@ mod tests {
         assert_eq!(report.total(), 1);
         let out = repair(&apk, &report, &RepairOptions::default());
         match &out.actions[0] {
-            RepairAction::GuardInserted { below, at_least, .. } => {
+            RepairAction::GuardInserted {
+                below, at_least, ..
+            } => {
                 assert_eq!(*below, Some(ApiLevel::new(23)));
                 assert_eq!(*at_least, None);
             }
@@ -593,7 +592,10 @@ mod tests {
 
         // Conservative: advisory only, nothing changes.
         let conservative = repair(&apk, &report, &RepairOptions::default());
-        assert!(matches!(conservative.actions[0], RepairAction::Advisory { .. }));
+        assert!(matches!(
+            conservative.actions[0],
+            RepairAction::Advisory { .. }
+        ));
         assert_eq!(conservative.apk.manifest.target_sdk, ApiLevel::new(22));
 
         // Aggressive: target raised + protocol added → clean.
@@ -661,7 +663,7 @@ mod tests {
         // All original instructions survive.
         let total_instrs: usize = patched.blocks().iter().map(|b| b.instrs.len()).sum();
         assert_eq!(total_instrs, 4); // const, sget, call, const
-        // And the guard reads SDK_INT.
+                                     // And the guard reads SDK_INT.
         assert!(patched
             .blocks()
             .iter()

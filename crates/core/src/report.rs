@@ -1,6 +1,6 @@
 //! Analysis reports: mismatches plus resource accounting.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::time::Duration;
 
 use saint_analysis::LoadMeter;
@@ -38,11 +38,20 @@ impl Report {
     }
 
     /// Adds mismatches, dropping duplicates (same kind, site, API and
-    /// permission) and merging their missing-level sets.
+    /// permission) and merging their missing-level sets. Duplicates are
+    /// found through a `dedup_key() → index` side table (O(1) per
+    /// addition instead of a linear scan over everything added so far);
+    /// output order and merge semantics are unchanged.
     pub fn extend_deduped(&mut self, additions: impl IntoIterator<Item = Mismatch>) {
+        let mut index: HashMap<_, usize> = HashMap::with_capacity(self.mismatches.len());
+        for (i, m) in self.mismatches.iter().enumerate() {
+            // First index wins, matching the linear scan this replaces.
+            index.entry(m.dedup_key()).or_insert(i);
+        }
         for add in additions {
             let key = add.dedup_key();
-            if let Some(existing) = self.mismatches.iter_mut().find(|m| m.dedup_key() == key) {
+            if let Some(&i) = index.get(&key) {
+                let existing = &mut self.mismatches[i];
                 let mut levels: BTreeSet<_> = existing.missing_levels.iter().copied().collect();
                 levels.extend(add.missing_levels.iter().copied());
                 existing.missing_levels = levels.into_iter().collect();
@@ -50,6 +59,7 @@ impl Report {
                     existing.via = add.via;
                 }
             } else {
+                index.insert(key, self.mismatches.len());
                 self.mismatches.push(add);
             }
         }
@@ -76,8 +86,7 @@ impl Report {
     /// Number of permission-induced mismatches (request + revocation).
     #[must_use]
     pub fn prm_count(&self) -> usize {
-        self.count(MismatchKind::PermissionRequest)
-            + self.count(MismatchKind::PermissionRevocation)
+        self.count(MismatchKind::PermissionRequest) + self.count(MismatchKind::PermissionRevocation)
     }
 
     /// Total mismatches.

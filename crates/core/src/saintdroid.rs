@@ -1,7 +1,7 @@
 //! The assembled SAINTDroid pipeline (paper Figure 2): AUM → ARM → AMD.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use saint_adf::AndroidFramework;
 use saint_analysis::{ArtifactCache, ExploreConfig, ShardedClassCache};
@@ -35,6 +35,7 @@ pub struct SaintDroid {
     cache: Option<Arc<ShardedClassCache>>,
     artifact_cache: Option<Arc<ArtifactCache>>,
     scan_cache: Option<Arc<amd::invocation::DeepScanCache>>,
+    app_jobs: usize,
 }
 
 impl SaintDroid {
@@ -49,6 +50,7 @@ impl SaintDroid {
             cache: None,
             artifact_cache: None,
             scan_cache: None,
+            app_jobs: 1,
         }
     }
 
@@ -62,7 +64,26 @@ impl SaintDroid {
             cache: None,
             artifact_cache: None,
             scan_cache: None,
+            app_jobs: 1,
         }
+    }
+
+    /// Sets the intra-app worker count (clamped to at least 1): with
+    /// `jobs > 1` the Algorithm-1 exploration runs on a shared-CLVM
+    /// task pool, the three AMD detectors run concurrently, and the
+    /// deep framework-subtree descents of invocation detection are
+    /// computed in parallel. Reports are identical to the sequential
+    /// (`app_jobs = 1`) run — mismatches, order, and meter.
+    #[must_use]
+    pub fn with_app_jobs(mut self, jobs: usize) -> Self {
+        self.app_jobs = jobs.max(1);
+        self
+    }
+
+    /// The configured intra-app worker count.
+    #[must_use]
+    pub fn app_jobs(&self) -> usize {
+        self.app_jobs
     }
 
     /// Attaches a batch-wide framework-class cache: every app analyzed
@@ -128,33 +149,105 @@ impl SaintDroid {
     /// developers, end-users, and third-party reviewers").
     #[must_use]
     pub fn model(&self, apk: &Apk) -> AppModel {
+        self.model_with(apk, self.app_jobs)
+    }
+
+    /// [`model`](Self::model) with an explicit intra-app worker count
+    /// for this call.
+    #[must_use]
+    pub fn model_with(&self, apk: &Apk, app_jobs: usize) -> AppModel {
         Aum::build_cached(
             apk,
             self.arm.framework(),
             &self.config,
             self.cache.as_ref(),
             self.artifact_cache.as_ref(),
+            app_jobs,
         )
     }
 
     /// Runs the full pipeline and returns the report.
     #[must_use]
     pub fn run(&self, apk: &Apk) -> Report {
+        self.run_phased(apk).0
+    }
+
+    /// [`run`](Self::run) with an explicit intra-app worker count for
+    /// this call, overriding [`with_app_jobs`](Self::with_app_jobs) —
+    /// how the two-level batch scheduler hands each app its share of
+    /// the global budget.
+    #[must_use]
+    pub fn run_with_jobs(&self, apk: &Apk, app_jobs: usize) -> Report {
+        self.run_phased_with(apk, app_jobs).0
+    }
+
+    /// Runs the full pipeline, additionally returning the wall time of
+    /// the two phases — model building (Algorithm-1 exploration) and
+    /// mismatch detection — so benchmarks can attribute intra-app
+    /// speedup per phase.
+    #[must_use]
+    pub fn run_phased(&self, apk: &Apk) -> (Report, Duration, Duration) {
+        self.run_phased_with(apk, self.app_jobs)
+    }
+
+    /// [`run_phased`](Self::run_phased) with an explicit intra-app
+    /// worker count for this call.
+    #[must_use]
+    pub fn run_phased_with(&self, apk: &Apk, app_jobs: usize) -> (Report, Duration, Duration) {
+        let app_jobs = app_jobs.max(1);
         let start = Instant::now();
-        let model = self.model(apk);
+        let model = self.model_with(apk, app_jobs);
+        let explore_time = start.elapsed();
         let db = self.arm.database();
         let pm = self.arm.permission_map();
+        let detect_start = Instant::now();
+
+        // The three detector families are independent functions of the
+        // finished model; with an intra-app budget they run concurrently
+        // and merge in the fixed invocation → callback → permission
+        // order the sequential path uses, so the report is identical.
+        let (inv, cb, prm) = if app_jobs > 1 {
+            std::thread::scope(|s| {
+                let inv = s.spawn(|| self.detect_invocation(&model, &db, app_jobs));
+                let cb = s.spawn(|| amd::callback::detect(&model, &db));
+                let prm = s.spawn(|| amd::permission::detect(&model, &pm));
+                (
+                    inv.join().expect("invocation detector panicked"),
+                    cb.join().expect("callback detector panicked"),
+                    prm.join().expect("permission detector panicked"),
+                )
+            })
+        } else {
+            (
+                self.detect_invocation(&model, &db, app_jobs),
+                amd::callback::detect(&model, &db),
+                amd::permission::detect(&model, &pm),
+            )
+        };
 
         let mut report = Report::new(apk.manifest.package.clone(), self.name());
-        report.extend_deduped(match &self.scan_cache {
-            Some(cache) => amd::invocation::detect_with(&model, &db, cache),
-            None => amd::invocation::detect(&model, &db),
-        });
-        report.extend_deduped(amd::callback::detect(&model, &db));
-        report.extend_deduped(amd::permission::detect(&model, &pm));
+        report.extend_deduped(inv);
+        report.extend_deduped(cb);
+        report.extend_deduped(prm);
+        let detect_time = detect_start.elapsed();
         report.duration = start.elapsed();
-        report.meter = *model.clvm.meter();
-        report
+        report.meter = model.clvm.meter();
+        (report, explore_time, detect_time)
+    }
+
+    fn detect_invocation(
+        &self,
+        model: &AppModel,
+        db: &saint_adf::ApiDatabase,
+        app_jobs: usize,
+    ) -> Vec<crate::mismatch::Mismatch> {
+        match &self.scan_cache {
+            Some(cache) => amd::invocation::detect_parallel(model, db, cache, app_jobs),
+            None => {
+                let cache = amd::invocation::DeepScanCache::new();
+                amd::invocation::detect_parallel(model, db, &cache, app_jobs)
+            }
+        }
     }
 }
 
@@ -187,13 +280,17 @@ mod tests {
     fn triple_threat() -> Apk {
         let main = ClassBuilder::new("p.Main", ClassOrigin::App)
             .extends("android.app.Activity")
-            .method("onCreate", "(Landroid/os/Bundle;)V", |b: &mut BodyBuilder| {
-                // API: getColorStateList (23) with min 19, unguarded.
-                b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
-                // PRM: camera usage, targets 26, no handler.
-                b.invoke_static(well_known::camera_open(), &[], None);
-                b.ret_void();
-            })
+            .method(
+                "onCreate",
+                "(Landroid/os/Bundle;)V",
+                |b: &mut BodyBuilder| {
+                    // API: getColorStateList (23) with min 19, unguarded.
+                    b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+                    // PRM: camera usage, targets 26, no handler.
+                    b.invoke_static(well_known::camera_open(), &[], None);
+                    b.ret_void();
+                },
+            )
             .unwrap()
             // APC: onMultiWindowModeChanged (24) with min 19.
             .method("onMultiWindowModeChanged", "(Z)V", |b| {

@@ -1,7 +1,7 @@
 //! The four case-study apps of paper §V-B, one per mismatch family.
 
 use saint_adf::well_known;
-use saint_ir::{ApiLevel, ApkBuilder, Apk, ClassBuilder, ClassOrigin, MethodRef, Permission};
+use saint_ir::{ApiLevel, Apk, ApkBuilder, ClassBuilder, ClassOrigin, MethodRef, Permission};
 
 use crate::patterns::filler;
 
@@ -10,23 +10,26 @@ use crate::patterns::filler;
 /// "the app will crash if running on API levels 8 to 11".
 #[must_use]
 pub fn offline_calendar() -> Apk {
-    let prefs = ClassBuilder::new("org.sufficientlysecure.localcalendar.PreferencesActivity", ClassOrigin::App)
-        .extends("android.preference.PreferenceActivity")
-        .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
-            b.invoke_virtual(well_known::activity_set_content_view(), &[], None);
-            b.invoke_virtual(
-                MethodRef::new(
-                    "org.sufficientlysecure.localcalendar.PreferencesActivity",
-                    "getFragmentManager",
-                    "()Landroid/app/FragmentManager;",
-                ),
-                &[],
-                None,
-            );
-            b.ret_void();
-        })
-        .unwrap()
-        .build();
+    let prefs = ClassBuilder::new(
+        "org.sufficientlysecure.localcalendar.PreferencesActivity",
+        ClassOrigin::App,
+    )
+    .extends("android.preference.PreferenceActivity")
+    .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
+        b.invoke_virtual(well_known::activity_set_content_view(), &[], None);
+        b.invoke_virtual(
+            MethodRef::new(
+                "org.sufficientlysecure.localcalendar.PreferencesActivity",
+                "getFragmentManager",
+                "()Landroid/app/FragmentManager;",
+            ),
+            &[],
+            None,
+        );
+        b.ret_void();
+    })
+    .unwrap()
+    .build();
     let mut builder = ApkBuilder::new(
         "org.sufficientlysecure.localcalendar",
         ApiLevel::new(8),
@@ -35,7 +38,11 @@ pub fn offline_calendar() -> Apk {
     .activity("org.sufficientlysecure.localcalendar.PreferencesActivity")
     .class(prefs)
     .unwrap();
-    for inj in [filler("org.sufficientlysecure.localcalendar.CalendarController", 8, 20)] {
+    for inj in [filler(
+        "org.sufficientlysecure.localcalendar.CalendarController",
+        8,
+        20,
+    )] {
         for c in inj.classes {
             builder = builder.class(c).unwrap();
         }
@@ -47,14 +54,17 @@ pub fn offline_calendar() -> Apk {
 /// `View.drawableHotspotChanged` (API 21) while `minSdkVersion` is 15.
 #[must_use]
 pub fn fosdem() -> Apk {
-    let layout = ClassBuilder::new("be.digitalia.fosdem.widgets.ForegroundLinearLayout", ClassOrigin::App)
-        .extends("android.widget.LinearLayout")
-        .method("drawableHotspotChanged", "(FF)V", |b| {
-            b.pad(2);
-            b.ret_void();
-        })
-        .unwrap()
-        .build();
+    let layout = ClassBuilder::new(
+        "be.digitalia.fosdem.widgets.ForegroundLinearLayout",
+        ClassOrigin::App,
+    )
+    .extends("android.widget.LinearLayout")
+    .method("drawableHotspotChanged", "(FF)V", |b| {
+        b.pad(2);
+        b.ret_void();
+    })
+    .unwrap()
+    .build();
     let mut builder = ApkBuilder::new("be.digitalia.fosdem", ApiLevel::new(15), ApiLevel::new(27))
         .class(layout)
         .unwrap();
@@ -71,33 +81,44 @@ pub fn fosdem() -> Apk {
 /// protocol.
 #[must_use]
 pub fn kolab_notes() -> Apk {
-    let export = ClassBuilder::new("org.kore.kolabnotes.android.ExportActivity", ClassOrigin::App)
-        .extends("android.app.Activity")
-        .method("saveToCard", "()V", |b| {
-            b.invoke_static(well_known::get_external_storage_directory(), &[], None);
-            b.ret_void();
-        })
-        .unwrap()
-        // The export path runs when the user taps "save"; the click
-        // listener is framework-invoked.
-        .method("onOptionsItemSelected", "(Landroid/view/MenuItem;)Z", |b| {
-            b.invoke_virtual(
-                MethodRef::new("org.kore.kolabnotes.android.ExportActivity", "saveToCard", "()V"),
-                &[],
-                None,
-            );
-            let r = b.alloc_reg();
-            b.const_int(r, 1);
-            b.ret(r);
-        })
-        .unwrap()
-        .build();
-    ApkBuilder::new("org.kore.kolabnotes.android.case", ApiLevel::new(19), ApiLevel::new(26))
-        .permission(Permission::android("WRITE_EXTERNAL_STORAGE"))
-        .activity("org.kore.kolabnotes.android.ExportActivity")
-        .class(export)
-        .unwrap()
-        .build()
+    let export = ClassBuilder::new(
+        "org.kore.kolabnotes.android.ExportActivity",
+        ClassOrigin::App,
+    )
+    .extends("android.app.Activity")
+    .method("saveToCard", "()V", |b| {
+        b.invoke_static(well_known::get_external_storage_directory(), &[], None);
+        b.ret_void();
+    })
+    .unwrap()
+    // The export path runs when the user taps "save"; the click
+    // listener is framework-invoked.
+    .method("onOptionsItemSelected", "(Landroid/view/MenuItem;)Z", |b| {
+        b.invoke_virtual(
+            MethodRef::new(
+                "org.kore.kolabnotes.android.ExportActivity",
+                "saveToCard",
+                "()V",
+            ),
+            &[],
+            None,
+        );
+        let r = b.alloc_reg();
+        b.const_int(r, 1);
+        b.ret(r);
+    })
+    .unwrap()
+    .build();
+    ApkBuilder::new(
+        "org.kore.kolabnotes.android.case",
+        ApiLevel::new(19),
+        ApiLevel::new(26),
+    )
+    .permission(Permission::android("WRITE_EXTERNAL_STORAGE"))
+    .activity("org.kore.kolabnotes.android.ExportActivity")
+    .class(export)
+    .unwrap()
+    .build()
 }
 
 /// AdAway (§V-B, permission revocation): targets API 22, uses

@@ -108,8 +108,15 @@ pub fn cider_bench_scaled(f: usize) -> Vec<BenchApp> {
                 callback_override(
                     "dev.ukanth.ufirewall.LogView",
                     "android.widget.FrameLayout",
-                    MethodSig::new("onApplyWindowInsets", "(Landroid/view/WindowInsets;)Landroid/view/WindowInsets;"),
-                    MethodRef::new("android.view.View", "onApplyWindowInsets", "(Landroid/view/WindowInsets;)Landroid/view/WindowInsets;"),
+                    MethodSig::new(
+                        "onApplyWindowInsets",
+                        "(Landroid/view/WindowInsets;)Landroid/view/WindowInsets;",
+                    ),
+                    MethodRef::new(
+                        "android.view.View",
+                        "onApplyWindowInsets",
+                        "(Landroid/view/WindowInsets;)Landroid/view/WindowInsets;",
+                    ),
                     "View.onApplyWindowInsets (20) with min 15",
                 ),
                 guarded_api_call(
@@ -187,14 +194,25 @@ pub fn cider_bench_scaled(f: usize) -> Vec<BenchApp> {
                 callback_override(
                     "de.baumann.browser.NinjaWebView",
                     "android.webkit.WebView",
-                    MethodSig::new("onProvideVirtualStructure", "(Landroid/view/ViewStructure;)V"),
-                    MethodRef::new("android.webkit.WebView", "onProvideVirtualStructure", "(Landroid/view/ViewStructure;)V"),
+                    MethodSig::new(
+                        "onProvideVirtualStructure",
+                        "(Landroid/view/ViewStructure;)V",
+                    ),
+                    MethodRef::new(
+                        "android.webkit.WebView",
+                        "onProvideVirtualStructure",
+                        "(Landroid/view/ViewStructure;)V",
+                    ),
                     "WebView.onProvideVirtualStructure (23) with min 19; modeled by CIDER",
                 ),
                 library_unguarded_call(
                     "org.mozilla.geckoview.PageRenderer",
                     "postMessage",
-                    MethodRef::new("android.webkit.WebView", "postWebMessage", "(Landroid/webkit/WebMessage;Landroid/net/Uri;)V"),
+                    MethodRef::new(
+                        "android.webkit.WebView",
+                        "postWebMessage",
+                        "(Landroid/webkit/WebMessage;Landroid/net/Uri;)V",
+                    ),
                     "postWebMessage (23) with min 19",
                 ),
                 anon_guarded_helper(
@@ -236,7 +254,11 @@ pub fn cider_bench_scaled(f: usize) -> Vec<BenchApp> {
                     "org.kore.kolabnotes.android.NoteFragment",
                     "android.app.Fragment",
                     well_known::fragment_on_attach_context_sig(),
-                    MethodRef::new("android.app.Fragment", "onAttach", "(Landroid/content/Context;)V"),
+                    MethodRef::new(
+                        "android.app.Fragment",
+                        "onAttach",
+                        "(Landroid/content/Context;)V",
+                    ),
                     "Fragment.onAttach(Context) (23) with min 19",
                 ),
                 filler("org.kore.kolabnotes.android.Sync", 12 * f, 30),
@@ -286,8 +308,15 @@ pub fn cider_bench_scaled(f: usize) -> Vec<BenchApp> {
                 anonymous_callback_override(
                     "me.zeeroooo.materialfb.Chat",
                     "android.webkit.WebViewClient",
-                    MethodSig::new("onPageCommitVisible", "(Landroid/webkit/WebView;Ljava/lang/String;)V"),
-                    MethodRef::new("android.webkit.WebViewClient", "onPageCommitVisible", "(Landroid/webkit/WebView;Ljava/lang/String;)V"),
+                    MethodSig::new(
+                        "onPageCommitVisible",
+                        "(Landroid/webkit/WebView;Ljava/lang/String;)V",
+                    ),
+                    MethodRef::new(
+                        "android.webkit.WebViewClient",
+                        "onPageCommitVisible",
+                        "(Landroid/webkit/WebView;Ljava/lang/String;)V",
+                    ),
                     "onPageCommitVisible (23) inside Chat$1 — invisible to static analysis",
                 ),
                 filler("me.zeeroooo.materialfb.Feed", 8 * f, 20),
@@ -348,14 +377,22 @@ pub fn cider_bench_scaled(f: usize) -> Vec<BenchApp> {
                 unguarded_api_call(
                     "cat.pantsu.nyaapantsu.TorrentList",
                     "tintRows",
-                    MethodRef::new("android.view.View", "setBackgroundTintList", "(Landroid/content/res/ColorStateList;)V"),
+                    MethodRef::new(
+                        "android.view.View",
+                        "setBackgroundTintList",
+                        "(Landroid/content/res/ColorStateList;)V",
+                    ),
                     "setBackgroundTintList (21) with min 15",
                 ),
                 callback_override(
                     "cat.pantsu.nyaapantsu.UploadFragment",
                     "android.app.Fragment",
                     well_known::fragment_on_attach_context_sig(),
-                    MethodRef::new("android.app.Fragment", "onAttach", "(Landroid/content/Context;)V"),
+                    MethodRef::new(
+                        "android.app.Fragment",
+                        "onAttach",
+                        "(Landroid/content/Context;)V",
+                    ),
                     "Fragment.onAttach(Context) (23) with min 15",
                 ),
                 filler("cat.pantsu.nyaapantsu.Api", 9 * f, 25),
@@ -378,7 +415,11 @@ pub fn cider_bench_scaled(f: usize) -> Vec<BenchApp> {
                 library_unguarded_call(
                     "org.etherpad.lite.PadWidget",
                     "elevate",
-                    MethodRef::new("android.view.View", "setBackgroundTintList", "(Landroid/content/res/ColorStateList;)V"),
+                    MethodRef::new(
+                        "android.view.View",
+                        "setBackgroundTintList",
+                        "(Landroid/content/res/ColorStateList;)V",
+                    ),
                     "setBackgroundTintList (21) with min 16",
                 ),
                 guarded_api_call(
@@ -455,7 +496,11 @@ pub fn cider_bench_scaled(f: usize) -> Vec<BenchApp> {
                     "de.tobiasbielefeld.solitaire.GameFragment",
                     "android.app.Fragment",
                     well_known::fragment_on_attach_context_sig(),
-                    MethodRef::new("android.app.Fragment", "onAttach", "(Landroid/content/Context;)V"),
+                    MethodRef::new(
+                        "android.app.Fragment",
+                        "onAttach",
+                        "(Landroid/content/Context;)V",
+                    ),
                     "Listing 2: Fragment.onAttach(Context) (23) with min 14",
                 ),
                 library_unguarded_call(
@@ -617,7 +662,10 @@ mod tests {
             .flat_map(|a| &a.truth)
             .filter(|t| t.site.class.is_anonymous_inner())
             .count();
-        assert_eq!(anon_truths, 2, "two known-miss anonymous issues (40-of-42 shape)");
+        assert_eq!(
+            anon_truths, 2,
+            "two known-miss anonymous issues (40-of-42 shape)"
+        );
     }
 
     #[test]

@@ -31,9 +31,7 @@ mod truth;
 
 pub use cid_bench::cid_bench;
 pub use cider_bench::{cider_bench, cider_bench_scaled};
-pub use realworld::{
-    generate_app, InjectedCounts, RealWorldApp, RealWorldConfig, RealWorldCorpus,
-};
+pub use realworld::{generate_app, InjectedCounts, RealWorldApp, RealWorldConfig, RealWorldCorpus};
 pub use truth::{score, Accuracy, BenchApp, GroundTruthIssue, Suite};
 
 /// The full 19-app benchmark suite of the paper's accuracy evaluation

@@ -6,9 +6,7 @@
 //! tools misreport) carry none.
 
 use saint_adf::well_known;
-use saint_ir::{
-    ApiLevel, ClassBuilder, ClassDef, ClassOrigin, InvokeKind, MethodRef, MethodSig,
-};
+use saint_ir::{ApiLevel, ClassBuilder, ClassDef, ClassOrigin, InvokeKind, MethodRef, MethodSig};
 use saintdroid::MismatchKind;
 
 use crate::truth::GroundTruthIssue;
@@ -318,9 +316,13 @@ pub fn dangerous_usage(
 #[must_use]
 pub fn permission_handler(class: &str) -> Injection {
     let built = activity_class(class)
-        .method("onRequestPermissionsResult", "(I[Ljava/lang/String;[I)V", |b| {
-            b.ret_void();
-        })
+        .method(
+            "onRequestPermissionsResult",
+            "(I[Ljava/lang/String;[I)V",
+            |b| {
+                b.ret_void();
+            },
+        )
         .unwrap()
         .method("onCreate", "(Landroid/os/Bundle;)V", |b| {
             b.invoke_virtual(well_known::activity_compat_request_permissions(), &[], None);
@@ -344,7 +346,11 @@ pub fn filler(class: &str, n_methods: usize, weight: usize) -> Injection {
             .method(format!("work{i}"), "()V", |b| {
                 b.pad(weight);
                 b.invoke_virtual(
-                    MethodRef::new("java.lang.StringBuilder", "append", "(Ljava/lang/String;)Ljava/lang/StringBuilder;"),
+                    MethodRef::new(
+                        "java.lang.StringBuilder",
+                        "append",
+                        "(Ljava/lang/String;)Ljava/lang/StringBuilder;",
+                    ),
                     &[],
                     None,
                 );
@@ -425,12 +431,7 @@ mod tests {
 
     #[test]
     fn injections_merge() {
-        let a = unguarded_api_call(
-            "p.A",
-            "m",
-            well_known::context_get_color_state_list(),
-            "t",
-        );
+        let a = unguarded_api_call("p.A", "m", well_known::context_get_color_state_list(), "t");
         let b = guarded_api_call("p.B", "m", well_known::context_get_drawable(), 21);
         let merged = a.merge(b);
         assert_eq!(merged.classes.len(), 2);
@@ -442,7 +443,10 @@ mod tests {
         let inj = anonymous_callback_override(
             "p.Outer",
             "android.webkit.WebViewClient",
-            MethodSig::new("onPageCommitVisible", "(Landroid/webkit/WebView;Ljava/lang/String;)V"),
+            MethodSig::new(
+                "onPageCommitVisible",
+                "(Landroid/webkit/WebView;Ljava/lang/String;)V",
+            ),
             MethodRef::new(
                 "android.webkit.WebViewClient",
                 "onPageCommitVisible",
@@ -456,15 +460,21 @@ mod tests {
 
     #[test]
     fn bait_patterns_carry_no_truth() {
-        assert!(guarded_api_call("p.A", "m", well_known::context_get_drawable(), 21)
-            .truth
-            .is_empty());
-        assert!(cross_method_guarded("p.B", well_known::context_get_drawable(), 21)
-            .truth
-            .is_empty());
-        assert!(anon_guarded_helper("p.C", well_known::context_get_drawable(), 21)
-            .truth
-            .is_empty());
+        assert!(
+            guarded_api_call("p.A", "m", well_known::context_get_drawable(), 21)
+                .truth
+                .is_empty()
+        );
+        assert!(
+            cross_method_guarded("p.B", well_known::context_get_drawable(), 21)
+                .truth
+                .is_empty()
+        );
+        assert!(
+            anon_guarded_helper("p.C", well_known::context_get_drawable(), 21)
+                .truth
+                .is_empty()
+        );
         assert!(permission_handler("p.D").truth.is_empty());
     }
 

@@ -40,6 +40,18 @@ pub struct RealWorldConfig {
     pub synth: SynthConfig,
     /// Scale factor on app sizes (1.0 = paper-like KLOC distribution).
     pub size_scale: f64,
+    /// Pins every app's `targetSdk` to one level. `None` keeps the
+    /// paper's RQ2 split (50.83 % targeting ≥ 23, the rest spread over
+    /// 14–22). Pinning models a *modern* corpus: store policies force
+    /// large maintained apps onto the same recent target, which is what
+    /// makes level-keyed analysis caches shareable across them.
+    pub force_target: Option<u8>,
+    /// Skews the per-app API vocabulary toward the head of the safe
+    /// menu: `0.0` (the default) keeps the historical uniform draw;
+    /// `s > 0` draws index `⌊len · u^(1+s)⌋` for uniform `u`, modeling
+    /// the head-heavy platform usage real corpora exhibit (a handful of
+    /// core classes serve most call sites).
+    pub api_skew: f64,
 }
 
 impl RealWorldConfig {
@@ -51,6 +63,8 @@ impl RealWorldConfig {
             seed: 0xD501D,
             synth: SynthConfig::paper(),
             size_scale: 1.0,
+            force_target: None,
+            api_skew: 0.0,
         }
     }
 
@@ -62,6 +76,8 @@ impl RealWorldConfig {
             seed: 0xD501D,
             synth: SynthConfig::small(),
             size_scale: 0.2,
+            force_target: None,
+            api_skew: 0.0,
         }
     }
 
@@ -73,6 +89,8 @@ impl RealWorldConfig {
             seed: 0xD501D,
             synth: SynthConfig::medium(),
             size_scale: 0.5,
+            force_target: None,
+            api_skew: 0.0,
         }
     }
 }
@@ -144,7 +162,11 @@ fn api_menu() -> Vec<(MethodRef, u8)> {
             24,
         ),
         (
-            MethodRef::new("android.view.View", "setTooltipText", "(Ljava/lang/CharSequence;)V"),
+            MethodRef::new(
+                "android.view.View",
+                "setTooltipText",
+                "(Ljava/lang/CharSequence;)V",
+            ),
             26,
         ),
     ]
@@ -156,7 +178,11 @@ fn apc_menu() -> Vec<(&'static str, MethodSig, MethodRef, u8)> {
         (
             "android.app.Fragment",
             well_known::fragment_on_attach_context_sig(),
-            MethodRef::new("android.app.Fragment", "onAttach", "(Landroid/content/Context;)V"),
+            MethodRef::new(
+                "android.app.Fragment",
+                "onAttach",
+                "(Landroid/content/Context;)V",
+            ),
             23,
         ),
         (
@@ -173,7 +199,10 @@ fn apc_menu() -> Vec<(&'static str, MethodSig, MethodRef, u8)> {
         ),
         (
             "android.webkit.WebView",
-            MethodSig::new("onProvideVirtualStructure", "(Landroid/view/ViewStructure;)V"),
+            MethodSig::new(
+                "onProvideVirtualStructure",
+                "(Landroid/view/ViewStructure;)V",
+            ),
             MethodRef::new(
                 "android.webkit.WebView",
                 "onProvideVirtualStructure",
@@ -184,7 +213,11 @@ fn apc_menu() -> Vec<(&'static str, MethodSig, MethodRef, u8)> {
         (
             "android.app.Service",
             MethodSig::new("onTaskRemoved", "(Landroid/content/Intent;)V"),
-            MethodRef::new("android.app.Service", "onTaskRemoved", "(Landroid/content/Intent;)V"),
+            MethodRef::new(
+                "android.app.Service",
+                "onTaskRemoved",
+                "(Landroid/content/Intent;)V",
+            ),
             14,
         ),
         (
@@ -200,8 +233,14 @@ fn apc_menu() -> Vec<(&'static str, MethodSig, MethodRef, u8)> {
 fn prm_menu() -> Vec<(MethodRef, &'static str)> {
     vec![
         (well_known::camera_open(), "CAMERA"),
-        (well_known::get_external_storage_directory(), "WRITE_EXTERNAL_STORAGE"),
-        (well_known::request_location_updates(), "ACCESS_FINE_LOCATION"),
+        (
+            well_known::get_external_storage_directory(),
+            "WRITE_EXTERNAL_STORAGE",
+        ),
+        (
+            well_known::request_location_updates(),
+            "ACCESS_FINE_LOCATION",
+        ),
         (
             MethodRef::new("android.media.AudioRecord", "startRecording", "()V"),
             "RECORD_AUDIO",
@@ -239,17 +278,21 @@ pub fn safe_framework_menu(spec: &FrameworkSpec) -> Vec<MethodRef> {
 #[must_use]
 #[allow(clippy::too_many_lines)]
 pub fn generate_app(cfg: &RealWorldConfig, index: usize, safe_menu: &[MethodRef]) -> RealWorldApp {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng =
+        SmallRng::seed_from_u64(cfg.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let package = format!("rw.gen.app{index}");
 
-    // Target split per RQ2: 1,815 of 3,571 (50.83 %) target ≥ 23.
+    // Target split per RQ2: 1,815 of 3,571 (50.83 %) target ≥ 23. The
+    // split is always drawn (keeping the RNG stream identical across
+    // configurations) and only then overridden by `force_target`.
     let modern = rng.gen_bool(0.5083);
-    let target: u8 = if modern {
+    let drawn: u8 = if modern {
         rng.gen_range(23..=28)
     } else {
         rng.gen_range(14..=22)
     };
-    let min: u8 = rng.gen_range(8..=(target - 4).max(9)).min(target);
+    let target: u8 = cfg.force_target.unwrap_or(drawn);
+    let min: u8 = rng.gen_range(8..=(drawn - 4).max(9)).min(target);
 
     let mut builder = ApkBuilder::new(package, ApiLevel::new(min), ApiLevel::new(target));
     let mut injected = InjectedCounts::default();
@@ -270,8 +313,8 @@ pub fn generate_app(cfg: &RealWorldConfig, index: usize, safe_menu: &[MethodRef]
             let fp_sites = ((count as f64) * 0.16).round() as usize;
             let real = count - fp_sites;
             let class = format!("rw.gen.app{index}.Issues");
-            let mut cb = ClassBuilder::new(class.as_str(), ClassOrigin::App)
-                .extends("android.app.Activity");
+            let mut cb =
+                ClassBuilder::new(class.as_str(), ClassOrigin::App).extends("android.app.Activity");
             for site in 0..real {
                 let (api, _) = eligible[rng.gen_range(0..eligible.len())].clone();
                 cb = cb
@@ -332,7 +375,11 @@ pub fn generate_app(cfg: &RealWorldConfig, index: usize, safe_menu: &[MethodRef]
                         b.switch_to(then_blk);
                         for site in 0..fp_sites {
                             b.invoke_virtual(
-                                MethodRef::new(outer.as_str(), format!("fromListener{site}").as_str(), "()V"),
+                                MethodRef::new(
+                                    outer.as_str(),
+                                    format!("fromListener{site}").as_str(),
+                                    "()V",
+                                ),
                                 &[],
                                 None,
                             );
@@ -463,13 +510,24 @@ pub fn generate_app(cfg: &RealWorldConfig, index: usize, safe_menu: &[MethodRef]
     } else {
         let k = rng.gen_range(6usize..=30).min(safe_menu.len());
         (0..k)
-            .map(|_| safe_menu[rng.gen_range(0..safe_menu.len())].clone())
+            .map(|_| {
+                let idx = if cfg.api_skew > 0.0 {
+                    // Head-heavy draw: `⌊len · u^(1+s)⌋` concentrates
+                    // the vocabulary on the menu's first entries, the
+                    // hot platform core every large app leans on.
+                    let u: f64 = rng.gen();
+                    ((safe_menu.len() as f64) * u.powf(1.0 + cfg.api_skew)) as usize
+                } else {
+                    rng.gen_range(0..safe_menu.len())
+                };
+                safe_menu[idx.min(safe_menu.len() - 1)].clone()
+            })
             .collect()
     };
     for c in 0..classes_needed {
         let class = format!("rw.gen.app{index}.Filler{c}");
-        let mut cb = ClassBuilder::new(class.as_str(), ClassOrigin::App)
-            .extends("java.lang.Object");
+        let mut cb =
+            ClassBuilder::new(class.as_str(), ClassOrigin::App).extends("java.lang.Object");
         for m in 0..per_class.min(methods_needed - c * per_class) {
             let fw_ref = if vocab.is_empty() {
                 well_known::activity_set_content_view()
@@ -626,13 +684,22 @@ mod tests {
         }
         let pct = |n: usize, d: usize| n as f64 / d as f64 * 100.0;
         let api_pct = pct(api_apps, corpus.len());
-        assert!((30.0..53.0).contains(&api_pct), "API prevalence {api_pct:.1}%");
+        assert!(
+            (30.0..53.0).contains(&api_pct),
+            "API prevalence {api_pct:.1}%"
+        );
         let apc_pct = pct(apc_apps, corpus.len());
-        assert!((13.0..28.0).contains(&apc_pct), "APC prevalence {apc_pct:.1}%");
+        assert!(
+            (13.0..28.0).contains(&apc_pct),
+            "APC prevalence {apc_pct:.1}%"
+        );
         let req_pct = pct(request, modern.max(1));
         assert!((6.0..20.0).contains(&req_pct), "request rate {req_pct:.1}%");
         let rev_pct = pct(revocation, legacy.max(1));
-        assert!((58.0..80.0).contains(&rev_pct), "revocation rate {rev_pct:.1}%");
+        assert!(
+            (58.0..80.0).contains(&rev_pct),
+            "revocation rate {rev_pct:.1}%"
+        );
     }
 
     #[test]
@@ -642,7 +709,10 @@ mod tests {
         let klocs: Vec<f64> = corpus.iter().map(|a| a.apk.kloc()).collect();
         let max = klocs.iter().cloned().fold(0.0, f64::max);
         let min = klocs.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max > min * 5.0, "size distribution too flat: {min:.1}..{max:.1}");
+        assert!(
+            max > min * 5.0,
+            "size distribution too flat: {min:.1}..{max:.1}"
+        );
     }
 
     #[test]

@@ -131,17 +131,18 @@ impl std::fmt::Display for Accuracy {
 /// are only penalized for families they claim to detect, mirroring the
 /// per-column scoring of the paper's Table II.
 #[must_use]
-pub fn score(report: &Report, truth: &[GroundTruthIssue], kinds: Option<&[MismatchKind]>) -> Accuracy {
+pub fn score(
+    report: &Report,
+    truth: &[GroundTruthIssue],
+    kinds: Option<&[MismatchKind]>,
+) -> Accuracy {
     let relevant_kind = |k: MismatchKind| kinds.is_none_or(|ks| ks.contains(&k));
     let reported: Vec<&Mismatch> = report
         .mismatches
         .iter()
         .filter(|m| relevant_kind(m.kind))
         .collect();
-    let truths: Vec<&GroundTruthIssue> = truth
-        .iter()
-        .filter(|t| relevant_kind(t.kind))
-        .collect();
+    let truths: Vec<&GroundTruthIssue> = truth.iter().filter(|t| relevant_kind(t.kind)).collect();
     let tp = truths
         .iter()
         .filter(|t| reported.iter().any(|m| t.matches(m)))
@@ -188,7 +189,14 @@ mod tests {
         report.extend_deduped([reported("a", "x"), reported("b", "wrong")]);
         let truth = vec![truth_item("a", "x"), truth_item("c", "x")];
         let acc = score(&report, &truth, None);
-        assert_eq!(acc, Accuracy { tp: 1, fp: 1, fn_: 1 });
+        assert_eq!(
+            acc,
+            Accuracy {
+                tp: 1,
+                fp: 1,
+                fn_: 1
+            }
+        );
         assert!((acc.precision() - 0.5).abs() < 1e-9);
         assert!((acc.recall() - 0.5).abs() < 1e-9);
         assert!((acc.f_measure() - 0.5).abs() < 1e-9);
@@ -203,7 +211,14 @@ mod tests {
         let truth = vec![truth_item("a", "x"), apc];
         // Scored as an API-only tool: the APC truth is out of scope.
         let acc = score(&report, &truth, Some(&[MismatchKind::ApiInvocation]));
-        assert_eq!(acc, Accuracy { tp: 1, fp: 0, fn_: 0 });
+        assert_eq!(
+            acc,
+            Accuracy {
+                tp: 1,
+                fp: 0,
+                fn_: 0
+            }
+        );
         // Scored over everything: the APC item counts as a miss.
         let all = score(&report, &truth, None);
         assert_eq!(all.fn_, 1);
@@ -220,14 +235,33 @@ mod tests {
 
     #[test]
     fn absorb_accumulates() {
-        let mut a = Accuracy { tp: 1, fp: 2, fn_: 3 };
-        a.absorb(Accuracy { tp: 4, fp: 0, fn_: 1 });
-        assert_eq!(a, Accuracy { tp: 5, fp: 2, fn_: 4 });
+        let mut a = Accuracy {
+            tp: 1,
+            fp: 2,
+            fn_: 3,
+        };
+        a.absorb(Accuracy {
+            tp: 4,
+            fp: 0,
+            fn_: 1,
+        });
+        assert_eq!(
+            a,
+            Accuracy {
+                tp: 5,
+                fp: 2,
+                fn_: 4
+            }
+        );
     }
 
     #[test]
     fn display_percentages() {
-        let a = Accuracy { tp: 3, fp: 1, fn_: 1 };
+        let a = Accuracy {
+            tp: 3,
+            fp: 1,
+            fn_: 1,
+        };
         let s = a.to_string();
         assert!(s.contains("P 75%"));
         assert!(s.contains("R 75%"));

@@ -57,7 +57,10 @@ fn cider_bench_batch_matches_sequential() {
     // The 12 apps overlap heavily in framework usage: the shared cache
     // must actually have been exercised, not silently bypassed.
     let stats = engine.cache_stats().expect("engine installs a cache");
-    assert!(stats.hits > 0, "no cross-app cache hits recorded: {stats:?}");
+    assert!(
+        stats.hits > 0,
+        "no cross-app cache hits recorded: {stats:?}"
+    );
 }
 
 #[test]
@@ -75,7 +78,9 @@ fn cider_bench_parity_holds_without_shared_cache() {
 fn realworld_sample_batch_matches_sequential() {
     let fw = framework();
     let corpus = RealWorldCorpus::new(RealWorldConfig::small());
-    let apks: Vec<Apk> = (0..24.min(corpus.len())).map(|i| corpus.get(i).apk).collect();
+    let apks: Vec<Apk> = (0..24.min(corpus.len()))
+        .map(|i| corpus.get(i).apk)
+        .collect();
     let sequential = sequential_reports(&fw, &apks);
     let batch = ScanEngine::new(Arc::clone(&fw)).jobs(4).scan_batch(&apks);
     assert_parity(&sequential, &batch);

@@ -1,0 +1,77 @@
+//! Intra-app parallelism parity: a report produced with `app_jobs > 1`
+//! (shared-CLVM parallel exploration, concurrent detectors, parallel
+//! framework-subtree scans) must be byte-identical to the sequential
+//! run — mismatches, their order, and the per-app meter. The worker
+//! count may only change *when* work happens, never what is found.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use saint_adf::{AndroidFramework, SynthConfig};
+use saint_corpus::{cider_bench, RealWorldConfig, RealWorldCorpus};
+use saint_ir::Apk;
+use saintdroid::{Report, SaintDroid};
+
+fn curated() -> Arc<AndroidFramework> {
+    static FW: OnceLock<Arc<AndroidFramework>> = OnceLock::new();
+    Arc::clone(FW.get_or_init(|| Arc::new(AndroidFramework::curated())))
+}
+
+fn synth_small() -> Arc<AndroidFramework> {
+    static FW: OnceLock<Arc<AndroidFramework>> = OnceLock::new();
+    Arc::clone(FW.get_or_init(|| Arc::new(AndroidFramework::with_scale(&SynthConfig::small()))))
+}
+
+/// The report's observable bytes: everything `bench_summary`
+/// fingerprints (package, the full mismatch list in order, the meter),
+/// serialized so any divergence — order included — changes the string.
+fn fingerprint(report: &Report) -> String {
+    format!(
+        "{}|{}|{}|{}",
+        report.package,
+        serde_json::to_string(&report.mismatches).expect("mismatches serialize"),
+        report.meter.total_bytes(),
+        report.meter.classes_loaded,
+    )
+}
+
+fn assert_parity_at(fw: &Arc<AndroidFramework>, apk: &Apk, jobs_list: &[usize]) {
+    let sequential = SaintDroid::new(Arc::clone(fw)).run(apk);
+    for &jobs in jobs_list {
+        let parallel = SaintDroid::new(Arc::clone(fw)).with_app_jobs(jobs).run(apk);
+        assert_eq!(
+            fingerprint(&sequential),
+            fingerprint(&parallel),
+            "{}: app_jobs={jobs} changed the report",
+            sequential.package
+        );
+        assert_eq!(sequential.meter, parallel.meter);
+    }
+}
+
+#[test]
+fn cider_bench_intra_app_parity() {
+    let fw = curated();
+    for app in cider_bench() {
+        assert_parity_at(&fw, &app.apk, &[1, 2, 8]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn generated_apps_intra_app_parity(
+        seed in 0u64..1_000_000,
+        index in 0usize..24,
+    ) {
+        let cfg = RealWorldConfig {
+            apps: 24,
+            seed,
+            ..RealWorldConfig::small()
+        };
+        let corpus = RealWorldCorpus::new(cfg);
+        let apk = corpus.get(index).apk;
+        assert_parity_at(&synth_small(), &apk, &[1, 2, 8]);
+    }
+}

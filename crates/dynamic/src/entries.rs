@@ -11,9 +11,7 @@ use saint_ir::{Apk, MethodRef};
 /// Whether a method name is something the framework invokes.
 #[must_use]
 pub fn framework_invokable(name: &str) -> bool {
-    (name.len() > 2
-        && name.starts_with("on")
-        && name.as_bytes()[2].is_ascii_uppercase())
+    (name.len() > 2 && name.starts_with("on") && name.as_bytes()[2].is_ascii_uppercase())
         || name == "run"
         || name == "call"
 }

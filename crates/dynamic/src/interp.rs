@@ -17,9 +17,12 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use saint_adf::{AndroidFramework, ApiDatabase, PermissionMap};
-use saint_analysis::{Clvm, FrameworkProvider, PrimaryDexProvider, Resolution, SecondaryDexProvider};
+use saint_analysis::{
+    Clvm, FrameworkProvider, PrimaryDexProvider, Resolution, SecondaryDexProvider,
+};
 use saint_ir::{
-    ApiLevel, Apk, BlockId, ClassName, Instr, Manifest, MethodBody, MethodRef, Operand, Permission, Terminator,
+    ApiLevel, Apk, BlockId, ClassName, Instr, Manifest, MethodBody, MethodRef, Operand, Permission,
+    Terminator,
 };
 use serde::Serialize;
 
@@ -588,9 +591,13 @@ mod tests {
                 b.ret_void();
             })
             .unwrap()
-            .method("onRequestPermissionsResult", "(I[Ljava/lang/String;[I)V", |b| {
-                b.ret_void();
-            })
+            .method(
+                "onRequestPermissionsResult",
+                "(I[Ljava/lang/String;[I)V",
+                |b| {
+                    b.ret_void();
+                },
+            )
             .unwrap()
             .build();
         let apk = ApkBuilder::new("p", ApiLevel::new(23), ApiLevel::new(26))
@@ -643,6 +650,9 @@ mod tests {
         let mut sim = Simulator::new(&apk, &framework(), Device::at(ApiLevel::new(21)));
         let out = sim.run_entries(&[MethodRef::new("p.Main", "spin", "()V")]);
         assert!(out.crashes.is_empty());
-        assert!(!out.complete, "budget exhaustion must mark the run incomplete");
+        assert!(
+            !out.complete,
+            "budget exhaustion must mark the run incomplete"
+        );
     }
 }

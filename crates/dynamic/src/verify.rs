@@ -92,9 +92,10 @@ impl Verifier {
             let pairing = match m.kind {
                 MismatchKind::ApiInvocation => test_level(m).map(|l| (l, false)),
                 MismatchKind::ApiCallback => None,
-                MismatchKind::PermissionRequest => {
-                    Some((test_level(m).unwrap_or(ApiLevel::RUNTIME_PERMISSIONS), false))
-                }
+                MismatchKind::PermissionRequest => Some((
+                    test_level(m).unwrap_or(ApiLevel::RUNTIME_PERMISSIONS),
+                    false,
+                )),
                 MismatchKind::PermissionRevocation => {
                     Some((test_level(m).unwrap_or(ApiLevel::RUNTIME_PERMISSIONS), true))
                 }
@@ -134,10 +135,8 @@ impl Verifier {
                     // has nothing to dispatch": probe the database the
                     // same way the dispatcher would.
                     let db = self.framework.database();
-                    let missing_somewhere = m
-                        .missing_levels
-                        .iter()
-                        .any(|l| !db.contains(&m.api, *l));
+                    let missing_somewhere =
+                        m.missing_levels.iter().any(|l| !db.contains(&m.api, *l));
                     if missing_somewhere {
                         Verdict::Confirmed
                     } else {
@@ -164,14 +163,15 @@ impl Verifier {
 }
 
 fn test_level(m: &Mismatch) -> Option<ApiLevel> {
-    m.missing_levels.first().copied().map(ApiLevel::clamp_modeled)
+    m.missing_levels
+        .first()
+        .copied()
+        .map(ApiLevel::clamp_modeled)
 }
 
 fn api_verdict(run: &RunOutcome, m: &Mismatch) -> Verdict {
     let crashed = run.crashes.iter().any(|c| {
-        c.kind == CrashKind::NoSuchMethod
-            && c.api == m.api
-            && c.app_frame.as_ref() == Some(&m.site)
+        c.kind == CrashKind::NoSuchMethod && c.api == m.api && c.app_frame.as_ref() == Some(&m.site)
     });
     if crashed {
         Verdict::Confirmed
@@ -206,10 +206,7 @@ mod tests {
 
     fn tools() -> (SaintDroid, Verifier) {
         let fw = Arc::new(AndroidFramework::curated());
-        (
-            SaintDroid::new(Arc::clone(&fw)),
-            Verifier::new(fw),
-        )
+        (SaintDroid::new(Arc::clone(&fw)), Verifier::new(fw))
     }
 
     #[test]
@@ -254,12 +251,8 @@ mod tests {
             saint_adf::well_known::context_get_color_state_list(),
             23,
         );
-        let mut builder = saint_ir::ApkBuilder::new(
-            "p",
-            ApiLevel::new(21),
-            ApiLevel::new(28),
-        )
-        .activity("p.Night");
+        let mut builder = saint_ir::ApkBuilder::new("p", ApiLevel::new(21), ApiLevel::new(28))
+            .activity("p.Night");
         for c in inj.classes {
             builder = builder.class(c).unwrap();
         }

@@ -49,7 +49,10 @@ fn switch_takes_the_matching_case() {
         .unwrap()
         .build();
     // At level 21 the API is missing → the crash proves case 2 ran.
-    assert_eq!(run(&apk, 21, MethodRef::new("p.Main", "onResume", "()V")), 1);
+    assert_eq!(
+        run(&apk, 21, MethodRef::new("p.Main", "onResume", "()V")),
+        1
+    );
 }
 
 #[test]
@@ -78,7 +81,10 @@ fn switch_default_when_nothing_matches() {
         .class(main)
         .unwrap()
         .build();
-    assert_eq!(run(&apk, 21, MethodRef::new("p.Main", "onResume", "()V")), 0);
+    assert_eq!(
+        run(&apk, 21, MethodRef::new("p.Main", "onResume", "()V")),
+        0
+    );
 }
 
 #[test]
@@ -181,5 +187,8 @@ fn crash_dedup_per_site() {
         .class(main)
         .unwrap()
         .build();
-    assert_eq!(run(&apk, 21, MethodRef::new("p.Main", "onResume", "()V")), 1);
+    assert_eq!(
+        run(&apk, 21, MethodRef::new("p.Main", "onResume", "()V")),
+        1
+    );
 }

@@ -145,7 +145,12 @@ impl Apk {
     /// Total code size in units.
     #[must_use]
     pub fn size_units(&self) -> usize {
-        self.primary.size_units() + self.secondary.iter().map(DexFile::size_units).sum::<usize>()
+        self.primary.size_units()
+            + self
+                .secondary
+                .iter()
+                .map(DexFile::size_units)
+                .sum::<usize>()
     }
 
     /// Estimated thousands of lines of Dex code, the size measure used
@@ -180,14 +185,22 @@ mod tests {
     use crate::level::ApiLevel;
 
     fn manifest() -> Manifest {
-        Manifest::new("com.example.app", ApiLevel::new(21), ApiLevel::new(28), None).unwrap()
+        Manifest::new(
+            "com.example.app",
+            ApiLevel::new(21),
+            ApiLevel::new(28),
+            None,
+        )
+        .unwrap()
     }
 
     #[test]
     fn duplicate_class_rejected() {
         let mut d = DexFile::new("classes.dex");
         d.add_class(ClassDef::new("a.B", ClassOrigin::App)).unwrap();
-        let err = d.add_class(ClassDef::new("a.B", ClassOrigin::App)).unwrap_err();
+        let err = d
+            .add_class(ClassDef::new("a.B", ClassOrigin::App))
+            .unwrap_err();
         assert!(matches!(err, IrError::DuplicateClass { .. }));
     }
 
@@ -221,8 +234,12 @@ mod tests {
                 terminator: crate::body::Terminator::Return(None),
             }])
             .unwrap();
-            c.add_method(crate::class::MethodDef::concrete(format!("m{i}"), "()V", body))
-                .unwrap();
+            c.add_method(crate::class::MethodDef::concrete(
+                format!("m{i}"),
+                "()V",
+                body,
+            ))
+            .unwrap();
         }
         apk.primary.add_class(c).unwrap();
         assert!(apk.kloc() > before);

@@ -166,12 +166,22 @@ impl BodyBuilder {
     }
 
     /// `invoke-virtual`
-    pub fn invoke_virtual(&mut self, method: MethodRef, args: &[Reg], dst: Option<Reg>) -> &mut Self {
+    pub fn invoke_virtual(
+        &mut self,
+        method: MethodRef,
+        args: &[Reg],
+        dst: Option<Reg>,
+    ) -> &mut Self {
         self.invoke(InvokeKind::Virtual, method, args, dst)
     }
 
     /// `invoke-static`
-    pub fn invoke_static(&mut self, method: MethodRef, args: &[Reg], dst: Option<Reg>) -> &mut Self {
+    pub fn invoke_static(
+        &mut self,
+        method: MethodRef,
+        args: &[Reg],
+        dst: Option<Reg>,
+    ) -> &mut Self {
         self.invoke(InvokeKind::Static, method, args, dst)
     }
 
@@ -413,7 +423,8 @@ impl ClassBuilder {
         name: impl Into<String>,
         descriptor: impl Into<String>,
     ) -> Result<Self, IrError> {
-        self.class.add_method(MethodDef::abstract_(name, descriptor))?;
+        self.class
+            .add_method(MethodDef::abstract_(name, descriptor))?;
         Ok(self)
     }
 
@@ -475,7 +486,9 @@ impl ApkBuilder {
     pub fn new(package: impl Into<String>, min_sdk: ApiLevel, target_sdk: ApiLevel) -> Self {
         let manifest = Manifest::new(package, min_sdk, target_sdk, None)
             .expect("manifest without maxSdkVersion is always valid");
-        ApkBuilder { apk: Apk::new(manifest) }
+        ApkBuilder {
+            apk: Apk::new(manifest),
+        }
     }
 
     /// Declares `maxSdkVersion`.
@@ -633,7 +646,12 @@ mod tests {
             .unwrap()
             .build();
         assert_eq!(c.methods.len(), 3);
-        assert!(c.method(&crate::name::MethodSig::new("nat", "()V")).unwrap().flags.is_native);
+        assert!(
+            c.method(&crate::name::MethodSig::new("nat", "()V"))
+                .unwrap()
+                .flags
+                .is_native
+        );
         assert_eq!(c.super_class.as_ref().unwrap().as_str(), "a.Base");
     }
 
@@ -661,12 +679,15 @@ mod tests {
         assert_eq!(apk.manifest.max_sdk, Some(ApiLevel::new(28)));
         assert_eq!(apk.manifest.components.len(), 2);
         assert!(!apk.has_source);
-        assert!(apk.manifest.requests_permission(&Permission::android("CAMERA")));
+        assert!(apk
+            .manifest
+            .requests_permission(&Permission::android("CAMERA")));
     }
 
     #[test]
     fn apk_builder_rejects_bad_max() {
-        let r = ApkBuilder::new("p.q", ApiLevel::new(23), ApiLevel::new(27)).max_sdk(ApiLevel::new(4));
+        let r =
+            ApkBuilder::new("p.q", ApiLevel::new(23), ApiLevel::new(27)).max_sdk(ApiLevel::new(4));
         assert!(r.is_err());
     }
 }

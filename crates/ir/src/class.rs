@@ -41,7 +41,11 @@ pub struct MethodDef {
 impl MethodDef {
     /// Creates a concrete method with a body.
     #[must_use]
-    pub fn concrete(name: impl Into<String>, descriptor: impl Into<String>, body: MethodBody) -> Self {
+    pub fn concrete(
+        name: impl Into<String>,
+        descriptor: impl Into<String>,
+        body: MethodBody,
+    ) -> Self {
         MethodDef {
             name: name.into(),
             descriptor: descriptor.into(),
@@ -201,7 +205,12 @@ impl ClassDef {
     /// Rough size of the class in code units.
     #[must_use]
     pub fn size_units(&self) -> usize {
-        32 + self.fields.len() * 4 + self.methods.iter().map(MethodDef::size_units).sum::<usize>()
+        32 + self.fields.len() * 4
+            + self
+                .methods
+                .iter()
+                .map(MethodDef::size_units)
+                .sum::<usize>()
     }
 
     /// Rough size in *bytes* (two bytes per code unit, like Dalvik);
@@ -251,7 +260,8 @@ mod tests {
     #[test]
     fn add_and_lookup_method() {
         let mut c = ClassDef::new("a.B", ClassOrigin::App);
-        c.add_method(MethodDef::concrete("m", "()V", tiny_body())).unwrap();
+        c.add_method(MethodDef::concrete("m", "()V", tiny_body()))
+            .unwrap();
         assert!(c.method(&MethodSig::new("m", "()V")).is_some());
         assert!(c.method(&MethodSig::new("m", "(I)V")).is_none());
     }
@@ -259,7 +269,8 @@ mod tests {
     #[test]
     fn duplicate_method_rejected() {
         let mut c = ClassDef::new("a.B", ClassOrigin::App);
-        c.add_method(MethodDef::concrete("m", "()V", tiny_body())).unwrap();
+        c.add_method(MethodDef::concrete("m", "()V", tiny_body()))
+            .unwrap();
         let err = c
             .add_method(MethodDef::concrete("m", "()V", tiny_body()))
             .unwrap_err();
@@ -269,8 +280,10 @@ mod tests {
     #[test]
     fn overloads_are_not_duplicates() {
         let mut c = ClassDef::new("a.B", ClassOrigin::App);
-        c.add_method(MethodDef::concrete("m", "()V", tiny_body())).unwrap();
-        c.add_method(MethodDef::concrete("m", "(I)V", tiny_body())).unwrap();
+        c.add_method(MethodDef::concrete("m", "()V", tiny_body()))
+            .unwrap();
+        c.add_method(MethodDef::concrete("m", "(I)V", tiny_body()))
+            .unwrap();
         assert_eq!(c.methods.len(), 2);
     }
 
@@ -291,7 +304,8 @@ mod tests {
     fn sizes_grow_with_content() {
         let mut c = ClassDef::new("a.B", ClassOrigin::App);
         let empty = c.size_bytes();
-        c.add_method(MethodDef::concrete("m", "()V", tiny_body())).unwrap();
+        c.add_method(MethodDef::concrete("m", "()V", tiny_body()))
+            .unwrap();
         assert!(c.size_bytes() > empty);
     }
 

@@ -392,7 +392,10 @@ impl<'a> Reader<'a> {
     }
 
     fn u8(&mut self, context: &'static str) -> Result<u8, CodecError> {
-        let b = *self.input.get(self.offset).ok_or_else(|| self.eof(context))?;
+        let b = *self
+            .input
+            .get(self.offset)
+            .ok_or_else(|| self.eof(context))?;
         self.offset += 1;
         Ok(b)
     }
@@ -404,8 +407,14 @@ impl<'a> Reader<'a> {
     }
 
     fn bytes(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CodecError> {
-        let end = self.offset.checked_add(n).ok_or_else(|| self.eof(context))?;
-        let s = self.input.get(self.offset..end).ok_or_else(|| self.eof(context))?;
+        let end = self
+            .offset
+            .checked_add(n)
+            .ok_or_else(|| self.eof(context))?;
+        let s = self
+            .input
+            .get(self.offset..end)
+            .ok_or_else(|| self.eof(context))?;
         self.offset = end;
         Ok(s)
     }
@@ -433,7 +442,9 @@ impl<'a> Reader<'a> {
 
     fn len(&mut self, context: &'static str) -> Result<usize, CodecError> {
         let v = self.varint(context)?;
-        usize::try_from(v).map_err(|_| CodecError::VarintOverflow { offset: self.offset })
+        usize::try_from(v).map_err(|_| CodecError::VarintOverflow {
+            offset: self.offset,
+        })
     }
 
     fn str(&mut self, context: &'static str) -> Result<String, CodecError> {
@@ -454,7 +465,9 @@ impl<'a> Reader<'a> {
         let v = self.varint(context)?;
         u16::try_from(v)
             .map(Reg)
-            .map_err(|_| CodecError::VarintOverflow { offset: self.offset })
+            .map_err(|_| CodecError::VarintOverflow {
+                offset: self.offset,
+            })
     }
 
     fn opt_reg(&mut self, context: &'static str) -> Result<Option<Reg>, CodecError> {
@@ -469,7 +482,11 @@ impl<'a> Reader<'a> {
         match self.u8(context)? {
             0 => Ok(Operand::Reg(self.reg(context)?)),
             1 => Ok(Operand::Imm(self.i64(context)?)),
-            tag => Err(CodecError::InvalidTag { offset, tag, context }),
+            tag => Err(CodecError::InvalidTag {
+                offset,
+                tag,
+                context,
+            }),
         }
     }
 
@@ -477,7 +494,9 @@ impl<'a> Reader<'a> {
         let v = self.varint(context)?;
         u32::try_from(v)
             .map(BlockId)
-            .map_err(|_| CodecError::VarintOverflow { offset: self.offset })
+            .map_err(|_| CodecError::VarintOverflow {
+                offset: self.offset,
+            })
     }
 
     fn method_ref(&mut self) -> Result<MethodRef, CodecError> {
@@ -841,20 +860,24 @@ mod tests {
         let main = ClassBuilder::new("com.example.MainActivity", ClassOrigin::App)
             .extends("android.app.Activity")
             .field("state", false)
-            .method("onCreate", "(Landroid/os/Bundle;)V", |b: &mut BodyBuilder| {
-                let (then_blk, join) = b.guard_sdk_at_least(ApiLevel::new(23));
-                b.switch_to(then_blk);
-                b.invoke_virtual(
-                    MethodRef::new("android.content.Context", "getColorStateList", "(I)V"),
-                    &[],
-                    None,
-                );
-                b.goto(join);
-                b.switch_to(join);
-                let s = b.alloc_reg();
-                b.const_str(s, "assets/payload.dex");
-                b.ret_void();
-            })
+            .method(
+                "onCreate",
+                "(Landroid/os/Bundle;)V",
+                |b: &mut BodyBuilder| {
+                    let (then_blk, join) = b.guard_sdk_at_least(ApiLevel::new(23));
+                    b.switch_to(then_blk);
+                    b.invoke_virtual(
+                        MethodRef::new("android.content.Context", "getColorStateList", "(I)V"),
+                        &[],
+                        None,
+                    );
+                    b.goto(join);
+                    b.switch_to(join);
+                    let s = b.alloc_reg();
+                    b.const_str(s, "assets/payload.dex");
+                    b.ret_void();
+                },
+            )
             .unwrap()
             .build();
         let mut payload = DexFile::new("assets/payload.dex");

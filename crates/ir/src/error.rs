@@ -48,7 +48,10 @@ impl fmt::Display for IrError {
         match self {
             IrError::EmptyBody => f.write_str("method body has no basic blocks"),
             IrError::BadBranchTarget { from, to, len } => {
-                write!(f, "branch from {from} targets {to} but body has {len} blocks")
+                write!(
+                    f,
+                    "branch from {from} targets {to} but body has {len} blocks"
+                )
             }
             IrError::DuplicateMethod { method } => {
                 write!(f, "duplicate method definition: {method}")
@@ -57,7 +60,10 @@ impl fmt::Display for IrError {
                 write!(f, "duplicate class definition: {class}")
             }
             IrError::InvalidSdkRange { min, max } => {
-                write!(f, "manifest declares minSdkVersion {min} > maxSdkVersion {max}")
+                write!(
+                    f,
+                    "manifest declares minSdkVersion {min} > maxSdkVersion {max}"
+                )
             }
             IrError::MissingTerminator { block } => {
                 write!(f, "block {block} was never terminated")
@@ -121,10 +127,16 @@ impl fmt::Display for CodecError {
                 write!(f, "bad magic bytes {found:?}, expected \"SAPK\"")
             }
             CodecError::UnsupportedVersion { found, expected } => {
-                write!(f, "unsupported container version {found}, expected {expected}")
+                write!(
+                    f,
+                    "unsupported container version {found}, expected {expected}"
+                )
             }
             CodecError::UnexpectedEof { offset, context } => {
-                write!(f, "unexpected end of input at byte {offset} while decoding {context}")
+                write!(
+                    f,
+                    "unexpected end of input at byte {offset} while decoding {context}"
+                )
             }
             CodecError::VarintOverflow { offset } => {
                 write!(f, "varint at byte {offset} overflows 64 bits")
@@ -132,8 +144,15 @@ impl fmt::Display for CodecError {
             CodecError::InvalidUtf8 { offset } => {
                 write!(f, "invalid utf-8 in string at byte {offset}")
             }
-            CodecError::InvalidTag { offset, tag, context } => {
-                write!(f, "invalid tag {tag} at byte {offset} while decoding {context}")
+            CodecError::InvalidTag {
+                offset,
+                tag,
+                context,
+            } => {
+                write!(
+                    f,
+                    "invalid tag {tag} at byte {offset} while decoding {context}"
+                )
             }
             CodecError::Invalid(e) => write!(f, "decoded value failed validation: {e}"),
         }

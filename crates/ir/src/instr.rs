@@ -452,7 +452,10 @@ mod tests {
     fn size_units_are_positive() {
         let samples = [
             Instr::Nop,
-            Instr::Const { dst: r(0), value: 1 },
+            Instr::Const {
+                dst: r(0),
+                value: 1,
+            },
             Instr::Invoke {
                 kind: InvokeKind::Virtual,
                 method: MethodRef::new("a.B", "m", "()V"),

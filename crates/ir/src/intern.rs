@@ -50,7 +50,9 @@ where
 {
     let interner = &*INTERNER;
     let shard = &interner.shards[shard_of(text.as_ref())];
-    let mut set = shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut set = shard
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(existing) = set.get(text.as_ref()) {
         interner.hits.fetch_add(1, Ordering::Relaxed);
         return Arc::clone(existing);

@@ -51,8 +51,8 @@ mod builder;
 mod class;
 pub mod codec;
 mod error;
-pub mod intern;
 mod instr;
+pub mod intern;
 mod level;
 mod manifest;
 mod name;
@@ -62,8 +62,8 @@ pub use body::{BasicBlock, BlockId, MethodBody, Terminator};
 pub use builder::{ApkBuilder, BodyBuilder, ClassBuilder};
 pub use class::{ClassDef, ClassOrigin, FieldDef, MethodDef, MethodFlags};
 pub use error::{CodecError, IrError};
-pub use intern::{intern, intern_stats, InternStats};
 pub use instr::{BinOp, Cond, Instr, InvokeKind, Operand, Reg};
+pub use intern::{intern, intern_stats, InternStats};
 pub use level::{ApiLevel, LevelRange};
 pub use manifest::{Component, ComponentKind, Manifest};
 pub use name::{ClassName, FieldRef, MethodRef, MethodSig, Permission};

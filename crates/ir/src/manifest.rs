@@ -142,7 +142,8 @@ impl fmt::Display for Manifest {
             self.package,
             self.min_sdk,
             self.target_sdk,
-            self.max_sdk.map_or_else(|| "-".to_string(), |m| m.to_string())
+            self.max_sdk
+                .map_or_else(|| "-".to_string(), |m| m.to_string())
         )?;
         for p in &self.uses_permissions {
             writeln!(f, "  uses-permission {p}")?;

@@ -8,8 +8,8 @@ use proptest::prelude::*;
 
 use saint_ir::{
     codec, ApiLevel, Apk, BasicBlock, BinOp, ClassDef, ClassName, ClassOrigin, Cond, DexFile,
-    FieldDef, FieldRef, Instr, InvokeKind, Manifest, MethodBody, MethodDef, MethodFlags,
-    MethodRef, Operand, Permission, Reg, Terminator,
+    FieldDef, FieldRef, Instr, InvokeKind, Manifest, MethodBody, MethodDef, MethodFlags, MethodRef,
+    Operand, Permission, Reg, Terminator,
 };
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
@@ -36,8 +36,7 @@ fn arb_descriptor() -> impl Strategy<Value = String> {
 }
 
 fn arb_method_ref() -> impl Strategy<Value = MethodRef> {
-    (arb_name(), arb_simple(), arb_descriptor())
-        .prop_map(|(c, n, d)| MethodRef::new(c, n, d))
+    (arb_name(), arb_simple(), arb_descriptor()).prop_map(|(c, n, d)| MethodRef::new(c, n, d))
 }
 
 fn arb_field_ref() -> impl Strategy<Value = FieldRef> {
@@ -112,7 +111,15 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
 /// count after generation.
 fn arb_body() -> impl Strategy<Value = MethodBody> {
     vec(
-        (vec(arb_instr(), 0..6), any::<u8>(), arb_cond(), arb_reg(), arb_operand(), any::<u8>(), any::<u8>()),
+        (
+            vec(arb_instr(), 0..6),
+            any::<u8>(),
+            arb_cond(),
+            arb_reg(),
+            arb_operand(),
+            any::<u8>(),
+            any::<u8>(),
+        ),
         1..5,
     )
     .prop_map(|raw| {

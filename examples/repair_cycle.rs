@@ -42,7 +42,9 @@ fn main() {
     }
 
     println!("\n== 4. the patched app, statically ==");
-    let after = saint.analyze(&outcome.apk).expect("SAINTDroid analyzes any APK");
+    let after = saint
+        .analyze(&outcome.apk)
+        .expect("SAINTDroid analyzes any APK");
     print!("{after}");
     assert!(after.is_clean(), "repair must silence the finding");
 

@@ -71,8 +71,14 @@ fn api_family_shape() {
         saint.recall() > 0.9,
         "SAINTDroid API recall should exceed 90%: {saint}"
     );
-    assert!(saint.recall() > cid.recall(), "SAINTDroid {saint} vs CID {cid}");
-    assert!(saint.recall() > lint.recall(), "SAINTDroid {saint} vs Lint {lint}");
+    assert!(
+        saint.recall() > cid.recall(),
+        "SAINTDroid {saint} vs CID {cid}"
+    );
+    assert!(
+        saint.recall() > lint.recall(),
+        "SAINTDroid {saint} vs Lint {lint}"
+    );
     assert!(saint.f_measure() > cid.f_measure());
     assert!(saint.f_measure() > lint.f_measure());
     // CIDER has no API capability at all.
@@ -83,7 +89,10 @@ fn api_family_shape() {
     // Both baselines misreport guarded code; SAINTDroid's only false
     // alarms come from the anonymous-class blind spot.
     assert!(saint.fp <= 2, "SAINTDroid FPs: {saint}");
-    assert!(cid.fp >= 1, "CID should misreport cross-method guards: {cid}");
+    assert!(
+        cid.fp >= 1,
+        "CID should misreport cross-method guards: {cid}"
+    );
     assert!(lint.fp >= cid.fp, "Lint flags guarded code too: {lint}");
 }
 
@@ -97,13 +106,22 @@ fn apc_family_shape() {
 
     // The paper's "40 of 42": SAINTDroid misses exactly the anonymous
     // inner class issues, with no APC false positives.
-    assert_eq!(saint.fn_, 2, "SAINTDroid misses the two anon issues: {saint}");
-    assert_eq!(saint.fp, 0, "SAINTDroid APC has no false positives: {saint}");
+    assert_eq!(
+        saint.fn_, 2,
+        "SAINTDroid misses the two anon issues: {saint}"
+    );
+    assert_eq!(
+        saint.fp, 0,
+        "SAINTDroid APC has no false positives: {saint}"
+    );
     assert!(saint.recall() > cider.recall(), "{saint} vs {cider}");
     // CIDER detects some modeled callbacks but misses unmodeled classes,
     // and its documentation bug misfires.
     assert!(cider.tp >= 2, "CIDER finds modeled callbacks: {cider}");
-    assert!(cider.fn_ > saint.fn_, "CIDER misses unmodeled classes: {cider}");
+    assert!(
+        cider.fn_ > saint.fn_,
+        "CIDER misses unmodeled classes: {cider}"
+    );
     assert!(cider.fp >= 1, "CIDER's doc bug misfires: {cider}");
     // CID and Lint cannot detect callbacks at all.
     assert_eq!(cid.tp, 0);
@@ -150,7 +168,10 @@ fn tool_failures_match_the_tables() {
         .filter(|a| cid.analyze(&a.apk).is_none())
         .map(|a| a.name)
         .collect();
-    assert_eq!(cid_failures, vec!["AFWall+", "NetworkMonitor", "PassAndroid"]);
+    assert_eq!(
+        cid_failures,
+        vec!["AFWall+", "NetworkMonitor", "PassAndroid"]
+    );
     let lint_failures: Vec<&str> = apps
         .iter()
         .filter(|a| lint.analyze(&a.apk).is_none())
@@ -162,6 +183,12 @@ fn tool_failures_match_the_tables() {
 #[test]
 fn suite_composition() {
     let apps = benchmark_suite();
-    assert_eq!(apps.iter().filter(|a| a.suite == Suite::CiderBench).count(), 12);
-    assert_eq!(apps.iter().filter(|a| a.suite == Suite::CidBench).count(), 7);
+    assert_eq!(
+        apps.iter().filter(|a| a.suite == Suite::CiderBench).count(),
+        12
+    );
+    assert_eq!(
+        apps.iter().filter(|a| a.suite == Suite::CidBench).count(),
+        7
+    );
 }

@@ -34,10 +34,8 @@ struct SiteSpec {
 }
 
 fn arb_site() -> impl Strategy<Value = SiteSpec> {
-    (0usize..9, proptest::option::of(14u8..29)).prop_map(|(api_idx, guard)| SiteSpec {
-        api_idx,
-        guard,
-    })
+    (0usize..9, proptest::option::of(14u8..29))
+        .prop_map(|(api_idx, guard)| SiteSpec { api_idx, guard })
 }
 
 #[derive(Debug, Clone)]
@@ -68,19 +66,25 @@ fn build_app(spec: &AppSpec) -> Apk {
     let target = ApiLevel::new(spec.min.saturating_add(spec.span).min(29));
     let callbacks: [(&str, &str, &str); 4] = [
         ("android.app.Activity", "onMultiWindowModeChanged", "(Z)V"),
-        ("android.app.Fragment", "onAttach", "(Landroid/content/Context;)V"),
+        (
+            "android.app.Fragment",
+            "onAttach",
+            "(Landroid/content/Context;)V",
+        ),
         ("android.view.View", "drawableHotspotChanged", "(FF)V"),
         ("android.app.Activity", "onCreate", "(Landroid/os/Bundle;)V"),
     ];
 
-    let mut main = ClassBuilder::new("gen.app.Main", ClassOrigin::App)
-        .extends("android.app.Activity");
+    let mut main =
+        ClassBuilder::new("gen.app.Main", ClassOrigin::App).extends("android.app.Activity");
     for (i, site) in spec.sites.iter().enumerate() {
         let api = menu[site.api_idx % menu.len()].clone();
         let guard = site.guard;
         main = main
-            .method(format!("site{i}"), "()V", move |b: &mut BodyBuilder| {
-                match guard {
+            .method(
+                format!("site{i}"),
+                "()V",
+                move |b: &mut BodyBuilder| match guard {
                     Some(g) => {
                         let (then_blk, join) = b.guard_sdk_at_least(ApiLevel::new(g));
                         b.switch_to(then_blk);
@@ -93,8 +97,8 @@ fn build_app(spec: &AppSpec) -> Apk {
                         b.invoke_virtual(api, &[], None);
                         b.ret_void();
                     }
-                }
-            })
+                },
+            )
             .expect("unique names");
     }
     let mut builder = ApkBuilder::new("gen.app", ApiLevel::new(spec.min), target)

@@ -86,10 +86,7 @@ fn late_bound_payload_issues_detected_end_to_end() {
 
     let report = tool().analyze(&apk).unwrap();
     assert_eq!(report.api_count(), 1, "{report}");
-    let m = report
-        .of_kind(MismatchKind::ApiInvocation)
-        .next()
-        .unwrap();
+    let m = report.of_kind(MismatchKind::ApiInvocation).next().unwrap();
     assert_eq!(m.site.class.as_str(), "plug.Plugin");
 }
 
@@ -133,9 +130,11 @@ fn bigger_framework_does_not_change_findings() {
     let small = SaintDroid::new(Arc::new(AndroidFramework::curated()))
         .analyze(&apk)
         .unwrap();
-    let big = SaintDroid::new(Arc::new(AndroidFramework::with_scale(&SynthConfig::small())))
-        .analyze(&apk)
-        .unwrap();
+    let big = SaintDroid::new(Arc::new(
+        AndroidFramework::with_scale(&SynthConfig::small()),
+    ))
+    .analyze(&apk)
+    .unwrap();
     assert_eq!(small.mismatches, big.mismatches);
     // …but the lazy loader's footprint stays in the same ballpark even
     // though the framework grew.

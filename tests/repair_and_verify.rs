@@ -51,10 +51,10 @@ fn conservative_repair_never_touches_the_manifest() {
         let outcome = repair(&app.apk, &report, &RepairOptions::default());
         assert_eq!(outcome.apk.manifest.min_sdk, app.apk.manifest.min_sdk);
         assert_eq!(outcome.apk.manifest.target_sdk, app.apk.manifest.target_sdk);
-        assert!(!outcome
-            .actions
-            .iter()
-            .any(|a| matches!(a, RepairAction::MinSdkRaised { .. } | RepairAction::TargetRaised { .. })));
+        assert!(!outcome.actions.iter().any(|a| matches!(
+            a,
+            RepairAction::MinSdkRaised { .. } | RepairAction::TargetRaised { .. }
+        )));
     }
 }
 

@@ -25,14 +25,25 @@ fn repair_is_idempotent_on_benchmarks() {
         let r2 = saint.analyze(&once.apk).unwrap();
         assert!(r2.is_clean(), "{}: first repair incomplete", app.name);
         let twice = repair(&once.apk, &r2, &opts);
-        assert!(twice.actions.is_empty(), "{}: second repair acted on a clean app: {:?}", app.name, twice.actions);
-        assert_eq!(once.apk, twice.apk, "{}: second repair changed the package", app.name);
+        assert!(
+            twice.actions.is_empty(),
+            "{}: second repair acted on a clean app: {:?}",
+            app.name,
+            twice.actions
+        );
+        assert_eq!(
+            once.apk, twice.apk,
+            "{}: second repair changed the package",
+            app.name
+        );
     }
 }
 
 #[test]
 fn repair_never_increases_findings_on_generated_apps() {
-    let fw = Arc::new(AndroidFramework::with_scale(&saint_adf::SynthConfig::small()));
+    let fw = Arc::new(AndroidFramework::with_scale(
+        &saint_adf::SynthConfig::small(),
+    ));
     let saint = SaintDroid::new(Arc::clone(&fw));
     let corpus = RealWorldCorpus::new(RealWorldConfig::small());
     let opts = RepairOptions {

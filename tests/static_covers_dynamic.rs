@@ -23,7 +23,9 @@ fn check_app(fw: &Arc<AndroidFramework>, saint: &SaintDroid, apk: &Apk, label: &
         if crash.kind != CrashKind::NoSuchMethod {
             continue;
         }
-        let Some(frame) = &crash.app_frame else { continue };
+        let Some(frame) = &crash.app_frame else {
+            continue;
+        };
         if frame.class.is_anonymous_inner() {
             continue; // the documented §VI blind spot
         }
@@ -50,7 +52,9 @@ fn benchmark_crashes_are_all_predicted() {
 
 #[test]
 fn generated_corpus_crashes_are_all_predicted() {
-    let fw = Arc::new(AndroidFramework::with_scale(&saint_adf::SynthConfig::small()));
+    let fw = Arc::new(AndroidFramework::with_scale(
+        &saint_adf::SynthConfig::small(),
+    ));
     let saint = SaintDroid::new(Arc::clone(&fw));
     let corpus = RealWorldCorpus::new(RealWorldConfig::small());
     for i in 0..25 {

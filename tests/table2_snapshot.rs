@@ -20,25 +20,139 @@ type Row = (
 );
 
 const EXPECTED: [Row; 19] = [
-    ("AFWall+", Some((3, 0, 0)), None, Some((0, 0, 3)), Some((1, 1, 2))),
-    ("DuckDuckGo", Some((3, 0, 0)), Some((0, 1, 3)), Some((0, 0, 3)), Some((1, 1, 2))),
-    ("FOSS Browser", Some((2, 1, 0)), Some((1, 1, 1)), Some((1, 0, 1)), Some((0, 1, 2))),
-    ("Kolab notes", Some((3, 0, 0)), Some((1, 0, 2)), Some((1, 0, 2)), Some((0, 0, 3))),
-    ("MaterialFBook", Some((1, 0, 1)), Some((1, 0, 1)), Some((0, 1, 2)), Some((0, 0, 2))),
-    ("NetworkMonitor", Some((2, 0, 0)), None, Some((0, 0, 2)), Some((0, 1, 2))),
-    ("NyaaPantsu", Some((2, 0, 0)), Some((1, 0, 1)), Some((1, 0, 1)), None),
-    ("Padland", Some((1, 0, 0)), Some((1, 0, 0)), Some((0, 0, 1)), Some((0, 1, 1))),
-    ("PassAndroid", Some((3, 0, 1)), None, Some((0, 1, 4)), Some((1, 0, 3))),
-    ("SimpleSolitaire", Some((2, 0, 0)), Some((1, 0, 1)), Some((1, 0, 1)), Some((0, 0, 2))),
-    ("SurvivalManual", Some((1, 0, 0)), Some((0, 0, 1)), Some((1, 0, 0)), Some((0, 1, 1))),
-    ("Uber ride", Some((3, 0, 0)), Some((1, 0, 2)), Some((0, 0, 3)), Some((0, 0, 3))),
-    ("Basic", Some((1, 0, 0)), Some((1, 0, 0)), Some((0, 0, 1)), Some((1, 0, 0))),
-    ("Forward", Some((1, 0, 0)), Some((1, 0, 0)), Some((0, 0, 1)), Some((1, 0, 0))),
-    ("GenericType", Some((1, 0, 0)), Some((1, 0, 0)), Some((0, 0, 1)), Some((1, 0, 0))),
-    ("Inheritance", Some((1, 0, 0)), Some((1, 0, 0)), Some((0, 0, 1)), Some((0, 0, 1))),
-    ("Protection", Some((0, 0, 0)), Some((0, 0, 0)), Some((0, 0, 0)), Some((0, 1, 0))),
-    ("Protection2", Some((0, 0, 0)), Some((0, 1, 0)), Some((0, 0, 0)), Some((0, 1, 0))),
-    ("Varargs", Some((1, 0, 0)), Some((1, 0, 0)), Some((0, 0, 1)), Some((1, 0, 0))),
+    (
+        "AFWall+",
+        Some((3, 0, 0)),
+        None,
+        Some((0, 0, 3)),
+        Some((1, 1, 2)),
+    ),
+    (
+        "DuckDuckGo",
+        Some((3, 0, 0)),
+        Some((0, 1, 3)),
+        Some((0, 0, 3)),
+        Some((1, 1, 2)),
+    ),
+    (
+        "FOSS Browser",
+        Some((2, 1, 0)),
+        Some((1, 1, 1)),
+        Some((1, 0, 1)),
+        Some((0, 1, 2)),
+    ),
+    (
+        "Kolab notes",
+        Some((3, 0, 0)),
+        Some((1, 0, 2)),
+        Some((1, 0, 2)),
+        Some((0, 0, 3)),
+    ),
+    (
+        "MaterialFBook",
+        Some((1, 0, 1)),
+        Some((1, 0, 1)),
+        Some((0, 1, 2)),
+        Some((0, 0, 2)),
+    ),
+    (
+        "NetworkMonitor",
+        Some((2, 0, 0)),
+        None,
+        Some((0, 0, 2)),
+        Some((0, 1, 2)),
+    ),
+    (
+        "NyaaPantsu",
+        Some((2, 0, 0)),
+        Some((1, 0, 1)),
+        Some((1, 0, 1)),
+        None,
+    ),
+    (
+        "Padland",
+        Some((1, 0, 0)),
+        Some((1, 0, 0)),
+        Some((0, 0, 1)),
+        Some((0, 1, 1)),
+    ),
+    (
+        "PassAndroid",
+        Some((3, 0, 1)),
+        None,
+        Some((0, 1, 4)),
+        Some((1, 0, 3)),
+    ),
+    (
+        "SimpleSolitaire",
+        Some((2, 0, 0)),
+        Some((1, 0, 1)),
+        Some((1, 0, 1)),
+        Some((0, 0, 2)),
+    ),
+    (
+        "SurvivalManual",
+        Some((1, 0, 0)),
+        Some((0, 0, 1)),
+        Some((1, 0, 0)),
+        Some((0, 1, 1)),
+    ),
+    (
+        "Uber ride",
+        Some((3, 0, 0)),
+        Some((1, 0, 2)),
+        Some((0, 0, 3)),
+        Some((0, 0, 3)),
+    ),
+    (
+        "Basic",
+        Some((1, 0, 0)),
+        Some((1, 0, 0)),
+        Some((0, 0, 1)),
+        Some((1, 0, 0)),
+    ),
+    (
+        "Forward",
+        Some((1, 0, 0)),
+        Some((1, 0, 0)),
+        Some((0, 0, 1)),
+        Some((1, 0, 0)),
+    ),
+    (
+        "GenericType",
+        Some((1, 0, 0)),
+        Some((1, 0, 0)),
+        Some((0, 0, 1)),
+        Some((1, 0, 0)),
+    ),
+    (
+        "Inheritance",
+        Some((1, 0, 0)),
+        Some((1, 0, 0)),
+        Some((0, 0, 1)),
+        Some((0, 0, 1)),
+    ),
+    (
+        "Protection",
+        Some((0, 0, 0)),
+        Some((0, 0, 0)),
+        Some((0, 0, 0)),
+        Some((0, 1, 0)),
+    ),
+    (
+        "Protection2",
+        Some((0, 0, 0)),
+        Some((0, 1, 0)),
+        Some((0, 0, 0)),
+        Some((0, 1, 0)),
+    ),
+    (
+        "Varargs",
+        Some((1, 0, 0)),
+        Some((1, 0, 0)),
+        Some((0, 0, 1)),
+        Some((1, 0, 0)),
+    ),
 ];
 
 fn cell(acc: Accuracy) -> (usize, usize, usize) {
@@ -60,12 +174,16 @@ fn table2_cells_are_stable() {
         assert_eq!(app.name, expected.0, "suite order changed");
         let cells: Vec<Option<(usize, usize, usize)>> = tools
             .iter()
-            .map(|t| t.analyze(&app.apk).map(|r| cell(score(&r, &app.truth, None))))
+            .map(|t| {
+                t.analyze(&app.apk)
+                    .map(|r| cell(score(&r, &app.truth, None)))
+            })
             .collect();
         let expected_cells = [expected.1, expected.2, expected.3, expected.4];
         for (ti, tool) in tools.iter().enumerate() {
             assert_eq!(
-                cells[ti], expected_cells[ti],
+                cells[ti],
+                expected_cells[ti],
                 "{} × {}: cell moved (got {:?}, pinned {:?})",
                 app.name,
                 tool.name(),
