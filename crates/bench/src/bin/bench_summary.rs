@@ -7,7 +7,12 @@
 //! (shared-CLVM exploration, concurrent detectors, parallel
 //! framework-subtree scans, batch caches) with a per-phase breakdown
 //! (explore vs detect), so single-app latency is visible separately
-//! from batch throughput.
+//! from batch throughput; plus the **service regime** — the same
+//! corpus pushed through a warm `saint-service` daemon (framework and
+//! caches built once, requests over the newline-delimited-JSON
+//! protocol) against the cold shape one process per app, framework
+//! rebuilt every time — i.e. what shelling out to `saintdroid scan`
+//! in a loop costs, at the same parallelism on both sides.
 //!
 //! Each side is timed in a **fresh child process** (best of
 //! `SAINT_REPS`, default 3, alternating sides) so neither side inherits
@@ -38,6 +43,16 @@ use serde::Serialize;
 
 const SIDE_ENV: &str = "SAINT_BENCH_SIDE";
 const OUT_ENV: &str = "SAINT_BENCH_OUT";
+/// Directory of pre-encoded `.sapk` files for the service regime: the
+/// warm child submits them over the protocol, each cold child reads
+/// exactly one — neither side pays corpus generation inside its timed
+/// region.
+const PKG_DIR_ENV: &str = "SAINT_BENCH_PKG_DIR";
+/// The single `.sapk` a `service-cold-one` child scans.
+const INPUT_ENV: &str = "SAINT_BENCH_INPUT";
+/// Parallelism of the service regime, both sides: warm submitter
+/// connections, and concurrently running cold processes.
+const SERVICE_LANES: usize = 4;
 
 #[derive(Serialize)]
 struct Summary {
@@ -61,6 +76,38 @@ struct Summary {
     mismatches: usize,
     reports_identical: bool,
     large_app: LargeAppSummary,
+    service: ServiceSummary,
+}
+
+/// The service regime: warm-daemon vs cold-process throughput over the
+/// same corpus at the same parallelism. The warm side is one
+/// `saint-service` daemon (framework model and all three shared caches
+/// built once, before the timed region — `warm_startup_secs` records
+/// that one-off cost) fed by [`SERVICE_LANES`] submitter connections;
+/// the cold side runs one fresh process per app, each rebuilding the
+/// framework from scratch, [`SERVICE_LANES`] at a time.
+#[derive(Serialize)]
+struct ServiceSummary {
+    apps: usize,
+    jobs: usize,
+    lanes: usize,
+    warm_startup_secs: f64,
+    warm_secs: f64,
+    warm_apps_per_sec: f64,
+    cold_secs: f64,
+    cold_apps_per_sec: f64,
+    speedup: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    mismatches: usize,
+    reports_identical: bool,
+}
+
+/// What one cold child (one fresh process, one app) reports back.
+#[derive(Serialize, serde::Deserialize)]
+struct ColdOne {
+    digest: String,
+    mismatches: usize,
 }
 
 /// The large-app pair: few apps, several times the KLOC, so the run is
@@ -106,6 +153,10 @@ struct SideRun {
     explore_secs: f64,
     /// Seconds inside the three AMD detectors; large-app sides only.
     detect_secs: f64,
+    /// One-off cost paid before the timed region; only the
+    /// `service-warm` side fills this in (framework mining, cache
+    /// prewarm, daemon startup).
+    startup_secs: f64,
 }
 
 fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
@@ -159,9 +210,14 @@ fn fingerprint_reports(reports: &[Report]) -> String {
 /// Child mode: run one side cold and write a [`SideRun`] JSON.
 fn run_side(side: &str, out_path: &str) {
     let scale = Scale::from_env();
+    if side == "service-cold-one" {
+        run_cold_one(scale, out_path);
+        return;
+    }
     let run = match side {
         "sequential" | "batch" => run_batch_side(side, scale),
         "large-seq" | "large-par" => run_large_side(side, scale),
+        "service-warm" => run_service_warm(scale),
         other => panic!("unknown side {other}"),
     };
     let json = serde_json::to_string(&run).expect("side run serializes");
@@ -212,6 +268,7 @@ fn run_batch_side(side: &str, scale: Scale) -> SideRun {
         mismatches: reports.iter().map(Report::total).sum(),
         explore_secs: 0.0,
         detect_secs: 0.0,
+        startup_secs: 0.0,
     }
 }
 
@@ -282,20 +339,247 @@ fn run_large_side(side: &str, scale: Scale) -> SideRun {
         mismatches: reports.iter().map(Report::total).sum(),
         explore_secs,
         detect_secs,
+        startup_secs: 0.0,
     }
+}
+
+/// The warm side of the service regime: one daemon with a prewarmed
+/// engine on an ephemeral port, [`SERVICE_LANES`] submitter
+/// connections pushing every pre-encoded package through the protocol.
+/// Startup (framework mining, cache prewarm, bind) happens before the
+/// timed region and is reported separately — it is the one-off cost the
+/// daemon amortizes over its lifetime.
+fn run_service_warm(scale: Scale) -> SideRun {
+    let pkg_dir = std::env::var(PKG_DIR_ENV).expect("warm side needs the package directory");
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(&pkg_dir)
+        .expect("read package dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    files.sort();
+    let sapks: Vec<Vec<u8>> = files
+        .iter()
+        .map(|p| std::fs::read(p).expect("read sapk"))
+        .collect();
+
+    let startup = Instant::now();
+    let engine = ScanEngine::new(framework_at(scale));
+    engine.prewarm();
+    let cfg = saint_service::ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        jobs: SERVICE_LANES,
+        queue_depth: sapks.len(),
+        ..Default::default()
+    };
+    let handle = saint_service::start(engine, &cfg).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    let startup_secs = startup.elapsed().as_secs_f64();
+
+    let slots: Vec<std::sync::Mutex<Option<Report>>> =
+        sapks.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for lane in 0..SERVICE_LANES {
+            let addr = &addr;
+            let sapks = &sapks;
+            let slots = &slots;
+            s.spawn(move || {
+                let mut client =
+                    saint_service::Client::connect(addr).expect("connect submitter lane");
+                for i in (lane..sapks.len()).step_by(SERVICE_LANES) {
+                    let response = client
+                        .scan_sapk(&sapks[i], None)
+                        .expect("warm daemon serves every submission");
+                    *slots[i].lock().expect("slot lock") = Some(response.report);
+                }
+            });
+        }
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let mut client = saint_service::Client::connect(&addr).expect("connect for status");
+    let status = client.status().expect("status");
+    let shutdown = client.shutdown().expect("shutdown ack");
+    assert_eq!(shutdown.jobs_served as usize, sapks.len());
+    handle.wait();
+
+    let reports: Vec<Report> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every slot filled")
+        })
+        .collect();
+    let zero = saint_service::protocol::CacheStatus {
+        hits: 0,
+        misses: 0,
+        entries: 0,
+        hit_rate: 0.0,
+    };
+    let class = status.class_cache.unwrap_or(zero.clone());
+    let artifacts = status.artifact_cache.unwrap_or(zero.clone());
+    let scans = status.scan_cache.unwrap_or(zero);
+    SideRun {
+        wall_secs,
+        peak_loaded_bytes: reports
+            .iter()
+            .map(|r| r.meter.total_bytes())
+            .max()
+            .unwrap_or(0),
+        cache_hits: class.hits,
+        cache_misses: class.misses,
+        cache_entries: class.entries,
+        artifact_cache_hits: artifacts.hits,
+        artifact_cache_misses: artifacts.misses,
+        scan_cache_hits: scans.hits,
+        scan_cache_misses: scans.misses,
+        reports_fingerprint: fingerprint_reports(&reports),
+        mismatches: reports.iter().map(Report::total).sum(),
+        explore_secs: 0.0,
+        detect_secs: 0.0,
+        startup_secs,
+    }
+}
+
+/// One cold process: read one `.sapk`, build the framework from
+/// scratch (that rebuild is exactly the cost being measured), scan,
+/// write the digest back. The shape of `saintdroid scan app.sapk` run
+/// once per app from a shell loop.
+fn run_cold_one(scale: Scale, out_path: &str) {
+    let input = std::env::var(INPUT_ENV).expect("cold child needs an input package");
+    let bytes = std::fs::read(&input).expect("read input sapk");
+    let apk = saint_ir::codec::decode_apk(&bytes).expect("decode input sapk");
+    let tool = SaintDroid::new(framework_at(scale));
+    let report = tool.run(&apk);
+    let cold = ColdOne {
+        digest: digest(&report),
+        mismatches: report.total(),
+    };
+    let json = serde_json::to_string(&cold).expect("cold run serializes");
+    std::fs::write(out_path, json).expect("write cold run");
 }
 
 /// Spawns this binary in child mode and reads its result.
 fn spawn_side(side: &str, out_path: &str) -> SideRun {
+    spawn_side_with(side, out_path, &[])
+}
+
+/// Like [`spawn_side`], with extra environment for the child (package
+/// directory, input path).
+fn spawn_side_with(side: &str, out_path: &str, extra_env: &[(&str, &str)]) -> SideRun {
     let exe = std::env::current_exe().expect("own path");
-    let status = std::process::Command::new(exe)
-        .env(SIDE_ENV, side)
-        .env(OUT_ENV, out_path)
-        .status()
-        .expect("spawn side child");
+    let mut cmd = std::process::Command::new(exe);
+    cmd.env(SIDE_ENV, side).env(OUT_ENV, out_path);
+    for (key, value) in extra_env {
+        cmd.env(key, value);
+    }
+    let status = cmd.status().expect("spawn side child");
     assert!(status.success(), "{side} child failed");
     let text = std::fs::read_to_string(out_path).expect("read side run");
     serde_json::from_str(&text).expect("side run parses")
+}
+
+/// Runs the service regime: warm daemon and cold per-app processes over
+/// the same pre-encoded packages, [`SERVICE_LANES`] lanes each, with
+/// the same report-parity check the other regimes get.
+fn run_service_regime(scale: Scale, out_dir: &std::path::Path) -> ServiceSummary {
+    let apks = corpus_apks(scale);
+    let pkg_dir = out_dir.join(format!("saint_bench_pkgs_{}", std::process::id()));
+    std::fs::create_dir_all(&pkg_dir).expect("create package dir");
+    let files: Vec<std::path::PathBuf> = apks
+        .iter()
+        .enumerate()
+        .map(|(i, apk)| {
+            let path = pkg_dir.join(format!("pkg_{i:05}.sapk"));
+            std::fs::write(&path, saint_ir::codec::encode_apk(apk)).expect("write sapk");
+            path
+        })
+        .collect();
+    let apps = files.len();
+    eprintln!(
+        "bench_summary: service regime — {apps} apps, warm daemon vs cold processes, {SERVICE_LANES} lanes"
+    );
+
+    let warm_path = out_dir.join("saint_bench_service_warm.json");
+    let warm = spawn_side_with(
+        "service-warm",
+        warm_path.to_str().expect("utf-8 path"),
+        &[(PKG_DIR_ENV, pkg_dir.to_str().expect("utf-8 path"))],
+    );
+    let _ = std::fs::remove_file(&warm_path);
+    eprintln!(
+        "  warm: {:.2}s submissions after {:.2}s one-off startup",
+        warm.wall_secs, warm.startup_secs
+    );
+
+    // Cold side: one fresh process per app, SERVICE_LANES at a time.
+    // The parent only shuttles processes — all analysis happens in the
+    // children, so measuring their aggregate wall here is fair.
+    let exe = std::env::current_exe().expect("own path");
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<ColdOne>>> =
+        files.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let cold_start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..SERVICE_LANES {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= files.len() {
+                    break;
+                }
+                let out = out_dir.join(format!("saint_bench_cold_{i}.json"));
+                let status = std::process::Command::new(&exe)
+                    .env(SIDE_ENV, "service-cold-one")
+                    .env(OUT_ENV, &out)
+                    .env(INPUT_ENV, &files[i])
+                    .status()
+                    .expect("spawn cold child");
+                assert!(status.success(), "cold child {i} failed");
+                let text = std::fs::read_to_string(&out).expect("read cold run");
+                let _ = std::fs::remove_file(&out);
+                *slots[i].lock().expect("slot lock") =
+                    Some(serde_json::from_str(&text).expect("cold run parses"));
+            });
+        }
+    });
+    let cold_secs = cold_start.elapsed().as_secs_f64();
+    eprintln!("  cold: {cold_secs:.2}s across {apps} fresh processes");
+    let _ = std::fs::remove_dir_all(&pkg_dir);
+
+    // Fold the cold digests with the same FNV chain as
+    // [`fingerprint_reports`]: the daemon must have produced the exact
+    // reports the cold processes did.
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    let mut cold_mismatches = 0usize;
+    for slot in &slots {
+        let one = slot.lock().expect("slot lock");
+        let one = one.as_ref().expect("every cold slot filled");
+        hash = fnv1a(one.digest.as_bytes(), hash);
+        hash = fnv1a(b"\n", hash);
+        cold_mismatches += one.mismatches;
+    }
+    let cold_fingerprint = format!("{hash:016x}");
+    assert_eq!(
+        warm.reports_fingerprint, cold_fingerprint,
+        "daemon reports diverged from cold per-process scans — protocol parity is broken"
+    );
+    assert_eq!(warm.mismatches, cold_mismatches);
+
+    ServiceSummary {
+        apps,
+        jobs: SERVICE_LANES,
+        lanes: SERVICE_LANES,
+        warm_startup_secs: warm.startup_secs,
+        warm_secs: warm.wall_secs,
+        warm_apps_per_sec: apps as f64 / warm.wall_secs.max(f64::EPSILON),
+        cold_secs,
+        cold_apps_per_sec: apps as f64 / cold_secs.max(f64::EPSILON),
+        speedup: cold_secs / warm.wall_secs.max(f64::EPSILON),
+        cache_hits: warm.cache_hits,
+        cache_misses: warm.cache_misses,
+        mismatches: warm.mismatches,
+        reports_identical: true,
+    }
 }
 
 fn main() {
@@ -395,6 +679,11 @@ fn main() {
     }
     let (lseq, lpar) = large_best.expect("at least one rep");
 
+    // One measured pass for the service regime: its cold side already
+    // runs `apps` fresh processes, so best-of-N repetition would
+    // multiply minutes of child spawning for little extra signal.
+    let service = run_service_regime(scale, &out_dir);
+
     let summary = Summary {
         scale: scale.label().to_string(),
         apps,
@@ -428,6 +717,7 @@ fn main() {
             mismatches: lpar.mismatches,
             reports_identical: true,
         },
+        service,
     };
 
     println!(
@@ -473,6 +763,23 @@ fn main() {
     println!(
         "{} mismatches; reports identical to sequential: {}",
         la.mismatches, la.reports_identical
+    );
+    let sv = &summary.service;
+    println!(
+        "\nScan service regime ({} apps, {} lanes each side)\n",
+        sv.apps, sv.lanes
+    );
+    println!(
+        "cold (fresh process per app): {:>8.2}s  {:>8.1} apps/s",
+        sv.cold_secs, sv.cold_apps_per_sec
+    );
+    println!(
+        "warm daemon:                  {:>8.2}s  {:>8.1} apps/s  ({:.2}x; one-off startup {:.2}s)",
+        sv.warm_secs, sv.warm_apps_per_sec, sv.speedup, sv.warm_startup_secs
+    );
+    println!(
+        "daemon class cache: {} hits / {} misses | {} mismatches; reports identical to cold: {}",
+        sv.cache_hits, sv.cache_misses, sv.mismatches, sv.reports_identical
     );
 
     let json = serde_json::to_string_pretty(&summary).expect("summary serializes");

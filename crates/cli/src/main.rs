@@ -7,11 +7,20 @@
 //! saintdroid verify app.sapk
 //! saintdroid repair app.sapk -o fixed.sapk [--manifest-fixes]
 //! saintdroid disasm app.sapk
+//! saintdroid serve [--listen ADDR] [--jobs N] [--queue-depth D]
+//! saintdroid submit app.sapk... [--addr ADDR] [--timeout-ms T]
+//! saintdroid status [--addr ADDR]
 //! saintdroid help
 //! ```
 //!
 //! Packages are `SAPK` containers (see `saint_ir::codec`); the
-//! `realworld_audit` example shows how to produce one.
+//! `realworld_audit` example and `saintdroid synth-pkg` show how to
+//! produce one.
+//!
+//! Exit-code contract (`scan` and `submit`): **0** no mismatches,
+//! **2** at least one mismatch, **1** operational error (unreadable
+//! package, service unreachable, rejected request). Scripts can gate
+//! on "clean" vs "findings" without parsing output.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -19,8 +28,13 @@ use std::sync::Arc;
 use saint_adf::{AndroidFramework, SynthConfig};
 use saint_dynamic::Verifier;
 use saint_ir::{codec, Apk};
+use saint_service::{Client, ClientError, ServerConfig};
 use saintdroid::repair::{repair, RepairOptions};
 use saintdroid::{CompatDetector, SaintDroid, ScanEngine};
+
+/// Where `submit`/`status`/`shutdown` look for the daemon unless
+/// `--addr` says otherwise; matches `serve`'s default `--listen`.
+const DEFAULT_ADDR: &str = "127.0.0.1:7744";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +62,11 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         "repair" => do_repair(&args[1..]),
         "disasm" => disasm(&args[1..]),
         "callgraph" => callgraph(&args[1..]),
+        "serve" => serve(&args[1..]),
+        "submit" => submit(&args[1..]),
+        "status" => status(&args[1..]),
+        "shutdown" => shutdown(&args[1..]),
+        "synth-pkg" => synth_pkg(&args[1..]),
         other => {
             eprintln!("unknown command `{other}`; try `saintdroid help`");
             Ok(ExitCode::FAILURE)
@@ -68,16 +87,39 @@ fn print_help() {
          \x20                                                   synthesize fixes and write the patched app\n\
          \x20 saintdroid disasm <app.sapk>                      print manifest and smali-like listing\n\
          \x20 saintdroid callgraph <app.sapk>                   emit the explored call graph as Graphviz dot\n\
+         \x20 saintdroid serve [--listen ADDR] [--jobs N] [--app-jobs M]\n\
+         \x20                  [--queue-depth D] [--synth N]    run the persistent scan service: one warm\n\
+         \x20                                                   engine (framework + caches built once),\n\
+         \x20                                                   newline-delimited JSON over TCP\n\
+         \x20 saintdroid submit <app.sapk>... [--addr ADDR] [--timeout-ms T]\n\
+         \x20                                                   scan packages through a running service\n\
+         \x20 saintdroid status [--addr ADDR]                   daemon uptime, jobs, queue, cache hit rates\n\
+         \x20 saintdroid shutdown [--addr ADDR]                 gracefully drain and stop the daemon\n\
+         \x20 saintdroid synth-pkg <out.sapk> [--index I]       write one synthesized package (for smoke\n\
+         \x20                                                   tests and protocol experiments)\n\
+         \n\
+         exit codes (scan, submit): 0 = no mismatches, 2 = mismatches\n\
+         found, 1 = error (unreadable package, service unreachable or\n\
+         request rejected).\n\
          \n\
          --jobs N      scan batches on N worker threads sharing one\n\
-         framework-class cache (default: one per core).\n\
+         framework-class cache (default: one per core). For `serve`:\n\
+         N concurrent scan workers over the warm engine.\n\
          --app-jobs M  give each app M intra-app worker threads\n\
          (parallel exploration, detectors, and framework-subtree\n\
          scans); app slots shrink to N/M so the global budget holds.\n\
          Default: auto — derived from batch size and cores. Reports\n\
          are identical at any setting.\n\
          --synth N     grows the framework model with N synthetic\n\
-         classes (default: curated surface only)."
+         classes (default: curated surface only).\n\
+         --listen ADDR serve: bind address (default {DEFAULT_ADDR};\n\
+         port 0 picks an ephemeral port, printed on startup).\n\
+         --queue-depth D serve: queued scans beyond the workers before\n\
+         submissions are rejected with `busy` (default 64).\n\
+         --addr ADDR   submit/status/shutdown: daemon address\n\
+         (default {DEFAULT_ADDR}).\n\
+         --timeout-ms T submit: per-package deadline, queue wait\n\
+         included (default: none)."
     );
 }
 
@@ -87,12 +129,7 @@ fn load_apk(path: &str) -> Result<Apk, Box<dyn std::error::Error>> {
 }
 
 fn framework(args: &[String]) -> Arc<AndroidFramework> {
-    let synth = args
-        .iter()
-        .position(|a| a == "--synth")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|n| n.parse::<usize>().ok());
-    match synth {
+    match flag_value(args, "--synth") {
         Some(classes) => {
             let mut cfg = SynthConfig::medium();
             cfg.classes = classes;
@@ -102,9 +139,21 @@ fn framework(args: &[String]) -> Arc<AndroidFramework> {
     }
 }
 
+/// Flags that take a value (so the value is not a positional).
+const VALUE_FLAGS: &[&str] = &[
+    "--synth",
+    "--jobs",
+    "--app-jobs",
+    "--listen",
+    "--queue-depth",
+    "--addr",
+    "--timeout-ms",
+    "--index",
+    "-o",
+];
+
 /// Positional arguments: everything that is neither a flag nor the
-/// value of a value-taking flag (`--synth N`, `--jobs N`,
-/// `--app-jobs M`).
+/// value of a value-taking flag ([`VALUE_FLAGS`]).
 fn positionals(args: &[String]) -> Vec<&String> {
     let mut out = Vec::new();
     let mut skip_value = false;
@@ -113,7 +162,7 @@ fn positionals(args: &[String]) -> Vec<&String> {
             skip_value = false;
             continue;
         }
-        if arg == "--synth" || arg == "--jobs" || arg == "--app-jobs" {
+        if VALUE_FLAGS.iter().any(|f| f == arg) {
             skip_value = true;
             continue;
         }
@@ -124,11 +173,37 @@ fn positionals(args: &[String]) -> Vec<&String> {
     out
 }
 
+/// The single `<app.sapk>` positional of the one-package verbs
+/// (`verify`, `repair`, `disasm`, `callgraph`); flags may appear in
+/// any position.
+fn sole_package<'a>(args: &'a [String], verb: &str) -> Result<&'a String, String> {
+    positionals(args)
+        .first()
+        .copied()
+        .ok_or_else(|| format!("{verb}: missing <app.sapk>"))
+}
+
 fn flag_value(args: &[String], flag: &str) -> Option<usize> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .and_then(|n| n.parse::<usize>().ok())
+}
+
+fn string_flag<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// The exit code the scan contract assigns to a set of reports.
+fn scan_exit_code(reports: &[saintdroid::Report]) -> ExitCode {
+    if reports.iter().all(saintdroid::Report::is_clean) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
 }
 
 fn scan(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
@@ -164,19 +239,11 @@ fn scan(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             );
         }
     }
-    Ok(
-        if outcome.reports.iter().all(saintdroid::Report::is_clean) {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::from(2)
-        },
-    )
+    Ok(scan_exit_code(&outcome.reports))
 }
 
 fn verify(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let Some(path) = args.first() else {
-        return Err("verify: missing <app.sapk>".into());
-    };
+    let path = sole_package(args, "verify")?;
     let apk = load_apk(path)?;
     let fw = framework(args);
     let tool = SaintDroid::new(Arc::clone(&fw));
@@ -199,14 +266,8 @@ fn verify(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 }
 
 fn do_repair(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let Some(path) = args.first() else {
-        return Err("repair: missing <app.sapk>".into());
-    };
-    let out_path = args
-        .iter()
-        .position(|a| a == "-o")
-        .and_then(|i| args.get(i + 1))
-        .ok_or("repair: missing -o <out.sapk>")?;
+    let path = sole_package(args, "repair")?;
+    let out_path = string_flag(args, "-o").ok_or("repair: missing -o <out.sapk>")?;
     let opts = RepairOptions {
         apply_manifest_fixes: args.iter().any(|a| a == "--manifest-fixes"),
     };
@@ -237,9 +298,7 @@ fn do_repair(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 }
 
 fn callgraph(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let Some(path) = args.first() else {
-        return Err("callgraph: missing <app.sapk>".into());
-    };
+    let path = sole_package(args, "callgraph")?;
     let apk = load_apk(path)?;
     let tool = SaintDroid::new(framework(args));
     let model = tool.model(&apk);
@@ -249,13 +308,233 @@ fn callgraph(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 }
 
 fn disasm(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let Some(path) = args.first() else {
-        return Err("disasm: missing <app.sapk>".into());
-    };
+    let path = sole_package(args, "disasm")?;
     let apk = load_apk(path)?;
     println!("{}", apk.manifest);
     for class in apk.all_classes() {
         println!("{class}");
     }
     Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------
+// Service verbs
+// ---------------------------------------------------------------------
+
+fn serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut cfg = ServerConfig {
+        listen: string_flag(args, "--listen")
+            .unwrap_or(DEFAULT_ADDR)
+            .to_string(),
+        ..ServerConfig::default()
+    };
+    if let Some(jobs) = flag_value(args, "--jobs") {
+        cfg.jobs = jobs.max(1);
+    }
+    if let Some(depth) = flag_value(args, "--queue-depth") {
+        cfg.queue_depth = depth;
+    }
+    let mut engine = ScanEngine::new(framework(args));
+    if let Some(app_jobs) = flag_value(args, "--app-jobs") {
+        engine = engine.app_jobs(app_jobs);
+    }
+    eprintln!("saint-service: warming engine (framework model + shared caches)...");
+    engine.prewarm();
+    let handle = saint_service::start(engine, &cfg)?;
+    // Stdout, flushed: scripts (the CI smoke job among them) wait for
+    // this line to learn the ephemeral port.
+    println!("saint-service listening on {}", handle.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    eprintln!(
+        "jobs={} queue-depth={} — submit with `saintdroid submit <app.sapk> --addr {}`",
+        cfg.jobs,
+        cfg.queue_depth,
+        handle.addr()
+    );
+    handle.wait();
+    eprintln!("saint-service: drained and stopped");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn submit(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let paths = positionals(args);
+    if paths.is_empty() {
+        return Err("submit: missing <app.sapk>".into());
+    }
+    let addr = string_flag(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    let deadline_ms = flag_value(args, "--timeout-ms").map(|t| t as u64);
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot reach scan service at {addr}: {e}"))?;
+    let mut reports = Vec::new();
+    for path in paths {
+        let sapk = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        match client.scan_sapk(&sapk, deadline_ms) {
+            Ok(response) => {
+                print!("{}", response.report);
+                reports.push(response.report);
+            }
+            Err(ClientError::Rejected(err)) => {
+                return Err(format!(
+                    "{path}: service rejected scan: {} ({})",
+                    err.code, err.message
+                )
+                .into())
+            }
+            Err(e) => return Err(format!("{path}: {e}").into()),
+        }
+    }
+    Ok(scan_exit_code(&reports))
+}
+
+fn status(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let addr = string_flag(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot reach scan service at {addr}: {e}"))?;
+    let s = client.status()?;
+    print_status(addr, &s);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn print_status(addr: &str, s: &saint_service::StatusResponse) {
+    println!(
+        "scan service at {addr}: up {:.1}s{}",
+        s.uptime_ms as f64 / 1000.0,
+        if s.draining { " (draining)" } else { "" }
+    );
+    println!(
+        "  jobs: {} served, {} active, {} queued (capacity {}), {} rejected busy, {} timed out",
+        s.jobs_served, s.jobs_active, s.queue_depth, s.queue_capacity, s.rejected_busy, s.timed_out
+    );
+    for (name, cache) in [
+        ("class cache   ", &s.class_cache),
+        ("artifact cache", &s.artifact_cache),
+        ("scan cache    ", &s.scan_cache),
+    ] {
+        if let Some(c) = cache {
+            println!(
+                "  {name}: {} hits / {} misses ({:.1}% hit rate, {} entries)",
+                c.hits,
+                c.misses,
+                c.hit_rate * 100.0,
+                c.entries
+            );
+        }
+    }
+}
+
+fn shutdown(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let addr = string_flag(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot reach scan service at {addr}: {e}"))?;
+    let s = client.shutdown()?;
+    println!("scan service at {addr} draining; final counters:");
+    print_status(addr, &s);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn synth_pkg(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let out_path = *positionals(args)
+        .first()
+        .ok_or("synth-pkg: missing <out.sapk>")?;
+    let index = flag_value(args, "--index").unwrap_or(0);
+    let mut cfg = saint_corpus::RealWorldConfig::small();
+    cfg.apps = index + 1;
+    let corpus = saint_corpus::RealWorldCorpus::new(cfg);
+    let apk = corpus.get(index).apk;
+    std::fs::write(out_path, codec::encode_apk(&apk))?;
+    println!(
+        "wrote synthesized package {} to {out_path}",
+        apk.manifest.package
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_skip_flag_values_everywhere() {
+        // The historical bug: `verify --synth 100 app.sapk` parsed
+        // `--synth` as the package path because the verb used
+        // `args.first()`.
+        let a = args(&["--synth", "100", "app.sapk"]);
+        assert_eq!(positionals(&a), [&"app.sapk".to_string()]);
+        assert_eq!(sole_package(&a, "verify").unwrap(), "app.sapk");
+
+        // Flags after the positional are equally fine.
+        let a = args(&["app.sapk", "--jobs", "4"]);
+        assert_eq!(sole_package(&a, "callgraph").unwrap(), "app.sapk");
+
+        // Every value-taking flag is skipped with its value.
+        let a = args(&[
+            "--addr",
+            "127.0.0.1:9999",
+            "a.sapk",
+            "--timeout-ms",
+            "500",
+            "b.sapk",
+            "--queue-depth",
+            "8",
+        ]);
+        assert_eq!(
+            positionals(&a),
+            [&"a.sapk".to_string(), &"b.sapk".to_string()]
+        );
+    }
+
+    #[test]
+    fn repair_output_flag_is_not_a_positional() {
+        let a = args(&["broken.sapk", "-o", "fixed.sapk", "--manifest-fixes"]);
+        assert_eq!(sole_package(&a, "repair").unwrap(), "broken.sapk");
+        assert_eq!(string_flag(&a, "-o"), Some("fixed.sapk"));
+        // Flag order must not matter either.
+        let a = args(&["-o", "fixed.sapk", "broken.sapk"]);
+        assert_eq!(sole_package(&a, "repair").unwrap(), "broken.sapk");
+    }
+
+    #[test]
+    fn missing_package_is_reported_per_verb() {
+        let a = args(&["--synth", "100"]);
+        assert_eq!(
+            sole_package(&a, "disasm").unwrap_err(),
+            "disasm: missing <app.sapk>"
+        );
+    }
+
+    #[test]
+    fn value_flags_parse_numbers_and_strings() {
+        let a = args(&["serve", "--listen", "127.0.0.1:0", "--jobs", "3"]);
+        assert_eq!(string_flag(&a, "--listen"), Some("127.0.0.1:0"));
+        assert_eq!(flag_value(&a, "--jobs"), Some(3));
+        assert_eq!(flag_value(&a, "--queue-depth"), None);
+        assert_eq!(string_flag(&a, "--addr"), None);
+    }
+
+    #[test]
+    fn exit_code_contract_over_reports() {
+        let clean = saintdroid::Report::new("p.clean", "saintdroid");
+        assert_eq!(
+            scan_exit_code(std::slice::from_ref(&clean)),
+            ExitCode::SUCCESS
+        );
+        assert_eq!(scan_exit_code(&[]), ExitCode::SUCCESS);
+        let mut dirty = saintdroid::Report::new("p.dirty", "saintdroid");
+        dirty.extend_deduped([saintdroid::Mismatch {
+            kind: saintdroid::MismatchKind::ApiInvocation,
+            site: saint_ir::MethodRef::new("p.C", "m", "()V"),
+            api: saint_ir::MethodRef::new("android.x.Y", "api", "()V"),
+            api_life: None,
+            missing_levels: vec![saint_ir::ApiLevel::new(21)],
+            context: None,
+            permission: None,
+            via: Vec::new(),
+        }]);
+        assert_eq!(scan_exit_code(&[clean, dirty]), ExitCode::from(2));
+    }
 }

@@ -198,6 +198,31 @@ impl ScanEngine {
         &self.tool
     }
 
+    /// Pays the one-time framework costs (API-database mining and
+    /// permission-map construction) up front, so the first scan through
+    /// this engine is as fast as every later one. Long-lived consumers
+    /// — the scan-service daemon warms its engine before accepting
+    /// connections — call this once at startup; it is idempotent.
+    pub fn prewarm(&self) {
+        let arm = self.tool.arm();
+        let _ = arm.database();
+        let _ = arm.permission_map();
+    }
+
+    /// Scans a single package on the calling thread with this engine's
+    /// warm shared caches and the configured intra-app budget
+    /// ([`app_jobs`](Self::app_jobs), default 1). This is the reuse
+    /// hook for services that schedule whole requests themselves: `N`
+    /// threads calling `scan_one` concurrently get exactly the
+    /// batch-engine sharing (one framework materialization per
+    /// `(level, class)` across all requests) without batch ordering.
+    /// The report is byte-identical (mismatches and meter) to
+    /// `scan_batch` over the same package.
+    #[must_use]
+    pub fn scan_one(&self, apk: &Apk) -> Report {
+        self.tool.run_with_jobs(apk, self.app_jobs.unwrap_or(1))
+    }
+
     /// Activity counters of the batch class cache, if the tool carries
     /// one.
     #[must_use]
@@ -490,6 +515,60 @@ mod tests {
             assert_eq!(b.package, s.package);
             assert_eq!(b.mismatches, s.mismatches);
             assert_eq!(b.meter, s.meter);
+        }
+    }
+
+    #[test]
+    fn jobs_zero_clamps_to_one() {
+        let fw = Arc::new(AndroidFramework::curated());
+        let engine = ScanEngine::new(Arc::clone(&fw)).jobs(0);
+        assert_eq!(engine.job_count(), 1);
+        let (slots, per_app) = engine.schedule(5);
+        assert_eq!((slots, per_app), (1, 1));
+        // app_jobs(0) likewise clamps instead of dividing by zero.
+        let engine = ScanEngine::new(fw).jobs(0).app_jobs(0);
+        assert_eq!(engine.app_job_count(), Some(1));
+        let (slots, per_app) = engine.schedule(5);
+        assert_eq!((slots, per_app), (1, 1));
+    }
+
+    #[test]
+    fn app_jobs_larger_than_budget_is_clamped() {
+        let fw = Arc::new(AndroidFramework::curated());
+        let engine = ScanEngine::new(fw).jobs(2).app_jobs(16);
+        // The explicit intra-app request cannot exceed the global
+        // budget: per-app shrinks to the budget, leaving one app slot.
+        let (slots, per_app) = engine.schedule(10);
+        assert_eq!(per_app, 2);
+        assert_eq!(slots, 1);
+    }
+
+    #[test]
+    fn from_tool_engine_without_caches_reports_none() {
+        let fw = Arc::new(AndroidFramework::curated());
+        let engine = ScanEngine::from_tool(SaintDroid::new(fw));
+        assert!(engine.cache_stats().is_none());
+        assert!(engine.scan_cache_stats().is_none());
+        assert!(engine.artifact_cache_stats().is_none());
+        // The cache-less engine still scans (strictly per-app
+        // materialization).
+        let report = engine.scan_one(&apk("nocache", true));
+        assert_eq!(report.package, "nocache");
+    }
+
+    #[test]
+    fn scan_one_matches_batch_report() {
+        let fw = Arc::new(AndroidFramework::curated());
+        let apks = small_batch();
+        let engine = ScanEngine::new(Arc::clone(&fw)).jobs(2);
+        let batch = engine.scan_batch(&apks);
+        let warm = ScanEngine::new(fw).jobs(2);
+        warm.prewarm();
+        for (apk, expected) in apks.iter().zip(&batch) {
+            let one = warm.scan_one(apk);
+            assert_eq!(one.package, expected.package);
+            assert_eq!(one.mismatches, expected.mismatches);
+            assert_eq!(one.meter, expected.meter);
         }
     }
 

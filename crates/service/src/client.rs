@@ -1,0 +1,179 @@
+//! Client side of the scan-service protocol: one blocking connection,
+//! request/response lines in lockstep.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+
+use serde::Deserialize as _;
+
+use crate::protocol::{
+    self, Envelope, ErrorResponse, LineRead, ScanRequest, ScanResponse, StatusResponse,
+    PROTOCOL_VERSION,
+};
+
+/// Why a service call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, or connection closed).
+    Io(std::io::Error),
+    /// The server answered, but with a typed rejection (`busy`,
+    /// `timeout`, `bad_package`, …).
+    Rejected(ErrorResponse),
+    /// The server's bytes did not parse as a protocol message.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "service transport error: {e}"),
+            ClientError::Rejected(e) => {
+                write!(f, "service rejected request: {} ({})", e.code, e.message)
+            }
+            ClientError::Protocol(msg) => write!(f, "service protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected scan-service client. One request is in flight at a
+/// time; open several clients for concurrent submission.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (e.g. `127.0.0.1:7744`).
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/response lockstep with small frames: Nagle plus
+        // delayed ACK would add ~40ms to every roundtrip.
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one line and reads one response line, parsed once to a
+    /// value tree (scan responses carry a full report, so envelope
+    /// dispatch and the typed response are two views of one parse).
+    fn roundtrip(&mut self, line: &str) -> Result<(Envelope, serde::Value), ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let raw = match protocol::read_line_bounded(&mut self.reader, protocol::MAX_LINE_BYTES)? {
+            LineRead::Line(raw) => raw,
+            LineRead::Eof => {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )))
+            }
+            LineRead::TooLong => {
+                return Err(ClientError::Protocol("oversized response line".into()))
+            }
+        };
+        let value = serde_json::from_str_value(&raw)
+            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+        let envelope = Envelope::from_value(&value)
+            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+        Ok((envelope, value))
+    }
+
+    /// Dispatches a parsed response into `T` or the typed error.
+    fn expect<T: serde::Deserialize>(
+        kind: &str,
+        envelope: &Envelope,
+        value: &serde::Value,
+    ) -> Result<T, ClientError> {
+        match envelope.kind.as_deref() {
+            Some(k) if k == kind => T::from_value(value)
+                .map_err(|e| ClientError::Protocol(format!("bad {kind} response: {e}"))),
+            Some("error") => {
+                let err = ErrorResponse::from_value(value)
+                    .map_err(|e| ClientError::Protocol(format!("bad error response: {e}")))?;
+                Err(ClientError::Rejected(err))
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected {kind} response, got kind {other:?}"
+            ))),
+        }
+    }
+
+    /// Submits raw SAPK container bytes for scanning and awaits the
+    /// report (or a typed rejection).
+    ///
+    /// # Errors
+    /// [`ClientError::Rejected`] carries the server's typed error
+    /// (`busy`, `timeout`, `bad_package`, `draining`, …).
+    pub fn scan_sapk(
+        &mut self,
+        sapk_bytes: &[u8],
+        deadline_ms: Option<u64>,
+    ) -> Result<ScanResponse, ClientError> {
+        let req = ScanRequest::new(sapk_bytes, deadline_ms);
+        let (envelope, value) = self.roundtrip(&protocol::to_line(&req))?;
+        Self::expect("scan", &envelope, &value)
+    }
+
+    /// Fetches daemon health and accounting.
+    ///
+    /// # Errors
+    /// See [`scan_sapk`](Self::scan_sapk).
+    pub fn status(&mut self) -> Result<StatusResponse, ClientError> {
+        let req = Envelope {
+            v: PROTOCOL_VERSION,
+            kind: Some("status".to_string()),
+        };
+        let (envelope, value) = self.roundtrip(&protocol::to_line(&req))?;
+        Self::expect("status", &envelope, &value)
+    }
+
+    /// Requests a graceful drain; the acknowledgement carries the final
+    /// counters.
+    ///
+    /// # Errors
+    /// See [`scan_sapk`](Self::scan_sapk).
+    pub fn shutdown(&mut self) -> Result<StatusResponse, ClientError> {
+        let req = Envelope {
+            v: PROTOCOL_VERSION,
+            kind: Some("shutdown".to_string()),
+        };
+        let (envelope, value) = self.roundtrip(&protocol::to_line(&req))?;
+        Self::expect("status", &envelope, &value)
+    }
+
+    /// Sends a raw pre-framed line and returns the raw response line —
+    /// the hook the robustness tests use to speak malformed dialects.
+    ///
+    /// # Errors
+    /// Transport errors only; the response is returned unparsed.
+    pub fn raw_roundtrip(&mut self, line: &str) -> Result<String, ClientError> {
+        let mut framed = line.to_string();
+        if !framed.ends_with('\n') {
+            framed.push('\n');
+        }
+        self.writer.write_all(framed.as_bytes())?;
+        self.writer.flush()?;
+        match protocol::read_line_bounded(&mut self.reader, protocol::MAX_LINE_BYTES)? {
+            LineRead::Line(raw) => Ok(raw),
+            LineRead::Eof => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+            LineRead::TooLong => Err(ClientError::Protocol("oversized response line".into())),
+        }
+    }
+}

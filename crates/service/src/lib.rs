@@ -1,0 +1,70 @@
+//! # saint-service — the persistent scan-service daemon
+//!
+//! Every `saintdroid scan` invocation is a cold process: the framework
+//! model and all three shared caches ([`ShardedClassCache`],
+//! [`ArtifactCache`], `DeepScanCache`) are rebuilt and thrown away.
+//! This crate keeps them alive: a long-running daemon owns one warm
+//! [`ScanEngine`] and serves scans over a newline-delimited JSON
+//! protocol on TCP — the deployment shape of an always-on app-vetting
+//! service (Wu et al., *Scalable Online Vetting of Android Apps*),
+//! where SAINTDroid's amortized framework artifacts actually pay off
+//! across requests.
+//!
+//! Three pieces:
+//!
+//! - [`protocol`] — the wire types ([`ScanRequest`], [`ScanResponse`],
+//!   [`StatusResponse`], [`ErrorResponse`]), versioned, with line/size
+//!   guards and a malformed-input contract that never kills the daemon;
+//! - [`queue`] — the bounded [`JobQueue`] with explicit admission
+//!   control (`busy` rejections), handler-owned deadlines (`timeout`),
+//!   and graceful drain;
+//! - [`server`] / [`client`] — the thread-per-connection daemon with a
+//!   bounded acceptor pool, and the blocking client the CLI verbs
+//!   (`saintdroid serve` / `submit` / `status` / `shutdown`) wrap.
+//!
+//! Reports fetched through the service are **byte-identical**
+//! (mismatches and meter) to a local `saintdroid scan` of the same
+//! package — asserted end-to-end by `tests/service_e2e.rs` against a
+//! daemon on an ephemeral port.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use saint_adf::AndroidFramework;
+//! use saintdroid::ScanEngine;
+//! use saint_service::{Client, ServerConfig};
+//!
+//! // Daemon side: one warm engine for the process lifetime.
+//! let engine = ScanEngine::new(Arc::new(AndroidFramework::curated()));
+//! engine.prewarm();
+//! let cfg = ServerConfig { listen: "127.0.0.1:0".into(), ..ServerConfig::default() };
+//! let handle = saint_service::start(engine, &cfg)?;
+//!
+//! // Client side: submit SAPK bytes, get the report back.
+//! let mut client = Client::connect(&handle.addr().to_string())?;
+//! let sapk = std::fs::read("app.sapk")?;
+//! let response = client.scan_sapk(&sapk, Some(30_000))?;
+//! println!("{}", response.report);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`ShardedClassCache`]: saint_analysis::ShardedClassCache
+//! [`ArtifactCache`]: saint_analysis::ArtifactCache
+//! [`ScanEngine`]: saintdroid::ScanEngine
+//! [`ScanRequest`]: protocol::ScanRequest
+//! [`ScanResponse`]: protocol::ScanResponse
+//! [`StatusResponse`]: protocol::StatusResponse
+//! [`ErrorResponse`]: protocol::ErrorResponse
+//! [`JobQueue`]: queue::JobQueue
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{ErrorResponse, ScanRequest, ScanResponse, StatusResponse, PROTOCOL_VERSION};
+pub use queue::{Admission, JobQueue, QueueStats};
+pub use server::{start, ServerConfig, ServerHandle};

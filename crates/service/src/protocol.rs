@@ -1,0 +1,530 @@
+//! The wire protocol of the scan service: newline-delimited JSON over
+//! TCP, one request per line, one response line per request, in order.
+//!
+//! Every message carries a `v` protocol-version field and a `kind`
+//! discriminator; the server dispatches on a small [`Envelope`] first
+//! (unknown fields are ignored by the value-model deserializer), then
+//! parses the full typed message. Package bytes travel base64-encoded
+//! inside the JSON line so the protocol stays printable and
+//! line-framed.
+//!
+//! Robustness contract: no input — malformed JSON, an unknown `kind`,
+//! a wrong version, an oversized line, undecodable base64, or a
+//! corrupt SAPK container — may kill the daemon. Each failure maps to
+//! a typed [`ErrorResponse`] (and, for oversized lines, a closed
+//! connection, since the framing is lost).
+
+use saintdroid::Report;
+use serde::{Deserialize, Serialize};
+
+/// Current protocol version; bumped on incompatible wire changes.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard ceiling on one request line (base64-encoded package included).
+/// A line that exceeds it is answered with `too_large` and the
+/// connection is closed — the remainder of the oversized line cannot
+/// be re-framed.
+pub const MAX_LINE_BYTES: usize = 64 * 1024 * 1024;
+
+/// Machine-readable rejection codes (the `429`-style vocabulary of the
+/// service). Stable strings, mirrored in DESIGN.md §4.3.
+pub mod error_code {
+    /// Queue at capacity — resubmit later.
+    pub const BUSY: &str = "busy";
+    /// The daemon is draining for shutdown; no new work admitted.
+    pub const DRAINING: &str = "draining";
+    /// Per-request deadline expired before the scan finished.
+    pub const TIMEOUT: &str = "timeout";
+    /// The line was not valid JSON or not a known request shape.
+    pub const MALFORMED: &str = "malformed";
+    /// The request line exceeded the server's line limit.
+    pub const TOO_LARGE: &str = "too_large";
+    /// The request's `v` does not match [`super::PROTOCOL_VERSION`].
+    pub const UNSUPPORTED_VERSION: &str = "unsupported_version";
+    /// The base64 payload did not decode to a valid SAPK container.
+    pub const BAD_PACKAGE: &str = "bad_package";
+}
+
+/// The `kind` discriminator + version, parsed before full dispatch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Envelope {
+    /// Protocol version of the message.
+    pub v: u32,
+    /// Message kind: `scan`, `status`, or `shutdown`.
+    pub kind: Option<String>,
+}
+
+/// Submit one SAPK package for analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScanRequest {
+    /// Protocol version ([`PROTOCOL_VERSION`]).
+    pub v: u32,
+    /// Always `"scan"`.
+    pub kind: String,
+    /// The SAPK container bytes, base64-encoded (standard alphabet,
+    /// padded).
+    pub package_b64: String,
+    /// Optional deadline in milliseconds: if the scan has not finished
+    /// (queue wait included) within this budget, the server answers
+    /// `timeout` instead of a report.
+    pub deadline_ms: Option<u64>,
+}
+
+impl ScanRequest {
+    /// Builds a request around raw SAPK bytes.
+    #[must_use]
+    pub fn new(sapk_bytes: &[u8], deadline_ms: Option<u64>) -> Self {
+        ScanRequest {
+            v: PROTOCOL_VERSION,
+            kind: "scan".to_string(),
+            package_b64: base64_encode(sapk_bytes),
+            deadline_ms,
+        }
+    }
+}
+
+/// A successful scan: the report plus the exit code `saintdroid scan`
+/// would have returned for this package (0 clean / 2 mismatches — the
+/// CLI contract; protocol-level failures map to typed errors instead
+/// of an exit code).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScanResponse {
+    /// Protocol version.
+    pub v: u32,
+    /// Always `"scan"`.
+    pub kind: String,
+    /// Mirror of the CLI exit-code contract: 0 clean, 2 mismatches.
+    pub exit_code: u8,
+    /// The full report — byte-identical mismatches and meter to what a
+    /// local `saintdroid scan` produces for the same package.
+    pub report: Report,
+}
+
+impl ScanResponse {
+    /// Wraps a finished report.
+    #[must_use]
+    pub fn new(report: Report) -> Self {
+        let exit_code = if report.is_clean() { 0 } else { 2 };
+        ScanResponse {
+            v: PROTOCOL_VERSION,
+            kind: "scan".to_string(),
+            exit_code,
+            report,
+        }
+    }
+}
+
+/// Activity counters of one shared cache, for [`StatusResponse`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheStatus {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that ran the materializer.
+    pub misses: u64,
+    /// Distinct keys held.
+    pub entries: usize,
+    /// Hit fraction in `[0, 1]` (zero before any lookup).
+    pub hit_rate: f64,
+}
+
+impl From<saint_analysis::CacheStats> for CacheStatus {
+    fn from(s: saint_analysis::CacheStats) -> Self {
+        CacheStatus {
+            hits: s.hits,
+            misses: s.misses,
+            entries: s.entries,
+            hit_rate: s.hit_rate(),
+        }
+    }
+}
+
+/// Daemon health and accounting; also the acknowledgement of a
+/// `shutdown` request (final counters before the drain).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatusResponse {
+    /// Protocol version.
+    pub v: u32,
+    /// Always `"status"`.
+    pub kind: String,
+    /// Milliseconds since the daemon finished warming its engine.
+    pub uptime_ms: u64,
+    /// Scans completed over the daemon's lifetime.
+    pub jobs_served: u64,
+    /// Scans currently executing on job workers.
+    pub jobs_active: usize,
+    /// Scans queued but not yet started.
+    pub queue_depth: usize,
+    /// Admission-control bound: requests beyond this depth get `busy`.
+    pub queue_capacity: usize,
+    /// Submissions rejected with `busy` so far.
+    pub rejected_busy: u64,
+    /// Requests that expired (`timeout`) so far.
+    pub timed_out: u64,
+    /// Whether the daemon is draining toward shutdown.
+    pub draining: bool,
+    /// Warm framework-class cache counters, if the engine carries one.
+    pub class_cache: Option<CacheStatus>,
+    /// Warm framework-artifact cache counters, if present.
+    pub artifact_cache: Option<CacheStatus>,
+    /// Warm framework-subtree scan cache counters, if present.
+    pub scan_cache: Option<CacheStatus>,
+}
+
+/// A typed rejection; the daemon stays alive after sending one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Protocol version.
+    pub v: u32,
+    /// Always `"error"`.
+    pub kind: String,
+    /// One of the [`error_code`] constants.
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ErrorResponse {
+    /// Builds an error response with the current protocol version.
+    #[must_use]
+    pub fn new(code: &str, message: impl Into<String>) -> Self {
+        ErrorResponse {
+            v: PROTOCOL_VERSION,
+            kind: "error".to_string(),
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Base64 (standard alphabet, padded) — std-only, no external crate.
+// ---------------------------------------------------------------------
+
+const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as standard padded base64.
+#[must_use]
+pub fn base64_encode(input: &[u8]) -> String {
+    let mut out = String::with_capacity(input.len().div_ceil(3) * 4);
+    for chunk in input.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(B64_ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(B64_ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            B64_ALPHABET[(triple >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64_ALPHABET[triple as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decodes standard padded base64; `None` on any malformed input
+/// (bad characters, bad length, data after padding).
+#[must_use]
+pub fn base64_decode(input: &str) -> Option<Vec<u8>> {
+    let bytes = input.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return None;
+    }
+    fn val(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some(u32::from(c - b'A')),
+            b'a'..=b'z' => Some(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Some(u32::from(c - b'0') + 52),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, chunk) in bytes.chunks(4).enumerate() {
+        let last = (i + 1) * 4 == bytes.len();
+        let pad = chunk.iter().filter(|&&c| c == b'=').count();
+        // Padding is only legal as the final one or two characters.
+        if pad > 2 || (pad > 0 && !last) || (pad >= 1 && chunk[3] != b'=') {
+            return None;
+        }
+        if pad == 2 && chunk[2] != b'=' {
+            return None;
+        }
+        let v0 = val(chunk[0])?;
+        let v1 = val(chunk[1])?;
+        let v2 = if pad == 2 { 0 } else { val(chunk[2])? };
+        let v3 = if pad >= 1 { 0 } else { val(chunk[3])? };
+        let triple = (v0 << 18) | (v1 << 12) | (v2 << 6) | v3;
+        out.push((triple >> 16) as u8);
+        if pad < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(triple as u8);
+        }
+    }
+    Some(out)
+}
+
+// ---------------------------------------------------------------------
+// Bounded line framing
+// ---------------------------------------------------------------------
+
+/// Outcome of reading one protocol line.
+#[derive(Debug)]
+pub enum LineRead {
+    /// A complete line (without the trailing `\n`).
+    Line(String),
+    /// The peer closed the connection before any byte of a new line.
+    Eof,
+    /// The line exceeded the limit; the connection can no longer be
+    /// framed and must be closed after an error response.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line, never buffering more than `max`
+/// bytes. Invalid UTF-8 is surfaced as a line that will fail JSON
+/// parsing (lossy conversion), which maps to `malformed` — framing is
+/// still intact in that case.
+///
+/// # Errors
+/// Propagates transport errors (including read timeouts, which the
+/// server loop uses as a drain poll) other than clean EOF.
+pub fn read_line_bounded<R: std::io::BufRead>(
+    reader: &mut R,
+    max: usize,
+) -> std::io::Result<LineRead> {
+    let mut buf = Vec::new();
+    read_line_bounded_into(reader, max, &mut buf)
+}
+
+/// [`read_line_bounded`] with a caller-owned accumulator: bytes read
+/// before a transport error (a read timeout above all) stay in `buf`,
+/// so a server polling its drain flag between timeouts can resume the
+/// partial line instead of silently dropping it. `buf` is emptied
+/// whenever a [`LineRead`] is returned.
+///
+/// # Errors
+/// Propagates transport errors other than clean EOF; `buf` keeps the
+/// partial line.
+pub fn read_line_bounded_into<R: std::io::BufRead>(
+    reader: &mut R,
+    max: usize,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<LineRead> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(a) => a,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return if buf.is_empty() {
+                Ok(LineRead::Eof)
+            } else {
+                // A final unterminated line still parses as a request.
+                let line = String::from_utf8_lossy(buf).into_owned();
+                buf.clear();
+                Ok(LineRead::Line(line))
+            };
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            if buf.len() + pos > max {
+                reader.consume(pos + 1);
+                buf.clear();
+                return Ok(LineRead::TooLong);
+            }
+            buf.extend_from_slice(&available[..pos]);
+            reader.consume(pos + 1);
+            let line = String::from_utf8_lossy(buf).into_owned();
+            buf.clear();
+            return Ok(LineRead::Line(line));
+        }
+        let n = available.len();
+        if buf.len() + n > max {
+            reader.consume(n);
+            buf.clear();
+            return Ok(LineRead::TooLong);
+        }
+        buf.extend_from_slice(available);
+        reader.consume(n);
+    }
+}
+
+/// Serializes a message and frames it as one protocol line.
+///
+/// # Panics
+/// Never in practice: all protocol types serialize infallibly.
+#[must_use]
+pub fn to_line<T: Serialize>(msg: &T) -> String {
+    let mut line = serde_json::to_string(msg).expect("protocol messages serialize");
+    line.push('\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_roundtrip_all_residues() {
+        for len in 0..32usize {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + len) as u8).collect();
+            let enc = base64_encode(&data);
+            assert_eq!(enc.len() % 4, 0);
+            assert_eq!(base64_decode(&enc).expect("decodes"), data);
+        }
+    }
+
+    #[test]
+    fn base64_known_vectors() {
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+        assert_eq!(base64_decode("Zm9vYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn base64_rejects_malformed() {
+        for bad in ["Zg=", "Zg= =", "Z===", "Zg==Zg==x", "Z!==", "=Zg="] {
+            assert!(base64_decode(bad).is_none(), "{bad:?} must not decode");
+        }
+        // Padding mid-stream is illegal even with valid length.
+        assert!(base64_decode("Zg==Zm9v").is_none());
+    }
+
+    #[test]
+    fn envelope_ignores_unknown_fields() {
+        let env: Envelope =
+            serde_json::from_str(r#"{"v":1,"kind":"scan","package_b64":"AAAA"}"#).unwrap();
+        assert_eq!(env.v, 1);
+        assert_eq!(env.kind.as_deref(), Some("scan"));
+    }
+
+    #[test]
+    fn scan_request_roundtrip() {
+        let req = ScanRequest::new(b"sapk-bytes", Some(1500));
+        let line = to_line(&req);
+        assert!(line.ends_with('\n'));
+        let back: ScanRequest = serde_json::from_str(line.trim_end()).unwrap();
+        assert_eq!(back.v, PROTOCOL_VERSION);
+        assert_eq!(back.deadline_ms, Some(1500));
+        assert_eq!(
+            base64_decode(&back.package_b64).unwrap(),
+            b"sapk-bytes".to_vec()
+        );
+    }
+
+    #[test]
+    fn error_response_shape() {
+        let err = ErrorResponse::new(error_code::BUSY, "queue full");
+        let line = to_line(&err);
+        let back: ErrorResponse = serde_json::from_str(line.trim_end()).unwrap();
+        assert_eq!(back.kind, "error");
+        assert_eq!(back.code, "busy");
+    }
+
+    #[test]
+    fn bounded_reader_frames_and_guards() {
+        let data = b"short\nexactly10!\nway too long line\nafter\n";
+        let mut r = std::io::BufReader::new(&data[..]);
+        match read_line_bounded(&mut r, 10).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "short"),
+            other => panic!("{other:?}"),
+        }
+        match read_line_bounded(&mut r, 10).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "exactly10!"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            read_line_bounded(&mut r, 10).unwrap(),
+            LineRead::TooLong
+        ));
+        // Framing recovers at the next newline.
+        match read_line_bounded(&mut r, 10).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "after"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            read_line_bounded(&mut r, 10).unwrap(),
+            LineRead::Eof
+        ));
+    }
+
+    #[test]
+    fn bounded_reader_handles_unterminated_tail() {
+        let mut r = std::io::BufReader::new(&b"tail-no-newline"[..]);
+        match read_line_bounded(&mut r, 64).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "tail-no-newline"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// A `BufRead` replaying a fixed script of chunks and transport
+    /// errors, for exercising the timeout path without sockets.
+    struct Scripted {
+        steps: std::collections::VecDeque<std::io::Result<&'static [u8]>>,
+        cur: &'static [u8],
+    }
+
+    impl std::io::Read for Scripted {
+        fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+            unreachable!("the bounded reader only uses fill_buf/consume")
+        }
+    }
+
+    impl std::io::BufRead for Scripted {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            if self.cur.is_empty() {
+                match self.steps.pop_front() {
+                    Some(Ok(bytes)) => self.cur = bytes,
+                    Some(Err(e)) => return Err(e),
+                    None => {}
+                }
+            }
+            Ok(self.cur)
+        }
+
+        fn consume(&mut self, amt: usize) {
+            self.cur = &self.cur[amt..];
+        }
+    }
+
+    #[test]
+    fn partial_line_survives_a_read_timeout() {
+        // A request split across a read-timeout poll: "par" arrives,
+        // the socket times out (the server's drain poll), the rest
+        // follows. The accumulator hands the timeout up but keeps the
+        // received half, so the resumed call completes the line.
+        let mut r = Scripted {
+            steps: [
+                Ok(&b"par"[..]),
+                Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "poll")),
+                Ok(&b"tial\nnext\n"[..]),
+            ]
+            .into_iter()
+            .collect(),
+            cur: b"",
+        };
+        let mut buf = Vec::new();
+        let err = read_line_bounded_into(&mut r, 64, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        assert_eq!(buf, b"par");
+        match read_line_bounded_into(&mut r, 64, &mut buf).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "partial"),
+            other => panic!("{other:?}"),
+        }
+        match read_line_bounded_into(&mut r, 64, &mut buf).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "next"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

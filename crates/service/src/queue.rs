@@ -1,0 +1,289 @@
+//! Bounded job queue with admission control and graceful drain — the
+//! state machine between connection handlers and scan workers.
+//!
+//! Admission is explicit, not backpressure-by-blocking: a submission
+//! against a full queue is rejected immediately with [`Admission::Busy`]
+//! (the `429` of the protocol), so a burst degrades into fast typed
+//! rejections instead of unbounded memory growth or head-of-line
+//! blocking on the TCP accept loop. Deadlines are owned by the waiting
+//! connection handler: it gives up at its deadline and flips the job's
+//! `cancelled` flag, so a worker that dequeues an expired job skips the
+//! scan entirely.
+//!
+//! Drain semantics: [`JobQueue::drain`] closes admission (new scans get
+//! [`Admission::Draining`]) but queued jobs keep their promise — workers
+//! finish everything already admitted, then [`JobQueue::next`] returns
+//! `None` and the workers exit.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use saint_ir::Apk;
+use saintdroid::Report;
+
+/// One admitted scan: the decoded package plus the channel the waiting
+/// connection handler blocks on.
+pub struct Job {
+    /// The decoded package to scan.
+    pub apk: Apk,
+    /// Where the finished report goes; the send fails silently if the
+    /// handler already gave up (deadline) — the report is then dropped.
+    pub respond: SyncSender<Report>,
+    /// Set by the handler when its deadline expires; a worker that
+    /// sees the flag drops the job without scanning.
+    pub cancelled: Arc<AtomicBool>,
+    /// When the job entered the queue (for future wait accounting).
+    pub enqueued_at: Instant,
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The queue is at capacity.
+    Busy,
+    /// The daemon is draining toward shutdown.
+    Draining,
+}
+
+/// Counters surfaced through the `status` response.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueStats {
+    /// Jobs currently queued (admitted, not yet started).
+    pub depth: usize,
+    /// Admission bound.
+    pub capacity: usize,
+    /// Jobs currently executing on workers.
+    pub active: usize,
+    /// Scans whose report reached the client, over the queue's
+    /// lifetime.
+    pub served: u64,
+    /// Submissions rejected with [`Admission::Busy`].
+    pub rejected_busy: u64,
+    /// Scans whose handler answered `timeout` at its deadline instead
+    /// of a report.
+    pub timed_out: u64,
+    /// Whether admission is closed.
+    pub draining: bool,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    draining: bool,
+}
+
+/// The shared queue; see the module docs for the state machine.
+pub struct JobQueue {
+    state: Mutex<State>,
+    wake: Condvar,
+    capacity: usize,
+    active: AtomicUsize,
+    served: AtomicU64,
+    rejected_busy: AtomicU64,
+    timed_out: AtomicU64,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `capacity` waiting jobs (executing
+    /// jobs do not count against the bound).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                draining: false,
+            }),
+            wake: Condvar::new(),
+            capacity,
+            active: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+        }
+    }
+
+    /// Admits a job or rejects it in O(1) without blocking.
+    ///
+    /// # Errors
+    /// [`Admission::Draining`] once [`drain`](Self::drain) was called,
+    /// [`Admission::Busy`] when the queue is at capacity.
+    pub fn submit(&self, job: Job) -> Result<(), Admission> {
+        let mut st = self.state.lock().expect("queue lock");
+        if st.draining {
+            return Err(Admission::Draining);
+        }
+        if st.queue.len() >= self.capacity {
+            self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            return Err(Admission::Busy);
+        }
+        st.queue.push_back(job);
+        drop(st);
+        self.wake.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available (skipping cancelled ones — their
+    /// handler already accounted for them) or the queue is drained dry;
+    /// `None` tells the worker to exit.
+    pub fn next(&self) -> Option<Job> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            while let Some(job) = st.queue.pop_front() {
+                if job.cancelled.load(Ordering::Acquire) {
+                    continue;
+                }
+                self.active.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+            if st.draining {
+                return None;
+            }
+            st = self.wake.wait(st).expect("queue lock");
+        }
+    }
+
+    /// Marks one dequeued job finished (worker-side bookkeeping only).
+    pub fn finish(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records one scan whose report reached its client. Outcome
+    /// counters are owned by the connection handler — the only party
+    /// that knows what the client was actually told — and bumped
+    /// *before* the response line is written, so a client that reads
+    /// its report and immediately asks for `status` sees itself
+    /// counted.
+    pub fn mark_served(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one scan whose handler gave up at its deadline (the
+    /// client got `timeout`, any late report is discarded).
+    pub fn mark_timed_out(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Closes admission and wakes every worker; already-admitted jobs
+    /// still run to completion.
+    pub fn drain(&self) {
+        let mut st = self.state.lock().expect("queue lock");
+        st.draining = true;
+        drop(st);
+        self.wake.notify_all();
+    }
+
+    /// Whether admission is closed.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.state.lock().expect("queue lock").draining
+    }
+
+    /// A snapshot of the queue counters.
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        let st = self.state.lock().expect("queue lock");
+        QueueStats {
+            depth: st.queue.len(),
+            capacity: self.capacity,
+            active: self.active.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            draining: st.draining,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saint_ir::{ApiLevel, ApkBuilder};
+    use std::sync::mpsc::sync_channel;
+
+    fn job(cancelled: &Arc<AtomicBool>) -> (Job, std::sync::mpsc::Receiver<Report>) {
+        let (tx, rx) = sync_channel(1);
+        let apk = ApkBuilder::new("q.app", ApiLevel::new(21), ApiLevel::new(28)).build();
+        (
+            Job {
+                apk,
+                respond: tx,
+                cancelled: Arc::clone(cancelled),
+                enqueued_at: Instant::now(),
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn capacity_rejects_with_busy() {
+        let q = JobQueue::new(1);
+        let live = Arc::new(AtomicBool::new(false));
+        let (j1, _rx1) = job(&live);
+        let (j2, _rx2) = job(&live);
+        assert!(q.submit(j1).is_ok());
+        assert_eq!(q.submit(j2).unwrap_err(), Admission::Busy);
+        let stats = q.stats();
+        assert_eq!(stats.depth, 1);
+        assert_eq!(stats.rejected_busy, 1);
+    }
+
+    #[test]
+    fn zero_capacity_always_busy() {
+        let q = JobQueue::new(0);
+        let live = Arc::new(AtomicBool::new(false));
+        let (j, _rx) = job(&live);
+        assert_eq!(q.submit(j).unwrap_err(), Admission::Busy);
+    }
+
+    #[test]
+    fn drain_closes_admission_but_serves_queued() {
+        let q = JobQueue::new(4);
+        let live = Arc::new(AtomicBool::new(false));
+        let (j1, _rx1) = job(&live);
+        assert!(q.submit(j1).is_ok());
+        q.drain();
+        let (j2, _rx2) = job(&live);
+        assert_eq!(q.submit(j2).unwrap_err(), Admission::Draining);
+        // The queued job is still handed out, then workers are told to
+        // exit.
+        assert!(q.next().is_some());
+        q.mark_served();
+        q.finish();
+        assert!(q.next().is_none());
+        let stats = q.stats();
+        assert!(stats.draining);
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.active, 0);
+    }
+
+    #[test]
+    fn cancelled_jobs_are_skipped() {
+        let q = JobQueue::new(4);
+        let cancelled = Arc::new(AtomicBool::new(true));
+        let live = Arc::new(AtomicBool::new(false));
+        let (dead, _rx1) = job(&cancelled);
+        let (alive, _rx2) = job(&live);
+        q.submit(dead).unwrap();
+        q.mark_timed_out(); // what the dead job's handler does at its deadline
+        q.submit(alive).unwrap();
+        let got = q.next().expect("live job");
+        assert!(!got.cancelled.load(Ordering::Acquire));
+        // The skip itself adds nothing: outcome counters are
+        // handler-owned, and the dead job was already counted once.
+        assert_eq!(q.stats().timed_out, 1);
+    }
+
+    #[test]
+    fn next_blocks_until_submit() {
+        let q = Arc::new(JobQueue::new(2));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.next().is_some());
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let live = Arc::new(AtomicBool::new(false));
+        let (j, _rx) = job(&live);
+        q.submit(j).unwrap();
+        assert!(waiter.join().unwrap());
+    }
+}

@@ -1,0 +1,449 @@
+//! The daemon: a warm [`ScanEngine`] behind a TCP accept loop.
+//!
+//! Thread model (std-only — no async runtime is vendored):
+//!
+//! ```text
+//!            ┌────────────────────────────────────────────┐
+//!            │                listener (TCP)              │
+//!            └──────┬──────────────┬──────────────┬───────┘
+//!             accept│        accept│        accept│     bounded pool of
+//!            ┌──────▼─────┐ ┌──────▼─────┐ ┌──────▼─────┐ `conn_threads`
+//!            │ handler 0  │ │ handler 1  │ │ handler …  │ connection
+//!            └──────┬─────┘ └──────┬─────┘ └──────┬─────┘ handlers
+//!                   │ submit / recv│              │
+//!            ┌──────▼──────────────▼──────────────▼───────┐
+//!            │        JobQueue (bounded, admission)       │
+//!            └──────┬──────────────┬──────────────┬───────┘
+//!              next │         next │         next │   `jobs` scan
+//!            ┌──────▼─────┐ ┌──────▼─────┐ ┌──────▼─────┐ workers over ONE
+//!            │  worker 0  │ │  worker 1  │ │  worker …  │ warm ScanEngine
+//!            └────────────┘ └────────────┘ └────────────┘ (shared caches)
+//! ```
+//!
+//! Each handler owns one connection end-to-end (read a line, service
+//! it, write a line); excess connections wait in the OS accept backlog
+//! — the pool is the bound. Scan requests cross to the worker side
+//! through the queue so that slow scans never occupy the accept path
+//! and admission control fires before any analysis work is spent.
+//!
+//! The engine is built once, [prewarmed](ScanEngine::prewarm), and
+//! reused for the process lifetime: the framework model, the
+//! [`ShardedClassCache`], [`ArtifactCache`], and `DeepScanCache` all
+//! survive across requests — the amortization the batch engine gets
+//! within one process, extended to a stream of requests (the paper's
+//! RQ3 scalability claim in its deployed shape).
+//!
+//! [`ShardedClassCache`]: saint_analysis::ShardedClassCache
+//! [`ArtifactCache`]: saint_analysis::ArtifactCache
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use saint_ir::codec;
+use saintdroid::ScanEngine;
+use serde::Deserialize as _;
+
+use crate::protocol::{
+    self, error_code, Envelope, ErrorResponse, LineRead, ScanRequest, ScanResponse, StatusResponse,
+    PROTOCOL_VERSION,
+};
+use crate::queue::{Admission, Job, JobQueue};
+
+/// How the daemon is shaped; see the crate docs for the CLI mapping.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7744`; port `0` binds an
+    /// ephemeral port (the bound address is reported by
+    /// [`ServerHandle::addr`]).
+    pub listen: String,
+    /// Concurrent scan workers over the warm engine.
+    pub jobs: usize,
+    /// Admission bound: scans queued beyond the workers. `0` rejects
+    /// whenever no queue slot is free — useful for tests.
+    pub queue_depth: usize,
+    /// Bounded connection-handler pool (concurrent client
+    /// connections; excess waits in the accept backlog).
+    pub conn_threads: usize,
+    /// Per-line byte ceiling; longer requests get `too_large`.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:7744".to_string(),
+            jobs: saintdroid::engine::default_jobs(),
+            queue_depth: 64,
+            conn_threads: 8,
+            max_line_bytes: protocol::MAX_LINE_BYTES,
+        }
+    }
+}
+
+/// How often blocked reads wake to poll the drain flag.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+struct Shared {
+    engine: ScanEngine,
+    queue: JobQueue,
+    started: Instant,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+    max_line_bytes: usize,
+    conn_threads: usize,
+}
+
+impl Shared {
+    fn status(&self) -> StatusResponse {
+        let q = self.queue.stats();
+        StatusResponse {
+            v: PROTOCOL_VERSION,
+            kind: "status".to_string(),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            jobs_served: q.served,
+            jobs_active: q.active,
+            queue_depth: q.depth,
+            queue_capacity: q.capacity,
+            rejected_busy: q.rejected_busy,
+            timed_out: q.timed_out,
+            draining: q.draining,
+            class_cache: self.engine.cache_stats().map(Into::into),
+            artifact_cache: self.engine.artifact_cache_stats().map(Into::into),
+            scan_cache: self.engine.scan_cache_stats().map(Into::into),
+        }
+    }
+
+    /// Flips the daemon into drain mode exactly once: admission closes,
+    /// queued scans finish, accept threads are woken with dummy
+    /// connections so they observe the flag and exit.
+    fn begin_shutdown(&self) {
+        if self
+            .shutting_down
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        self.queue.drain();
+        for _ in 0..self.conn_threads {
+            // Best-effort wake-ups; a failure means the acceptor is
+            // already gone or will notice on its next accept error.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A running daemon; dropped handles leave the threads running —
+/// call [`wait`](Self::wait) to block until shutdown completes.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound listen address (resolves port `0`).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Triggers the same graceful drain a protocol `shutdown` request
+    /// does (for embedders; remote clients use the protocol message).
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until every acceptor and worker thread has exited —
+    /// i.e. until a shutdown request arrived and the queue drained.
+    pub fn wait(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds the listener, spawns the worker and handler pools, and
+/// returns immediately. The engine should already be
+/// [prewarmed](ScanEngine::prewarm) so the first request pays no
+/// one-time framework cost.
+///
+/// # Errors
+/// Propagates socket errors (bind/clone).
+pub fn start(engine: ScanEngine, cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.listen)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        engine,
+        queue: JobQueue::new(cfg.queue_depth),
+        started: Instant::now(),
+        shutting_down: AtomicBool::new(false),
+        addr,
+        max_line_bytes: cfg.max_line_bytes,
+        conn_threads: cfg.conn_threads.max(1),
+    });
+
+    let mut threads = Vec::new();
+    for i in 0..cfg.jobs.max(1) {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("saint-scan-{i}"))
+                .spawn(move || scan_worker(&shared))?,
+        );
+    }
+    for i in 0..cfg.conn_threads.max(1) {
+        let shared = Arc::clone(&shared);
+        let listener = listener.try_clone()?;
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("saint-conn-{i}"))
+                .spawn(move || accept_loop(&listener, &shared))?,
+        );
+    }
+    Ok(ServerHandle { shared, threads })
+}
+
+/// One scan worker: drain the queue over the warm engine until told to
+/// exit.
+fn scan_worker(shared: &Shared) {
+    while let Some(job) = shared.queue.next() {
+        let report = shared.engine.scan_one(&job.apk);
+        // A failed send means the handler gave up at its deadline and
+        // dropped the receiver; the report is discarded. Either way the
+        // outcome counters are the handler's job, not ours.
+        if !job.cancelled.load(Ordering::Acquire) {
+            let _ = job.respond.send(report);
+        }
+        shared.queue.finish();
+    }
+}
+
+/// One member of the bounded acceptor pool: serve whole connections,
+/// one at a time, until shutdown.
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::Acquire) {
+            // Wake-up (or late) connection during drain: close it.
+            drop(stream);
+            return;
+        }
+        handle_connection(stream, shared);
+        if shared.shutting_down.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+/// Serves one connection: a loop of request line → response line.
+/// Protocol failures answer a typed error and (except for lost
+/// framing) keep the connection alive; transport failures close it.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // Short read timeouts double as the drain poll: a handler blocked
+    // on an idle connection notices `shutting_down` within READ_POLL.
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    // One-line responses must leave immediately, not sit in Nagle's
+    // buffer waiting for the client's delayed ACK.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+
+    // Partial line carried across read-timeout polls: a slow client
+    // whose request straddles a READ_POLL boundary must not have the
+    // already-received half dropped.
+    let mut pending = Vec::new();
+    loop {
+        let line = match protocol::read_line_bounded_into(
+            &mut reader,
+            shared.max_line_bytes,
+            &mut pending,
+        ) {
+            Ok(LineRead::Line(line)) => line,
+            Ok(LineRead::Eof) => return,
+            Ok(LineRead::TooLong) => {
+                let err = ErrorResponse::new(
+                    error_code::TOO_LARGE,
+                    format!("request line exceeds {} bytes", shared.max_line_bytes),
+                );
+                let _ = writer.write_all(protocol::to_line(&err).as_bytes());
+                return; // framing is lost — close
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = dispatch(&line, shared);
+        if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if shared.shutting_down.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+/// Parses and services one request line, returning the response line.
+/// The line is parsed to a value tree once; envelope dispatch and the
+/// full request are two views of the same tree (scan requests carry
+/// the whole package, so a second parse would double the largest cost
+/// on the request path).
+fn dispatch(line: &str, shared: &Shared) -> String {
+    let value = match serde_json::from_str_value(line) {
+        Ok(value) => value,
+        Err(e) => {
+            return protocol::to_line(&ErrorResponse::new(
+                error_code::MALFORMED,
+                format!("not a protocol message: {e}"),
+            ))
+        }
+    };
+    let envelope = match Envelope::from_value(&value) {
+        Ok(env) => env,
+        Err(e) => {
+            return protocol::to_line(&ErrorResponse::new(
+                error_code::MALFORMED,
+                format!("not a protocol message: {e}"),
+            ))
+        }
+    };
+    if envelope.v != PROTOCOL_VERSION {
+        return protocol::to_line(&ErrorResponse::new(
+            error_code::UNSUPPORTED_VERSION,
+            format!(
+                "protocol v{} requested, server speaks v{PROTOCOL_VERSION}",
+                envelope.v
+            ),
+        ));
+    }
+    match envelope.kind.as_deref() {
+        Some("scan") => serve_scan(&value, shared),
+        Some("status") => protocol::to_line(&shared.status()),
+        Some("shutdown") => {
+            // Acknowledge with the final counters, then drain.
+            let status = shared.status();
+            shared.begin_shutdown();
+            protocol::to_line(&status)
+        }
+        other => protocol::to_line(&ErrorResponse::new(
+            error_code::MALFORMED,
+            format!("unknown request kind {other:?}"),
+        )),
+    }
+}
+
+/// Decodes, admits, and awaits one scan request.
+fn serve_scan(value: &serde::Value, shared: &Shared) -> String {
+    let request: ScanRequest = match ScanRequest::from_value(value) {
+        Ok(req) => req,
+        Err(e) => {
+            return protocol::to_line(&ErrorResponse::new(
+                error_code::MALFORMED,
+                format!("bad scan request: {e}"),
+            ))
+        }
+    };
+    let Some(sapk) = protocol::base64_decode(&request.package_b64) else {
+        return protocol::to_line(&ErrorResponse::new(
+            error_code::BAD_PACKAGE,
+            "package_b64 is not valid base64",
+        ));
+    };
+    let apk = match codec::decode_apk(&sapk) {
+        Ok(apk) => apk,
+        Err(e) => {
+            return protocol::to_line(&ErrorResponse::new(
+                error_code::BAD_PACKAGE,
+                format!("not a SAPK container: {e}"),
+            ))
+        }
+    };
+
+    let (respond, report_rx) = sync_channel(1);
+    let cancelled = Arc::new(AtomicBool::new(false));
+    let admitted = shared.queue.submit(Job {
+        apk,
+        respond,
+        cancelled: Arc::clone(&cancelled),
+        enqueued_at: Instant::now(),
+    });
+    match admitted {
+        Err(Admission::Busy) => {
+            return protocol::to_line(&ErrorResponse::new(
+                error_code::BUSY,
+                format!(
+                    "queue at capacity ({}); resubmit later",
+                    shared.queue.stats().capacity
+                ),
+            ))
+        }
+        Err(Admission::Draining) => {
+            return protocol::to_line(&ErrorResponse::new(
+                error_code::DRAINING,
+                "daemon is draining for shutdown",
+            ))
+        }
+        Ok(()) => {}
+    }
+
+    let outcome = match request.deadline_ms {
+        Some(ms) => report_rx.recv_timeout(Duration::from_millis(ms)),
+        None => report_rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+    };
+    match outcome {
+        Ok(report) => {
+            // Counted before the response line leaves, so the client's
+            // own follow-up `status` always includes this scan.
+            shared.queue.mark_served();
+            protocol::to_line(&ScanResponse::new(report))
+        }
+        Err(RecvTimeoutError::Timeout) => {
+            // Tell the worker (or the queue) to drop the job; the
+            // receiver is dropped with this frame, so a report finished
+            // in the race window is discarded by the failed send.
+            cancelled.store(true, Ordering::Release);
+            shared.queue.mark_timed_out();
+            protocol::to_line(&ErrorResponse::new(
+                error_code::TIMEOUT,
+                format!(
+                    "deadline of {} ms expired before the scan finished",
+                    request.deadline_ms.unwrap_or(0)
+                ),
+            ))
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            shared.queue.mark_timed_out();
+            protocol::to_line(&ErrorResponse::new(
+                error_code::TIMEOUT,
+                "scan worker exited before completing the job",
+            ))
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! End-to-end service tests against a real daemon on an ephemeral
+//! port: report parity with a local scan, typed rejection of every
+//! malformed-input class, deterministic admission-control behavior,
+//! and graceful drain.
+//!
+//! Parity is the headline guarantee: a report fetched through the
+//! protocol must be **byte-identical** — serialized mismatches and the
+//! full meter — to what `saintdroid scan` (a plain local
+//! `SaintDroid::run`) produces for the same `.sapk` bytes. Timing
+//! fields naturally differ and are excluded, exactly as in the batch
+//! engine's parity suite.
+
+use std::sync::Arc;
+
+use saint_adf::AndroidFramework;
+use saint_corpus::{RealWorldConfig, RealWorldCorpus};
+use saint_ir::{codec, Apk};
+use saint_service::{Client, ClientError, ServerConfig};
+use saintdroid::{Report, SaintDroid, ScanEngine};
+
+fn corpus_and_framework() -> (Vec<Apk>, Arc<AndroidFramework>) {
+    let mut cfg = RealWorldConfig::small();
+    cfg.apps = 8;
+    let fw = Arc::new(AndroidFramework::with_scale(&cfg.synth));
+    let corpus = RealWorldCorpus::new(cfg);
+    let apks = (0..corpus.len()).map(|i| corpus.get(i).apk).collect();
+    (apks, fw)
+}
+
+fn start_server(fw: &Arc<AndroidFramework>, cfg: &ServerConfig) -> saint_service::ServerHandle {
+    let engine = ScanEngine::new(Arc::clone(fw));
+    engine.prewarm();
+    saint_service::start(engine, cfg).expect("bind ephemeral port")
+}
+
+fn ephemeral(mut cfg: ServerConfig) -> ServerConfig {
+    cfg.listen = "127.0.0.1:0".to_string();
+    cfg
+}
+
+#[test]
+fn submitted_reports_are_byte_identical_to_local_scan() {
+    let (apks, fw) = corpus_and_framework();
+    let handle = start_server(
+        &fw,
+        &ephemeral(ServerConfig {
+            jobs: 2,
+            ..ServerConfig::default()
+        }),
+    );
+    let addr = handle.addr().to_string();
+
+    let local_tool = SaintDroid::new(Arc::clone(&fw));
+    let mut client = Client::connect(&addr).expect("connect");
+    for apk in &apks {
+        let sapk = codec::encode_apk(apk);
+        let response = client
+            .scan_sapk(&sapk, Some(120_000))
+            .expect("scan succeeds");
+        let local: Report = local_tool.run(apk);
+
+        assert_eq!(response.report.package, local.package);
+        // Byte-identical findings: compare the serialized form, not
+        // just structural equality.
+        assert_eq!(
+            serde_json::to_string(&response.report.mismatches).unwrap(),
+            serde_json::to_string(&local.mismatches).unwrap(),
+            "{}: service findings diverged from local scan",
+            local.package
+        );
+        assert_eq!(
+            serde_json::to_string(&response.report.meter).unwrap(),
+            serde_json::to_string(&local.meter).unwrap(),
+            "{}: service meter diverged from local scan",
+            local.package
+        );
+        // The response mirrors the CLI exit-code contract.
+        let expected_code = if local.is_clean() { 0 } else { 2 };
+        assert_eq!(response.exit_code, expected_code);
+    }
+
+    // The warm engine actually shared framework work across requests.
+    let status = client.status().expect("status");
+    assert_eq!(status.jobs_served, apks.len() as u64);
+    let class = status.class_cache.expect("warm engine carries a cache");
+    assert!(
+        class.hits > 0,
+        "8 similar apps through one warm engine must hit the class cache"
+    );
+
+    client.shutdown().expect("shutdown ack");
+    handle.wait();
+}
+
+#[test]
+fn malformed_inputs_get_typed_errors_and_daemon_survives() {
+    let (apks, fw) = corpus_and_framework();
+    let handle = start_server(&fw, &ephemeral(ServerConfig::default()));
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Not JSON at all.
+    let raw = client.raw_roundtrip("this is not json").expect("reply");
+    assert!(raw.contains("\"malformed\""), "{raw}");
+    // JSON, but not a protocol message.
+    let raw = client.raw_roundtrip("[1,2,3]").expect("reply");
+    assert!(raw.contains("\"malformed\""), "{raw}");
+    // Unknown kind.
+    let raw = client
+        .raw_roundtrip(r#"{"v":1,"kind":"frobnicate"}"#)
+        .expect("reply");
+    assert!(raw.contains("\"malformed\""), "{raw}");
+    // Wrong protocol version.
+    let raw = client
+        .raw_roundtrip(r#"{"v":99,"kind":"status"}"#)
+        .expect("reply");
+    assert!(raw.contains("\"unsupported_version\""), "{raw}");
+    // Scan with invalid base64.
+    let raw = client
+        .raw_roundtrip(r#"{"v":1,"kind":"scan","package_b64":"!!!not-base64!!!"}"#)
+        .expect("reply");
+    assert!(raw.contains("\"bad_package\""), "{raw}");
+    // Scan with valid base64 that is not a SAPK container.
+    let garbage = saint_service::protocol::base64_encode(b"definitely not a sapk");
+    let raw = client
+        .raw_roundtrip(&format!(
+            r#"{{"v":1,"kind":"scan","package_b64":"{garbage}"}}"#
+        ))
+        .expect("reply");
+    assert!(raw.contains("\"bad_package\""), "{raw}");
+
+    // After all that abuse, the same connection still serves a real
+    // scan.
+    let sapk = codec::encode_apk(&apks[0]);
+    let response = client.scan_sapk(&sapk, Some(120_000)).expect("scan");
+    assert_eq!(response.report.package, apks[0].manifest.package);
+
+    let mut admin = Client::connect(&addr).expect("connect");
+    admin.shutdown().expect("shutdown ack");
+    handle.wait();
+}
+
+#[test]
+fn oversized_request_is_rejected_without_killing_daemon() {
+    let (apks, fw) = corpus_and_framework();
+    // A deliberately tiny line limit so a real package blows past it.
+    let handle = start_server(
+        &fw,
+        &ephemeral(ServerConfig {
+            max_line_bytes: 512,
+            ..ServerConfig::default()
+        }),
+    );
+    let addr = handle.addr().to_string();
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let sapk = codec::encode_apk(&apks[0]);
+    assert!(
+        sapk.len() > 512,
+        "test premise: the package exceeds the limit"
+    );
+    match client.scan_sapk(&sapk, Some(120_000)) {
+        Err(ClientError::Rejected(err)) => assert_eq!(err.code, "too_large"),
+        other => panic!("expected too_large rejection, got {other:?}"),
+    }
+
+    // The oversized line cost that connection its framing, but the
+    // daemon is alive: a fresh connection serves status fine.
+    let mut fresh = Client::connect(&addr).expect("reconnect");
+    let status = fresh.status().expect("status after oversized request");
+    assert_eq!(status.jobs_served, 0);
+
+    fresh.shutdown().expect("shutdown ack");
+    handle.wait();
+}
+
+#[test]
+fn zero_depth_queue_rejects_with_busy() {
+    let (apks, fw) = corpus_and_framework();
+    // queue_depth 0 closes admission entirely: every scan is a
+    // deterministic `busy` — the typed burst-overflow response.
+    let handle = start_server(
+        &fw,
+        &ephemeral(ServerConfig {
+            jobs: 1,
+            queue_depth: 0,
+            ..ServerConfig::default()
+        }),
+    );
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let sapk = codec::encode_apk(&apks[0]);
+    match client.scan_sapk(&sapk, Some(120_000)) {
+        Err(ClientError::Rejected(err)) => assert_eq!(err.code, "busy"),
+        other => panic!("expected busy rejection, got {other:?}"),
+    }
+    let status = client.status().expect("daemon alive after rejection");
+    assert_eq!(status.rejected_busy, 1);
+    assert_eq!(status.queue_capacity, 0);
+
+    client.shutdown().expect("shutdown ack");
+    handle.wait();
+}
+
+#[test]
+fn concurrent_burst_never_kills_daemon_and_every_reply_is_typed() {
+    let (apks, fw) = corpus_and_framework();
+    let handle = start_server(
+        &fw,
+        &ephemeral(ServerConfig {
+            jobs: 1,
+            queue_depth: 2,
+            conn_threads: 8,
+            ..ServerConfig::default()
+        }),
+    );
+    let addr = handle.addr().to_string();
+
+    // 8 concurrent submissions against one worker and two queue slots:
+    // some succeed, overflow gets `busy` — never a hang, never a dead
+    // daemon.
+    let outcomes: Vec<&'static str> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let addr = addr.clone();
+                let apk = &apks[i % apks.len()];
+                s.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    let sapk = codec::encode_apk(apk);
+                    match client.scan_sapk(&sapk, Some(120_000)) {
+                        Ok(_) => "scan",
+                        Err(ClientError::Rejected(err)) if err.code == "busy" => "busy",
+                        Err(other) => panic!("untyped burst outcome: {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let served = outcomes.iter().filter(|o| **o == "scan").count();
+    assert!(served >= 1, "at least one burst member must be served");
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let status = client.status().expect("daemon alive after burst");
+    assert_eq!(status.jobs_served, served as u64);
+
+    client.shutdown().expect("shutdown ack");
+    handle.wait();
+}
+
+#[test]
+fn zero_deadline_times_out_with_typed_error() {
+    let (apks, fw) = corpus_and_framework();
+    let handle = start_server(&fw, &ephemeral(ServerConfig::default()));
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    let sapk = codec::encode_apk(&apks[0]);
+    match client.scan_sapk(&sapk, Some(0)) {
+        Err(ClientError::Rejected(err)) => assert_eq!(err.code, "timeout"),
+        other => panic!("expected timeout rejection, got {other:?}"),
+    }
+    // The daemon survives the expired deadline and keeps serving.
+    let response = client.scan_sapk(&sapk, Some(120_000)).expect("scan");
+    assert_eq!(response.report.package, apks[0].manifest.package);
+
+    client.shutdown().expect("shutdown ack");
+    handle.wait();
+}
+
+#[test]
+fn shutdown_drains_and_joins_all_threads() {
+    let (apks, fw) = corpus_and_framework();
+    let handle = start_server(
+        &fw,
+        &ephemeral(ServerConfig {
+            jobs: 2,
+            conn_threads: 4,
+            ..ServerConfig::default()
+        }),
+    );
+    let addr = handle.addr().to_string();
+
+    // Serve something first so the drain has real state behind it.
+    let mut client = Client::connect(&addr).expect("connect");
+    let sapk = codec::encode_apk(&apks[0]);
+    client.scan_sapk(&sapk, Some(120_000)).expect("scan");
+
+    let ack = client.shutdown().expect("shutdown ack");
+    assert_eq!(ack.jobs_served, 1);
+    // Every acceptor and worker joins: the daemon exits cleanly.
+    handle.wait();
+}

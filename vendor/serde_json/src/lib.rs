@@ -62,6 +62,17 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
     T::from_value(&value).map_err(Error::from)
 }
 
+/// Parses JSON text into the raw [`Value`] tree, for callers that
+/// dispatch on part of a message before deserializing the whole of it
+/// (one parse, several `from_value` views).
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON.
+pub fn from_str_value(text: &str) -> Result<Value, Error> {
+    parse_value_str(text)
+}
+
 // ---------------------------------------------------------------------
 // Printing
 // ---------------------------------------------------------------------
@@ -341,15 +352,26 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 scalar. The input is a &str, so
-                    // decoding from the current byte offset is safe.
+                Some(b) => {
+                    // Bulk-copy the run up to the next delimiter. The
+                    // delimiters are ASCII, so splitting there never
+                    // lands inside a multi-byte sequence; validating
+                    // only the run keeps long strings O(n) overall.
                     let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest)
+                    let run = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\' || b < 0x20)
+                        .unwrap_or(rest.len());
+                    if run == 0 {
+                        // A raw control byte; tolerated as before.
+                        out.push(b as char);
+                        self.pos += 1;
+                        continue;
+                    }
+                    let text = std::str::from_utf8(&rest[..run])
                         .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = text.chars().next().expect("non-empty checked above");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(text);
+                    self.pos += run;
                 }
             }
         }
@@ -438,6 +460,31 @@ mod tests {
     fn unicode_escapes() {
         let s: VWrap = from_str(r#""é😀""#).unwrap();
         assert_eq!(s.0, Value::Str("\u{e9}\u{1F600}".to_string()));
+    }
+
+    #[test]
+    fn long_string_roundtrip_with_scattered_escapes() {
+        // Exercises the bulk-run fast path: long unescaped stretches
+        // interleaved with escapes and multi-byte characters.
+        let original: String = ("abc0123+/=".repeat(5_000) + "é\"\\\n😀")
+            .repeat(2)
+            .chars()
+            .collect();
+        let text = to_string(&VWrap(Value::Str(original.clone()))).unwrap();
+        let back: VWrap = from_str(&text).unwrap();
+        assert_eq!(back.0, Value::Str(original));
+    }
+
+    #[test]
+    fn from_str_value_exposes_raw_tree() {
+        let v = from_str_value(r#"{"kind":"scan","n":3}"#).unwrap();
+        match &v {
+            Value::Object(entries) => {
+                assert_eq!(entries[0], ("kind".to_string(), Value::Str("scan".into())));
+                assert_eq!(entries[1], ("n".to_string(), Value::U64(3)));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     /// Test shim: serializes/deserializes as the inner raw value.
