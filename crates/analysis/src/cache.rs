@@ -45,6 +45,7 @@ type Shard = RwLock<HashMap<ApiLevel, HashMap<ClassName, Option<Arc<ClassDef>>>>
 /// common as hits during exploration.
 pub struct ShardedClassCache {
     shards: Vec<Shard>,
+    lookups: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -66,6 +67,7 @@ impl ShardedClassCache {
         assert!(shards > 0, "cache needs at least one shard");
         ShardedClassCache {
             shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -96,6 +98,9 @@ impl ShardedClassCache {
         F: FnOnce() -> Option<Arc<ClassDef>>,
     {
         let shard = self.shard_of(level, name);
+        // Every probe resolves to exactly one of hit/miss, keeping the
+        // observability invariant `hits + misses == lookups` exact.
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         if let Some(cached) = shard.read().get(&level).and_then(|m| m.get(name)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return cached.clone();
@@ -129,6 +134,7 @@ impl ShardedClassCache {
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
@@ -173,6 +179,7 @@ impl std::fmt::Debug for ShardedClassCache {
 #[derive(Default)]
 pub struct ArtifactCache {
     map: RwLock<HashMap<ApiLevel, HashMap<MethodRef, Arc<MethodArtifacts>>>>,
+    lookups: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -196,6 +203,7 @@ impl ArtifactCache {
     where
         F: FnOnce() -> Arc<MethodArtifacts>,
     {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         if let Some(art) = self.map.read().get(&level).and_then(|m| m.get(method)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(art);
@@ -216,6 +224,7 @@ impl ArtifactCache {
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.map.read().values().map(HashMap::len).sum(),
@@ -234,9 +243,13 @@ impl std::fmt::Debug for ArtifactCache {
     }
 }
 
-/// A snapshot of cache activity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A snapshot of cache activity. Maintains
+/// `hits + misses == lookups`: every probe resolves to exactly one of
+/// the two outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Total probes.
+    pub lookups: u64,
     /// Lookups served from the cache.
     pub hits: u64,
     /// Lookups that ran the materializer.
@@ -249,11 +262,21 @@ impl CacheStats {
     /// Hit fraction in `[0, 1]` (zero before any lookup).
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
+        if self.lookups == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+impl From<CacheStats> for saint_obs::CacheSnapshot {
+    fn from(stats: CacheStats) -> Self {
+        saint_obs::CacheSnapshot {
+            lookups: stats.lookups,
+            hits: stats.hits,
+            misses: stats.misses,
+            entries: stats.entries as u64,
         }
     }
 }

@@ -28,9 +28,11 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::RwLock;
 use saint_ir::{ClassDef, ClassName, MethodDef, MethodRef, MethodSig};
+use saint_obs::{MetricsRegistry, Phase};
 
 use crate::meter::{AtomicMeter, LoadMeter};
 use crate::provider::ClassProvider;
@@ -66,6 +68,7 @@ pub struct Clvm {
     providers: Vec<Box<dyn ClassProvider>>,
     loaded: Vec<LoadedShard>,
     meter: AtomicMeter,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 fn shard_index(name: &ClassName, shards: usize) -> usize {
@@ -87,12 +90,27 @@ impl Clvm {
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
             meter: AtomicMeter::new(),
+            metrics: None,
         }
     }
 
     /// Appends a provider to the delegation chain.
     pub fn add_provider(&mut self, provider: Box<dyn ClassProvider>) {
         self.providers.push(provider);
+    }
+
+    /// Attaches a metrics registry: every class materialization is
+    /// recorded as a [`Phase::ClvmLoad`] span. Recording never changes
+    /// what gets loaded or metered — only that it is observed.
+    pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached registry, if any. Detectors reach the registry
+    /// through the app model's CLVM via this accessor.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
     }
 
     fn shard(&self, name: &ClassName) -> &LoadedShard {
@@ -113,6 +131,7 @@ impl Clvm {
         // Materialize outside any lock: providers may be slow, and two
         // workers racing on the same name produce identical definitions
         // (materialization is a pure function of provider content).
+        let started = self.metrics.as_ref().map(|_| Instant::now());
         let found = self.providers.iter().find_map(|p| p.find_class(name));
         let mut map = shard.write();
         if let Some(cached) = map.get(name) {
@@ -122,6 +141,12 @@ impl Clvm {
         match &found {
             Some(c) => self.meter.record_class(c.size_bytes()),
             None => self.meter.record_unresolved(),
+        }
+        // Span accounting follows the meter's dedup rule: only the
+        // insert winner records, so the phase count equals the number
+        // of distinct materializations.
+        if let (Some(metrics), Some(started)) = (&self.metrics, started) {
+            metrics.record(Phase::ClvmLoad, started.elapsed());
         }
         map.insert(name.clone(), found.clone());
         found

@@ -374,6 +374,7 @@ pub fn explore_cached(
     config: &ExploreConfig,
     artifact_cache: Option<(&crate::cache::ArtifactCache, saint_ir::ApiLevel)>,
 ) -> Exploration {
+    let started = clvm.metrics().map(|_| std::time::Instant::now());
     if config.preload_all {
         clvm.load_everything();
     }
@@ -398,6 +399,9 @@ pub fn explore_cached(
                 worklist.extend(followups);
             }
         }
+    }
+    if let (Some(metrics), Some(started)) = (clvm.metrics(), started) {
+        metrics.record(saint_obs::Phase::Explore, started.elapsed());
     }
     out
 }
@@ -445,6 +449,10 @@ pub fn explore_parallel(
     if jobs <= 1 {
         return explore_cached(clvm, roots, config, artifact_cache);
     }
+    // The `jobs <= 1` fallback records its own Explore span inside
+    // `explore_cached`; this one covers the parallel body only, so
+    // every exploration is recorded exactly once.
+    let started = clvm.metrics().map(|_| std::time::Instant::now());
     if config.preload_all {
         clvm.load_everything();
     }
@@ -550,6 +558,9 @@ pub fn explore_parallel(
     visits.sort_by(|a, b| a.resolved.cmp(&b.resolved));
     for visit in visits {
         apply_visit(&mut out, visit);
+    }
+    if let (Some(metrics), Some(started)) = (clvm.metrics(), started) {
+        metrics.record(saint_obs::Phase::Explore, started.elapsed());
     }
     out
 }

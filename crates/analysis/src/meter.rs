@@ -70,6 +70,20 @@ impl LoadMeter {
         self.graph_bytes += other.graph_bytes;
         self.unresolved_lookups += other.unresolved_lookups;
     }
+
+    /// Folds this meter into a registry's monotone counters, which is
+    /// how per-app meters become the fleet-wide byte totals exposed on
+    /// the unified metrics snapshot. Purely additive: the per-app meter
+    /// itself is unchanged, so reports stay byte-identical whether or
+    /// not a registry is attached.
+    pub fn record_into(&self, registry: &saint_obs::MetricsRegistry) {
+        use saint_obs::Counter;
+        registry.add(Counter::ClassesLoaded, self.classes_loaded as u64);
+        registry.add(Counter::ClassBytes, self.class_bytes as u64);
+        registry.add(Counter::MethodsAnalyzed, self.methods_analyzed as u64);
+        registry.add(Counter::GraphBytes, self.graph_bytes as u64);
+        registry.add(Counter::UnresolvedLookups, self.unresolved_lookups as u64);
+    }
 }
 
 /// The concurrent counterpart of [`LoadMeter`]: the same counters as

@@ -10,6 +10,7 @@
 //! saintdroid serve [--listen ADDR] [--jobs N] [--queue-depth D]
 //! saintdroid submit app.sapk... [--addr ADDR] [--timeout-ms T]
 //! saintdroid status [--addr ADDR]
+//! saintdroid metrics [--addr ADDR]
 //! saintdroid help
 //! ```
 //!
@@ -65,6 +66,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         "serve" => serve(&args[1..]),
         "submit" => submit(&args[1..]),
         "status" => status(&args[1..]),
+        "metrics" => metrics(&args[1..]),
         "shutdown" => shutdown(&args[1..]),
         "synth-pkg" => synth_pkg(&args[1..]),
         other => {
@@ -80,6 +82,7 @@ fn print_help() {
          \n\
          usage:\n\
          \x20 saintdroid scan <app.sapk>... [--json] [--jobs N] [--app-jobs M] [--synth N]\n\
+         \x20                [--trace-json <out.json>]\n\
          \x20                                                   detect compatibility mismatches; several\n\
          \x20                                                   packages are scanned as one parallel batch\n\
          \x20 saintdroid verify <app.sapk>                      scan, then dynamically verify findings\n\
@@ -94,6 +97,8 @@ fn print_help() {
          \x20 saintdroid submit <app.sapk>... [--addr ADDR] [--timeout-ms T]\n\
          \x20                                                   scan packages through a running service\n\
          \x20 saintdroid status [--addr ADDR]                   daemon uptime, jobs, queue, cache hit rates\n\
+         \x20 saintdroid metrics [--addr ADDR]                  full observability view: per-phase spans,\n\
+         \x20                                                   counters, cache and queue state\n\
          \x20 saintdroid shutdown [--addr ADDR]                 gracefully drain and stop the daemon\n\
          \x20 saintdroid synth-pkg <out.sapk> [--index I]       write one synthesized package (for smoke\n\
          \x20                                                   tests and protocol experiments)\n\
@@ -116,7 +121,9 @@ fn print_help() {
          port 0 picks an ephemeral port, printed on startup).\n\
          --queue-depth D serve: queued scans beyond the workers before\n\
          submissions are rejected with `busy` (default 64).\n\
-         --addr ADDR   submit/status/shutdown: daemon address\n\
+         --trace-json <out.json> scan: write per-phase spans as Chrome\n\
+         trace JSON (load in chrome://tracing or Perfetto).\n\
+         --addr ADDR   submit/status/metrics/shutdown: daemon address\n\
          (default {DEFAULT_ADDR}).\n\
          --timeout-ms T submit: per-package deadline, queue wait\n\
          included (default: none)."
@@ -148,6 +155,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--queue-depth",
     "--addr",
     "--timeout-ms",
+    "--trace-json",
     "--index",
     "-o",
 ];
@@ -222,7 +230,18 @@ fn scan(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     if let Some(app_jobs) = flag_value(args, "--app-jobs") {
         engine = engine.app_jobs(app_jobs);
     }
+    let trace_path = string_flag(args, "--trace-json");
+    let trace = trace_path.map(|_| Arc::new(saint_obs::TraceSink::new()));
+    if let Some(trace) = &trace {
+        engine = engine.with_trace(Arc::clone(trace)).ensure_metrics();
+    }
     let outcome = engine.scan_batch_timed(&apks);
+    if let (Some(path), Some(trace)) = (trace_path, &trace) {
+        let events = trace.len();
+        std::fs::write(path, trace.to_chrome_json())
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+        eprintln!("wrote {events} trace events to {path}");
+    }
     if args.iter().any(|a| a == "--json") {
         println!("{}", serde_json::to_string_pretty(&outcome.reports)?);
     } else {
@@ -421,6 +440,52 @@ fn print_status(addr: &str, s: &saint_service::StatusResponse) {
             );
         }
     }
+}
+
+fn metrics(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let addr = string_flag(args, "--addr").unwrap_or(DEFAULT_ADDR);
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot reach scan service at {addr}: {e}"))?;
+    let m = client.metrics()?;
+    println!("scan service at {addr}: metrics");
+    println!("  phases (count / total):");
+    for p in &m.phases {
+        if p.count == 0 {
+            continue;
+        }
+        println!(
+            "    {:<20} {:>8} spans  {:>10.3}s",
+            p.name,
+            p.count,
+            p.total_ns as f64 / 1e9
+        );
+    }
+    println!("  counters:");
+    for c in &m.counters {
+        println!("    {:<28} {}", c.name, c.value);
+    }
+    for (name, cache) in [
+        ("class cache   ", &m.class_cache),
+        ("artifact cache", &m.artifact_cache),
+        ("scan cache    ", &m.scan_cache),
+    ] {
+        if let Some(c) = cache {
+            println!(
+                "  {name}: {} lookups, {} hits ({:.1}% hit rate, {} entries)",
+                c.lookups,
+                c.hits,
+                c.hit_rate * 100.0,
+                c.entries
+            );
+        }
+    }
+    if let Some(q) = &m.queue {
+        println!(
+            "  queue: {} deep (capacity {}), {} active, {} served, {} rejected busy, {} timed out",
+            q.depth, q.capacity, q.active, q.served, q.rejected_busy, q.timed_out
+        );
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn shutdown(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {

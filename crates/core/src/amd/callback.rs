@@ -23,6 +23,9 @@ use crate::mismatch::{missing_levels_in, Mismatch, MismatchKind};
 #[must_use]
 pub fn detect(model: &AppModel, db: &ApiDatabase) -> Vec<Mismatch> {
     let mut out = Vec::new();
+    // Overrides checked are counted locally and merged into the
+    // registry once at the end (lock-cheap shard pattern).
+    let mut checked: u64 = 0;
     for class in &model.app_classes {
         // Paper §VI: dynamically-generated anonymous inner classes are
         // invisible to SAINTDroid — reproduce the limitation.
@@ -46,6 +49,7 @@ pub fn detect(model: &AppModel, db: &ApiDatabase) -> Vec<Mismatch> {
             {
                 continue;
             }
+            checked += 1;
             let sig = method.signature();
             let Some((api, life)) = db.overridden_callback(fw_ancestor, &sig) else {
                 continue;
@@ -65,6 +69,9 @@ pub fn detect(model: &AppModel, db: &ApiDatabase) -> Vec<Mismatch> {
                 via: Vec::new(),
             });
         }
+    }
+    if let Some(metrics) = model.clvm.metrics() {
+        metrics.add(saint_obs::Counter::CallbackOverridesChecked, checked);
     }
     out
 }

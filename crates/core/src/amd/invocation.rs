@@ -69,6 +69,7 @@ enum Cached {
 #[derive(Default)]
 pub struct DeepScanCache {
     map: RwLock<HashMap<(ApiLevel, MethodRef, LevelRange), Cached>>,
+    lookups: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -80,10 +81,14 @@ impl DeepScanCache {
         Self::default()
     }
 
-    /// Activity counters (hits, misses, cached subtrees).
+    /// Activity counters (hits, misses, cached subtrees). Maintains
+    /// `hits + misses == lookups`: every probe — including speculative
+    /// prewarm computations, which count as misses — resolves to
+    /// exactly one outcome.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.map.read().expect("cache lock poisoned").len(),
@@ -121,6 +126,7 @@ pub fn detect_with(model: &AppModel, db: &ApiDatabase, cache: &DeepScanCache) ->
         cache: Some(cache),
         cacheable: true,
         collect: None,
+        sites: 0,
     };
     let roots = context_roots(model, db);
     for root in roots {
@@ -130,6 +136,13 @@ pub fn detect_with(model: &AppModel, db: &ApiDatabase, cache: &DeepScanCache) ->
         let art = Arc::clone(art);
         let mut chain = Vec::new();
         ctx.scan(&art, model.supported, &mut chain);
+    }
+    // Site accounting is kept in a plain per-run counter and merged
+    // into the shared registry once at the end — the lock-cheap shard
+    // pattern; subtree replays and prewarm walks are excluded, so the
+    // number means "call sites inspected by this detection pass".
+    if let Some(metrics) = model.clvm.metrics() {
+        metrics.add(saint_obs::Counter::InvocationSitesScanned, ctx.sites);
     }
     ctx.out
 }
@@ -181,6 +194,7 @@ fn prewarm_subtrees(model: &AppModel, db: &ApiDatabase, cache: &DeepScanCache, j
         cache: None,
         cacheable: true,
         collect: Some(Vec::new()),
+        sites: 0,
     };
     for root in context_roots(model, db) {
         let Some(art) = model.exploration.artifacts(&root) else {
@@ -216,8 +230,10 @@ fn prewarm_subtrees(model: &AppModel, db: &ApiDatabase, cache: &DeepScanCache, j
             cache: None,
             cacheable: true,
             collect: None,
+            sites: 0,
         };
         let computed = sub.compute_subtree(art, *range);
+        cache.lookups.fetch_add(1, Ordering::Relaxed);
         cache.misses.fetch_add(1, Ordering::Relaxed);
         let key = (model.target, root.clone(), *range);
         cache
@@ -324,6 +340,9 @@ struct Ctx<'a> {
     /// Prewarm mode: instead of descending into framework subtrees,
     /// record each boundary `(root, artifacts, range)` here.
     collect: Option<Vec<(MethodRef, Arc<MethodArtifacts>, LevelRange)>>,
+    /// Call sites inspected by this context (merged into the metrics
+    /// registry once per detection pass, never per site).
+    sites: u64,
 }
 
 impl Ctx<'_> {
@@ -372,6 +391,7 @@ impl Ctx<'_> {
         chain: &mut Vec<MethodRef>,
         caller_is_app: bool,
     ) {
+        self.sites += 1;
         let resolved = self
             .model
             .exploration
@@ -449,6 +469,7 @@ impl Ctx<'_> {
             return;
         }
         let key = (self.model.target, root.clone(), range);
+        cache.lookups.fetch_add(1, Ordering::Relaxed);
         let entry = cache
             .map
             .read()
@@ -508,6 +529,7 @@ impl Ctx<'_> {
             cache: None,
             cacheable: true,
             collect: None,
+            sites: 0,
         };
         let mut chain = Vec::new();
         sub.scan(root, range, &mut chain);

@@ -109,6 +109,10 @@ pub fn dangerous_usages(model: &AppModel, pm: &PermissionMap) -> Vec<DangerousUs
     let mut memo: HashMap<MethodRef, Vec<(MethodRef, Permission)>> = HashMap::new();
 
     let mut out = Vec::new();
+    // Callee checks against the permission map are counted locally and
+    // merged into the registry once at the end (lock-cheap shard
+    // pattern).
+    let mut checked: u64 = 0;
     let mut seen: HashSet<(MethodRef, MethodRef, Permission)> = HashSet::new();
     // Stable report order regardless of hash-map iteration.
     let mut app_methods: Vec<_> = model
@@ -124,6 +128,7 @@ pub fn dangerous_usages(model: &AppModel, pm: &PermissionMap) -> Vec<DangerousUs
         };
 
         for callee in callees {
+            checked += 1;
             // Direct dangerous call.
             for p in pm.required_dangerous(callee) {
                 if seen.insert((art.method.clone(), (*callee).clone(), p.clone())) {
@@ -161,6 +166,9 @@ pub fn dangerous_usages(model: &AppModel, pm: &PermissionMap) -> Vec<DangerousUs
                 }
             }
         }
+    }
+    if let Some(metrics) = model.clvm.metrics() {
+        metrics.add(saint_obs::Counter::PermissionChecksPerformed, checked);
     }
     out
 }

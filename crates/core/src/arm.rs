@@ -44,6 +44,24 @@ impl Arm {
         self.framework.permission_map()
     }
 
+    /// Fetches both once-per-framework artifacts, recording the
+    /// acquisition as one [`saint_obs::Phase::ArmMine`] span when a
+    /// registry is attached. The first call per framework pays the
+    /// actual mining cost; warm calls record near-zero spans — which is
+    /// itself the observable signal that ARM reuse is working (the
+    /// paper's "constructed once … reusable model" claim).
+    #[must_use]
+    pub fn mine(
+        &self,
+        metrics: Option<&saint_obs::MetricsRegistry>,
+    ) -> (Arc<ApiDatabase>, Arc<PermissionMap>) {
+        let fetch = || (self.framework.database(), self.framework.permission_map());
+        match metrics {
+            Some(metrics) => metrics.time(saint_obs::Phase::ArmMine, fetch),
+            None => fetch(),
+        }
+    }
+
     /// A class provider serving the framework as it exists at `level`
     /// (clamped into the modeled range).
     #[must_use]

@@ -99,8 +99,30 @@ impl Aum {
         artifacts: Option<&Arc<ArtifactCache>>,
         app_jobs: usize,
     ) -> AppModel {
+        Self::build_metered(apk, framework, config, cache, artifacts, app_jobs, None)
+    }
+
+    /// [`build_cached`](Self::build_cached) with a metrics registry
+    /// attached to the model's CLVM: class materializations and the
+    /// exploration are recorded as phase spans, and the detectors reach
+    /// the registry through `model.clvm`. The model itself — classes,
+    /// exploration, meter — is identical with or without it.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_metered(
+        apk: &Apk,
+        framework: &Arc<AndroidFramework>,
+        config: &ExploreConfig,
+        cache: Option<&Arc<ShardedClassCache>>,
+        artifacts: Option<&Arc<ArtifactCache>>,
+        app_jobs: usize,
+        metrics: Option<&Arc<saint_obs::MetricsRegistry>>,
+    ) -> AppModel {
         let target = apk.manifest.target_sdk.clamp_modeled();
         let mut clvm = Clvm::new();
+        if let Some(metrics) = metrics {
+            clvm.set_metrics(Arc::clone(metrics));
+        }
         clvm.add_provider(Box::new(PrimaryDexProvider::new(apk)));
         for dex in &apk.secondary {
             clvm.add_provider(Box::new(SecondaryDexProvider::new(dex)));

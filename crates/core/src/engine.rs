@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 
 use saint_adf::AndroidFramework;
 use saint_ir::Apk;
+use saint_obs::{MetricsRegistry, MetricsSnapshot, TraceSink};
 
 pub use crate::amd::invocation::DeepScanCache;
 pub use saint_analysis::{ArtifactCache, CacheStats, ShardedClassCache};
@@ -196,6 +197,64 @@ impl ScanEngine {
     #[must_use]
     pub fn tool(&self) -> &SaintDroid {
         &self.tool
+    }
+
+    /// Attaches a metrics registry: every scan through this engine
+    /// records phase spans and counters into it. Reports stay
+    /// byte-identical — recording is observation only.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.tool = self.tool.with_metrics(metrics);
+        self
+    }
+
+    /// Attaches a trace sink: every scan emits Chrome-trace span
+    /// events into it (the `--trace-json` export).
+    #[must_use]
+    pub fn with_trace(mut self, trace: Arc<TraceSink>) -> Self {
+        self.tool = self.tool.with_trace(trace);
+        self
+    }
+
+    /// Attaches a fresh registry if the engine does not carry one yet.
+    /// Long-lived consumers (the daemon) call this once at startup so a
+    /// `metrics` request always has something to answer with; engines
+    /// built without one keep the zero-overhead default.
+    #[must_use]
+    pub fn ensure_metrics(self) -> Self {
+        if self.tool.metrics().is_some() {
+            return self;
+        }
+        self.with_metrics(Arc::new(MetricsRegistry::new()))
+    }
+
+    /// The attached registry, if any.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.tool.metrics()
+    }
+
+    /// The unified observability view: phase spans and counters from
+    /// the registry (empty when none is attached), plus the three
+    /// shared-cache surfaces and the accumulated meter totals. The
+    /// queue field is filled in by the daemon, which owns queue state.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        // With no registry attached, snapshot a fresh one: consumers
+        // get every phase and counter present (at zero) either way.
+        let registry = self
+            .tool
+            .metrics()
+            .map_or_else(|| MetricsRegistry::new().snapshot(), |m| m.snapshot());
+        let meter = MetricsSnapshot::meter_from(&registry);
+        MetricsSnapshot {
+            registry,
+            class_cache: self.cache_stats().map(Into::into),
+            artifact_cache: self.artifact_cache_stats().map(Into::into),
+            deep_scan_cache: self.scan_cache_stats().map(Into::into),
+            meter,
+            queue: None,
+        }
     }
 
     /// Pays the one-time framework costs (API-database mining and
@@ -570,6 +629,38 @@ mod tests {
             assert_eq!(one.mismatches, expected.mismatches);
             assert_eq!(one.meter, expected.meter);
         }
+    }
+
+    #[test]
+    fn metrics_snapshot_reflects_scans_and_reports_stay_identical() {
+        let fw = Arc::new(AndroidFramework::curated());
+        let apks = small_batch();
+        let plain = ScanEngine::new(Arc::clone(&fw)).jobs(2).scan_batch(&apks);
+        let metered = ScanEngine::new(Arc::clone(&fw)).jobs(2).ensure_metrics();
+        let reports = metered.scan_batch(&apks);
+        // Observation never changes the analysis.
+        for (m, p) in reports.iter().zip(&plain) {
+            assert_eq!(m.mismatches, p.mismatches);
+            assert_eq!(m.meter, p.meter);
+        }
+        let snap = metered.metrics_snapshot();
+        assert_eq!(
+            snap.registry.counter("apps_scanned"),
+            Some(apks.len() as u64)
+        );
+        let scans = snap.registry.phase("scan_total").expect("scan spans");
+        assert_eq!(scans.count, apks.len() as u64);
+        assert!(scans.total_ns > 0);
+        let cc = snap.class_cache.expect("engine installs a class cache");
+        assert_eq!(cc.hits + cc.misses, cc.lookups);
+        assert!(cc.lookups > 0);
+        // Meter totals equal the sum of the per-app report meters.
+        let bytes: u64 = reports.iter().map(|r| r.meter.total_bytes() as u64).sum();
+        assert_eq!(snap.meter.total_bytes(), bytes);
+        // No registry attached → empty but well-formed snapshot.
+        let bare = ScanEngine::new(fw).metrics_snapshot();
+        assert_eq!(bare.registry.counter("apps_scanned"), Some(0));
+        assert!(bare.queue.is_none());
     }
 
     #[test]

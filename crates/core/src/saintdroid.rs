@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 use saint_adf::AndroidFramework;
 use saint_analysis::{ArtifactCache, ExploreConfig, ShardedClassCache};
 use saint_ir::Apk;
+use saint_obs::{Counter, MetricsRegistry, Phase, TraceSink};
 
 use crate::amd;
 use crate::arm::Arm;
@@ -36,6 +37,8 @@ pub struct SaintDroid {
     artifact_cache: Option<Arc<ArtifactCache>>,
     scan_cache: Option<Arc<amd::invocation::DeepScanCache>>,
     app_jobs: usize,
+    metrics: Option<Arc<MetricsRegistry>>,
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl SaintDroid {
@@ -51,6 +54,8 @@ impl SaintDroid {
             artifact_cache: None,
             scan_cache: None,
             app_jobs: 1,
+            metrics: None,
+            trace: None,
         }
     }
 
@@ -65,7 +70,42 @@ impl SaintDroid {
             artifact_cache: None,
             scan_cache: None,
             app_jobs: 1,
+            metrics: None,
+            trace: None,
         }
+    }
+
+    /// Attaches a metrics registry: every scan through this instance
+    /// records per-phase spans (CLVM load, exploration, ARM mine, the
+    /// three detectors, scan total) and bumps the monotone counters.
+    /// Purely observational — reports and meters are byte-identical
+    /// with or without a registry attached.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached metrics registry, if any.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
+    }
+
+    /// Attaches a trace sink: every scan emits Chrome-trace complete
+    /// spans (one per phase, named after the app's package) for
+    /// `saint-cli scan --trace-json`. Purely observational, like
+    /// [`with_metrics`](Self::with_metrics).
+    #[must_use]
+    pub fn with_trace(mut self, trace: Arc<TraceSink>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// The attached trace sink, if any.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Arc<TraceSink>> {
+        self.trace.as_ref()
     }
 
     /// Sets the intra-app worker count (clamped to at least 1): with
@@ -156,13 +196,14 @@ impl SaintDroid {
     /// for this call.
     #[must_use]
     pub fn model_with(&self, apk: &Apk, app_jobs: usize) -> AppModel {
-        Aum::build_cached(
+        Aum::build_metered(
             apk,
             self.arm.framework(),
             &self.config,
             self.cache.as_ref(),
             self.artifact_cache.as_ref(),
             app_jobs,
+            self.metrics.as_ref(),
         )
     }
 
@@ -195,22 +236,47 @@ impl SaintDroid {
     #[must_use]
     pub fn run_phased_with(&self, apk: &Apk, app_jobs: usize) -> (Report, Duration, Duration) {
         let app_jobs = app_jobs.max(1);
+        let package = apk.manifest.package.as_str();
         let start = Instant::now();
         let model = self.model_with(apk, app_jobs);
         let explore_time = start.elapsed();
-        let db = self.arm.database();
-        let pm = self.arm.permission_map();
+        // The Explore *phase* span is recorded inside the exploration
+        // itself (analysis layer); here we only emit the trace event,
+        // which wants the app's package on the span name.
+        if let Some(trace) = &self.trace {
+            trace.complete(
+                format!("explore {package}"),
+                Phase::Explore.name(),
+                start,
+                explore_time,
+            );
+        }
+        let (db, pm) = self.arm.mine(self.metrics.as_deref());
         let detect_start = Instant::now();
 
         // The three detector families are independent functions of the
         // finished model; with an intra-app budget they run concurrently
         // and merge in the fixed invocation → callback → permission
         // order the sequential path uses, so the report is identical.
+        // Each family records its own phase span from its own worker —
+        // concurrent recording is just atomics, never a lock.
         let (inv, cb, prm) = if app_jobs > 1 {
             std::thread::scope(|s| {
-                let inv = s.spawn(|| self.detect_invocation(&model, &db, app_jobs));
-                let cb = s.spawn(|| amd::callback::detect(&model, &db));
-                let prm = s.spawn(|| amd::permission::detect(&model, &pm));
+                let inv = s.spawn(|| {
+                    self.observe(Phase::DetectInvocation, package, || {
+                        self.detect_invocation(&model, &db, app_jobs)
+                    })
+                });
+                let cb = s.spawn(|| {
+                    self.observe(Phase::DetectCallback, package, || {
+                        amd::callback::detect(&model, &db)
+                    })
+                });
+                let prm = s.spawn(|| {
+                    self.observe(Phase::DetectPermission, package, || {
+                        amd::permission::detect(&model, &pm)
+                    })
+                });
                 (
                     inv.join().expect("invocation detector panicked"),
                     cb.join().expect("callback detector panicked"),
@@ -219,9 +285,15 @@ impl SaintDroid {
             })
         } else {
             (
-                self.detect_invocation(&model, &db, app_jobs),
-                amd::callback::detect(&model, &db),
-                amd::permission::detect(&model, &pm),
+                self.observe(Phase::DetectInvocation, package, || {
+                    self.detect_invocation(&model, &db, app_jobs)
+                }),
+                self.observe(Phase::DetectCallback, package, || {
+                    amd::callback::detect(&model, &db)
+                }),
+                self.observe(Phase::DetectPermission, package, || {
+                    amd::permission::detect(&model, &pm)
+                }),
             )
         };
 
@@ -232,7 +304,48 @@ impl SaintDroid {
         let detect_time = detect_start.elapsed();
         report.duration = start.elapsed();
         report.meter = model.clvm.meter();
+        if let Some(metrics) = &self.metrics {
+            metrics.record(Phase::ScanTotal, report.duration);
+            metrics.add(Counter::AppsScanned, 1);
+            metrics.add(Counter::MismatchesFound, report.mismatches.len() as u64);
+            // Fold the per-app meter into the fleet-wide byte counters;
+            // the report's own meter is untouched.
+            report.meter.record_into(metrics);
+        }
+        if let Some(trace) = &self.trace {
+            trace.complete(
+                format!("scan {package}"),
+                Phase::ScanTotal.name(),
+                start,
+                report.duration,
+            );
+        }
         (report, explore_time, detect_time)
+    }
+
+    /// Runs `f`, recording it as a phase span (and a Chrome-trace event
+    /// named after the app) when observation is enabled. With neither a
+    /// registry nor a sink attached this is a plain call — no clocks
+    /// are read.
+    fn observe<T>(&self, phase: Phase, package: &str, f: impl FnOnce() -> T) -> T {
+        if self.metrics.is_none() && self.trace.is_none() {
+            return f();
+        }
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed();
+        if let Some(metrics) = &self.metrics {
+            metrics.record(phase, elapsed);
+        }
+        if let Some(trace) = &self.trace {
+            trace.complete(
+                format!("{} {package}", phase.name()),
+                phase.name(),
+                start,
+                elapsed,
+            );
+        }
+        out
     }
 
     fn detect_invocation(

@@ -1,0 +1,236 @@
+//! Chrome-trace span export.
+//!
+//! [`TraceSink`] collects *complete* spans (`ph: "X"` in the Chrome
+//! trace event format) and serializes them to the JSON grammar that
+//! `chrome://tracing` / Perfetto load directly. Recording appends to a
+//! per-thread shard — a short uncontended lock per span, never a
+//! global one — and shards are merged only at export time, so tracing
+//! a parallel scan does not serialize its workers.
+//!
+//! The emitter is hand-rolled: the grammar is tiny and fixed, and
+//! keeping it local is what lets this crate stay dependency-free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Number of shard locks. Spans are routed by a per-thread id, so with
+/// a handful of workers each shard is effectively thread-private.
+const SHARDS: usize = 16;
+
+thread_local! {
+    static THREAD_SLOT: u64 = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+static NEXT_THREAD_SLOT: AtomicU64 = AtomicU64::new(1);
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Display name, e.g. `scan com.example.app`.
+    pub name: String,
+    /// Category, conventionally the [`crate::Phase`] name.
+    pub cat: &'static str,
+    /// Microseconds since the sink's epoch.
+    pub ts_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+    /// Small dense id of the recording thread.
+    pub tid: u64,
+}
+
+/// Collects complete spans and renders them as Chrome trace JSON.
+#[derive(Debug)]
+pub struct TraceSink {
+    epoch: Instant,
+    shards: [Mutex<Vec<TraceEvent>>; SHARDS],
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink {
+    /// Creates an empty sink; `ts` fields are measured from now.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceSink {
+            epoch: Instant::now(),
+            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The instant all span timestamps are relative to.
+    #[must_use]
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Records a completed span that started at `start` and ran for
+    /// `dur`. `start` must not precede the sink's epoch (clamped to it
+    /// if it somehow does).
+    pub fn complete(
+        &self,
+        name: impl Into<String>,
+        cat: &'static str,
+        start: Instant,
+        dur: Duration,
+    ) {
+        let ts_us = start
+            .saturating_duration_since(self.epoch)
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        let dur_us = dur.as_micros().min(u128::from(u64::MAX)) as u64;
+        let tid = THREAD_SLOT.with(|slot| *slot);
+        let event = TraceEvent {
+            name: name.into(),
+            cat,
+            ts_us,
+            dur_us,
+            tid,
+        };
+        let shard = (tid as usize) % SHARDS;
+        self.shards[shard]
+            .lock()
+            .expect("trace shard poisoned")
+            .push(event);
+    }
+
+    /// Total spans recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("trace shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no spans have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merges all shards into one timestamp-ordered event list.
+    #[must_use]
+    pub fn drain_sorted(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = Vec::new();
+        for shard in &self.shards {
+            all.append(&mut shard.lock().expect("trace shard poisoned"));
+        }
+        // Deterministic order: by start time, then thread, then name.
+        all.sort_by(|a, b| (a.ts_us, a.tid, &a.name).cmp(&(b.ts_us, b.tid, &b.name)));
+        all
+    }
+
+    /// Renders every recorded span as a Chrome trace JSON document:
+    /// `{"displayTimeUnit":"ms","traceEvents":[...]}` with one
+    /// `ph: "X"` (complete) event per span. The sink is drained.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        let events = self.drain_sorted();
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &e.name);
+            out.push_str(",\"cat\":");
+            push_json_string(&mut out, e.cat);
+            out.push_str(",\"ph\":\"X\",\"pid\":1,\"tid\":");
+            out.push_str(&e.tid.to_string());
+            out.push_str(",\"ts\":");
+            out.push_str(&e.ts_us.to_string());
+            out.push_str(",\"dur\":");
+            out.push_str(&e.dur_us.to_string());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal, escaping the characters JSON
+/// requires (quote, backslash, and control characters).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_survive_the_round_trip() {
+        let sink = TraceSink::new();
+        let start = sink.epoch();
+        sink.complete(
+            "scan com.example",
+            "scan_total",
+            start,
+            Duration::from_micros(1500),
+        );
+        sink.complete("explore", "explore", start, Duration::from_micros(700));
+        assert_eq!(sink.len(), 2);
+        let json = sink.to_chrome_json();
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":1500"));
+        // Export drains the sink.
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn names_with_json_metacharacters_are_escaped() {
+        let sink = TraceSink::new();
+        sink.complete(
+            "weird \"name\"\\with\ncontrol\u{1}",
+            "scan_total",
+            sink.epoch(),
+            Duration::ZERO,
+        );
+        let json = sink.to_chrome_json();
+        assert!(json.contains("weird \\\"name\\\"\\\\with\\ncontrol\\u0001"));
+    }
+
+    #[test]
+    fn merged_output_is_timestamp_ordered_across_threads() {
+        let sink = std::sync::Arc::new(TraceSink::new());
+        let epoch = sink.epoch();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let sink = std::sync::Arc::clone(&sink);
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        sink.complete(
+                            format!("span {t}.{i}"),
+                            "explore",
+                            epoch + Duration::from_micros(i * 10 + t),
+                            Duration::from_micros(5),
+                        );
+                    }
+                });
+            }
+        });
+        let events = sink.drain_sorted();
+        assert_eq!(events.len(), 200);
+        assert!(events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+    }
+}

@@ -1,0 +1,53 @@
+//! Validates that the hand-emitted trace export is *well-formed Chrome
+//! trace JSON*: a real JSON parser (serde_json, dev-dependency only)
+//! must accept the document, and every event must carry the fields the
+//! Chrome trace event format requires of a complete (`ph: "X"`) span.
+//! This is the same document `saint-cli scan --trace-json` writes.
+
+use std::time::Duration;
+
+use saint_obs::{Phase, TraceSink};
+
+fn assert_well_formed_chrome_trace(json: &str, expected_events: usize) {
+    let doc: serde::Value =
+        serde_json::from_str_value(json).expect("trace output must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(serde::Value::as_array)
+        .expect("top-level traceEvents array");
+    assert_eq!(events.len(), expected_events);
+    for event in events {
+        assert_eq!(event.get("ph").and_then(serde::Value::as_str), Some("X"));
+        assert!(event.get("name").and_then(serde::Value::as_str).is_some());
+        assert!(event.get("cat").and_then(serde::Value::as_str).is_some());
+        for field in ["ts", "dur", "pid", "tid"] {
+            assert!(
+                event.get(field).and_then(serde::Value::as_u64).is_some(),
+                "event field {field} must be a non-negative integer: {event:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_export_parses_as_chrome_trace_json() {
+    let sink = TraceSink::new();
+    let epoch = sink.epoch();
+    // One span per phase, including a name with every JSON
+    // metacharacter the emitter must escape.
+    for (i, phase) in Phase::ALL.iter().enumerate() {
+        sink.complete(
+            format!("span {i} \"quoted\" back\\slash\nnewline"),
+            phase.name(),
+            epoch + Duration::from_micros(i as u64 * 100),
+            Duration::from_micros(42),
+        );
+    }
+    assert_well_formed_chrome_trace(&sink.to_chrome_json(), Phase::ALL.len());
+}
+
+#[test]
+fn empty_trace_is_still_well_formed() {
+    let sink = TraceSink::new();
+    assert_well_formed_chrome_trace(&sink.to_chrome_json(), 0);
+}

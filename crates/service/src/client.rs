@@ -7,8 +7,8 @@ use std::net::TcpStream;
 use serde::Deserialize as _;
 
 use crate::protocol::{
-    self, Envelope, ErrorResponse, LineRead, ScanRequest, ScanResponse, StatusResponse,
-    PROTOCOL_VERSION,
+    self, Envelope, ErrorResponse, LineRead, MetricsResponse, ScanRequest, ScanResponse,
+    StatusResponse, PROTOCOL_VERSION,
 };
 
 /// Why a service call failed.
@@ -139,6 +139,20 @@ impl Client {
         };
         let (envelope, value) = self.roundtrip(&protocol::to_line(&req))?;
         Self::expect("status", &envelope, &value)
+    }
+
+    /// Fetches the daemon's full observability view: phase spans,
+    /// monotone counters, cache surfaces, meter totals, queue state.
+    ///
+    /// # Errors
+    /// See [`scan_sapk`](Self::scan_sapk).
+    pub fn metrics(&mut self) -> Result<MetricsResponse, ClientError> {
+        let req = Envelope {
+            v: PROTOCOL_VERSION,
+            kind: Some("metrics".to_string()),
+        };
+        let (envelope, value) = self.roundtrip(&protocol::to_line(&req))?;
+        Self::expect("metrics", &envelope, &value)
     }
 
     /// Requests a graceful drain; the acknowledgement carries the final

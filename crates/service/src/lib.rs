@@ -65,6 +65,8 @@ pub mod queue;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use protocol::{ErrorResponse, ScanRequest, ScanResponse, StatusResponse, PROTOCOL_VERSION};
+pub use protocol::{
+    ErrorResponse, MetricsResponse, ScanRequest, ScanResponse, StatusResponse, PROTOCOL_VERSION,
+};
 pub use queue::{Admission, JobQueue, QueueStats};
 pub use server::{start, ServerConfig, ServerHandle};

@@ -50,7 +50,7 @@ pub mod error_code {
 pub struct Envelope {
     /// Protocol version of the message.
     pub v: u32,
-    /// Message kind: `scan`, `status`, or `shutdown`.
+    /// Message kind: `scan`, `status`, `metrics`, or `shutdown`.
     pub kind: Option<String>,
 }
 
@@ -114,9 +114,12 @@ impl ScanResponse {
     }
 }
 
-/// Activity counters of one shared cache, for [`StatusResponse`].
+/// Activity counters of one shared cache, for [`StatusResponse`] and
+/// [`MetricsResponse`]. Maintains `hits + misses == lookups`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CacheStatus {
+    /// Total probes against the cache.
+    pub lookups: u64,
     /// Lookups served from the cache.
     pub hits: u64,
     /// Lookups that ran the materializer.
@@ -130,9 +133,22 @@ pub struct CacheStatus {
 impl From<saint_analysis::CacheStats> for CacheStatus {
     fn from(s: saint_analysis::CacheStats) -> Self {
         CacheStatus {
+            lookups: s.lookups,
             hits: s.hits,
             misses: s.misses,
             entries: s.entries,
+            hit_rate: s.hit_rate(),
+        }
+    }
+}
+
+impl From<saint_obs::CacheSnapshot> for CacheStatus {
+    fn from(s: saint_obs::CacheSnapshot) -> Self {
+        CacheStatus {
+            lookups: s.lookups,
+            hits: s.hits,
+            misses: s.misses,
+            entries: s.entries as usize,
             hit_rate: s.hit_rate(),
         }
     }
@@ -168,6 +184,158 @@ pub struct StatusResponse {
     pub artifact_cache: Option<CacheStatus>,
     /// Warm framework-subtree scan cache counters, if present.
     pub scan_cache: Option<CacheStatus>,
+}
+
+/// One phase's span accounting, for [`MetricsResponse`]. Mirrors
+/// [`saint_obs::PhaseSnapshot`] with owned strings for the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseStatus {
+    /// Stable snake_case phase name (`clvm_load`, `explore`, …).
+    pub name: String,
+    /// Spans recorded.
+    pub count: u64,
+    /// Total nanoseconds across those spans.
+    pub total_ns: u64,
+    /// Log2-µs latency buckets ([`saint_obs::HIST_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+}
+
+/// One monotone counter, for [`MetricsResponse`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CounterStatus {
+    /// Stable snake_case counter name (`apps_scanned`, …).
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// Accumulated load-meter totals, for [`MetricsResponse`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeterStatus {
+    /// Classes materialized across all scans.
+    pub classes_loaded: u64,
+    /// Bytes of class metadata loaded.
+    pub class_bytes: u64,
+    /// Method bodies analyzed.
+    pub methods_analyzed: u64,
+    /// Bytes of graph/artifact storage built.
+    pub graph_bytes: u64,
+    /// Lookups no provider could resolve.
+    pub unresolved_lookups: u64,
+}
+
+/// Job-queue state, for [`MetricsResponse`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueueStatus {
+    /// Jobs waiting for a worker right now.
+    pub depth: u64,
+    /// Admission-control capacity.
+    pub capacity: u64,
+    /// Jobs currently being scanned.
+    pub active: u64,
+    /// Jobs completed since startup.
+    pub served: u64,
+    /// Jobs rejected because the queue was full.
+    pub rejected_busy: u64,
+    /// Jobs whose deadline expired while queued.
+    pub timed_out: u64,
+}
+
+impl From<saint_obs::QueueSnapshot> for QueueStatus {
+    fn from(q: saint_obs::QueueSnapshot) -> Self {
+        QueueStatus {
+            depth: q.depth,
+            capacity: q.capacity,
+            active: q.active,
+            served: q.served,
+            rejected_busy: q.rejected_busy,
+            timed_out: q.timed_out,
+        }
+    }
+}
+
+/// The full observability view of the daemon: phase spans, monotone
+/// counters, cache surfaces, meter totals, and queue state — the wire
+/// form of [`saint_obs::MetricsSnapshot`], answering a `metrics`
+/// request. Versioned like every other message: a wrong `v` gets
+/// `unsupported_version`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsResponse {
+    /// Protocol version.
+    pub v: u32,
+    /// Always `"metrics"`.
+    pub kind: String,
+    /// Per-phase span accounting, in [`saint_obs::Phase::ALL`] order.
+    pub phases: Vec<PhaseStatus>,
+    /// Monotone counters, in [`saint_obs::Counter::ALL`] order.
+    pub counters: Vec<CounterStatus>,
+    /// Warm framework-class cache counters, if present.
+    pub class_cache: Option<CacheStatus>,
+    /// Warm framework-artifact cache counters, if present.
+    pub artifact_cache: Option<CacheStatus>,
+    /// Warm framework-subtree scan cache counters, if present.
+    pub scan_cache: Option<CacheStatus>,
+    /// Accumulated load-meter totals.
+    pub meter: MeterStatus,
+    /// Queue state (always present when answered by the daemon).
+    pub queue: Option<QueueStatus>,
+}
+
+impl MetricsResponse {
+    /// Converts the unified snapshot into its wire form.
+    #[must_use]
+    pub fn new(snap: saint_obs::MetricsSnapshot) -> Self {
+        MetricsResponse {
+            v: PROTOCOL_VERSION,
+            kind: "metrics".to_string(),
+            phases: snap
+                .registry
+                .phases
+                .iter()
+                .map(|p| PhaseStatus {
+                    name: p.name.to_string(),
+                    count: p.count,
+                    total_ns: p.total_ns,
+                    buckets: p.buckets.clone(),
+                })
+                .collect(),
+            counters: snap
+                .registry
+                .counters
+                .iter()
+                .map(|c| CounterStatus {
+                    name: c.name.to_string(),
+                    value: c.value,
+                })
+                .collect(),
+            class_cache: snap.class_cache.map(Into::into),
+            artifact_cache: snap.artifact_cache.map(Into::into),
+            scan_cache: snap.deep_scan_cache.map(Into::into),
+            meter: MeterStatus {
+                classes_loaded: snap.meter.classes_loaded,
+                class_bytes: snap.meter.class_bytes,
+                methods_analyzed: snap.meter.methods_analyzed,
+                graph_bytes: snap.meter.graph_bytes,
+                unresolved_lookups: snap.meter.unresolved_lookups,
+            },
+            queue: snap.queue.map(Into::into),
+        }
+    }
+
+    /// Looks up a phase by its stable name.
+    #[must_use]
+    pub fn phase(&self, name: &str) -> Option<&PhaseStatus> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up a counter value by its stable name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
 }
 
 /// A typed rejection; the daemon stays alive after sending one.

@@ -35,7 +35,9 @@ pub struct Job {
     /// Set by the handler when its deadline expires; a worker that
     /// sees the flag drops the job without scanning.
     pub cancelled: Arc<AtomicBool>,
-    /// When the job entered the queue (for future wait accounting).
+    /// When the job entered the queue; [`JobQueue::next`] records the
+    /// elapsed wait as a `queue_wait` phase span when a registry is
+    /// attached.
     pub enqueued_at: Instant,
 }
 
@@ -83,6 +85,7 @@ pub struct JobQueue {
     served: AtomicU64,
     rejected_busy: AtomicU64,
     timed_out: AtomicU64,
+    metrics: Option<Arc<saint_obs::MetricsRegistry>>,
 }
 
 impl JobQueue {
@@ -101,7 +104,16 @@ impl JobQueue {
             served: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics registry: every dequeue records the job's
+    /// admission-to-pickup latency as a `queue_wait` phase span.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<saint_obs::MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Admits a job or rejects it in O(1) without blocking.
@@ -135,6 +147,9 @@ impl JobQueue {
                     continue;
                 }
                 self.active.fetch_add(1, Ordering::Relaxed);
+                if let Some(metrics) = &self.metrics {
+                    metrics.record(saint_obs::Phase::QueueWait, job.enqueued_at.elapsed());
+                }
                 return Some(job);
             }
             if st.draining {

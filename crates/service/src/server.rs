@@ -49,8 +49,8 @@ use saintdroid::ScanEngine;
 use serde::Deserialize as _;
 
 use crate::protocol::{
-    self, error_code, Envelope, ErrorResponse, LineRead, ScanRequest, ScanResponse, StatusResponse,
-    PROTOCOL_VERSION,
+    self, error_code, Envelope, ErrorResponse, LineRead, MetricsResponse, ScanRequest,
+    ScanResponse, StatusResponse, PROTOCOL_VERSION,
 };
 use crate::queue::{Admission, Job, JobQueue};
 
@@ -118,6 +118,22 @@ impl Shared {
         }
     }
 
+    /// The unified observability view: the engine's snapshot (phase
+    /// spans, counters, caches, meter) extended with live queue state.
+    fn metrics(&self) -> MetricsResponse {
+        let mut snap = self.engine.metrics_snapshot();
+        let q = self.queue.stats();
+        snap.queue = Some(saint_obs::QueueSnapshot {
+            depth: q.depth as u64,
+            capacity: q.capacity as u64,
+            active: q.active as u64,
+            served: q.served,
+            rejected_busy: q.rejected_busy,
+            timed_out: q.timed_out,
+        });
+        MetricsResponse::new(snap)
+    }
+
     /// Flips the daemon into drain mode exactly once: admission closes,
     /// queued scans finish, accept threads are woken with dummy
     /// connections so they observe the flag and exit.
@@ -177,9 +193,18 @@ impl ServerHandle {
 pub fn start(engine: ScanEngine, cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.listen)?;
     let addr = listener.local_addr()?;
+    // A daemon always carries a registry (engines built without one
+    // get a fresh one here) so every `metrics` request has an answer
+    // and queue waits are accounted from the first job.
+    let engine = engine.ensure_metrics();
+    let registry = Arc::clone(
+        engine
+            .metrics()
+            .expect("ensure_metrics attached a registry"),
+    );
     let shared = Arc::new(Shared {
         engine,
-        queue: JobQueue::new(cfg.queue_depth),
+        queue: JobQueue::new(cfg.queue_depth).with_metrics(registry),
         started: Instant::now(),
         shutting_down: AtomicBool::new(false),
         addr,
@@ -213,13 +238,17 @@ pub fn start(engine: ScanEngine, cfg: &ServerConfig) -> std::io::Result<ServerHa
 fn scan_worker(shared: &Shared) {
     while let Some(job) = shared.queue.next() {
         let report = shared.engine.scan_one(&job.apk);
+        // Bookkeeping before the hand-off, mirroring `mark_served`: a
+        // client that reads its report and immediately asks for
+        // `status`/`metrics` must never see its own finished job still
+        // counted as active.
+        shared.queue.finish();
         // A failed send means the handler gave up at its deadline and
         // dropped the receiver; the report is discarded. Either way the
         // outcome counters are the handler's job, not ours.
         if !job.cancelled.load(Ordering::Acquire) {
             let _ = job.respond.send(report);
         }
-        shared.queue.finish();
     }
 }
 
@@ -346,6 +375,7 @@ fn dispatch(line: &str, shared: &Shared) -> String {
     match envelope.kind.as_deref() {
         Some("scan") => serve_scan(&value, shared),
         Some("status") => protocol::to_line(&shared.status()),
+        Some("metrics") => protocol::to_line(&shared.metrics()),
         Some("shutdown") => {
             // Acknowledge with the final counters, then drain.
             let status = shared.status();

@@ -268,6 +268,69 @@ fn zero_deadline_times_out_with_typed_error() {
 }
 
 #[test]
+fn metrics_request_reports_warm_cache_and_drained_queue() {
+    let (apks, fw) = corpus_and_framework();
+    let handle = start_server(
+        &fw,
+        &ephemeral(ServerConfig {
+            jobs: 2,
+            ..ServerConfig::default()
+        }),
+    );
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // First scan: cold caches populate, registry starts counting.
+    let sapk = codec::encode_apk(&apks[0]);
+    client.scan_sapk(&sapk, Some(120_000)).expect("first scan");
+    let cold = client.metrics().expect("metrics after first scan");
+    assert_eq!(cold.counter("apps_scanned"), Some(1));
+
+    // Second scan of the same package: warm path. The class cache must
+    // show hits, and every cache lookup is exactly one hit or miss.
+    client.scan_sapk(&sapk, Some(120_000)).expect("second scan");
+    let warm = client.metrics().expect("metrics after second scan");
+    assert_eq!(warm.counter("apps_scanned"), Some(2));
+    let class = warm
+        .class_cache
+        .as_ref()
+        .expect("warm engine carries a cache");
+    assert!(
+        class.hits > 0,
+        "second scan of the same package must hit the class cache"
+    );
+    assert_eq!(class.hits + class.misses, class.lookups);
+
+    // One scan_total span per job served, and the queue is fully
+    // drained: depth and active both back to zero.
+    let scan_total = warm.phase("scan_total").expect("phase always present");
+    assert_eq!(scan_total.count, 2);
+    assert!(scan_total.total_ns > 0);
+    let queue = warm.queue.as_ref().expect("daemon reports its queue");
+    assert_eq!(queue.depth, 0, "queue must be drained after replies");
+    assert_eq!(queue.active, 0, "no job may still be running");
+    assert_eq!(queue.served, 2);
+
+    // Counters only ever grow across requests.
+    for (c0, c1) in cold.counters.iter().zip(&warm.counters) {
+        assert_eq!(c0.name, c1.name);
+        assert!(c1.value >= c0.value, "counter {} went backwards", c0.name);
+    }
+
+    // Wrong protocol version on a metrics request: typed error, daemon
+    // stays up and keeps answering versioned metrics requests.
+    let raw = client
+        .raw_roundtrip(r#"{"v":99,"kind":"metrics"}"#)
+        .expect("reply");
+    assert!(raw.contains("\"unsupported_version\""), "{raw}");
+    let after = client.metrics().expect("daemon alive after bad version");
+    assert_eq!(after.counter("apps_scanned"), Some(2));
+
+    client.shutdown().expect("shutdown ack");
+    handle.wait();
+}
+
+#[test]
 fn shutdown_drains_and_joins_all_threads() {
     let (apks, fw) = corpus_and_framework();
     let handle = start_server(

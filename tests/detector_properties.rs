@@ -199,20 +199,139 @@ proptest! {
 
     #[test]
     fn missing_levels_always_within_supported_range(spec in arb_app()) {
-        let apk = build_app(&spec);
-        let supported = apk.manifest.supported_levels();
-        let report = SaintDroid::new(framework()).analyze(&apk).unwrap();
-        for m in &report.mismatches {
-            if m.kind == saintdroid::MismatchKind::ApiInvocation
-                || m.kind == saintdroid::MismatchKind::ApiCallback
-            {
-                for l in &m.missing_levels {
-                    prop_assert!(
-                        supported.contains(*l),
-                        "{m} reports level {l} outside {supported}"
-                    );
-                }
+        prop_missing_levels_within_range(&spec)?;
+    }
+}
+
+/// Body of `missing_levels_always_within_supported_range`, shared with
+/// the pinned regression seeds below.
+fn prop_missing_levels_within_range(spec: &AppSpec) -> Result<(), String> {
+    let apk = build_app(spec);
+    let supported = apk.manifest.supported_levels();
+    let report = SaintDroid::new(framework()).analyze(&apk).unwrap();
+    for m in &report.mismatches {
+        if m.kind == saintdroid::MismatchKind::ApiInvocation
+            || m.kind == saintdroid::MismatchKind::ApiCallback
+        {
+            for l in &m.missing_levels {
+                prop_assert!(
+                    supported.contains(*l),
+                    "{m} reports level {l} outside {supported}"
+                );
             }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Pinned regression seeds (tests/detector_properties.proptest-regressions).
+//
+// Upstream proptest replays the checked-in seeds before generating novel
+// cases; the vendored stand-in (vendor/proptest) deliberately ignores
+// `.proptest-regressions` files, so the two tests below are what actually
+// re-runs them. Each reconstructs its shrunk `AppSpec` explicitly so the
+// historical failure is documented, runs deterministically (no RNG
+// involved), and fails loudly with a readable diff if either bug regresses.
+// The seeds file stays checked in for anyone running against upstream
+// proptest — do not delete it.
+// ---------------------------------------------------------------------------
+
+/// Seed `0c761a17…`: an app supporting 11..=17 whose SDK guards (18, 20, 26)
+/// all sit *above* the target level, i.e. every guarded block is unreachable
+/// at every supported level.
+///
+/// Historically the guard refinement saturated (`refine_at_least` keeps a
+/// non-empty range whose min can exceed the supported max), so the invocation
+/// detector evaluated those dead blocks under a range like 20..=20 and
+/// reported missing levels *outside* `manifest.supported_levels()`, failing
+/// `missing_levels_always_within_supported_range`. Resolved by routing guard
+/// refinement through `LevelRange::checked_refine_at_least`/`_at_most`
+/// (crates/analysis/src/guards.rs), which collapse unsatisfiable guards to
+/// `None` so unreachable guarded blocks are skipped entirely.
+#[test]
+fn seed_unsatisfiable_guards_stay_within_supported_range() {
+    let spec = AppSpec {
+        min: 11,
+        span: 6, // target = 17: every guard below is above-target
+        sites: vec![
+            SiteSpec {
+                api_idx: 5,
+                guard: Some(20),
+            },
+            SiteSpec {
+                api_idx: 1,
+                guard: None,
+            },
+            SiteSpec {
+                api_idx: 3,
+                guard: None,
+            },
+            SiteSpec {
+                api_idx: 2,
+                guard: Some(26),
+            },
+            SiteSpec {
+                api_idx: 4,
+                guard: Some(18),
+            },
+        ],
+        overrides: vec![3],
+    };
+    prop_missing_levels_within_range(&spec).unwrap();
+
+    // The fix must not silence the *unguarded* sites: the app still calls
+    // real APIs with level-sensitive lifetimes, so the report is non-empty.
+    let report = SaintDroid::new(framework())
+        .analyze(&build_app(&spec))
+        .unwrap();
+    assert!(
+        !report.mismatches.is_empty(),
+        "unguarded sites must still produce findings"
+    );
+}
+
+/// Seed `8a4ffaa0…`: an app supporting 19..=23 with two call sites into the
+/// same deep-path API (`TintHelper.applyTint`, present at every level but
+/// whose framework body reaches an API-23 call) — one site guarded at 20,
+/// one unguarded.
+///
+/// Historically the second visit of the framework subtree was suppressed by
+/// a memo keyed only on (root, range), so findings surfaced under whichever
+/// site happened to be scanned first — report contents depended on visit
+/// order, failing `saintdroid_reports_are_deterministic` between runs.
+/// Resolved by qualifying the deep-scan memo key with the attributed app
+/// site (`enter_framework` in crates/core/src/amd/invocation.rs) and merging
+/// same-key findings via `Report::extend_deduped`, which unions their
+/// missing-level sets instead of dropping one.
+#[test]
+fn seed_deep_path_two_sites_deterministic_and_deduped() {
+    let spec = AppSpec {
+        min: 19,
+        span: 4, // target = 23: setForeground (API 23) missing below it
+        sites: vec![
+            SiteSpec {
+                api_idx: 6,
+                guard: Some(20),
+            },
+            SiteSpec {
+                api_idx: 6,
+                guard: None,
+            },
+        ],
+        overrides: vec![],
+    };
+    let apk = build_app(&spec);
+    let tool = SaintDroid::new(framework());
+    let a = tool.analyze(&apk).unwrap();
+    let b = tool.analyze(&apk).unwrap();
+    assert_eq!(a.mismatches, b.mismatches, "reports must be deterministic");
+
+    // Both sites reach the API-23 call; each is attributed separately, so
+    // dedup keys (which include the site) must all be distinct.
+    for (i, m) in a.mismatches.iter().enumerate() {
+        for n in &a.mismatches[i + 1..] {
+            assert_ne!(m.dedup_key(), n.dedup_key(), "{m} duplicates {n}");
         }
     }
 }

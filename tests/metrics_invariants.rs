@@ -1,0 +1,118 @@
+//! Observability invariants: the metrics layer must *observe* the
+//! analysis, never perturb it. Over randomly chosen corpus slices and
+//! every supported `app_jobs` split:
+//!
+//! - each cache's `hits + misses == lookups` — no lookup is dropped or
+//!   double-counted, under any worker interleaving;
+//! - registry counters and phase accumulators are monotone across
+//!   scans — the registry is append-only by construction;
+//! - per-app mismatches and `LoadMeter`s are byte-identical with
+//!   metrics enabled vs disabled — the oracle the bench harness also
+//!   asserts via report fingerprints.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use saint_adf::{AndroidFramework, SynthConfig};
+use saint_corpus::{RealWorldConfig, RealWorldCorpus};
+use saint_ir::Apk;
+use saint_obs::CacheSnapshot;
+use saintdroid::ScanEngine;
+
+fn corpus_slice(start: usize, n: usize) -> Vec<Apk> {
+    let corpus = RealWorldCorpus::new(RealWorldConfig::small());
+    (start..start + n)
+        .map(|i| corpus.get(i % corpus.len()).apk)
+        .collect()
+}
+
+fn framework() -> Arc<AndroidFramework> {
+    Arc::new(AndroidFramework::with_scale(&SynthConfig::small()))
+}
+
+fn assert_cache_conserves(label: &str, cache: &Option<CacheSnapshot>) -> Result<(), String> {
+    if let Some(c) = cache {
+        prop_assert_eq!(
+            c.hits + c.misses,
+            c.lookups,
+            "{} cache: hits {} + misses {} != lookups {}",
+            label,
+            c.hits,
+            c.misses,
+            c.lookups
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn metrics_observe_without_perturbing(
+        start in 0usize..40,
+        n in 2usize..5,
+        app_jobs in prop_oneof![Just(1usize), Just(2usize), Just(8usize)],
+    ) {
+        let apks = corpus_slice(start, n);
+
+        // Metrics OFF: the reference run.
+        let plain = ScanEngine::new(framework()).jobs(2).app_jobs(app_jobs);
+        let reference = plain.scan_batch(&apks);
+
+        // Metrics ON: same engine shape plus a registry.
+        let metered = ScanEngine::new(framework())
+            .jobs(2)
+            .app_jobs(app_jobs)
+            .ensure_metrics();
+        let observed = metered.scan_batch(&apks);
+
+        // Observation must not perturb the analysis: mismatches and
+        // per-app meters byte-identical with metrics on vs off.
+        prop_assert_eq!(reference.len(), observed.len());
+        for (a, b) in reference.iter().zip(&observed) {
+            prop_assert_eq!(&a.package, &b.package);
+            prop_assert_eq!(&a.mismatches, &b.mismatches,
+                "mismatches diverged for {} with metrics enabled", a.package);
+            prop_assert_eq!(a.meter, b.meter,
+                "LoadMeter diverged for {} with metrics enabled", a.package);
+        }
+
+        // Conservation: every cache lookup is exactly one hit or miss,
+        // under any `--jobs`/`--app-jobs` interleaving.
+        let snap = metered.metrics_snapshot();
+        assert_cache_conserves("class", &snap.class_cache)?;
+        assert_cache_conserves("artifact", &snap.artifact_cache)?;
+        assert_cache_conserves("deep-scan", &snap.deep_scan_cache)?;
+
+        // The registry agrees with ground truth it can be checked
+        // against: one scan_total span and one apps_scanned tick per
+        // app, mismatch count equal to the reports' total.
+        prop_assert_eq!(snap.registry.counter("apps_scanned"), Some(n as u64));
+        let scan_total = snap.registry.phase("scan_total").expect("phase always present");
+        prop_assert_eq!(scan_total.count, n as u64);
+        let total_mismatches: u64 = observed.iter().map(|r| r.mismatches.len() as u64).sum();
+        prop_assert_eq!(snap.registry.counter("mismatches_found"), Some(total_mismatches));
+
+        // Monotonicity: scanning more apps never decreases any counter,
+        // phase count, total or histogram bucket.
+        let again = metered.scan_batch(&apks);
+        prop_assert_eq!(again.len(), n);
+        let snap2 = metered.metrics_snapshot();
+        for (before, after) in snap.registry.counters.iter().zip(&snap2.registry.counters) {
+            prop_assert_eq!(before.name, after.name);
+            prop_assert!(after.value >= before.value,
+                "counter {} went backwards: {} -> {}", before.name, before.value, after.value);
+        }
+        for (before, after) in snap.registry.phases.iter().zip(&snap2.registry.phases) {
+            prop_assert_eq!(before.name, after.name);
+            prop_assert!(after.count >= before.count,
+                "phase {} count went backwards", before.name);
+            prop_assert!(after.total_ns >= before.total_ns,
+                "phase {} total went backwards", before.name);
+            for (b0, b1) in before.buckets.iter().zip(&after.buckets) {
+                prop_assert!(b1 >= b0, "phase {} histogram bucket went backwards", before.name);
+            }
+        }
+    }
+}

@@ -13,10 +13,15 @@ use saint_dynamic::{entry_points, CrashKind, Device, Simulator};
 use saint_ir::Apk;
 use saintdroid::{CompatDetector, MismatchKind, Report, SaintDroid};
 
-fn check_app(fw: &Arc<AndroidFramework>, saint: &SaintDroid, apk: &Apk, label: &str) {
+fn check_app_at(
+    fw: &Arc<AndroidFramework>,
+    saint: &SaintDroid,
+    apk: &Apk,
+    label: &str,
+    level: saint_ir::ApiLevel,
+) {
     let report: Report = saint.analyze(apk).expect("SAINTDroid analyzes any app");
     let entries = entry_points(apk);
-    let level = apk.manifest.supported_levels().min();
     let mut sim = Simulator::new(apk, fw, Device::at(level));
     let run = sim.run_entries(&entries);
     for crash in &run.crashes {
@@ -41,6 +46,11 @@ fn check_app(fw: &Arc<AndroidFramework>, saint: &SaintDroid, apk: &Apk, label: &
     }
 }
 
+fn check_app(fw: &Arc<AndroidFramework>, saint: &SaintDroid, apk: &Apk, label: &str) {
+    let level = apk.manifest.supported_levels().min();
+    check_app_at(fw, saint, apk, label, level);
+}
+
 #[test]
 fn benchmark_crashes_are_all_predicted() {
     let fw = Arc::new(AndroidFramework::curated());
@@ -60,6 +70,48 @@ fn generated_corpus_crashes_are_all_predicted() {
     for i in 0..25 {
         let app = corpus.get(i);
         check_app(&fw, &saint, &app.apk, &format!("rw app {i}"));
+    }
+}
+
+/// Sweeps the corpus-generator knobs that change which APIs apps reach
+/// and which levels they support — `force_target` (store-policy pinned
+/// targets) and `api_skew` (head-heavy API vocabulary) — and checks
+/// completeness at *every* supported device level, not just the
+/// minimum: a crash the interpreter can observe anywhere in the
+/// supported range must be covered by a static finding.
+#[test]
+fn knob_swept_corpora_crashes_are_all_predicted_at_every_level() {
+    let fw = Arc::new(AndroidFramework::with_scale(
+        &saint_adf::SynthConfig::small(),
+    ));
+    let saint = SaintDroid::new(Arc::clone(&fw));
+    let base = RealWorldConfig::small();
+    let sweeps: [(&str, Option<u8>, f64); 5] = [
+        ("pinned target 23", Some(23), 0.0),
+        ("pinned target 28", Some(28), 0.0),
+        ("skew 1.0", None, 1.0),
+        ("skew 2.5", None, 2.5),
+        ("pinned 23 + skew 1.5", Some(23), 1.5),
+    ];
+    for (label, force_target, api_skew) in sweeps {
+        let corpus = RealWorldCorpus::new(RealWorldConfig {
+            force_target,
+            api_skew,
+            ..base.clone()
+        });
+        for i in 0..8 {
+            let app = corpus.get(i);
+            if let Some(t) = force_target {
+                assert_eq!(
+                    app.apk.manifest.target_sdk.get(),
+                    t,
+                    "{label}: force_target must pin the manifest target"
+                );
+            }
+            for level in app.apk.manifest.supported_levels().iter() {
+                check_app_at(&fw, &saint, &app.apk, &format!("{label}, app {i}"), level);
+            }
+        }
     }
 }
 
