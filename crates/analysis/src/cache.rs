@@ -24,8 +24,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 use saint_ir::{ApiLevel, ClassDef, ClassName, MethodRef};
+use saint_sync::RwLock;
 
 use crate::explore::MethodArtifacts;
 

@@ -30,9 +30,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::RwLock;
 use saint_ir::{ClassDef, ClassName, MethodDef, MethodRef, MethodSig};
 use saint_obs::{MetricsRegistry, Phase};
+use saint_sync::RwLock;
 
 use crate::meter::{AtomicMeter, LoadMeter};
 use crate::provider::ClassProvider;

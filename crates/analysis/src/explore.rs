@@ -11,8 +11,12 @@
 //! the exploration *is* the reachability analysis that makes
 //! SAINTDroid's lazy loading sound.
 
+use std::any::Any;
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use saint_sync::{Condvar, Mutex};
 
 use saint_ir::{Apk, ClassDef, ClassName, ClassOrigin, Instr, MethodRef};
 
@@ -374,6 +378,7 @@ pub fn explore_cached(
     config: &ExploreConfig,
     artifact_cache: Option<(&crate::cache::ArtifactCache, saint_ir::ApiLevel)>,
 ) -> Exploration {
+    saint_faults::trip(saint_faults::FaultPoint::Explore);
     let started = clvm.metrics().map(|_| std::time::Instant::now());
     if config.preload_all {
         clvm.load_everything();
@@ -418,6 +423,13 @@ struct PoolState {
     /// what keeps the meter and the artifact set identical to the
     /// sequential run).
     claimed: HashSet<MethodRef>,
+    /// Set when a worker's task panicked: peers drain out instead of
+    /// exploring a frontier whose result will be discarded anyway.
+    failed: bool,
+    /// First panic payload observed; re-raised on the calling thread
+    /// after every worker has returned, so the pool never leaks a
+    /// wedged peer or a half-merged exploration.
+    panic_payload: Option<Box<dyn Any + Send>>,
 }
 
 struct Pool {
@@ -449,9 +461,11 @@ pub fn explore_parallel(
     if jobs <= 1 {
         return explore_cached(clvm, roots, config, artifact_cache);
     }
-    // The `jobs <= 1` fallback records its own Explore span inside
-    // `explore_cached`; this one covers the parallel body only, so
-    // every exploration is recorded exactly once.
+    // The `jobs <= 1` fallback trips the injection point and records
+    // its own Explore span inside `explore_cached`; this path covers
+    // the parallel body only, so every exploration trips and is
+    // recorded exactly once.
+    saint_faults::trip(saint_faults::FaultPoint::Explore);
     let started = clvm.metrics().map(|_| std::time::Instant::now());
     if config.preload_all {
         clvm.load_everything();
@@ -470,6 +484,8 @@ pub fn explore_parallel(
             active: 0,
             visited,
             claimed: HashSet::new(),
+            failed: false,
+            panic_payload: None,
         }),
         cv: Condvar::new(),
     };
@@ -479,8 +495,11 @@ pub fn explore_parallel(
         let mut externals: Vec<ClassName> = Vec::new();
         loop {
             let target = {
-                let mut st = pool.state.lock().expect("explore pool poisoned");
+                let mut st = pool.state.lock();
                 loop {
+                    if st.failed {
+                        break None;
+                    }
                     if let Some(t) = st.queue.pop_front() {
                         st.active += 1;
                         break Some(t);
@@ -488,21 +507,41 @@ pub fn explore_parallel(
                     if st.active == 0 {
                         break None;
                     }
-                    st = pool.cv.wait(st).expect("explore pool poisoned");
+                    st = pool.cv.wait(st);
                 }
             };
             let Some(target) = target else {
-                // Drained: wake any peer still parked in the wait loop.
+                // Drained (or failed): wake any peer still parked in
+                // the wait loop.
                 pool.cv.notify_all();
                 return (visits, externals);
             };
-            let outcome = visit_target(clvm, config, artifact_cache, &target, |r| {
-                pool.state
-                    .lock()
-                    .expect("explore pool poisoned")
-                    .claimed
-                    .insert(r.clone())
-            });
+            // Panic containment: a task that unwinds (a detector-grade
+            // bug in one method's analysis, or an injected fault) must
+            // not strand its `active` claim — peers parked on the
+            // condvar would deadlock waiting for a worker that no
+            // longer exists. Catch the unwind, mark the pool failed,
+            // and re-raise on the calling thread after the scope joins.
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                saint_faults::trip(saint_faults::FaultPoint::ExploreTask);
+                visit_target(clvm, config, artifact_cache, &target, |r| {
+                    pool.state.lock().claimed.insert(r.clone())
+                })
+            }));
+            let outcome = match caught {
+                Ok(outcome) => outcome,
+                Err(payload) => {
+                    let mut st = pool.state.lock();
+                    st.active -= 1;
+                    st.failed = true;
+                    if st.panic_payload.is_none() {
+                        st.panic_payload = Some(payload);
+                    }
+                    drop(st);
+                    pool.cv.notify_all();
+                    return (visits, externals);
+                }
+            };
             let mut followups = Vec::new();
             match outcome {
                 TargetOutcome::External(class) => externals.push(class),
@@ -512,7 +551,7 @@ pub fn explore_parallel(
                     followups = f;
                 }
             }
-            let mut st = pool.state.lock().expect("explore pool poisoned");
+            let mut st = pool.state.lock();
             for t in followups {
                 if st.visited.insert(t.clone()) {
                     st.queue.push_back(t);
@@ -545,6 +584,15 @@ pub fn explore_parallel(
             .map(|h| h.join().expect("explore worker panicked"))
             .collect()
     });
+
+    // All workers returned normally (task panics are caught above), so
+    // the scope joined cleanly; if one of them recorded a payload, the
+    // exploration as a whole failed — re-raise it here, on the calling
+    // thread, where the scan engine's isolation boundary can turn it
+    // into a typed report entry.
+    if let Some(payload) = pool.state.lock().panic_payload.take() {
+        resume_unwind(payload);
+    }
 
     // Deterministic merge: sort by resolved method reference (each
     // method was claimed exactly once, so keys are unique), never by

@@ -126,7 +126,10 @@ fn print_help() {
          --addr ADDR   submit/status/metrics/shutdown: daemon address\n\
          (default {DEFAULT_ADDR}).\n\
          --timeout-ms T submit: per-package deadline, queue wait\n\
-         included (default: none)."
+         included (default: none).\n\
+         --retries N   submit: retry transient failures (busy,\n\
+         internal, connection reset) up to N times per package with\n\
+         capped exponential backoff (default 0: fail fast)."
     );
 }
 
@@ -155,6 +158,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--queue-depth",
     "--addr",
     "--timeout-ms",
+    "--retries",
     "--trace-json",
     "--index",
     "-o",
@@ -383,13 +387,16 @@ fn submit(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     }
     let addr = string_flag(args, "--addr").unwrap_or(DEFAULT_ADDR);
     let deadline_ms = flag_value(args, "--timeout-ms").map(|t| t as u64);
-    let mut client =
-        Client::connect(addr).map_err(|e| format!("cannot reach scan service at {addr}: {e}"))?;
+    let retries = flag_value(args, "--retries").map_or(0, |r| r as u32);
+    let policy = saint_service::RetryPolicy::new(retries);
     let mut reports = Vec::new();
     for path in paths {
         let sapk = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        match client.scan_sapk(&sapk, deadline_ms) {
-            Ok(response) => {
+        match saint_service::scan_with_retries(addr, &sapk, deadline_ms, policy, None) {
+            Ok((response, used)) => {
+                if used > 0 {
+                    eprintln!("{path}: served after {used} retr{}", plural_y(used));
+                }
                 print!("{}", response.report);
                 reports.push(response.report);
             }
@@ -404,6 +411,14 @@ fn submit(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         }
     }
     Ok(scan_exit_code(&reports))
+}
+
+fn plural_y(n: u32) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
+    }
 }
 
 fn status(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
@@ -425,6 +440,7 @@ fn print_status(addr: &str, s: &saint_service::StatusResponse) {
         "  jobs: {} served, {} active, {} queued (capacity {}), {} rejected busy, {} timed out",
         s.jobs_served, s.jobs_active, s.queue_depth, s.queue_capacity, s.rejected_busy, s.timed_out
     );
+    println!("  scan workers: {} live", s.scan_workers);
     for (name, cache) in [
         ("class cache   ", &s.class_cache),
         ("artifact cache", &s.artifact_cache),

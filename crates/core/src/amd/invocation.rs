@@ -12,7 +12,9 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+
+use saint_sync::RwLock;
 
 use saint_adf::{ApiDatabase, LifeSpan};
 use saint_analysis::{BlockRanges, CacheStats, MethodArtifacts};
@@ -91,7 +93,7 @@ impl DeepScanCache {
             lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.read().expect("cache lock poisoned").len(),
+            entries: self.map.read().len(),
         }
     }
 }
@@ -213,11 +215,7 @@ fn prewarm_subtrees(model: &AppModel, db: &ApiDatabase, cache: &DeepScanCache, j
         .filter(|(root, _, range)| seen.insert((root.clone(), *range)))
         .filter(|(root, _, range)| {
             let key = (model.target, root.clone(), *range);
-            !cache
-                .map
-                .read()
-                .expect("cache lock poisoned")
-                .contains_key(&key)
+            !cache.map.read().contains_key(&key)
         })
         .collect();
 
@@ -236,12 +234,7 @@ fn prewarm_subtrees(model: &AppModel, db: &ApiDatabase, cache: &DeepScanCache, j
         cache.lookups.fetch_add(1, Ordering::Relaxed);
         cache.misses.fetch_add(1, Ordering::Relaxed);
         let key = (model.target, root.clone(), *range);
-        cache
-            .map
-            .write()
-            .expect("cache lock poisoned")
-            .entry(key)
-            .or_insert(computed);
+        cache.map.write().entry(key).or_insert(computed);
     });
 }
 
@@ -470,12 +463,7 @@ impl Ctx<'_> {
         }
         let key = (self.model.target, root.clone(), range);
         cache.lookups.fetch_add(1, Ordering::Relaxed);
-        let entry = cache
-            .map
-            .read()
-            .expect("cache lock poisoned")
-            .get(&key)
-            .cloned();
+        let entry = cache.map.read().get(&key).cloned();
         let entry = match entry {
             Some(e) => {
                 cache.hits.fetch_add(1, Ordering::Relaxed);
@@ -485,13 +473,7 @@ impl Ctx<'_> {
                 cache.misses.fetch_add(1, Ordering::Relaxed);
                 let computed = self.compute_subtree(art, range);
                 // First insert wins if two workers raced on the key.
-                cache
-                    .map
-                    .write()
-                    .expect("cache lock poisoned")
-                    .entry(key)
-                    .or_insert(computed)
-                    .clone()
+                cache.map.write().entry(key).or_insert(computed).clone()
             }
         };
         match entry {

@@ -20,17 +20,20 @@
 //! for harnesses that interleave other per-app work (timing baseline
 //! tools, reading corpus metadata) with the scan.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use saint_adf::AndroidFramework;
 use saint_ir::Apk;
-use saint_obs::{MetricsRegistry, MetricsSnapshot, TraceSink};
+use saint_obs::{Counter, MetricsRegistry, MetricsSnapshot, TraceSink};
 
 pub use crate::amd::invocation::DeepScanCache;
 pub use saint_analysis::{ArtifactCache, CacheStats, ShardedClassCache};
 
+use crate::detector::CompatDetector;
+use crate::error::{self, ScanError};
 use crate::report::Report;
 use crate::saintdroid::SaintDroid;
 
@@ -279,7 +282,49 @@ impl ScanEngine {
     /// `scan_batch` over the same package.
     #[must_use]
     pub fn scan_one(&self, apk: &Apk) -> Report {
-        self.tool.run_with_jobs(apk, self.app_jobs.unwrap_or(1))
+        let per_app = self.app_jobs.unwrap_or(1);
+        self.run_isolated(apk, per_app)
+    }
+
+    /// [`scan_one`](Self::scan_one) with the failure surfaced as a
+    /// typed `Err` instead of folded into the report — the entry point
+    /// for callers (the scan-service daemon) that map errors onto a
+    /// wire protocol rather than a report stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanError::Internal`] when the scan panicked; the
+    /// panic is caught here and never crosses this boundary.
+    pub fn try_scan_one(&self, apk: &Apk) -> Result<Report, ScanError> {
+        self.try_run(apk, self.app_jobs.unwrap_or(1))
+    }
+
+    /// The engine's panic-isolation boundary: runs one scan under
+    /// `catch_unwind`, demoting a panic anywhere in the pipeline to a
+    /// typed [`ScanError`] and bumping
+    /// [`Counter::ScansPanicked`]. Every scan the engine performs —
+    /// single, batch, sequential or pooled — funnels through here.
+    fn try_run(&self, apk: &Apk, per_app: usize) -> Result<Report, ScanError> {
+        // A stale marker from an earlier caught unwind on this worker
+        // thread must not label this scan's failure.
+        error::reset_phase();
+        match catch_unwind(AssertUnwindSafe(|| self.tool.run_with_jobs(apk, per_app))) {
+            Ok(report) => Ok(report),
+            Err(payload) => {
+                if let Some(metrics) = self.metrics() {
+                    metrics.add(Counter::ScansPanicked, 1);
+                }
+                Err(error::from_panic(payload))
+            }
+        }
+    }
+
+    /// `try_run` with the failure folded into an error-only report, so
+    /// batch output keeps its one-report-per-input shape.
+    fn run_isolated(&self, apk: &Apk, per_app: usize) -> Report {
+        self.try_run(apk, per_app).unwrap_or_else(|err| {
+            Report::from_error(apk.manifest.package.clone(), self.tool.name(), err)
+        })
     }
 
     /// Activity counters of the batch class cache, if the tool carries
@@ -320,7 +365,7 @@ impl ScanEngine {
                 .iter()
                 .map(|apk| {
                     let t = Instant::now();
-                    let r = self.tool.run_with_jobs(apk, per_app);
+                    let r = self.run_isolated(apk, per_app);
                     stat.busy += t.elapsed();
                     stat.apps += 1;
                     r
@@ -344,7 +389,7 @@ impl ScanEngine {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(apk) = apks.get(i) else { break };
                             let t = Instant::now();
-                            let report = self.tool.run_with_jobs(apk, per_app);
+                            let report = self.run_isolated(apk, per_app);
                             stat.busy += t.elapsed();
                             stat.apps += 1;
                             // Each index is drawn exactly once, so the

@@ -51,6 +51,7 @@ mod arm;
 mod aum;
 mod detector;
 pub mod engine;
+mod error;
 mod mismatch;
 pub mod repair;
 mod report;
@@ -60,6 +61,7 @@ pub use arm::Arm;
 pub use aum::{is_app_origin, AppModel, Aum};
 pub use detector::{Capabilities, CompatDetector};
 pub use engine::{BatchScan, ScanEngine, WorkerStat};
+pub use error::{panic_message, ScanError};
 pub use mismatch::{is_mismatch_region, missing_levels_in, Mismatch, MismatchKind};
 pub use report::Report;
 pub use saintdroid::SaintDroid;

@@ -6,6 +6,7 @@ use std::time::Duration;
 use saint_analysis::LoadMeter;
 use serde::{Deserialize, Serialize};
 
+use crate::error::ScanError;
 use crate::mismatch::{Mismatch, MismatchKind};
 
 /// The outcome of analyzing one app with one detector.
@@ -22,6 +23,11 @@ pub struct Report {
     /// What the analysis materialized (classes, methods, bytes) — the
     /// Figure-4 quantity.
     pub meter: LoadMeter,
+    /// Failures demoted to report entries by the engine's panic
+    /// isolation. A report with entries here is *partial*: the scan
+    /// did not finish, and its mismatch set must not be trusted as
+    /// complete. Empty on every successful scan.
+    pub errors: Vec<ScanError>,
 }
 
 impl Report {
@@ -34,7 +40,28 @@ impl Report {
             mismatches: Vec::new(),
             duration: Duration::ZERO,
             meter: LoadMeter::new(),
+            errors: Vec::new(),
         }
+    }
+
+    /// Creates a report that records only a scan failure — what the
+    /// engine hands back when a whole scan panicked and there is no
+    /// partial result to salvage.
+    #[must_use]
+    pub fn from_error(
+        package: impl Into<String>,
+        detector: impl Into<String>,
+        error: ScanError,
+    ) -> Self {
+        let mut report = Report::new(package, detector);
+        report.errors.push(error);
+        report
+    }
+
+    /// Whether the scan behind this report failed partway through.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        !self.errors.is_empty()
     }
 
     /// Adds mismatches, dropping duplicates (same kind, site, API and
@@ -123,6 +150,9 @@ impl std::fmt::Display for Report {
         )?;
         for m in &self.mismatches {
             writeln!(f, "  {m}")?;
+        }
+        for e in &self.errors {
+            writeln!(f, "  ERROR {e}")?;
         }
         Ok(())
     }

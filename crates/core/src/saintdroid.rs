@@ -12,6 +12,7 @@ use crate::amd;
 use crate::arm::Arm;
 use crate::aum::{AppModel, Aum};
 use crate::detector::{Capabilities, CompatDetector};
+use crate::error::{in_phase, PhasePanic};
 use crate::report::Report;
 
 /// The SAINTDroid analyzer: holds the once-per-framework ARM artifacts
@@ -238,7 +239,7 @@ impl SaintDroid {
         let app_jobs = app_jobs.max(1);
         let package = apk.manifest.package.as_str();
         let start = Instant::now();
-        let model = self.model_with(apk, app_jobs);
+        let model = in_phase("explore", || self.model_with(apk, app_jobs));
         let explore_time = start.elapsed();
         // The Explore *phase* span is recorded inside the exploration
         // itself (analysis layer); here we only emit the trace event,
@@ -251,7 +252,7 @@ impl SaintDroid {
                 explore_time,
             );
         }
-        let (db, pm) = self.arm.mine(self.metrics.as_deref());
+        let (db, pm) = in_phase("arm_mine", || self.arm.mine(self.metrics.as_deref()));
         let detect_start = Instant::now();
 
         // The three detector families are independent functions of the
@@ -277,10 +278,23 @@ impl SaintDroid {
                         amd::permission::detect(&model, &pm)
                     })
                 });
+                // Join *every* handle before surfacing any panic:
+                // propagating the first failure while a sibling's
+                // panic is still unjoined would double-panic the
+                // scope. A failed join is re-raised on this thread
+                // wrapped in a `PhasePanic`, because the worker's
+                // thread-local phase marker died with the worker.
+                let inv = inv.join();
+                let cb = cb.join();
+                let prm = prm.join();
+                let unwrap = |r: std::thread::Result<Vec<crate::mismatch::Mismatch>>,
+                              phase: &'static str| {
+                    r.unwrap_or_else(|payload| std::panic::panic_any(PhasePanic { phase, payload }))
+                };
                 (
-                    inv.join().expect("invocation detector panicked"),
-                    cb.join().expect("callback detector panicked"),
-                    prm.join().expect("permission detector panicked"),
+                    unwrap(inv, "detect_invocation"),
+                    unwrap(cb, "detect_callback"),
+                    unwrap(prm, "detect_permission"),
                 )
             })
         } else {
@@ -328,6 +342,24 @@ impl SaintDroid {
     /// registry nor a sink attached this is a plain call — no clocks
     /// are read.
     fn observe<T>(&self, phase: Phase, package: &str, f: impl FnOnce() -> T) -> T {
+        // The phase marker and the fault-injection point piggyback on
+        // the observation hook: both want exactly the per-detector
+        // scope this function already delimits, and both are active
+        // even with observation itself disabled.
+        let fault = match phase {
+            Phase::DetectInvocation => Some(saint_faults::FaultPoint::DetectInvocation),
+            Phase::DetectCallback => Some(saint_faults::FaultPoint::DetectCallback),
+            Phase::DetectPermission => Some(saint_faults::FaultPoint::DetectPermission),
+            _ => None,
+        };
+        let f = || {
+            in_phase(phase.name(), || {
+                if let Some(point) = fault {
+                    saint_faults::trip(point);
+                }
+                f()
+            })
+        };
         if self.metrics.is_none() && self.trace.is_none() {
             return f();
         }

@@ -1,0 +1,31 @@
+//! Regression test for environment-only arming: a process that sets
+//! `SAINT_FAULTS` and then calls nothing but `trip` (exactly what a
+//! stock `saintdroid serve` under the CI fault smoke does) must still
+//! fire the armed countdown. This is its own integration-test binary —
+//! a separate process — so no other test can initialize the spec
+//! before the env var is in place.
+
+use std::panic::catch_unwind;
+
+use saint_faults::FaultPoint;
+
+#[test]
+fn env_spec_arms_without_any_programmatic_call() {
+    // Set before the crate's `Once` has a chance to run: `trip` below
+    // is the first saint-faults call this process makes.
+    std::env::set_var(saint_faults::ENV_VAR, "decode:2, explore:1");
+
+    for _ in 0..2 {
+        let payload =
+            catch_unwind(|| saint_faults::trip(FaultPoint::Decode)).expect_err("armed from env");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("injected panic at decode"), "{msg}");
+    }
+    // Countdown spent: decode is a no-op again, explore still armed.
+    saint_faults::trip(FaultPoint::Decode);
+    assert_eq!(saint_faults::remaining(FaultPoint::Explore), 1);
+    catch_unwind(|| saint_faults::trip(FaultPoint::Explore)).expect_err("explore armed from env");
+    // Never-armed points are untouched.
+    saint_faults::trip(FaultPoint::QueueHandoff);
+    saint_faults::reset();
+}

@@ -813,6 +813,7 @@ impl<'a> Reader<'a> {
 /// wrapped [`crate::IrError`] when the bytes parse but violate IR
 /// invariants (duplicate classes, bad branch targets, …).
 pub fn decode_apk(input: &[u8]) -> Result<Apk, CodecError> {
+    saint_faults::trip(saint_faults::FaultPoint::Decode);
     let mut r = Reader::new(input);
     let magic = r.bytes(4, "magic")?;
     if magic != MAGIC {

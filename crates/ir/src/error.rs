@@ -120,6 +120,27 @@ pub enum CodecError {
     Invalid(IrError),
 }
 
+impl CodecError {
+    /// Byte offset of the offending input, when the failure is tied to
+    /// one: decode errors carry the exact position, the magic/version
+    /// checks sit at fixed header offsets, and structural validation
+    /// ([`CodecError::Invalid`]) happens after decoding, so it has no
+    /// single byte to point at. Surfaced to scan-service clients so a
+    /// corrupt SAPK can be triaged without re-running the decoder.
+    #[must_use]
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            CodecError::BadMagic { .. } => Some(0),
+            CodecError::UnsupportedVersion { .. } => Some(4),
+            CodecError::UnexpectedEof { offset, .. }
+            | CodecError::VarintOverflow { offset }
+            | CodecError::InvalidUtf8 { offset }
+            | CodecError::InvalidTag { offset, .. } => Some(*offset),
+            CodecError::Invalid(_) => None,
+        }
+    }
+}
+
 impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -194,6 +215,39 @@ mod tests {
         };
         assert!(c.to_string().contains("42"));
         assert!(c.to_string().contains("class name"));
+    }
+
+    #[test]
+    fn offsets_point_at_the_offending_byte() {
+        assert_eq!(CodecError::BadMagic { found: *b"nope" }.offset(), Some(0));
+        assert_eq!(
+            CodecError::UnsupportedVersion {
+                found: 9,
+                expected: 1
+            }
+            .offset(),
+            Some(4)
+        );
+        assert_eq!(
+            CodecError::UnexpectedEof {
+                offset: 42,
+                context: "class name"
+            }
+            .offset(),
+            Some(42)
+        );
+        assert_eq!(CodecError::VarintOverflow { offset: 7 }.offset(), Some(7));
+        assert_eq!(CodecError::InvalidUtf8 { offset: 8 }.offset(), Some(8));
+        assert_eq!(
+            CodecError::InvalidTag {
+                offset: 9,
+                tag: 200,
+                context: "terminator"
+            }
+            .offset(),
+            Some(9)
+        );
+        assert_eq!(CodecError::from(IrError::EmptyBody).offset(), None);
     }
 
     #[test]

@@ -94,11 +94,21 @@ pub enum Counter {
     CallbackOverridesChecked = 8,
     /// Permission-protected API uses checked by the permission detector.
     PermissionChecksPerformed = 9,
+    /// Scans that panicked and were converted to a typed
+    /// `ScanError::Internal` by an isolation boundary (engine
+    /// `catch_unwind`, daemon worker guard, handler-side decode).
+    ScansPanicked = 10,
+    /// Daemon scan workers that died and were respawned by the
+    /// supervisor.
+    WorkersRespawned = 11,
+    /// Client-side retries of transient failures (connect/reset,
+    /// `busy`, worker-crash `internal`).
+    ClientRetries = 12,
 }
 
 impl Counter {
     /// Every counter, in wire order. Snapshot vectors follow this order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 13] = [
         Counter::AppsScanned,
         Counter::MismatchesFound,
         Counter::ClassesLoaded,
@@ -109,6 +119,9 @@ impl Counter {
         Counter::InvocationSitesScanned,
         Counter::CallbackOverridesChecked,
         Counter::PermissionChecksPerformed,
+        Counter::ScansPanicked,
+        Counter::WorkersRespawned,
+        Counter::ClientRetries,
     ];
 
     /// Stable snake_case name used on every export surface.
@@ -125,6 +138,9 @@ impl Counter {
             Counter::InvocationSitesScanned => "invocation_sites_scanned",
             Counter::CallbackOverridesChecked => "callback_overrides_checked",
             Counter::PermissionChecksPerformed => "permission_checks_performed",
+            Counter::ScansPanicked => "scans_panicked",
+            Counter::WorkersRespawned => "workers_respawned",
+            Counter::ClientRetries => "client_retries",
         }
     }
 }

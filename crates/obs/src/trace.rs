@@ -11,7 +11,8 @@
 //! keeping it local is what lets this crate stay dependency-free.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+
+use saint_sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Number of shard locks. Spans are routed by a per-thread id, so with
@@ -92,19 +93,15 @@ impl TraceSink {
             tid,
         };
         let shard = (tid as usize) % SHARDS;
-        self.shards[shard]
-            .lock()
-            .expect("trace shard poisoned")
-            .push(event);
+        // saint-sync recovers a shard whose writer panicked mid-span,
+        // so tracing a crashing scan never wedges later exports.
+        self.shards[shard].lock().push(event);
     }
 
     /// Total spans recorded so far.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("trace shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// True when no spans have been recorded.
@@ -118,7 +115,7 @@ impl TraceSink {
     pub fn drain_sorted(&self) -> Vec<TraceEvent> {
         let mut all: Vec<TraceEvent> = Vec::new();
         for shard in &self.shards {
-            all.append(&mut shard.lock().expect("trace shard poisoned"));
+            all.append(&mut shard.lock());
         }
         // Deterministic order: by start time, then thread, then name.
         all.sort_by(|a, b| (a.ts_us, a.tid, &a.name).cmp(&(b.ts_us, b.tid, &b.name)));

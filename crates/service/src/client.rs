@@ -1,14 +1,19 @@
 //! Client side of the scan-service protocol: one blocking connection,
-//! request/response lines in lockstep.
+//! request/response lines in lockstep — plus a retry wrapper with
+//! capped exponential backoff for the transient failure modes a
+//! fault-tolerant daemon exposes (`busy`, `internal`, connection
+//! resets during a worker respawn).
 
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
+use saint_obs::{Counter, MetricsRegistry};
 use serde::Deserialize as _;
 
 use crate::protocol::{
-    self, Envelope, ErrorResponse, LineRead, MetricsResponse, ScanRequest, ScanResponse,
-    StatusResponse, PROTOCOL_VERSION,
+    self, error_code, Envelope, ErrorResponse, LineRead, MetricsResponse, ScanRequest,
+    ScanResponse, StatusResponse, PROTOCOL_VERSION,
 };
 
 /// Why a service call failed.
@@ -35,11 +40,116 @@ impl std::fmt::Display for ClientError {
     }
 }
 
+impl ClientError {
+    /// Whether a retry against the same daemon can plausibly succeed.
+    ///
+    /// Transient: transport failures (the daemon may be mid-respawn or
+    /// the connection was reset), `busy` (the queue drains), and
+    /// `internal` (the panic was isolated; a resubmission runs on a
+    /// healthy worker). Everything else — `bad_package`, `malformed`,
+    /// `too_large`, `unsupported_version`, `draining`, `timeout` — is
+    /// deterministic or deliberate, and retrying only repeats it.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Io(_) => true,
+            ClientError::Rejected(e) => {
+                e.code == error_code::BUSY || e.code == error_code::INTERNAL
+            }
+            ClientError::Protocol(_) => false,
+        }
+    }
+}
+
 impl std::error::Error for ClientError {}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
         ClientError::Io(e)
+    }
+}
+
+/// Capped exponential backoff with deterministic jitter.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` = single attempt).
+    pub retries: u32,
+    /// Delay before the first retry; doubles each attempt.
+    pub base: Duration,
+    /// Ceiling on any single delay.
+    pub cap: Duration,
+}
+
+impl RetryPolicy {
+    /// `retries` retries over the default 50 ms → 2 s backoff curve.
+    #[must_use]
+    pub fn new(retries: u32) -> Self {
+        RetryPolicy {
+            retries,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+        }
+    }
+
+    /// The delay before retry number `attempt` (1-based): exponential
+    /// from `base`, capped, plus up to 25% deterministic jitter keyed
+    /// on `(seed, attempt)` so a fleet of clients rejected by the same
+    /// `busy` burst does not resubmit in lockstep.
+    #[must_use]
+    pub fn delay(&self, attempt: u32, seed: u64) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1_u32 << attempt.saturating_sub(1).min(16))
+            .min(self.cap);
+        let jitter_unit = fnv1a(seed ^ u64::from(attempt)) % 256;
+        let jitter = exp.mul_f64(jitter_unit as f64 / 256.0 * 0.25);
+        exp + jitter
+    }
+}
+
+/// FNV-1a — the deterministic stand-in for an RNG (nothing here needs
+/// unpredictability, only de-synchronization).
+fn fnv1a(x: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in x.to_le_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Submits one SAPK scan with reconnect-and-retry on transient
+/// failures, returning the response and how many retries it took.
+/// Each attempt opens a fresh connection: after an `internal` error or
+/// a reset, the old connection's handler state is not worth trusting.
+/// Bumps [`Counter::ClientRetries`] once per retry when a registry is
+/// attached.
+///
+/// # Errors
+/// The last attempt's error when every attempt failed, or the first
+/// permanent (non-transient) error immediately.
+pub fn scan_with_retries(
+    addr: &str,
+    sapk_bytes: &[u8],
+    deadline_ms: Option<u64>,
+    policy: RetryPolicy,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<(ScanResponse, u32), ClientError> {
+    let seed = fnv1a(addr.bytes().map(u64::from).fold(0, |a, b| a << 1 | b));
+    let mut attempt = 0_u32;
+    loop {
+        let outcome = Client::connect(addr).and_then(|mut c| c.scan_sapk(sapk_bytes, deadline_ms));
+        match outcome {
+            Ok(resp) => return Ok((resp, attempt)),
+            Err(err) if attempt < policy.retries && err.is_transient() => {
+                attempt += 1;
+                if let Some(metrics) = metrics {
+                    metrics.add(Counter::ClientRetries, 1);
+                }
+                std::thread::sleep(policy.delay(attempt, seed));
+            }
+            Err(err) => return Err(err),
+        }
     }
 }
 

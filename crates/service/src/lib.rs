@@ -64,7 +64,7 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{scan_with_retries, Client, ClientError, RetryPolicy};
 pub use protocol::{
     ErrorResponse, MetricsResponse, ScanRequest, ScanResponse, StatusResponse, PROTOCOL_VERSION,
 };

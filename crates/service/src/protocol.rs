@@ -43,6 +43,10 @@ pub mod error_code {
     pub const UNSUPPORTED_VERSION: &str = "unsupported_version";
     /// The base64 payload did not decode to a valid SAPK container.
     pub const BAD_PACKAGE: &str = "bad_package";
+    /// The scan (or the response path) panicked server-side; the panic
+    /// was isolated and the daemon keeps serving. Transient from the
+    /// client's perspective — a resubmission runs on a fresh worker.
+    pub const INTERNAL: &str = "internal";
 }
 
 /// The `kind` discriminator + version, parsed before full dispatch.
@@ -168,6 +172,9 @@ pub struct StatusResponse {
     pub jobs_served: u64,
     /// Scans currently executing on job workers.
     pub jobs_active: usize,
+    /// Live scan-worker threads (the supervisor respawns crashed ones,
+    /// so this returns to the configured pool size after a fault).
+    pub scan_workers: usize,
     /// Scans queued but not yet started.
     pub queue_depth: usize,
     /// Admission-control bound: requests beyond this depth get `busy`.
@@ -349,6 +356,12 @@ pub struct ErrorResponse {
     pub code: String,
     /// Human-readable detail.
     pub message: String,
+    /// For [`error_code::BAD_PACKAGE`] container failures: byte offset
+    /// of the offending input, when the decoder can point at one.
+    pub offset: Option<u64>,
+    /// For [`error_code::INTERNAL`]: the pipeline phase that panicked
+    /// (`decode`, `explore`, `detect_invocation`, …).
+    pub phase: Option<String>,
 }
 
 impl ErrorResponse {
@@ -360,7 +373,23 @@ impl ErrorResponse {
             kind: "error".to_string(),
             code: code.to_string(),
             message: message.into(),
+            offset: None,
+            phase: None,
         }
+    }
+
+    /// Attaches the offending byte offset (decode failures).
+    #[must_use]
+    pub fn with_offset(mut self, offset: u64) -> Self {
+        self.offset = Some(offset);
+        self
+    }
+
+    /// Attaches the panicking pipeline phase (internal errors).
+    #[must_use]
+    pub fn with_phase(mut self, phase: impl Into<String>) -> Self {
+        self.phase = Some(phase.into());
+        self
     }
 }
 
@@ -527,13 +556,23 @@ pub fn read_line_bounded_into<R: std::io::BufRead>(
 
 /// Serializes a message and frames it as one protocol line.
 ///
-/// # Panics
-/// Never in practice: all protocol types serialize infallibly.
+/// All protocol types serialize infallibly in practice; if one ever
+/// does not, the client still gets a well-formed `internal` error line
+/// instead of a panicked handler and a dropped connection.
 #[must_use]
 pub fn to_line<T: Serialize>(msg: &T) -> String {
-    let mut line = serde_json::to_string(msg).expect("protocol messages serialize");
-    line.push('\n');
-    line
+    match serde_json::to_string(msg) {
+        Ok(mut line) => {
+            line.push('\n');
+            line
+        }
+        Err(_) => format!(
+            "{{\"v\":{PROTOCOL_VERSION},\"kind\":\"error\",\"code\":\"{}\",\
+             \"message\":\"response failed to serialize\",\"offset\":null,\
+             \"phase\":null}}\n",
+            error_code::INTERNAL
+        ),
+    }
 }
 
 #[cfg(test)]

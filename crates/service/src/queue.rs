@@ -18,20 +18,23 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::SyncSender;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 use saint_ir::Apk;
-use saintdroid::Report;
+use saint_sync::{Condvar, Mutex};
+use saintdroid::{Report, ScanError};
 
 /// One admitted scan: the decoded package plus the channel the waiting
 /// connection handler blocks on.
 pub struct Job {
     /// The decoded package to scan.
     pub apk: Apk,
-    /// Where the finished report goes; the send fails silently if the
-    /// handler already gave up (deadline) — the report is then dropped.
-    pub respond: SyncSender<Report>,
+    /// Where the outcome goes — the finished report, or the typed
+    /// error a panicking scan was demoted to. The send fails silently
+    /// if the handler already gave up (deadline) — the outcome is then
+    /// dropped.
+    pub respond: SyncSender<Result<Report, ScanError>>,
     /// Set by the handler when its deadline expires; a worker that
     /// sees the flag drops the job without scanning.
     pub cancelled: Arc<AtomicBool>,
@@ -122,7 +125,7 @@ impl JobQueue {
     /// [`Admission::Draining`] once [`drain`](Self::drain) was called,
     /// [`Admission::Busy`] when the queue is at capacity.
     pub fn submit(&self, job: Job) -> Result<(), Admission> {
-        let mut st = self.state.lock().expect("queue lock");
+        let mut st = self.state.lock();
         if st.draining {
             return Err(Admission::Draining);
         }
@@ -140,7 +143,7 @@ impl JobQueue {
     /// handler already accounted for them) or the queue is drained dry;
     /// `None` tells the worker to exit.
     pub fn next(&self) -> Option<Job> {
-        let mut st = self.state.lock().expect("queue lock");
+        let mut st = self.state.lock();
         loop {
             while let Some(job) = st.queue.pop_front() {
                 if job.cancelled.load(Ordering::Acquire) {
@@ -155,7 +158,7 @@ impl JobQueue {
             if st.draining {
                 return None;
             }
-            st = self.wake.wait(st).expect("queue lock");
+            st = self.wake.wait(st);
         }
     }
 
@@ -183,7 +186,7 @@ impl JobQueue {
     /// Closes admission and wakes every worker; already-admitted jobs
     /// still run to completion.
     pub fn drain(&self) {
-        let mut st = self.state.lock().expect("queue lock");
+        let mut st = self.state.lock();
         st.draining = true;
         drop(st);
         self.wake.notify_all();
@@ -192,13 +195,13 @@ impl JobQueue {
     /// Whether admission is closed.
     #[must_use]
     pub fn is_draining(&self) -> bool {
-        self.state.lock().expect("queue lock").draining
+        self.state.lock().draining
     }
 
     /// A snapshot of the queue counters.
     #[must_use]
     pub fn stats(&self) -> QueueStats {
-        let st = self.state.lock().expect("queue lock");
+        let st = self.state.lock();
         QueueStats {
             depth: st.queue.len(),
             capacity: self.capacity,
@@ -217,7 +220,9 @@ mod tests {
     use saint_ir::{ApiLevel, ApkBuilder};
     use std::sync::mpsc::sync_channel;
 
-    fn job(cancelled: &Arc<AtomicBool>) -> (Job, std::sync::mpsc::Receiver<Report>) {
+    fn job(
+        cancelled: &Arc<AtomicBool>,
+    ) -> (Job, std::sync::mpsc::Receiver<Result<Report, ScanError>>) {
         let (tx, rx) = sync_channel(1);
         let apk = ApkBuilder::new("q.app", ApiLevel::new(21), ApiLevel::new(28)).build();
         (

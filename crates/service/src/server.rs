@@ -38,14 +38,17 @@
 
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use saint_ir::codec;
-use saintdroid::ScanEngine;
+use saint_obs::{Counter, MetricsRegistry};
+use saint_sync::Mutex;
+use saintdroid::{panic_message, ScanEngine};
 use serde::Deserialize as _;
 
 use crate::protocol::{
@@ -88,14 +91,23 @@ impl Default for ServerConfig {
 /// How often blocked reads wake to poll the drain flag.
 const READ_POLL: Duration = Duration::from_millis(200);
 
+/// How often the supervisor polls for dead scan workers.
+const SUPERVISE_POLL: Duration = Duration::from_millis(25);
+
 struct Shared {
     engine: ScanEngine,
     queue: JobQueue,
+    registry: Arc<MetricsRegistry>,
     started: Instant,
     shutting_down: AtomicBool,
     addr: SocketAddr,
     max_line_bytes: usize,
     conn_threads: usize,
+    /// Live scan-worker handles, owned by the supervisor (which reaps
+    /// finished ones and respawns replacements) and read by `status`.
+    scan_workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Monotone name counter so respawned workers get fresh names.
+    next_worker_id: AtomicUsize,
 }
 
 impl Shared {
@@ -107,6 +119,12 @@ impl Shared {
             uptime_ms: self.started.elapsed().as_millis() as u64,
             jobs_served: q.served,
             jobs_active: q.active,
+            scan_workers: self
+                .scan_workers
+                .lock()
+                .iter()
+                .filter(|h| !h.is_finished())
+                .count(),
             queue_depth: q.depth,
             queue_capacity: q.capacity,
             rejected_busy: q.rejected_busy,
@@ -197,28 +215,36 @@ pub fn start(engine: ScanEngine, cfg: &ServerConfig) -> std::io::Result<ServerHa
     // get a fresh one here) so every `metrics` request has an answer
     // and queue waits are accounted from the first job.
     let engine = engine.ensure_metrics();
-    let registry = Arc::clone(
-        engine
-            .metrics()
-            .expect("ensure_metrics attached a registry"),
-    );
+    let Some(registry) = engine.metrics().cloned() else {
+        return Err(std::io::Error::other("engine lost its metrics registry"));
+    };
     let shared = Arc::new(Shared {
+        queue: JobQueue::new(cfg.queue_depth).with_metrics(Arc::clone(&registry)),
         engine,
-        queue: JobQueue::new(cfg.queue_depth).with_metrics(registry),
+        registry,
         started: Instant::now(),
         shutting_down: AtomicBool::new(false),
         addr,
         max_line_bytes: cfg.max_line_bytes,
         conn_threads: cfg.conn_threads.max(1),
+        scan_workers: Mutex::new(Vec::new()),
+        next_worker_id: AtomicUsize::new(0),
     });
 
+    let jobs = cfg.jobs.max(1);
+    {
+        let mut workers = shared.scan_workers.lock();
+        for _ in 0..jobs {
+            workers.push(spawn_scan_worker(Arc::clone(&shared))?);
+        }
+    }
     let mut threads = Vec::new();
-    for i in 0..cfg.jobs.max(1) {
+    {
         let shared = Arc::clone(&shared);
         threads.push(
             std::thread::Builder::new()
-                .name(format!("saint-scan-{i}"))
-                .spawn(move || scan_worker(&shared))?,
+                .name("saint-supervisor".to_string())
+                .spawn(move || supervise_workers(&shared, jobs))?,
         );
     }
     for i in 0..cfg.conn_threads.max(1) {
@@ -233,21 +259,120 @@ pub fn start(engine: ScanEngine, cfg: &ServerConfig) -> std::io::Result<ServerHa
     Ok(ServerHandle { shared, threads })
 }
 
-/// One scan worker: drain the queue over the warm engine until told to
-/// exit.
-fn scan_worker(shared: &Shared) {
-    while let Some(job) = shared.queue.next() {
-        let report = shared.engine.scan_one(&job.apk);
+/// Spawns one scan worker with a process-unique thread name.
+fn spawn_scan_worker(shared: Arc<Shared>) -> std::io::Result<JoinHandle<()>> {
+    let id = shared.next_worker_id.fetch_add(1, Ordering::Relaxed);
+    std::thread::Builder::new()
+        .name(format!("saint-scan-{id}"))
+        .spawn(move || scan_worker(&shared))
+}
+
+/// The self-healing loop: scan workers are designed never to die (the
+/// engine catches scan panics), but a bug between dequeue and hand-off
+/// — or an injected `queue_handoff` fault — still kills one. The
+/// supervisor reaps finished workers and respawns replacements, so a
+/// crash costs one request, never a permanent slice of scan capacity.
+/// During drain it switches to joining the survivors and exits.
+fn supervise_workers(shared: &Arc<Shared>, pool_size: usize) {
+    loop {
+        if shared.shutting_down.load(Ordering::Acquire) {
+            // Drain mode: workers exit normally once the queue is dry;
+            // take and join whatever is left, then exit.
+            let workers = std::mem::take(&mut *shared.scan_workers.lock());
+            for handle in workers {
+                let _ = handle.join();
+            }
+            return;
+        }
+        let dead: Vec<JoinHandle<()>> = {
+            let mut workers = shared.scan_workers.lock();
+            let mut dead = Vec::new();
+            let mut i = 0;
+            while i < workers.len() {
+                if workers[i].is_finished() {
+                    dead.push(workers.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            dead
+        };
+        for handle in dead {
+            // A panicked join hands back the payload; it was already
+            // accounted (ScansPanicked) by the dying worker's guard.
+            let _ = handle.join();
+        }
+        // Top up to the configured pool size (spawn failures leave the
+        // pool short; the next poll retries).
+        loop {
+            let live = shared
+                .scan_workers
+                .lock()
+                .iter()
+                .filter(|h| !h.is_finished())
+                .count();
+            if live >= pool_size || shared.shutting_down.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(handle) = spawn_scan_worker(Arc::clone(shared)) else {
+                break;
+            };
+            shared.scan_workers.lock().push(handle);
+            shared.registry.add(Counter::WorkersRespawned, 1);
+        }
+        std::thread::sleep(SUPERVISE_POLL);
+    }
+}
+
+/// Keeps per-job queue accounting truthful even when the worker thread
+/// unwinds between dequeue and hand-off: a dropped (not completed)
+/// guard releases the job's `active` slot and books the panic, so a
+/// dying worker never leaves a phantom active job behind. The waiting
+/// handler sees its channel disconnect (the job, and with it the
+/// sender, is dropped by the same unwind) and answers `internal`.
+struct JobGuard<'a> {
+    shared: &'a Shared,
+    completed: bool,
+}
+
+impl JobGuard<'_> {
+    fn complete(mut self) {
+        self.completed = true;
         // Bookkeeping before the hand-off, mirroring `mark_served`: a
         // client that reads its report and immediately asks for
         // `status`/`metrics` must never see its own finished job still
         // counted as active.
-        shared.queue.finish();
+        self.shared.queue.finish();
+    }
+}
+
+impl Drop for JobGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.shared.queue.finish();
+            self.shared.registry.add(Counter::ScansPanicked, 1);
+        }
+    }
+}
+
+/// One scan worker: drain the queue over the warm engine until told to
+/// exit. Scan panics never reach this frame — the engine demotes them
+/// to typed errors — so the injection point between dequeue and scan
+/// is what exercises the supervisor's respawn path.
+fn scan_worker(shared: &Shared) {
+    while let Some(job) = shared.queue.next() {
+        let guard = JobGuard {
+            shared,
+            completed: false,
+        };
+        saint_faults::trip(saint_faults::FaultPoint::QueueHandoff);
+        let outcome = shared.engine.try_scan_one(&job.apk);
+        guard.complete();
         // A failed send means the handler gave up at its deadline and
-        // dropped the receiver; the report is discarded. Either way the
-        // outcome counters are the handler's job, not ours.
+        // dropped the receiver; the outcome is discarded. Either way
+        // the outcome counters are the handler's job, not ours.
         if !job.cancelled.load(Ordering::Acquire) {
-            let _ = job.respond.send(report);
+            let _ = job.respond.send(outcome);
         }
     }
 }
@@ -406,13 +531,33 @@ fn serve_scan(value: &serde::Value, shared: &Shared) -> String {
             "package_b64 is not valid base64",
         ));
     };
-    let apk = match codec::decode_apk(&sapk) {
-        Ok(apk) => apk,
-        Err(e) => {
-            return protocol::to_line(&ErrorResponse::new(
+    // The decoder runs on the handler thread; isolate it the same way
+    // the engine isolates scans, so a decoder panic (or an injected
+    // `decode` fault) costs this request an `internal` answer instead
+    // of the connection its handler serves.
+    let apk = match catch_unwind(AssertUnwindSafe(|| codec::decode_apk(&sapk))) {
+        Ok(Ok(apk)) => apk,
+        Ok(Err(e)) => {
+            let mut err = ErrorResponse::new(
                 error_code::BAD_PACKAGE,
                 format!("not a SAPK container: {e}"),
-            ))
+            );
+            // Point the client at the offending byte when the decoder
+            // can name one — triage without re-running the decode.
+            if let Some(offset) = e.offset() {
+                err = err.with_offset(offset as u64);
+            }
+            return protocol::to_line(&err);
+        }
+        Err(payload) => {
+            shared.registry.add(Counter::ScansPanicked, 1);
+            return protocol::to_line(
+                &ErrorResponse::new(
+                    error_code::INTERNAL,
+                    format!("decode panicked: {}", panic_message(&*payload)),
+                )
+                .with_phase("decode"),
+            );
         }
     };
 
@@ -448,11 +593,20 @@ fn serve_scan(value: &serde::Value, shared: &Shared) -> String {
         None => report_rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
     };
     match outcome {
-        Ok(report) => {
+        Ok(Ok(report)) => {
             // Counted before the response line leaves, so the client's
             // own follow-up `status` always includes this scan.
             shared.queue.mark_served();
             protocol::to_line(&ScanResponse::new(report))
+        }
+        Ok(Err(scan_err)) => {
+            // The scan panicked; the engine demoted it to a typed
+            // error and the worker survived. Not `mark_served` — no
+            // report reached the client — and not a timeout either.
+            protocol::to_line(
+                &ErrorResponse::new(error_code::INTERNAL, scan_err.to_string())
+                    .with_phase(scan_err.phase()),
+            )
         }
         Err(RecvTimeoutError::Timeout) => {
             // Tell the worker (or the queue) to drop the job; the
@@ -469,11 +623,17 @@ fn serve_scan(value: &serde::Value, shared: &Shared) -> String {
             ))
         }
         Err(RecvTimeoutError::Disconnected) => {
-            shared.queue.mark_timed_out();
-            protocol::to_line(&ErrorResponse::new(
-                error_code::TIMEOUT,
-                "scan worker exited before completing the job",
-            ))
+            // The worker thread died between dequeue and hand-off (its
+            // job — and with it our sender — was dropped by the
+            // unwind). The supervisor is already respawning a
+            // replacement; the client can resubmit immediately.
+            protocol::to_line(
+                &ErrorResponse::new(
+                    error_code::INTERNAL,
+                    "scan worker crashed before completing the job; resubmit",
+                )
+                .with_phase("queue_handoff"),
+            )
         }
     }
 }

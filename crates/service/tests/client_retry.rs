@@ -1,0 +1,142 @@
+//! Client retry policy against a scripted stub daemon: transient
+//! rejections (`busy`, `internal`) and transport failures are retried
+//! with backoff and counted, permanent rejections fail fast, and the
+//! deterministic jitter stays inside its envelope.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::time::Duration;
+
+use saint_obs::{Counter, MetricsRegistry};
+use saint_service::protocol::{self, error_code, ErrorResponse, ScanResponse};
+use saint_service::{scan_with_retries, ClientError, RetryPolicy};
+use saintdroid::Report;
+
+/// Serves one scripted response line per connection, in order, then
+/// exits. Returns the address to dial.
+fn stub_server(responses: Vec<String>) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind stub");
+    let addr = listener.local_addr().expect("stub addr").to_string();
+    std::thread::spawn(move || {
+        for response in responses {
+            let Ok((stream, _)) = listener.accept() else {
+                return;
+            };
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut line = String::new();
+            if reader.read_line(&mut line).is_err() {
+                continue;
+            }
+            let mut writer = stream;
+            let _ = writer.write_all(response.as_bytes());
+            let _ = writer.flush();
+        }
+    });
+    addr
+}
+
+fn ok_line() -> String {
+    protocol::to_line(&ScanResponse::new(Report::new("stub.app", "stub")))
+}
+
+fn quick_policy(retries: u32) -> RetryPolicy {
+    RetryPolicy {
+        retries,
+        base: Duration::from_millis(1),
+        cap: Duration::from_millis(4),
+    }
+}
+
+#[test]
+fn transient_busy_is_retried_until_served() {
+    let busy = protocol::to_line(&ErrorResponse::new(error_code::BUSY, "full"));
+    let addr = stub_server(vec![busy.clone(), busy, ok_line()]);
+    let registry = MetricsRegistry::new();
+    let (resp, retries) = scan_with_retries(&addr, b"sapk", None, quick_policy(4), Some(&registry))
+        .expect("third attempt is served");
+    assert_eq!(retries, 2);
+    assert_eq!(resp.report.package, "stub.app");
+    assert_eq!(registry.counter(Counter::ClientRetries), 2);
+}
+
+#[test]
+fn internal_errors_are_transient_but_respect_the_budget() {
+    let internal = protocol::to_line(
+        &ErrorResponse::new(error_code::INTERNAL, "injected").with_phase("explore"),
+    );
+    let addr = stub_server(vec![internal.clone(), internal, ok_line()]);
+    // Budget of one retry: both attempts see `internal`, so the last
+    // error surfaces — still typed, still carrying the phase.
+    let err = scan_with_retries(&addr, b"sapk", None, quick_policy(1), None)
+        .expect_err("budget exhausted");
+    match err {
+        ClientError::Rejected(e) => {
+            assert_eq!(e.code, error_code::INTERNAL);
+            assert_eq!(e.phase.as_deref(), Some("explore"));
+        }
+        other => panic!("expected typed rejection, got {other}"),
+    }
+}
+
+#[test]
+fn permanent_rejections_fail_fast() {
+    let bad = protocol::to_line(
+        &ErrorResponse::new(error_code::BAD_PACKAGE, "not a SAPK container").with_offset(0),
+    );
+    let addr = stub_server(vec![bad, ok_line()]);
+    let registry = MetricsRegistry::new();
+    let err = scan_with_retries(&addr, b"junk", None, quick_policy(5), Some(&registry))
+        .expect_err("bad_package is not retriable");
+    match err {
+        ClientError::Rejected(e) => {
+            assert_eq!(e.code, error_code::BAD_PACKAGE);
+            assert_eq!(e.offset, Some(0));
+        }
+        other => panic!("expected typed rejection, got {other}"),
+    }
+    assert_eq!(
+        registry.counter(Counter::ClientRetries),
+        0,
+        "no retry spent"
+    );
+}
+
+#[test]
+fn connection_refused_exhausts_the_budget_then_surfaces_io() {
+    // Bind-then-drop guarantees nothing listens on the port.
+    let addr = {
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    };
+    let registry = MetricsRegistry::new();
+    let err = scan_with_retries(&addr, b"sapk", None, quick_policy(2), Some(&registry))
+        .expect_err("nothing listens");
+    assert!(matches!(err, ClientError::Io(_)));
+    assert_eq!(registry.counter(Counter::ClientRetries), 2);
+}
+
+#[test]
+fn backoff_is_deterministic_capped_and_jittered() {
+    let policy = RetryPolicy {
+        retries: 8,
+        base: Duration::from_millis(50),
+        cap: Duration::from_secs(2),
+    };
+    for attempt in 1..=8 {
+        let a = policy.delay(attempt, 7);
+        let b = policy.delay(attempt, 7);
+        assert_eq!(a, b, "same (attempt, seed) must give the same delay");
+        // Exponential-with-cap envelope, plus at most 25% jitter.
+        let exp = policy
+            .base
+            .saturating_mul(1 << (attempt - 1))
+            .min(policy.cap);
+        assert!(a >= exp, "jitter only adds");
+        assert!(a <= exp.mul_f64(1.25), "jitter bounded at 25%");
+    }
+    // Different seeds de-synchronize at least one attempt.
+    assert!(
+        (1..=8).any(|n| policy.delay(n, 1) != policy.delay(n, 2)),
+        "seeds never changed the delay"
+    );
+}

@@ -1,0 +1,171 @@
+//! Fault-injection e2e against a live daemon: five injected panics —
+//! one per pipeline stage, including a worker kill in the queue
+//! hand-off — each cost exactly one request a typed `internal` answer,
+//! after which every request is served with reports byte-identical to
+//! the fault-free run, `scans_panicked` reads 5, the supervisor
+//! respawned at least one worker, and the worker pool is back at full
+//! strength.
+//!
+//! Fault state is process-global, so the whole scenario is one
+//! `#[test]` function (separate integration-test binaries are separate
+//! processes and cannot interfere).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use saint_adf::AndroidFramework;
+use saint_corpus::{RealWorldConfig, RealWorldCorpus};
+use saint_faults::FaultPoint;
+use saint_ir::{codec, Apk};
+use saint_obs::MetricsRegistry;
+use saint_service::{
+    protocol::error_code, scan_with_retries, Client, ClientError, RetryPolicy, ServerConfig,
+};
+use saintdroid::ScanEngine;
+
+const JOBS: usize = 2;
+const DEADLINE: Option<u64> = Some(120_000);
+
+fn corpus_and_framework() -> (Vec<Apk>, Arc<AndroidFramework>) {
+    let mut cfg = RealWorldConfig::small();
+    cfg.apps = 3;
+    let fw = Arc::new(AndroidFramework::with_scale(&cfg.synth));
+    let corpus = RealWorldCorpus::new(cfg);
+    let apks = (0..corpus.len()).map(|i| corpus.get(i).apk).collect();
+    (apks, fw)
+}
+
+/// The byte-parity fingerprint: serialized report, timing excluded by
+/// zeroing the only field that varies run-to-run.
+fn fingerprint(report: &saintdroid::Report) -> String {
+    let mut stable = report.clone();
+    stable.duration = Duration::ZERO;
+    serde_json::to_string(&stable).expect("reports serialize")
+}
+
+fn expect_internal(err: ClientError, phase: &str) {
+    match err {
+        ClientError::Rejected(e) => {
+            assert_eq!(e.code, error_code::INTERNAL, "wrong code: {e:?}");
+            assert_eq!(e.phase.as_deref(), Some(phase), "wrong phase: {e:?}");
+        }
+        other => panic!("expected a typed internal rejection, got {other}"),
+    }
+}
+
+#[test]
+fn daemon_survives_five_injected_panics_with_byte_identical_reports() {
+    saint_faults::reset();
+    let (apks, fw) = corpus_and_framework();
+    let engine = ScanEngine::new(Arc::clone(&fw));
+    engine.prewarm();
+    let handle = saint_service::start(
+        engine,
+        &ServerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            jobs: JOBS,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    let sapks: Vec<Vec<u8>> = apks.iter().map(codec::encode_apk).collect();
+
+    // Fault-free pass: the parity baseline.
+    let mut client = Client::connect(&addr).expect("connect");
+    let baseline: Vec<String> = sapks
+        .iter()
+        .map(|sapk| {
+            let resp = client.scan_sapk(sapk, DEADLINE).expect("fault-free scan");
+            fingerprint(&resp.report)
+        })
+        .collect();
+
+    // A truncated container is a *typed* decode failure (not a panic):
+    // `bad_package` pointing at the offending byte.
+    match client.scan_sapk(&sapks[0][..10.min(sapks[0].len())], DEADLINE) {
+        Err(ClientError::Rejected(e)) => {
+            assert_eq!(e.code, error_code::BAD_PACKAGE);
+            assert!(e.offset.is_some(), "decode errors carry an offset: {e:?}");
+            assert!(e.offset.unwrap() <= 10);
+        }
+        other => panic!("expected bad_package, got {other:?}"),
+    }
+
+    // Five injected panics, one per pipeline stage. Requests go one at
+    // a time, so each armed countdown fires in exactly the request
+    // submitted next.
+    let stages = [
+        (FaultPoint::Decode, "decode"),
+        (FaultPoint::Explore, "explore"),
+        (FaultPoint::DetectInvocation, "detect_invocation"),
+        (FaultPoint::DetectPermission, "detect_permission"),
+        (FaultPoint::QueueHandoff, "queue_handoff"),
+    ];
+    for (point, phase) in stages {
+        saint_faults::arm(point, 1);
+        let err = Client::connect(&addr)
+            .expect("connect")
+            .scan_sapk(&sapks[0], DEADLINE)
+            .expect_err("armed request reports the injected panic");
+        expect_internal(err, phase);
+        assert_eq!(saint_faults::remaining(point), 0, "{point:?} never fired");
+    }
+
+    // Every subsequent request is served, byte-identical to the
+    // fault-free run — the daemon lost nothing but the five poisoned
+    // requests.
+    let mut client = Client::connect(&addr).expect("reconnect");
+    for (sapk, expected) in sapks.iter().zip(&baseline) {
+        let resp = client.scan_sapk(sapk, DEADLINE).expect("post-fault scan");
+        assert_eq!(&fingerprint(&resp.report), expected, "report drifted");
+    }
+
+    // The self-healing evidence: all five panics counted, at least one
+    // worker respawned (the queue_handoff kill), and the pool is back
+    // at full strength. The supervisor polls every 25 ms, so give the
+    // respawn a bounded moment.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let status = client.status().expect("status");
+        if status.scan_workers == JOBS {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "worker pool never restored: {} of {JOBS} live",
+            status.scan_workers
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.counter("scans_panicked"), Some(5));
+    assert!(metrics.counter("workers_respawned").unwrap_or(0) >= 1);
+
+    // Client-side retry against the live daemon: an injected internal
+    // error is transient, so one retry turns it back into a report.
+    let registry = MetricsRegistry::new();
+    saint_faults::arm(FaultPoint::DetectInvocation, 1);
+    let (resp, retries) = scan_with_retries(
+        &addr,
+        &sapks[1],
+        DEADLINE,
+        RetryPolicy {
+            base: Duration::from_millis(5),
+            ..RetryPolicy::new(3)
+        },
+        Some(&registry),
+    )
+    .expect("retry recovers from a transient internal error");
+    assert_eq!(retries, 1);
+    assert_eq!(&fingerprint(&resp.report), &baseline[1]);
+    assert_eq!(registry.counter(saint_obs::Counter::ClientRetries), 1);
+
+    let final_status = Client::connect(&addr)
+        .expect("connect")
+        .shutdown()
+        .expect("graceful shutdown");
+    assert!(final_status.draining || final_status.jobs_served > 0);
+    handle.wait();
+    saint_faults::reset();
+}

@@ -1,0 +1,362 @@
+//! # saint-sync — poison-recovering locks for a fault-tolerant pipeline
+//!
+//! `std::sync` locks poison when a thread panics while holding them:
+//! every later `lock().expect(...)` then panics too, so one crashing
+//! scan cascades into a dead job queue, a dead cache shard, and a dead
+//! daemon. This crate wraps the std primitives with the recovery
+//! policy the scan pipeline wants everywhere: **a poisoned lock is
+//! recovered transparently** (`PoisonError::into_inner`) instead of
+//! propagating the failure.
+//!
+//! Why recovery is sound here: every structure guarded by these locks
+//! in the workspace — the daemon's [`JobQueue`] state, the
+//! [`ShardedClassCache`] / `DeepScanCache` shards, the CLVM class
+//! table, trace shards — holds *monotone or re-derivable* data
+//! (caches can only over- or under-contain, counters only lag, queue
+//! entries are re-validated by their `cancelled` flag on dequeue). A
+//! critical section interrupted mid-write leaves the map/deque in a
+//! structurally valid state because the collection APIs themselves are
+//! panic-safe; the worst case is one lost cache entry or one job whose
+//! handler times out — never an invariant violation that must halt the
+//! process.
+//!
+//! The API mirrors `std::sync` minus the `Result`s, plus a [`Condvar`]
+//! whose `wait` recovers poison as well (the piece the vendored
+//! `parking_lot` stand-in does not provide, and what the job queue
+//! blocks on).
+//!
+//! [`JobQueue`]: https://docs.rs/saint-service
+//! [`ShardedClassCache`]: https://docs.rs/saint-analysis
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+use std::sync::{self, PoisonError};
+use std::time::Duration;
+
+/// A mutual-exclusion lock whose `lock` never fails: a panic in a
+/// previous critical section is recovered instead of cascading.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; unlocks on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    #[must_use]
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value (poison
+    /// recovered).
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available. A poisoned lock is
+    /// recovered transparently — see the crate docs for why that is
+    /// sound for every structure this workspace guards.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking (`None` when the
+    /// lock is held; poison is recovered, not reported).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: p.into_inner(),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+/// A condition variable paired with [`Mutex`]: `wait` re-acquires the
+/// lock with the same poison-recovery policy, so a panicking waiter
+/// elsewhere never strands the remaining waiters.
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[must_use]
+    pub const fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing the guard while parked and
+    /// re-acquiring it (poison recovered) before returning.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        MutexGuard {
+            inner: self
+                .inner
+                .wait(guard.inner)
+                .unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// [`wait`](Self::wait) with a timeout; the boolean is `true` when
+    /// the wait timed out rather than being notified.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        match self.inner.wait_timeout(guard.inner, dur) {
+            Ok((g, timeout)) => (MutexGuard { inner: g }, timeout.timed_out()),
+            Err(poisoned) => {
+                let (g, timeout) = poisoned.into_inner();
+                (MutexGuard { inner: g }, timeout.timed_out())
+            }
+        }
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+/// A reader-writer lock whose `read`/`write` never fail: a panic in a
+/// previous critical section is recovered instead of cascading.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    #[must_use]
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value (poison
+    /// recovered).
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, recovering poison.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Acquires exclusive write access, recovering poison.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_recovers_after_panic_in_critical_section() {
+        let m = Arc::new(Mutex::new(vec![1, 2, 3]));
+        let m2 = Arc::clone(&m);
+        let result = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("injected panic while holding the lock");
+        })
+        .join();
+        assert!(result.is_err(), "the critical section panicked");
+        // The std lock underneath is now poisoned; ours recovers.
+        let mut g = m.lock();
+        g.push(4);
+        assert_eq!(*g, vec![1, 2, 3, 4]);
+        drop(g);
+        assert_eq!(m.try_lock().expect("uncontended").len(), 4);
+    }
+
+    #[test]
+    fn rwlock_recovers_after_panic_in_write_section() {
+        let l = Arc::new(RwLock::new(0u64));
+        let l2 = Arc::clone(&l);
+        let result = std::thread::spawn(move || {
+            let mut g = l2.write();
+            *g = 7;
+            panic!("injected panic while holding the write lock");
+        })
+        .join();
+        assert!(result.is_err());
+        // Readers and writers both proceed; the partial write (a plain
+        // store) is visible — recovery, not rollback.
+        assert_eq!(*l.read(), 7);
+        *l.write() = 8;
+        assert_eq!(*l.read(), 8);
+    }
+
+    #[test]
+    fn condvar_wait_survives_a_poisoning_peer() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut ready = lock.lock();
+                while !*ready {
+                    ready = cv.wait(ready);
+                }
+                true
+            })
+        };
+        // A peer poisons the same mutex before the wake-up…
+        let poisoner = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let _g = pair.0.lock();
+                panic!("injected panic while holding the condvar mutex");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        // …and the waiter still observes the flag and wakes cleanly.
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        assert!(waiter.join().expect("waiter exits cleanly"));
+    }
+
+    #[test]
+    fn wait_timeout_reports_timeouts() {
+        let pair = (Mutex::new(()), Condvar::new());
+        let g = pair.0.lock();
+        let (_g, timed_out) = pair.1.wait_timeout(g, Duration::from_millis(10));
+        assert!(timed_out);
+    }
+
+    #[test]
+    fn into_inner_and_get_mut_recover_poison() {
+        let m = Mutex::new(5);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _g = m.lock();
+            panic!("poison it");
+        }));
+        assert!(caught.is_err());
+        let mut m = m;
+        *m.get_mut() += 1;
+        assert_eq!(m.into_inner(), 6);
+
+        let l = RwLock::new(9);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _g = l.write();
+            panic!("poison it");
+        }));
+        assert!(caught.is_err());
+        let mut l = l;
+        *l.get_mut() += 1;
+        assert_eq!(l.into_inner(), 10);
+    }
+}

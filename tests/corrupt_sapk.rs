@@ -1,0 +1,121 @@
+//! Robustness property: no corrupted SAPK container — random bit
+//! flips, truncations, or both — may panic the decoder or escape the
+//! scan engine's isolation boundary. `decode_apk` must answer with
+//! `Ok` or a typed `CodecError` (whose byte offset, when present,
+//! points inside the input), and a container that still decodes must
+//! scan to `Ok(Report)` or `Err(ScanError::Internal)` at any intra-app
+//! parallelism. The vendored proptest derives every case from a fixed
+//! per-(file, test, case) seed, so failures replay deterministically.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use saint_adf::AndroidFramework;
+use saint_corpus::{RealWorldConfig, RealWorldCorpus};
+use saint_ir::codec;
+use saintdroid::ScanEngine;
+
+/// Encoded fault-free containers to corrupt (built once: corpus
+/// synthesis dominates the per-case cost otherwise).
+fn corpus() -> &'static Vec<Vec<u8>> {
+    static CORPUS: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let mut cfg = RealWorldConfig::small();
+        cfg.apps = 4;
+        let corpus = RealWorldCorpus::new(cfg);
+        (0..corpus.len())
+            .map(|i| codec::encode_apk(&corpus.get(i).apk))
+            .collect()
+    })
+}
+
+/// One warm engine per intra-app parallelism regime under test.
+fn engines() -> &'static [ScanEngine; 2] {
+    static ENGINES: OnceLock<[ScanEngine; 2]> = OnceLock::new();
+    ENGINES.get_or_init(|| {
+        let fw = Arc::new(AndroidFramework::curated());
+        [
+            ScanEngine::new(Arc::clone(&fw)).app_jobs(1),
+            ScanEngine::new(fw).app_jobs(8),
+        ]
+    })
+}
+
+#[derive(Debug, Clone)]
+struct Corruption {
+    app_idx: usize,
+    /// `(position, bit)` pairs, applied modulo the container length.
+    flips: Vec<(usize, u8)>,
+    /// Keep-length as a raw value, applied modulo `len + 1`.
+    truncate_to: Option<usize>,
+}
+
+fn arb_corruption() -> impl Strategy<Value = Corruption> {
+    (
+        0usize..4,
+        vec((any::<usize>(), 0u8..8), 0..8),
+        proptest::option::of(any::<usize>()),
+    )
+        .prop_map(|(app_idx, flips, truncate_to)| Corruption {
+            app_idx,
+            flips,
+            truncate_to,
+        })
+}
+
+fn corrupted_bytes(spec: &Corruption) -> Vec<u8> {
+    let originals = corpus();
+    let mut bytes = originals[spec.app_idx % originals.len()].clone();
+    if let Some(keep) = spec.truncate_to {
+        bytes.truncate(keep % (bytes.len() + 1));
+    }
+    for &(pos, bit) in &spec.flips {
+        if !bytes.is_empty() {
+            let i = pos % bytes.len();
+            bytes[i] ^= 1 << bit;
+        }
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn corrupted_containers_never_panic_decode_or_scan(spec in arb_corruption()) {
+        let bytes = corrupted_bytes(&spec);
+
+        let decoded = catch_unwind(AssertUnwindSafe(|| codec::decode_apk(&bytes)))
+            .map_err(|_| "decode_apk panicked on corrupted input".to_string())?;
+
+        match decoded {
+            Err(e) => {
+                // A typed failure; the offset (when the decoder can
+                // name one) must point into the input we handed it.
+                if let Some(offset) = e.offset() {
+                    prop_assert!(
+                        offset <= bytes.len(),
+                        "offset {offset} beyond input of {} bytes",
+                        bytes.len()
+                    );
+                }
+            }
+            Ok(apk) => {
+                // Structurally valid despite the corruption: the scan
+                // must stay inside the isolation boundary at every
+                // parallelism regime — `Ok` or typed `Err`, no unwind.
+                for engine in engines() {
+                    // `Ok` and typed `Err` are both acceptable — only
+                    // an unwind (the outer `Err`) is a failure.
+                    let _ = catch_unwind(AssertUnwindSafe(|| engine.try_scan_one(&apk)))
+                        .map_err(|_| {
+                            "try_scan_one let a panic escape its catch_unwind boundary"
+                                .to_string()
+                        })?;
+                }
+            }
+        }
+    }
+}
