@@ -92,6 +92,35 @@ impl ApiDatabase {
         }
     }
 
+    /// Reassembles a database from previously mined parts.
+    ///
+    /// This is the load path for frozen artifacts: a database mined
+    /// once, serialized, and reconstructed without re-materializing any
+    /// API surface. Content-equal to the [`ApiDatabase::mine`] result
+    /// it was built from.
+    #[must_use]
+    pub fn from_parts(
+        methods: HashMap<MethodRef, LifeSpan>,
+        classes: HashMap<ClassName, LifeSpan>,
+        supers: HashMap<ClassName, Option<ClassName>>,
+    ) -> Self {
+        ApiDatabase {
+            methods,
+            classes,
+            supers,
+        }
+    }
+
+    /// Iterates every mined class with its lifetime.
+    pub fn classes(&self) -> impl Iterator<Item = (&ClassName, LifeSpan)> {
+        self.classes.iter().map(|(c, l)| (c, *l))
+    }
+
+    /// Iterates every known `class -> direct superclass` edge.
+    pub fn supers(&self) -> impl Iterator<Item = (&ClassName, Option<&ClassName>)> {
+        self.supers.iter().map(|(c, s)| (c, s.as_ref()))
+    }
+
     /// Whether the database knows `class` as a framework class (at any
     /// level).
     #[must_use]

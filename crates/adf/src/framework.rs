@@ -20,11 +20,26 @@ use crate::permissions::PermissionMap;
 use crate::spec::FrameworkSpec;
 use crate::synth::SynthConfig;
 
+/// An alternative origin for materialized framework classes.
+///
+/// A source answers `Some(answer)` when it is authoritative for
+/// `(level, name)` — `Some(None)` meaning "the class does not exist at
+/// that level" — and `None` when it has no opinion, in which case the
+/// framework falls back to materializing from its spec. The frozen
+/// artifact layer installs one of these so class bodies come from an
+/// mmapped image instead of the spec materializer.
+pub trait ClassSource: Send + Sync {
+    /// The class as it exists at `level`, if this source is
+    /// authoritative for it.
+    fn class_at(&self, level: ApiLevel, name: &ClassName) -> Option<Option<Arc<ClassDef>>>;
+}
+
 /// A ready-to-analyze Android framework model.
 pub struct AndroidFramework {
     spec: FrameworkSpec,
     database: OnceLock<Arc<ApiDatabase>>,
     permissions: OnceLock<Arc<PermissionMap>>,
+    class_source: OnceLock<Arc<dyn ClassSource>>,
     #[allow(clippy::type_complexity)]
     class_cache: Mutex<HashMap<(ApiLevel, ClassName), Option<Arc<ClassDef>>>>,
 }
@@ -37,6 +52,7 @@ impl AndroidFramework {
             spec,
             database: OnceLock::new(),
             permissions: OnceLock::new(),
+            class_source: OnceLock::new(),
             class_cache: Mutex::new(HashMap::new()),
         }
     }
@@ -78,6 +94,28 @@ impl AndroidFramework {
         )
     }
 
+    /// Seeds the database slot with an externally reconstructed
+    /// database (e.g. decoded from a frozen artifact), so the first
+    /// [`AndroidFramework::database`] call never mines. Returns `false`
+    /// if the slot was already populated (the seed is dropped).
+    pub fn seed_database(&self, db: Arc<ApiDatabase>) -> bool {
+        self.database.set(db).is_ok()
+    }
+
+    /// Seeds the permission-map slot. Returns `false` if the slot was
+    /// already populated (the seed is dropped).
+    pub fn seed_permission_map(&self, map: Arc<PermissionMap>) -> bool {
+        self.permissions.set(map).is_ok()
+    }
+
+    /// Installs an alternative [`ClassSource`] consulted by
+    /// [`AndroidFramework::class_at`] before the spec materializer.
+    /// Returns `false` if a source was already installed (the new one
+    /// is dropped).
+    pub fn install_class_source(&self, source: Arc<dyn ClassSource>) -> bool {
+        self.class_source.set(source).is_ok()
+    }
+
     /// Materializes one framework class as it exists at `level`,
     /// caching the result. Returns `None` for unknown classes or levels
     /// where the class does not exist.
@@ -88,7 +126,11 @@ impl AndroidFramework {
         if let Some(hit) = cache.get(&key) {
             return hit.clone();
         }
-        let materialized = self.spec.materialize_class(name, level).map(Arc::new);
+        let materialized = self
+            .class_source
+            .get()
+            .and_then(|src| src.class_at(level, name))
+            .unwrap_or_else(|| self.spec.materialize_class(name, level).map(Arc::new));
         cache.insert(key, materialized.clone());
         materialized
     }
@@ -166,6 +208,48 @@ mod tests {
         let names: Vec<&str> = all.iter().map(|c| c.name.as_str()).collect();
         assert!(names.contains(&"android.app.NotificationChannel"));
         assert!(!names.contains(&"org.apache.http.client.HttpClient"));
+    }
+
+    #[test]
+    fn seeded_database_shortcuts_mining() {
+        let fw = AndroidFramework::curated();
+        let seeded = Arc::new(ApiDatabase::mine(fw.spec()));
+        assert!(fw.seed_database(Arc::clone(&seeded)));
+        assert!(Arc::ptr_eq(&fw.database(), &seeded));
+        // A second seed is rejected once the slot is filled.
+        assert!(!fw.seed_database(Arc::new(ApiDatabase::default())));
+        assert!(Arc::ptr_eq(&fw.database(), &seeded));
+    }
+
+    #[test]
+    fn class_source_is_consulted_before_spec() {
+        struct Fixed(Arc<ClassDef>);
+        impl ClassSource for Fixed {
+            fn class_at(
+                &self,
+                _level: ApiLevel,
+                name: &ClassName,
+            ) -> Option<Option<Arc<ClassDef>>> {
+                (name.as_str() == "android.app.Activity").then(|| Some(Arc::clone(&self.0)))
+            }
+        }
+        let fw = AndroidFramework::curated();
+        let canned = Arc::new(ClassDef::new(
+            "android.app.Activity",
+            saint_ir::ClassOrigin::Framework,
+        ));
+        assert!(fw.install_class_source(Arc::new(Fixed(Arc::clone(&canned)))));
+        let got = fw
+            .class_at(ApiLevel::new(28), &ClassName::new("android.app.Activity"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&got, &canned));
+        // Names the source has no opinion on still fall back to the spec.
+        assert!(fw
+            .class_at(
+                ApiLevel::new(28),
+                &ClassName::new("android.app.NotificationChannel")
+            )
+            .is_some());
     }
 
     #[test]

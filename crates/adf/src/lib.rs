@@ -38,7 +38,7 @@ pub mod synth;
 
 pub use android::{android_spec, well_known};
 pub use database::ApiDatabase;
-pub use framework::AndroidFramework;
+pub use framework::{AndroidFramework, ClassSource};
 pub use permissions::{dangerous_permissions, is_dangerous, PermissionMap, DANGEROUS_PERMISSIONS};
 pub use spec::{ClassSpec, FrameworkSpec, LifeSpan, MethodSpec, SpecCall};
 pub use synth::SynthConfig;

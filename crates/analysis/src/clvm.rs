@@ -28,10 +28,9 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
 
 use saint_ir::{ClassDef, ClassName, MethodDef, MethodRef, MethodSig};
-use saint_obs::{MetricsRegistry, Phase};
+use saint_obs::MetricsRegistry;
 use saint_sync::RwLock;
 
 use crate::meter::{AtomicMeter, LoadMeter};
@@ -99,9 +98,12 @@ impl Clvm {
         self.providers.push(provider);
     }
 
-    /// Attaches a metrics registry: every class materialization is
-    /// recorded as a [`Phase::ClvmLoad`] span. Recording never changes
-    /// what gets loaded or metered — only that it is observed.
+    /// Attaches a metrics registry. The registry itself records nothing
+    /// here — [`Phase::ClvmLoad`](saint_obs::Phase::ClvmLoad) spans
+    /// are recorded by the framework
+    /// provider at actual materialization, where the work happens — but
+    /// detectors and the exploration reach the registry through this
+    /// CLVM, so it rides along with the model.
     pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
         self.metrics = Some(metrics);
     }
@@ -131,7 +133,9 @@ impl Clvm {
         // Materialize outside any lock: providers may be slow, and two
         // workers racing on the same name produce identical definitions
         // (materialization is a pure function of provider content).
-        let started = self.metrics.as_ref().map(|_| Instant::now());
+        // `Phase::ClvmLoad` spans are recorded inside the framework
+        // provider, around actual materialization only — a probe that
+        // resolves to a shared-cache `Arc` clone is not loading work.
         let found = self.providers.iter().find_map(|p| p.find_class(name));
         let mut map = shard.write();
         if let Some(cached) = map.get(name) {
@@ -141,12 +145,6 @@ impl Clvm {
         match &found {
             Some(c) => self.meter.record_class(c.size_bytes()),
             None => self.meter.record_unresolved(),
-        }
-        // Span accounting follows the meter's dedup rule: only the
-        // insert winner records, so the phase count equals the number
-        // of distinct materializations.
-        if let (Some(metrics), Some(started)) = (&self.metrics, started) {
-            metrics.record(Phase::ClvmLoad, started.elapsed());
         }
         map.insert(name.clone(), found.clone());
         found

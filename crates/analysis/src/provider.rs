@@ -150,6 +150,7 @@ pub struct FrameworkProvider {
     level: ApiLevel,
     local: parking_lot::Mutex<HashMap<ClassName, Option<Arc<ClassDef>>>>,
     shared: Option<Arc<ShardedClassCache>>,
+    metrics: Option<Arc<saint_obs::MetricsRegistry>>,
 }
 
 impl FrameworkProvider {
@@ -161,6 +162,7 @@ impl FrameworkProvider {
             level,
             local: parking_lot::Mutex::new(HashMap::new()),
             shared: None,
+            metrics: None,
         }
     }
 
@@ -177,7 +179,21 @@ impl FrameworkProvider {
             level,
             local: parking_lot::Mutex::new(HashMap::new()),
             shared: Some(cache),
+            metrics: None,
         }
+    }
+
+    /// Attaches a metrics registry: each *actual* materialization — a
+    /// shared-cache miss that has to build (or decode) the class body —
+    /// is recorded as a [`Phase::ClvmLoad`](saint_obs::Phase::ClvmLoad)
+    /// span. Cache hits record nothing: handing out an `Arc` clone is
+    /// not class-loading work, and billing it to the phase would hide
+    /// exactly the effect batch-wide caches and frozen preloads exist
+    /// to produce.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<saint_obs::MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The level this provider materializes at.
@@ -187,10 +203,17 @@ impl FrameworkProvider {
     }
 
     fn materialize(&self, name: &ClassName) -> Option<Arc<ClassDef>> {
-        self.framework
-            .spec()
-            .materialize_class(name, self.level)
-            .map(Arc::new)
+        // Route through the framework accessor rather than the spec
+        // directly: when a class source is installed (a frozen image),
+        // it is authoritative — an engine booted from an image with an
+        // empty spec must still serve every framework class. Without a
+        // source this is exactly spec materialization, as before.
+        let started = self.metrics.as_ref().map(|_| std::time::Instant::now());
+        let made = self.framework.class_at(self.level, name);
+        if let (Some(metrics), Some(started)) = (&self.metrics, started) {
+            metrics.record(saint_obs::Phase::ClvmLoad, started.elapsed());
+        }
+        made
     }
 }
 

@@ -12,7 +12,11 @@
 //! caches built once, requests over the newline-delimited-JSON
 //! protocol) against the cold shape one process per app, framework
 //! rebuilt every time — i.e. what shelling out to `saintdroid scan`
-//! in a loop costs, at the same parallelism on both sides.
+//! in a loop costs, at the same parallelism on both sides; plus the
+//! **frozen regime** — the same batch read off pre-compiled, mmap'd
+//! `.sfrz` images (framework artifacts attached instead of mined, the
+//! corpus decoded in place) against the parsed batch, and the
+//! parsed-vs-frozen time-to-first-scan pair a daemon pays at startup.
 //!
 //! Each side is timed in a **fresh child process** (best of
 //! `SAINT_REPS`, default 3, alternating sides) so neither side inherits
@@ -50,6 +54,12 @@ const OUT_ENV: &str = "SAINT_BENCH_OUT";
 const PKG_DIR_ENV: &str = "SAINT_BENCH_PKG_DIR";
 /// The single `.sapk` a `service-cold-one` child scans.
 const INPUT_ENV: &str = "SAINT_BENCH_INPUT";
+/// Pre-compiled frozen framework image (`.sfrz`) for the frozen-regime
+/// children: the parent compiles it once so no child pays freezing
+/// inside its timed region — children only attach.
+const FROZEN_FW_ENV: &str = "SAINT_BENCH_FROZEN_FW";
+/// Pre-compiled frozen corpus image for the frozen-regime children.
+const FROZEN_CORPUS_ENV: &str = "SAINT_BENCH_FROZEN_CORPUS";
 /// Parallelism of the service regime, both sides: warm submitter
 /// connections, and concurrently running cold processes.
 const SERVICE_LANES: usize = 4;
@@ -78,6 +88,35 @@ struct Summary {
     metrics: MetricsOverheadSummary,
     large_app: LargeAppSummary,
     service: ServiceSummary,
+    frozen: FrozenSummary,
+}
+
+/// The frozen-artifact regime: the batch engine reading the mined
+/// framework artifacts and the SAPK corpus off pre-compiled `.sfrz`
+/// images (mmap'd, decoded in place) against the metrics-on parsed
+/// batch; plus the time-to-first-scan pair — everything a fresh daemon
+/// pays between exec and its first report, framework mined from spec on
+/// one side vs attached from the image on the other. The clvm_load
+/// shares come from the registry on both sides: the frozen side's
+/// prewarm preloads every framework class from the image, so warm-path
+/// materialization should all but vanish.
+#[derive(Serialize)]
+struct FrozenSummary {
+    apps: usize,
+    jobs: usize,
+    framework_image_bytes: u64,
+    corpus_image_bytes: u64,
+    parsed_batch_secs: f64,
+    frozen_batch_secs: f64,
+    parsed_clvm_share_pct: f64,
+    frozen_clvm_share_pct: f64,
+    ttfs_parsed_secs: f64,
+    ttfs_parsed_startup_secs: f64,
+    ttfs_frozen_secs: f64,
+    ttfs_frozen_startup_secs: f64,
+    ttfs_speedup: f64,
+    mismatches: usize,
+    reports_identical: bool,
 }
 
 /// The observability regime: the same batch scan with the metrics
@@ -258,6 +297,8 @@ fn run_side(side: &str, out_path: &str) {
         "sequential" | "batch" | "batch-metrics" => run_batch_side(side, scale),
         "large-seq" | "large-par" => run_large_side(side, scale),
         "service-warm" => run_service_warm(scale),
+        "frozen-batch" => run_frozen_batch(scale),
+        "ttfs-parsed" | "ttfs-frozen" => run_ttfs_side(side, scale),
         other => panic!("unknown side {other}"),
     };
     let json = serde_json::to_string(&run).expect("side run serializes");
@@ -284,13 +325,19 @@ fn run_batch_side(side: &str, scale: Scale) -> SideRun {
     let start = Instant::now();
     let reports = engine.scan_batch(&apks);
     let wall_secs = start.elapsed().as_secs_f64();
+    engine_side_run(&engine, &reports, wall_secs)
+}
 
+/// Folds an engine's cache stats, registry phases (when the metrics-on
+/// side has one) and the report fingerprint into a [`SideRun`] — the
+/// shared tail of the `batch*` and `frozen-batch` sides.
+fn engine_side_run(engine: &ScanEngine, reports: &[Report], wall_secs: f64) -> SideRun {
     let zero = saint_analysis::CacheStats::default();
     let class = engine.cache_stats().unwrap_or(zero);
     let artifacts = engine.artifact_cache_stats().unwrap_or(zero);
     let scans = engine.scan_cache_stats().unwrap_or(zero);
 
-    // Phase splits and hit rates, filled by the metrics-on side only.
+    // Phase splits and hit rates, filled by the metrics-on sides only.
     let mut run = SideRun {
         wall_secs,
         peak_loaded_bytes: reports
@@ -305,7 +352,7 @@ fn run_batch_side(side: &str, scale: Scale) -> SideRun {
         artifact_cache_misses: artifacts.misses,
         scan_cache_hits: scans.hits,
         scan_cache_misses: scans.misses,
-        reports_fingerprint: fingerprint_reports(&reports),
+        reports_fingerprint: fingerprint_reports(reports),
         mismatches: reports.iter().map(Report::total).sum(),
         explore_secs: 0.0,
         detect_secs: 0.0,
@@ -333,6 +380,76 @@ fn run_batch_side(side: &str, scale: Scale) -> SideRun {
         run.artifact_hit_rate = snap.artifact_cache.map_or(0.0, |c| c.hit_rate());
         run.scan_hit_rate = snap.deep_scan_cache.map_or(0.0, |c| c.hit_rate());
     }
+    run
+}
+
+/// The frozen warm-batch side: same worker count and registry as
+/// `batch-metrics`, but the framework artifacts are attached from the
+/// pre-compiled image (no mining — the engine gets an un-mined
+/// framework on purpose), every framework class is preloaded off the
+/// image before the clock starts, and the corpus is decoded package by
+/// package from the mmap'd corpus image inside the workers.
+fn run_frozen_batch(scale: Scale) -> SideRun {
+    let fw_img = std::env::var(FROZEN_FW_ENV).expect("frozen side needs the framework image");
+    let corpus_img = std::env::var(FROZEN_CORPUS_ENV).expect("frozen side needs the corpus image");
+    let corpus = saint_frozen::FrozenCorpus::open(std::path::Path::new(&corpus_img))
+        .expect("open frozen corpus image");
+    let fw = Arc::new(saint_adf::AndroidFramework::with_scale(
+        &scale.synth_config(),
+    ));
+    let engine = ScanEngine::new(fw).jobs(4).ensure_metrics();
+    engine
+        .attach_frozen(std::path::Path::new(&fw_img))
+        .expect("attach frozen framework image");
+    engine.prewarm();
+    let start = Instant::now();
+    let reports = engine.scan_frozen_batch(&corpus);
+    let wall_secs = start.elapsed().as_secs_f64();
+    engine_side_run(&engine, &reports, wall_secs)
+}
+
+/// Time-to-first-scan children: everything a fresh daemon pays between
+/// exec and its first report — framework artifacts (mined from the spec
+/// on the parsed side, attached from the image on the frozen side),
+/// cache prewarm, then one scan. The corpus image is opened before the
+/// clock starts on both sides (it is the shared input, not the
+/// contested cost); `startup_secs` isolates the artifact step from the
+/// scan itself.
+fn run_ttfs_side(side: &str, scale: Scale) -> SideRun {
+    let corpus_img = std::env::var(FROZEN_CORPUS_ENV).expect("ttfs side needs the corpus image");
+    let corpus = saint_frozen::FrozenCorpus::open(std::path::Path::new(&corpus_img))
+        .expect("open frozen corpus image");
+    let start = Instant::now();
+    let engine = if side == "ttfs-frozen" {
+        // The daemon warm boot: the image — verified end to end when it
+        // was compiled — *is* the framework. No spec synthesis, no
+        // mining, no bulk preload; classes decode lazily out of the
+        // mapping as the first scan touches them. The cross-side report
+        // fingerprint assert in `run_frozen_regime` is the proof this
+        // boot serves the same results as the parse path.
+        let fw_img = std::env::var(FROZEN_FW_ENV).expect("ttfs-frozen needs the framework image");
+        let fw = Arc::new(saint_adf::AndroidFramework::from_spec(
+            saint_adf::FrameworkSpec::new(),
+        ));
+        let engine = ScanEngine::new(fw).jobs(1);
+        engine
+            .attach_frozen_trusted(std::path::Path::new(&fw_img))
+            .expect("attach frozen framework image");
+        engine
+    } else {
+        let fw = Arc::new(saint_adf::AndroidFramework::with_scale(
+            &scale.synth_config(),
+        ));
+        let engine = ScanEngine::new(fw).jobs(1);
+        engine.prewarm();
+        engine
+    };
+    let startup_secs = start.elapsed().as_secs_f64();
+    let apk = corpus.decode(0).expect("decode first package");
+    let reports = vec![engine.scan_one(&apk)];
+    let wall_secs = start.elapsed().as_secs_f64();
+    let mut run = engine_side_run(&engine, &reports, wall_secs);
+    run.startup_secs = startup_secs;
     run
 }
 
@@ -663,6 +780,122 @@ fn run_service_regime(scale: Scale, out_dir: &std::path::Path) -> ServiceSummary
     }
 }
 
+/// Runs the frozen-artifact regime: compiles the framework and corpus
+/// images once (outside every timed region), then times the frozen
+/// warm batch against the parsed metrics-on batch (`met`) and the
+/// parsed-vs-frozen time-to-first-scan pair, best of `reps` fresh
+/// children per side with the same report-parity gate as the other
+/// regimes — the image path must change *nothing* about the reports.
+fn run_frozen_regime(
+    scale: Scale,
+    reps: usize,
+    out_dir: &std::path::Path,
+    met: &SideRun,
+) -> FrozenSummary {
+    let fw = framework_at(scale);
+    let fw_bytes = saint_frozen::freeze_framework(&fw);
+    let apks = corpus_apks(scale);
+    let corpus_bytes = saint_frozen::freeze_apks(&apks);
+    let pid = std::process::id();
+    let fw_img = out_dir.join(format!("saint_bench_fw_{pid}.sfrz"));
+    let corpus_img = out_dir.join(format!("saint_bench_corpus_{pid}.sfrz"));
+    std::fs::write(&fw_img, &fw_bytes).expect("write framework image");
+    std::fs::write(&corpus_img, &corpus_bytes).expect("write corpus image");
+    eprintln!(
+        "bench_summary: frozen regime — framework image {} bytes, corpus image {} bytes",
+        fw_bytes.len(),
+        corpus_bytes.len()
+    );
+    let env: Vec<(&str, &str)> = vec![
+        (FROZEN_FW_ENV, fw_img.to_str().expect("utf-8 path")),
+        (FROZEN_CORPUS_ENV, corpus_img.to_str().expect("utf-8 path")),
+    ];
+
+    let mut frozen_best: Option<SideRun> = None;
+    for rep in 0..reps {
+        let path = out_dir.join(format!("saint_bench_frozen_{rep}.json"));
+        let run = spawn_side_with("frozen-batch", path.to_str().expect("utf-8 path"), &env);
+        let _ = std::fs::remove_file(&path);
+        eprintln!(
+            "  rep {rep}: frozen batch {:.2}s (clvm {:.3}s of {:.2}s scan time)",
+            run.wall_secs, run.metrics_clvm_secs, run.metrics_scan_secs
+        );
+        assert_eq!(
+            run.reports_fingerprint, met.reports_fingerprint,
+            "frozen-image reports diverged from parsed — the image is not a faithful artifact"
+        );
+        assert_eq!(run.mismatches, met.mismatches);
+        frozen_best = Some(match frozen_best {
+            None => run,
+            Some(best) => {
+                if run.wall_secs < best.wall_secs {
+                    run
+                } else {
+                    best
+                }
+            }
+        });
+    }
+    let frozen = frozen_best.expect("at least one rep");
+
+    let mut ttfs_best: Option<(SideRun, SideRun)> = None;
+    for rep in 0..reps {
+        let par_path = out_dir.join(format!("saint_bench_ttfsp_{rep}.json"));
+        let fro_path = out_dir.join(format!("saint_bench_ttfsf_{rep}.json"));
+        // Alternate the order for the same page-cache fairness reason
+        // as batch/batch-metrics.
+        let (tp, tf) = if rep % 2 == 0 {
+            let tp = spawn_side_with("ttfs-parsed", par_path.to_str().expect("utf-8 path"), &env);
+            let tf = spawn_side_with("ttfs-frozen", fro_path.to_str().expect("utf-8 path"), &env);
+            (tp, tf)
+        } else {
+            let tf = spawn_side_with("ttfs-frozen", fro_path.to_str().expect("utf-8 path"), &env);
+            let tp = spawn_side_with("ttfs-parsed", par_path.to_str().expect("utf-8 path"), &env);
+            (tp, tf)
+        };
+        let _ = std::fs::remove_file(&par_path);
+        let _ = std::fs::remove_file(&fro_path);
+        eprintln!(
+            "  rep {rep}: time to first scan — parsed {:.3}s (artifacts {:.3}s) | frozen {:.3}s (attach {:.3}s)",
+            tp.wall_secs, tp.startup_secs, tf.wall_secs, tf.startup_secs
+        );
+        assert_eq!(
+            tp.reports_fingerprint, tf.reports_fingerprint,
+            "first-scan reports diverged between parsed and frozen startup"
+        );
+        ttfs_best = Some(match ttfs_best {
+            None => (tp, tf),
+            Some((bp, bf)) => (
+                if tp.wall_secs < bp.wall_secs { tp } else { bp },
+                if tf.wall_secs < bf.wall_secs { tf } else { bf },
+            ),
+        });
+    }
+    let (ttfs_parsed, ttfs_frozen) = ttfs_best.expect("at least one rep");
+    let _ = std::fs::remove_file(&fw_img);
+    let _ = std::fs::remove_file(&corpus_img);
+
+    let share =
+        |run: &SideRun| run.metrics_clvm_secs / run.metrics_scan_secs.max(f64::EPSILON) * 100.0;
+    FrozenSummary {
+        apps: apks.len(),
+        jobs: 4,
+        framework_image_bytes: fw_bytes.len() as u64,
+        corpus_image_bytes: corpus_bytes.len() as u64,
+        parsed_batch_secs: met.wall_secs,
+        frozen_batch_secs: frozen.wall_secs,
+        parsed_clvm_share_pct: share(met),
+        frozen_clvm_share_pct: share(&frozen),
+        ttfs_parsed_secs: ttfs_parsed.wall_secs,
+        ttfs_parsed_startup_secs: ttfs_parsed.startup_secs,
+        ttfs_frozen_secs: ttfs_frozen.wall_secs,
+        ttfs_frozen_startup_secs: ttfs_frozen.startup_secs,
+        ttfs_speedup: ttfs_parsed.wall_secs / ttfs_frozen.wall_secs.max(f64::EPSILON),
+        mismatches: frozen.mismatches,
+        reports_identical: true,
+    }
+}
+
 fn main() {
     if let Ok(side) = std::env::var(SIDE_ENV) {
         let out = std::env::var(OUT_ENV).expect("child needs an output path");
@@ -789,6 +1022,11 @@ fn main() {
     // multiply minutes of child spawning for little extra signal.
     let service = run_service_regime(scale, &out_dir);
 
+    // The frozen regime reuses the metrics-on parsed batch (`met`) as
+    // its baseline: same worker count, same registry, same corpus —
+    // the only variable is where the artifacts come from.
+    let frozen = run_frozen_regime(scale, reps, &out_dir, &met);
+
     let summary = Summary {
         scale: scale.label().to_string(),
         apps,
@@ -837,6 +1075,7 @@ fn main() {
             reports_identical: true,
         },
         service,
+        frozen,
     };
 
     println!(
@@ -915,6 +1154,31 @@ fn main() {
     println!(
         "daemon class cache: {} hits / {} misses | {} mismatches; reports identical to cold: {}",
         sv.cache_hits, sv.cache_misses, sv.mismatches, sv.reports_identical
+    );
+    let fz = &summary.frozen;
+    println!(
+        "\nFrozen-artifact regime ({} apps, jobs={})\n",
+        fz.apps, fz.jobs
+    );
+    println!(
+        "parsed batch (metrics on): {:>8.2}s | frozen batch: {:>8.2}s",
+        fz.parsed_batch_secs, fz.frozen_batch_secs
+    );
+    println!(
+        "warm-path clvm_load share: parsed {:.1}% -> frozen {:.2}%",
+        fz.parsed_clvm_share_pct, fz.frozen_clvm_share_pct
+    );
+    println!(
+        "time to first scan: parsed {:.3}s (artifacts {:.3}s) | frozen {:.3}s (attach {:.3}s)  ({:.1}x)",
+        fz.ttfs_parsed_secs,
+        fz.ttfs_parsed_startup_secs,
+        fz.ttfs_frozen_secs,
+        fz.ttfs_frozen_startup_secs,
+        fz.ttfs_speedup
+    );
+    println!(
+        "images: framework {} bytes, corpus {} bytes | {} mismatches; reports identical to parsed: {}",
+        fz.framework_image_bytes, fz.corpus_image_bytes, fz.mismatches, fz.reports_identical
     );
 
     let json = serde_json::to_string_pretty(&summary).expect("summary serializes");

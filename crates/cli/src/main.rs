@@ -69,6 +69,8 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         "metrics" => metrics(&args[1..]),
         "shutdown" => shutdown(&args[1..]),
         "synth-pkg" => synth_pkg(&args[1..]),
+        "compile-db" => compile_db(&args[1..]),
+        "compile-corpus" => compile_corpus(&args[1..]),
         other => {
             eprintln!("unknown command `{other}`; try `saintdroid help`");
             Ok(ExitCode::FAILURE)
@@ -102,6 +104,12 @@ fn print_help() {
          \x20 saintdroid shutdown [--addr ADDR]                 gracefully drain and stop the daemon\n\
          \x20 saintdroid synth-pkg <out.sapk> [--index I]       write one synthesized package (for smoke\n\
          \x20                                                   tests and protocol experiments)\n\
+         \x20 saintdroid compile-db <out.sfrz> [--synth N]      compile the framework model (API database,\n\
+         \x20                                                   permission map, class bodies) into a frozen\n\
+         \x20                                                   mmap-able image\n\
+         \x20 saintdroid compile-corpus -o <out.sfrz> <app.sapk>... | --synth-corpus N\n\
+         \x20                                                   pack SAPK packages into one frozen corpus\n\
+         \x20                                                   image scanned zero-copy via `scan --corpus`\n\
          \n\
          exit codes (scan, submit): 0 = no mismatches, 2 = mismatches\n\
          found, 1 = error (unreadable package, service unreachable or\n\
@@ -129,8 +137,31 @@ fn print_help() {
          included (default: none).\n\
          --retries N   submit: retry transient failures (busy,\n\
          internal, connection reset) up to N times per package with\n\
-         capped exponential backoff (default 0: fail fast)."
+         capped exponential backoff (default 0: fail fast).\n\
+         --corpus IMG  scan: analyze every package of a frozen corpus\n\
+         image (see compile-corpus) straight out of the mapping.\n\
+         --frozen-db PATH scan/serve: frozen framework image to attach\n\
+         (default for serve: $SAINT_FROZEN_IMAGE or\n\
+         .saint/frozen/framework-<fingerprint>.sfrz, compiled on first\n\
+         run). For scan the flag opts in; for serve it overrides.\n\
+         --no-frozen   serve: boot on the classic parse path instead\n\
+         of attaching (or compiling) a frozen image.\n\
+         --frozen-trust serve: trusted warm attach — skip the\n\
+         full-image checksum and eager index validation (a prior boot\n\
+         verified the image); every read stays bounds-checked."
     );
+}
+
+/// Where `serve` keeps its frozen framework image by default: the
+/// `SAINT_FROZEN_IMAGE` env override, else a fingerprint-named file
+/// under `.saint/frozen/` — different framework scales get different
+/// images, and a spec change simply compiles a sibling file.
+fn default_frozen_path(fw: &AndroidFramework) -> std::path::PathBuf {
+    if let Ok(path) = std::env::var("SAINT_FROZEN_IMAGE") {
+        return std::path::PathBuf::from(path);
+    }
+    let fp = saint_frozen::spec_fingerprint(fw.spec());
+    std::path::PathBuf::from(".saint/frozen").join(format!("framework-{fp:016x}.sfrz"))
 }
 
 fn load_apk(path: &str) -> Result<Apk, Box<dyn std::error::Error>> {
@@ -161,6 +192,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--retries",
     "--trace-json",
     "--index",
+    "--corpus",
+    "--frozen-db",
+    "--synth-corpus",
     "-o",
 ];
 
@@ -220,8 +254,14 @@ fn scan_exit_code(reports: &[saintdroid::Report]) -> ExitCode {
 
 fn scan(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let paths = positionals(args);
-    if paths.is_empty() {
-        return Err("scan: missing <app.sapk>".into());
+    let corpus = string_flag(args, "--corpus")
+        .map(|img| {
+            saint_frozen::FrozenCorpus::open(std::path::Path::new(img))
+                .map_err(|e| format!("cannot attach corpus image {img}: {e}"))
+        })
+        .transpose()?;
+    if paths.is_empty() && corpus.is_none() {
+        return Err("scan: missing <app.sapk> (or --corpus <image>)".into());
     }
     let apks = paths
         .iter()
@@ -239,7 +279,25 @@ fn scan(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     if let Some(trace) = &trace {
         engine = engine.with_trace(Arc::clone(trace)).ensure_metrics();
     }
-    let outcome = engine.scan_batch_timed(&apks);
+    if let Some(db) = string_flag(args, "--frozen-db") {
+        engine
+            .attach_frozen(std::path::Path::new(db))
+            .map_err(|e| format!("cannot attach frozen framework image {db}: {e}"))?;
+        engine.prewarm();
+    }
+    let outcome = match &corpus {
+        Some(corpus) => {
+            let mut outcome = engine.scan_frozen_batch_timed(corpus);
+            if !apks.is_empty() {
+                // Mixed invocation: .sapk positionals after the corpus.
+                let extra = engine.scan_batch_timed(&apks);
+                outcome.reports.extend(extra.reports);
+                outcome.wall += extra.wall;
+            }
+            outcome
+        }
+        None => engine.scan_batch_timed(&apks),
+    };
     if let (Some(path), Some(trace)) = (trace_path, &trace) {
         let events = trace.len();
         std::fs::write(path, trace.to_chrome_json())
@@ -252,10 +310,10 @@ fn scan(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         for report in &outcome.reports {
             print!("{report}");
         }
-        if apks.len() > 1 {
+        if outcome.reports.len() > 1 {
             eprintln!(
                 "scanned {} packages in {:.2}s on {} workers ({:.1} apps/s)",
-                apks.len(),
+                outcome.reports.len(),
                 outcome.wall.as_secs_f64(),
                 outcome.workers.len(),
                 outcome.apps_per_sec()
@@ -357,11 +415,55 @@ fn serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     if let Some(depth) = flag_value(args, "--queue-depth") {
         cfg.queue_depth = depth;
     }
-    let mut engine = ScanEngine::new(framework(args));
+    let fw = framework(args);
+    let mut engine = ScanEngine::new(Arc::clone(&fw));
     if let Some(app_jobs) = flag_value(args, "--app-jobs") {
         engine = engine.app_jobs(app_jobs);
     }
     eprintln!("saint-service: warming engine (framework model + shared caches)...");
+    // The daemon always carries a registry (`start` would install one
+    // anyway); installing it before the frozen attach means the attach
+    // itself is recorded (frozen_map span, frozen_bytes_mapped).
+    engine = engine.ensure_metrics();
+    if !args.iter().any(|a| a == "--no-frozen") {
+        // Frozen boot is the default: attach (or compile, first run)
+        // the image so nothing is mined at startup and class bodies
+        // come out of shared pages. Any failure falls back to the
+        // classic parse path — the daemon always comes up.
+        let image = string_flag(args, "--frozen-db")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| default_frozen_path(&fw));
+        // `--frozen-trust` opts in to the warm-boot attach: skip the
+        // full-image checksum and eager index walk (a prior boot
+        // already verified the image end to end); falls back to the
+        // verified, compile-on-miss attach when the image is absent.
+        let trust = args.iter().any(|a| a == "--frozen-trust");
+        let booted = if trust {
+            engine
+                .attach_frozen_trusted(&image)
+                .or_else(|_| engine.attach_frozen(&image))
+        } else {
+            engine.attach_frozen(&image)
+        };
+        match booted {
+            Ok(boot) => eprintln!(
+                "saint-service: frozen image {} ({}, {} bytes, {:.3}s)",
+                image.display(),
+                if boot.trusted {
+                    "attached, trusted"
+                } else if boot.attached {
+                    "attached"
+                } else {
+                    "compiled on first run"
+                },
+                boot.bytes_mapped,
+                boot.startup.as_secs_f64()
+            ),
+            Err(e) => eprintln!(
+                "saint-service: frozen image unavailable ({e}); parsing framework instead"
+            ),
+        }
+    }
     engine.prewarm();
     let handle = saint_service::start(engine, &cfg)?;
     // Stdout, flushed: scripts (the CI smoke job among them) wait for
@@ -456,6 +558,34 @@ fn print_status(addr: &str, s: &saint_service::StatusResponse) {
             );
         }
     }
+    print_frozen(s.frozen.as_ref());
+}
+
+/// Renders frozen-boot provenance (shared by `status` and `metrics`).
+fn print_frozen(frozen: Option<&saint_service::FrozenStatus>) {
+    let Some(f) = frozen else {
+        println!("  frozen: false (framework parsed at startup)");
+        return;
+    };
+    println!(
+        "  frozen: true — image {} ({}), startup {:.3}s, {} bytes mapped{}, {} classes preloaded",
+        f.image,
+        if f.trusted {
+            "cached, trusted attach"
+        } else if f.cached {
+            "cached"
+        } else {
+            "compiled this boot"
+        },
+        f.startup_secs,
+        f.bytes_mapped,
+        if f.page_mapped {
+            ""
+        } else {
+            " (owned-buffer fallback)"
+        },
+        f.classes_preloaded
+    );
 }
 
 fn metrics(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
@@ -501,6 +631,7 @@ fn metrics(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             q.depth, q.capacity, q.active, q.served, q.rejected_busy, q.timed_out
         );
     }
+    print_frozen(m.frozen.as_ref());
     Ok(ExitCode::SUCCESS)
 }
 
@@ -527,6 +658,77 @@ fn synth_pkg(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     println!(
         "wrote synthesized package {} to {out_path}",
         apk.manifest.package
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------
+// Frozen-artifact verbs
+// ---------------------------------------------------------------------
+
+fn compile_db(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let out_path = *positionals(args)
+        .first()
+        .ok_or("compile-db: missing <out.sfrz>")?;
+    let fw = framework(args);
+    let bytes = saint_frozen::freeze_framework(&fw);
+    if let Some(parent) = std::path::Path::new(out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(out_path, &bytes)?;
+    // Attach what we just wrote: proves the image is readable and
+    // reports the class count out of the image itself.
+    let frozen = saint_frozen::FrozenFramework::open(std::path::Path::new(out_path))
+        .map_err(|e| format!("compiled image failed to attach: {e}"))?;
+    println!(
+        "wrote frozen framework image to {out_path}: {} bytes, {} class entries, fingerprint {:016x}",
+        bytes.len(),
+        frozen.class_entry_count(),
+        frozen.fingerprint()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn compile_corpus(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let out_path = string_flag(args, "-o").ok_or("compile-corpus: missing -o <out.sfrz>")?;
+    let paths = positionals(args);
+    let image = if let Some(apps) = flag_value(args, "--synth-corpus") {
+        if !paths.is_empty() {
+            return Err("compile-corpus: give either <app.sapk> files or --synth-corpus N".into());
+        }
+        let mut cfg = saint_corpus::RealWorldConfig::small();
+        cfg.apps = apps;
+        let corpus = saint_corpus::RealWorldCorpus::new(cfg);
+        let apks: Vec<Apk> = (0..apps).map(|i| corpus.get(i).apk).collect();
+        saint_frozen::freeze_apks(&apks)
+    } else {
+        if paths.is_empty() {
+            return Err("compile-corpus: missing <app.sapk> (or --synth-corpus N)".into());
+        }
+        // The image stores the exact container bytes: workers later
+        // decode the same bytes they would have read from each file.
+        let mut packages: Vec<(String, Vec<u8>)> = Vec::with_capacity(paths.len());
+        for path in paths {
+            let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let apk = codec::decode_apk(&bytes).map_err(|e| format!("{path}: {e}"))?;
+            packages.push((apk.manifest.package.clone(), bytes));
+        }
+        saint_frozen::freeze_corpus(packages.iter().map(|(p, b)| (p.as_str(), b.as_slice())))
+    };
+    if let Some(parent) = std::path::Path::new(out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(out_path, &image)?;
+    let corpus = saint_frozen::FrozenCorpus::open(std::path::Path::new(out_path))
+        .map_err(|e| format!("compiled image failed to attach: {e}"))?;
+    println!(
+        "wrote frozen corpus image to {out_path}: {} packages, {} bytes",
+        corpus.len(),
+        image.len()
     );
     Ok(ExitCode::SUCCESS)
 }

@@ -127,12 +127,16 @@ impl Aum {
         for dex in &apk.secondary {
             clvm.add_provider(Box::new(SecondaryDexProvider::new(dex)));
         }
-        clvm.add_provider(Box::new(match cache {
+        let mut provider = match cache {
             Some(cache) => {
                 FrameworkProvider::with_cache(Arc::clone(framework), target, Arc::clone(cache))
             }
             None => FrameworkProvider::new(Arc::clone(framework), target),
-        }));
+        };
+        if let Some(metrics) = metrics {
+            provider = provider.with_metrics(Arc::clone(metrics));
+        }
+        clvm.add_provider(Box::new(provider));
 
         let exploration = explore_parallel(
             &clvm,

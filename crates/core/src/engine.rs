@@ -49,6 +49,7 @@ pub struct ScanEngine {
     tool: SaintDroid,
     jobs: usize,
     app_jobs: Option<usize>,
+    pub(crate) frozen: OnceLock<crate::frozen::FrozenState>,
 }
 
 /// What one worker thread did during a batch.
@@ -127,6 +128,7 @@ impl ScanEngine {
             tool,
             jobs: default_jobs(),
             app_jobs: None,
+            frozen: OnceLock::new(),
         }
     }
 
@@ -179,7 +181,7 @@ impl ScanEngine {
     /// as requested (clamped to the budget only).
     ///
     /// [`app_jobs`]: ScanEngine::app_jobs
-    fn schedule(&self, n: usize) -> (usize, usize) {
+    pub(crate) fn schedule(&self, n: usize) -> (usize, usize) {
         let budget = self.jobs.max(1);
         match self.app_jobs {
             Some(m) => {
@@ -265,10 +267,16 @@ impl ScanEngine {
     /// this engine is as fast as every later one. Long-lived consumers
     /// — the scan-service daemon warms its engine before accepting
     /// connections — call this once at startup; it is idempotent.
+    /// When a frozen image is attached, the once-per-framework
+    /// artifacts come out of the image (linear decode instead of
+    /// mining) and the shared class cache is bulk-populated from the
+    /// image's deduplicated class blobs, so steady-state scans never
+    /// materialize framework classes from the spec at all.
     pub fn prewarm(&self) {
         let arm = self.tool.arm();
         let _ = arm.database();
         let _ = arm.permission_map();
+        self.preload_frozen_classes();
     }
 
     /// Scans a single package on the calling thread with this engine's
@@ -321,7 +329,7 @@ impl ScanEngine {
 
     /// `try_run` with the failure folded into an error-only report, so
     /// batch output keeps its one-report-per-input shape.
-    fn run_isolated(&self, apk: &Apk, per_app: usize) -> Report {
+    pub(crate) fn run_isolated(&self, apk: &Apk, per_app: usize) -> Report {
         self.try_run(apk, per_app).unwrap_or_else(|err| {
             Report::from_error(apk.manifest.package.clone(), self.tool.name(), err)
         })

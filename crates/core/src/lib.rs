@@ -52,6 +52,7 @@ mod aum;
 mod detector;
 pub mod engine;
 mod error;
+mod frozen;
 mod mismatch;
 pub mod repair;
 mod report;
@@ -62,6 +63,7 @@ pub use aum::{is_app_origin, AppModel, Aum};
 pub use detector::{Capabilities, CompatDetector};
 pub use engine::{BatchScan, ScanEngine, WorkerStat};
 pub use error::{panic_message, ScanError};
+pub use frozen::FrozenBoot;
 pub use mismatch::{is_mismatch_region, missing_levels_in, Mismatch, MismatchKind};
 pub use report::Report;
 pub use saintdroid::SaintDroid;

@@ -1,0 +1,300 @@
+//! Freezing and attaching SAPK corpora.
+//!
+//! A corpus image concatenates whole SAPK containers behind a
+//! fixed-width per-package offset table, so a scan fleet maps **one**
+//! file and hands each worker a zero-copy `&[u8]` slice of its
+//! package — no per-app file opens, no owned container buffers, pages
+//! shared across every worker and process attached to the image.
+
+use std::path::Path;
+
+use saint_ir::{codec, Apk};
+
+use crate::error::FrozenError;
+use crate::format::{assemble, layout_offsets, section, Cursor, Image, KIND_CORPUS};
+use crate::mmap::MappedBytes;
+
+/// Bytes per `CORPUS_INDEX` entry: `name_off u64, name_len u32,
+/// reserved u32, blob_off u64, blob_len u64`.
+const INDEX_ENTRY_LEN: usize = 32;
+
+/// Compiles `(package, sapk container)` pairs into a corpus image,
+/// preserving order — scan order over the image matches the order the
+/// corpus was compiled in.
+#[must_use]
+pub fn freeze_corpus<'a>(packages: impl IntoIterator<Item = (&'a str, &'a [u8])>) -> Vec<u8> {
+    let mut str_bytes = Vec::new();
+    let mut blob_bytes = Vec::new();
+    let mut entries: Vec<(u64, u32, u64, u64)> = Vec::new();
+    for (package, container) in packages {
+        let name_off = str_bytes.len() as u64;
+        str_bytes.extend_from_slice(package.as_bytes());
+        let blob_off = blob_bytes.len() as u64;
+        blob_bytes.extend_from_slice(container);
+        entries.push((
+            name_off,
+            package.len() as u32,
+            blob_off,
+            container.len() as u64,
+        ));
+    }
+    let index_len = 4 + entries.len() * INDEX_ENTRY_LEN;
+    let sizes = [str_bytes.len(), index_len, blob_bytes.len()];
+    let offsets = layout_offsets(&sizes);
+    let str_base = offsets[0] as u64;
+    let blob_base = offsets[2] as u64;
+    let mut index = Vec::with_capacity(index_len);
+    index.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (name_off, name_len, blob_off, blob_len) in entries {
+        index.extend_from_slice(&(str_base + name_off).to_le_bytes());
+        index.extend_from_slice(&name_len.to_le_bytes());
+        index.extend_from_slice(&[0u8; 4]);
+        index.extend_from_slice(&(blob_base + blob_off).to_le_bytes());
+        index.extend_from_slice(&blob_len.to_le_bytes());
+    }
+    assemble(
+        KIND_CORPUS,
+        0,
+        &[
+            (section::STR_BYTES, str_bytes),
+            (section::CORPUS_INDEX, index),
+            (section::CORPUS_BLOBS, blob_bytes),
+        ],
+    )
+}
+
+/// Convenience: encodes [`Apk`] values and freezes them.
+#[must_use]
+pub fn freeze_apks<'a>(apks: impl IntoIterator<Item = &'a Apk>) -> Vec<u8> {
+    let encoded: Vec<(String, Vec<u8>)> = apks
+        .into_iter()
+        .map(|a| (a.manifest.package.clone(), codec::encode_apk(a)))
+        .collect();
+    freeze_corpus(encoded.iter().map(|(p, b)| (p.as_str(), b.as_slice())))
+}
+
+/// An attached corpus image.
+pub struct FrozenCorpus {
+    image: Image,
+    entries: usize,
+}
+
+impl FrozenCorpus {
+    /// Attaches an image held in memory.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed header, checksum, section table, or index yields
+    /// a typed [`FrozenError`].
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, FrozenError> {
+        Self::attach(MappedBytes::from_vec(bytes))
+    }
+
+    /// Maps and attaches an image file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed content yield typed [`FrozenError`]s.
+    pub fn open(path: &Path) -> Result<Self, FrozenError> {
+        Self::attach(MappedBytes::open(path)?)
+    }
+
+    fn attach(bytes: MappedBytes) -> Result<Self, FrozenError> {
+        let image = Image::parse(bytes, KIND_CORPUS)?;
+        let (index, base) = image.section(section::CORPUS_INDEX)?;
+        let mut c = Cursor::new(index, base);
+        let entries = c.u32_le("corpus index count")? as usize;
+        if index.len() != 4 + entries * INDEX_ENTRY_LEN {
+            return Err(FrozenError::InvalidOffset {
+                offset: base,
+                context: "corpus index size",
+            });
+        }
+        let corpus = FrozenCorpus { image, entries };
+        for i in 0..entries {
+            // Bounds + UTF-8 validated once at attach.
+            let _ = corpus.entry(i)?;
+        }
+        Ok(corpus)
+    }
+
+    fn entry(&self, i: usize) -> Result<(&str, &[u8]), FrozenError> {
+        let (index, base) = self.image.section(section::CORPUS_INDEX)?;
+        let oob = FrozenError::UnexpectedEof {
+            offset: base,
+            context: "corpus index entry",
+        };
+        let at = i
+            .checked_mul(INDEX_ENTRY_LEN)
+            .and_then(|v| v.checked_add(4))
+            .ok_or(oob.clone())?;
+        let end = at.checked_add(INDEX_ENTRY_LEN).ok_or(oob.clone())?;
+        let mut c = Cursor::new(index.get(at..end).ok_or(oob)?, base + at);
+        let name_off = c.u64_le("package offset")?;
+        let name_len = c.u32_le("package length")?;
+        let _reserved = c.u32_le("entry reserved")?;
+        let blob_off = c.u64_le("container offset")?;
+        let blob_len = c.u64_le("container length")?;
+        let raw = self.image.slice(
+            section::STR_BYTES,
+            name_off,
+            u64::from(name_len),
+            "package name",
+        )?;
+        let name =
+            std::str::from_utf8(raw).map_err(|_| FrozenError::InvalidUtf8 { offset: base + at })?;
+        let blob = self
+            .image
+            .slice(section::CORPUS_BLOBS, blob_off, blob_len, "sapk container")?;
+        Ok((name, blob))
+    }
+
+    /// Number of packages in the image.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the corpus holds no packages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Total image size in bytes.
+    #[must_use]
+    pub fn bytes_len(&self) -> u64 {
+        self.image.len() as u64
+    }
+
+    /// Whether the image is served by an actual page mapping.
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        self.image.is_mapped()
+    }
+
+    /// The package name at index `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`FrozenError::UnexpectedEof`] for an out-of-range index.
+    pub fn package(&self, i: usize) -> Result<&str, FrozenError> {
+        Ok(self.entry(i)?.0)
+    }
+
+    /// The zero-copy SAPK container slice at index `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`FrozenError::UnexpectedEof`] for an out-of-range index.
+    pub fn container(&self, i: usize) -> Result<&[u8], FrozenError> {
+        Ok(self.entry(i)?.1)
+    }
+
+    /// Decodes the package at index `i`.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range indices and container decode failures yield typed
+    /// [`FrozenError`]s.
+    pub fn decode(&self, i: usize) -> Result<Apk, FrozenError> {
+        Ok(codec::decode_apk(self.entry(i)?.1)?)
+    }
+
+    /// Index of the package named `package`, if present.
+    ///
+    /// # Errors
+    ///
+    /// Only on index corruption that slipped past attach validation.
+    pub fn find(&self, package: &str) -> Result<Option<usize>, FrozenError> {
+        for i in 0..self.entries {
+            if self.entry(i)?.0 == package {
+                return Ok(Some(i));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl std::fmt::Debug for FrozenCorpus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrozenCorpus")
+            .field("packages", &self.entries)
+            .field("bytes", &self.bytes_len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saint_ir::{ApiLevel, ApkBuilder};
+
+    fn apks(n: usize) -> Vec<Apk> {
+        (0..n)
+            .map(|i| {
+                ApkBuilder::new(
+                    format!("com.frozen.app{i}"),
+                    ApiLevel::new(19),
+                    ApiLevel::new(28),
+                )
+                .build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn corpus_round_trips_in_order() {
+        let apps = apks(5);
+        let image = freeze_apks(&apps);
+        let corpus = FrozenCorpus::from_bytes(image).unwrap();
+        assert_eq!(corpus.len(), 5);
+        for (i, apk) in apps.iter().enumerate() {
+            assert_eq!(corpus.package(i).unwrap(), apk.manifest.package);
+            assert_eq!(&corpus.decode(i).unwrap(), apk);
+        }
+    }
+
+    #[test]
+    fn container_slices_are_exact_sapk_bytes() {
+        let apps = apks(3);
+        let image = freeze_apks(&apps);
+        let corpus = FrozenCorpus::from_bytes(image).unwrap();
+        for (i, apk) in apps.iter().enumerate() {
+            assert_eq!(corpus.container(i).unwrap(), codec::encode_apk(apk));
+        }
+    }
+
+    #[test]
+    fn find_locates_packages() {
+        let apps = apks(4);
+        let image = freeze_apks(&apps);
+        let corpus = FrozenCorpus::from_bytes(image).unwrap();
+        assert_eq!(corpus.find("com.frozen.app2").unwrap(), Some(2));
+        assert_eq!(corpus.find("com.other").unwrap(), None);
+    }
+
+    #[test]
+    fn out_of_range_index_is_typed_error() {
+        let image = freeze_apks(&apks(1));
+        let corpus = FrozenCorpus::from_bytes(image).unwrap();
+        assert!(corpus.package(1).is_err());
+        assert!(corpus.decode(1).is_err());
+    }
+
+    #[test]
+    fn empty_corpus_is_valid() {
+        let image = freeze_corpus(std::iter::empty());
+        let corpus = FrozenCorpus::from_bytes(image).unwrap();
+        assert!(corpus.is_empty());
+    }
+
+    #[test]
+    fn truncated_image_never_attaches() {
+        let image = freeze_apks(&apks(2));
+        for cut in 0..image.len() {
+            assert!(FrozenCorpus::from_bytes(image[..cut].to_vec()).is_err());
+        }
+    }
+}

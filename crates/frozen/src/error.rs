@@ -1,0 +1,151 @@
+//! Typed failures for frozen-artifact compilation and attachment.
+
+use saint_ir::CodecError;
+
+/// Everything that can go wrong opening, verifying, or querying a
+/// frozen image. Offset-carrying variants point at the first bad byte
+/// of the *image*, mirroring [`CodecError`]'s contract for SAPK
+/// containers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrozenError {
+    /// The image does not start with the `SFRZ` magic.
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// The image was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Version this reader understands.
+        expected: u16,
+    },
+    /// The image is a frozen artifact, but not of the requested kind
+    /// (framework vs corpus).
+    WrongKind {
+        /// Kind tag found in the header.
+        found: u16,
+        /// Kind tag the caller asked for.
+        expected: u16,
+    },
+    /// The payload checksum does not match the header.
+    BadChecksum {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the bytes actually present.
+        found: u64,
+    },
+    /// The image ended before a read completed.
+    UnexpectedEof {
+        /// Image offset at which the read began.
+        offset: usize,
+        /// What was being read.
+        context: &'static str,
+    },
+    /// An offset-table entry points outside the image (or outside its
+    /// section), so following it would read out of bounds.
+    InvalidOffset {
+        /// Image offset of the offending table entry.
+        offset: usize,
+        /// What the entry was supposed to locate.
+        context: &'static str,
+    },
+    /// A required section is missing from the section table.
+    MissingSection {
+        /// Section kind tag.
+        kind: u32,
+    },
+    /// A varint in a section payload overflowed.
+    VarintOverflow {
+        /// Image offset at which the varint began.
+        offset: usize,
+    },
+    /// A string in a section payload is not valid UTF-8.
+    InvalidUtf8 {
+        /// Image offset at which the string began.
+        offset: usize,
+    },
+    /// The image was compiled from a different framework spec than the
+    /// one now live (fingerprint mismatch) — the caller should fall
+    /// back to parse-and-freeze.
+    SpecMismatch {
+        /// Fingerprint recorded in the image.
+        image: u64,
+        /// Fingerprint of the live spec.
+        live: u64,
+    },
+    /// An embedded SAPK blob failed to decode.
+    Codec(CodecError),
+    /// The underlying file could not be opened, read, mapped, or
+    /// written.
+    Io(String),
+}
+
+impl FrozenError {
+    /// The image byte offset this error points at, when it names one.
+    #[must_use]
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            FrozenError::UnexpectedEof { offset, .. }
+            | FrozenError::InvalidOffset { offset, .. }
+            | FrozenError::VarintOverflow { offset }
+            | FrozenError::InvalidUtf8 { offset } => Some(*offset),
+            FrozenError::Codec(e) => e.offset(),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FrozenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrozenError::BadMagic { found } => {
+                write!(f, "bad magic {found:?}, expected \"SFRZ\"")
+            }
+            FrozenError::UnsupportedVersion { found, expected } => {
+                write!(f, "unsupported format version {found} (expected {expected})")
+            }
+            FrozenError::WrongKind { found, expected } => {
+                write!(f, "wrong artifact kind {found} (expected {expected})")
+            }
+            FrozenError::BadChecksum { expected, found } => {
+                write!(f, "checksum mismatch: header {expected:#x}, payload {found:#x}")
+            }
+            FrozenError::UnexpectedEof { offset, context } => {
+                write!(f, "unexpected end of image at offset {offset} while reading {context}")
+            }
+            FrozenError::InvalidOffset { offset, context } => {
+                write!(f, "offset-table entry at {offset} points out of bounds ({context})")
+            }
+            FrozenError::MissingSection { kind } => {
+                write!(f, "required section {kind} missing from image")
+            }
+            FrozenError::VarintOverflow { offset } => {
+                write!(f, "varint overflow at offset {offset}")
+            }
+            FrozenError::InvalidUtf8 { offset } => {
+                write!(f, "invalid UTF-8 at offset {offset}")
+            }
+            FrozenError::SpecMismatch { image, live } => write!(
+                f,
+                "image was compiled from a different spec (image fingerprint {image:#x}, live {live:#x})"
+            ),
+            FrozenError::Codec(e) => write!(f, "embedded SAPK blob: {e}"),
+            FrozenError::Io(msg) => write!(f, "io: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrozenError {}
+
+impl From<CodecError> for FrozenError {
+    fn from(e: CodecError) -> Self {
+        FrozenError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for FrozenError {
+    fn from(e: std::io::Error) -> Self {
+        FrozenError::Io(e.to_string())
+    }
+}

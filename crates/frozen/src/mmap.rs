@@ -1,0 +1,206 @@
+//! Read-only memory mapping — the one `unsafe` boundary of the crate.
+//!
+//! The workspace vendors no libc/memmap crate, so the two syscalls we
+//! need are declared directly against the C runtime std already links.
+//! Everything outside this module sees only a safe `&[u8]`: the map is
+//! private, read-only, page-backed, and unmapped on drop. When `mmap`
+//! is unavailable (or fails — empty files, exotic filesystems), the
+//! wrapper silently falls back to reading the file into an owned
+//! buffer, so callers never have to care which mode they got beyond
+//! the [`MappedBytes::is_mapped`] provenance bit.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+/// A read-only view of a file: an `mmap` when the platform grants one,
+/// an owned heap buffer otherwise.
+pub struct MappedBytes {
+    backing: Backing,
+}
+
+enum Backing {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *const u8,
+        len: usize,
+    },
+    Owned(Vec<u8>),
+}
+
+// SAFETY: the mapping is PROT_READ/MAP_PRIVATE over a file we own a
+// read handle to; the pointer is never written through and the region
+// stays valid until `munmap` in Drop. Sharing immutable bytes across
+// threads is sound.
+unsafe impl Send for MappedBytes {}
+unsafe impl Sync for MappedBytes {}
+
+#[cfg(unix)]
+mod sys {
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        pub fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+}
+
+impl MappedBytes {
+    /// Maps `path` read-only, falling back to an owned read on any
+    /// mapping failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be opened
+    /// or (in fallback mode) read.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "file larger than usize")
+        })?;
+        #[cfg(unix)]
+        if len > 0 {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: fd is a valid open descriptor for the whole call;
+            // len is the current file size; a MAP_FAILED return is
+            // checked before the pointer is ever used.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if !std::ptr::eq(ptr, usize::MAX as *mut core::ffi::c_void) && !ptr.is_null() {
+                return Ok(MappedBytes {
+                    backing: Backing::Mapped {
+                        ptr: ptr.cast_const().cast(),
+                        len,
+                    },
+                });
+            }
+        }
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(MappedBytes {
+            backing: Backing::Owned(buf),
+        })
+    }
+
+    /// Wraps an already-owned buffer (tests, fuzzing, in-memory
+    /// compile-then-attach flows).
+    #[must_use]
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        MappedBytes {
+            backing: Backing::Owned(bytes),
+        }
+    }
+
+    /// Whether the view is an actual page mapping (`true`) or the
+    /// owned-buffer fallback (`false`).
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { .. } => true,
+            Backing::Owned(_) => false,
+        }
+    }
+
+    /// The mapped bytes.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            // SAFETY: ptr/len came from a successful mmap that lives
+            // until Drop; the region is never mutated.
+            Backing::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Owned(v) => v.as_slice(),
+        }
+    }
+}
+
+impl std::ops::Deref for MappedBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Drop for MappedBytes {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // SAFETY: exactly one munmap for the one successful mmap.
+            unsafe {
+                sys::munmap(ptr.cast_mut().cast(), len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MappedBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedBytes")
+            .field("len", &self.as_slice().len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("saint-frozen-mmap-{name}-{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents_exactly() {
+        let path = temp_file("contents", b"frozen artifact bytes");
+        let map = MappedBytes::open(&path).unwrap();
+        assert_eq!(&*map, b"frozen artifact bytes");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_file_falls_back_to_owned() {
+        let path = temp_file("empty", b"");
+        let map = MappedBytes::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert!(!map.is_mapped());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn owned_wrapper_round_trips() {
+        let map = MappedBytes::from_vec(vec![1, 2, 3]);
+        assert_eq!(&*map, &[1, 2, 3]);
+        assert!(!map.is_mapped());
+    }
+
+    #[test]
+    fn mapped_bytes_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MappedBytes>();
+    }
+}

@@ -844,6 +844,43 @@ pub fn decode_apk(input: &[u8]) -> Result<Apk, CodecError> {
     })
 }
 
+/// Encodes a single class definition in the `SAPK` class wire form.
+///
+/// This is the per-class slice of the container format — the frozen
+/// artifact layer stores one of these per `(api level, class)` entry so
+/// framework class bodies can be decoded individually from an mmapped
+/// image without parsing a whole container.
+#[must_use]
+pub fn encode_class(class: &ClassDef) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(256);
+    put_class(&mut buf, class);
+    buf.to_vec()
+}
+
+/// Decodes a single class definition from its `SAPK` class wire form.
+///
+/// The input must contain exactly one encoded class — trailing bytes
+/// are rejected, so a sliced read from an offset table either yields
+/// the intended class or a typed error.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] describing the first malformed byte, or a
+/// wrapped [`crate::IrError`] when the bytes parse but violate IR
+/// invariants (duplicate methods, bad branch targets, …).
+pub fn decode_class(input: &[u8]) -> Result<ClassDef, CodecError> {
+    let mut r = Reader::new(input);
+    let class = r.class()?;
+    if r.offset != input.len() {
+        return Err(CodecError::InvalidTag {
+            offset: r.offset,
+            tag: input.get(r.offset).copied().unwrap_or(0),
+            context: "trailing bytes after class",
+        });
+    }
+    Ok(class)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -948,6 +985,35 @@ mod tests {
             let mut corrupted = bytes.clone();
             corrupted[pos] ^= 0x5a;
             let _ = decode_apk(&corrupted);
+        }
+    }
+
+    #[test]
+    fn roundtrip_single_class() {
+        let apk = sample_apk();
+        for class in apk.primary.classes() {
+            let bytes = encode_class(class);
+            let back = decode_class(&bytes).unwrap();
+            assert_eq!(class, &back);
+        }
+    }
+
+    #[test]
+    fn decode_class_rejects_trailing_bytes() {
+        let apk = sample_apk();
+        let class = apk.primary.classes().next().unwrap();
+        let mut bytes = encode_class(class);
+        bytes.push(0);
+        assert!(decode_class(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_class_truncation_yields_error_not_panic() {
+        let apk = sample_apk();
+        let class = apk.primary.classes().next().unwrap();
+        let bytes = encode_class(class);
+        for cut in 0..bytes.len() {
+            assert!(decode_class(&bytes[..cut]).is_err());
         }
     }
 

@@ -37,11 +37,14 @@ pub enum Phase {
     ScanTotal = 6,
     /// Time a daemon job spent queued before a worker picked it up.
     QueueWait = 7,
+    /// One frozen-artifact attach: mmap + header/checksum verification
+    /// + database/permission-map reconstruction.
+    FrozenMap = 8,
 }
 
 impl Phase {
     /// Every phase, in wire order. Snapshot vectors follow this order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 9] = [
         Phase::ClvmLoad,
         Phase::Explore,
         Phase::ArmMine,
@@ -50,6 +53,7 @@ impl Phase {
         Phase::DetectPermission,
         Phase::ScanTotal,
         Phase::QueueWait,
+        Phase::FrozenMap,
     ];
 
     /// Stable snake_case name used on every export surface (NDJSON
@@ -65,6 +69,7 @@ impl Phase {
             Phase::DetectPermission => "detect_permission",
             Phase::ScanTotal => "scan_total",
             Phase::QueueWait => "queue_wait",
+            Phase::FrozenMap => "frozen_map",
         }
     }
 }
@@ -104,11 +109,14 @@ pub enum Counter {
     /// Client-side retries of transient failures (connect/reset,
     /// `busy`, worker-crash `internal`).
     ClientRetries = 12,
+    /// Bytes of frozen artifact images currently attached (mmapped or,
+    /// on fallback, read into memory).
+    FrozenBytesMapped = 13,
 }
 
 impl Counter {
     /// Every counter, in wire order. Snapshot vectors follow this order.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 14] = [
         Counter::AppsScanned,
         Counter::MismatchesFound,
         Counter::ClassesLoaded,
@@ -122,6 +130,7 @@ impl Counter {
         Counter::ScansPanicked,
         Counter::WorkersRespawned,
         Counter::ClientRetries,
+        Counter::FrozenBytesMapped,
     ];
 
     /// Stable snake_case name used on every export surface.
@@ -141,6 +150,7 @@ impl Counter {
             Counter::ScansPanicked => "scans_panicked",
             Counter::WorkersRespawned => "workers_respawned",
             Counter::ClientRetries => "client_retries",
+            Counter::FrozenBytesMapped => "frozen_bytes_mapped",
         }
     }
 }

@@ -66,7 +66,8 @@ pub mod server;
 
 pub use client::{scan_with_retries, Client, ClientError, RetryPolicy};
 pub use protocol::{
-    ErrorResponse, MetricsResponse, ScanRequest, ScanResponse, StatusResponse, PROTOCOL_VERSION,
+    ErrorResponse, FrozenStatus, MetricsResponse, ScanRequest, ScanResponse, StatusResponse,
+    PROTOCOL_VERSION,
 };
 pub use queue::{Admission, JobQueue, QueueStats};
 pub use server::{start, ServerConfig, ServerHandle};

@@ -158,6 +158,53 @@ impl From<saint_obs::CacheSnapshot> for CacheStatus {
     }
 }
 
+/// Startup provenance of the engine's framework model: whether the
+/// daemon booted from a frozen (mmap'd) image, and what that cost —
+/// reported by both the `status` and `metrics` verbs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrozenStatus {
+    /// `true`: the framework model is served from a frozen image
+    /// (API database, permission map, and class bodies all come out of
+    /// the mapping — nothing was mined at startup, unless `cached` is
+    /// `false` and this boot compiled the image first).
+    pub frozen: bool,
+    /// `true` when the image pre-existed and was attached directly;
+    /// `false` when this boot had to parse-and-freeze it first.
+    pub cached: bool,
+    /// `true` when the boot attached on the trusted warm path: the
+    /// full-image checksum and eager index validation were skipped
+    /// because a prior boot already verified this image end to end.
+    pub trusted: bool,
+    /// Path of the image being served.
+    pub image: String,
+    /// Wall seconds the frozen attach took (map + verify + table
+    /// decode; includes compile + write on a first run).
+    pub startup_secs: f64,
+    /// Image bytes made addressable.
+    pub bytes_mapped: u64,
+    /// Whether the bytes are an actual page mapping (`false` = the
+    /// owned-buffer fallback).
+    pub page_mapped: bool,
+    /// Framework class bodies bulk-loaded into the warm class cache
+    /// from the image at startup.
+    pub classes_preloaded: u64,
+}
+
+impl From<saintdroid::FrozenBoot> for FrozenStatus {
+    fn from(b: saintdroid::FrozenBoot) -> Self {
+        FrozenStatus {
+            frozen: true,
+            cached: b.attached,
+            trusted: b.trusted,
+            image: b.image.display().to_string(),
+            startup_secs: b.startup.as_secs_f64(),
+            bytes_mapped: b.bytes_mapped,
+            page_mapped: b.page_mapped,
+            classes_preloaded: b.classes_preloaded as u64,
+        }
+    }
+}
+
 /// Daemon health and accounting; also the acknowledgement of a
 /// `shutdown` request (final counters before the drain).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -191,6 +238,9 @@ pub struct StatusResponse {
     pub artifact_cache: Option<CacheStatus>,
     /// Warm framework-subtree scan cache counters, if present.
     pub scan_cache: Option<CacheStatus>,
+    /// Frozen-image startup provenance; `None` when the engine booted
+    /// on the classic parse path.
+    pub frozen: Option<FrozenStatus>,
 }
 
 /// One phase's span accounting, for [`MetricsResponse`]. Mirrors
@@ -286,6 +336,9 @@ pub struct MetricsResponse {
     pub meter: MeterStatus,
     /// Queue state (always present when answered by the daemon).
     pub queue: Option<QueueStatus>,
+    /// Frozen-image startup provenance; `None` when the engine booted
+    /// on the classic parse path.
+    pub frozen: Option<FrozenStatus>,
 }
 
 impl MetricsResponse {
@@ -326,7 +379,15 @@ impl MetricsResponse {
                 unresolved_lookups: snap.meter.unresolved_lookups,
             },
             queue: snap.queue.map(Into::into),
+            frozen: None,
         }
+    }
+
+    /// Attaches frozen-boot provenance to the response.
+    #[must_use]
+    pub fn with_frozen(mut self, frozen: Option<FrozenStatus>) -> Self {
+        self.frozen = frozen;
+        self
     }
 
     /// Looks up a phase by its stable name.

@@ -133,6 +133,7 @@ impl Shared {
             class_cache: self.engine.cache_stats().map(Into::into),
             artifact_cache: self.engine.artifact_cache_stats().map(Into::into),
             scan_cache: self.engine.scan_cache_stats().map(Into::into),
+            frozen: self.engine.frozen_boot().map(Into::into),
         }
     }
 
@@ -149,7 +150,7 @@ impl Shared {
             rejected_busy: q.rejected_busy,
             timed_out: q.timed_out,
         });
-        MetricsResponse::new(snap)
+        MetricsResponse::new(snap).with_frozen(self.engine.frozen_boot().map(Into::into))
     }
 
     /// Flips the daemon into drain mode exactly once: admission closes,

@@ -1,0 +1,93 @@
+//! Acceptance gate for the frozen artifact layer: scanning a corpus
+//! straight out of frozen images must produce **byte-identical**
+//! reports to the classic parse path — same packages, same mismatches,
+//! same meters, byte-for-byte equal JSON — at both ends of the
+//! intra-app parallelism range (`app_jobs ∈ {1, 8}`). The frozen side
+//! runs the full warm-daemon shape deliberately: an *empty* framework
+//! spec, a trusted attach (no checksum pass, no eager index walk), no
+//! prewarm — every class body the scan touches is decoded lazily out
+//! of the mapping. If any of those shortcuts changed a single report
+//! byte, this test is where it surfaces.
+
+use std::sync::{Arc, OnceLock};
+
+use saint_adf::{AndroidFramework, FrameworkSpec, SynthConfig};
+use saint_corpus::{RealWorldConfig, RealWorldCorpus};
+use saint_frozen::{freeze_apks, freeze_framework, FrozenCorpus};
+use saint_ir::Apk;
+use saintdroid::ScanEngine;
+
+/// The full 400-app acceptance corpus in release builds; debug builds
+/// (tier-1 `cargo test`) scan a 24-app slice of the same generator so
+/// the gate stays fast without changing what it checks.
+fn configs() -> (SynthConfig, RealWorldConfig) {
+    if cfg!(debug_assertions) {
+        let mut corpus = RealWorldConfig::small();
+        corpus.apps = 24;
+        (SynthConfig::small(), corpus)
+    } else {
+        (SynthConfig::medium(), RealWorldConfig::medium())
+    }
+}
+
+/// Corpus apks plus both frozen images, built once across test cases.
+fn artifacts() -> &'static (Vec<Apk>, Vec<u8>, Vec<u8>) {
+    static ONCE: OnceLock<(Vec<Apk>, Vec<u8>, Vec<u8>)> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        let (synth, corpus_cfg) = configs();
+        let corpus = RealWorldCorpus::new(corpus_cfg);
+        let apks: Vec<Apk> = (0..corpus.len()).map(|i| corpus.get(i).apk).collect();
+        let corpus_image = freeze_apks(&apks);
+        let framework_image = freeze_framework(&AndroidFramework::with_scale(&synth));
+        (apks, framework_image, corpus_image)
+    })
+}
+
+#[test]
+fn frozen_scan_reports_are_byte_identical_to_parsed() {
+    let (apks, framework_image, corpus_image) = artifacts();
+    let (synth, _) = configs();
+    let image_path =
+        std::env::temp_dir().join(format!("saint-parity-fw-{}.sfrz", std::process::id()));
+    std::fs::write(&image_path, framework_image).expect("write framework image");
+    let corpus = FrozenCorpus::from_bytes(corpus_image.clone()).expect("attach corpus image");
+
+    for app_jobs in [1usize, 8] {
+        let parsed_engine = ScanEngine::new(Arc::new(AndroidFramework::with_scale(&synth)))
+            .jobs(4)
+            .app_jobs(app_jobs);
+        parsed_engine.prewarm();
+        let parsed = parsed_engine.scan_batch(apks);
+
+        let frozen_engine =
+            ScanEngine::new(Arc::new(AndroidFramework::from_spec(FrameworkSpec::new())))
+                .jobs(4)
+                .app_jobs(app_jobs);
+        frozen_engine
+            .attach_frozen_trusted(&image_path)
+            .expect("trusted attach");
+        let frozen = frozen_engine.scan_frozen_batch(&corpus);
+
+        assert_eq!(
+            parsed.len(),
+            frozen.len(),
+            "report count (app_jobs={app_jobs})"
+        );
+        for (p, f) in parsed.iter().zip(&frozen) {
+            // Wall time is the one legitimately nondeterministic field;
+            // everything else must match to the byte.
+            let mut p = p.clone();
+            let mut f = f.clone();
+            p.duration = std::time::Duration::ZERO;
+            f.duration = std::time::Duration::ZERO;
+            let pj = serde_json::to_string(&p).expect("serialize parsed report");
+            let fj = serde_json::to_string(&f).expect("serialize frozen report");
+            assert_eq!(
+                pj, fj,
+                "report for {} diverged between parsed and frozen scan (app_jobs={app_jobs})",
+                p.package
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&image_path);
+}
