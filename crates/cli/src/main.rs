@@ -8,7 +8,7 @@
 //! saintdroid repair app.sapk -o fixed.sapk [--manifest-fixes]
 //! saintdroid disasm app.sapk
 //! saintdroid serve [--listen ADDR] [--jobs N] [--queue-depth D]
-//! saintdroid submit app.sapk... [--addr ADDR] [--timeout-ms T]
+//! saintdroid submit app.sapk... [--addr ADDR] [--timeout-ms T] [--pipeline [--window W]]
 //! saintdroid status [--addr ADDR]
 //! saintdroid metrics [--addr ADDR]
 //! saintdroid help
@@ -97,7 +97,7 @@ fn print_help() {
          \x20                                                   engine (framework + caches built once),\n\
          \x20                                                   newline-delimited JSON over TCP\n\
          \x20 saintdroid submit <app.sapk>... [--addr ADDR] [--timeout-ms T]\n\
-         \x20                                                   scan packages through a running service\n\
+         \x20                  [--pipeline [--window W]]        scan packages through a running service\n\
          \x20 saintdroid status [--addr ADDR]                   daemon uptime, jobs, queue, cache hit rates\n\
          \x20 saintdroid metrics [--addr ADDR]                  full observability view: per-phase spans,\n\
          \x20                                                   counters, cache and queue state\n\
@@ -137,7 +137,15 @@ fn print_help() {
          included (default: none).\n\
          --retries N   submit: retry transient failures (busy,\n\
          internal, connection reset) up to N times per package with\n\
-         capped exponential backoff (default 0: fail fast).\n\
+         capped exponential backoff (default 0: fail fast; --pipeline\n\
+         defaults to 3 and retries only the failed request).\n\
+         --pipeline    submit: stream every package over one\n\
+         connection with a window of scans in flight instead of\n\
+         request/response lockstep; reports and exit codes are\n\
+         identical to the lockstep path.\n\
+         --window W    submit --pipeline: in-flight requests kept on\n\
+         the wire (default 32; the daemon may suspend reads beyond\n\
+         its own per-connection window).\n\
          --corpus IMG  scan: analyze every package of a frozen corpus\n\
          image (see compile-corpus) straight out of the mapping.\n\
          --frozen-db PATH scan/serve: frozen framework image to attach\n\
@@ -190,6 +198,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--addr",
     "--timeout-ms",
     "--retries",
+    "--window",
     "--trace-json",
     "--index",
     "--corpus",
@@ -489,6 +498,9 @@ fn submit(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     }
     let addr = string_flag(args, "--addr").unwrap_or(DEFAULT_ADDR);
     let deadline_ms = flag_value(args, "--timeout-ms").map(|t| t as u64);
+    if args.iter().any(|a| a == "--pipeline") {
+        return submit_pipelined(&paths, args, addr, deadline_ms);
+    }
     let retries = flag_value(args, "--retries").map_or(0, |r| r as u32);
     let policy = saint_service::RetryPolicy::new(retries);
     let mut reports = Vec::new();
@@ -511,6 +523,40 @@ fn submit(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             }
             Err(e) => return Err(format!("{path}: {e}").into()),
         }
+    }
+    Ok(scan_exit_code(&reports))
+}
+
+/// `submit --pipeline`: every package streamed over one connection
+/// with a window of scans in flight; responses may come back out of
+/// order and are reordered by request id, so printed reports — and the
+/// exit code — match the lockstep path byte for byte.
+fn submit_pipelined(
+    paths: &[&String],
+    args: &[String],
+    addr: &str,
+    deadline_ms: Option<u64>,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let window = flag_value(args, "--window").unwrap_or(32);
+    let mut client = saint_service::PipelinedClient::connect(addr, window)
+        .map_err(|e| format!("cannot reach scan service at {addr}: {e}"))?;
+    if let Some(retries) = flag_value(args, "--retries") {
+        client = client.with_retry_policy(saint_service::RetryPolicy::new(retries as u32));
+    }
+    let mut sapks = Vec::with_capacity(paths.len());
+    for path in paths {
+        sapks.push(std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?);
+    }
+    let responses = match client.scan_all(&sapks, deadline_ms) {
+        Ok(responses) => responses,
+        Err(ClientError::Rejected(err)) => {
+            return Err(format!("service rejected scan: {} ({})", err.code, err.message).into())
+        }
+        Err(e) => return Err(format!("pipelined submit: {e}").into()),
+    };
+    let reports: Vec<saintdroid::Report> = responses.into_iter().map(|r| r.report).collect();
+    for report in &reports {
+        print!("{report}");
     }
     Ok(scan_exit_code(&reports))
 }
@@ -543,6 +589,7 @@ fn print_status(addr: &str, s: &saint_service::StatusResponse) {
         s.jobs_served, s.jobs_active, s.queue_depth, s.queue_capacity, s.rejected_busy, s.timed_out
     );
     println!("  scan workers: {} live", s.scan_workers);
+    print_reactor(s.reactor.as_ref());
     for (name, cache) in [
         ("class cache   ", &s.class_cache),
         ("artifact cache", &s.artifact_cache),
@@ -559,6 +606,24 @@ fn print_status(addr: &str, s: &saint_service::StatusResponse) {
         }
     }
     print_frozen(s.frozen.as_ref());
+}
+
+/// Renders the event-loop state (shared by `status` and `metrics`):
+/// live connection/in-flight gauges plus lifetime backpressure
+/// counters.
+fn print_reactor(reactor: Option<&saint_service::ReactorStatus>) {
+    let Some(r) = reactor else {
+        return;
+    };
+    println!(
+        "  reactor: {} connections open ({} suspended), {} scans in flight; lifetime: {} accepted, {} backpressure suspends, {} write stalls",
+        r.open_connections,
+        r.suspended_connections,
+        r.inflight,
+        r.connections_accepted,
+        r.backpressure_suspends,
+        r.write_stalls
+    );
 }
 
 /// Renders frozen-boot provenance (shared by `status` and `metrics`).
@@ -631,6 +696,7 @@ fn metrics(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             q.depth, q.capacity, q.active, q.served, q.rejected_busy, q.timed_out
         );
     }
+    print_reactor(m.reactor.as_ref());
     print_frozen(m.frozen.as_ref());
     Ok(ExitCode::SUCCESS)
 }

@@ -112,11 +112,19 @@ pub enum Counter {
     /// Bytes of frozen artifact images currently attached (mmapped or,
     /// on fallback, read into memory).
     FrozenBytesMapped = 13,
+    /// Client connections accepted by the daemon's reactor.
+    ConnectionsAccepted = 14,
+    /// Times the reactor suspended reading a connection (its in-flight
+    /// window filled, or the job queue was at capacity).
+    BackpressureSuspends = 15,
+    /// Response writes that hit a full socket buffer and had to wait
+    /// for writability (slow or stalled readers).
+    WriteStalls = 16,
 }
 
 impl Counter {
     /// Every counter, in wire order. Snapshot vectors follow this order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 17] = [
         Counter::AppsScanned,
         Counter::MismatchesFound,
         Counter::ClassesLoaded,
@@ -131,6 +139,9 @@ impl Counter {
         Counter::WorkersRespawned,
         Counter::ClientRetries,
         Counter::FrozenBytesMapped,
+        Counter::ConnectionsAccepted,
+        Counter::BackpressureSuspends,
+        Counter::WriteStalls,
     ];
 
     /// Stable snake_case name used on every export surface.
@@ -151,6 +162,9 @@ impl Counter {
             Counter::WorkersRespawned => "workers_respawned",
             Counter::ClientRetries => "client_retries",
             Counter::FrozenBytesMapped => "frozen_bytes_mapped",
+            Counter::ConnectionsAccepted => "connections_accepted",
+            Counter::BackpressureSuspends => "backpressure_suspends",
+            Counter::WriteStalls => "write_stalls",
         }
     }
 }

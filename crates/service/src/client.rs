@@ -1,12 +1,22 @@
-//! Client side of the scan-service protocol: one blocking connection,
-//! request/response lines in lockstep — plus a retry wrapper with
+//! Client side of the scan-service protocol: the lockstep [`Client`]
+//! (one request in flight), the [`PipelinedClient`] (a window of
+//! id-tagged scans in flight on one connection, responses accepted out
+//! of order and reordered client-side), and a retry wrapper with
 //! capped exponential backoff for the transient failure modes a
 //! fault-tolerant daemon exposes (`busy`, `internal`, connection
 //! resets during a worker respawn).
+//!
+//! Pipelined retry taxonomy: a transient rejection (`busy`/`internal`)
+//! on one in-flight request resubmits *only that request* — the rest
+//! of the window keeps flowing and nothing already answered is ever
+//! replayed. Only a transport failure costs the connection, and the
+//! reconnect resends only the still-unanswered requests.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use saint_obs::{Counter, MetricsRegistry};
 use serde::Deserialize as _;
@@ -22,8 +32,9 @@ pub enum ClientError {
     /// Transport failure (connect, read, write, or connection closed).
     Io(std::io::Error),
     /// The server answered, but with a typed rejection (`busy`,
-    /// `timeout`, `bad_package`, …).
-    Rejected(ErrorResponse),
+    /// `timeout`, `bad_package`, …). Boxed so the error variant stays
+    /// pointer-sized on every `Result` in the client API.
+    Rejected(Box<ErrorResponse>),
     /// The server's bytes did not parse as a protocol message.
     Protocol(String),
 }
@@ -214,7 +225,7 @@ impl Client {
             Some("error") => {
                 let err = ErrorResponse::from_value(value)
                     .map_err(|e| ClientError::Protocol(format!("bad error response: {e}")))?;
-                Err(ClientError::Rejected(err))
+                Err(ClientError::Rejected(Box::new(err)))
             }
             other => Err(ClientError::Protocol(format!(
                 "expected {kind} response, got kind {other:?}"
@@ -299,5 +310,259 @@ impl Client {
             ))),
             LineRead::TooLong => Err(ClientError::Protocol("oversized response line".into())),
         }
+    }
+}
+
+/// Opens one nodelay connection split into reader/writer halves.
+fn open(addr: &str) -> Result<(BufReader<TcpStream>, TcpStream), ClientError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let reader = BufReader::new(stream.try_clone()?);
+    Ok((reader, stream))
+}
+
+/// A pipelined scan-service client: one connection, up to `window`
+/// id-tagged scans in flight, responses accepted in whatever order the
+/// daemon finishes them and reordered to submission order before
+/// [`scan_all`](Self::scan_all) returns.
+///
+/// Retry semantics (the pipelined taxonomy):
+///
+/// - a transient typed rejection (`busy`, `internal`) resubmits only
+///   the rejected request, under a fresh id, without disturbing the
+///   rest of the window — and backs off only when that request was the
+///   sole one in flight (otherwise the in-flight responses are the
+///   useful work to wait on);
+/// - a transport failure reconnects and resends only the requests not
+///   yet answered — answered ones keep their results, nothing is
+///   replayed;
+/// - permanent rejections (`bad_package`, `timeout`, `draining`, …)
+///   fail the batch immediately.
+pub struct PipelinedClient {
+    addr: String,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    window: usize,
+    policy: RetryPolicy,
+    next_id: u64,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl PipelinedClient {
+    /// Connects to a daemon at `addr` with a `window`-deep pipeline
+    /// (clamped to at least 1) and the default 3-retry policy.
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect(addr: &str, window: usize) -> Result<Self, ClientError> {
+        let (reader, writer) = open(addr)?;
+        Ok(PipelinedClient {
+            addr: addr.to_string(),
+            reader,
+            writer,
+            window: window.max(1),
+            policy: RetryPolicy::new(3),
+            next_id: 0,
+            metrics: None,
+        })
+    }
+
+    /// Replaces the per-request retry policy.
+    #[must_use]
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches a registry; every per-request resubmission and every
+    /// reconnect bumps [`Counter::ClientRetries`].
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The configured pipeline depth.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Scans every package, keeping up to `window` requests in flight,
+    /// and returns the responses in submission order.
+    ///
+    /// # Errors
+    /// The first permanent rejection or exhausted retry budget; partial
+    /// results are discarded (the daemon side completed them, but the
+    /// caller asked for all-or-nothing).
+    pub fn scan_all<B: AsRef<[u8]>>(
+        &mut self,
+        sapks: &[B],
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<ScanResponse>, ClientError> {
+        Ok(self.scan_all_timed(sapks, deadline_ms)?.0)
+    }
+
+    /// Like [`scan_all`](Self::scan_all), additionally reporting each
+    /// request's wire latency: submission (the last write, if it was
+    /// retried) to response arrival. This is what the benchmark's
+    /// p50/p99 numbers are built from.
+    ///
+    /// # Errors
+    /// Same contract as [`scan_all`](Self::scan_all).
+    pub fn scan_all_timed<B: AsRef<[u8]>>(
+        &mut self,
+        sapks: &[B],
+        deadline_ms: Option<u64>,
+    ) -> Result<(Vec<ScanResponse>, Vec<Duration>), ClientError> {
+        let seed = fnv1a(self.addr.bytes().map(u64::from).fold(0, |a, b| a << 1 | b));
+        let mut sent_at: Vec<Instant> = vec![Instant::now(); sapks.len()];
+        let mut latencies: Vec<Duration> = vec![Duration::ZERO; sapks.len()];
+        let mut results: Vec<Option<ScanResponse>> = Vec::new();
+        results.resize_with(sapks.len(), || None);
+        let mut to_send: VecDeque<usize> = (0..sapks.len()).collect();
+        let mut inflight: HashMap<u64, usize> = HashMap::new();
+        let mut retries_used: Vec<u32> = vec![0; sapks.len()];
+        let mut reconnects = 0_u32;
+        let mut answered = 0_usize;
+        while answered < sapks.len() {
+            // Fill the window.
+            while inflight.len() < self.window {
+                let Some(idx) = to_send.pop_front() else {
+                    break;
+                };
+                match self.send_scan(sapks[idx].as_ref(), deadline_ms) {
+                    Ok(id) => {
+                        sent_at[idx] = Instant::now();
+                        inflight.insert(id, idx);
+                    }
+                    Err(e) => {
+                        to_send.push_front(idx);
+                        self.recover(e, &mut inflight, &mut to_send, &mut reconnects, seed)?;
+                    }
+                }
+            }
+            // Take the next response, whichever request it answers.
+            let (envelope, value) = match self.read_response() {
+                Ok(parsed) => parsed,
+                Err(e @ ClientError::Io(_)) => {
+                    self.recover(e, &mut inflight, &mut to_send, &mut reconnects, seed)?;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            match envelope.kind.as_deref() {
+                Some("scan") => {
+                    let resp = ScanResponse::from_value(&value)
+                        .map_err(|e| ClientError::Protocol(format!("bad scan response: {e}")))?;
+                    let idx = resp.id.and_then(|id| inflight.remove(&id)).ok_or_else(|| {
+                        ClientError::Protocol(format!(
+                            "response id {:?} matches no in-flight request",
+                            resp.id
+                        ))
+                    })?;
+                    latencies[idx] = sent_at[idx].elapsed();
+                    results[idx] = Some(resp);
+                    answered += 1;
+                }
+                Some("error") => {
+                    let err = ErrorResponse::from_value(&value)
+                        .map_err(|e| ClientError::Protocol(format!("bad error response: {e}")))?;
+                    let Some(idx) = err.id.and_then(|id| inflight.remove(&id)) else {
+                        // Unattributable: the daemon could not tie the
+                        // error to a request, so neither can we.
+                        return Err(ClientError::Rejected(Box::new(err)));
+                    };
+                    let transient =
+                        err.code == error_code::BUSY || err.code == error_code::INTERNAL;
+                    if !transient || retries_used[idx] >= self.policy.retries {
+                        return Err(ClientError::Rejected(Box::new(err)));
+                    }
+                    retries_used[idx] += 1;
+                    if let Some(metrics) = &self.metrics {
+                        metrics.add(Counter::ClientRetries, 1);
+                    }
+                    // Only this request retries; the window flows on.
+                    // Back off only when it was the sole request in
+                    // flight — otherwise the other in-flight responses
+                    // are the wait.
+                    if inflight.is_empty() {
+                        std::thread::sleep(self.policy.delay(retries_used[idx], seed));
+                    }
+                    to_send.push_front(idx);
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected scan or error response, got kind {other:?}"
+                    )))
+                }
+            }
+        }
+        let responses = results
+            .into_iter()
+            .map(|r| r.ok_or_else(|| ClientError::Protocol("response went missing".into())))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((responses, latencies))
+    }
+
+    /// Writes one id-tagged scan request; the id is process-unique so
+    /// a retried request never collides with its earlier incarnation.
+    fn send_scan(&mut self, sapk: &[u8], deadline_ms: Option<u64>) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = ScanRequest::new(sapk, deadline_ms).with_id(id);
+        self.writer.write_all(protocol::to_line(&req).as_bytes())?;
+        Ok(id)
+    }
+
+    /// Reads and parses one response line.
+    fn read_response(&mut self) -> Result<(Envelope, serde::Value), ClientError> {
+        let raw = match protocol::read_line_bounded(&mut self.reader, protocol::MAX_LINE_BYTES)? {
+            LineRead::Line(raw) => raw,
+            LineRead::Eof => {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )))
+            }
+            LineRead::TooLong => {
+                return Err(ClientError::Protocol("oversized response line".into()))
+            }
+        };
+        let value = serde_json::from_str_value(&raw)
+            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+        let envelope = Envelope::from_value(&value)
+            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))?;
+        Ok((envelope, value))
+    }
+
+    /// Transport-level recovery: reconnect and requeue every request
+    /// not yet answered. Answered requests keep their results; nothing
+    /// is replayed.
+    fn recover(
+        &mut self,
+        err: ClientError,
+        inflight: &mut HashMap<u64, usize>,
+        to_send: &mut VecDeque<usize>,
+        reconnects: &mut u32,
+        seed: u64,
+    ) -> Result<(), ClientError> {
+        if !err.is_transient() || *reconnects >= self.policy.retries {
+            return Err(err);
+        }
+        *reconnects += 1;
+        if let Some(metrics) = &self.metrics {
+            metrics.add(Counter::ClientRetries, 1);
+        }
+        std::thread::sleep(self.policy.delay(*reconnects, seed));
+        let (reader, writer) = open(&self.addr)?;
+        self.reader = reader;
+        self.writer = writer;
+        let mut unanswered: Vec<usize> = inflight.drain().map(|(_, idx)| idx).collect();
+        unanswered.sort_unstable();
+        for idx in unanswered.into_iter().rev() {
+            to_send.push_front(idx);
+        }
+        Ok(())
     }
 }

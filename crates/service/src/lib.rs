@@ -16,11 +16,14 @@
 //!   [`StatusResponse`], [`ErrorResponse`]), versioned, with line/size
 //!   guards and a malformed-input contract that never kills the daemon;
 //! - [`queue`] — the bounded [`JobQueue`] with explicit admission
-//!   control (`busy` rejections), handler-owned deadlines (`timeout`),
-//!   and graceful drain;
-//! - [`server`] / [`client`] — the thread-per-connection daemon with a
-//!   bounded acceptor pool, and the blocking client the CLI verbs
-//!   (`saintdroid serve` / `submit` / `status` / `shutdown`) wrap.
+//!   control, reactor-owned deadlines (`timeout`), and graceful drain;
+//! - `reactor` (internal) — the nonblocking epoll event loop owning
+//!   every client socket: per-connection state machines, pipelined
+//!   request ids, backpressure by read suspension, `writev` framing;
+//! - [`server`] / [`client`] — the event-loop daemon, the blocking
+//!   lockstep [`Client`], and the [`PipelinedClient`] that keeps a
+//!   window of scans in flight on one connection (`saintdroid serve` /
+//!   `submit [--pipeline]` / `status` / `shutdown` wrap these).
 //!
 //! Reports fetched through the service are **byte-identical**
 //! (mismatches and meter) to a local `saintdroid scan` of the same
@@ -62,12 +65,14 @@
 pub mod client;
 pub mod protocol;
 pub mod queue;
+mod reactor;
 pub mod server;
+mod sys;
 
-pub use client::{scan_with_retries, Client, ClientError, RetryPolicy};
+pub use client::{scan_with_retries, Client, ClientError, PipelinedClient, RetryPolicy};
 pub use protocol::{
-    ErrorResponse, FrozenStatus, MetricsResponse, ScanRequest, ScanResponse, StatusResponse,
-    PROTOCOL_VERSION,
+    ErrorResponse, FrozenStatus, MetricsResponse, ReactorStatus, ScanRequest, ScanResponse,
+    StatusResponse, PROTOCOL_VERSION,
 };
 pub use queue::{Admission, JobQueue, QueueStats};
 pub use server::{start, ServerConfig, ServerHandle};

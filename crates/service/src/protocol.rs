@@ -65,6 +65,13 @@ pub struct ScanRequest {
     pub v: u32,
     /// Always `"scan"`.
     pub kind: String,
+    /// Optional client-chosen request id, echoed verbatim on the
+    /// response (report or error). Pipelined clients use it to match
+    /// out-of-order responses to in-flight requests; lockstep clients
+    /// may omit it (the v1 wire shape without `id` stays valid — this
+    /// field is additive, which is the protocol's versioning rule:
+    /// `v` bumps only on *incompatible* changes).
+    pub id: Option<u64>,
     /// The SAPK container bytes, base64-encoded (standard alphabet,
     /// padded).
     pub package_b64: String,
@@ -81,9 +88,17 @@ impl ScanRequest {
         ScanRequest {
             v: PROTOCOL_VERSION,
             kind: "scan".to_string(),
+            id: None,
             package_b64: base64_encode(sapk_bytes),
             deadline_ms,
         }
+    }
+
+    /// Tags the request with a pipeline id (echoed on the response).
+    #[must_use]
+    pub fn with_id(mut self, id: u64) -> Self {
+        self.id = Some(id);
+        self
     }
 }
 
@@ -97,6 +112,8 @@ pub struct ScanResponse {
     pub v: u32,
     /// Always `"scan"`.
     pub kind: String,
+    /// Echo of the request's `id`, when one was given.
+    pub id: Option<u64>,
     /// Mirror of the CLI exit-code contract: 0 clean, 2 mismatches.
     pub exit_code: u8,
     /// The full report — byte-identical mismatches and meter to what a
@@ -112,9 +129,17 @@ impl ScanResponse {
         ScanResponse {
             v: PROTOCOL_VERSION,
             kind: "scan".to_string(),
+            id: None,
             exit_code,
             report,
         }
+    }
+
+    /// Echoes the request id on the response.
+    #[must_use]
+    pub fn with_id(mut self, id: Option<u64>) -> Self {
+        self.id = id;
+        self
     }
 }
 
@@ -205,6 +230,29 @@ impl From<saintdroid::FrozenBoot> for FrozenStatus {
     }
 }
 
+/// Live state of the daemon's event-loop reactor, for
+/// [`StatusResponse`] and [`MetricsResponse`]: how many sockets it
+/// owns, how much work is in flight, and how often it had to push
+/// back on clients.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReactorStatus {
+    /// Client connections currently owned by the reactor.
+    pub open_connections: u64,
+    /// Scans admitted but not yet answered, across all connections.
+    pub inflight: u64,
+    /// Connections whose reads are currently suspended (in-flight
+    /// window full, or the job queue at capacity).
+    pub suspended_connections: u64,
+    /// Connections accepted over the daemon's lifetime.
+    pub connections_accepted: u64,
+    /// Times a connection's reads were suspended for backpressure,
+    /// over the daemon's lifetime.
+    pub backpressure_suspends: u64,
+    /// Response writes that hit a full socket buffer and waited for
+    /// writability, over the daemon's lifetime.
+    pub write_stalls: u64,
+}
+
 /// Daemon health and accounting; also the acknowledgement of a
 /// `shutdown` request (final counters before the drain).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -241,6 +289,9 @@ pub struct StatusResponse {
     /// Frozen-image startup provenance; `None` when the engine booted
     /// on the classic parse path.
     pub frozen: Option<FrozenStatus>,
+    /// Reactor state (always present when answered by the daemon;
+    /// `None` only from pre-reactor peers).
+    pub reactor: Option<ReactorStatus>,
 }
 
 /// One phase's span accounting, for [`MetricsResponse`]. Mirrors
@@ -339,6 +390,8 @@ pub struct MetricsResponse {
     /// Frozen-image startup provenance; `None` when the engine booted
     /// on the classic parse path.
     pub frozen: Option<FrozenStatus>,
+    /// Reactor state (always present when answered by the daemon).
+    pub reactor: Option<ReactorStatus>,
 }
 
 impl MetricsResponse {
@@ -380,6 +433,7 @@ impl MetricsResponse {
             },
             queue: snap.queue.map(Into::into),
             frozen: None,
+            reactor: None,
         }
     }
 
@@ -387,6 +441,13 @@ impl MetricsResponse {
     #[must_use]
     pub fn with_frozen(mut self, frozen: Option<FrozenStatus>) -> Self {
         self.frozen = frozen;
+        self
+    }
+
+    /// Attaches live reactor state to the response.
+    #[must_use]
+    pub fn with_reactor(mut self, reactor: Option<ReactorStatus>) -> Self {
+        self.reactor = reactor;
         self
     }
 
@@ -413,6 +474,10 @@ pub struct ErrorResponse {
     pub v: u32,
     /// Always `"error"`.
     pub kind: String,
+    /// Echo of the request's `id`, when the failing request carried
+    /// one and it was parseable — pipelined clients need errors
+    /// attributed to the right in-flight request.
+    pub id: Option<u64>,
     /// One of the [`error_code`] constants.
     pub code: String,
     /// Human-readable detail.
@@ -432,11 +497,19 @@ impl ErrorResponse {
         ErrorResponse {
             v: PROTOCOL_VERSION,
             kind: "error".to_string(),
+            id: None,
             code: code.to_string(),
             message: message.into(),
             offset: None,
             phase: None,
         }
+    }
+
+    /// Attributes the error to a pipelined request id.
+    #[must_use]
+    pub fn with_id(mut self, id: Option<u64>) -> Self {
+        self.id = id;
+        self
     }
 
     /// Attaches the offending byte offset (decode failures).
@@ -451,6 +524,346 @@ impl ErrorResponse {
     pub fn with_phase(mut self, phase: impl Into<String>) -> Self {
         self.phase = Some(phase.into());
         self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Zero-copy scan-request fast path
+// ---------------------------------------------------------------------
+
+/// A scan request extracted straight from the wire line, borrowing the
+/// base64 payload instead of copying it into a value tree — the
+/// reactor's hot path. Produced by [`parse_scan_fast`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastScanRequest<'a> {
+    /// Protocol version claimed by the request.
+    pub v: u64,
+    /// Pipeline request id, if given.
+    pub id: Option<u64>,
+    /// Deadline in milliseconds, if given.
+    pub deadline_ms: Option<u64>,
+    /// The base64 payload, borrowed from the request line.
+    pub package_b64: &'a str,
+}
+
+/// Recognizes a well-formed `{"kind":"scan", …}` request line without
+/// building a value tree: one strict left-to-right pass over the JSON
+/// object, borrowing `package_b64` from the line (base64 never needs
+/// string escapes, so the borrow is the common case by construction).
+///
+/// Returns `None` for anything else — other kinds, malformed input,
+/// duplicate or escaped relevant fields, non-integer numbers — and the
+/// caller falls back to the full value-tree parser, so the fast path
+/// can only ever *match* the slow path's behavior, never diverge from
+/// it. The equivalence is pinned by unit tests below.
+#[must_use]
+pub fn parse_scan_fast(line: &str) -> Option<FastScanRequest<'_>> {
+    let mut cur = FastCursor {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    cur.skip_ws();
+    if !cur.eat(b'{') {
+        return None;
+    }
+    let mut v: Option<u64> = None;
+    let mut id: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut package: Option<(usize, usize)> = None;
+    let mut kind_is_scan = false;
+    let mut first = true;
+    loop {
+        cur.skip_ws();
+        if cur.eat(b'}') {
+            break;
+        }
+        if !first && !cur.eat(b',') {
+            return None;
+        }
+        first = false;
+        cur.skip_ws();
+        let (key_start, key_end, key_escaped) = cur.raw_string()?;
+        if key_escaped {
+            // An escaped key could collide with a relevant field name
+            // after unescaping; let the slow path sort it out.
+            return None;
+        }
+        let key = &cur.bytes[key_start..key_end];
+        cur.skip_ws();
+        if !cur.eat(b':') {
+            return None;
+        }
+        cur.skip_ws();
+        match key {
+            b"v" => {
+                if v.replace(cur.integer()?).is_some() {
+                    return None; // duplicate: defer to the slow path
+                }
+            }
+            b"kind" => {
+                let (s, e, escaped) = cur.raw_string()?;
+                if escaped || kind_is_scan {
+                    return None;
+                }
+                if &cur.bytes[s..e] != b"scan" {
+                    return None; // not a scan request at all
+                }
+                kind_is_scan = true;
+            }
+            b"id" => {
+                if cur.eat_null() {
+                    continue;
+                }
+                if id.replace(cur.integer()?).is_some() {
+                    return None;
+                }
+            }
+            b"deadline_ms" => {
+                if cur.eat_null() {
+                    continue;
+                }
+                if deadline_ms.replace(cur.integer()?).is_some() {
+                    return None;
+                }
+            }
+            b"package_b64" => {
+                let (s, e, escaped) = cur.raw_string()?;
+                if escaped || package.replace((s, e)).is_some() {
+                    return None;
+                }
+            }
+            _ => {
+                if !cur.skip_value() {
+                    return None;
+                }
+            }
+        }
+    }
+    cur.skip_ws();
+    if cur.pos != cur.bytes.len() {
+        return None; // trailing bytes: not one clean JSON object
+    }
+    let (s, e) = package?;
+    if !kind_is_scan {
+        return None;
+    }
+    Some(FastScanRequest {
+        v: v?,
+        id,
+        deadline_ms,
+        // The borrow starts and ends at `"` delimiters of a string
+        // verified escape-free, so the slice sits on char boundaries.
+        package_b64: line.get(s..e)?,
+    })
+}
+
+/// Byte cursor for [`parse_scan_fast`]; every method is strict and
+/// returns `None`/`false` on anything unexpected.
+struct FastCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl FastCursor<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_null(&mut self) -> bool {
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes a JSON string, returning the content byte range and
+    /// whether it contained any escape sequence (the range then holds
+    /// *raw* bytes, not the decoded string).
+    fn raw_string(&mut self) -> Option<(usize, usize, bool)> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        let start = self.pos;
+        let mut escaped = false;
+        loop {
+            let b = *self.bytes.get(self.pos)?;
+            match b {
+                b'"' => {
+                    let end = self.pos;
+                    self.pos += 1;
+                    return Some((start, end, escaped));
+                }
+                b'\\' => {
+                    escaped = true;
+                    // Skip the escape introducer and the escaped byte;
+                    // \uXXXX needs no special casing because the four
+                    // hex digits contain no quote or backslash.
+                    self.pos += 2;
+                    if self.pos > self.bytes.len() {
+                        return None;
+                    }
+                }
+                // Raw control characters are invalid JSON; defer.
+                0x00..=0x1f => return None,
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Consumes a plain non-negative integer (no sign, fraction, or
+    /// exponent — anything else defers to the slow path).
+    fn integer(&mut self) -> Option<u64> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        // A trailing '.', 'e', or digit overflow falls back.
+        if self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b == b'.' || b == b'e' || b == b'E')
+        {
+            return None;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    /// Skips one JSON number (strict grammar, so the fast path never
+    /// accepts a line the value-tree parser would reject).
+    fn skip_number(&mut self) -> bool {
+        let _ = self.eat(b'-');
+        let int_start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == int_start {
+            return false;
+        }
+        if self.eat(b'.') {
+            let frac_start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return false;
+            }
+        }
+        if self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b == b'e' || b == b'E')
+        {
+            self.pos += 1;
+            if self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|&b| b == b'+' || b == b'-')
+            {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Skips one JSON value of any shape (for irrelevant fields),
+    /// validating structure as it goes — brackets must match, numbers
+    /// must follow the JSON grammar, literals must be exact.
+    fn skip_value(&mut self) -> bool {
+        self.skip_ws();
+        match self.bytes.get(self.pos).copied() {
+            Some(b'"') => self.raw_string().is_some(),
+            Some(open @ (b'{' | b'[')) => {
+                // Containers in unknown fields are rare; a small stack
+                // keeps closers honest (`[}` must defer, not match).
+                let mut stack = vec![open];
+                self.pos += 1;
+                loop {
+                    self.skip_ws();
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b @ (b'{' | b'[')) => {
+                            stack.push(b);
+                            self.pos += 1;
+                        }
+                        Some(close @ (b'}' | b']')) => {
+                            let open = match stack.pop() {
+                                Some(o) => o,
+                                None => return false,
+                            };
+                            let matches =
+                                (open == b'{' && close == b'}') || (open == b'[' && close == b']');
+                            if !matches {
+                                return false;
+                            }
+                            self.pos += 1;
+                            if stack.is_empty() {
+                                return true;
+                            }
+                        }
+                        Some(b'"') => {
+                            if self.raw_string().is_none() {
+                                return false;
+                            }
+                        }
+                        Some(b',') | Some(b':') => self.pos += 1,
+                        Some(b) if b.is_ascii_digit() || b == b'-' => {
+                            if !self.skip_number() {
+                                return false;
+                            }
+                        }
+                        Some(b't') | Some(b'f') | Some(b'n') => {
+                            if !self.skip_literal() {
+                                return false;
+                            }
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+            Some(b) if b.is_ascii_digit() || b == b'-' => self.skip_number(),
+            Some(b't') | Some(b'f') | Some(b'n') => self.skip_literal(),
+            _ => false,
+        }
+    }
+
+    /// Consumes exactly `true`, `false`, or `null`.
+    fn skip_literal(&mut self) -> bool {
+        for lit in [&b"true"[..], &b"false"[..], &b"null"[..]] {
+            if self.bytes[self.pos..].starts_with(lit) {
+                self.pos += lit.len();
+                return true;
+            }
+        }
+        false
     }
 }
 
@@ -628,7 +1041,7 @@ pub fn to_line<T: Serialize>(msg: &T) -> String {
             line
         }
         Err(_) => format!(
-            "{{\"v\":{PROTOCOL_VERSION},\"kind\":\"error\",\"code\":\"{}\",\
+            "{{\"v\":{PROTOCOL_VERSION},\"kind\":\"error\",\"id\":null,\"code\":\"{}\",\
              \"message\":\"response failed to serialize\",\"offset\":null,\
              \"phase\":null}}\n",
             error_code::INTERNAL
@@ -764,6 +1177,73 @@ mod tests {
         fn consume(&mut self, amt: usize) {
             self.cur = &self.cur[amt..];
         }
+    }
+
+    /// The slow path the fast parser must agree with.
+    fn slow_parse(line: &str) -> Option<ScanRequest> {
+        use serde::Deserialize as _;
+        let value = serde_json::from_str_value(line).ok()?;
+        let env = Envelope::from_value(&value).ok()?;
+        if env.kind.as_deref() != Some("scan") {
+            return None;
+        }
+        ScanRequest::from_value(&value).ok()
+    }
+
+    #[test]
+    fn fast_parser_matches_slow_parser_on_real_requests() {
+        let cases = [
+            to_line(&ScanRequest::new(b"sapk bytes here", None)),
+            to_line(&ScanRequest::new(b"sapk bytes here", Some(1500))),
+            to_line(&ScanRequest::new(b"", Some(0)).with_id(7)),
+            to_line(&ScanRequest::new(&[0xff; 300], Some(u64::MAX)).with_id(u64::MAX)),
+            // Field order is not fixed by JSON; unknown fields are legal.
+            r#"{"kind":"scan","package_b64":"AAAA","v":1}"#.to_string(),
+            r#" { "v" : 1 , "kind" : "scan" , "id" : 9 , "package_b64" : "Zm8=" } "#.to_string(),
+            r#"{"v":1,"kind":"scan","future_field":{"a":[1,2,{"b":"}"}]},"package_b64":"AAAA","flag":true}"#
+                .to_string(),
+            r#"{"v":2,"kind":"scan","package_b64":"AAAA"}"#.to_string(),
+        ];
+        for line in &cases {
+            let slow = slow_parse(line.trim_end()).expect("slow path parses");
+            let fast = parse_scan_fast(line.trim_end()).expect("fast path parses");
+            assert_eq!(fast.v, u64::from(slow.v), "{line}");
+            assert_eq!(fast.id, slow.id, "{line}");
+            assert_eq!(fast.deadline_ms, slow.deadline_ms, "{line}");
+            assert_eq!(fast.package_b64, slow.package_b64, "{line}");
+        }
+    }
+
+    #[test]
+    fn fast_parser_defers_anything_surprising() {
+        let defer = [
+            // Not scan requests at all.
+            r#"{"v":1,"kind":"status"}"#,
+            r#"{"v":1}"#,
+            "not json",
+            "",
+            // Scan-shaped but needing the slow path's full machinery.
+            r#"{"v":1,"kind":"scan","package_b64":"AA\u0041A"}"#, // escaped payload
+            r#"{"v":1.0,"kind":"scan","package_b64":"AAAA"}"#,    // float version
+            r#"{"v":1,"kind":"scan","package_b64":"AAAA","id":-3}"#, // negative id
+            r#"{"v":1,"v":2,"kind":"scan","package_b64":"AAAA"}"#, // duplicate key
+            r#"{"v":1,"kind":"scan","package_b64":"AAAA"}trailing"#, // trailing bytes
+            r#"{"v":1,"kind":"scan","junk":[}],"package_b64":"AAAA"}"#, // mismatched brackets
+            r#"{"v":1,"kind":"scan","junk":truthy,"package_b64":"AAAA"}"#, // bad literal
+        ];
+        for line in defer {
+            assert!(parse_scan_fast(line).is_none(), "{line:?} must defer");
+        }
+    }
+
+    #[test]
+    fn fast_parser_borrows_the_payload() {
+        let line = r#"{"v":1,"kind":"scan","package_b64":"Zm9vYmFy"}"#;
+        let fast = parse_scan_fast(line).expect("parses");
+        // Same allocation: the payload is a slice of the input line.
+        let line_range = line.as_ptr() as usize..line.as_ptr() as usize + line.len();
+        assert!(line_range.contains(&(fast.package_b64.as_ptr() as usize)));
+        assert_eq!(base64_decode(fast.package_b64).expect("decodes"), b"foobar");
     }
 
     #[test]

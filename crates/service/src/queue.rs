@@ -1,14 +1,14 @@
 //! Bounded job queue with admission control and graceful drain — the
-//! state machine between connection handlers and scan workers.
+//! state machine between the reactor and the scan workers.
 //!
 //! Admission is explicit, not backpressure-by-blocking: a submission
-//! against a full queue is rejected immediately with [`Admission::Busy`]
-//! (the `429` of the protocol), so a burst degrades into fast typed
-//! rejections instead of unbounded memory growth or head-of-line
-//! blocking on the TCP accept loop. Deadlines are owned by the waiting
-//! connection handler: it gives up at its deadline and flips the job's
-//! `cancelled` flag, so a worker that dequeues an expired job skips the
-//! scan entirely.
+//! against a full queue is returned to the caller with
+//! [`Admission::Busy`] in O(1), and the *reactor* decides what that
+//! means — park the request and suspend the connection's reads (the
+//! normal backpressure path), or answer `busy` (only the degenerate
+//! zero-capacity configuration). Deadlines are owned by the reactor:
+//! it settles the request at expiry, so a worker that dequeues an
+//! expired job skips the scan entirely.
 //!
 //! Drain semantics: [`JobQueue::drain`] closes admission (new scans get
 //! [`Admission::Draining`]) but queued jobs keep their promise — workers
@@ -16,32 +16,27 @@
 //! `None` and the workers exit.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::SyncSender;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use saint_ir::Apk;
 use saint_sync::{Condvar, Mutex};
-use saintdroid::{Report, ScanError};
 
-/// One admitted scan: the decoded package plus the channel the waiting
-/// connection handler blocks on.
+use crate::reactor::Responder;
+
+/// One admitted scan: the still-encoded package plus the settle-once
+/// responder that routes the outcome back through the reactor.
 pub struct Job {
-    /// The decoded package to scan.
-    pub apk: Apk,
-    /// Where the outcome goes — the finished report, or the typed
-    /// error a panicking scan was demoted to. The send fails silently
-    /// if the handler already gave up (deadline) — the outcome is then
-    /// dropped.
-    pub respond: SyncSender<Result<Report, ScanError>>,
-    /// Set by the handler when its deadline expires; a worker that
-    /// sees the flag drops the job without scanning.
-    pub cancelled: Arc<AtomicBool>,
+    /// The base64 package exactly as received; workers do the base64
+    /// and SAPK decode so the reactor thread never touches payloads.
+    pub(crate) package_b64: String,
+    /// The response end: exactly one of worker delivery, reactor
+    /// deadline, or the drop guard answers the request.
+    pub(crate) responder: Responder,
     /// When the job entered the queue; [`JobQueue::next`] records the
     /// elapsed wait as a `queue_wait` phase span when a registry is
     /// attached.
-    pub enqueued_at: Instant,
+    pub(crate) enqueued_at: Instant,
 }
 
 /// Why a submission was not admitted.
@@ -65,10 +60,10 @@ pub struct QueueStats {
     /// Scans whose report reached the client, over the queue's
     /// lifetime.
     pub served: u64,
-    /// Submissions rejected with [`Admission::Busy`].
+    /// Submissions answered `busy` (zero-capacity queues only; sized
+    /// queues park instead of rejecting).
     pub rejected_busy: u64,
-    /// Scans whose handler answered `timeout` at its deadline instead
-    /// of a report.
+    /// Scans answered `timeout` at their deadline instead of a report.
     pub timed_out: u64,
     /// Whether admission is closed.
     pub draining: bool,
@@ -119,19 +114,27 @@ impl JobQueue {
         self
     }
 
-    /// Admits a job or rejects it in O(1) without blocking.
+    /// The admission bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admits a job, or hands it back with the refusal reason in O(1)
+    /// without blocking — the caller owns the retry/park/reject
+    /// decision, and getting the job back keeps its responder from
+    /// misfiring a crashed-worker answer.
     ///
     /// # Errors
     /// [`Admission::Draining`] once [`drain`](Self::drain) was called,
     /// [`Admission::Busy`] when the queue is at capacity.
-    pub fn submit(&self, job: Job) -> Result<(), Admission> {
+    pub fn submit(&self, job: Job) -> Result<(), (Job, Admission)> {
         let mut st = self.state.lock();
         if st.draining {
-            return Err(Admission::Draining);
+            return Err((job, Admission::Draining));
         }
         if st.queue.len() >= self.capacity {
-            self.rejected_busy.fetch_add(1, Ordering::Relaxed);
-            return Err(Admission::Busy);
+            return Err((job, Admission::Busy));
         }
         st.queue.push_back(job);
         drop(st);
@@ -139,14 +142,14 @@ impl JobQueue {
         Ok(())
     }
 
-    /// Blocks until a job is available (skipping cancelled ones — their
-    /// handler already accounted for them) or the queue is drained dry;
-    /// `None` tells the worker to exit.
+    /// Blocks until a job is available (skipping settled ones — the
+    /// reactor already answered them at their deadline) or the queue is
+    /// drained dry; `None` tells the worker to exit.
     pub fn next(&self) -> Option<Job> {
         let mut st = self.state.lock();
         loop {
             while let Some(job) = st.queue.pop_front() {
-                if job.cancelled.load(Ordering::Acquire) {
+                if job.responder.is_settled() {
                     continue;
                 }
                 self.active.fetch_add(1, Ordering::Relaxed);
@@ -168,19 +171,25 @@ impl JobQueue {
     }
 
     /// Records one scan whose report reached its client. Outcome
-    /// counters are owned by the connection handler — the only party
-    /// that knows what the client was actually told — and bumped
-    /// *before* the response line is written, so a client that reads
-    /// its report and immediately asks for `status` sees itself
-    /// counted.
+    /// counters are owned by whichever party won the request's settle —
+    /// the only party that knows what the client was actually told —
+    /// and bumped *before* the response frame is queued, so a client
+    /// that reads its report and immediately asks for `status` sees
+    /// itself counted.
     pub fn mark_served(&self) {
         self.served.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one scan whose handler gave up at its deadline (the
-    /// client got `timeout`, any late report is discarded).
+    /// Records one scan answered `timeout` at its deadline (any late
+    /// report is discarded).
     pub fn mark_timed_out(&self) {
         self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one submission answered `busy` (the reactor owns the
+    /// answer, so it owns the count too).
+    pub fn note_rejected_busy(&self) {
+        self.rejected_busy.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Closes admission and wakes every worker; already-admitted jobs
@@ -217,58 +226,74 @@ impl JobQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use saint_ir::{ApiLevel, ApkBuilder};
-    use std::sync::mpsc::sync_channel;
+    use crate::reactor::CompletionSink;
+    use std::os::unix::net::UnixStream;
+    use std::sync::atomic::AtomicBool;
 
-    fn job(
-        cancelled: &Arc<AtomicBool>,
-    ) -> (Job, std::sync::mpsc::Receiver<Result<Report, ScanError>>) {
-        let (tx, rx) = sync_channel(1);
-        let apk = ApkBuilder::new("q.app", ApiLevel::new(21), ApiLevel::new(28)).build();
-        (
-            Job {
-                apk,
-                respond: tx,
-                cancelled: Arc::clone(cancelled),
-                enqueued_at: Instant::now(),
-            },
-            rx,
-        )
+    fn sink() -> Arc<CompletionSink> {
+        let (tx, rx) = UnixStream::pair().expect("socketpair");
+        rx.set_nonblocking(true).expect("nonblocking");
+        // Leak the read end so wake writes never hit a closed pipe.
+        std::mem::forget(rx);
+        Arc::new(CompletionSink::new(tx))
+    }
+
+    fn job(sink: &Arc<CompletionSink>, settled: &Arc<AtomicBool>) -> Job {
+        Job {
+            package_b64: "AAAA".to_string(),
+            responder: Responder::new(Arc::clone(sink), 0, 1, None, Arc::clone(settled)),
+            enqueued_at: Instant::now(),
+        }
     }
 
     #[test]
-    fn capacity_rejects_with_busy() {
+    fn capacity_hands_the_job_back_with_busy() {
         let q = JobQueue::new(1);
+        let sink = sink();
         let live = Arc::new(AtomicBool::new(false));
-        let (j1, _rx1) = job(&live);
-        let (j2, _rx2) = job(&live);
-        assert!(q.submit(j1).is_ok());
-        assert_eq!(q.submit(j2).unwrap_err(), Admission::Busy);
+        assert!(q.submit(job(&sink, &live)).is_ok());
+        let Err((returned, admission)) = q.submit(job(&sink, &live)) else {
+            panic!("second submit must be rejected");
+        };
+        assert_eq!(admission, Admission::Busy);
+        returned.responder.disarm();
         let stats = q.stats();
         assert_eq!(stats.depth, 1);
-        assert_eq!(stats.rejected_busy, 1);
+        // Busy *answers* are counted by the rejecting party, not by
+        // submissions the reactor parks instead.
+        assert_eq!(stats.rejected_busy, 0);
+        q.note_rejected_busy();
+        assert_eq!(q.stats().rejected_busy, 1);
     }
 
     #[test]
     fn zero_capacity_always_busy() {
         let q = JobQueue::new(0);
+        let sink = sink();
         let live = Arc::new(AtomicBool::new(false));
-        let (j, _rx) = job(&live);
-        assert_eq!(q.submit(j).unwrap_err(), Admission::Busy);
+        let Err((returned, admission)) = q.submit(job(&sink, &live)) else {
+            panic!("zero-capacity queue must reject");
+        };
+        assert_eq!(admission, Admission::Busy);
+        returned.responder.disarm();
     }
 
     #[test]
     fn drain_closes_admission_but_serves_queued() {
         let q = JobQueue::new(4);
+        let sink = sink();
         let live = Arc::new(AtomicBool::new(false));
-        let (j1, _rx1) = job(&live);
-        assert!(q.submit(j1).is_ok());
+        assert!(q.submit(job(&sink, &live)).is_ok());
         q.drain();
-        let (j2, _rx2) = job(&live);
-        assert_eq!(q.submit(j2).unwrap_err(), Admission::Draining);
+        let Err((returned, admission)) = q.submit(job(&sink, &live)) else {
+            panic!("draining queue must reject");
+        };
+        assert_eq!(admission, Admission::Draining);
+        returned.responder.disarm();
         // The queued job is still handed out, then workers are told to
         // exit.
-        assert!(q.next().is_some());
+        let served = q.next().expect("queued job survives drain");
+        served.responder.disarm();
         q.mark_served();
         q.finish();
         assert!(q.next().is_none());
@@ -279,19 +304,21 @@ mod tests {
     }
 
     #[test]
-    fn cancelled_jobs_are_skipped() {
+    fn settled_jobs_are_skipped() {
         let q = JobQueue::new(4);
-        let cancelled = Arc::new(AtomicBool::new(true));
+        let sink = sink();
+        let expired = Arc::new(AtomicBool::new(true)); // deadline already answered
         let live = Arc::new(AtomicBool::new(false));
-        let (dead, _rx1) = job(&cancelled);
-        let (alive, _rx2) = job(&live);
-        q.submit(dead).unwrap();
-        q.mark_timed_out(); // what the dead job's handler does at its deadline
-        q.submit(alive).unwrap();
+        q.submit(job(&sink, &expired))
+            .map_err(|_| ())
+            .expect("fits");
+        q.mark_timed_out(); // what the reactor does when the deadline fires
+        q.submit(job(&sink, &live)).map_err(|_| ()).expect("fits");
         let got = q.next().expect("live job");
-        assert!(!got.cancelled.load(Ordering::Acquire));
-        // The skip itself adds nothing: outcome counters are
-        // handler-owned, and the dead job was already counted once.
+        assert!(!got.responder.is_settled());
+        got.responder.disarm();
+        // The skip itself adds nothing: outcome counters are owned by
+        // the settling party, and the dead job was already counted once.
         assert_eq!(q.stats().timed_out, 1);
     }
 
@@ -299,11 +326,17 @@ mod tests {
     fn next_blocks_until_submit() {
         let q = Arc::new(JobQueue::new(2));
         let q2 = Arc::clone(&q);
-        let waiter = std::thread::spawn(move || q2.next().is_some());
+        let waiter = std::thread::spawn(move || match q2.next() {
+            Some(job) => {
+                job.responder.disarm();
+                true
+            }
+            None => false,
+        });
         std::thread::sleep(std::time::Duration::from_millis(30));
+        let sink = sink();
         let live = Arc::new(AtomicBool::new(false));
-        let (j, _rx) = job(&live);
-        q.submit(j).unwrap();
-        assert!(waiter.join().unwrap());
+        q.submit(job(&sink, &live)).map_err(|_| ()).expect("fits");
+        assert!(waiter.join().expect("waiter"));
     }
 }

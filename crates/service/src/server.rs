@@ -1,30 +1,31 @@
-//! The daemon: a warm [`ScanEngine`] behind a TCP accept loop.
+//! The daemon: a warm [`ScanEngine`] behind a nonblocking event loop.
 //!
 //! Thread model (std-only — no async runtime is vendored):
 //!
 //! ```text
 //!            ┌────────────────────────────────────────────┐
-//!            │                listener (TCP)              │
-//!            └──────┬──────────────┬──────────────┬───────┘
-//!             accept│        accept│        accept│     bounded pool of
-//!            ┌──────▼─────┐ ┌──────▼─────┐ ┌──────▼─────┐ `conn_threads`
-//!            │ handler 0  │ │ handler 1  │ │ handler …  │ connection
-//!            └──────┬─────┘ └──────┬─────┘ └──────┬─────┘ handlers
-//!                   │ submit / recv│              │
-//!            ┌──────▼──────────────▼──────────────▼───────┐
-//!            │        JobQueue (bounded, admission)       │
-//!            └──────┬──────────────┬──────────────┬───────┘
-//!              next │         next │         next │   `jobs` scan
-//!            ┌──────▼─────┐ ┌──────▼─────┐ ┌──────▼─────┐ workers over ONE
-//!            │  worker 0  │ │  worker 1  │ │  worker …  │ warm ScanEngine
-//!            └────────────┘ └────────────┘ └────────────┘ (shared caches)
+//!            │   reactor (ONE thread, epoll event loop)   │
+//!            │  listener + wake pipe + every client conn  │
+//!            └──────┬──────────────────────────▲──────────┘
+//!            submit │                          │ completions
+//!            ┌──────▼─────────────────────┐    │ + wake byte
+//!            │ JobQueue (bounded, typed   │    │
+//!            │ admission, drain-to-empty) │    │
+//!            └──────┬──────────────┬──────┘    │
+//!              next │         next │           │
+//!            ┌──────▼─────┐ ┌──────▼─────┐     │  `jobs` scan workers
+//!            │  worker 0  │ │  worker …  ├─────┘  over ONE warm
+//!            └────────────┘ └────────────┘        ScanEngine
 //! ```
 //!
-//! Each handler owns one connection end-to-end (read a line, service
-//! it, write a line); excess connections wait in the OS accept backlog
-//! — the pool is the bound. Scan requests cross to the worker side
-//! through the queue so that slow scans never occupy the accept path
-//! and admission control fires before any analysis work is spent.
+//! The reactor (see [`crate::reactor`]) owns every socket: readiness-
+//! driven reads, per-connection state machines, pipelined request ids,
+//! backpressure by read suspension, and `writev` response flushing.
+//! Workers own everything per-scan that is CPU: base64 decode, SAPK
+//! decode (panic-isolated, preserving the `decode` fault point), and
+//! the scan itself — so the event loop never blocks on payload work
+//! and scales scan throughput with the worker pool, not with
+//! connection count.
 //!
 //! The engine is built once, [prewarmed](ScanEngine::prewarm), and
 //! reused for the process lifetime: the framework model, the
@@ -36,11 +37,10 @@
 //! [`ShardedClassCache`]: saint_analysis::ShardedClassCache
 //! [`ArtifactCache`]: saint_analysis::ArtifactCache
 
-use std::io::{BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -48,14 +48,14 @@ use std::time::{Duration, Instant};
 use saint_ir::codec;
 use saint_obs::{Counter, MetricsRegistry};
 use saint_sync::Mutex;
-use saintdroid::{panic_message, ScanEngine};
-use serde::Deserialize as _;
+use saintdroid::{panic_message, Report, ScanEngine, ScanError};
 
 use crate::protocol::{
-    self, error_code, Envelope, ErrorResponse, LineRead, MetricsResponse, ScanRequest,
-    ScanResponse, StatusResponse, PROTOCOL_VERSION,
+    self, error_code, ErrorResponse, MetricsResponse, ReactorStatus, ScanResponse, StatusResponse,
+    PROTOCOL_VERSION,
 };
-use crate::queue::{Admission, Job, JobQueue};
+use crate::queue::JobQueue;
+use crate::reactor::{CompletionSink, Reactor, ReactorGauges};
 
 /// How the daemon is shaped; see the crate docs for the CLI mapping.
 #[derive(Debug, Clone)]
@@ -69,9 +69,9 @@ pub struct ServerConfig {
     /// Admission bound: scans queued beyond the workers. `0` rejects
     /// whenever no queue slot is free — useful for tests.
     pub queue_depth: usize,
-    /// Bounded connection-handler pool (concurrent client
-    /// connections; excess waits in the accept backlog).
-    pub conn_threads: usize,
+    /// Per-connection pipeline window: scans one connection may have
+    /// unanswered before its reads are suspended (backpressure).
+    pub window: usize,
     /// Per-line byte ceiling; longer requests get `too_large`.
     pub max_line_bytes: usize,
 }
@@ -82,36 +82,49 @@ impl Default for ServerConfig {
             listen: "127.0.0.1:7744".to_string(),
             jobs: saintdroid::engine::default_jobs(),
             queue_depth: 64,
-            conn_threads: 8,
+            window: 64,
             max_line_bytes: protocol::MAX_LINE_BYTES,
         }
     }
 }
 
-/// How often blocked reads wake to poll the drain flag.
-const READ_POLL: Duration = Duration::from_millis(200);
-
 /// How often the supervisor polls for dead scan workers.
 const SUPERVISE_POLL: Duration = Duration::from_millis(25);
 
-struct Shared {
-    engine: ScanEngine,
-    queue: JobQueue,
-    registry: Arc<MetricsRegistry>,
-    started: Instant,
-    shutting_down: AtomicBool,
-    addr: SocketAddr,
-    max_line_bytes: usize,
-    conn_threads: usize,
+pub(crate) struct Shared {
+    pub(crate) engine: ScanEngine,
+    pub(crate) queue: JobQueue,
+    pub(crate) registry: Arc<MetricsRegistry>,
+    pub(crate) started: Instant,
+    pub(crate) shutting_down: AtomicBool,
+    pub(crate) addr: SocketAddr,
+    pub(crate) max_line_bytes: usize,
+    /// Per-connection pipeline window (see [`ServerConfig::window`]).
+    pub(crate) window: usize,
+    /// Worker → reactor completion mailbox + wake pipe.
+    pub(crate) sink: Arc<CompletionSink>,
+    /// Live reactor state for `status`/`metrics`.
+    pub(crate) gauges: ReactorGauges,
     /// Live scan-worker handles, owned by the supervisor (which reaps
     /// finished ones and respawns replacements) and read by `status`.
-    scan_workers: Mutex<Vec<JoinHandle<()>>>,
+    pub(crate) scan_workers: Mutex<Vec<JoinHandle<()>>>,
     /// Monotone name counter so respawned workers get fresh names.
     next_worker_id: AtomicUsize,
 }
 
 impl Shared {
-    fn status(&self) -> StatusResponse {
+    fn reactor_status(&self) -> ReactorStatus {
+        ReactorStatus {
+            open_connections: self.gauges.open_conns.load(Ordering::Relaxed) as u64,
+            inflight: self.gauges.inflight.load(Ordering::Relaxed) as u64,
+            suspended_connections: self.gauges.suspended.load(Ordering::Relaxed) as u64,
+            connections_accepted: self.registry.counter(Counter::ConnectionsAccepted),
+            backpressure_suspends: self.registry.counter(Counter::BackpressureSuspends),
+            write_stalls: self.registry.counter(Counter::WriteStalls),
+        }
+    }
+
+    pub(crate) fn status(&self) -> StatusResponse {
         let q = self.queue.stats();
         StatusResponse {
             v: PROTOCOL_VERSION,
@@ -134,12 +147,14 @@ impl Shared {
             artifact_cache: self.engine.artifact_cache_stats().map(Into::into),
             scan_cache: self.engine.scan_cache_stats().map(Into::into),
             frozen: self.engine.frozen_boot().map(Into::into),
+            reactor: Some(self.reactor_status()),
         }
     }
 
     /// The unified observability view: the engine's snapshot (phase
-    /// spans, counters, caches, meter) extended with live queue state.
-    fn metrics(&self) -> MetricsResponse {
+    /// spans, counters, caches, meter) extended with live queue and
+    /// reactor state.
+    pub(crate) fn metrics(&self) -> MetricsResponse {
         let mut snap = self.engine.metrics_snapshot();
         let q = self.queue.stats();
         snap.queue = Some(saint_obs::QueueSnapshot {
@@ -150,13 +165,15 @@ impl Shared {
             rejected_busy: q.rejected_busy,
             timed_out: q.timed_out,
         });
-        MetricsResponse::new(snap).with_frozen(self.engine.frozen_boot().map(Into::into))
+        MetricsResponse::new(snap)
+            .with_frozen(self.engine.frozen_boot().map(Into::into))
+            .with_reactor(Some(self.reactor_status()))
     }
 
     /// Flips the daemon into drain mode exactly once: admission closes,
-    /// queued scans finish, accept threads are woken with dummy
-    /// connections so they observe the flag and exit.
-    fn begin_shutdown(&self) {
+    /// queued scans finish, and the reactor is woken so it closes the
+    /// listener and quiesces connections.
+    pub(crate) fn begin_shutdown(&self) {
         if self
             .shutting_down
             .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
@@ -165,11 +182,7 @@ impl Shared {
             return;
         }
         self.queue.drain();
-        for _ in 0..self.conn_threads {
-            // Best-effort wake-ups; a failure means the acceptor is
-            // already gone or will notice on its next accept error.
-            let _ = TcpStream::connect(self.addr);
-        }
+        self.sink.wake();
     }
 }
 
@@ -193,8 +206,9 @@ impl ServerHandle {
         self.shared.begin_shutdown();
     }
 
-    /// Blocks until every acceptor and worker thread has exited —
-    /// i.e. until a shutdown request arrived and the queue drained.
+    /// Blocks until the reactor and every worker thread has exited —
+    /// i.e. until a shutdown request arrived, the queue drained, and
+    /// all connections flushed.
     pub fn wait(self) {
         for t in self.threads {
             let _ = t.join();
@@ -202,15 +216,16 @@ impl ServerHandle {
     }
 }
 
-/// Binds the listener, spawns the worker and handler pools, and
+/// Binds the listener, builds the reactor, spawns the worker pool, and
 /// returns immediately. The engine should already be
 /// [prewarmed](ScanEngine::prewarm) so the first request pays no
 /// one-time framework cost.
 ///
 /// # Errors
-/// Propagates socket errors (bind/clone).
+/// Propagates socket errors (bind/poller registration).
 pub fn start(engine: ScanEngine, cfg: &ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.listen)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     // A daemon always carries a registry (engines built without one
     // get a fresh one here) so every `metrics` request has an answer
@@ -219,6 +234,10 @@ pub fn start(engine: ScanEngine, cfg: &ServerConfig) -> std::io::Result<ServerHa
     let Some(registry) = engine.metrics().cloned() else {
         return Err(std::io::Error::other("engine lost its metrics registry"));
     };
+    let (wake_tx, wake_rx) = UnixStream::pair()?;
+    wake_tx.set_nonblocking(true)?;
+    wake_rx.set_nonblocking(true)?;
+    let sink = Arc::new(CompletionSink::new(wake_tx));
     let shared = Arc::new(Shared {
         queue: JobQueue::new(cfg.queue_depth).with_metrics(Arc::clone(&registry)),
         engine,
@@ -227,7 +246,9 @@ pub fn start(engine: ScanEngine, cfg: &ServerConfig) -> std::io::Result<ServerHa
         shutting_down: AtomicBool::new(false),
         addr,
         max_line_bytes: cfg.max_line_bytes,
-        conn_threads: cfg.conn_threads.max(1),
+        window: cfg.window.max(1),
+        sink,
+        gauges: ReactorGauges::default(),
         scan_workers: Mutex::new(Vec::new()),
         next_worker_id: AtomicUsize::new(0),
     });
@@ -239,22 +260,20 @@ pub fn start(engine: ScanEngine, cfg: &ServerConfig) -> std::io::Result<ServerHa
             workers.push(spawn_scan_worker(Arc::clone(&shared))?);
         }
     }
+    // Built before spawning so registration failures surface here.
+    let reactor = Reactor::new(Arc::clone(&shared), listener, wake_rx)?;
     let mut threads = Vec::new();
+    threads.push(
+        std::thread::Builder::new()
+            .name("saint-reactor".to_string())
+            .spawn(move || reactor.run())?,
+    );
     {
         let shared = Arc::clone(&shared);
         threads.push(
             std::thread::Builder::new()
                 .name("saint-supervisor".to_string())
                 .spawn(move || supervise_workers(&shared, jobs))?,
-        );
-    }
-    for i in 0..cfg.conn_threads.max(1) {
-        let shared = Arc::clone(&shared);
-        let listener = listener.try_clone()?;
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("saint-conn-{i}"))
-                .spawn(move || accept_loop(&listener, &shared))?,
         );
     }
     Ok(ServerHandle { shared, threads })
@@ -269,11 +288,12 @@ fn spawn_scan_worker(shared: Arc<Shared>) -> std::io::Result<JoinHandle<()>> {
 }
 
 /// The self-healing loop: scan workers are designed never to die (the
-/// engine catches scan panics), but a bug between dequeue and hand-off
-/// — or an injected `queue_handoff` fault — still kills one. The
-/// supervisor reaps finished workers and respawns replacements, so a
-/// crash costs one request, never a permanent slice of scan capacity.
-/// During drain it switches to joining the survivors and exits.
+/// engine catches scan panics, the worker isolates the decoder), but a
+/// bug between dequeue and hand-off — or an injected `queue_handoff`
+/// fault — still kills one. The supervisor reaps finished workers and
+/// respawns replacements, so a crash costs one request, never a
+/// permanent slice of scan capacity. During drain it switches to
+/// joining the survivors and exits.
 fn supervise_workers(shared: &Arc<Shared>, pool_size: usize) {
     loop {
         if shared.shutting_down.load(Ordering::Acquire) {
@@ -328,9 +348,9 @@ fn supervise_workers(shared: &Arc<Shared>, pool_size: usize) {
 /// Keeps per-job queue accounting truthful even when the worker thread
 /// unwinds between dequeue and hand-off: a dropped (not completed)
 /// guard releases the job's `active` slot and books the panic, so a
-/// dying worker never leaves a phantom active job behind. The waiting
-/// handler sees its channel disconnect (the job, and with it the
-/// sender, is dropped by the same unwind) and answers `internal`.
+/// dying worker never leaves a phantom active job behind. The job's
+/// [`Responder`](crate::reactor::Responder) is dropped by the same
+/// unwind and answers the client `internal`/`queue_handoff`.
 struct JobGuard<'a> {
     shared: &'a Shared,
     completed: bool,
@@ -356,10 +376,19 @@ impl Drop for JobGuard<'_> {
     }
 }
 
+/// Everything one scan can turn into, computed worker-side.
+enum Outcome {
+    Report(Box<Report>),
+    BadBase64,
+    BadPackage(saint_ir::CodecError),
+    DecodePanic(String),
+    ScanFailed(ScanError),
+}
+
 /// One scan worker: drain the queue over the warm engine until told to
-/// exit. Scan panics never reach this frame — the engine demotes them
-/// to typed errors — so the injection point between dequeue and scan
-/// is what exercises the supervisor's respawn path.
+/// exit. The whole payload path runs here — base64, SAPK decode
+/// (panic-isolated, preserving the `decode` fault point), scan — so
+/// the reactor thread never touches package bytes.
 fn scan_worker(shared: &Shared) {
     while let Some(job) = shared.queue.next() {
         let guard = JobGuard {
@@ -367,274 +396,87 @@ fn scan_worker(shared: &Shared) {
             completed: false,
         };
         saint_faults::trip(saint_faults::FaultPoint::QueueHandoff);
-        let outcome = shared.engine.try_scan_one(&job.apk);
+        let outcome = run_scan(shared, &job.package_b64);
         guard.complete();
-        // A failed send means the handler gave up at its deadline and
-        // dropped the receiver; the outcome is discarded. Either way
-        // the outcome counters are the handler's job, not ours.
-        if !job.cancelled.load(Ordering::Acquire) {
-            let _ = job.respond.send(outcome);
+        let mut responder = job.responder;
+        // Losing the settle race means the reactor already answered
+        // `timeout`; the outcome is discarded, unserialized.
+        if responder.begin() {
+            let id = responder.id();
+            let (frame, served) = render(outcome, id, shared);
+            if served {
+                shared.queue.mark_served();
+            }
+            responder.send(frame.into_bytes());
         }
     }
 }
 
-/// One member of the bounded acceptor pool: serve whole connections,
-/// one at a time, until shutdown.
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shared.shutting_down.load(Ordering::Acquire) {
-                    return;
-                }
-                continue;
-            }
-        };
-        if shared.shutting_down.load(Ordering::Acquire) {
-            // Wake-up (or late) connection during drain: close it.
-            drop(stream);
-            return;
-        }
-        handle_connection(stream, shared);
-        if shared.shutting_down.load(Ordering::Acquire) {
-            return;
-        }
+/// Decodes and scans one package on the worker thread.
+fn run_scan(shared: &Shared, package_b64: &str) -> Outcome {
+    let Some(sapk) = protocol::base64_decode(package_b64) else {
+        return Outcome::BadBase64;
+    };
+    // Isolate the decoder the same way the engine isolates scans, so a
+    // decoder panic (or an injected `decode` fault) costs this request
+    // an `internal` answer instead of the worker thread.
+    match catch_unwind(AssertUnwindSafe(|| codec::decode_apk(&sapk))) {
+        Ok(Ok(apk)) => match shared.engine.try_scan_one(&apk) {
+            Ok(report) => Outcome::Report(Box::new(report)),
+            Err(e) => Outcome::ScanFailed(e),
+        },
+        Ok(Err(e)) => Outcome::BadPackage(e),
+        Err(payload) => Outcome::DecodePanic(panic_message(&*payload)),
     }
 }
 
-/// Serves one connection: a loop of request line → response line.
-/// Protocol failures answer a typed error and (except for lost
-/// framing) keep the connection alive; transport failures close it.
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    // Short read timeouts double as the drain poll: a handler blocked
-    // on an idle connection notices `shutting_down` within READ_POLL.
-    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
-        return;
-    }
-    // One-line responses must leave immediately, not sit in Nagle's
-    // buffer waiting for the client's delayed ACK.
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-
-    // Partial line carried across read-timeout polls: a slow client
-    // whose request straddles a READ_POLL boundary must not have the
-    // already-received half dropped.
-    let mut pending = Vec::new();
-    loop {
-        let line = match protocol::read_line_bounded_into(
-            &mut reader,
-            shared.max_line_bytes,
-            &mut pending,
-        ) {
-            Ok(LineRead::Line(line)) => line,
-            Ok(LineRead::Eof) => return,
-            Ok(LineRead::TooLong) => {
-                let err = ErrorResponse::new(
-                    error_code::TOO_LARGE,
-                    format!("request line exceeds {} bytes", shared.max_line_bytes),
-                );
-                let _ = writer.write_all(protocol::to_line(&err).as_bytes());
-                return; // framing is lost — close
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if shared.shutting_down.load(Ordering::Acquire) {
-                    return;
-                }
-                continue;
-            }
-            Err(_) => return,
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = dispatch(&line, shared);
-        if writer.write_all(response.as_bytes()).is_err() || writer.flush().is_err() {
-            return;
-        }
-        if shared.shutting_down.load(Ordering::Acquire) {
-            return;
-        }
-    }
-}
-
-/// Parses and services one request line, returning the response line.
-/// The line is parsed to a value tree once; envelope dispatch and the
-/// full request are two views of the same tree (scan requests carry
-/// the whole package, so a second parse would double the largest cost
-/// on the request path).
-fn dispatch(line: &str, shared: &Shared) -> String {
-    let value = match serde_json::from_str_value(line) {
-        Ok(value) => value,
-        Err(e) => {
-            return protocol::to_line(&ErrorResponse::new(
-                error_code::MALFORMED,
-                format!("not a protocol message: {e}"),
-            ))
-        }
-    };
-    let envelope = match Envelope::from_value(&value) {
-        Ok(env) => env,
-        Err(e) => {
-            return protocol::to_line(&ErrorResponse::new(
-                error_code::MALFORMED,
-                format!("not a protocol message: {e}"),
-            ))
-        }
-    };
-    if envelope.v != PROTOCOL_VERSION {
-        return protocol::to_line(&ErrorResponse::new(
-            error_code::UNSUPPORTED_VERSION,
-            format!(
-                "protocol v{} requested, server speaks v{PROTOCOL_VERSION}",
-                envelope.v
+/// Serializes the outcome exactly once — the returned string *is* the
+/// frame the reactor writes from. The flag says whether a report
+/// reached the client (drives `mark_served`).
+fn render(outcome: Outcome, id: Option<u64>, shared: &Shared) -> (String, bool) {
+    match outcome {
+        Outcome::Report(report) => (
+            protocol::to_line(&ScanResponse::new(*report).with_id(id)),
+            true,
+        ),
+        Outcome::BadBase64 => (
+            protocol::to_line(
+                &ErrorResponse::new(error_code::BAD_PACKAGE, "package_b64 is not valid base64")
+                    .with_id(id),
             ),
-        ));
-    }
-    match envelope.kind.as_deref() {
-        Some("scan") => serve_scan(&value, shared),
-        Some("status") => protocol::to_line(&shared.status()),
-        Some("metrics") => protocol::to_line(&shared.metrics()),
-        Some("shutdown") => {
-            // Acknowledge with the final counters, then drain.
-            let status = shared.status();
-            shared.begin_shutdown();
-            protocol::to_line(&status)
-        }
-        other => protocol::to_line(&ErrorResponse::new(
-            error_code::MALFORMED,
-            format!("unknown request kind {other:?}"),
-        )),
-    }
-}
-
-/// Decodes, admits, and awaits one scan request.
-fn serve_scan(value: &serde::Value, shared: &Shared) -> String {
-    let request: ScanRequest = match ScanRequest::from_value(value) {
-        Ok(req) => req,
-        Err(e) => {
-            return protocol::to_line(&ErrorResponse::new(
-                error_code::MALFORMED,
-                format!("bad scan request: {e}"),
-            ))
-        }
-    };
-    let Some(sapk) = protocol::base64_decode(&request.package_b64) else {
-        return protocol::to_line(&ErrorResponse::new(
-            error_code::BAD_PACKAGE,
-            "package_b64 is not valid base64",
-        ));
-    };
-    // The decoder runs on the handler thread; isolate it the same way
-    // the engine isolates scans, so a decoder panic (or an injected
-    // `decode` fault) costs this request an `internal` answer instead
-    // of the connection its handler serves.
-    let apk = match catch_unwind(AssertUnwindSafe(|| codec::decode_apk(&sapk))) {
-        Ok(Ok(apk)) => apk,
-        Ok(Err(e)) => {
+            false,
+        ),
+        Outcome::BadPackage(e) => {
             let mut err = ErrorResponse::new(
                 error_code::BAD_PACKAGE,
                 format!("not a SAPK container: {e}"),
-            );
+            )
+            .with_id(id);
             // Point the client at the offending byte when the decoder
             // can name one — triage without re-running the decode.
             if let Some(offset) = e.offset() {
                 err = err.with_offset(offset as u64);
             }
-            return protocol::to_line(&err);
+            (protocol::to_line(&err), false)
         }
-        Err(payload) => {
+        Outcome::DecodePanic(msg) => {
             shared.registry.add(Counter::ScansPanicked, 1);
-            return protocol::to_line(
-                &ErrorResponse::new(
-                    error_code::INTERNAL,
-                    format!("decode panicked: {}", panic_message(&*payload)),
-                )
-                .with_phase("decode"),
-            );
-        }
-    };
-
-    let (respond, report_rx) = sync_channel(1);
-    let cancelled = Arc::new(AtomicBool::new(false));
-    let admitted = shared.queue.submit(Job {
-        apk,
-        respond,
-        cancelled: Arc::clone(&cancelled),
-        enqueued_at: Instant::now(),
-    });
-    match admitted {
-        Err(Admission::Busy) => {
-            return protocol::to_line(&ErrorResponse::new(
-                error_code::BUSY,
-                format!(
-                    "queue at capacity ({}); resubmit later",
-                    shared.queue.stats().capacity
+            (
+                protocol::to_line(
+                    &ErrorResponse::new(error_code::INTERNAL, format!("decode panicked: {msg}"))
+                        .with_phase("decode")
+                        .with_id(id),
                 ),
-            ))
-        }
-        Err(Admission::Draining) => {
-            return protocol::to_line(&ErrorResponse::new(
-                error_code::DRAINING,
-                "daemon is draining for shutdown",
-            ))
-        }
-        Ok(()) => {}
-    }
-
-    let outcome = match request.deadline_ms {
-        Some(ms) => report_rx.recv_timeout(Duration::from_millis(ms)),
-        None => report_rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
-    };
-    match outcome {
-        Ok(Ok(report)) => {
-            // Counted before the response line leaves, so the client's
-            // own follow-up `status` always includes this scan.
-            shared.queue.mark_served();
-            protocol::to_line(&ScanResponse::new(report))
-        }
-        Ok(Err(scan_err)) => {
-            // The scan panicked; the engine demoted it to a typed
-            // error and the worker survived. Not `mark_served` — no
-            // report reached the client — and not a timeout either.
-            protocol::to_line(
-                &ErrorResponse::new(error_code::INTERNAL, scan_err.to_string())
-                    .with_phase(scan_err.phase()),
+                false,
             )
         }
-        Err(RecvTimeoutError::Timeout) => {
-            // Tell the worker (or the queue) to drop the job; the
-            // receiver is dropped with this frame, so a report finished
-            // in the race window is discarded by the failed send.
-            cancelled.store(true, Ordering::Release);
-            shared.queue.mark_timed_out();
-            protocol::to_line(&ErrorResponse::new(
-                error_code::TIMEOUT,
-                format!(
-                    "deadline of {} ms expired before the scan finished",
-                    request.deadline_ms.unwrap_or(0)
-                ),
-            ))
-        }
-        Err(RecvTimeoutError::Disconnected) => {
-            // The worker thread died between dequeue and hand-off (its
-            // job — and with it our sender — was dropped by the
-            // unwind). The supervisor is already respawning a
-            // replacement; the client can resubmit immediately.
+        Outcome::ScanFailed(e) => (
             protocol::to_line(
-                &ErrorResponse::new(
-                    error_code::INTERNAL,
-                    "scan worker crashed before completing the job; resubmit",
-                )
-                .with_phase("queue_handoff"),
-            )
-        }
+                &ErrorResponse::new(error_code::INTERNAL, e.to_string())
+                    .with_phase(e.phase())
+                    .with_id(id),
+            ),
+            false,
+        ),
     }
 }

@@ -4,12 +4,13 @@
 //! deterministic jitter stays inside its envelope.
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 use saint_obs::{Counter, MetricsRegistry};
 use saint_service::protocol::{self, error_code, ErrorResponse, ScanResponse};
-use saint_service::{scan_with_retries, ClientError, RetryPolicy};
+use saint_service::{scan_with_retries, ClientError, PipelinedClient, RetryPolicy};
 use saintdroid::Report;
 
 /// Serves one scripted response line per connection, in order, then
@@ -113,6 +114,127 @@ fn connection_refused_exhausts_the_budget_then_surfaces_io() {
         .expect_err("nothing listens");
     assert!(matches!(err, ClientError::Io(_)));
     assert_eq!(registry.counter(Counter::ClientRetries), 2);
+}
+
+/// Reads one pipelined request off the stub's wire: its id and the
+/// decoded payload (the tests send recognizable payloads like
+/// `pkg-1`, so the stub can echo them back as package names).
+fn read_request(reader: &mut BufReader<TcpStream>) -> (u64, String) {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read request");
+    let value = serde_json::from_str_value(&line).expect("request parses");
+    let id = value
+        .get("id")
+        .and_then(serde::Value::as_u64)
+        .expect("pipelined request carries an id");
+    let payload = value
+        .get("package_b64")
+        .and_then(serde::Value::as_str)
+        .and_then(protocol::base64_decode)
+        .expect("request carries a payload");
+    (id, String::from_utf8(payload).expect("utf-8 payload"))
+}
+
+/// The pipelined retry taxonomy against a scripted stub: the daemon
+/// answers a full window out of order, failing exactly one request
+/// with a transient `internal` — and the client must resubmit *only*
+/// that request (under a fresh id), keep every other in-flight answer,
+/// and return the batch in submission order.
+#[test]
+fn pipelined_transient_error_resends_only_the_failed_request() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind stub");
+    let addr = listener.local_addr().expect("stub addr").to_string();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        // The whole window arrives before any answer goes out.
+        let mut window: Vec<(u64, String)> = (0..4).map(|_| read_request(&mut reader)).collect();
+        // Answer out of submission order, and fail the second request
+        // (id 1 — ids start at 0 on a fresh client) with a transient.
+        window.reverse();
+        for (id, pkg) in &window {
+            let line = if *id == 1 {
+                protocol::to_line(
+                    &ErrorResponse::new(error_code::INTERNAL, "flaky").with_id(Some(*id)),
+                )
+            } else {
+                protocol::to_line(&ScanResponse::new(Report::new(pkg, "stub")).with_id(Some(*id)))
+            };
+            writer.write_all(line.as_bytes()).expect("write response");
+        }
+        // Exactly one more request may arrive: the resubmission, same
+        // payload under a fresh id. Serve it and report what we saw.
+        let (retry_id, retry_pkg) = read_request(&mut reader);
+        let line = protocol::to_line(
+            &ScanResponse::new(Report::new(&retry_pkg, "stub")).with_id(Some(retry_id)),
+        );
+        writer.write_all(line.as_bytes()).expect("write response");
+        let _ = tx.send((window.len() + 1, retry_id, retry_pkg));
+    });
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let sapks: Vec<Vec<u8>> = (0..4).map(|i| format!("pkg-{i}").into_bytes()).collect();
+    let mut client = PipelinedClient::connect(&addr, 4)
+        .expect("connect pipelined")
+        .with_retry_policy(quick_policy(3))
+        .with_metrics(Arc::clone(&registry));
+    let responses = client.scan_all(&sapks, None).expect("batch serves");
+
+    // Submission order restored despite the reversed answers.
+    for (i, resp) in responses.iter().enumerate() {
+        assert_eq!(resp.report.package, format!("pkg-{i}"));
+    }
+    // One resubmission, of the failed request only: 4 + 1 requests on
+    // the wire, the retry carried pkg-1 under a fresh (never-reused)
+    // id, and exactly one client retry was counted.
+    let (total_requests, retry_id, retry_pkg) = rx.recv().expect("stub script completed");
+    assert_eq!(total_requests, 5, "only the failed request is resent");
+    assert_eq!(retry_pkg, "pkg-1");
+    assert!(retry_id >= 4, "a retried request gets a fresh id");
+    assert_eq!(registry.counter(Counter::ClientRetries), 1);
+}
+
+/// Permanent rejections fail a pipelined batch immediately — no
+/// resubmission, typed error surfaced.
+#[test]
+fn pipelined_permanent_rejection_fails_the_batch_fast() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind stub");
+    let addr = listener.local_addr().expect("stub addr").to_string();
+    std::thread::spawn(move || {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        let (id, _) = read_request(&mut reader);
+        let line = protocol::to_line(
+            &ErrorResponse::new(error_code::BAD_PACKAGE, "not a SAPK container")
+                .with_offset(0)
+                .with_id(Some(id)),
+        );
+        let _ = writer.write_all(line.as_bytes());
+    });
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut client = PipelinedClient::connect(&addr, 2)
+        .expect("connect pipelined")
+        .with_retry_policy(quick_policy(5))
+        .with_metrics(Arc::clone(&registry));
+    let err = client
+        .scan_all(&[b"junk".to_vec()], None)
+        .expect_err("bad_package is not retriable");
+    match err {
+        ClientError::Rejected(e) => {
+            assert_eq!(e.code, error_code::BAD_PACKAGE);
+            assert_eq!(e.offset, Some(0));
+        }
+        other => panic!("expected typed rejection, got {other}"),
+    }
+    assert_eq!(registry.counter(Counter::ClientRetries), 0);
 }
 
 #[test]

@@ -210,7 +210,6 @@ fn concurrent_burst_never_kills_daemon_and_every_reply_is_typed() {
         &ephemeral(ServerConfig {
             jobs: 1,
             queue_depth: 2,
-            conn_threads: 8,
             ..ServerConfig::default()
         }),
     );
@@ -337,7 +336,7 @@ fn shutdown_drains_and_joins_all_threads() {
         &fw,
         &ephemeral(ServerConfig {
             jobs: 2,
-            conn_threads: 4,
+            window: 4,
             ..ServerConfig::default()
         }),
     );

@@ -1,0 +1,215 @@
+//! Robustness against pathological clients: half-written frames held
+//! open, readers that stall after pipelining a burst, and connections
+//! dropped with scans still in flight. The contract in every case is
+//! the same — the daemon never wedges, well-behaved clients on other
+//! connections are never blocked, and whatever answer does come back
+//! is a typed protocol message.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use saint_adf::AndroidFramework;
+use saint_corpus::{RealWorldConfig, RealWorldCorpus};
+use saint_ir::{codec, Apk};
+use saint_service::protocol::{self, ScanRequest};
+use saint_service::{Client, ServerConfig};
+use saintdroid::ScanEngine;
+
+fn corpus_and_framework() -> (Vec<Apk>, Arc<AndroidFramework>) {
+    let mut cfg = RealWorldConfig::small();
+    cfg.apps = 4;
+    let fw = Arc::new(AndroidFramework::with_scale(&cfg.synth));
+    let corpus = RealWorldCorpus::new(cfg);
+    let apks = (0..corpus.len()).map(|i| corpus.get(i).apk).collect();
+    (apks, fw)
+}
+
+fn start_server(fw: &Arc<AndroidFramework>, mut cfg: ServerConfig) -> saint_service::ServerHandle {
+    cfg.listen = "127.0.0.1:0".to_string();
+    let engine = ScanEngine::new(Arc::clone(fw));
+    engine.prewarm();
+    saint_service::start(engine, &cfg).expect("bind ephemeral port")
+}
+
+/// One id-tagged scan request as raw wire bytes (newline included).
+fn scan_line(apk: &Apk, id: u64) -> Vec<u8> {
+    let sapk = codec::encode_apk(apk);
+    protocol::to_line(&ScanRequest::new(&sapk, Some(120_000)).with_id(id)).into_bytes()
+}
+
+/// Polls `status` until `pred` holds or the deadline passes; panics
+/// with the final status on timeout. The reactor reaps dead
+/// connections on its next tick, so assertions about gauges need a
+/// grace window, not an instant.
+fn wait_for_status(
+    addr: &str,
+    what: &str,
+    pred: impl Fn(&saint_service::StatusResponse) -> bool,
+) -> saint_service::StatusResponse {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut client = Client::connect(addr).expect("connect for status");
+        let status = client.status().expect("status");
+        if pred(&status) {
+            return status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never reached state: {what}; last status: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn half_written_frame_blocks_nobody_and_completes_later() {
+    let (apks, fw) = corpus_and_framework();
+    let handle = start_server(&fw, ServerConfig::default());
+    let addr = handle.addr().to_string();
+
+    // The slowloris: half a request, then silence with the socket held
+    // open. A blocking daemon thread would now be stuck in read.
+    let frame = scan_line(&apks[0], 7);
+    let (head, tail) = frame.split_at(frame.len() / 2);
+    let mut slow = TcpStream::connect(&addr).expect("connect slowloris");
+    slow.write_all(head).expect("write half frame");
+    slow.flush().expect("flush");
+
+    // A well-behaved client on another connection is served while the
+    // half-frame sits in the reactor's buffer.
+    let mut good = Client::connect(&addr).expect("connect good client");
+    let sapk = codec::encode_apk(&apks[1]);
+    let response = good.scan_sapk(&sapk, Some(120_000)).expect("scan");
+    assert_eq!(response.report.package, apks[1].manifest.package);
+
+    // The stalled frame finally completes — and still gets its answer,
+    // id echoed.
+    slow.write_all(tail).expect("write rest of frame");
+    slow.flush().expect("flush");
+    let mut reader = BufReader::new(slow);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    assert!(line.contains("\"kind\":\"scan\""), "{line}");
+    assert!(line.contains("\"id\":7"), "{line}");
+
+    let mut admin = Client::connect(&addr).expect("connect admin");
+    admin.shutdown().expect("shutdown ack");
+    handle.wait();
+}
+
+#[test]
+fn stalled_reader_gets_all_answers_once_it_wakes() {
+    let (apks, fw) = corpus_and_framework();
+    let handle = start_server(
+        &fw,
+        ServerConfig {
+            jobs: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr().to_string();
+
+    // Pipeline a burst, then go to sleep without reading a byte: the
+    // daemon's answers queue against the socket, never against a
+    // thread.
+    let mut stalled = TcpStream::connect(&addr).expect("connect stalled reader");
+    for id in 0..8_u64 {
+        stalled
+            .write_all(&scan_line(&apks[id as usize % apks.len()], id))
+            .expect("write pipelined request");
+    }
+    stalled.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Everyone else is unaffected while those responses wait.
+    let mut good = Client::connect(&addr).expect("connect good client");
+    let sapk = codec::encode_apk(&apks[0]);
+    good.scan_sapk(&sapk, Some(120_000)).expect("scan");
+
+    // The reader wakes up: all eight answers are there, each a typed
+    // scan response with its id.
+    let mut reader = BufReader::new(stalled);
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..8 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        assert!(line.contains("\"kind\":\"scan\""), "{line}");
+        let value = serde_json::from_str_value(&line).expect("response parses");
+        let id = value
+            .get("id")
+            .and_then(serde::Value::as_u64)
+            .expect("response carries its id");
+        assert!(seen.insert(id), "duplicate answer for id {id}");
+    }
+    assert_eq!(seen, (0..8).collect());
+
+    let mut admin = Client::connect(&addr).expect("connect admin");
+    admin.shutdown().expect("shutdown ack");
+    handle.wait();
+}
+
+#[test]
+fn mid_pipeline_disconnect_is_reaped_and_daemon_keeps_serving() {
+    let (apks, fw) = corpus_and_framework();
+    let handle = start_server(
+        &fw,
+        ServerConfig {
+            jobs: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let addr = handle.addr().to_string();
+
+    // Four scans in flight, then the connection vanishes. The workers
+    // may still be scanning; their completions must be discarded (the
+    // generation check), not delivered to whoever owns the slot next.
+    {
+        let mut doomed = TcpStream::connect(&addr).expect("connect doomed client");
+        for id in 0..4_u64 {
+            doomed
+                .write_all(&scan_line(&apks[id as usize % apks.len()], id))
+                .expect("write pipelined request");
+        }
+        doomed.flush().expect("flush");
+    } // dropped: RST/FIN mid-pipeline
+
+    // The daemon reaps the connection and returns to a clean idle:
+    // nothing in flight, no connection left open besides the pollers'.
+    wait_for_status(&addr, "disconnected pipeline reaped", |s| {
+        let Some(r) = &s.reactor else { return false };
+        r.inflight == 0 && s.jobs_active == 0 && r.open_connections == 1
+    });
+
+    // And it still serves: a fresh, well-behaved client gets its scan.
+    let mut good = Client::connect(&addr).expect("connect good client");
+    let sapk = codec::encode_apk(&apks[0]);
+    let response = good.scan_sapk(&sapk, Some(120_000)).expect("scan");
+    assert_eq!(response.report.package, apks[0].manifest.package);
+
+    good.shutdown().expect("shutdown ack");
+    handle.wait();
+}
+
+#[test]
+fn garbage_then_disconnect_never_wedges_the_drain() {
+    let (apks, fw) = corpus_and_framework();
+    let handle = start_server(&fw, ServerConfig::default());
+    let addr = handle.addr().to_string();
+
+    // A connection that sends garbage and a half-frame, then vanishes.
+    {
+        let mut rude = TcpStream::connect(&addr).expect("connect rude client");
+        rude.write_all(b"not json at all\n{\"v\":1,\"kind\":\"sc")
+            .expect("write garbage");
+        rude.flush().expect("flush");
+    }
+
+    // The daemon still drains cleanly with that wreckage behind it.
+    let mut good = Client::connect(&addr).expect("connect good client");
+    let sapk = codec::encode_apk(&apks[0]);
+    good.scan_sapk(&sapk, Some(120_000)).expect("scan");
+    good.shutdown().expect("shutdown ack");
+    handle.wait();
+}
