@@ -1,0 +1,133 @@
+//! Typed campaign failures.
+//!
+//! The campaign layer never panics on bad external state — a missing
+//! journal, a corrupt corpus image, an unreadable `.sapk`, a fleet
+//! with every daemon gone — all of it surfaces here, so `campaign
+//! resume` can distinguish "nothing to resume" from "the journal is
+//! damaged beyond its salvageable prefix".
+
+use std::path::PathBuf;
+
+/// Why a campaign operation failed.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// A filesystem operation failed; `context` names what was being
+    /// done (e.g. the journal or corpus path involved).
+    Io {
+        /// What was being attempted.
+        context: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A frozen corpus image failed to attach or read.
+    Frozen {
+        /// The image path.
+        image: PathBuf,
+        /// The underlying frozen-layer error.
+        source: saint_frozen::FrozenError,
+    },
+    /// A loose `.sapk` file did not decode as a SAPK container.
+    BadSapk {
+        /// The offending file.
+        path: PathBuf,
+        /// The decoder's error.
+        source: saint_ir::CodecError,
+    },
+    /// The registry holds no work units (no images, empty directory).
+    EmptyCorpus,
+    /// The campaign was started with no daemon endpoints.
+    NoDaemons,
+    /// Every daemon died or became unreachable; the journal holds every
+    /// unit completed before the last daemon was lost, so `campaign
+    /// resume` against a healthy fleet finishes the rest.
+    AllDaemonsLost {
+        /// Units completed (journaled) before the fleet was lost.
+        completed: usize,
+        /// Units that could not be dispatched anywhere.
+        lost: usize,
+    },
+    /// A daemon answered one specific package with a permanent, typed
+    /// rejection (`bad_package`, `too_large`, …) — resubmitting it
+    /// anywhere would only repeat the answer, so the campaign stops
+    /// and names the unit.
+    UnitRejected {
+        /// The rejected package id.
+        package: String,
+        /// The daemon's error code.
+        code: String,
+        /// The daemon's error message.
+        message: String,
+    },
+    /// `campaign resume`/`report` was pointed at a journal that does
+    /// not exist.
+    JournalMissing {
+        /// The missing path.
+        path: PathBuf,
+    },
+    /// The journal's first line is already unreadable — there is no
+    /// salvageable prefix, and resuming would silently restart the
+    /// whole campaign. (Mid-file damage is handled by truncating to the
+    /// valid prefix instead; see `journal::replay`.)
+    JournalCorrupt {
+        /// The journal path.
+        path: PathBuf,
+        /// What was wrong with the line.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Io { context, source } => write!(f, "{context}: {source}"),
+            CampaignError::Frozen { image, source } => {
+                write!(f, "corpus image {}: {source}", image.display())
+            }
+            CampaignError::BadSapk { path, source } => {
+                write!(f, "not a SAPK container {}: {source}", path.display())
+            }
+            CampaignError::EmptyCorpus => write!(f, "campaign corpus holds no packages"),
+            CampaignError::NoDaemons => write!(f, "campaign needs at least one daemon endpoint"),
+            CampaignError::AllDaemonsLost { completed, lost } => write!(
+                f,
+                "every daemon was lost mid-campaign ({completed} units journaled, {lost} \
+                 undispatchable); fix the fleet and `campaign resume`"
+            ),
+            CampaignError::UnitRejected {
+                package,
+                code,
+                message,
+            } => write!(
+                f,
+                "package {package} permanently rejected by the service: {code} ({message})"
+            ),
+            CampaignError::JournalMissing { path } => {
+                write!(f, "journal {} does not exist", path.display())
+            }
+            CampaignError::JournalCorrupt { path, reason } => {
+                write!(f, "journal {} is corrupt: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Io { source, .. } => Some(source),
+            CampaignError::Frozen { source, .. } => Some(source),
+            CampaignError::BadSapk { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl CampaignError {
+    /// Convenience constructor for I/O failures with context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        CampaignError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+}

@@ -64,6 +64,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         "disasm" => disasm(&args[1..]),
         "callgraph" => callgraph(&args[1..]),
         "serve" => serve(&args[1..]),
+        "campaign" => campaign(&args[1..]),
         "submit" => submit(&args[1..]),
         "status" => status(&args[1..]),
         "metrics" => metrics(&args[1..]),
@@ -102,6 +103,17 @@ fn print_help() {
          \x20 saintdroid metrics [--addr ADDR]                  full observability view: per-phase spans,\n\
          \x20                                                   counters, cache and queue state\n\
          \x20 saintdroid shutdown [--addr ADDR]                 gracefully drain and stop the daemon\n\
+         \x20 saintdroid campaign run [--corpus IMG]... [--sapk-dir DIR]...\n\
+         \x20                  [--daemon ADDR]... [--fleet N] [--journal J] [--out R] [--stable]\n\
+         \x20                                                   scan a whole corpus across a daemon fleet:\n\
+         \x20                                                   consistent-hash sharding, checkpointed\n\
+         \x20                                                   journal, failover on daemon loss, one\n\
+         \x20                                                   aggregated JSON report\n\
+         \x20 saintdroid campaign resume [same flags]           replay the journal and scan only what is\n\
+         \x20                                                   not covered; converges to the same report\n\
+         \x20 saintdroid campaign report [--journal J] [--out R] [--stable]\n\
+         \x20                                                   rebuild the aggregated report from the\n\
+         \x20                                                   journal alone (no fleet, no re-scan)\n\
          \x20 saintdroid synth-pkg <out.sapk> [--index I]       write one synthesized package (for smoke\n\
          \x20                                                   tests and protocol experiments)\n\
          \x20 saintdroid compile-db <out.sfrz> [--synth N]      compile the framework model (API database,\n\
@@ -111,9 +123,9 @@ fn print_help() {
          \x20                                                   pack SAPK packages into one frozen corpus\n\
          \x20                                                   image scanned zero-copy via `scan --corpus`\n\
          \n\
-         exit codes (scan, submit): 0 = no mismatches, 2 = mismatches\n\
-         found, 1 = error (unreadable package, service unreachable or\n\
-         request rejected).\n\
+         exit codes (scan, submit, campaign): 0 = no mismatches, 2 =\n\
+         mismatches found, 1 = error (unreadable package, service\n\
+         unreachable or request rejected).\n\
          \n\
          --jobs N      scan batches on N worker threads sharing one\n\
          framework-class cache (default: one per core). For `serve`:\n\
@@ -129,6 +141,11 @@ fn print_help() {
          port 0 picks an ephemeral port, printed on startup).\n\
          --queue-depth D serve: queued scans beyond the workers before\n\
          submissions are rejected with `busy` (default 64).\n\
+         --name NAME   serve: operator-assigned daemon name, echoed in\n\
+         status/metrics and campaign per-daemon attribution.\n\
+         --scan-pace-ms P serve/campaign --fleet: artificial per-scan\n\
+         service time (capacity emulation for fleet benches on hosts\n\
+         with fewer cores than daemons; default: off).\n\
          --trace-json <out.json> scan: write per-phase spans as Chrome\n\
          trace JSON (load in chrome://tracing or Perfetto).\n\
          --addr ADDR   submit/status/metrics/shutdown: daemon address\n\
@@ -144,8 +161,8 @@ fn print_help() {
          request/response lockstep; reports and exit codes are\n\
          identical to the lockstep path.\n\
          --window W    submit --pipeline: in-flight requests kept on\n\
-         the wire (default 32; the daemon may suspend reads beyond\n\
-         its own per-connection window).\n\
+         the wire (default 64, matching the server-side per-connection\n\
+         window; the daemon suspends reads beyond its own window).\n\
          --corpus IMG  scan: analyze every package of a frozen corpus\n\
          image (see compile-corpus) straight out of the mapping.\n\
          --frozen-db PATH scan/serve: frozen framework image to attach\n\
@@ -156,7 +173,22 @@ fn print_help() {
          of attaching (or compiling) a frozen image.\n\
          --frozen-trust serve: trusted warm attach — skip the\n\
          full-image checksum and eager index validation (a prior boot\n\
-         verified the image); every read stays bounds-checked."
+         verified the image); every read stays bounds-checked.\n\
+         --corpus IMG / --sapk-dir DIR campaign: work sources, both\n\
+         repeatable; packages are deduplicated by content across all\n\
+         sources.\n\
+         --daemon ADDR campaign: an already-running daemon to enlist\n\
+         (repeatable).\n\
+         --fleet N     campaign: spawn and supervise N local daemons\n\
+         on ephemeral ports for the run (combines with --daemon).\n\
+         --journal J   campaign: checkpointed completion journal\n\
+         (default campaign.journal); `resume`/`report` read it back.\n\
+         --checkpoint-every K campaign: journal records per fsync\n\
+         batch (default 32; a crash loses at most the unsynced tail).\n\
+         --out R       campaign: write the aggregated JSON report to R\n\
+         instead of stdout.\n\
+         --stable      campaign: omit runtime/throughput stats from\n\
+         the report so converged runs compare byte-for-byte."
     );
 }
 
@@ -204,6 +236,14 @@ const VALUE_FLAGS: &[&str] = &[
     "--corpus",
     "--frozen-db",
     "--synth-corpus",
+    "--name",
+    "--scan-pace-ms",
+    "--sapk-dir",
+    "--daemon",
+    "--fleet",
+    "--journal",
+    "--out",
+    "--checkpoint-every",
     "-o",
 ];
 
@@ -250,6 +290,20 @@ fn string_flag<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Every value of a repeatable value-taking flag, in argument order
+/// (`campaign --corpus a.sfrz --corpus b.sfrz`).
+fn string_flags<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    for (i, arg) in args.iter().enumerate() {
+        if arg == flag {
+            if let Some(value) = args.get(i + 1) {
+                out.push(value.as_str());
+            }
+        }
+    }
+    out
 }
 
 /// The exit code the scan contract assigns to a set of reports.
@@ -424,6 +478,10 @@ fn serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     if let Some(depth) = flag_value(args, "--queue-depth") {
         cfg.queue_depth = depth;
     }
+    cfg.name = string_flag(args, "--name").map(str::to_string);
+    if let Some(ms) = flag_value(args, "--scan-pace-ms") {
+        cfg.scan_pace = Some(std::time::Duration::from_millis(ms as u64));
+    }
     let fw = framework(args);
     let mut engine = ScanEngine::new(Arc::clone(&fw));
     if let Some(app_jobs) = flag_value(args, "--app-jobs") {
@@ -537,7 +595,10 @@ fn submit_pipelined(
     addr: &str,
     deadline_ms: Option<u64>,
 ) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let window = flag_value(args, "--window").unwrap_or(32);
+    // Default matches the server-side per-connection window
+    // (`ServerConfig::default().window`): a smaller client window
+    // under-fills the pipe, a larger one just gets suspended.
+    let window = flag_value(args, "--window").unwrap_or(saint_service::DEFAULT_WINDOW);
     let mut client = saint_service::PipelinedClient::connect(addr, window)
         .map_err(|e| format!("cannot reach scan service at {addr}: {e}"))?;
     if let Some(retries) = flag_value(args, "--retries") {
@@ -569,6 +630,179 @@ fn plural_y(n: u32) -> &'static str {
     }
 }
 
+fn plural_s(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// `campaign run|resume|report`: the fleet campaign runner
+/// (`saint-campaign`) behind one verb.
+fn campaign(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    match positionals(args).first().map(|s| s.as_str()) {
+        Some("run") => campaign_execute(args, false),
+        Some("resume") => campaign_execute(args, true),
+        Some("report") => campaign_report(args),
+        _ => Err("campaign: expected `run`, `resume` or `report` (see `saintdroid help`)".into()),
+    }
+}
+
+/// The journal the campaign verbs operate on (`--journal`, default
+/// `campaign.journal` in the working directory).
+fn campaign_journal_path(args: &[String]) -> std::path::PathBuf {
+    std::path::PathBuf::from(string_flag(args, "--journal").unwrap_or("campaign.journal"))
+}
+
+/// Renders a campaign report to `--out` or stdout and maps it onto the
+/// scan exit-code contract (0 clean, 2 mismatches found).
+fn emit_campaign_report(
+    args: &[String],
+    report: &saint_campaign::CampaignReport,
+) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let rendered = if args.iter().any(|a| a == "--stable") {
+        report.stable_json()
+    } else {
+        report.to_json()
+    };
+    match string_flag(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, rendered + "\n")
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("campaign: report written to {path}");
+        }
+        None => println!("{rendered}"),
+    }
+    Ok(if report.mismatches == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
+/// `campaign run` / `campaign resume`: build the corpus registry,
+/// stand up (or address) the fleet, drive the campaign, emit the
+/// aggregated report.
+fn campaign_execute(args: &[String], resume: bool) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut registry = saint_campaign::CorpusRegistry::new();
+    for image in string_flags(args, "--corpus") {
+        let added = registry.add_image(std::path::Path::new(image))?;
+        eprintln!("campaign: {added} package{} from {image}", plural_s(added));
+    }
+    for dir in string_flags(args, "--sapk-dir") {
+        let added = registry.add_sapk_dir(std::path::Path::new(dir))?;
+        eprintln!("campaign: {added} package{} from {dir}/", plural_s(added));
+    }
+    if registry.is_empty() {
+        return Err("campaign: no work — pass --corpus <img.sfrz> and/or --sapk-dir <dir>".into());
+    }
+
+    let mut endpoints: Vec<String> = string_flags(args, "--daemon")
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    let mut fleet = None;
+    if let Some(n) = flag_value(args, "--fleet") {
+        let mut fleet_cfg = saint_campaign::FleetConfig::default();
+        if let Some(jobs) = flag_value(args, "--jobs") {
+            fleet_cfg.jobs = jobs.max(1);
+        }
+        if let Some(ms) = flag_value(args, "--scan-pace-ms") {
+            fleet_cfg.scan_pace = Some(std::time::Duration::from_millis(ms as u64));
+        }
+        eprintln!(
+            "campaign: starting local fleet of {n} daemon{} (one warm engine each)...",
+            plural_s(n)
+        );
+        let local = saint_campaign::LocalFleet::start(&framework(args), n.max(1), &fleet_cfg)?;
+        endpoints.extend(local.endpoints().iter().cloned());
+        fleet = Some(local);
+    }
+    if endpoints.is_empty() {
+        return Err("campaign: no daemons — pass --daemon <addr> and/or --fleet N".into());
+    }
+
+    let mut cfg = saint_campaign::CampaignConfig::default();
+    if let Some(window) = flag_value(args, "--window") {
+        cfg.window = window.max(1);
+    }
+    if let Some(retries) = flag_value(args, "--retries") {
+        cfg.retries = retries as u32;
+    }
+    if let Some(every) = flag_value(args, "--checkpoint-every") {
+        cfg.checkpoint_every = every.max(1);
+    }
+    cfg.deadline_ms = flag_value(args, "--timeout-ms").map(|t| t as u64);
+
+    let metrics = Arc::new(saint_obs::MetricsRegistry::new());
+    let journal = campaign_journal_path(args);
+    let outcome = saint_campaign::run_campaign(
+        &registry,
+        &endpoints,
+        &journal,
+        resume,
+        &cfg,
+        Some(&metrics),
+    )?;
+    if let Some(mut local) = fleet {
+        local.shutdown();
+    }
+
+    if outcome.journal_truncated {
+        eprintln!("campaign: journal had a damaged tail; the affected units were re-scanned");
+    }
+    if outcome.foreign > 0 {
+        eprintln!(
+            "campaign: {} journal record{} ignored (not in this corpus)",
+            outcome.foreign,
+            plural_s(outcome.foreign)
+        );
+    }
+    let r = &outcome.runtime;
+    eprintln!(
+        "campaign: {} app{} done ({} scanned now, {} resumed from journal) across {} daemon{} \
+         in {:.1}s — {:.1} apps/s, {} resubmission{}, {} failover{}, {} checkpoint flush{}",
+        outcome.store.len(),
+        plural_s(outcome.store.len()),
+        outcome.completed,
+        outcome.resumed,
+        endpoints.len(),
+        plural_s(endpoints.len()),
+        r.wall_secs,
+        r.apps_per_sec,
+        r.resubmissions,
+        plural_s(r.resubmissions as usize),
+        r.daemon_failovers,
+        plural_s(r.daemon_failovers as usize),
+        r.checkpoint_flushes,
+        if r.checkpoint_flushes == 1 { "" } else { "es" },
+    );
+    let report = outcome.store.report(Some(outcome.runtime.clone()));
+    emit_campaign_report(args, &report)
+}
+
+/// `campaign report`: rebuild the aggregated report from the journal
+/// alone — no fleet, no corpus, no re-scan.
+fn campaign_report(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let journal = campaign_journal_path(args);
+    let replayed = saint_campaign::replay(&journal)?;
+    if replayed.truncated {
+        eprintln!(
+            "campaign: journal has a damaged tail; reporting the {} salvaged record{} \
+             (run `campaign resume` to finish)",
+            replayed.records.len(),
+            plural_s(replayed.records.len())
+        );
+    }
+    let mut store = saint_campaign::ResultStore::new();
+    for record in replayed.records {
+        store.insert(record);
+    }
+    let report = store.report(None);
+    emit_campaign_report(args, &report)
+}
+
 fn status(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let addr = string_flag(args, "--addr").unwrap_or(DEFAULT_ADDR);
     let mut client =
@@ -580,8 +814,12 @@ fn status(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
 
 fn print_status(addr: &str, s: &saint_service::StatusResponse) {
     println!(
-        "scan service at {addr}: up {:.1}s{}",
+        "scan service at {addr}: up {:.1}s{}{}",
         s.uptime_ms as f64 / 1000.0,
+        match &s.daemon {
+            Some(name) => format!(" — daemon `{name}`"),
+            None => String::new(),
+        },
         if s.draining { " (draining)" } else { "" }
     );
     println!(

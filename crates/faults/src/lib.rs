@@ -59,11 +59,15 @@ pub enum FaultPoint {
     /// The daemon scan worker, after dequeue and *outside* the per-job
     /// isolation — kills the worker thread (exercises respawn).
     QueueHandoff = 6,
+    /// The campaign driver's dispatch loop, before a work-unit chunk is
+    /// put on the wire — crashes the whole campaign process mid-run
+    /// (exercises `campaign resume` from the journal).
+    CampaignDispatch = 7,
 }
 
 impl FaultPoint {
     /// Every injection point, in wire order.
-    pub const ALL: [FaultPoint; 7] = [
+    pub const ALL: [FaultPoint; 8] = [
         FaultPoint::Decode,
         FaultPoint::Explore,
         FaultPoint::ExploreTask,
@@ -71,6 +75,7 @@ impl FaultPoint {
         FaultPoint::DetectCallback,
         FaultPoint::DetectPermission,
         FaultPoint::QueueHandoff,
+        FaultPoint::CampaignDispatch,
     ];
 
     /// Stable snake_case name, used in the [`ENV_VAR`] spec and the
@@ -85,6 +90,7 @@ impl FaultPoint {
             FaultPoint::DetectCallback => "detect_callback",
             FaultPoint::DetectPermission => "detect_permission",
             FaultPoint::QueueHandoff => "queue_handoff",
+            FaultPoint::CampaignDispatch => "campaign_dispatch",
         }
     }
 
@@ -98,6 +104,7 @@ impl FaultPoint {
 /// Remaining trip counts, one per point. `ANY_ARMED` is the disarmed
 /// fast path: production runs never touch the per-point slots.
 static REMAINING: [AtomicU64; FaultPoint::ALL.len()] = [
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

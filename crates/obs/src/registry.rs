@@ -120,11 +120,24 @@ pub enum Counter {
     /// Response writes that hit a full socket buffer and had to wait
     /// for writability (slow or stalled readers).
     WriteStalls = 16,
+    /// Campaign work units handed to a daemon shard by the driver
+    /// (a unit dispatched twice after failover counts twice).
+    AppsDispatched = 17,
+    /// Campaign work units completed and journaled exactly once.
+    AppsCompleted = 18,
+    /// Campaign work units re-dispatched after a transient failure or
+    /// a daemon loss (failover re-queues count here, once per unit).
+    Resubmissions = 19,
+    /// Daemons declared dead by the campaign driver, with their
+    /// residual shard reassigned to survivors.
+    DaemonFailovers = 20,
+    /// Batched fsync checkpoints flushed by the campaign journal.
+    CheckpointFlushes = 21,
 }
 
 impl Counter {
     /// Every counter, in wire order. Snapshot vectors follow this order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 22] = [
         Counter::AppsScanned,
         Counter::MismatchesFound,
         Counter::ClassesLoaded,
@@ -142,6 +155,11 @@ impl Counter {
         Counter::ConnectionsAccepted,
         Counter::BackpressureSuspends,
         Counter::WriteStalls,
+        Counter::AppsDispatched,
+        Counter::AppsCompleted,
+        Counter::Resubmissions,
+        Counter::DaemonFailovers,
+        Counter::CheckpointFlushes,
     ];
 
     /// Stable snake_case name used on every export surface.
@@ -165,6 +183,11 @@ impl Counter {
             Counter::ConnectionsAccepted => "connections_accepted",
             Counter::BackpressureSuspends => "backpressure_suspends",
             Counter::WriteStalls => "write_stalls",
+            Counter::AppsDispatched => "apps_dispatched",
+            Counter::AppsCompleted => "apps_completed",
+            Counter::Resubmissions => "resubmissions",
+            Counter::DaemonFailovers => "daemon_failovers",
+            Counter::CheckpointFlushes => "checkpoint_flushes",
         }
     }
 }

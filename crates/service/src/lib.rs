@@ -75,4 +75,4 @@ pub use protocol::{
     StatusResponse, PROTOCOL_VERSION,
 };
 pub use queue::{Admission, JobQueue, QueueStats};
-pub use server::{start, ServerConfig, ServerHandle};
+pub use server::{start, ServerConfig, ServerHandle, DEFAULT_WINDOW};

@@ -292,6 +292,10 @@ pub struct StatusResponse {
     /// Reactor state (always present when answered by the daemon;
     /// `None` only from pre-reactor peers).
     pub reactor: Option<ReactorStatus>,
+    /// Operator-assigned daemon name (`serve --name`), echoed so fleet
+    /// tooling can attribute results to the daemon that produced them;
+    /// `None` for unnamed daemons and pre-campaign peers.
+    pub daemon: Option<String>,
 }
 
 /// One phase's span accounting, for [`MetricsResponse`]. Mirrors

@@ -74,6 +74,16 @@ pub struct ServerConfig {
     pub window: usize,
     /// Per-line byte ceiling; longer requests get `too_large`.
     pub max_line_bytes: usize,
+    /// Operator-assigned daemon name, echoed in `status`/`metrics`
+    /// provenance so fleet tooling can attribute results per daemon.
+    pub name: Option<String>,
+    /// Artificial per-scan service time: each worker sleeps this long
+    /// after every scan. `None` (the default) disables it. This exists
+    /// for capacity emulation in benches and tests — on a host with
+    /// fewer cores than daemons, CPU-bound scans cannot show fleet
+    /// scaling, but paced daemons expose whether the campaign layer
+    /// keeps N of them saturated.
+    pub scan_pace: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -82,17 +92,28 @@ impl Default for ServerConfig {
             listen: "127.0.0.1:7744".to_string(),
             jobs: saintdroid::engine::default_jobs(),
             queue_depth: 64,
-            window: 64,
+            window: DEFAULT_WINDOW,
             max_line_bytes: protocol::MAX_LINE_BYTES,
+            name: None,
+            scan_pace: None,
         }
     }
 }
+
+/// The default per-connection pipeline window, shared by the daemon
+/// ([`ServerConfig::default`]) and the `submit --pipeline` client so
+/// the two sides agree out of the box.
+pub const DEFAULT_WINDOW: usize = 64;
 
 /// How often the supervisor polls for dead scan workers.
 const SUPERVISE_POLL: Duration = Duration::from_millis(25);
 
 pub(crate) struct Shared {
     pub(crate) engine: ScanEngine,
+    /// Operator-assigned daemon name (see [`ServerConfig::name`]).
+    pub(crate) name: Option<String>,
+    /// Post-scan worker sleep (see [`ServerConfig::scan_pace`]).
+    pub(crate) scan_pace: Option<Duration>,
     pub(crate) queue: JobQueue,
     pub(crate) registry: Arc<MetricsRegistry>,
     pub(crate) started: Instant,
@@ -148,6 +169,7 @@ impl Shared {
             scan_cache: self.engine.scan_cache_stats().map(Into::into),
             frozen: self.engine.frozen_boot().map(Into::into),
             reactor: Some(self.reactor_status()),
+            daemon: self.name.clone(),
         }
     }
 
@@ -241,6 +263,8 @@ pub fn start(engine: ScanEngine, cfg: &ServerConfig) -> std::io::Result<ServerHa
     let shared = Arc::new(Shared {
         queue: JobQueue::new(cfg.queue_depth).with_metrics(Arc::clone(&registry)),
         engine,
+        name: cfg.name.clone(),
+        scan_pace: cfg.scan_pace,
         registry,
         started: Instant::now(),
         shutting_down: AtomicBool::new(false),
@@ -397,6 +421,11 @@ fn scan_worker(shared: &Shared) {
         };
         saint_faults::trip(saint_faults::FaultPoint::QueueHandoff);
         let outcome = run_scan(shared, &job.package_b64);
+        // Capacity emulation: hold the worker for the configured
+        // service time before answering (off by default).
+        if let Some(pace) = shared.scan_pace {
+            std::thread::sleep(pace);
+        }
         guard.complete();
         let mut responder = job.responder;
         // Losing the settle race means the reactor already answered
