@@ -272,6 +272,28 @@ impl Clvm {
             .sum()
     }
 
+    /// Every load-table entry with its metered byte charge, sorted by
+    /// name: `Some(size_bytes)` for materialized classes, `None` for
+    /// remembered failed lookups. Each entry corresponds to exactly one
+    /// `record_class`/`record_unresolved` meter event, so unioning the
+    /// entry sets of several scans reconstructs the class-side meter of
+    /// a combined scan (the incremental layer relies on this).
+    #[must_use]
+    pub fn loaded_entries(&self) -> Vec<(ClassName, Option<usize>)> {
+        let mut out: Vec<(ClassName, Option<usize>)> = self
+            .loaded
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .map(|(n, v)| (n.clone(), v.as_ref().map(|c| c.size_bytes())))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Names of all loaded classes (diagnostics).
     #[must_use]
     pub fn loaded_names(&self) -> Vec<ClassName> {

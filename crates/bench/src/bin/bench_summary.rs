@@ -87,6 +87,11 @@ const CAMPAIGN_FLEET_SIZES: [usize; 3] = [1, 2, 4];
 /// denominator, so the numbers remain honest about the host
 /// (`host_cores` is recorded alongside).
 const CAMPAIGN_PACE_MS: u64 = 25;
+/// Share of the corpus that ships an update in the incremental
+/// regime's churn wave (5% — typical daily app-update traffic).
+const INCREMENTAL_WAVE_PCT: f64 = 0.05;
+/// Share of each updated app's classes the wave mutates.
+const INCREMENTAL_CHURN: f64 = 0.10;
 
 #[derive(Serialize)]
 struct Summary {
@@ -114,6 +119,43 @@ struct Summary {
     service: ServiceSummary,
     frozen: FrozenSummary,
     campaign: CampaignSummary,
+    incremental: IncrementalSummary,
+}
+
+/// The incremental regime: the whole corpus rescanned after an
+/// app-update wave — [`INCREMENTAL_WAVE_PCT`] of the apps ship a new
+/// version with [`INCREMENTAL_CHURN`] of their classes mutated
+/// (analysis-neutral, but content-hash-changing) — through the
+/// `saint-delta` artifact store, against a plain full rescan of the
+/// same updated corpus. The store was populated by the previous scan
+/// of the corpus (outside the timed region — every store already paid
+/// it), so unchanged apps ride the whole-app fast path and updated
+/// apps re-analyze only their changed class groups. The fingerprint
+/// gate holds the tentpole guarantee: both rescans must produce
+/// byte-identical reports.
+#[derive(Serialize)]
+struct IncrementalSummary {
+    apps: usize,
+    /// Apps that shipped an update in the wave.
+    updated_apps: usize,
+    /// Share of each updated app's classes mutated.
+    churn_pct: f64,
+    full_rescan_secs: f64,
+    incremental_rescan_secs: f64,
+    full_apps_per_sec: f64,
+    incremental_apps_per_sec: f64,
+    /// Full-rescan wall over incremental wall (acceptance bound: >= 3x
+    /// at the medium 400-app scale).
+    speedup: f64,
+    delta_hits: u64,
+    delta_misses: u64,
+    classes_reanalyzed: u64,
+    /// `delta_hits / classes_seen` across the incremental rescan.
+    hit_rate: f64,
+    /// Rescans served entirely by the whole-app fast path.
+    app_fast_path: usize,
+    mismatches: usize,
+    reports_identical: bool,
 }
 
 /// The campaign regime: the whole corpus pushed through
@@ -1139,10 +1181,112 @@ fn run_campaign_regime(scale: Scale, out_dir: &std::path::Path) -> CampaignSumma
     }
 }
 
+/// Runs the incremental regime: populate the artifact store by
+/// scanning the corpus once (untimed — the prior full scan every store
+/// already paid for), apply the update wave, then time a plain full
+/// rescan against the store-backed incremental rescan of the same
+/// updated corpus. Both sides run the same warm tool one app at a time
+/// (`app_jobs` 1), so the only variable is the store.
+fn run_incremental_regime(scale: Scale, out_dir: &std::path::Path) -> IncrementalSummary {
+    let fw = framework_at(scale);
+    let mut apks = corpus_apks(scale);
+    let apps = apks.len();
+    let store_dir = out_dir.join(format!("saint_bench_delta_{}", std::process::id()));
+    let scanner = saint_delta::DeltaScanner::new(&store_dir);
+    let tool = SaintDroid::new(fw);
+
+    // Store traffic arrives as encoded `.sapk` containers; encoding is
+    // part of corpus preparation (the upload), not of either rescan, so
+    // it stays untimed on both sides.
+    eprintln!(
+        "bench_summary: incremental regime — {apps} apps, populating the artifact store (untimed)"
+    );
+    let mut containers: Vec<Vec<u8>> = apks.iter().map(saint_ir::codec::encode_apk).collect();
+    for (apk, sapk) in apks.iter().zip(&containers) {
+        let _ = scanner.scan_encoded(&tool, sapk, apk, 1);
+    }
+
+    // The update wave: every 20th app ships a new version with 10% of
+    // its classes mutated — deterministic, so the regime is repeatable.
+    let stride = (1.0 / INCREMENTAL_WAVE_PCT).round() as usize;
+    let mut updated_apps = 0usize;
+    for (i, apk) in apks.iter_mut().enumerate() {
+        if i % stride == 0 {
+            saint_corpus::churn_wave(apk, INCREMENTAL_CHURN, 0x11EA6E ^ i as u64);
+            containers[i] = saint_ir::codec::encode_apk(apk);
+            updated_apps += 1;
+        }
+    }
+
+    let start = Instant::now();
+    let full_reports: Vec<Report> = apks.iter().map(|apk| tool.run(apk)).collect();
+    let full_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut inc_reports = Vec::with_capacity(apps);
+    let mut stats = saint_delta::DeltaStats::default();
+    let mut classes_seen = 0u64;
+    let mut app_fast_path = 0usize;
+    for (apk, sapk) in apks.iter().zip(&containers) {
+        let (report, s) = scanner.scan_encoded(&tool, sapk, apk, 1);
+        stats.hits += s.hits;
+        stats.misses += s.misses;
+        stats.reanalyzed += s.reanalyzed;
+        classes_seen += s.classes_seen;
+        app_fast_path += usize::from(s.app_hit);
+        inc_reports.push(report);
+    }
+    let inc_secs = start.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    assert_eq!(
+        fingerprint_reports(&full_reports),
+        fingerprint_reports(&inc_reports),
+        "incremental rescan diverged from the full rescan — splice correctness is broken"
+    );
+    let mismatches: usize = full_reports.iter().map(Report::total).sum();
+    let speedup = full_secs / inc_secs.max(f64::EPSILON);
+    eprintln!(
+        "  full rescan {full_secs:.2}s | incremental {inc_secs:.2}s ({speedup:.1}x) — \
+         {} hits / {} misses, {} reanalyzed, {app_fast_path}/{apps} app fast path",
+        stats.hits, stats.misses, stats.reanalyzed
+    );
+
+    IncrementalSummary {
+        apps,
+        updated_apps,
+        churn_pct: INCREMENTAL_CHURN * 100.0,
+        full_rescan_secs: full_secs,
+        incremental_rescan_secs: inc_secs,
+        full_apps_per_sec: apps as f64 / full_secs.max(f64::EPSILON),
+        incremental_apps_per_sec: apps as f64 / inc_secs.max(f64::EPSILON),
+        speedup,
+        delta_hits: stats.hits,
+        delta_misses: stats.misses,
+        classes_reanalyzed: stats.reanalyzed,
+        hit_rate: stats.hits as f64 / (classes_seen as f64).max(1.0),
+        app_fast_path,
+        mismatches,
+        reports_identical: true,
+    }
+}
+
 fn main() {
     if let Ok(side) = std::env::var(SIDE_ENV) {
         let out = std::env::var(OUT_ENV).expect("child needs an output path");
         run_side(&side, &out);
+        return;
+    }
+
+    // `SAINT_BENCH_REGIME=incremental` runs the incremental regime
+    // alone (writing BENCH_incremental.json) — the store-update story
+    // is self-contained, so iterating on it should not pay for the
+    // batch/service/campaign ladders.
+    if std::env::var("SAINT_BENCH_REGIME").as_deref() == Ok("incremental") {
+        let incremental = run_incremental_regime(Scale::from_env(), &std::env::temp_dir());
+        let json = serde_json::to_string_pretty(&incremental).expect("summary serializes");
+        std::fs::write("BENCH_incremental.json", json).expect("write BENCH_incremental.json");
+        eprintln!("json: BENCH_incremental.json");
         return;
     }
 
@@ -1275,6 +1419,11 @@ fn main() {
     // would buy nothing).
     let campaign = run_campaign_regime(scale, &out_dir);
 
+    // The incremental regime is in-process for the same reason: wall
+    // time is store-reuse-bound, and both sides share one warm tool by
+    // design.
+    let incremental = run_incremental_regime(scale, &out_dir);
+
     let summary = Summary {
         scale: scale.label().to_string(),
         apps,
@@ -1325,6 +1474,7 @@ fn main() {
         service,
         frozen,
         campaign,
+        incremental,
     };
 
     println!(
@@ -1451,6 +1601,32 @@ fn main() {
     println!(
         "fleet-2 over fleet-1: {:.2}x | {} mismatches; reports identical to batch engine at every fleet size: {}",
         cp.speedup_fleet2_over_fleet1, cp.mismatches, cp.reports_identical
+    );
+    let inc = &summary.incremental;
+    println!(
+        "\nIncremental rescan regime ({} apps, {} updated at {:.0}% class churn)\n",
+        inc.apps, inc.updated_apps, inc.churn_pct
+    );
+    println!(
+        "full rescan:        {:>8.2}s  {:>8.1} apps/s",
+        inc.full_rescan_secs, inc.full_apps_per_sec
+    );
+    println!(
+        "incremental rescan: {:>8.2}s  {:>8.1} apps/s  ({:.1}x)",
+        inc.incremental_rescan_secs, inc.incremental_apps_per_sec, inc.speedup
+    );
+    println!(
+        "delta: {} hits / {} misses ({:.1}% hit rate), {} classes reanalyzed, {}/{} apps on the whole-app fast path",
+        inc.delta_hits,
+        inc.delta_misses,
+        inc.hit_rate * 100.0,
+        inc.classes_reanalyzed,
+        inc.app_fast_path,
+        inc.apps
+    );
+    println!(
+        "{} mismatches; incremental reports identical to full rescan: {}",
+        inc.mismatches, inc.reports_identical
     );
 
     let json = serde_json::to_string_pretty(&summary).expect("summary serializes");

@@ -70,6 +70,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         "metrics" => metrics(&args[1..]),
         "shutdown" => shutdown(&args[1..]),
         "synth-pkg" => synth_pkg(&args[1..]),
+        "synth-lineage" => synth_lineage(&args[1..]),
         "compile-db" => compile_db(&args[1..]),
         "compile-corpus" => compile_corpus(&args[1..]),
         other => {
@@ -88,6 +89,11 @@ fn print_help() {
          \x20                [--trace-json <out.json>]\n\
          \x20                                                   detect compatibility mismatches; several\n\
          \x20                                                   packages are scanned as one parallel batch\n\
+         \x20 saintdroid scan --history <dir> [--delta-dir D] [--json]\n\
+         \x20                                                   scan a version lineage (the directory's\n\
+         \x20                                                   .sapk files, oldest first by name) through\n\
+         \x20                                                   the incremental store and report when each\n\
+         \x20                                                   mismatch was introduced and fixed\n\
          \x20 saintdroid verify <app.sapk>                      scan, then dynamically verify findings\n\
          \x20 saintdroid repair <app.sapk> -o <out.sapk> [--manifest-fixes]\n\
          \x20                                                   synthesize fixes and write the patched app\n\
@@ -116,6 +122,10 @@ fn print_help() {
          \x20                                                   journal alone (no fleet, no re-scan)\n\
          \x20 saintdroid synth-pkg <out.sapk> [--index I]       write one synthesized package (for smoke\n\
          \x20                                                   tests and protocol experiments)\n\
+         \x20 saintdroid synth-lineage <out-dir> [--versions N] [--churn-pct P] [--seed S]\n\
+         \x20                                                   write a synthesized app-update lineage\n\
+         \x20                                                   (v0.sapk...) with P% class churn per\n\
+         \x20                                                   version, for `scan --history`\n\
          \x20 saintdroid compile-db <out.sfrz> [--synth N]      compile the framework model (API database,\n\
          \x20                                                   permission map, class bodies) into a frozen\n\
          \x20                                                   mmap-able image\n\
@@ -148,6 +158,11 @@ fn print_help() {
          with fewer cores than daemons; default: off).\n\
          --trace-json <out.json> scan: write per-phase spans as Chrome\n\
          trace JSON (load in chrome://tracing or Perfetto).\n\
+         --delta-dir D scan --history/serve: the incremental artifact\n\
+         store (default .saint/delta for --history; serve answers the\n\
+         `delta` verb from it, and without the flag the verb degrades\n\
+         to a plain full scan). Reports are byte-identical to a cold\n\
+         scan either way — the store only changes what is recomputed.\n\
          --addr ADDR   submit/status/metrics/shutdown: daemon address\n\
          (default {DEFAULT_ADDR}).\n\
          --timeout-ms T submit: per-package deadline, queue wait\n\
@@ -244,6 +259,11 @@ const VALUE_FLAGS: &[&str] = &[
     "--journal",
     "--out",
     "--checkpoint-every",
+    "--history",
+    "--delta-dir",
+    "--versions",
+    "--churn-pct",
+    "--seed",
     "-o",
 ];
 
@@ -316,6 +336,9 @@ fn scan_exit_code(reports: &[saintdroid::Report]) -> ExitCode {
 }
 
 fn scan(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    if let Some(dir) = string_flag(args, "--history") {
+        return scan_history_cli(dir, args);
+    }
     let paths = positionals(args);
     let corpus = string_flag(args, "--corpus")
         .map(|img| {
@@ -384,6 +407,76 @@ fn scan(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         }
     }
     Ok(scan_exit_code(&outcome.reports))
+}
+
+/// `scan --history <dir>`: scan a version lineage oldest-first through
+/// the incremental artifact store and report the version at which each
+/// mismatch was introduced and, if ever, fixed.
+///
+/// Versions are the directory's `.sapk` files in lexicographic name
+/// order (`v0.sapk`, `v1.sapk`, … — zero-pad past ten versions).
+/// Reports go to stdout; reuse accounting and the evolution summary go
+/// to stderr, so the report stream stays byte-comparable between cold
+/// and warm runs.
+fn scan_history_cli(dir: &str, args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("scan --history: cannot read {dir}: {e}"))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sapk"))
+        .collect();
+    if files.is_empty() {
+        return Err(format!("scan --history: no .sapk files in {dir}").into());
+    }
+    files.sort();
+    let mut versions = Vec::with_capacity(files.len());
+    for path in &files {
+        let label = path.file_stem().map_or_else(
+            || path.display().to_string(),
+            |s| s.to_string_lossy().into_owned(),
+        );
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let apk = codec::decode_apk(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        versions.push((label, apk));
+    }
+
+    let store = string_flag(args, "--delta-dir").unwrap_or(".saint/delta");
+    let scanner = saint_delta::DeltaScanner::new(store);
+    let tool = SaintDroid::new(framework(args));
+    let app_jobs = flag_value(args, "--app-jobs").unwrap_or(1).max(1);
+    let evolution = saint_delta::scan_history(&scanner, &tool, &versions, app_jobs);
+
+    if args.iter().any(|a| a == "--json") {
+        let reports: Vec<&saintdroid::Report> =
+            evolution.versions.iter().map(|v| &v.report).collect();
+        println!("{}", serde_json::to_string_pretty(&reports)?);
+    } else {
+        for v in &evolution.versions {
+            print!("{}: {}", v.label, v.report);
+        }
+    }
+
+    let (mut hits, mut misses, mut reanalyzed) = (0u64, 0u64, 0u64);
+    for v in &evolution.versions {
+        hits += v.stats.hits;
+        misses += v.stats.misses;
+        reanalyzed += v.stats.reanalyzed;
+    }
+    eprintln!(
+        "delta: {hits} hits / {misses} misses / {reanalyzed} classes reanalyzed (store {store})"
+    );
+    for e in &evolution.entries {
+        match &e.fixed {
+            Some(fixed) => eprintln!("  {}: introduced {} fixed {fixed}", e.key, e.introduced),
+            None => eprintln!("  {}: introduced {} still present", e.key, e.introduced),
+        }
+    }
+    Ok(if evolution.current_mismatches() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
 }
 
 fn verify(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
@@ -482,6 +575,10 @@ fn serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     if let Some(ms) = flag_value(args, "--scan-pace-ms") {
         cfg.scan_pace = Some(std::time::Duration::from_millis(ms as u64));
     }
+    // Opt-in incremental store: the daemon answers the `delta` verb
+    // from warm artifacts; without the flag the verb degrades to a
+    // plain full scan.
+    cfg.delta_dir = string_flag(args, "--delta-dir").map(std::path::PathBuf::from);
     let fw = framework(args);
     let mut engine = ScanEngine::new(Arc::clone(&fw));
     if let Some(app_jobs) = flag_value(args, "--app-jobs") {
@@ -962,6 +1059,44 @@ fn synth_pkg(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     println!(
         "wrote synthesized package {} to {out_path}",
         apk.manifest.package
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `synth-lineage <out-dir>`: write a synthesized app-update lineage
+/// (`v0.sapk` … `vN.sapk`) with controlled churn between versions — the
+/// input `scan --history` and the CI incremental smoke consume.
+fn synth_lineage(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let out_dir = *positionals(args)
+        .first()
+        .ok_or("synth-lineage: missing <out-dir>")?;
+    let mut cfg = saint_corpus::LineageConfig::small();
+    if let Some(versions) = flag_value(args, "--versions") {
+        cfg.versions = versions.max(2);
+        // Keep the canonical shape on shorter lineages: the issue is
+        // introduced at v1 and fixed in the newest version.
+        cfg.introduce_at = Some(1);
+        cfg.fix_at = (cfg.versions > 2).then(|| cfg.versions - 1);
+    }
+    if let Some(pct) = flag_value(args, "--churn-pct") {
+        cfg.churn = f64::from(u32::try_from(pct.min(100)).unwrap_or(100)) / 100.0;
+    }
+    if let Some(seed) = flag_value(args, "--seed") {
+        cfg.seed = seed as u64;
+    }
+    std::fs::create_dir_all(out_dir)?;
+    let lineage = saint_corpus::generate_lineage(&cfg);
+    for (label, apk) in &lineage {
+        let path = std::path::Path::new(out_dir).join(format!("{label}.sapk"));
+        std::fs::write(&path, codec::encode_apk(apk))?;
+    }
+    println!(
+        "wrote {}-version lineage of {} to {out_dir}/ ({:.0}% churn per version)",
+        lineage.len(),
+        lineage
+            .first()
+            .map_or("?", |(_, apk)| apk.manifest.package.as_str()),
+        cfg.churn * 100.0
     );
     Ok(ExitCode::SUCCESS)
 }

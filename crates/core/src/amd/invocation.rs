@@ -120,6 +120,25 @@ pub fn detect(model: &AppModel, db: &ApiDatabase) -> Vec<Mismatch> {
 /// only where the subtree work happens changes.
 #[must_use]
 pub fn detect_with(model: &AppModel, db: &ApiDatabase, cache: &DeepScanCache) -> Vec<Mismatch> {
+    detect_rooted_with(model, db, cache)
+        .into_iter()
+        .flat_map(|(_, bucket)| bucket)
+        .collect()
+}
+
+/// [`detect_with`], but keeping each context root's findings in its own
+/// bucket instead of one flat vector. Buckets come back in sorted root
+/// order — flattening them *is* `detect_with` — and the memo is shared
+/// across roots exactly as in the flat pass, so a bucket's contents
+/// depend on the roots scanned before it. The incremental layer scans
+/// disjoint root subsets separately and re-interleaves their buckets by
+/// root to reproduce the full-scan finding order byte-for-byte.
+#[must_use]
+pub fn detect_rooted_with(
+    model: &AppModel,
+    db: &ApiDatabase,
+    cache: &DeepScanCache,
+) -> Vec<(MethodRef, Vec<Mismatch>)> {
     let mut ctx = Ctx {
         model,
         db,
@@ -131,13 +150,17 @@ pub fn detect_with(model: &AppModel, db: &ApiDatabase, cache: &DeepScanCache) ->
         sites: 0,
     };
     let roots = context_roots(model, db);
+    let mut rooted = Vec::with_capacity(roots.len());
     for root in roots {
         let Some(art) = model.exploration.artifacts(&root) else {
             continue;
         };
         let art = Arc::clone(art);
         let mut chain = Vec::new();
+        let start = ctx.out.len();
         ctx.scan(&art, model.supported, &mut chain);
+        let bucket = ctx.out.split_off(start);
+        rooted.push((root, bucket));
     }
     // Site accounting is kept in a plain per-run counter and merged
     // into the shared registry once at the end — the lock-cheap shard
@@ -146,7 +169,7 @@ pub fn detect_with(model: &AppModel, db: &ApiDatabase, cache: &DeepScanCache) ->
     if let Some(metrics) = model.clvm.metrics() {
         metrics.add(saint_obs::Counter::InvocationSitesScanned, ctx.sites);
     }
-    ctx.out
+    rooted
 }
 
 /// Detects API invocation mismatches with `jobs` worker threads
@@ -176,6 +199,22 @@ pub fn detect_parallel(
         prewarm_subtrees(model, db, cache, jobs);
     }
     detect_with(model, db, cache)
+}
+
+/// [`detect_rooted_with`] with parallel subtree prewarming — the
+/// bucketed analogue of [`detect_parallel`].
+#[must_use]
+pub fn detect_rooted_parallel(
+    model: &AppModel,
+    db: &ApiDatabase,
+    cache: &DeepScanCache,
+    jobs: usize,
+) -> Vec<(MethodRef, Vec<Mismatch>)> {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if jobs > 1 && cores > 1 {
+        prewarm_subtrees(model, db, cache, jobs);
+    }
+    detect_rooted_with(model, db, cache)
 }
 
 /// Walks the app-side execution contexts *without* descending into

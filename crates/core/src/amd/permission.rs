@@ -25,7 +25,7 @@ use crate::aum::{is_app_origin, AppModel};
 use crate::mismatch::{Mismatch, MismatchKind};
 
 /// One dangerous-permission usage site.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct DangerousUsage {
     /// The package method from which the usage is reachable.
     pub site: MethodRef,
@@ -37,24 +37,62 @@ pub struct DangerousUsage {
     pub via: Vec<MethodRef>,
 }
 
+/// The three whole-app facts Algorithm 4 gates on. They depend only on
+/// the manifest and on *whether any* app class declares the runtime
+/// result handler — so the incremental layer can recompute them from
+/// per-class slices and [`assemble`] the verdict without re-walking
+/// call graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PermissionGates {
+    /// The manifest requests at least one dangerous permission.
+    pub requests_dangerous: bool,
+    /// `targetSdkVersion >= 23` (runtime-permission protocol applies).
+    pub targets_runtime: bool,
+    /// Some app class overrides `onRequestPermissionsResult`.
+    pub implements_handler: bool,
+}
+
+impl PermissionGates {
+    /// Evaluates the gates against a built model.
+    #[must_use]
+    pub fn of(model: &AppModel) -> Self {
+        Self {
+            requests_dangerous: model.manifest.uses_permissions.iter().any(is_dangerous),
+            targets_runtime: model.manifest.targets_runtime_permissions(),
+            implements_handler: model
+                .declares_app_method("onRequestPermissionsResult", "(I[Ljava/lang/String;[I)V"),
+        }
+    }
+}
+
 /// Detects permission-induced mismatches in the model.
 #[must_use]
 pub fn detect(model: &AppModel, pm: &PermissionMap) -> Vec<Mismatch> {
-    let requests_dangerous = model.manifest.uses_permissions.iter().any(is_dangerous);
-    let usages = dangerous_usages(model, pm);
+    assemble(
+        PermissionGates::of(model),
+        model.supported,
+        dangerous_usages(model, pm),
+    )
+}
+
+/// Turns gates + usage sites into the final mismatch list — the pure
+/// decision half of Algorithm 4, shared by [`detect`] and the
+/// incremental merge path.
+#[must_use]
+pub fn assemble(
+    gates: PermissionGates,
+    supported: saint_ir::LevelRange,
+    usages: Vec<DangerousUsage>,
+) -> Vec<Mismatch> {
     // Algorithm 4 line 2 gates on the manifest; we also proceed when a
     // dangerous API is used without being declared (the Listing-3
     // shape), which crashes the same way.
-    if !requests_dangerous && usages.is_empty() {
+    if !gates.requests_dangerous && usages.is_empty() {
         return Vec::new();
     }
 
-    let targets_runtime = model.manifest.targets_runtime_permissions();
-    let implements_handler =
-        model.declares_app_method("onRequestPermissionsResult", "(I[Ljava/lang/String;[I)V");
-
-    let kind = if targets_runtime {
-        if implements_handler {
+    let kind = if gates.targets_runtime {
+        if gates.implements_handler {
             // Runtime permission protocol implemented: no mismatch
             // (Algorithm 4 line 9).
             return Vec::new();
@@ -71,10 +109,9 @@ pub fn detect(model: &AppModel, pm: &PermissionMap) -> Vec<Mismatch> {
             site: u.site,
             api: u.api,
             api_life: None,
-            missing_levels: if targets_runtime {
+            missing_levels: if gates.targets_runtime {
                 // Manifest range ∩ runtime-permission devices.
-                model
-                    .supported
+                supported
                     .iter()
                     .filter(|l| *l >= ApiLevel::RUNTIME_PERMISSIONS)
                     .collect()
@@ -84,7 +121,7 @@ pub fn detect(model: &AppModel, pm: &PermissionMap) -> Vec<Mismatch> {
                     .filter(|l| *l >= ApiLevel::RUNTIME_PERMISSIONS)
                     .collect()
             },
-            context: Some(model.supported),
+            context: Some(supported),
             permission: Some(u.permission),
             via: u.via,
         })
@@ -146,14 +183,7 @@ pub fn dangerous_usages(model: &AppModel, pm: &PermissionMap) -> Vec<DangerousUs
                 .artifacts(callee)
                 .is_some_and(|a| matches!(a.origin, ClassOrigin::Framework));
             if callee_is_framework {
-                let deep = framework_reachable(
-                    callee,
-                    &edges_by_caller,
-                    pm,
-                    &mut memo,
-                    &mut HashSet::new(),
-                    model,
-                );
+                let deep = framework_reachable(callee, &edges_by_caller, pm, &mut memo, model);
                 for (api, p) in deep {
                     if seen.insert((art.method.clone(), api.clone(), p.clone())) {
                         out.push(DangerousUsage {
@@ -173,46 +203,47 @@ pub fn dangerous_usages(model: &AppModel, pm: &PermissionMap) -> Vec<DangerousUs
     out
 }
 
+/// Dangerous `(api, permission)` pairs reachable from `entry` through
+/// framework bodies: the full closure over framework→framework call
+/// edges, walked with a visited *set* (not a path stack). The result is
+/// canonical — it depends only on the call graph, never on which app
+/// method asked first or on memo state — so per-run memoization is pure
+/// and the incremental layer can recompute it per slice and still match
+/// a whole-app pass byte-for-byte. (A path-stack cut would make values
+/// memoized mid-cycle depend on query order.)
 fn framework_reachable(
-    method: &MethodRef,
+    entry: &MethodRef,
     edges_by_caller: &HashMap<&MethodRef, Vec<&MethodRef>>,
     pm: &PermissionMap,
     memo: &mut HashMap<MethodRef, Vec<(MethodRef, Permission)>>,
-    visiting: &mut HashSet<MethodRef>,
     model: &AppModel,
 ) -> Vec<(MethodRef, Permission)> {
-    if let Some(hit) = memo.get(method) {
+    if let Some(hit) = memo.get(entry) {
         return hit.clone();
     }
-    if !visiting.insert(method.clone()) {
-        return Vec::new(); // cycle
-    }
     let mut found = Vec::new();
-    if let Some(callees) = edges_by_caller.get(method) {
-        for callee in callees {
-            for p in pm.required_dangerous(callee) {
-                found.push(((*callee).clone(), p.clone()));
-            }
-            let is_framework = model
-                .exploration
-                .artifacts(callee)
-                .is_some_and(|a| matches!(a.origin, ClassOrigin::Framework));
-            if is_framework {
-                found.extend(framework_reachable(
-                    callee,
-                    edges_by_caller,
-                    pm,
-                    memo,
-                    visiting,
-                    model,
-                ));
+    let mut visited: HashSet<MethodRef> = HashSet::new();
+    let mut stack = vec![entry.clone()];
+    visited.insert(entry.clone());
+    while let Some(m) = stack.pop() {
+        if let Some(callees) = edges_by_caller.get(&m) {
+            for callee in callees {
+                for p in pm.required_dangerous(callee) {
+                    found.push(((*callee).clone(), p.clone()));
+                }
+                let is_framework = model
+                    .exploration
+                    .artifacts(callee)
+                    .is_some_and(|a| matches!(a.origin, ClassOrigin::Framework));
+                if is_framework && visited.insert((*callee).clone()) {
+                    stack.push((*callee).clone());
+                }
             }
         }
     }
-    visiting.remove(method);
     found.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
     found.dedup();
-    memo.insert(method.clone(), found.clone());
+    memo.insert(entry.clone(), found.clone());
     found
 }
 

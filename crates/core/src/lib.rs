@@ -66,4 +66,4 @@ pub use error::{panic_message, ScanError};
 pub use frozen::FrozenBoot;
 pub use mismatch::{is_mismatch_region, missing_levels_in, Mismatch, MismatchKind};
 pub use report::Report;
-pub use saintdroid::SaintDroid;
+pub use saintdroid::{SaintDroid, ScanParts};

@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use saint_adf::AndroidFramework;
 use saint_analysis::{ArtifactCache, ExploreConfig, ShardedClassCache};
-use saint_ir::Apk;
+use saint_ir::{Apk, ClassName, MethodRef};
 use saint_obs::{Counter, MetricsRegistry, Phase, TraceSink};
 
 use crate::amd;
@@ -13,7 +13,30 @@ use crate::arm::Arm;
 use crate::aum::{AppModel, Aum};
 use crate::detector::{Capabilities, CompatDetector};
 use crate::error::{in_phase, PhasePanic};
+use crate::mismatch::Mismatch;
 use crate::report::Report;
+
+/// The raw, pre-merge outputs of one pipeline pass — everything needed
+/// to splice this pass's findings into a larger report byte-identically
+/// (see `saint-delta`). Produced by [`SaintDroid::run_parts`].
+#[derive(Debug, Clone)]
+pub struct ScanParts {
+    /// Invocation findings bucketed per context root, in sorted root
+    /// order (flattening reproduces Algorithm 2's flat output).
+    pub invocation: Vec<(MethodRef, Vec<Mismatch>)>,
+    /// Callback findings, in `all_classes` iteration order.
+    pub callback: Vec<Mismatch>,
+    /// Raw dangerous-permission usages (Algorithm 4's site list, before
+    /// the whole-app gates are applied).
+    pub usages: Vec<amd::permission::DangerousUsage>,
+    /// Whether the scanned slice declares `onRequestPermissionsResult`.
+    pub declares_handler: bool,
+    /// Every CLVM load-table entry with its metered byte charge
+    /// (`None` = remembered failed lookup).
+    pub loaded: Vec<(ClassName, Option<usize>)>,
+    /// Every explored method with its metered artifact bytes, sorted.
+    pub methods: Vec<(MethodRef, usize)>,
+}
 
 /// The SAINTDroid analyzer: holds the once-per-framework ARM artifacts
 /// and analyzes APKs with gradual class loading.
@@ -185,6 +208,14 @@ impl SaintDroid {
         &self.arm
     }
 
+    /// The exploration policy this instance scans with. The incremental
+    /// layer folds it into artifact keys so a policy change invalidates
+    /// every cached slice.
+    #[must_use]
+    pub fn config(&self) -> &ExploreConfig {
+        &self.config
+    }
+
     /// Builds the AUM model for an APK — exposed for tooling that wants
     /// the intermediate artifacts (paper: "SAINTDroid can be used by
     /// developers, end-users, and third-party reviewers").
@@ -335,6 +366,56 @@ impl SaintDroid {
             );
         }
         (report, explore_time, detect_time)
+    }
+
+    /// Runs the pipeline over `apk` and returns the raw, pre-merge
+    /// detector outputs instead of an assembled [`Report`] — the
+    /// per-slice half of an incremental scan (see `saint-delta`).
+    ///
+    /// Unlike [`run`](Self::run) this records *phase* spans only: the
+    /// per-app aggregates (`apps_scanned`, `scan_total`,
+    /// `mismatches_found`, the meter counters) are left to whoever
+    /// merges the parts, so an app split into N slices is still counted
+    /// once.
+    #[must_use]
+    pub fn run_parts(&self, apk: &Apk, app_jobs: usize) -> ScanParts {
+        let app_jobs = app_jobs.max(1);
+        let package = apk.manifest.package.as_str();
+        let model = in_phase("explore", || self.model_with(apk, app_jobs));
+        let (db, pm) = in_phase("arm_mine", || self.arm.mine(self.metrics.as_deref()));
+
+        let invocation = self.observe(Phase::DetectInvocation, package, || match &self.scan_cache {
+            Some(cache) => amd::invocation::detect_rooted_parallel(&model, &db, cache, app_jobs),
+            None => {
+                let cache = amd::invocation::DeepScanCache::new();
+                amd::invocation::detect_rooted_parallel(&model, &db, &cache, app_jobs)
+            }
+        });
+        let callback = self.observe(Phase::DetectCallback, package, || {
+            amd::callback::detect(&model, &db)
+        });
+        let usages = self.observe(Phase::DetectPermission, package, || {
+            amd::permission::dangerous_usages(&model, &pm)
+        });
+        let declares_handler =
+            model.declares_app_method("onRequestPermissionsResult", "(I[Ljava/lang/String;[I)V");
+
+        let mut methods: Vec<(MethodRef, usize)> = model
+            .exploration
+            .methods
+            .iter()
+            .map(|(m, a)| (m.clone(), a.cfg.size_bytes() + a.abs.size_bytes()))
+            .collect();
+        methods.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+        ScanParts {
+            invocation,
+            callback,
+            usages,
+            declares_handler,
+            loaded: model.clvm.loaded_entries(),
+            methods,
+        }
     }
 
     /// Runs `f`, recording it as a phase span (and a Chrome-trace event

@@ -25,12 +25,14 @@
 pub mod cases;
 mod cid_bench;
 mod cider_bench;
+mod lineage;
 pub mod patterns;
 mod realworld;
 mod truth;
 
 pub use cid_bench::cid_bench;
 pub use cider_bench::{cider_bench, cider_bench_scaled};
+pub use lineage::{churn_wave, generate_lineage, LineageConfig, EVO_CLASS};
 pub use realworld::{generate_app, InjectedCounts, RealWorldApp, RealWorldConfig, RealWorldCorpus};
 pub use truth::{score, Accuracy, BenchApp, GroundTruthIssue, Suite};
 

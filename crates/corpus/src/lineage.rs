@@ -1,0 +1,193 @@
+//! Synthetic version lineages — app-update traffic for the incremental
+//! scan layer.
+//!
+//! A lineage starts from a [`RealWorldCorpus`] app and evolves it
+//! through a fixed number of versions with *controlled class churn*:
+//! each version mutates a configured fraction of the previous
+//! version's classes (an analysis-neutral field append, which still
+//! changes the class's content hash and byte size), optionally
+//! introduces a known-incompatible class at one version, and removes
+//! it again at a later one. Deterministic in the config.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use saint_adf::well_known;
+use saint_ir::{Apk, ClassBuilder, ClassName, ClassOrigin, FieldDef};
+
+use crate::realworld::{RealWorldConfig, RealWorldCorpus};
+
+/// Name of the class the introduce/fix events add and remove.
+pub const EVO_CLASS: &str = "evo.EvoIssue";
+
+/// Lineage configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineageConfig {
+    /// Base corpus the first version is drawn from.
+    pub base: RealWorldConfig,
+    /// Which corpus app seeds the lineage.
+    pub app_index: usize,
+    /// Number of versions (≥ 1), labeled `v0 … v{n-1}`.
+    pub versions: usize,
+    /// Fraction of the previous version's classes mutated per update
+    /// (rounded up to at least one class when positive).
+    pub churn: f64,
+    /// Lineage seed (independent of the base corpus seed).
+    pub seed: u64,
+    /// Version at which [`EVO_CLASS`] — an unguarded call to a
+    /// level-26 API from a primary-dex root — is added.
+    pub introduce_at: Option<usize>,
+    /// Version at which [`EVO_CLASS`] is removed again.
+    pub fix_at: Option<usize>,
+}
+
+impl LineageConfig {
+    /// A small deterministic lineage for tests: 4 versions, 10% churn,
+    /// a mismatch introduced at v1 and fixed at v3.
+    #[must_use]
+    pub fn small() -> Self {
+        LineageConfig {
+            base: RealWorldConfig::small(),
+            app_index: 0,
+            versions: 4,
+            churn: 0.1,
+            seed: 0x11EA6E,
+            introduce_at: Some(1),
+            fix_at: Some(3),
+        }
+    }
+}
+
+/// Generates the lineage, oldest first, as `(label, apk)` pairs.
+///
+/// # Panics
+///
+/// Panics if `versions == 0` or `app_index` is out of the base corpus.
+#[must_use]
+pub fn generate_lineage(cfg: &LineageConfig) -> Vec<(String, Apk)> {
+    assert!(cfg.versions >= 1, "a lineage needs at least one version");
+    let corpus = RealWorldCorpus::new(cfg.base.clone());
+    let mut current = corpus.get(cfg.app_index).apk;
+    let mut out = Vec::with_capacity(cfg.versions);
+    out.push(("v0".to_string(), current.clone()));
+
+    for v in 1..cfg.versions {
+        let mut rng =
+            SmallRng::seed_from_u64(cfg.seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        churn_classes(&mut current, cfg.churn, v, &mut rng);
+        if cfg.introduce_at == Some(v) {
+            current.primary.update_class(evo_class());
+        }
+        if cfg.fix_at == Some(v) {
+            current.primary.remove_class(&ClassName::new(EVO_CLASS));
+        }
+        out.push((format!("v{v}"), current.clone()));
+    }
+    out
+}
+
+/// Applies one update wave to an app in place: mutates `churn` of its
+/// classes with the lineage's analysis-neutral pad-field append.
+/// Deterministic in `seed`. The bench harness uses this to model a
+/// store-wide app-update wave outside any lineage.
+pub fn churn_wave(apk: &mut Apk, churn: f64, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    churn_classes(apk, churn, 1, &mut rng);
+}
+
+/// Mutates `churn` of the app's classes in place: appends a version-
+/// tagged pad field, which changes the class's canonical encoding (and
+/// thus its content hash and metered size) without touching any code
+/// path the detectors look at.
+fn churn_classes(apk: &mut Apk, churn: f64, version: usize, rng: &mut SmallRng) {
+    let names: Vec<(u32, ClassName)> = apk
+        .primary
+        .classes()
+        .map(|c| (0u32, c.name.clone()))
+        .chain(apk.secondary.iter().enumerate().flat_map(|(i, d)| {
+            d.classes()
+                .map(move |c| (i as u32 + 1, c.name.clone()))
+                .collect::<Vec<_>>()
+        }))
+        .collect();
+    if names.is_empty() || churn <= 0.0 {
+        return;
+    }
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let count = ((names.len() as f64 * churn).ceil() as usize).clamp(1, names.len());
+    // Floyd-style distinct sampling, deterministic in the rng.
+    let mut picked: Vec<usize> = Vec::with_capacity(count);
+    for j in names.len() - count..names.len() {
+        let t = rng.gen_range(0..=j);
+        if picked.contains(&t) {
+            picked.push(j);
+        } else {
+            picked.push(t);
+        }
+    }
+    for idx in picked {
+        let (slot, name) = &names[idx];
+        let dex = if *slot == 0 {
+            &mut apk.primary
+        } else {
+            &mut apk.secondary[*slot as usize - 1]
+        };
+        if let Some(class) = dex.class(name) {
+            let mut class = class.clone();
+            class.fields.push(FieldDef {
+                name: format!("evoPad{version}"),
+                is_static: false,
+            });
+            dex.update_class(class);
+        }
+    }
+}
+
+/// The known-incompatible class the introduce event adds: a primary-dex
+/// root method calling `NotificationManager.createNotificationChannel`
+/// (API 26) unguarded — an invocation mismatch on any app whose
+/// supported range starts below 26.
+fn evo_class() -> saint_ir::ClassDef {
+    ClassBuilder::new(EVO_CLASS, ClassOrigin::App)
+        .method("trigger", "()V", |b| {
+            b.invoke_virtual(well_known::create_notification_channel(), &[], None);
+            b.ret_void();
+        })
+        .unwrap_or_else(|e| panic!("evo class body: {e}"))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineage_is_deterministic_and_churns() {
+        let cfg = LineageConfig::small();
+        let a = generate_lineage(&cfg);
+        let b = generate_lineage(&cfg);
+        assert_eq!(a.len(), 4);
+        for ((la, va), (lb, vb)) in a.iter().zip(&b) {
+            assert_eq!(la, lb);
+            assert_eq!(va, vb, "same config must generate identical lineages");
+        }
+        // Consecutive versions differ but share most classes.
+        assert_ne!(a[0].1, a[1].1);
+        let names =
+            |apk: &Apk| -> Vec<ClassName> { apk.all_classes().map(|c| c.name.clone()).collect() };
+        let n0 = names(&a[0].1);
+        let n1 = names(&a[1].1);
+        let shared = n0.iter().filter(|n| n1.contains(n)).count();
+        assert!(shared * 2 > n0.len(), "churn must not replace the app");
+    }
+
+    #[test]
+    fn introduce_and_fix_events_add_and_remove_the_class() {
+        let cfg = LineageConfig::small();
+        let lineage = generate_lineage(&cfg);
+        let has = |apk: &Apk| apk.primary.class(&ClassName::new(EVO_CLASS)).is_some();
+        assert!(!has(&lineage[0].1));
+        assert!(has(&lineage[1].1));
+        assert!(has(&lineage[2].1));
+        assert!(!has(&lineage[3].1));
+    }
+}

@@ -1,0 +1,71 @@
+//! Typed failures of the on-disk artifact store.
+
+use std::fmt;
+
+/// Everything that can be wrong with a persisted delta artifact. Every
+/// variant degrades to a cache miss — the scanner re-analyzes the
+/// affected slice and the report stays correct.
+#[derive(Debug)]
+pub enum DeltaError {
+    /// The underlying filesystem operation failed (includes the common
+    /// "no artifact yet" `NotFound`).
+    Io(std::io::Error),
+    /// The file is too short to hold even the header.
+    Truncated {
+        /// Bytes present.
+        len: usize,
+    },
+    /// The leading magic is not `SDLT` — not a delta artifact at all.
+    BadMagic,
+    /// The artifact was written by a different store format version.
+    VersionSkew {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build writes and reads.
+        expected: u32,
+    },
+    /// The payload does not hash to the checksum in the header
+    /// (bit rot, torn write, truncation past the header).
+    ChecksumMismatch,
+    /// The checksum held but the payload does not decode to the
+    /// expected artifact shape.
+    Malformed(String),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Io(e) => write!(f, "delta artifact io error: {e}"),
+            DeltaError::Truncated { len } => {
+                write!(
+                    f,
+                    "delta artifact truncated: {len} bytes is shorter than the header"
+                )
+            }
+            DeltaError::BadMagic => write!(f, "delta artifact has bad magic (not an SDLT file)"),
+            DeltaError::VersionSkew { found, expected } => write!(
+                f,
+                "delta artifact format version skew: found v{found}, expected v{expected}"
+            ),
+            DeltaError::ChecksumMismatch => {
+                write!(f, "delta artifact payload fails its checksum")
+            }
+            DeltaError::Malformed(why) => write!(f, "delta artifact malformed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeltaError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DeltaError {
+    fn from(e: std::io::Error) -> Self {
+        DeltaError::Io(e)
+    }
+}

@@ -1,0 +1,227 @@
+//! Analysis-group partitioning.
+//!
+//! A *group* is a weakly-connected component of the bundled-class
+//! reference graph. From a class `C` the pipeline can only ever reach
+//! another bundled class through one of these reference kinds:
+//!
+//! * `C`'s superclass and implemented interfaces (ancestor walks);
+//! * `Invoke` targets' declaring classes (call resolution);
+//! * `NewInstance` classes (allocation-site typing);
+//! * `FieldGet`/`FieldPut` declaring classes;
+//! * `ConstString` payloads that name a bundled class (the
+//!   `DexClassLoader.loadClass` / `Class.forName` late-binding chase —
+//!   the abstract interpreter is intra-procedural, so the string
+//!   constant always sits in the same body as the load site).
+//!
+//! That edge set is a superset of every CLVM lookup the analysis can
+//! make from `C` (descriptor types are never loaded), so a group's scan
+//! results are independent of every other group — the invariant the
+//! incremental merge rests on. Edges to *framework* (non-bundled)
+//! classes don't connect groups: framework state is app-invariant and
+//! parity-tested shareable.
+
+use std::collections::HashMap;
+
+use saint_ir::{Apk, ClassDef, ClassName, Instr};
+
+/// Partitions the app's bundled classes into analysis groups. Each
+/// group lists `(dex_slot, name)` members sorted by name (slot 0 =
+/// primary, `i + 1` = secondary dex `i`); groups come back sorted by
+/// their first member's name, so the partition is deterministic.
+#[must_use]
+pub fn bundled_groups(apk: &Apk) -> Vec<Vec<(u32, ClassName)>> {
+    // Index every bundled class; duplicates across dexes keep their
+    // first (primary-first) slot, matching `Apk::any_class` resolution.
+    let mut index: HashMap<&str, usize> = HashMap::new();
+    let mut nodes: Vec<(u32, &ClassDef)> = Vec::new();
+    // A name bundled twice (primary + payload dex) is one analysis
+    // entity — `load_class` always resolves it primary-first — so
+    // duplicate placements are unioned up front.
+    let mut duplicates: Vec<(usize, usize)> = Vec::new();
+    for class in apk.primary.classes() {
+        index.entry(class.name.as_str()).or_insert(nodes.len());
+        nodes.push((0, class));
+    }
+    for (i, dex) in apk.secondary.iter().enumerate() {
+        for class in dex.classes() {
+            let me = nodes.len();
+            let first = *index.entry(class.name.as_str()).or_insert(me);
+            if first != me {
+                duplicates.push((first, me));
+            }
+            nodes.push((i as u32 + 1, class));
+        }
+    }
+
+    let mut uf = UnionFind::new(nodes.len());
+    for (a, b) in duplicates {
+        uf.union(a, b);
+    }
+    for (i, (_, class)) in nodes.iter().enumerate() {
+        for name in referenced_names(class) {
+            if let Some(&j) = index.get(name) {
+                uf.union(i, j);
+            }
+        }
+    }
+
+    let mut by_root: HashMap<usize, Vec<(u32, ClassName)>> = HashMap::new();
+    for (i, (slot, class)) in nodes.iter().enumerate() {
+        by_root
+            .entry(uf.find(i))
+            .or_default()
+            .push((*slot, class.name.clone()));
+    }
+    let mut groups: Vec<Vec<(u32, ClassName)>> = by_root.into_values().collect();
+    for g in &mut groups {
+        g.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+    }
+    groups.sort_unstable_by(|a, b| a[0].1.cmp(&b[0].1));
+    groups
+}
+
+/// Every class name `class` can steer the analysis toward — see the
+/// module docs for why this list is exhaustive.
+fn referenced_names(class: &ClassDef) -> Vec<&str> {
+    let mut out: Vec<&str> = Vec::new();
+    if let Some(sup) = &class.super_class {
+        out.push(sup.as_str());
+    }
+    for itf in &class.interfaces {
+        out.push(itf.as_str());
+    }
+    for method in &class.methods {
+        let Some(body) = &method.body else { continue };
+        for (_, bb) in body.iter() {
+            for instr in &bb.instrs {
+                match instr {
+                    Instr::Invoke { method, .. } => out.push(method.class.as_str()),
+                    Instr::NewInstance { class, .. } => out.push(class.as_str()),
+                    Instr::FieldGet { field, .. } | Instr::FieldPut { field, .. } => {
+                        out.push(field.class.as_str());
+                    }
+                    Instr::ConstString { value, .. } => out.push(value.as_str()),
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saint_ir::{ApiLevel, ApkBuilder, BodyBuilder, ClassBuilder, ClassOrigin, MethodRef};
+
+    fn caller(name: &str, callee: &str) -> ClassDef {
+        let target = MethodRef::new(callee, "run", "()V");
+        ClassBuilder::new(name, ClassOrigin::App)
+            .method("go", "()V", move |b: &mut BodyBuilder| {
+                b.invoke_virtual(target.clone(), &[], None);
+                b.ret_void();
+            })
+            .unwrap()
+            .build()
+    }
+
+    fn leaf(name: &str) -> ClassDef {
+        ClassBuilder::new(name, ClassOrigin::App)
+            .method("run", "()V", |b: &mut BodyBuilder| {
+                b.ret_void();
+            })
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn call_edges_connect_and_islands_stay_apart() {
+        let apk = ApkBuilder::new("p.app", ApiLevel::new(21), ApiLevel::new(28))
+            .class(caller("p.A", "p.B"))
+            .unwrap()
+            .class(leaf("p.B"))
+            .unwrap()
+            .class(leaf("p.Island"))
+            .unwrap()
+            .build();
+        let groups = bundled_groups(&apk);
+        assert_eq!(groups.len(), 2);
+        let names: Vec<Vec<&str>> = groups
+            .iter()
+            .map(|g| g.iter().map(|(_, n)| n.as_str()).collect())
+            .collect();
+        assert_eq!(names[0], vec!["p.A", "p.B"]);
+        assert_eq!(names[1], vec!["p.Island"]);
+    }
+
+    #[test]
+    fn framework_references_do_not_merge_groups() {
+        // Both classes extend the same framework class; that must not
+        // union them (framework classes are not bundled nodes).
+        let a = ClassBuilder::new("p.A", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .build();
+        let b = ClassBuilder::new("p.B", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .build();
+        let apk = ApkBuilder::new("p.app", ApiLevel::new(21), ApiLevel::new(28))
+            .class(a)
+            .unwrap()
+            .class(b)
+            .unwrap()
+            .build();
+        assert_eq!(bundled_groups(&apk).len(), 2);
+    }
+
+    #[test]
+    fn const_string_late_binding_connects() {
+        let loader = ClassBuilder::new("p.Loader", ClassOrigin::App)
+            .method("load", "()V", |b: &mut BodyBuilder| {
+                b.const_str(saint_ir::Reg(0), "p.Payload");
+                b.ret_void();
+            })
+            .unwrap()
+            .build();
+        let mut apk = ApkBuilder::new("p.app", ApiLevel::new(21), ApiLevel::new(28))
+            .class(loader)
+            .unwrap()
+            .build();
+        let mut dex = saint_ir::DexFile::new("assets/payload.dex");
+        dex.add_class(leaf("p.Payload")).unwrap();
+        apk.secondary.push(dex);
+        let groups = bundled_groups(&apk);
+        assert_eq!(
+            groups.len(),
+            1,
+            "loadClass constant links loader and payload"
+        );
+        assert_eq!(groups[0][1], (1, ClassName::new("p.Payload")));
+    }
+}

@@ -51,6 +51,12 @@ impl DexFile {
         self.classes.get(name)
     }
 
+    /// Removes a class definition, returning it if present (used by
+    /// the lineage generator to model deletions across app versions).
+    pub fn remove_class(&mut self, name: &ClassName) -> Option<ClassDef> {
+        self.classes.remove(name)
+    }
+
     /// Inserts or replaces a class definition (used by repair tooling
     /// to write back patched classes).
     pub fn update_class(&mut self, class: ClassDef) {

@@ -133,11 +133,21 @@ pub enum Counter {
     DaemonFailovers = 20,
     /// Batched fsync checkpoints flushed by the campaign journal.
     CheckpointFlushes = 21,
+    /// App classes whose cached delta artifacts were reused verbatim.
+    DeltaHits = 22,
+    /// App classes with no usable cached artifact (first sight, hash
+    /// change, corrupt/skewed store entry). `hits + misses` equals the
+    /// classes seen by the delta scanner.
+    DeltaMisses = 23,
+    /// App classes actually pushed through a fresh per-group analysis
+    /// (equals `delta_misses` unless a fallback full rescan widened the
+    /// re-analyzed slice).
+    ClassesReanalyzed = 24,
 }
 
 impl Counter {
     /// Every counter, in wire order. Snapshot vectors follow this order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 25] = [
         Counter::AppsScanned,
         Counter::MismatchesFound,
         Counter::ClassesLoaded,
@@ -160,6 +170,9 @@ impl Counter {
         Counter::Resubmissions,
         Counter::DaemonFailovers,
         Counter::CheckpointFlushes,
+        Counter::DeltaHits,
+        Counter::DeltaMisses,
+        Counter::ClassesReanalyzed,
     ];
 
     /// Stable snake_case name used on every export surface.
@@ -188,6 +201,9 @@ impl Counter {
             Counter::Resubmissions => "resubmissions",
             Counter::DaemonFailovers => "daemon_failovers",
             Counter::CheckpointFlushes => "checkpoint_flushes",
+            Counter::DeltaHits => "delta_hits",
+            Counter::DeltaMisses => "delta_misses",
+            Counter::ClassesReanalyzed => "classes_reanalyzed",
         }
     }
 }

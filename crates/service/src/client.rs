@@ -249,6 +249,31 @@ impl Client {
         Self::expect("scan", &envelope, &value)
     }
 
+    /// Submits raw SAPK container bytes through the incremental
+    /// (`delta`) verb. The report is byte-identical to
+    /// [`scan_sapk`](Self::scan_sapk); when the daemon carries an
+    /// artifact store the response additionally reports what was reused
+    /// via [`ScanResponse::delta`]. A daemon without a store answers
+    /// with a plain full scan (kind `scan`, no delta block) — the verb
+    /// is an optimization, never a different answer, so both response
+    /// kinds are accepted here.
+    ///
+    /// # Errors
+    /// See [`scan_sapk`](Self::scan_sapk).
+    pub fn delta_sapk(
+        &mut self,
+        sapk_bytes: &[u8],
+        deadline_ms: Option<u64>,
+    ) -> Result<ScanResponse, ClientError> {
+        let req = ScanRequest::new(sapk_bytes, deadline_ms).into_delta();
+        let (envelope, value) = self.roundtrip(&protocol::to_line(&req))?;
+        match envelope.kind.as_deref() {
+            Some("delta") | Some("scan") => ScanResponse::from_value(&value)
+                .map_err(|e| ClientError::Protocol(format!("bad delta response: {e}"))),
+            _ => Self::expect("delta", &envelope, &value),
+        }
+    }
+
     /// Fetches daemon health and accounting.
     ///
     /// # Errors

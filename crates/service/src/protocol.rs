@@ -54,7 +54,8 @@ pub mod error_code {
 pub struct Envelope {
     /// Protocol version of the message.
     pub v: u32,
-    /// Message kind: `scan`, `status`, `metrics`, or `shutdown`.
+    /// Message kind: `scan`, `delta`, `status`, `metrics`, or
+    /// `shutdown`.
     pub kind: Option<String>,
 }
 
@@ -100,6 +101,49 @@ impl ScanRequest {
         self.id = Some(id);
         self
     }
+
+    /// Turns the request into a `delta` submission: the daemon scans
+    /// through its incremental artifact store (`serve --delta-dir`),
+    /// reusing cached per-class-group results where content hashes
+    /// match. The report is byte-identical to a plain `scan`; the
+    /// response additionally carries [`DeltaStatus`] accounting. A
+    /// daemon without a store answers with a plain full scan (and no
+    /// `delta` block) — the verb is an optimization, never a different
+    /// answer.
+    #[must_use]
+    pub fn into_delta(mut self) -> Self {
+        self.kind = "delta".to_string();
+        self
+    }
+}
+
+/// What an incremental (`delta`) scan reused and recomputed — the wire
+/// form of the delta layer's per-scan stats, attached to the
+/// [`ScanResponse`] of a `delta` request served from a store.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DeltaStatus {
+    /// Bundled classes considered (`hits + misses`).
+    pub classes_seen: u64,
+    /// Classes whose cached artifacts were reused verbatim.
+    pub hits: u64,
+    /// Classes with no usable cached artifact.
+    pub misses: u64,
+    /// Classes pushed through a fresh analysis.
+    pub reanalyzed: u64,
+    /// Whether the whole-app fast path served the scan.
+    pub app_hit: bool,
+}
+
+impl From<saint_delta::DeltaStats> for DeltaStatus {
+    fn from(s: saint_delta::DeltaStats) -> Self {
+        DeltaStatus {
+            classes_seen: s.classes_seen,
+            hits: s.hits,
+            misses: s.misses,
+            reanalyzed: s.reanalyzed,
+            app_hit: s.app_hit,
+        }
+    }
 }
 
 /// A successful scan: the report plus the exit code `saintdroid scan`
@@ -119,6 +163,9 @@ pub struct ScanResponse {
     /// The full report — byte-identical mismatches and meter to what a
     /// local `saintdroid scan` produces for the same package.
     pub report: Report,
+    /// Incremental-scan accounting, present only when a `delta`
+    /// request was served through the daemon's artifact store.
+    pub delta: Option<DeltaStatus>,
 }
 
 impl ScanResponse {
@@ -132,6 +179,7 @@ impl ScanResponse {
             id: None,
             exit_code,
             report,
+            delta: None,
         }
     }
 
@@ -139,6 +187,15 @@ impl ScanResponse {
     #[must_use]
     pub fn with_id(mut self, id: Option<u64>) -> Self {
         self.id = id;
+        self
+    }
+
+    /// Attaches incremental-scan accounting (answers to `delta`
+    /// requests served from a store; the kind echoes the verb).
+    #[must_use]
+    pub fn with_delta(mut self, stats: DeltaStatus) -> Self {
+        self.kind = "delta".to_string();
+        self.delta = Some(stats);
         self
     }
 }

@@ -37,6 +37,9 @@ pub struct Job {
     /// elapsed wait as a `queue_wait` phase span when a registry is
     /// attached.
     pub(crate) enqueued_at: Instant,
+    /// Whether this is a `delta` submission: the worker routes it
+    /// through the incremental artifact store when one is configured.
+    pub(crate) delta: bool,
 }
 
 /// Why a submission was not admitted.
@@ -243,6 +246,7 @@ mod tests {
             package_b64: "AAAA".to_string(),
             responder: Responder::new(Arc::clone(sink), 0, 1, None, Arc::clone(settled)),
             enqueued_at: Instant::now(),
+            delta: false,
         }
     }
 

@@ -250,6 +250,9 @@ struct PendingScan {
     package_b64: String,
     id: Option<u64>,
     settled: Arc<AtomicBool>,
+    /// Routes the job through the incremental artifact store
+    /// (`delta` verb) instead of a plain scan.
+    delta: bool,
 }
 
 /// One deadline-armed request, ordered soonest-first in the heap.
@@ -683,7 +686,13 @@ impl Reactor {
                 self.push_frame(slot, protocol::to_line(&err).into_bytes());
                 return LineFlow::Continue;
             }
-            return self.begin_scan(slot, fast.package_b64.to_owned(), fast.id, fast.deadline_ms);
+            return self.begin_scan(
+                slot,
+                fast.package_b64.to_owned(),
+                fast.id,
+                fast.deadline_ms,
+                false,
+            );
         }
         // Slow path: full value-tree dispatch (non-scan verbs, and any
         // scan shape the fast parser deferred on).
@@ -726,14 +735,22 @@ impl Reactor {
             return LineFlow::Continue;
         }
         match envelope.kind.as_deref() {
-            Some("scan") => {
+            // `delta` shares the scan request shape end to end; the
+            // flag only changes which worker path serves the job.
+            Some(kind @ ("scan" | "delta")) => {
                 use crate::protocol::ScanRequest;
                 match ScanRequest::from_value(&value) {
-                    Ok(req) => self.begin_scan(slot, req.package_b64, req.id, req.deadline_ms),
+                    Ok(req) => self.begin_scan(
+                        slot,
+                        req.package_b64,
+                        req.id,
+                        req.deadline_ms,
+                        kind == "delta",
+                    ),
                     Err(e) => {
                         let err = ErrorResponse::new(
                             error_code::MALFORMED,
-                            format!("bad scan request: {e}"),
+                            format!("bad {kind} request: {e}"),
                         )
                         .with_id(id);
                         self.push_frame(slot, protocol::to_line(&err).into_bytes());
@@ -780,6 +797,7 @@ impl Reactor {
         package_b64: String,
         id: Option<u64>,
         deadline_ms: Option<u64>,
+        delta: bool,
     ) -> LineFlow {
         let settled = Arc::new(AtomicBool::new(false));
         let gen = match self.conn(slot) {
@@ -807,6 +825,7 @@ impl Reactor {
                 package_b64,
                 id,
                 settled,
+                delta,
             },
         )
     }
@@ -841,6 +860,7 @@ impl Reactor {
             package_b64,
             id,
             settled,
+            delta,
         } = pending;
         let responder = Responder::new(
             Arc::clone(&self.shared.sink),
@@ -853,6 +873,7 @@ impl Reactor {
             package_b64,
             responder,
             enqueued_at: Instant::now(),
+            delta,
         };
         match self.shared.queue.submit(job) {
             Ok(()) => LineFlow::Continue,
@@ -870,6 +891,7 @@ impl Reactor {
                             package_b64,
                             id,
                             settled,
+                            delta,
                         },
                     ),
                     Admission::Draining => self.reject(slot, &settled, id, error_code::DRAINING),

@@ -84,6 +84,11 @@ pub struct ServerConfig {
     /// scaling, but paced daemons expose whether the campaign layer
     /// keeps N of them saturated.
     pub scan_pace: Option<Duration>,
+    /// Root of the incremental artifact store served to `delta`
+    /// requests (conventionally `.saint/delta`). `None` (the default)
+    /// disables the verb: `delta` requests are answered with a plain
+    /// full scan and no reuse accounting.
+    pub delta_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +101,7 @@ impl Default for ServerConfig {
             max_line_bytes: protocol::MAX_LINE_BYTES,
             name: None,
             scan_pace: None,
+            delta_dir: None,
         }
     }
 }
@@ -114,6 +120,9 @@ pub(crate) struct Shared {
     pub(crate) name: Option<String>,
     /// Post-scan worker sleep (see [`ServerConfig::scan_pace`]).
     pub(crate) scan_pace: Option<Duration>,
+    /// Warm incremental scanner over the configured artifact store
+    /// (see [`ServerConfig::delta_dir`]); `None` disables the verb.
+    pub(crate) delta: Option<saint_delta::DeltaScanner>,
     pub(crate) queue: JobQueue,
     pub(crate) registry: Arc<MetricsRegistry>,
     pub(crate) started: Instant,
@@ -265,6 +274,7 @@ pub fn start(engine: ScanEngine, cfg: &ServerConfig) -> std::io::Result<ServerHa
         engine,
         name: cfg.name.clone(),
         scan_pace: cfg.scan_pace,
+        delta: cfg.delta_dir.as_ref().map(saint_delta::DeltaScanner::new),
         registry,
         started: Instant::now(),
         shutting_down: AtomicBool::new(false),
@@ -403,6 +413,7 @@ impl Drop for JobGuard<'_> {
 /// Everything one scan can turn into, computed worker-side.
 enum Outcome {
     Report(Box<Report>),
+    Delta(Box<Report>, saint_delta::DeltaStats),
     BadBase64,
     BadPackage(saint_ir::CodecError),
     DecodePanic(String),
@@ -420,7 +431,7 @@ fn scan_worker(shared: &Shared) {
             completed: false,
         };
         saint_faults::trip(saint_faults::FaultPoint::QueueHandoff);
-        let outcome = run_scan(shared, &job.package_b64);
+        let outcome = run_scan(shared, &job.package_b64, job.delta);
         // Capacity emulation: hold the worker for the configured
         // service time before answering (off by default).
         if let Some(pace) = shared.scan_pace {
@@ -441,8 +452,11 @@ fn scan_worker(shared: &Shared) {
     }
 }
 
-/// Decodes and scans one package on the worker thread.
-fn run_scan(shared: &Shared, package_b64: &str) -> Outcome {
+/// Decodes and scans one package on the worker thread. `delta`
+/// requests route through the warm incremental scanner when the daemon
+/// carries one ([`ServerConfig::delta_dir`]); without a store they
+/// degrade to a plain full scan — same report, no reuse accounting.
+fn run_scan(shared: &Shared, package_b64: &str, delta: bool) -> Outcome {
     let Some(sapk) = protocol::base64_decode(package_b64) else {
         return Outcome::BadBase64;
     };
@@ -450,9 +464,31 @@ fn run_scan(shared: &Shared, package_b64: &str) -> Outcome {
     // decoder panic (or an injected `decode` fault) costs this request
     // an `internal` answer instead of the worker thread.
     match catch_unwind(AssertUnwindSafe(|| codec::decode_apk(&sapk))) {
-        Ok(Ok(apk)) => match shared.engine.try_scan_one(&apk) {
-            Ok(report) => Outcome::Report(Box::new(report)),
-            Err(e) => Outcome::ScanFailed(e),
+        Ok(Ok(apk)) => match (delta, &shared.delta) {
+            (true, Some(scanner)) => {
+                // The delta layer shares the engine's warm tool (frozen
+                // framework, shared caches) and its panic isolation
+                // mirrors the plain path: an unwind costs this request
+                // an `internal` answer, never the worker. The wire
+                // payload *is* the canonical container, so the
+                // byte-keyed fast path applies: an unchanged app
+                // resubmitted to the daemon replays without a single
+                // structural hash.
+                let app_jobs = shared.engine.app_job_count().unwrap_or(1);
+                match catch_unwind(AssertUnwindSafe(|| {
+                    scanner.scan_encoded(shared.engine.tool(), &sapk, &apk, app_jobs)
+                })) {
+                    Ok((report, stats)) => Outcome::Delta(Box::new(report), stats),
+                    Err(payload) => Outcome::ScanFailed(ScanError::Internal {
+                        phase: "delta_scan".to_string(),
+                        payload: panic_message(&*payload),
+                    }),
+                }
+            }
+            _ => match shared.engine.try_scan_one(&apk) {
+                Ok(report) => Outcome::Report(Box::new(report)),
+                Err(e) => Outcome::ScanFailed(e),
+            },
         },
         Ok(Err(e)) => Outcome::BadPackage(e),
         Err(payload) => Outcome::DecodePanic(panic_message(&*payload)),
@@ -466,6 +502,14 @@ fn render(outcome: Outcome, id: Option<u64>, shared: &Shared) -> (String, bool) 
     match outcome {
         Outcome::Report(report) => (
             protocol::to_line(&ScanResponse::new(*report).with_id(id)),
+            true,
+        ),
+        Outcome::Delta(report, stats) => (
+            protocol::to_line(
+                &ScanResponse::new(*report)
+                    .with_delta(stats.into())
+                    .with_id(id),
+            ),
             true,
         ),
         Outcome::BadBase64 => (

@@ -330,6 +330,75 @@ fn metrics_request_reports_warm_cache_and_drained_queue() {
 }
 
 #[test]
+fn delta_verb_reuses_warm_artifacts_and_stays_byte_identical() {
+    let (apks, fw) = corpus_and_framework();
+    let store = std::env::temp_dir().join(format!("saint-delta-e2e-{}", std::process::id()));
+    let handle = start_server(
+        &fw,
+        &ephemeral(ServerConfig {
+            jobs: 2,
+            delta_dir: Some(store.clone()),
+            ..ServerConfig::default()
+        }),
+    );
+    let addr = handle.addr().to_string();
+    let local_tool = SaintDroid::new(Arc::clone(&fw));
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let sapk = codec::encode_apk(&apks[0]);
+    let local: Report = local_tool.run(&apks[0]);
+
+    // Cold: every class-group is a miss, the store is populated.
+    let cold = client.delta_sapk(&sapk, Some(120_000)).expect("cold delta");
+    let cold_delta = cold.delta.expect("store-backed daemon reports reuse");
+    assert!(!cold_delta.app_hit, "first sighting cannot hit the app key");
+    assert_eq!(cold_delta.hits + cold_delta.misses, cold_delta.classes_seen);
+
+    // Warm: the whole-app fast path answers from the store.
+    let warm = client.delta_sapk(&sapk, Some(120_000)).expect("warm delta");
+    let warm_delta = warm.delta.expect("delta accounting present");
+    assert!(warm_delta.app_hit, "unchanged rescan must hit the app key");
+    assert_eq!(warm_delta.reanalyzed, 0);
+
+    // Both answers are byte-identical to a plain local scan.
+    for (label, resp) in [("cold", &cold), ("warm", &warm)] {
+        assert_eq!(
+            serde_json::to_string(&resp.report.mismatches).unwrap(),
+            serde_json::to_string(&local.mismatches).unwrap(),
+            "{label} delta findings diverged from local scan"
+        );
+        assert_eq!(
+            serde_json::to_string(&resp.report.meter).unwrap(),
+            serde_json::to_string(&local.meter).unwrap(),
+            "{label} delta meter diverged from local scan"
+        );
+    }
+
+    client.shutdown().expect("shutdown ack");
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn delta_verb_without_a_store_degrades_to_a_plain_scan() {
+    let (apks, fw) = corpus_and_framework();
+    let handle = start_server(&fw, &ephemeral(ServerConfig::default()));
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let sapk = codec::encode_apk(&apks[0]);
+    let response = client.delta_sapk(&sapk, Some(120_000)).expect("delta");
+    assert!(
+        response.delta.is_none(),
+        "a daemon without --delta-dir answers a plain full scan"
+    );
+    assert_eq!(response.report.package, apks[0].manifest.package);
+
+    client.shutdown().expect("shutdown ack");
+    handle.wait();
+}
+
+#[test]
 fn shutdown_drains_and_joins_all_threads() {
     let (apks, fw) = corpus_and_framework();
     let handle = start_server(

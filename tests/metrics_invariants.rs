@@ -14,10 +14,11 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use saint_adf::{AndroidFramework, SynthConfig};
-use saint_corpus::{RealWorldConfig, RealWorldCorpus};
+use saint_corpus::{generate_lineage, LineageConfig, RealWorldConfig, RealWorldCorpus};
+use saint_delta::DeltaScanner;
 use saint_ir::Apk;
-use saint_obs::CacheSnapshot;
-use saintdroid::ScanEngine;
+use saint_obs::{CacheSnapshot, Counter, MetricsRegistry};
+use saintdroid::{SaintDroid, ScanEngine};
 
 fn corpus_slice(start: usize, n: usize) -> Vec<Apk> {
     let corpus = RealWorldCorpus::new(RealWorldConfig::small());
@@ -115,4 +116,52 @@ proptest! {
             }
         }
     }
+}
+
+/// Delta-counter conservation: across an incremental lineage scan,
+/// every bundled class the scanner considers is exactly one
+/// `delta_hits` or one `delta_misses` tick — `hits + misses ==
+/// classes_seen` — and `classes_reanalyzed` never exceeds the misses
+/// that caused it. Holds per scan (via [`saint_delta::DeltaStats`])
+/// and in the registry aggregate.
+#[test]
+fn delta_counters_conserve_across_a_lineage() {
+    let lineage = generate_lineage(&LineageConfig::small());
+    let registry = Arc::new(MetricsRegistry::new());
+    let tool =
+        SaintDroid::new(framework()).with_metrics(Arc::clone(&registry));
+    let dir = std::env::temp_dir().join(format!("saint-delta-metrics-{}", std::process::id()));
+    let scanner = DeltaScanner::new(&dir);
+
+    let mut classes_seen = 0u64;
+    for (label, apk) in &lineage {
+        let (_, stats) = scanner.scan(&tool, apk, 2);
+        assert_eq!(
+            stats.hits + stats.misses,
+            stats.classes_seen,
+            "per-scan conservation broke at {label}"
+        );
+        assert!(
+            stats.reanalyzed <= stats.misses,
+            "reanalysis without a miss at {label}"
+        );
+        classes_seen += stats.classes_seen;
+    }
+
+    let hits = registry.counter(Counter::DeltaHits);
+    let misses = registry.counter(Counter::DeltaMisses);
+    let reanalyzed = registry.counter(Counter::ClassesReanalyzed);
+    assert_eq!(
+        hits + misses,
+        classes_seen,
+        "registry aggregate: {hits} hits + {misses} misses != {classes_seen} classes seen"
+    );
+    assert!(reanalyzed <= misses);
+    assert!(hits > 0, "a lineage rescan must reuse artifacts");
+    assert_eq!(
+        registry.counter(Counter::AppsScanned),
+        lineage.len() as u64,
+        "each version counts as exactly one scanned app"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
