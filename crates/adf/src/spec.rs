@@ -60,6 +60,22 @@ impl LifeSpan {
     pub fn exists_at(self, level: ApiLevel) -> bool {
         level >= self.since && self.removed.is_none_or(|r| level < r)
     }
+
+    /// Whether the member was introduced strictly after `level` — the
+    /// declared-SDK overuse predicate: an unguarded use crashes on a
+    /// device running at `level` (e.g. an app's `minSdkVersion` floor).
+    #[must_use]
+    pub fn introduced_after(self, level: ApiLevel) -> bool {
+        self.since > level
+    }
+
+    /// The lowest level at which the member exists: what a declared
+    /// `minSdkVersion` must reach for unguarded use — the declared-SDK
+    /// underuse metadata.
+    #[must_use]
+    pub fn floor(self) -> ApiLevel {
+        self.since
+    }
 }
 
 /// A call emitted inside a framework method body: the callee plus an

@@ -65,6 +65,7 @@ impl CompatDetector for Cid {
             api: true,
             apc: false,
             prm: false,
+            dsd: false,
         }
     }
 

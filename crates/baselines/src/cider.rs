@@ -195,6 +195,7 @@ impl CompatDetector for Cider {
             api: false,
             apc: true,
             prm: false,
+            dsd: false,
         }
     }
 

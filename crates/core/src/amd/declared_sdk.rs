@@ -1,0 +1,411 @@
+//! Declared-SDK consistency detection — the DSD family (Wu et al.,
+//! *Scalable Online Vetting of Android Apps*).
+//!
+//! Where the three AMD detectors chase execution contexts through the
+//! whole call graph, DSD vetting is a cheap consistency check between
+//! the manifest's declared SDK bounds and the framework APIs the app
+//! actually touches:
+//!
+//! * **Overuse** — the app calls an API introduced *after* its declared
+//!   `minSdkVersion` without an `SDK_INT` guard in the calling method:
+//!   a runtime crash on every supported device below the API's
+//!   introduction level.
+//! * **Underuse** — the declared bounds are inconsistent with usage:
+//!   `minSdkVersion` sits needlessly above every level the used APIs
+//!   require (shrinking the install base for nothing), or a declared
+//!   `maxSdkVersion` caps the app *below* the introduction level of an
+//!   API it uses — no supported device can run that call at all.
+//!
+//! The detector deliberately scans each analyzed package method
+//! independently, first level only, guard-refined within the method
+//! body (no cross-method context propagation). That makes the usage
+//! facts a *per-method* property: the incremental layer can recompute
+//! them from class-group slices and [`assemble`] the verdict without
+//! re-walking anything, and a group-sliced union equals the whole-app
+//! scan byte-for-byte.
+
+use std::collections::HashSet;
+
+use saint_adf::{ApiDatabase, LifeSpan};
+use saint_analysis::BlockRanges;
+use saint_ir::{ApiLevel, Instr, LevelRange, Manifest, MethodRef};
+
+use crate::aum::{is_app_origin, AppModel};
+use crate::mismatch::{Mismatch, MismatchKind};
+
+/// One framework-API usage relevant to declared-SDK vetting: a call
+/// site in package code whose target API has a bounded lifetime.
+///
+/// Usages of APIs alive for the whole modeled history pin nothing and
+/// are not recorded — they can never witness an overuse, and they ask
+/// nothing of the declared bounds.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SdkUsage {
+    /// The package method containing the call.
+    pub site: MethodRef,
+    /// The framework API invoked.
+    pub api: MethodRef,
+    /// The API's mined lifetime.
+    pub life: LifeSpan,
+    /// The guard-refined level range under which the call executes
+    /// (refined within `site`'s body only).
+    pub context: LevelRange,
+}
+
+/// The manifest facts DSD vetting gates on. Like the permission
+/// detector's gates, they depend only on the manifest — the incremental
+/// merge recomputes them from the container manifest and [`assemble`]s
+/// the verdict over unioned per-group usages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SdkFacts {
+    /// Declared `minSdkVersion`.
+    pub min_sdk: ApiLevel,
+    /// Declared `maxSdkVersion`, if any.
+    pub max_sdk: Option<ApiLevel>,
+}
+
+impl SdkFacts {
+    /// Extracts the declared bounds from a manifest.
+    #[must_use]
+    pub fn of(manifest: &Manifest) -> Self {
+        SdkFacts {
+            min_sdk: manifest.min_sdk,
+            max_sdk: manifest.max_sdk,
+        }
+    }
+}
+
+/// Detects declared-SDK consistency mismatches in the model.
+#[must_use]
+pub fn detect(model: &AppModel, db: &ApiDatabase) -> Vec<Mismatch> {
+    assemble(
+        SdkFacts::of(&model.manifest),
+        model.supported,
+        usages(model, db),
+    )
+}
+
+/// Collects every bounded-lifetime API usage in analyzed package code:
+/// each app-origin method's body is scanned under the app's supported
+/// span, `SDK_INT` guards refining the range per block. First level
+/// only — the call target itself, resolved exactly as the invocation
+/// detector resolves it (CLVM resolution first, database fallback for
+/// APIs absent from the snapshot).
+///
+/// The result is sorted by `(site, api, context)` and deduplicated, so
+/// it is canonical: independent of method-map iteration order and of
+/// how the app was sliced into class groups.
+#[must_use]
+pub fn usages(model: &AppModel, db: &ApiDatabase) -> Vec<SdkUsage> {
+    let mut seen: HashSet<(MethodRef, MethodRef, LevelRange)> = HashSet::new();
+    let mut out: Vec<SdkUsage> = Vec::new();
+
+    let mut app_methods: Vec<_> = model
+        .exploration
+        .methods
+        .values()
+        .filter(|a| is_app_origin(a.origin))
+        .collect();
+    app_methods.sort_by(|a, b| a.method.cmp(&b.method));
+
+    for art in app_methods {
+        let Some(def) = art.class.method(&art.method.signature()) else {
+            continue;
+        };
+        let Some(body) = &def.body else { continue };
+        let ranges = BlockRanges::analyze(body, &art.cfg, &art.abs, model.supported);
+        for (block, range) in ranges.iter() {
+            for instr in &body.block(block).instrs {
+                let Instr::Invoke { method: target, .. } = instr else {
+                    continue;
+                };
+                let resolved = model.exploration.resolutions.get(target).cloned().flatten();
+                let api = match &resolved {
+                    Some(r) if db.is_api_method(r) => {
+                        db.method_lifespan(r).map(|life| (r.clone(), life))
+                    }
+                    _ => db.resolve(&target.class, &target.signature()),
+                };
+                let Some((api_ref, life)) = api else { continue };
+                // Whole-history APIs constrain nothing; skip them.
+                if !life.introduced_after(ApiLevel::MIN) && life.removed.is_none() {
+                    continue;
+                }
+                if seen.insert((art.method.clone(), api_ref.clone(), range)) {
+                    out.push(SdkUsage {
+                        site: art.method.clone(),
+                        api: api_ref,
+                        life,
+                        context: range,
+                    });
+                }
+            }
+        }
+    }
+    sort_usages(&mut out);
+    out
+}
+
+/// Canonical usage order: `(site, api, context)`. The incremental merge
+/// sorts the unioned per-group usages with this before assembling, so
+/// spliced verdicts reproduce the whole-app finding order.
+pub fn sort_usages(usages: &mut [SdkUsage]) {
+    usages.sort_by(|a, b| {
+        (&a.site, &a.api, a.context.min(), a.context.max()).cmp(&(
+            &b.site,
+            &b.api,
+            b.context.min(),
+            b.context.max(),
+        ))
+    });
+}
+
+/// Turns manifest facts + usage sites into the final mismatch list —
+/// the pure decision half of the detector, shared by [`detect`] and the
+/// incremental merge path. `usages` must be in [`sort_usages`] order.
+#[must_use]
+pub fn assemble(facts: SdkFacts, supported: LevelRange, usages: Vec<SdkUsage>) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+
+    // -- Overuse & ceiling inconsistency, per usage ---------------------
+    for u in &usages {
+        // A declared maxSdkVersion below the API's entire lifetime: no
+        // supported device can execute this call — a bounds
+        // inconsistency no in-method guard can repair (underuse).
+        if facts.max_sdk.is_some() && u.life.introduced_after(supported.max()) {
+            out.push(Mismatch {
+                kind: MismatchKind::DsdUnderuse,
+                site: u.site.clone(),
+                api: u.api.clone(),
+                api_life: Some(u.life),
+                missing_levels: supported.iter().collect(),
+                context: Some(supported),
+                permission: None,
+                via: Vec::new(),
+            });
+            continue;
+        }
+        // Unguarded use of an API introduced after the context floor:
+        // crash on every context level below the introduction.
+        let missing: Vec<ApiLevel> = u
+            .context
+            .iter()
+            .filter(|&l| u.life.introduced_after(l))
+            .collect();
+        if !missing.is_empty() {
+            out.push(Mismatch {
+                kind: MismatchKind::DsdOveruse,
+                site: u.site.clone(),
+                api: u.api.clone(),
+                api_life: Some(u.life),
+                missing_levels: missing,
+                context: Some(u.context),
+                permission: None,
+                via: Vec::new(),
+            });
+        }
+    }
+
+    // -- Underuse of the declared floor, per app ------------------------
+    // The declared minSdkVersion is "pinned" by the unguarded usages
+    // that execute at the floor itself: the highest introduction level
+    // among them is what the floor actually needs to be. A floor
+    // strictly above that excludes devices for nothing.
+    let pinning: Vec<&SdkUsage> = usages
+        .iter()
+        .filter(|u| u.context.min() == supported.min())
+        .collect();
+    let needed = pinning.iter().map(|u| u.life.floor()).max();
+    if let Some(needed) = needed {
+        if needed > ApiLevel::MIN && supported.min() > needed {
+            // Anchor the single per-app finding at the first usage (in
+            // canonical order) that demands the highest floor.
+            let anchor = pinning
+                .iter()
+                .find(|u| u.life.floor() == needed)
+                .expect("a maximal pinning usage exists");
+            out.push(Mismatch {
+                kind: MismatchKind::DsdUnderuse,
+                site: anchor.site.clone(),
+                api: anchor.api.clone(),
+                api_life: Some(anchor.life),
+                // The levels needlessly excluded by the declared floor.
+                missing_levels: LevelRange::new(needed, supported.min().pred())
+                    .iter()
+                    .collect(),
+                context: Some(supported),
+                permission: None,
+                via: Vec::new(),
+            });
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aum::Aum;
+    use saint_adf::{well_known, AndroidFramework};
+    use saint_analysis::ExploreConfig;
+    use saint_ir::{Apk, ApkBuilder, BodyBuilder, ClassBuilder, ClassOrigin};
+    use std::sync::Arc;
+
+    fn analyze(apk: &Apk) -> Vec<Mismatch> {
+        let fw = Arc::new(AndroidFramework::curated());
+        let model = Aum::build(apk, &fw, &ExploreConfig::saintdroid());
+        detect(&model, &fw.database())
+    }
+
+    fn apk_with_oncreate(
+        min: u8,
+        target: u8,
+        max: Option<u8>,
+        f: impl FnOnce(&mut BodyBuilder),
+    ) -> Apk {
+        let main = ClassBuilder::new("p.Main", ClassOrigin::App)
+            .extends("android.app.Activity")
+            .method("onCreate", "(Landroid/os/Bundle;)V", f)
+            .unwrap()
+            .build();
+        let mut b = ApkBuilder::new("p", ApiLevel::new(min), ApiLevel::new(target));
+        if let Some(m) = max {
+            b = b.max_sdk(ApiLevel::new(m)).unwrap();
+        }
+        b.activity("p.Main").class(main).unwrap().build()
+    }
+
+    #[test]
+    fn unguarded_new_api_is_overuse() {
+        // min 21, getColorStateList introduced at 23, no guard.
+        let apk = apk_with_oncreate(21, 28, None, |b| {
+            b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+            b.ret_void();
+        });
+        let ms = analyze(&apk);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].kind, MismatchKind::DsdOveruse);
+        assert_eq!(
+            ms[0].missing_levels,
+            vec![ApiLevel::new(21), ApiLevel::new(22)]
+        );
+    }
+
+    #[test]
+    fn guarded_call_is_quiet() {
+        let apk = apk_with_oncreate(21, 28, None, |b| {
+            let (then_blk, join) = b.guard_sdk_at_least(ApiLevel::new(23));
+            b.switch_to(then_blk);
+            b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+            b.goto(join);
+            b.switch_to(join);
+            b.ret_void();
+        });
+        assert!(analyze(&apk).is_empty());
+    }
+
+    #[test]
+    fn needlessly_high_floor_is_underuse() {
+        // min 26 but the only bounded API used needs just 23: levels
+        // 23..=25 are excluded for nothing.
+        let apk = apk_with_oncreate(26, 28, None, |b| {
+            b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+            b.ret_void();
+        });
+        let ms = analyze(&apk);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].kind, MismatchKind::DsdUnderuse);
+        assert_eq!(
+            ms[0].missing_levels,
+            vec![ApiLevel::new(23), ApiLevel::new(24), ApiLevel::new(25)]
+        );
+    }
+
+    #[test]
+    fn floor_matching_usage_is_quiet() {
+        // min 23 exactly matches the API's introduction: consistent.
+        let apk = apk_with_oncreate(23, 28, None, |b| {
+            b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+            b.ret_void();
+        });
+        assert!(analyze(&apk).is_empty());
+    }
+
+    #[test]
+    fn ceiling_below_api_lifetime_is_underuse() {
+        // maxSdkVersion 22 declared, but getColorStateList only exists
+        // from 23: the call can never run on a supported device.
+        let apk = apk_with_oncreate(19, 22, Some(22), |b| {
+            b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+            b.ret_void();
+        });
+        let ms = analyze(&apk);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].kind, MismatchKind::DsdUnderuse);
+        // Every supported level is affected.
+        assert_eq!(
+            ms[0].missing_levels,
+            (19..=22).map(ApiLevel::new).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn whole_history_api_constrains_nothing() {
+        let apk = apk_with_oncreate(19, 28, None, |b| {
+            b.invoke_virtual(well_known::activity_set_content_view(), &[], None);
+            b.ret_void();
+        });
+        assert!(analyze(&apk).is_empty());
+    }
+
+    #[test]
+    fn first_level_only_no_deep_descent() {
+        // TintHelper.applyTint reaches View.setForeground (23) one
+        // framework hop deep — invocation territory, not DSD's.
+        let apk = apk_with_oncreate(21, 28, None, |b| {
+            b.invoke_virtual(well_known::tint_helper_apply_tint(), &[], None);
+            b.ret_void();
+        });
+        assert!(analyze(&apk).is_empty());
+    }
+
+    #[test]
+    fn assemble_is_pure_over_sorted_usages() {
+        // The split the incremental layer relies on: collecting usages
+        // and assembling separately equals the one-shot detect.
+        let apk = apk_with_oncreate(21, 28, None, |b| {
+            b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+            b.invoke_virtual(well_known::context_get_drawable(), &[], None);
+            b.ret_void();
+        });
+        let fw = Arc::new(AndroidFramework::curated());
+        let model = Aum::build(&apk, &fw, &ExploreConfig::saintdroid());
+        let db = fw.database();
+        let one_shot = detect(&model, &db);
+        let mut us = usages(&model, &db);
+        // Shuffle then re-sort: canonical order is order-insensitive.
+        us.reverse();
+        sort_usages(&mut us);
+        let split = assemble(SdkFacts::of(&model.manifest), model.supported, us);
+        assert_eq!(one_shot, split);
+        // getColorStateList (23) overuses at min 21; getDrawable (21)
+        // exists from the floor up and is quiet.
+        assert_eq!(one_shot.len(), 1);
+    }
+
+    #[test]
+    fn underuse_anchor_is_first_maximal_pinning_usage() {
+        // Two bounded APIs (21 and 23) under min 26: the floor only
+        // needs 23, and the finding anchors at the API demanding it.
+        let apk = apk_with_oncreate(26, 28, None, |b| {
+            b.invoke_virtual(well_known::context_get_drawable(), &[], None);
+            b.invoke_virtual(well_known::context_get_color_state_list(), &[], None);
+            b.ret_void();
+        });
+        let ms = analyze(&apk);
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].kind, MismatchKind::DsdUnderuse);
+        assert_eq!(ms[0].api, well_known::context_get_color_state_list());
+    }
+}

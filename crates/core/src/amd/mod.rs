@@ -1,13 +1,17 @@
 //! AMD — the Android Mismatch Detector (paper §III-C).
 //!
-//! Three detectors over the AUM/ARM artifacts:
+//! Four detectors over the AUM/ARM artifacts:
 //!
 //! * [`invocation`] — paper Algorithm 2 (API invocation mismatches);
 //! * [`callback`] — paper Algorithm 3 (API callback mismatches);
 //! * [`permission`] — paper Algorithm 4 (permission-induced
 //!   mismatches), a capability unique to SAINTDroid among the compared
-//!   tools.
+//!   tools;
+//! * [`declared_sdk`] — declared-SDK consistency vetting (the DSD
+//!   overuse/underuse family), opt-in via
+//!   [`DetectorSet`](crate::DetectorSet).
 
 pub mod callback;
+pub mod declared_sdk;
 pub mod invocation;
 pub mod permission;

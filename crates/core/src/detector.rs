@@ -6,7 +6,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::report::Report;
 
-/// Which mismatch families a tool can detect (paper Table IV).
+/// Which mismatch families a tool can detect (paper Table IV, extended
+/// with the declared-SDK consistency family).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Capabilities {
     /// API invocation mismatches.
@@ -15,16 +16,20 @@ pub struct Capabilities {
     pub apc: bool,
     /// Permission-induced mismatches.
     pub prm: bool,
+    /// Declared-SDK consistency mismatches (DSD overuse/underuse).
+    pub dsd: bool,
 }
 
 impl Capabilities {
-    /// All three families (SAINTDroid's row in Table IV).
+    /// Every family, DSD included (SAINTDroid's row with the
+    /// declared-SDK detector enabled).
     #[must_use]
     pub fn all() -> Self {
         Capabilities {
             api: true,
             apc: true,
             prm: true,
+            dsd: true,
         }
     }
 }
@@ -34,11 +39,127 @@ impl std::fmt::Display for Capabilities {
         let mark = |b: bool| if b { "✓" } else { "✗" };
         write!(
             f,
-            "API {} | APC {} | PRM {}",
+            "API {} | APC {} | PRM {} | DSD {}",
             mark(self.api),
             mark(self.apc),
-            mark(self.prm)
+            mark(self.prm),
+            mark(self.dsd)
         )
+    }
+}
+
+/// The set of detector families one [`SaintDroid`](crate::SaintDroid)
+/// instance runs, as a compact bitset. The set is part of a scan's
+/// *identity*: the incremental layer folds [`bits`](Self::bits) into
+/// every content key, and the daemon advertises it so clients can pin
+/// the families they expect a report to cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DetectorSet {
+    bits: u8,
+}
+
+impl DetectorSet {
+    /// The API invocation detector (paper Algorithm 2).
+    pub const INVOCATION: DetectorSet = DetectorSet { bits: 0b0001 };
+    /// The API callback detector (paper Algorithm 3).
+    pub const CALLBACK: DetectorSet = DetectorSet { bits: 0b0010 };
+    /// The permission-induced detector (paper Algorithm 4).
+    pub const PERMISSION: DetectorSet = DetectorSet { bits: 0b0100 };
+    /// The declared-SDK consistency detector (DSD overuse/underuse).
+    pub const DECLARED_SDK: DetectorSet = DetectorSet { bits: 0b1000 };
+
+    /// The paper's three AMD families — the default set, preserving
+    /// the original report surface byte-for-byte.
+    #[must_use]
+    pub fn amd() -> Self {
+        Self::INVOCATION | Self::CALLBACK | Self::PERMISSION
+    }
+
+    /// Every family, the declared-SDK detector included.
+    #[must_use]
+    pub fn all() -> Self {
+        Self::amd() | Self::DECLARED_SDK
+    }
+
+    /// The raw bitmask — what the incremental layer folds into content
+    /// keys (a changed set must never replay another set's artifacts).
+    #[must_use]
+    pub const fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// Whether every family in `other` is enabled in `self`.
+    #[must_use]
+    pub const fn contains(self, other: DetectorSet) -> bool {
+        self.bits & other.bits == other.bits
+    }
+
+    /// Parses the CLI/wire form: `amd`, `all`, or a comma-separated
+    /// list of `api`, `apc`, `prm`, `dsd` (the canonical
+    /// [`Display`](std::fmt::Display) rendering round-trips).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token on anything unrecognized or an
+    /// empty set.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim() {
+            "amd" => return Ok(Self::amd()),
+            "all" => return Ok(Self::all()),
+            _ => {}
+        }
+        let mut set = DetectorSet { bits: 0 };
+        for token in s.split(',') {
+            set = set
+                | match token.trim() {
+                    "api" => Self::INVOCATION,
+                    "apc" => Self::CALLBACK,
+                    "prm" => Self::PERMISSION,
+                    "dsd" => Self::DECLARED_SDK,
+                    other => return Err(format!("unknown detector family `{other}`")),
+                };
+        }
+        if set.bits == 0 {
+            return Err("empty detector set".to_string());
+        }
+        Ok(set)
+    }
+}
+
+impl Default for DetectorSet {
+    fn default() -> Self {
+        Self::amd()
+    }
+}
+
+impl std::ops::BitOr for DetectorSet {
+    type Output = DetectorSet;
+    fn bitor(self, rhs: DetectorSet) -> DetectorSet {
+        DetectorSet {
+            bits: self.bits | rhs.bits,
+        }
+    }
+}
+
+impl std::fmt::Display for DetectorSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (family, name) in [
+            (Self::INVOCATION, "api"),
+            (Self::CALLBACK, "apc"),
+            (Self::PERMISSION, "prm"),
+            (Self::DECLARED_SDK, "dsd"),
+        ] {
+            if self.contains(family) {
+                if !first {
+                    f.write_str(",")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -72,9 +193,38 @@ mod tests {
             api: true,
             apc: false,
             prm: true,
+            dsd: false,
         };
-        assert_eq!(c.to_string(), "API ✓ | APC ✗ | PRM ✓");
-        assert_eq!(Capabilities::all().to_string(), "API ✓ | APC ✓ | PRM ✓");
+        assert_eq!(c.to_string(), "API ✓ | APC ✗ | PRM ✓ | DSD ✗");
+        assert_eq!(
+            Capabilities::all().to_string(),
+            "API ✓ | APC ✓ | PRM ✓ | DSD ✓"
+        );
+    }
+
+    #[test]
+    fn detector_set_parse_and_display_round_trip() {
+        assert_eq!(DetectorSet::parse("amd").unwrap(), DetectorSet::amd());
+        assert_eq!(DetectorSet::parse("all").unwrap(), DetectorSet::all());
+        let set = DetectorSet::parse("api,dsd").unwrap();
+        assert!(set.contains(DetectorSet::INVOCATION));
+        assert!(set.contains(DetectorSet::DECLARED_SDK));
+        assert!(!set.contains(DetectorSet::CALLBACK));
+        assert_eq!(set.to_string(), "api,dsd");
+        assert_eq!(DetectorSet::parse(&set.to_string()).unwrap(), set);
+        assert!(DetectorSet::parse("bogus").is_err());
+        assert!(DetectorSet::parse("").is_err());
+    }
+
+    #[test]
+    fn detector_set_default_is_the_paper_families() {
+        let d = DetectorSet::default();
+        assert_eq!(d, DetectorSet::amd());
+        assert!(!d.contains(DetectorSet::DECLARED_SDK));
+        assert_eq!(d.to_string(), "api,apc,prm");
+        // The bit layout is part of delta-key identity; pin it.
+        assert_eq!(DetectorSet::amd().bits(), 0b0111);
+        assert_eq!(DetectorSet::all().bits(), 0b1111);
     }
 
     #[test]

@@ -60,10 +60,10 @@ mod saintdroid;
 
 pub use arm::Arm;
 pub use aum::{is_app_origin, AppModel, Aum};
-pub use detector::{Capabilities, CompatDetector};
+pub use detector::{Capabilities, CompatDetector, DetectorSet};
 pub use engine::{BatchScan, ScanEngine, WorkerStat};
 pub use error::{panic_message, ScanError};
 pub use frozen::FrozenBoot;
 pub use mismatch::{is_mismatch_region, missing_levels_in, Mismatch, MismatchKind};
-pub use report::Report;
+pub use report::{Report, REPORT_SCHEMA_VERSION};
 pub use saintdroid::{SaintDroid, ScanParts};

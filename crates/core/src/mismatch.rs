@@ -12,7 +12,10 @@ use saint_adf::spec::LifeSpan;
 use saint_ir::{ApiLevel, LevelRange, MethodRef, Permission};
 use serde::{Deserialize, Serialize};
 
-/// The four concrete mismatch kinds SAINTDroid detects.
+/// The concrete mismatch kinds SAINTDroid detects: the paper's three
+/// AMD families plus the declared-SDK consistency (DSD) family added
+/// by the vetting detector (Wu et al., *Scalable Online Vetting of
+/// Android Apps*).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum MismatchKind {
     /// API invocation mismatch (abbr. **API**): the app calls a method
@@ -30,16 +33,29 @@ pub enum MismatchKind {
     /// < 23 but uses dangerous permissions a ≥ 23 device lets the user
     /// revoke at any time.
     PermissionRevocation,
+    /// Declared-SDK overuse (**DSD**): the app calls an API introduced
+    /// after its declared `minSdkVersion` without an `SDK_INT` guard —
+    /// a runtime crash on every supported device below the API's
+    /// introduction level.
+    DsdOveruse,
+    /// Declared-SDK underuse (**DSD**): the declared SDK bounds are
+    /// inconsistent with actual usage — `minSdkVersion` sits needlessly
+    /// above every level the used APIs require, or a declared
+    /// `maxSdkVersion` leaves a used API with no supported level at
+    /// which it exists.
+    DsdUnderuse,
 }
 
 impl MismatchKind {
-    /// The paper's three-letter abbreviation (`API`, `APC`, `PRM`).
+    /// The three-letter family abbreviation (`API`, `APC`, `PRM`,
+    /// `DSD`).
     #[must_use]
     pub fn abbreviation(self) -> &'static str {
         match self {
             MismatchKind::ApiInvocation => "API",
             MismatchKind::ApiCallback => "APC",
             MismatchKind::PermissionRequest | MismatchKind::PermissionRevocation => "PRM",
+            MismatchKind::DsdOveruse | MismatchKind::DsdUnderuse => "DSD",
         }
     }
 }
@@ -51,6 +67,8 @@ impl fmt::Display for MismatchKind {
             MismatchKind::ApiCallback => "API callback mismatch",
             MismatchKind::PermissionRequest => "permission request mismatch",
             MismatchKind::PermissionRevocation => "permission revocation mismatch",
+            MismatchKind::DsdOveruse => "declared-SDK overuse",
+            MismatchKind::DsdUnderuse => "declared-SDK underuse",
         };
         f.write_str(s)
     }
@@ -168,6 +186,8 @@ mod tests {
         assert_eq!(MismatchKind::ApiCallback.abbreviation(), "APC");
         assert_eq!(MismatchKind::PermissionRequest.abbreviation(), "PRM");
         assert_eq!(MismatchKind::PermissionRevocation.abbreviation(), "PRM");
+        assert_eq!(MismatchKind::DsdOveruse.abbreviation(), "DSD");
+        assert_eq!(MismatchKind::DsdUnderuse.abbreviation(), "DSD");
     }
 
     #[test]

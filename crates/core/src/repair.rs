@@ -175,6 +175,23 @@ pub fn repair(apk: &Apk, report: &Report, opts: &RepairOptions) -> RepairOutcome
                     });
                 }
             }
+            MismatchKind::DsdOveruse => {
+                actions.push(RepairAction::Advisory {
+                    site: m.site.clone(),
+                    suggestion: format!(
+                        "guard the call to {} with an SDK_INT check or raise minSdkVersion to its introduction level",
+                        m.api
+                    ),
+                });
+            }
+            MismatchKind::DsdUnderuse => {
+                actions.push(RepairAction::Advisory {
+                    site: m.site.clone(),
+                    suggestion:
+                        "align the declared minSdkVersion/maxSdkVersion bounds with actual API usage"
+                            .to_string(),
+                });
+            }
         }
     }
 
@@ -187,9 +204,17 @@ pub fn repair(apk: &Apk, report: &Report, opts: &RepairOptions) -> RepairOutcome
     }
     if let Some(floor) = min_floor {
         let from = patched.manifest.min_sdk;
-        if floor > from {
-            patched.manifest.min_sdk = floor;
-            actions.push(RepairAction::MinSdkRaised { from, to: floor });
+        // A raise must keep the declared triple satisfiable: lifting
+        // minSdkVersion past targetSdkVersion (or maxSdkVersion) would
+        // produce a manifest the codec rejects on decode.
+        let mut ceiling = patched.manifest.target_sdk;
+        if let Some(max) = patched.manifest.max_sdk {
+            ceiling = ceiling.min(max);
+        }
+        let to = floor.min(ceiling);
+        if to > from {
+            patched.manifest.min_sdk = to;
+            actions.push(RepairAction::MinSdkRaised { from, to });
         }
     }
 

@@ -9,6 +9,17 @@ use serde::{Deserialize, Serialize};
 use crate::error::ScanError;
 use crate::mismatch::{Mismatch, MismatchKind};
 
+/// Version of the report schema: the set of mismatch kinds a complete
+/// report can carry plus the report's field shape. Bumped whenever a
+/// detector family is added or a kind's meaning changes, so cached
+/// artifacts produced under an older schema can never be replayed as
+/// complete reports (the incremental layer folds this into every
+/// content key *and* its store header — see `saint-delta`).
+///
+/// History: 1 = the paper's three AMD families; 2 = declared-SDK
+/// consistency (DSD) kinds added.
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
+
 /// The outcome of analyzing one app with one detector.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Report {
@@ -116,6 +127,13 @@ impl Report {
         self.count(MismatchKind::PermissionRequest) + self.count(MismatchKind::PermissionRevocation)
     }
 
+    /// Number of declared-SDK consistency mismatches (overuse +
+    /// underuse).
+    #[must_use]
+    pub fn dsd_count(&self) -> usize {
+        self.count(MismatchKind::DsdOveruse) + self.count(MismatchKind::DsdUnderuse)
+    }
+
     /// Total mismatches.
     #[must_use]
     pub fn total(&self) -> usize {
@@ -138,13 +156,14 @@ impl std::fmt::Display for Report {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{} on {}: {} mismatches (API {}, APC {}, PRM {}) in {:.1?} [{}]",
+            "{} on {}: {} mismatches (API {}, APC {}, PRM {}, DSD {}) in {:.1?} [{}]",
             self.detector,
             self.package,
             self.total(),
             self.api_count(),
             self.apc_count(),
             self.prm_count(),
+            self.dsd_count(),
             self.duration,
             self.meter,
         )?;

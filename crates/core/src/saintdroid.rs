@@ -11,9 +11,9 @@ use saint_obs::{Counter, MetricsRegistry, Phase, TraceSink};
 use crate::amd;
 use crate::arm::Arm;
 use crate::aum::{AppModel, Aum};
-use crate::detector::{Capabilities, CompatDetector};
+use crate::detector::{Capabilities, CompatDetector, DetectorSet};
 use crate::error::{in_phase, PhasePanic};
-use crate::mismatch::Mismatch;
+use crate::mismatch::{Mismatch, MismatchKind};
 use crate::report::Report;
 
 /// The raw, pre-merge outputs of one pipeline pass — everything needed
@@ -31,6 +31,9 @@ pub struct ScanParts {
     pub usages: Vec<amd::permission::DangerousUsage>,
     /// Whether the scanned slice declares `onRequestPermissionsResult`.
     pub declares_handler: bool,
+    /// Raw declared-SDK usage sites (empty unless the scanning tool's
+    /// [`DetectorSet`] enables the DSD family).
+    pub sdk_usages: Vec<amd::declared_sdk::SdkUsage>,
     /// Every CLVM load-table entry with its metered byte charge
     /// (`None` = remembered failed lookup).
     pub loaded: Vec<(ClassName, Option<usize>)>,
@@ -57,6 +60,7 @@ pub struct ScanParts {
 pub struct SaintDroid {
     arm: Arm,
     config: ExploreConfig,
+    detectors: DetectorSet,
     cache: Option<Arc<ShardedClassCache>>,
     artifact_cache: Option<Arc<ArtifactCache>>,
     scan_cache: Option<Arc<amd::invocation::DeepScanCache>>,
@@ -74,6 +78,7 @@ impl SaintDroid {
         SaintDroid {
             arm: Arm::new(framework),
             config: ExploreConfig::saintdroid(),
+            detectors: DetectorSet::default(),
             cache: None,
             artifact_cache: None,
             scan_cache: None,
@@ -90,6 +95,7 @@ impl SaintDroid {
         SaintDroid {
             arm: Arm::new(framework),
             config,
+            detectors: DetectorSet::default(),
             cache: None,
             artifact_cache: None,
             scan_cache: None,
@@ -216,6 +222,25 @@ impl SaintDroid {
         &self.config
     }
 
+    /// Selects which detector families this instance runs. Defaults to
+    /// [`DetectorSet::amd`] — the paper's three families, preserving
+    /// the original report surface. [`DetectorSet::all`] additionally
+    /// enables declared-SDK (DSD) vetting.
+    #[must_use]
+    pub fn with_detectors(mut self, detectors: DetectorSet) -> Self {
+        self.detectors = detectors;
+        self
+    }
+
+    /// The enabled detector families. The incremental layer folds the
+    /// set (with the report schema version) into every content key so
+    /// a set change invalidates cached artifacts instead of splicing
+    /// reports that silently miss a family's findings.
+    #[must_use]
+    pub fn detectors(&self) -> DetectorSet {
+        self.detectors
+    }
+
     /// Builds the AUM model for an APK — exposed for tooling that wants
     /// the intermediate artifacts (paper: "SAINTDroid can be used by
     /// developers, end-users, and third-party reviewers").
@@ -286,29 +311,53 @@ impl SaintDroid {
         let (db, pm) = in_phase("arm_mine", || self.arm.mine(self.metrics.as_deref()));
         let detect_start = Instant::now();
 
-        // The three detector families are independent functions of the
-        // finished model; with an intra-app budget they run concurrently
-        // and merge in the fixed invocation → callback → permission
-        // order the sequential path uses, so the report is identical.
-        // Each family records its own phase span from its own worker —
-        // concurrent recording is just atomics, never a lock.
-        let (inv, cb, prm) = if app_jobs > 1 {
+        // The detector families are independent functions of the
+        // finished model; with an intra-app budget the enabled ones run
+        // concurrently and merge in the fixed invocation → callback →
+        // permission → declared-SDK order the sequential path uses, so
+        // the report is identical. Each family records its own phase
+        // span from its own worker — concurrent recording is just
+        // atomics, never a lock. A disabled family contributes an empty
+        // vector without touching its phase span.
+        let d = self.detectors;
+        let run_inv = || {
+            if !d.contains(DetectorSet::INVOCATION) {
+                return Vec::new();
+            }
+            self.observe(Phase::DetectInvocation, package, || {
+                self.detect_invocation(&model, &db, app_jobs)
+            })
+        };
+        let run_cb = || {
+            if !d.contains(DetectorSet::CALLBACK) {
+                return Vec::new();
+            }
+            self.observe(Phase::DetectCallback, package, || {
+                amd::callback::detect(&model, &db)
+            })
+        };
+        let run_prm = || {
+            if !d.contains(DetectorSet::PERMISSION) {
+                return Vec::new();
+            }
+            self.observe(Phase::DetectPermission, package, || {
+                amd::permission::detect(&model, &pm)
+            })
+        };
+        let run_dsd = || {
+            if !d.contains(DetectorSet::DECLARED_SDK) {
+                return Vec::new();
+            }
+            self.observe(Phase::DetectDeclaredSdk, package, || {
+                amd::declared_sdk::detect(&model, &db)
+            })
+        };
+        let (inv, cb, prm, dsd) = if app_jobs > 1 {
             std::thread::scope(|s| {
-                let inv = s.spawn(|| {
-                    self.observe(Phase::DetectInvocation, package, || {
-                        self.detect_invocation(&model, &db, app_jobs)
-                    })
-                });
-                let cb = s.spawn(|| {
-                    self.observe(Phase::DetectCallback, package, || {
-                        amd::callback::detect(&model, &db)
-                    })
-                });
-                let prm = s.spawn(|| {
-                    self.observe(Phase::DetectPermission, package, || {
-                        amd::permission::detect(&model, &pm)
-                    })
-                });
+                let inv = s.spawn(run_inv);
+                let cb = s.spawn(run_cb);
+                let prm = s.spawn(run_prm);
+                let dsd = s.spawn(run_dsd);
                 // Join *every* handle before surfacing any panic:
                 // propagating the first failure while a sibling's
                 // panic is still unjoined would double-panic the
@@ -318,6 +367,7 @@ impl SaintDroid {
                 let inv = inv.join();
                 let cb = cb.join();
                 let prm = prm.join();
+                let dsd = dsd.join();
                 let unwrap = |r: std::thread::Result<Vec<crate::mismatch::Mismatch>>,
                               phase: &'static str| {
                     r.unwrap_or_else(|payload| std::panic::panic_any(PhasePanic { phase, payload }))
@@ -326,26 +376,18 @@ impl SaintDroid {
                     unwrap(inv, "detect_invocation"),
                     unwrap(cb, "detect_callback"),
                     unwrap(prm, "detect_permission"),
+                    unwrap(dsd, "detect_declared_sdk"),
                 )
             })
         } else {
-            (
-                self.observe(Phase::DetectInvocation, package, || {
-                    self.detect_invocation(&model, &db, app_jobs)
-                }),
-                self.observe(Phase::DetectCallback, package, || {
-                    amd::callback::detect(&model, &db)
-                }),
-                self.observe(Phase::DetectPermission, package, || {
-                    amd::permission::detect(&model, &pm)
-                }),
-            )
+            (run_inv(), run_cb(), run_prm(), run_dsd())
         };
 
         let mut report = Report::new(apk.manifest.package.clone(), self.name());
         report.extend_deduped(inv);
         report.extend_deduped(cb);
         report.extend_deduped(prm);
+        report.extend_deduped(dsd);
         let detect_time = detect_start.elapsed();
         report.duration = start.elapsed();
         report.meter = model.clvm.meter();
@@ -353,6 +395,17 @@ impl SaintDroid {
             metrics.record(Phase::ScanTotal, report.duration);
             metrics.add(Counter::AppsScanned, 1);
             metrics.add(Counter::MismatchesFound, report.mismatches.len() as u64);
+            if d.contains(DetectorSet::DECLARED_SDK) {
+                metrics.add(Counter::AppsVetted, 1);
+                metrics.add(
+                    Counter::DsdOveruseFound,
+                    report.count(MismatchKind::DsdOveruse) as u64,
+                );
+                metrics.add(
+                    Counter::DsdUnderuseFound,
+                    report.count(MismatchKind::DsdUnderuse) as u64,
+                );
+            }
             // Fold the per-app meter into the fleet-wide byte counters;
             // the report's own meter is untouched.
             report.meter.record_into(metrics);
@@ -384,19 +437,43 @@ impl SaintDroid {
         let model = in_phase("explore", || self.model_with(apk, app_jobs));
         let (db, pm) = in_phase("arm_mine", || self.arm.mine(self.metrics.as_deref()));
 
-        let invocation = self.observe(Phase::DetectInvocation, package, || match &self.scan_cache {
-            Some(cache) => amd::invocation::detect_rooted_parallel(&model, &db, cache, app_jobs),
-            None => {
-                let cache = amd::invocation::DeepScanCache::new();
-                amd::invocation::detect_rooted_parallel(&model, &db, &cache, app_jobs)
-            }
-        });
-        let callback = self.observe(Phase::DetectCallback, package, || {
-            amd::callback::detect(&model, &db)
-        });
-        let usages = self.observe(Phase::DetectPermission, package, || {
-            amd::permission::dangerous_usages(&model, &pm)
-        });
+        let d = self.detectors;
+        let invocation = if d.contains(DetectorSet::INVOCATION) {
+            self.observe(Phase::DetectInvocation, package, || {
+                match &self.scan_cache {
+                    Some(cache) => {
+                        amd::invocation::detect_rooted_parallel(&model, &db, cache, app_jobs)
+                    }
+                    None => {
+                        let cache = amd::invocation::DeepScanCache::new();
+                        amd::invocation::detect_rooted_parallel(&model, &db, &cache, app_jobs)
+                    }
+                }
+            })
+        } else {
+            Vec::new()
+        };
+        let callback = if d.contains(DetectorSet::CALLBACK) {
+            self.observe(Phase::DetectCallback, package, || {
+                amd::callback::detect(&model, &db)
+            })
+        } else {
+            Vec::new()
+        };
+        let usages = if d.contains(DetectorSet::PERMISSION) {
+            self.observe(Phase::DetectPermission, package, || {
+                amd::permission::dangerous_usages(&model, &pm)
+            })
+        } else {
+            Vec::new()
+        };
+        let sdk_usages = if d.contains(DetectorSet::DECLARED_SDK) {
+            self.observe(Phase::DetectDeclaredSdk, package, || {
+                amd::declared_sdk::usages(&model, &db)
+            })
+        } else {
+            Vec::new()
+        };
         let declares_handler =
             model.declares_app_method("onRequestPermissionsResult", "(I[Ljava/lang/String;[I)V");
 
@@ -413,6 +490,7 @@ impl SaintDroid {
             callback,
             usages,
             declares_handler,
+            sdk_usages,
             loaded: model.clvm.loaded_entries(),
             methods,
         }
@@ -483,7 +561,12 @@ impl CompatDetector for SaintDroid {
     }
 
     fn capabilities(&self) -> Capabilities {
-        Capabilities::all()
+        Capabilities {
+            api: self.detectors.contains(DetectorSet::INVOCATION),
+            apc: self.detectors.contains(DetectorSet::CALLBACK),
+            prm: self.detectors.contains(DetectorSet::PERMISSION),
+            dsd: self.detectors.contains(DetectorSet::DECLARED_SDK),
+        }
     }
 
     fn analyze(&self, apk: &Apk) -> Option<Report> {
@@ -569,8 +652,48 @@ mod tests {
         let t = tool();
         let c = t.capabilities();
         assert!(c.api && c.apc && c.prm);
+        assert!(!c.dsd, "DSD is opt-in, not part of the default set");
         assert!(!t.requires_source());
         assert_eq!(t.name(), "SAINTDroid");
+        let all = tool().with_detectors(DetectorSet::all());
+        assert!(all.capabilities().dsd);
+    }
+
+    #[test]
+    fn default_set_reports_no_dsd_findings() {
+        // min 21 + unguarded getColorStateList is a DSD overuse, but
+        // the default detector set must not report it — the paper
+        // families' report surface is unchanged.
+        let report = tool().run(&triple_threat());
+        assert_eq!(report.dsd_count(), 0, "{report}");
+    }
+
+    #[test]
+    fn dsd_enabled_pipeline_detects_all_four_families() {
+        let t = tool().with_detectors(DetectorSet::all());
+        let report = t.run(&triple_threat());
+        assert_eq!(report.api_count(), 1, "{report}");
+        assert_eq!(report.apc_count(), 1, "{report}");
+        assert!(report.prm_count() >= 1, "{report}");
+        assert_eq!(report.dsd_count(), 1, "{report}");
+        assert_eq!(
+            report.of_kind(MismatchKind::DsdOveruse).count(),
+            1,
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn dsd_report_parity_across_app_jobs() {
+        let apk = triple_threat();
+        let mut seq = tool().with_detectors(DetectorSet::all()).run(&apk);
+        let mut par = tool()
+            .with_detectors(DetectorSet::all())
+            .with_app_jobs(8)
+            .run(&apk);
+        seq.duration = Duration::ZERO;
+        par.duration = Duration::ZERO;
+        assert_eq!(seq, par);
     }
 
     #[test]

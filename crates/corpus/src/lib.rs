@@ -9,7 +9,11 @@
 //! * [`cases`] — the four §V-B case studies (Offline Calendar, FOSDEM,
 //!   Kolab Notes, AdAway);
 //! * [`RealWorldCorpus`] — a streaming, seeded generator of
-//!   thousands of apps calibrated to the paper's RQ2 structure.
+//!   thousands of apps calibrated to the paper's RQ2 structure;
+//! * [`planted_suite`] — six apps with exactly-known planted defects
+//!   across all four mismatch families (the three AMD families plus
+//!   declared-SDK consistency), the golden corpus behind the
+//!   comparative harness's precision/recall pins.
 //!
 //! ```
 //! use saint_corpus::{benchmark_suite, Suite};
@@ -27,12 +31,14 @@ mod cid_bench;
 mod cider_bench;
 mod lineage;
 pub mod patterns;
+mod planted;
 mod realworld;
 mod truth;
 
 pub use cid_bench::cid_bench;
 pub use cider_bench::{cider_bench, cider_bench_scaled};
 pub use lineage::{churn_wave, generate_lineage, LineageConfig, EVO_CLASS};
+pub use planted::planted_suite;
 pub use realworld::{generate_app, InjectedCounts, RealWorldApp, RealWorldConfig, RealWorldCorpus};
 pub use truth::{score, Accuracy, BenchApp, GroundTruthIssue, Suite};
 

@@ -1,0 +1,268 @@
+//! The planted-defect golden corpus for the comparative harness.
+//!
+//! Six small apps whose ground truth is known *exactly*, covering all
+//! four mismatch families — the three AMD families of the paper plus
+//! the declared-SDK consistency (DSD) family. Unlike the rebuilt
+//! CID/CIDER benches (whose truth mirrors the published tables), these
+//! apps are constructed so each defect's anchoring site, API, and — for
+//! DSD — the implicated level span are pinned by construction, which is
+//! what lets the harness assert per-family precision/recall floors in
+//! CI instead of eyeballing a table.
+
+use saint_adf::well_known;
+use saint_ir::{ApiLevel, ApkBuilder, MethodRef, Permission};
+use saintdroid::MismatchKind;
+
+use crate::patterns::{
+    callback_override, dangerous_usage, filler, guarded_api_call, unguarded_api_call, Injection,
+};
+use crate::truth::{BenchApp, GroundTruthIssue, Suite};
+
+#[allow(clippy::too_many_arguments)]
+fn assemble(
+    name: &'static str,
+    package: &'static str,
+    min: u8,
+    target: u8,
+    max: Option<u8>,
+    permissions: Vec<Permission>,
+    injections: Vec<Injection>,
+) -> BenchApp {
+    let mut builder = ApkBuilder::new(package, ApiLevel::new(min), ApiLevel::new(target));
+    if let Some(m) = max {
+        builder = builder
+            .max_sdk(ApiLevel::new(m))
+            .expect("planted max >= min");
+    }
+    for p in permissions {
+        builder = builder.permission(p);
+    }
+    let mut truth = Vec::new();
+    for inj in injections {
+        for class in inj.classes {
+            builder = builder.class(class).expect("unique class names");
+        }
+        truth.extend(inj.truth);
+    }
+    BenchApp {
+        name,
+        suite: Suite::Planted,
+        apk: builder.build(),
+        truth,
+    }
+}
+
+/// The call site `class.run()V` as the DSD detectors anchor it.
+fn run_site(class: &str) -> MethodRef {
+    MethodRef::new(class, "run", "()V")
+}
+
+/// Builds the six planted apps.
+#[must_use]
+pub fn planted_suite() -> Vec<BenchApp> {
+    vec![
+        // DSD overuse: the floor (21) lets devices below the API's
+        // introduction level (23) install the app; the unguarded call
+        // is simultaneously an API invocation mismatch.
+        assemble(
+            "Planted-Overuse",
+            "bench.planted.overuse",
+            21,
+            28,
+            None,
+            Vec::new(),
+            vec![
+                {
+                    let mut inj = unguarded_api_call(
+                        "bench.planted.overuse.Main",
+                        "run",
+                        well_known::context_get_color_state_list(),
+                        "overuse: getColorStateList (23) unguarded with min 21",
+                    );
+                    inj.truth.push(GroundTruthIssue {
+                        kind: MismatchKind::DsdOveruse,
+                        site: run_site("bench.planted.overuse.Main"),
+                        api: well_known::context_get_color_state_list(),
+                        note: "declared floor 21 admits levels 21-22 at the call site",
+                    });
+                    inj
+                },
+                filler("bench.planted.overuse.Util", 4, 15),
+            ],
+        ),
+        // DSD underuse (floor): min 26 excludes levels 23..=25 although
+        // the most demanding API used only needs 23. Not an invocation
+        // mismatch — the API exists on every supported level.
+        assemble(
+            "Planted-Underuse",
+            "bench.planted.underuse",
+            26,
+            28,
+            None,
+            Vec::new(),
+            vec![
+                {
+                    let mut inj = unguarded_api_call(
+                        "bench.planted.underuse.Main",
+                        "run",
+                        well_known::context_get_color_state_list(),
+                        "",
+                    );
+                    inj.truth = vec![GroundTruthIssue {
+                        kind: MismatchKind::DsdUnderuse,
+                        site: run_site("bench.planted.underuse.Main"),
+                        api: well_known::context_get_color_state_list(),
+                        note: "declared floor 26 needlessly excludes levels 23-25",
+                    }];
+                    inj
+                },
+                filler("bench.planted.underuse.Util", 4, 15),
+            ],
+        ),
+        // DSD underuse (ceiling): a declared maxSdkVersion of 22 below
+        // the API's introduction level (23) makes the call unreachable
+        // on every supported level — also an invocation mismatch.
+        assemble(
+            "Planted-Ceiling",
+            "bench.planted.ceiling",
+            19,
+            22,
+            Some(22),
+            Vec::new(),
+            vec![
+                {
+                    let mut inj = unguarded_api_call(
+                        "bench.planted.ceiling.Main",
+                        "run",
+                        well_known::context_get_color_state_list(),
+                        "ceiling: getColorStateList (23) with declared max 22",
+                    );
+                    inj.truth.push(GroundTruthIssue {
+                        kind: MismatchKind::DsdUnderuse,
+                        site: run_site("bench.planted.ceiling.Main"),
+                        api: well_known::context_get_color_state_list(),
+                        note: "declared ceiling 22 predates the API's introduction (23)",
+                    });
+                    inj
+                },
+                filler("bench.planted.ceiling.Util", 4, 15),
+            ],
+        ),
+        // Precision bait: a correctly guarded call with a consistent
+        // floor. Clean for every family; flow-insensitive tools and an
+        // over-eager DSD detector misreport here.
+        assemble(
+            "Planted-CleanGuard",
+            "bench.planted.clean",
+            21,
+            28,
+            None,
+            Vec::new(),
+            vec![
+                guarded_api_call(
+                    "bench.planted.clean.Main",
+                    "run",
+                    well_known::context_get_color_state_list(),
+                    23,
+                ),
+                filler("bench.planted.clean.Util", 4, 15),
+            ],
+        ),
+        // PRM: a dangerous-permission usage under target >= 23 with no
+        // runtime-request handler.
+        assemble(
+            "Planted-Permission",
+            "bench.planted.permission",
+            19,
+            26,
+            None,
+            vec![Permission::android("WRITE_EXTERNAL_STORAGE")],
+            vec![
+                dangerous_usage(
+                    "bench.planted.permission.Main",
+                    "export",
+                    well_known::get_external_storage_directory(),
+                    MismatchKind::PermissionRequest,
+                    "WRITE_EXTERNAL_STORAGE used, target 26, no runtime request",
+                ),
+                filler("bench.planted.permission.Util", 4, 15),
+            ],
+        ),
+        // APC: a lifecycle callback overridden below its introduction
+        // level.
+        assemble(
+            "Planted-Callback",
+            "bench.planted.callback",
+            19,
+            26,
+            None,
+            Vec::new(),
+            vec![
+                callback_override(
+                    "bench.planted.callback.NoteFragment",
+                    "android.app.Fragment",
+                    well_known::fragment_on_attach_context_sig(),
+                    MethodRef::new(
+                        "android.app.Fragment",
+                        "onAttach",
+                        "(Landroid/content/Context;)V",
+                    ),
+                    "Fragment.onAttach(Context) (23) with min 19",
+                ),
+                filler("bench.planted.callback.Util", 4, 15),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use saint_adf::AndroidFramework;
+    use saintdroid::{DetectorSet, SaintDroid};
+
+    use crate::truth::score;
+
+    #[test]
+    fn six_apps_with_pinned_truth_shape() {
+        let apps = planted_suite();
+        assert_eq!(apps.len(), 6);
+        assert!(apps.iter().all(|a| a.suite == Suite::Planted));
+        let count = |kind: MismatchKind| {
+            apps.iter()
+                .flat_map(|a| &a.truth)
+                .filter(|t| t.kind == kind)
+                .count()
+        };
+        assert_eq!(count(MismatchKind::DsdOveruse), 1);
+        assert_eq!(count(MismatchKind::DsdUnderuse), 2);
+        assert_eq!(count(MismatchKind::ApiInvocation), 2);
+        assert_eq!(count(MismatchKind::ApiCallback), 1);
+        assert_eq!(count(MismatchKind::PermissionRequest), 1);
+        let clean = apps.iter().find(|a| a.name == "Planted-CleanGuard");
+        assert!(clean.expect("clean app").truth.is_empty());
+    }
+
+    /// The golden pin behind the CI recall floor: SAINTDroid with every
+    /// family enabled scores perfect precision *and* recall on the DSD
+    /// family of this corpus.
+    #[test]
+    fn saintdroid_all_is_exact_on_the_dsd_family() {
+        let tool = SaintDroid::new(Arc::new(AndroidFramework::curated()))
+            .with_detectors(DetectorSet::all());
+        let mut total = crate::truth::Accuracy::default();
+        for app in planted_suite() {
+            let report = tool.run(&app.apk);
+            total.absorb(score(
+                &report,
+                &app.truth,
+                Some(&[MismatchKind::DsdOveruse, MismatchKind::DsdUnderuse]),
+            ));
+        }
+        assert_eq!(total.tp, 3, "all three planted DSD defects found");
+        assert_eq!(total.fp, 0, "no spurious DSD findings");
+        assert_eq!(total.fn_, 0, "no missed DSD defects");
+    }
+}

@@ -35,6 +35,9 @@ pub enum Suite {
     CiderBench,
     /// The 7 micro-apps of CID-Bench (Li et al.).
     CidBench,
+    /// The planted-defect golden corpus for the comparative harness
+    /// (exactly-known AMD *and* declared-SDK defects).
+    Planted,
 }
 
 impl std::fmt::Display for Suite {
@@ -42,6 +45,7 @@ impl std::fmt::Display for Suite {
         f.write_str(match self {
             Suite::CiderBench => "CIDER-Bench",
             Suite::CidBench => "CID-Bench",
+            Suite::Planted => "Planted",
         })
     }
 }

@@ -24,6 +24,14 @@ pub enum DeltaError {
         /// Version this build writes and reads.
         expected: u32,
     },
+    /// The artifact was written under a different report schema — its
+    /// verdict would be missing (or carrying) whole mismatch families.
+    SchemaSkew {
+        /// Report schema version found in the header.
+        found: u32,
+        /// Report schema version this build's reports carry.
+        expected: u32,
+    },
     /// The payload does not hash to the checksum in the header
     /// (bit rot, torn write, truncation past the header).
     ChecksumMismatch,
@@ -46,6 +54,10 @@ impl fmt::Display for DeltaError {
             DeltaError::VersionSkew { found, expected } => write!(
                 f,
                 "delta artifact format version skew: found v{found}, expected v{expected}"
+            ),
+            DeltaError::SchemaSkew { found, expected } => write!(
+                f,
+                "delta artifact report schema skew: found schema {found}, expected {expected}"
             ),
             DeltaError::ChecksumMismatch => {
                 write!(f, "delta artifact payload fails its checksum")

@@ -6,6 +6,10 @@
 //! can observe:
 //!
 //! * the store format version (layout changes invalidate wholesale);
+//! * the report schema version and the tool's enabled detector set —
+//!   an artifact scanned by three families must never be replayed as
+//!   the verdict of four (it would splice reports silently missing the
+//!   new family's findings);
 //! * the framework model fingerprint ([`saint_frozen::spec_fingerprint`]);
 //! * the exploration policy (`ExploreConfig` — e.g. an ablation build
 //!   must not reuse a default-policy artifact);
@@ -31,10 +35,18 @@ pub fn class_fingerprint(class: &ClassDef) -> u64 {
 }
 
 /// Fingerprint of everything scan-relevant *outside* the app payload:
-/// store format, framework model, exploration policy.
+/// store format, report schema, enabled detector set, framework model,
+/// exploration policy.
 #[must_use]
 pub fn context_fingerprint(tool: &SaintDroid) -> u64 {
     let mut h = fnv1a(&FORMAT_VERSION.to_le_bytes(), FNV_OFFSET);
+    // An artifact's verdict is only complete relative to the mismatch
+    // taxonomy it was scanned under (schema) and the families the tool
+    // actually ran (detector set); folding both makes enabling,
+    // disabling, or adding a detector a typed cache miss instead of a
+    // wrong-report splice.
+    h = fnv1a(&saintdroid::REPORT_SCHEMA_VERSION.to_le_bytes(), h);
+    h = fnv1a(&[tool.detectors().bits()], h);
     h = fnv1a(
         &spec_fingerprint(tool.arm().framework().spec()).to_le_bytes(),
         h,
@@ -144,6 +156,27 @@ mod tests {
         let mut changed = class.clone();
         changed.interfaces.push("p.Marker".into());
         assert_ne!(fp, class_fingerprint(&changed));
+    }
+
+    #[test]
+    fn context_fingerprint_folds_detector_set() {
+        use saint_adf::{AndroidFramework, SynthConfig};
+        use saintdroid::DetectorSet;
+        use std::sync::Arc;
+
+        let framework = Arc::new(AndroidFramework::with_scale(&SynthConfig::small()));
+        let amd = SaintDroid::new(Arc::clone(&framework));
+        let all = SaintDroid::new(framework).with_detectors(DetectorSet::all());
+        assert_eq!(
+            context_fingerprint(&amd),
+            context_fingerprint(&amd),
+            "deterministic"
+        );
+        assert_ne!(
+            context_fingerprint(&amd),
+            context_fingerprint(&all),
+            "enabling a detector family must invalidate every cached artifact"
+        );
     }
 
     #[test]

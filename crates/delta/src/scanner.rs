@@ -17,7 +17,10 @@
 //! The merge is byte-identical to a full rescan by construction:
 //! invocation buckets re-interleave in global sorted-root order,
 //! callback buckets replay in APK class order, permission gates are
-//! recomputed from the manifest over the union of raw usage sites, and
+//! recomputed from the manifest over the union of raw usage sites,
+//! declared-SDK verdicts are re-assembled from the manifest over the
+//! canonical union of raw per-method SDK usages (when that family is
+//! enabled), and
 //! the meter is rebuilt from the deduplicated union of per-group load
 //! and method charges. Corrupt or stale store entries surface as typed
 //! [`DeltaError`](crate::DeltaError)s internally and count as misses —
@@ -33,8 +36,9 @@ use saint_adf::is_dangerous;
 use saint_analysis::LoadMeter;
 use saint_ir::{Apk, ClassDef, ClassName, DexFile, MethodRef};
 use saint_obs::{Counter, Phase};
+use saintdroid::amd::declared_sdk::{self, SdkFacts, SdkUsage};
 use saintdroid::amd::permission::{assemble, DangerousUsage, PermissionGates};
-use saintdroid::{Mismatch, Report, SaintDroid};
+use saintdroid::{DetectorSet, Mismatch, MismatchKind, Report, SaintDroid};
 
 use crate::graph::bundled_groups;
 use crate::hash;
@@ -202,6 +206,7 @@ impl DeltaScanner {
                         invocation: parts.invocation,
                         callback: parts.callback,
                         usages: parts.usages,
+                        sdk_usages: parts.sdk_usages,
                         declares_handler: parts.declares_handler,
                         loaded: parts.loaded,
                         methods: parts.methods,
@@ -218,7 +223,7 @@ impl DeltaScanner {
             }
         }
 
-        let mut report = merge(apk, artifacts);
+        let mut report = merge(tool, apk, artifacts);
         report.duration = start.elapsed();
         self.record_merged(tool, &report, stats);
 
@@ -323,6 +328,17 @@ impl DeltaScanner {
             m.record(Phase::ScanTotal, report.duration);
             m.add(Counter::AppsScanned, 1);
             m.add(Counter::MismatchesFound, report.mismatches.len() as u64);
+            if tool.detectors().contains(DetectorSet::DECLARED_SDK) {
+                m.add(Counter::AppsVetted, 1);
+                m.add(
+                    Counter::DsdOveruseFound,
+                    report.count(MismatchKind::DsdOveruse) as u64,
+                );
+                m.add(
+                    Counter::DsdUnderuseFound,
+                    report.count(MismatchKind::DsdUnderuse) as u64,
+                );
+            }
             report.meter.record_into(m);
             m.add(Counter::DeltaHits, stats.hits);
             m.add(Counter::DeltaMisses, stats.misses);
@@ -370,10 +386,11 @@ fn project(apk: &Apk, group: &[(u32, ClassName)]) -> Apk {
 
 /// Splices per-group artifacts into the exact report a full rescan
 /// produces (see the module docs for why each step is order-exact).
-fn merge(apk: &Apk, artifacts: Vec<GroupArtifact>) -> Report {
+fn merge(tool: &SaintDroid, apk: &Apk, artifacts: Vec<GroupArtifact>) -> Report {
     let mut rooted: Vec<(MethodRef, Vec<Mismatch>)> = Vec::new();
     let mut callback_buckets: HashMap<ClassName, Vec<Mismatch>> = HashMap::new();
     let mut usages: Vec<DangerousUsage> = Vec::new();
+    let mut sdk_usages: Vec<SdkUsage> = Vec::new();
     let mut declares_handler = false;
     let mut loaded: BTreeMap<ClassName, Option<usize>> = BTreeMap::new();
     let mut methods: BTreeMap<MethodRef, usize> = BTreeMap::new();
@@ -387,6 +404,7 @@ fn merge(apk: &Apk, artifacts: Vec<GroupArtifact>) -> Report {
                 .push(m);
         }
         usages.extend(art.usages);
+        sdk_usages.extend(art.sdk_usages);
         declares_handler |= art.declares_handler;
         loaded.extend(art.loaded);
         methods.extend(art.methods);
@@ -419,10 +437,29 @@ fn merge(apk: &Apk, artifacts: Vec<GroupArtifact>) -> Report {
     };
     let prm = assemble(gates, apk.manifest.supported_levels(), usages);
 
+    // Declared-SDK: usages are collected per app method independently,
+    // and methods are group-exclusive, so the canonical sort of the
+    // union reproduces the full scan's usage order; Algorithm DSD's
+    // decision half (`assemble`) then runs over manifest-level facts
+    // recomputed from the whole-app manifest. Gated on the tool's
+    // detector set so a DSD-disabled tool merges exactly what its full
+    // scan would produce.
+    let dsd = if tool.detectors().contains(DetectorSet::DECLARED_SDK) {
+        declared_sdk::sort_usages(&mut sdk_usages);
+        declared_sdk::assemble(
+            SdkFacts::of(&apk.manifest),
+            apk.manifest.supported_levels(),
+            sdk_usages,
+        )
+    } else {
+        Vec::new()
+    };
+
     let mut report = Report::new(apk.manifest.package.clone(), "SAINTDroid");
     report.extend_deduped(inv);
     report.extend_deduped(cb);
     report.extend_deduped(prm);
+    report.extend_deduped(dsd);
 
     // Meter: each load-table / explored-method entry corresponds to
     // exactly one meter event; shared framework entries carry identical

@@ -12,9 +12,10 @@
 //! ```text
 //! offset  size  field       encoding
 //! 0       4     magic       b"SDLT"
-//! 4       4     version     u32
-//! 8       8     checksum    u64 — FNV-1a over bytes[16..]
-//! 16      …     payload     serde_json of the artifact
+//! 4       4     version     u32 — store format
+//! 8       4     schema      u32 — report schema the artifact carries
+//! 12      8     checksum    u64 — FNV-1a over bytes[20..]
+//! 20      …     payload     serde_json of the artifact
 //! ```
 //!
 //! Writes are atomic (unique temp file + rename), so a crashed writer
@@ -29,8 +30,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use saint_frozen::{fnv1a, FNV_OFFSET};
 use saint_ir::{ClassName, MethodRef};
+use saintdroid::amd::declared_sdk::SdkUsage;
 use saintdroid::amd::permission::DangerousUsage;
-use saintdroid::{Mismatch, Report};
+use saintdroid::{Mismatch, Report, REPORT_SCHEMA_VERSION};
 use serde::{Deserialize, Serialize};
 
 use crate::error::DeltaError;
@@ -38,10 +40,14 @@ use crate::error::DeltaError;
 /// Store format version; bumped on any layout or artifact-shape
 /// change. Folded into content keys *and* checked in the header, so a
 /// version bump invalidates every existing artifact.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: 1 = initial layout (16-byte header, three AMD families);
+/// 2 = report-schema field added to the header, `sdk_usages` added to
+/// group artifacts (DSD family).
+pub const FORMAT_VERSION: u32 = 2;
 
 const MAGIC: [u8; 4] = *b"SDLT";
-const HEADER_LEN: usize = 16;
+const HEADER_LEN: usize = 20;
 
 /// The persisted analysis slice of one class group — exactly the
 /// [`saintdroid::ScanParts`] of the group's projected sub-APK, plus
@@ -58,6 +64,9 @@ pub struct GroupArtifact {
     pub usages: Vec<DangerousUsage>,
     /// Whether the group declares `onRequestPermissionsResult`.
     pub declares_handler: bool,
+    /// Raw declared-SDK usage sites of the group's methods (empty when
+    /// the scanning tool's detector set excludes the DSD family).
+    pub sdk_usages: Vec<SdkUsage>,
     /// CLVM load-table entries with byte charges (`None` = failed
     /// lookup) — the class half of the reconstructed meter.
     pub loaded: Vec<(ClassName, Option<usize>)>,
@@ -165,8 +174,16 @@ impl DeltaStore {
                 expected: FORMAT_VERSION,
             });
         }
+        v4.copy_from_slice(&data[8..12]);
+        let schema = u32::from_le_bytes(v4);
+        if schema != REPORT_SCHEMA_VERSION {
+            return Err(DeltaError::SchemaSkew {
+                found: schema,
+                expected: REPORT_SCHEMA_VERSION,
+            });
+        }
         let mut v8 = [0u8; 8];
-        v8.copy_from_slice(&data[8..16]);
+        v8.copy_from_slice(&data[12..20]);
         let checksum = u64::from_le_bytes(v8);
         if fnv1a(&data[HEADER_LEN..], FNV_OFFSET) != checksum {
             return Err(DeltaError::ChecksumMismatch);
@@ -179,6 +196,7 @@ impl DeltaStore {
         let mut data = Vec::with_capacity(HEADER_LEN + payload.len());
         data.extend_from_slice(&MAGIC);
         data.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        data.extend_from_slice(&REPORT_SCHEMA_VERSION.to_le_bytes());
         data.extend_from_slice(&fnv1a(payload, FNV_OFFSET).to_le_bytes());
         data.extend_from_slice(payload);
         // Unique temp name: pid + a process-wide counter, so concurrent
@@ -210,6 +228,7 @@ mod tests {
             callback: Vec::new(),
             usages: Vec::new(),
             declares_handler: false,
+            sdk_usages: Vec::new(),
             loaded: vec![
                 (ClassName::new("p.A"), Some(42)),
                 (ClassName::new("p.Gone"), None),
@@ -265,6 +284,15 @@ mod tests {
             Err(DeltaError::VersionSkew { found: 99, .. })
         ));
 
+        // Report-schema skew (version restored, schema patched).
+        data[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        data[8] = 99;
+        std::fs::write(&path, &data).unwrap();
+        assert!(matches!(
+            store.load_group(7),
+            Err(DeltaError::SchemaSkew { found: 99, .. })
+        ));
+
         // Truncation below the header.
         std::fs::write(&path, &data[..10]).unwrap();
         assert!(matches!(
@@ -273,8 +301,48 @@ mod tests {
         ));
 
         // Wrong magic.
-        std::fs::write(&path, b"NOPE0000000000000000").unwrap();
+        std::fs::write(&path, b"NOPE000000000000000000000000").unwrap();
         assert!(matches!(store.load_group(7), Err(DeltaError::BadMagic)));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pre_dsd_store_artifact_is_a_typed_miss() {
+        // Regression for the delta-key bugfix: an artifact written by
+        // the v1 store (16-byte header, pre-DSD report schema) must
+        // surface as a typed version skew — never decode into a report
+        // silently missing the DSD family.
+        let dir = std::env::temp_dir().join(format!("sdlt-v1-{}", std::process::id()));
+        let store = DeltaStore::new(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let payload = br#"{"report":{}}"#;
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&fnv1a(payload, FNV_OFFSET).to_le_bytes());
+        v1.extend_from_slice(payload);
+        std::fs::write(store.path(Kind::App, 5), &v1).unwrap();
+        assert!(matches!(
+            store.load_app(5),
+            Err(DeltaError::VersionSkew {
+                found: 1,
+                expected: FORMAT_VERSION
+            })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_format_tracks_report_schema() {
+        // Coupling lint: whenever the report schema changes (a detector
+        // family added, a kind's meaning changed), the store format
+        // version must bump with it so pre-change artifacts invalidate
+        // wholesale. If this assertion fails you changed one without
+        // the other — bump FORMAT_VERSION and update this pin.
+        assert_eq!(
+            (FORMAT_VERSION, REPORT_SCHEMA_VERSION),
+            (2, 2),
+            "store format and report schema must move together"
+        );
     }
 }

@@ -99,6 +99,14 @@ impl Verifier {
                 MismatchKind::PermissionRevocation => {
                     Some((test_level(m).unwrap_or(ApiLevel::RUNTIME_PERMISSIONS), true))
                 }
+                // A DSD overuse is observable exactly like an API
+                // invocation mismatch: the API is absent on the
+                // implicated device levels.
+                MismatchKind::DsdOveruse => test_level(m).map(|l| (l, false)),
+                // A DSD underuse is a manifest-level inconsistency —
+                // nothing crashes on any device, so there is no run to
+                // schedule.
+                MismatchKind::DsdUnderuse => None,
             };
             if let Some(p) = pairing {
                 if !pairings.contains(&p) {
@@ -151,6 +159,13 @@ impl Verifier {
                     let level = test_level(m).unwrap_or(ApiLevel::RUNTIME_PERMISSIONS);
                     permission_verdict(run_at(level, true), m)
                 }
+                MismatchKind::DsdOveruse => match test_level(m) {
+                    Some(level) => api_verdict(run_at(level, false), m),
+                    None => Verdict::Undetermined,
+                },
+                // Declared-bound inconsistencies never manifest as a
+                // runtime crash; the dynamic layer cannot decide them.
+                MismatchKind::DsdUnderuse => Verdict::Undetermined,
             };
             match verdict {
                 Verdict::Confirmed => out.confirmed.push(m.clone()),

@@ -955,6 +955,48 @@ mod tests {
         assert!(matches!(err, CodecError::BadMagic { .. }));
     }
 
+    /// Byte offset of the manifest's `minSdkVersion` in an encoded
+    /// container: magic (4) + version (2) + package varint length (1,
+    /// for short names) + package bytes.
+    fn min_sdk_offset(package: &str) -> usize {
+        assert!(package.len() < 128, "single-byte varint assumption");
+        4 + 2 + 1 + package.len()
+    }
+
+    #[test]
+    fn decode_rejects_target_below_min() {
+        // The builder can't produce this triple, but a hand-crafted or
+        // corrupted container can: decode must fail typed, never hand
+        // detectors a manifest no device satisfies.
+        let mut bytes = encode_apk(&sample_apk());
+        let target_off = min_sdk_offset("com.example") + 1;
+        assert_eq!(bytes[target_off], 28);
+        bytes[target_off] = 7;
+        let err = decode_apk(&bytes).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::Invalid(crate::IrError::InvalidTargetSdk { min: 19, target: 7 })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_max_below_min() {
+        let apk = ApkBuilder::new("p.m", ApiLevel::new(19), ApiLevel::new(26))
+            .max_sdk(ApiLevel::new(28))
+            .unwrap()
+            .build();
+        let mut bytes = encode_apk(&apk);
+        // min, target, max-flag, max value.
+        let max_off = min_sdk_offset("p.m") + 3;
+        assert_eq!(bytes[max_off], 28);
+        bytes[max_off] = 3;
+        let err = decode_apk(&bytes).unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::Invalid(crate::IrError::InvalidSdkRange { min: 19, max: 3 })
+        );
+    }
+
     #[test]
     fn unsupported_version_rejected() {
         let mut bytes = encode_apk(&sample_apk());

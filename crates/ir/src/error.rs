@@ -36,6 +36,16 @@ pub enum IrError {
         /// Declared `maxSdkVersion`.
         max: u8,
     },
+    /// The manifest declares `targetSdkVersion` below `minSdkVersion` —
+    /// an impossible triple no device satisfies: detectors gating on
+    /// the target (e.g. the runtime-permission regime) would reason
+    /// about levels the app cannot even install on.
+    InvalidTargetSdk {
+        /// Declared `minSdkVersion`.
+        min: u8,
+        /// Declared `targetSdkVersion`.
+        target: u8,
+    },
     /// A builder was finalized without a terminator on some block.
     MissingTerminator {
         /// Block missing its terminator.
@@ -63,6 +73,12 @@ impl fmt::Display for IrError {
                 write!(
                     f,
                     "manifest declares minSdkVersion {min} > maxSdkVersion {max}"
+                )
+            }
+            IrError::InvalidTargetSdk { min, target } => {
+                write!(
+                    f,
+                    "manifest declares targetSdkVersion {target} < minSdkVersion {min}"
                 )
             }
             IrError::MissingTerminator { block } => {

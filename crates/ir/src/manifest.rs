@@ -76,7 +76,13 @@ impl Manifest {
     /// # Errors
     ///
     /// Returns [`IrError::InvalidSdkRange`] if a declared
-    /// `maxSdkVersion` is below `minSdkVersion`.
+    /// `maxSdkVersion` is below `minSdkVersion`, and
+    /// [`IrError::InvalidTargetSdk`] if `targetSdkVersion` is below
+    /// `minSdkVersion`. Running every construction path (builders *and*
+    /// the binary decode path) through here is what keeps impossible
+    /// triples out of the detectors: codec decode surfaces these as
+    /// typed [`CodecError::Invalid`](crate::CodecError::Invalid)
+    /// failures instead of propagating an unsatisfiable manifest.
     pub fn new(
         package: impl Into<String>,
         min_sdk: ApiLevel,
@@ -90,6 +96,12 @@ impl Manifest {
                     max: max.get(),
                 });
             }
+        }
+        if target_sdk < min_sdk {
+            return Err(IrError::InvalidTargetSdk {
+                min: min_sdk.get(),
+                target: target_sdk.get(),
+            });
         }
         Ok(Manifest {
             package: package.into(),
@@ -167,6 +179,18 @@ mod tests {
             max.map(ApiLevel::new),
         )
         .unwrap()
+    }
+
+    #[test]
+    fn target_below_min_rejected() {
+        let err = Manifest::new("p", ApiLevel::new(23), ApiLevel::new(19), None).unwrap_err();
+        assert!(matches!(
+            err,
+            IrError::InvalidTargetSdk {
+                min: 23,
+                target: 19
+            }
+        ));
     }
 
     #[test]

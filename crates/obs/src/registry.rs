@@ -40,11 +40,14 @@ pub enum Phase {
     /// One frozen-artifact attach: mmap + header/checksum verification
     /// + database/permission-map reconstruction.
     FrozenMap = 8,
+    /// One run of the declared-SDK consistency detector over an app
+    /// model (DSD overuse/underuse vetting).
+    DetectDeclaredSdk = 9,
 }
 
 impl Phase {
     /// Every phase, in wire order. Snapshot vectors follow this order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::ClvmLoad,
         Phase::Explore,
         Phase::ArmMine,
@@ -54,6 +57,7 @@ impl Phase {
         Phase::ScanTotal,
         Phase::QueueWait,
         Phase::FrozenMap,
+        Phase::DetectDeclaredSdk,
     ];
 
     /// Stable snake_case name used on every export surface (NDJSON
@@ -70,6 +74,7 @@ impl Phase {
             Phase::ScanTotal => "scan_total",
             Phase::QueueWait => "queue_wait",
             Phase::FrozenMap => "frozen_map",
+            Phase::DetectDeclaredSdk => "detect_declared_sdk",
         }
     }
 }
@@ -143,11 +148,21 @@ pub enum Counter {
     /// (equals `delta_misses` unless a fallback full rescan widened the
     /// re-analyzed slice).
     ClassesReanalyzed = 24,
+    /// DSD-overuse findings (unguarded use of an API above the declared
+    /// `minSdkVersion`) across all vetted apps, post-dedup.
+    DsdOveruseFound = 25,
+    /// DSD-underuse findings (declared SDK bounds inconsistent with
+    /// actual API usage) across all vetted apps, post-dedup.
+    DsdUnderuseFound = 26,
+    /// Apps pushed through the declared-SDK vetting pass (bumped once
+    /// per scan whose detector set enables the DSD family; always
+    /// `<= apps_scanned`).
+    AppsVetted = 27,
 }
 
 impl Counter {
     /// Every counter, in wire order. Snapshot vectors follow this order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 28] = [
         Counter::AppsScanned,
         Counter::MismatchesFound,
         Counter::ClassesLoaded,
@@ -173,6 +188,9 @@ impl Counter {
         Counter::DeltaHits,
         Counter::DeltaMisses,
         Counter::ClassesReanalyzed,
+        Counter::DsdOveruseFound,
+        Counter::DsdUnderuseFound,
+        Counter::AppsVetted,
     ];
 
     /// Stable snake_case name used on every export surface.
@@ -204,6 +222,9 @@ impl Counter {
             Counter::DeltaHits => "delta_hits",
             Counter::DeltaMisses => "delta_misses",
             Counter::ClassesReanalyzed => "classes_reanalyzed",
+            Counter::DsdOveruseFound => "dsd_overuse_found",
+            Counter::DsdUnderuseFound => "dsd_underuse_found",
+            Counter::AppsVetted => "apps_vetted",
         }
     }
 }

@@ -43,6 +43,11 @@ pub mod error_code {
     pub const UNSUPPORTED_VERSION: &str = "unsupported_version";
     /// The base64 payload did not decode to a valid SAPK container.
     pub const BAD_PACKAGE: &str = "bad_package";
+    /// The request's `detectors` assertion does not match the detector
+    /// families the daemon's warm engine runs (or failed to parse).
+    /// The daemon's set is fixed at startup (`serve --detectors`) —
+    /// re-point the client at a daemon running the set it expects.
+    pub const DETECTOR_MISMATCH: &str = "detector_mismatch";
     /// The scan (or the response path) panicked server-side; the panic
     /// was isolated and the daemon keeps serving. Transient from the
     /// client's perspective — a resubmission runs on a fresh worker.
@@ -80,6 +85,14 @@ pub struct ScanRequest {
     /// (queue wait included) within this budget, the server answers
     /// `timeout` instead of a report.
     pub deadline_ms: Option<u64>,
+    /// Optional detector-set assertion, in `DetectorSet` spec syntax
+    /// (`"amd"`, `"all"`, or a comma list of `api,apc,prm,dsd`). A
+    /// daemon whose engine runs a different set answers
+    /// [`error_code::DETECTOR_MISMATCH`] instead of silently serving a
+    /// report computed by the wrong detector families. Omitted (the
+    /// pre-DSD wire shape) means "whatever the daemon runs" — the
+    /// field is additive, like `id`.
+    pub detectors: Option<String>,
 }
 
 impl ScanRequest {
@@ -92,6 +105,7 @@ impl ScanRequest {
             id: None,
             package_b64: base64_encode(sapk_bytes),
             deadline_ms,
+            detectors: None,
         }
     }
 
@@ -99,6 +113,14 @@ impl ScanRequest {
     #[must_use]
     pub fn with_id(mut self, id: u64) -> Self {
         self.id = Some(id);
+        self
+    }
+
+    /// Asserts the detector families the report must come from (see
+    /// the `detectors` field).
+    #[must_use]
+    pub fn with_detectors(mut self, spec: impl Into<String>) -> Self {
+        self.detectors = Some(spec.into());
         self
     }
 
@@ -353,6 +375,11 @@ pub struct StatusResponse {
     /// tooling can attribute results to the daemon that produced them;
     /// `None` for unnamed daemons and pre-campaign peers.
     pub daemon: Option<String>,
+    /// The detector families the warm engine runs, in `DetectorSet`
+    /// spec syntax (e.g. `"api,apc,prm"`), so clients can check before
+    /// submitting instead of learning from a `detector_mismatch`
+    /// rejection; `None` from pre-DSD peers.
+    pub detectors: Option<String>,
 }
 
 /// One phase's span accounting, for [`MetricsResponse`]. Mirrors
@@ -603,6 +630,8 @@ pub struct FastScanRequest<'a> {
     pub id: Option<u64>,
     /// Deadline in milliseconds, if given.
     pub deadline_ms: Option<u64>,
+    /// Detector-set assertion, if given, borrowed from the line.
+    pub detectors: Option<&'a str>,
     /// The base64 payload, borrowed from the request line.
     pub package_b64: &'a str,
 }
@@ -630,6 +659,7 @@ pub fn parse_scan_fast(line: &str) -> Option<FastScanRequest<'_>> {
     let mut v: Option<u64> = None;
     let mut id: Option<u64> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut detectors: Option<(usize, usize)> = None;
     let mut package: Option<(usize, usize)> = None;
     let mut kind_is_scan = false;
     let mut first = true;
@@ -687,6 +717,15 @@ pub fn parse_scan_fast(line: &str) -> Option<FastScanRequest<'_>> {
                     return None;
                 }
             }
+            b"detectors" => {
+                if cur.eat_null() {
+                    continue;
+                }
+                let (s, e, escaped) = cur.raw_string()?;
+                if escaped || detectors.replace((s, e)).is_some() {
+                    return None;
+                }
+            }
             b"package_b64" => {
                 let (s, e, escaped) = cur.raw_string()?;
                 if escaped || package.replace((s, e)).is_some() {
@@ -712,6 +751,10 @@ pub fn parse_scan_fast(line: &str) -> Option<FastScanRequest<'_>> {
         v: v?,
         id,
         deadline_ms,
+        detectors: match detectors {
+            Some((ds, de)) => Some(line.get(ds..de)?),
+            None => None,
+        },
         // The borrow starts and ends at `"` delimiters of a string
         // verified escape-free, so the slice sits on char boundaries.
         package_b64: line.get(s..e)?,
@@ -1258,12 +1301,15 @@ mod tests {
             to_line(&ScanRequest::new(b"sapk bytes here", Some(1500))),
             to_line(&ScanRequest::new(b"", Some(0)).with_id(7)),
             to_line(&ScanRequest::new(&[0xff; 300], Some(u64::MAX)).with_id(u64::MAX)),
+            to_line(&ScanRequest::new(b"sapk", None).with_detectors("api,apc,prm,dsd")),
             // Field order is not fixed by JSON; unknown fields are legal.
             r#"{"kind":"scan","package_b64":"AAAA","v":1}"#.to_string(),
             r#" { "v" : 1 , "kind" : "scan" , "id" : 9 , "package_b64" : "Zm8=" } "#.to_string(),
             r#"{"v":1,"kind":"scan","future_field":{"a":[1,2,{"b":"}"}]},"package_b64":"AAAA","flag":true}"#
                 .to_string(),
             r#"{"v":2,"kind":"scan","package_b64":"AAAA"}"#.to_string(),
+            r#"{"v":1,"kind":"scan","detectors":"all","package_b64":"AAAA"}"#.to_string(),
+            r#"{"v":1,"kind":"scan","detectors":null,"package_b64":"AAAA"}"#.to_string(),
         ];
         for line in &cases {
             let slow = slow_parse(line.trim_end()).expect("slow path parses");
@@ -1271,6 +1317,7 @@ mod tests {
             assert_eq!(fast.v, u64::from(slow.v), "{line}");
             assert_eq!(fast.id, slow.id, "{line}");
             assert_eq!(fast.deadline_ms, slow.deadline_ms, "{line}");
+            assert_eq!(fast.detectors, slow.detectors.as_deref(), "{line}");
             assert_eq!(fast.package_b64, slow.package_b64, "{line}");
         }
     }
@@ -1288,6 +1335,8 @@ mod tests {
             r#"{"v":1.0,"kind":"scan","package_b64":"AAAA"}"#,    // float version
             r#"{"v":1,"kind":"scan","package_b64":"AAAA","id":-3}"#, // negative id
             r#"{"v":1,"v":2,"kind":"scan","package_b64":"AAAA"}"#, // duplicate key
+            r#"{"v":1,"kind":"scan","detectors":"a\u0070i","package_b64":"AAAA"}"#, // escaped detectors
+            r#"{"v":1,"kind":"scan","detectors":"amd","detectors":"all","package_b64":"AAAA"}"#, // duplicate detectors
             r#"{"v":1,"kind":"scan","package_b64":"AAAA"}trailing"#, // trailing bytes
             r#"{"v":1,"kind":"scan","junk":[}],"package_b64":"AAAA"}"#, // mismatched brackets
             r#"{"v":1,"kind":"scan","junk":truthy,"package_b64":"AAAA"}"#, // bad literal

@@ -686,6 +686,14 @@ impl Reactor {
                 self.push_frame(slot, protocol::to_line(&err).into_bytes());
                 return LineFlow::Continue;
             }
+            if let Some(spec) = fast.detectors {
+                if let Some(msg) = self.shared.detector_mismatch(spec) {
+                    let err =
+                        ErrorResponse::new(error_code::DETECTOR_MISMATCH, msg).with_id(fast.id);
+                    self.push_frame(slot, protocol::to_line(&err).into_bytes());
+                    return LineFlow::Continue;
+                }
+            }
             return self.begin_scan(
                 slot,
                 fast.package_b64.to_owned(),
@@ -740,13 +748,23 @@ impl Reactor {
             Some(kind @ ("scan" | "delta")) => {
                 use crate::protocol::ScanRequest;
                 match ScanRequest::from_value(&value) {
-                    Ok(req) => self.begin_scan(
-                        slot,
-                        req.package_b64,
-                        req.id,
-                        req.deadline_ms,
-                        kind == "delta",
-                    ),
+                    Ok(req) => {
+                        if let Some(spec) = req.detectors.as_deref() {
+                            if let Some(msg) = self.shared.detector_mismatch(spec) {
+                                let err = ErrorResponse::new(error_code::DETECTOR_MISMATCH, msg)
+                                    .with_id(req.id);
+                                self.push_frame(slot, protocol::to_line(&err).into_bytes());
+                                return LineFlow::Continue;
+                            }
+                        }
+                        self.begin_scan(
+                            slot,
+                            req.package_b64,
+                            req.id,
+                            req.deadline_ms,
+                            kind == "delta",
+                        )
+                    }
                     Err(e) => {
                         let err = ErrorResponse::new(
                             error_code::MALFORMED,

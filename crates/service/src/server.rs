@@ -179,6 +179,22 @@ impl Shared {
             frozen: self.engine.frozen_boot().map(Into::into),
             reactor: Some(self.reactor_status()),
             daemon: self.name.clone(),
+            detectors: Some(self.engine.tool().detectors().to_string()),
+        }
+    }
+
+    /// Checks a request's `detectors` assertion against the warm
+    /// engine's enabled set. `None` means the assertion holds; `Some`
+    /// carries the `detector_mismatch` message — a report computed by
+    /// the wrong detector families must never be served silently.
+    pub(crate) fn detector_mismatch(&self, requested: &str) -> Option<String> {
+        let enabled = self.engine.tool().detectors();
+        match saintdroid::DetectorSet::parse(requested) {
+            Ok(set) if set == enabled => None,
+            Ok(set) => Some(format!(
+                "daemon runs detectors `{enabled}`, request asserts `{set}`"
+            )),
+            Err(e) => Some(format!("bad detectors spec `{requested}`: {e}")),
         }
     }
 

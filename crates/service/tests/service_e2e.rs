@@ -421,3 +421,79 @@ fn shutdown_drains_and_joins_all_threads() {
     // Every acceptor and worker joins: the daemon exits cleanly.
     handle.wait();
 }
+
+/// A DSD-enabled daemon serves reports byte-identical to a local
+/// DSD-enabled scan, advertises its detector set in `status`, and
+/// enforces the request-side `detectors` assertion with a typed
+/// `detector_mismatch` on both the fast (scan) and slow (delta)
+/// parse paths.
+#[test]
+fn dsd_daemon_matches_local_scan_and_checks_detector_assertions() {
+    use saint_service::protocol::{self, ScanRequest};
+    use saintdroid::DetectorSet;
+
+    let fw = Arc::new(AndroidFramework::curated());
+    let engine =
+        ScanEngine::from_tool(SaintDroid::new(Arc::clone(&fw)).with_detectors(DetectorSet::all()));
+    engine.prewarm();
+    let handle = saint_service::start(engine, &ephemeral(ServerConfig::default()))
+        .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    let status = client.status().expect("status");
+    assert_eq!(
+        status.detectors.as_deref(),
+        Some("api,apc,prm,dsd"),
+        "the daemon advertises its detector families"
+    );
+
+    let local_tool = SaintDroid::new(Arc::clone(&fw)).with_detectors(DetectorSet::all());
+    let apps = saint_corpus::planted_suite();
+    for app in &apps {
+        let sapk = codec::encode_apk(&app.apk);
+        let response = client
+            .scan_sapk(&sapk, Some(120_000))
+            .expect("scan succeeds");
+        let local: Report = local_tool.run(&app.apk);
+        assert_eq!(
+            serde_json::to_string(&response.report.mismatches).unwrap(),
+            serde_json::to_string(&local.mismatches).unwrap(),
+            "{}: daemon findings diverged from local DSD scan",
+            app.name
+        );
+    }
+    // The planted corpus actually exercised the DSD family end to end.
+    let overuse = apps.iter().find(|a| a.name == "Planted-Overuse").unwrap();
+    let local = local_tool.run(&overuse.apk);
+    assert!(!local.is_clean(), "test premise: planted overuse fires");
+
+    let sapk = codec::encode_apk(&overuse.apk);
+    // A matching assertion is served normally (fast parse path).
+    let line = protocol::to_line(&ScanRequest::new(&sapk, Some(120_000)).with_detectors("all"));
+    let raw = client.raw_roundtrip(line.trim_end()).expect("reply");
+    assert!(raw.contains("\"exit_code\""), "asserted scan served: {raw}");
+    // A stale AMD-era assertion is refused, typed (fast parse path).
+    let line = protocol::to_line(&ScanRequest::new(&sapk, None).with_detectors("amd"));
+    let raw = client.raw_roundtrip(line.trim_end()).expect("reply");
+    assert!(raw.contains("\"detector_mismatch\""), "{raw}");
+    // Same check on the slow parse path (the `delta` verb never takes
+    // the zero-copy fast path).
+    let line = protocol::to_line(
+        &ScanRequest::new(&sapk, None)
+            .with_detectors("amd")
+            .into_delta(),
+    );
+    let raw = client.raw_roundtrip(line.trim_end()).expect("reply");
+    assert!(raw.contains("\"detector_mismatch\""), "{raw}");
+    // An unparseable spec is refused, not guessed at.
+    let line = protocol::to_line(&ScanRequest::new(&sapk, None).with_detectors("warp-drive"));
+    let raw = client.raw_roundtrip(line.trim_end()).expect("reply");
+    assert!(raw.contains("\"detector_mismatch\""), "{raw}");
+
+    // The daemon survived every rejection and still serves.
+    client.scan_sapk(&sapk, Some(120_000)).expect("still alive");
+
+    client.shutdown().expect("shutdown ack");
+    handle.wait();
+}

@@ -22,7 +22,9 @@ use saintdroid::SaintDroid;
 fn tool() -> &'static SaintDroid {
     static TOOL: OnceLock<SaintDroid> = OnceLock::new();
     TOOL.get_or_init(|| {
-        SaintDroid::new(Arc::new(AndroidFramework::with_scale(&SynthConfig::small())))
+        SaintDroid::new(Arc::new(
+            AndroidFramework::with_scale(&SynthConfig::small()),
+        ))
     })
 }
 
@@ -75,13 +77,15 @@ fn arb_corruption() -> impl Strategy<Value = Corruption> {
         proptest::option::of(any::<u32>()),
         any::<bool>(),
     )
-        .prop_map(|(victims, flips, truncate_to, skew_version, fix_checksum)| Corruption {
-            victims,
-            flips,
-            truncate_to,
-            skew_version,
-            fix_checksum,
-        })
+        .prop_map(
+            |(victims, flips, truncate_to, skew_version, fix_checksum)| Corruption {
+                victims,
+                flips,
+                truncate_to,
+                skew_version,
+                fix_checksum,
+            },
+        )
 }
 
 fn corrupt_file(path: &std::path::Path, spec: &Corruption) {

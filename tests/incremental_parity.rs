@@ -24,7 +24,9 @@ use saintdroid::SaintDroid;
 fn tool() -> &'static SaintDroid {
     static TOOL: OnceLock<SaintDroid> = OnceLock::new();
     TOOL.get_or_init(|| {
-        SaintDroid::new(Arc::new(AndroidFramework::with_scale(&SynthConfig::small())))
+        SaintDroid::new(Arc::new(
+            AndroidFramework::with_scale(&SynthConfig::small()),
+        ))
     })
 }
 
@@ -47,22 +49,24 @@ fn arb_lineage() -> impl Strategy<Value = LineageConfig> {
         proptest::option::of(1usize..4),
         proptest::option::of(1usize..4),
     )
-        .prop_map(|(seed, versions, churn_pct, app_index, introduce_at, fix_at)| {
-            let churn = f64::from(churn_pct) / 100.0;
-            let mut base = RealWorldConfig::small();
-            base.apps = 6;
-            LineageConfig {
-                base,
-                app_index,
-                versions,
-                churn,
-                seed,
-                introduce_at: introduce_at.filter(|&v| v < versions),
-                // Only meaningful after an introduce; earlier fixes are
-                // no-ops, which is fine — the generator tolerates them.
-                fix_at: fix_at.filter(|&v| v < versions),
-            }
-        })
+        .prop_map(
+            |(seed, versions, churn_pct, app_index, introduce_at, fix_at)| {
+                let churn = f64::from(churn_pct) / 100.0;
+                let mut base = RealWorldConfig::small();
+                base.apps = 6;
+                LineageConfig {
+                    base,
+                    app_index,
+                    versions,
+                    churn,
+                    seed,
+                    introduce_at: introduce_at.filter(|&v| v < versions),
+                    // Only meaningful after an introduce; earlier fixes are
+                    // no-ops, which is fine — the generator tolerates them.
+                    fix_at: fix_at.filter(|&v| v < versions),
+                }
+            },
+        )
 }
 
 /// Canonical report bytes with the one nondeterministic field zeroed.
@@ -132,7 +136,10 @@ fn unchanged_rescan_takes_the_app_fast_path() {
     let (first, cold) = scanner.scan(tool, apk, 1);
     assert!(!cold.app_hit, "cold scan cannot hit the app artifact");
     let (second, warm) = scanner.scan(tool, apk, 1);
-    assert!(warm.app_hit, "byte-identical rescan must take the fast path");
+    assert!(
+        warm.app_hit,
+        "byte-identical rescan must take the fast path"
+    );
     assert_eq!(warm.reanalyzed, 0, "fast path must not reanalyze classes");
     assert_eq!(warm.hits, warm.classes_seen);
     assert_eq!(canon(&first), canon(&second));
@@ -167,7 +174,10 @@ fn encoded_rescan_replays_and_churn_degrades_to_splice() {
 
     // A fresh process over the same store replays from disk.
     let (replayed, fresh) = DeltaScanner::new(&dir).scan_encoded(tool, &sapk0, v0, 1);
-    assert!(fresh.app_hit, "byte-keyed artifact must persist across scanners");
+    assert!(
+        fresh.app_hit,
+        "byte-keyed artifact must persist across scanners"
+    );
     assert_eq!(canon(&first), canon(&replayed));
 
     // The next version misses on bytes but splices structurally.

@@ -128,8 +128,7 @@ proptest! {
 fn delta_counters_conserve_across_a_lineage() {
     let lineage = generate_lineage(&LineageConfig::small());
     let registry = Arc::new(MetricsRegistry::new());
-    let tool =
-        SaintDroid::new(framework()).with_metrics(Arc::clone(&registry));
+    let tool = SaintDroid::new(framework()).with_metrics(Arc::clone(&registry));
     let dir = std::env::temp_dir().join(format!("saint-delta-metrics-{}", std::process::id()));
     let scanner = DeltaScanner::new(&dir);
 
@@ -164,4 +163,60 @@ fn delta_counters_conserve_across_a_lineage() {
         "each version counts as exactly one scanned app"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// DSD-counter conservation: with the declared-SDK family enabled,
+/// every scanned app is vetted exactly once (`apps_vetted ==
+/// apps_scanned`), the per-kind counters equal the reports' DSD
+/// finding totals, and the DSD findings are a subset of
+/// `mismatches_found`. With the family disabled (the default AMD
+/// set), the whole DSD counter surface stays at zero.
+#[test]
+fn dsd_counters_conserve_and_stay_zero_when_disabled() {
+    use saint_corpus::planted_suite;
+    use saintdroid::{DetectorSet, MismatchKind};
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let fw = Arc::new(AndroidFramework::curated());
+    let tool = SaintDroid::new(Arc::clone(&fw))
+        .with_detectors(DetectorSet::all())
+        .with_metrics(Arc::clone(&registry));
+    let apps = planted_suite();
+    let (mut over, mut under) = (0u64, 0u64);
+    for app in &apps {
+        let report = tool.run(&app.apk);
+        over += report.count(MismatchKind::DsdOveruse) as u64;
+        under += report.count(MismatchKind::DsdUnderuse) as u64;
+    }
+    assert!(
+        over > 0 && under > 0,
+        "test premise: the planted corpus exercises both DSD kinds"
+    );
+    assert_eq!(registry.counter(Counter::AppsVetted), apps.len() as u64);
+    assert_eq!(
+        registry.counter(Counter::AppsVetted),
+        registry.counter(Counter::AppsScanned),
+        "every scanned app is vetted exactly once when DSD is enabled"
+    );
+    assert_eq!(registry.counter(Counter::DsdOveruseFound), over);
+    assert_eq!(registry.counter(Counter::DsdUnderuseFound), under);
+    assert!(
+        over + under <= registry.counter(Counter::MismatchesFound),
+        "DSD findings are a subset of all mismatches"
+    );
+
+    // The default AMD set: no vetting, no DSD ticks — the counters
+    // observe the family, they never invent it.
+    let amd_registry = Arc::new(MetricsRegistry::new());
+    let amd = SaintDroid::new(fw).with_metrics(Arc::clone(&amd_registry));
+    for app in &apps {
+        let _ = amd.run(&app.apk);
+    }
+    assert_eq!(
+        amd_registry.counter(Counter::AppsScanned),
+        apps.len() as u64
+    );
+    assert_eq!(amd_registry.counter(Counter::AppsVetted), 0);
+    assert_eq!(amd_registry.counter(Counter::DsdOveruseFound), 0);
+    assert_eq!(amd_registry.counter(Counter::DsdUnderuseFound), 0);
 }
